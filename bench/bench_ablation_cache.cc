@@ -1,0 +1,89 @@
+// Ablation for the Section 5.1.3 design decision: the Binner's 1 KB
+// write-through cache vs the rejected stall-on-hazard baseline, across
+// data skew. The paper's claim: with the cache, processing speed is
+// independent of column content (skew can only help); without it, skewed
+// data serializes on the memory round trip.
+
+#include <cstdio>
+
+#include "accel/binner.h"
+#include "accel/preprocessor.h"
+#include "bench/bench_util.h"
+#include "sim/clock.h"
+#include "sim/dram.h"
+#include "workload/distributions.h"
+
+namespace dphist {
+namespace {
+
+struct Run {
+  double mvalues_per_s;
+  uint64_t hit_rate_percent;
+  uint64_t stall_cycles;
+};
+
+Run Measure(const std::vector<int64_t>& stream, uint64_t cardinality,
+            bool cache_enabled) {
+  accel::PreprocessorConfig prep_config;
+  prep_config.type = page::ColumnType::kInt64;
+  prep_config.min_value = 1;
+  prep_config.max_value = static_cast<int64_t>(cardinality);
+  accel::Preprocessor prep = *accel::Preprocessor::Create(prep_config);
+  sim::Dram dram{sim::DramConfig{}};
+  dram.AllocateBins(prep.num_bins());
+  accel::BinnerConfig config;
+  config.cache_enabled = cache_enabled;
+  accel::Binner binner(config, &prep, &dram);
+  for (int64_t v : stream) binner.ProcessValue(v);
+  accel::BinnerReport report = binner.Finish();
+  uint64_t lookups = report.cache_hits + report.cache_misses;
+  return Run{report.ValuesPerSecond(sim::Clock()) / 1e6,
+             lookups == 0 ? 0 : 100 * report.cache_hits / lookups,
+             report.hazard_stall_cycles};
+}
+
+void Main() {
+  const uint64_t rows = bench::Scaled(1000000);
+  constexpr uint64_t kCardinality = 2048;
+
+  bench::TablePrinter table({"distribution", "cache (Mv/s)", "hit rate",
+                             "no-cache (Mv/s)", "stall cycles"},
+                            16);
+  table.PrintHeader();
+  const struct {
+    const char* name;
+    double s;
+  } skews[] = {{"Uniform", 0.0},  {"Zipf 0.35", 0.35},
+               {"Zipf 0.75", 0.75}, {"Zipf 1", 1.0},
+               {"Zipf 1.5", 1.5}};
+  for (const auto& skew : skews) {
+    auto stream = workload::ZipfColumn(rows, kCardinality, skew.s, 55);
+    Run cached = Measure(stream, kCardinality, true);
+    Run uncached = Measure(stream, kCardinality, false);
+    char hits[16];
+    std::snprintf(hits, sizeof(hits), "%llu%%",
+                  static_cast<unsigned long long>(cached.hit_rate_percent));
+    table.PrintRow({skew.name,
+                    bench::TablePrinter::Fmt(cached.mvalues_per_s),
+                    hits,
+                    bench::TablePrinter::Fmt(uncached.mvalues_per_s),
+                    bench::TablePrinter::FmtInt(uncached.stall_cycles)});
+  }
+  std::printf(
+      "\nExpected shape: with the cache, throughput never drops below "
+      "the ~20 Mvalues/s floor and rises with skew; without it, "
+      "throughput collapses as skew grows (every repeated value stalls "
+      "a full memory round trip).\n");
+}
+
+}  // namespace
+}  // namespace dphist
+
+int main() {
+  dphist::bench::PrintBanner(
+      "bench_ablation_cache",
+      "Design ablation: Binner write-through cache (Section 5.1.3)",
+      "stall-on-hazard baseline is the design the paper rejects");
+  dphist::Main();
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Regenerates the paper's Section 6.2 closing comparison ("Histogram
+// variety"): which statistics each engine offers, and the accuracy of
+// the accelerator's full-data histograms against sampled software ones.
+// The accelerator provides TopK + Equi-depth + Max-diff + Compressed
+// from one pass; engines offer subsets, usually from samples.
+
+#include <cstdio>
+
+#include "accel/accelerator.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "db/analyzer.h"
+#include "hist/builders.h"
+#include "hist/dense_reference.h"
+#include "hist/error.h"
+#include "hist/v_optimal.h"
+#include "workload/distributions.h"
+
+namespace dphist {
+namespace {
+
+void PrintFeatureMatrix() {
+  bench::TablePrinter table(
+      {"engine", "Equi-depth", "TopK", "Max-diff", "Compressed"}, 14);
+  table.PrintHeader();
+  table.PrintRow({"Oracle", "yes", "yes", "-", "-"});
+  table.PrintRow({"IBM DB2", "yes", "yes", "-", "-"});
+  table.PrintRow({"PostgreSQL", "yes", "yes", "-", "-"});
+  table.PrintRow({"SQL Server", "-", "-", "yes", "-"});
+  table.PrintRow({"This accel.", "yes", "yes", "yes", "yes"});
+  std::printf("(per paper Section 6.2, engine documentation [14,20,26,28])\n\n");
+}
+
+void Run() {
+  PrintFeatureMatrix();
+
+  const uint64_t rows = bench::Scaled(500000);
+  constexpr int64_t kCardinality = 2048;
+
+  bench::TablePrinter table({"histogram", "mean rng err", "max rng err",
+                             "max pt err", "SSE"},
+                            15);
+
+  for (double skew : {0.5, 1.0}) {
+    auto column = workload::ZipfColumn(rows, kCardinality, skew, 303);
+    auto dense = hist::BuildDenseCounts(column, 1, kCardinality);
+
+    accel::AcceleratorConfig config;
+    accel::Accelerator accelerator(config);
+    accel::ScanRequest request;
+    request.min_value = 1;
+    request.max_value = kCardinality;
+    request.num_buckets = 64;
+    request.top_k = 32;
+    auto report = accelerator.ProcessValues(column, request, 8);
+
+    auto synthetic = workload::ColumnToTable(column, 1, 304);
+    db::AnalyzeOptions options;
+    options.sampling_rate = 0.05;
+    options.num_buckets = 64;
+    options.count_map_limit = 0;
+    auto sampled = db::AnalyzeColumn(synthetic, 0, options);
+
+    hist::Histogram vopt = hist::VOptimalDense(dense, 64);
+
+    std::printf("Zipf %.2f, %llu rows, cardinality %lld:\n", skew,
+                static_cast<unsigned long long>(rows),
+                static_cast<long long>(kCardinality));
+    table.PrintHeader();
+    auto evaluate = [&](const char* name, const hist::Histogram& h) {
+      Rng rng(99);
+      auto acc = hist::EvaluateAccuracy(dense, h, 400, &rng);
+      table.PrintRow({name, bench::TablePrinter::Fmt(acc.mean_range_error),
+                      bench::TablePrinter::Fmt(acc.max_range_error),
+                      bench::TablePrinter::Fmt(acc.max_abs_point_error),
+                      bench::TablePrinter::Fmt(acc.reconstruction_sse)});
+    };
+    evaluate("accel ED", report->histograms.equi_depth);
+    evaluate("accel MaxDiff", report->histograms.max_diff);
+    evaluate("accel Compr", report->histograms.compressed);
+    evaluate("DB 5% sample", sampled.stats.histogram);
+    evaluate("V-opt (ref)", vopt);
+    std::printf("\n");
+  }
+  std::printf(
+      "Expected shape (paper Sec. 6.2): the accelerator's full-data "
+      "histograms match or beat the sampled software histogram on every "
+      "error metric; Compressed handles heavy hitters best; V-optimal "
+      "bounds what any histogram could do.\n");
+}
+
+}  // namespace
+}  // namespace dphist
+
+int main() {
+  dphist::bench::PrintBanner(
+      "bench_accuracy_variety",
+      "Section 6.2 'Histogram variety' + accuracy comparison",
+      "accuracy metrics from hist::EvaluateAccuracy");
+  dphist::Run();
+  return 0;
+}

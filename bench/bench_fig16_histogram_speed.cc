@@ -1,0 +1,90 @@
+// Regenerates paper Figure 16: histogram creation time vs table size
+// (8-column lineitem, l_quantity), comparing the simulated accelerator
+// against the DBx and DBy analyzer profiles at 100 % and 5 % sampling.
+// Expected shape: the accelerator is fastest and linear; DBy's 5 % curve
+// does not drop proportionally (it always scans everything).
+
+#include <cstdio>
+
+#include "accel/accelerator.h"
+#include "bench/bench_util.h"
+#include "db/analyzer.h"
+#include "workload/tpch.h"
+
+namespace dphist {
+namespace {
+
+double AnalyzeSeconds(const page::TableFile& table,
+                      db::AnalyzerProfile profile, double rate) {
+  db::AnalyzeOptions options;
+  options.profile = profile;
+  options.sampling_rate = rate;
+  // Figure 16's engines take the sort-based path (PostgreSQL-style
+  // ANALYZE always sorts its sample); the Oracle-style frequency-
+  // histogram fast path is exercised in bench_fig19 instead.
+  options.count_map_limit = 0;
+  return db::AnalyzeColumn(table, workload::kLQuantity, options)
+      .cpu_seconds;
+}
+
+void Run() {
+  accel::AcceleratorConfig config;
+  accel::Accelerator accelerator(config);
+
+  bench::TablePrinter table({"rows (M)", "FPGA (s)", "FPGA cpu (s)",
+                             "DBx 100% (s)", "DBx 5% (s)", "DBy 100% (s)",
+                             "DBy 5% (s)"},
+                            14);
+  table.PrintHeader();
+
+  // Paper sweeps 30..450M rows; defaults scale 100x down.
+  for (uint64_t base : {300000ULL, 600000ULL, 1500000ULL, 3000000ULL,
+                        4500000ULL}) {
+    const uint64_t rows = bench::Scaled(base);
+    workload::LineitemOptions li;
+    li.scale_factor = static_cast<double>(rows) / 6000000.0;
+    li.row_limit = rows;
+    page::TableFile lineitem = workload::GenerateLineitem(li);
+
+    accel::ScanRequest request;
+    request.column_index = workload::kLQuantity;
+    request.min_value = workload::kQuantityMin;
+    request.max_value = workload::kQuantityMax;
+    request.num_buckets = 256;
+    auto report = accelerator.ProcessTable(lineitem, request);
+
+    table.PrintRow(
+        {bench::TablePrinter::Fmt(rows / 1e6),
+         bench::TablePrinter::Fmt(report->total_seconds),
+         "0.000",  // in the data path, histograms cost the host no CPU
+         bench::TablePrinter::Fmt(
+             AnalyzeSeconds(lineitem, db::AnalyzerProfile::kDbx, 1.0)),
+         bench::TablePrinter::Fmt(
+             AnalyzeSeconds(lineitem, db::AnalyzerProfile::kDbx, 0.05)),
+         bench::TablePrinter::Fmt(
+             AnalyzeSeconds(lineitem, db::AnalyzerProfile::kDby, 1.0)),
+         bench::TablePrinter::Fmt(
+             AnalyzeSeconds(lineitem, db::AnalyzerProfile::kDby, 0.05))});
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 16): FPGA below every full-data "
+      "software analysis and linear; DBy's 5%% curve does not drop "
+      "proportionally with the rate (it always scans everything), while "
+      "DBx's does. Known deviation: our lean analyzer at 5%% block "
+      "sampling undercuts the simulated device wall-clock, unlike the "
+      "paper's commercial engines — but the accelerator consumes zero "
+      "host CPU and sees all rows (see EXPERIMENTS.md).\n");
+}
+
+}  // namespace
+}  // namespace dphist
+
+int main() {
+  dphist::bench::PrintBanner(
+      "bench_fig16_histogram_speed",
+      "Figure 16 (histogram creation time vs table size, with sampling)",
+      "FPGA column = simulated device seconds; DB columns = measured "
+      "host seconds of the analyzer profiles");
+  dphist::Run();
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Regenerates paper Figure 21 and the Section 6.2 "automatic choice of
+// sampling rate" experiment: small random spikes (2000 rows each) in
+// lineitem are detected by PostgreSQL-style sampled ANALYZE only with
+// ~50 % probability, making the planner oscillate between Nested Loops
+// and Sort Merge; the two plans differ drastically in join time. We
+// report both join times per join size and the measured oscillation
+// rate across ANALYZE re-runs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "db/analyzer.h"
+#include "db/catalog.h"
+#include "db/planner.h"
+#include "workload/tpch.h"
+
+namespace dphist {
+namespace {
+
+void Run() {
+  // Paper: SF 1 (6M rows), spikes of 2000 occurrences. Scaled down, the
+  // spike is kept proportionally large enough to matter.
+  const uint64_t rows = bench::Scaled(600000);
+  const uint64_t spike = 2000;
+
+  workload::LineitemOptions li;
+  li.scale_factor = static_cast<double>(rows) / 6000000.0;
+  li.row_limit = rows;
+  // A handful of spiked prices, one of which Q1 filters on.
+  for (int64_t price : {200100, 310000, 450000, 570000, 680000}) {
+    li.price_spikes.push_back(workload::PriceSpike{price, spike});
+  }
+
+  db::Catalog catalog;
+  catalog.AddTable("lineitem", workload::GenerateLineitem(li));
+  workload::CustomerOptions cust;
+  cust.scale_factor = 0.2;
+  catalog.AddTable("customer", workload::GenerateCustomer(cust));
+  {
+    db::AnalyzeOptions options;
+    auto customer = catalog.Find("customer");
+    auto custkey = db::AnalyzeColumn(*(*customer)->table,
+                                     workload::kCCustKey, options);
+    (void)catalog.SetColumnStats("customer", workload::kCCustKey,
+                                 custkey.stats);
+  }
+
+  // Oscillation: re-run sampled ANALYZE (PostgreSQL-style fixed-rate row
+  // sample) with different seeds and see which join the planner picks.
+  auto entry = catalog.Find("lineitem");
+  int picked_nlj = 0;
+  int picked_smj = 0;
+  constexpr int kAnalyzeRuns = 20;
+  for (int run = 0; run < kAnalyzeRuns; ++run) {
+    db::AnalyzeOptions options;
+    options.profile = db::AnalyzerProfile::kDby;
+    options.sampling_rate = 0.00085;  // expected ~1.7 spike copies in sample
+    options.seed = 1000 + run;
+    auto result = db::AnalyzeColumn(*(*entry)->table,
+                                    workload::kLExtendedPrice, options);
+    (void)catalog.SetColumnStats("lineitem", workload::kLExtendedPrice,
+                                 result.stats);
+    db::Q1Query query;
+    query.custkey_limit = 10000;
+    auto plan = PlanQ1(catalog, "lineitem", "customer", query);
+    if (plan->join == db::JoinAlgorithm::kNestedLoops) {
+      ++picked_nlj;
+    } else {
+      ++picked_smj;
+    }
+  }
+  std::printf(
+      "Plan oscillation across %d sampled ANALYZE runs: NestedLoops %d, "
+      "SortMerge %d\n\n",
+      kAnalyzeRuns, picked_nlj, picked_smj);
+
+  // Join-time gap per join size (spike rows x customers), as in Fig 21.
+  bench::TablePrinter table({"join size", "SMJ accurate (s)",
+                             "NLJ inaccurate (s)", "slowdown"},
+                            20);
+  table.PrintHeader();
+  for (int64_t customers : {5000, 10000, 15000}) {
+    db::Q1Query query;
+    query.custkey_limit = customers;
+    auto smj = ExecuteQ1(catalog, "lineitem", "customer", query,
+                         db::JoinAlgorithm::kSortMerge);
+    auto nlj = ExecuteQ1(catalog, "lineitem", "customer", query,
+                         db::JoinAlgorithm::kNestedLoops);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%llux%lld",
+                  static_cast<unsigned long long>(spike),
+                  static_cast<long long>(customers));
+    table.PrintRow({label, bench::TablePrinter::Fmt(smj->join_seconds),
+                    bench::TablePrinter::Fmt(nlj->join_seconds),
+                    bench::TablePrinter::Fmt(nlj->join_seconds /
+                                             std::max(1e-9,
+                                                      smj->join_seconds))});
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 21): the wrongly chosen NLJ plan is "
+      "several times slower, and the gap grows with the number of "
+      "participating customers; the sampled ANALYZE detects the spikes "
+      "only part of the time, so real deployments oscillate.\n");
+}
+
+}  // namespace
+}  // namespace dphist
+
+int main() {
+  dphist::bench::PrintBanner(
+      "bench_fig21_plan_oscillation",
+      "Figure 21 + Sec. 6.2 (PostgreSQL plan oscillation from sampling)",
+      "join times measured on the mini-DBMS executor");
+  dphist::Run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Regenerates paper Figure 22: time for each statistic block to process
+// the binned representation as a function of the number of bins in
+// memory. Expected shape: linear in the bin count for every block; TopK
+// above Equi-depth (list insertions cost an extra cycle); Max-diff and
+// Compressed roughly equal to TopK + Equi-depth (they are two-scan
+// composites). The reference line is the minimum time to stream the
+// smallest table with that many distinct values over 1 Gbps Ethernet.
+
+#include <cstdio>
+#include <memory>
+
+#include "accel/blocks.h"
+#include "accel/histogram_module.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "sim/clock.h"
+#include "sim/dram.h"
+#include "sim/link.h"
+
+namespace dphist {
+namespace {
+
+/// Loads `bins` random counts into DRAM and returns the chain completion
+/// time in milliseconds for the given block.
+template <typename MakeBlock>
+double CreationMillis(uint64_t bins, MakeBlock make_block) {
+  sim::DramConfig config;
+  config.capacity_bytes = 4ULL << 30;
+  sim::Dram dram(config);
+  dram.AllocateBins(bins);
+  Rng rng(bins ^ 0xBEEF);
+  for (uint64_t i = 0; i < bins; ++i) {
+    dram.WriteBin(i, rng.NextBounded(1000));
+  }
+  accel::HistogramModule module(accel::HistogramModuleConfig{}, &dram);
+  module.AddBlock(make_block());
+  accel::ModuleReport report = module.Run(bins, bins * 500, 0.0);
+  return sim::Clock().CyclesToMillis(report.finish_cycle);
+}
+
+void Run() {
+  bench::TablePrinter table({"bins (M)", "TopK (ms)", "Equi-depth (ms)",
+                             "Max-diff (ms)", "Compressed (ms)",
+                             "1GbE ref (ms)"},
+                            16);
+  table.PrintHeader();
+  for (uint64_t base : {1, 5, 10, 20, 35}) {
+    uint64_t bins = bench::Scaled(base * 1000000ULL) ;
+    if (bench::ScaleFactor() > 1.0) bins = base * 1000000ULL;  // cap: paper range
+    double topk = CreationMillis(
+        bins, [] { return std::make_unique<accel::TopKBlock>(64); });
+    double ed = CreationMillis(
+        bins, [] { return std::make_unique<accel::EquiDepthBlock>(64); });
+    double md = CreationMillis(
+        bins, [] { return std::make_unique<accel::MaxDiffBlock>(64); });
+    double cp = CreationMillis(bins, [] {
+      return std::make_unique<accel::CompressedBlock>(64, 64);
+    });
+    // Smallest table with `bins` distinct 4-byte values over 1 Gbps.
+    double wire_ms =
+        sim::Link::GigabitEthernet().TransferSeconds(bins * 4) * 1e3;
+    table.PrintRow({bench::TablePrinter::Fmt(bins / 1e6),
+                    bench::TablePrinter::Fmt(topk),
+                    bench::TablePrinter::Fmt(ed),
+                    bench::TablePrinter::Fmt(md),
+                    bench::TablePrinter::Fmt(cp),
+                    bench::TablePrinter::Fmt(wire_ms)});
+  }
+  std::printf(
+      "\nExpected shape (paper Fig. 22): all linear in bins; "
+      "MaxDiff ~= Compressed ~= TopK + Equi-depth; all below the 1GbE "
+      "streaming time of the smallest such table.\n");
+}
+
+}  // namespace
+}  // namespace dphist
+
+int main() {
+  dphist::bench::PrintBanner("bench_fig22_block_latency",
+                             "Figure 22 (bin processing time per block)",
+                             "simulated cycles at 150 MHz");
+  dphist::Run();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Google-benchmark microbenchmarks of the host-side building blocks:
+// how fast the simulation and the software baselines themselves run on
+// the host. These are not paper figures; they bound how large a
+// DPHIST_BENCH_SCALE the figure benches can handle and track regressions
+// in the hot loops.
+
+#include <benchmark/benchmark.h>
+
+#include "accel/accelerator.h"
+#include "accel/binner.h"
+#include "accel/parser.h"
+#include "accel/preprocessor.h"
+#include "common/random.h"
+#include "hist/builders.h"
+#include "hist/dense_reference.h"
+#include "hist/estimator.h"
+#include "hist/v_optimal.h"
+#include "sim/dram.h"
+#include "workload/distributions.h"
+#include "workload/tpch.h"
+
+namespace dphist {
+namespace {
+
+void BM_BinnerProcessValue(benchmark::State& state) {
+  accel::PreprocessorConfig prep_config;
+  prep_config.type = page::ColumnType::kInt64;
+  prep_config.min_value = 1;
+  prep_config.max_value = 1 << 16;
+  accel::Preprocessor prep = *accel::Preprocessor::Create(prep_config);
+  sim::Dram dram{sim::DramConfig{}};
+  dram.AllocateBins(prep.num_bins());
+  accel::Binner binner(accel::BinnerConfig{}, &prep, &dram);
+  auto stream = workload::ZipfColumn(1 << 16, 1 << 16, 0.5, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    binner.ProcessValue(stream[i]);
+    i = (i + 1) & ((1 << 16) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinnerProcessValue);
+
+void BM_ParserPage(benchmark::State& state) {
+  workload::LineitemOptions li;
+  li.scale_factor = 0.001;
+  page::TableFile table = workload::GenerateLineitem(li);
+  accel::Parser parser(table.schema(), workload::kLExtendedPrice);
+  std::vector<uint64_t> out;
+  size_t page = 0;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(
+        parser.ParsePage(table.PageBytes(page), &out));
+    page = (page + 1) % table.page_count();
+  }
+  state.SetBytesProcessed(state.iterations() * page::kPageSize);
+}
+BENCHMARK(BM_ParserPage);
+
+void BM_SoftwareEquiDepth(benchmark::State& state) {
+  auto column = workload::ZipfColumn(
+      static_cast<uint64_t>(state.range(0)), 4096, 0.8, 3);
+  hist::FrequencyVector freqs = hist::BuildFrequencyVector(column);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist::EquiDepthSparse(freqs, 254));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SoftwareEquiDepth)->Arg(100000)->Arg(1000000);
+
+void BM_SortAggregate(benchmark::State& state) {
+  auto column = workload::ZipfColumn(
+      static_cast<uint64_t>(state.range(0)), 1 << 20, 0.3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist::BuildFrequencyVector(column));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortAggregate)->Arg(100000)->Arg(1000000);
+
+void BM_VOptimalDp(benchmark::State& state) {
+  auto column = workload::ZipfColumn(
+      50000, static_cast<uint64_t>(state.range(0)), 0.7, 7);
+  auto dense = hist::BuildDenseCounts(column, 1, state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hist::VOptimalDense(dense, 32));
+  }
+}
+BENCHMARK(BM_VOptimalDp)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_EstimatorRange(benchmark::State& state) {
+  auto column = workload::ZipfColumn(200000, 4096, 0.8, 9);
+  auto dense = hist::BuildDenseCounts(column, 1, 4096);
+  hist::Histogram h = hist::CompressedDense(dense, 64, 16);
+  hist::Estimator estimator(&h);
+  Rng rng(11);
+  for (auto _ : state) {
+    int64_t a = rng.NextInRange(1, 4096);
+    int64_t b = rng.NextInRange(1, 4096);
+    if (a > b) std::swap(a, b);
+    benchmark::DoNotOptimize(estimator.EstimateRange(a, b));
+  }
+}
+BENCHMARK(BM_EstimatorRange);
+
+void BM_AcceleratorEndToEnd(benchmark::State& state) {
+  auto column = workload::ZipfColumn(
+      static_cast<uint64_t>(state.range(0)), 4096, 0.5, 13);
+  accel::AcceleratorConfig config;
+  accel::Accelerator accelerator(config);
+  accel::ScanRequest request;
+  request.min_value = 1;
+  request.max_value = 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        accelerator.ProcessValues(column, request, 8));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AcceleratorEndToEnd)->Arg(100000);
+
+}  // namespace
+}  // namespace dphist
+
+BENCHMARK_MAIN();

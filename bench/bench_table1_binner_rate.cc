@@ -1,0 +1,78 @@
+// Regenerates paper Table 1: "Measured and ideal performance of the
+// Binner module" — values/second for the cache-never-hit worst case, the
+// cache-always-hit best case, and the ideal pipeline, with the equivalent
+// table throughput for a 1-column table (4 B/row) and for the full TPC-H
+// lineitem (145 B/row).
+
+#include <cstdio>
+
+#include "accel/binner.h"
+#include "accel/preprocessor.h"
+#include "bench/bench_util.h"
+#include "sim/clock.h"
+#include "sim/dram.h"
+#include "workload/distributions.h"
+#include "workload/tpch.h"
+
+namespace dphist {
+namespace {
+
+double MeasureRate(bool ideal_memory, const std::vector<int64_t>& stream,
+                   int64_t max_value) {
+  accel::PreprocessorConfig prep_config;
+  prep_config.type = page::ColumnType::kInt64;
+  prep_config.min_value = 1;
+  prep_config.max_value = max_value;
+  accel::Preprocessor prep = *accel::Preprocessor::Create(prep_config);
+
+  sim::DramConfig dram_config;
+  if (ideal_memory) {
+    dram_config.random_interval_cycles = 0.01;
+    dram_config.near_interval_cycles = 0.01;
+  }
+  sim::Dram dram(dram_config);
+  dram.AllocateBins(prep.num_bins());
+  accel::Binner binner(accel::BinnerConfig{}, &prep, &dram);
+  for (int64_t v : stream) binner.ProcessValue(v);
+  return binner.Finish().ValuesPerSecond(sim::Clock());
+}
+
+void Run() {
+  const uint64_t rows = bench::Scaled(2000000);
+  constexpr int64_t kDomain = 1 << 20;
+
+  double worst = MeasureRate(
+      false, workload::CacheAdversarialColumn(rows, kDomain, 8), kDomain);
+  double best =
+      MeasureRate(false, workload::CacheFriendlyColumn(rows, 42), kDomain);
+  double ideal = MeasureRate(
+      true, workload::CacheAdversarialColumn(rows, kDomain, 8), kDomain);
+
+  bench::TablePrinter table(
+      {"Binner case", "values/s", "1-col (MB/s)", "lineitem (GB/s)"}, 20);
+  table.PrintHeader();
+  auto print = [&](const char* label, double rate) {
+    table.PrintRow({label, bench::TablePrinter::Fmt(rate / 1e6, "M"),
+                    bench::TablePrinter::Fmt(rate * 4 / 1e6),
+                    bench::TablePrinter::Fmt(
+                        rate * workload::kFullLineitemRowBytes / 1e9)});
+  };
+  print("Cache never hit", worst);
+  print("Cache always hit", best);
+  print("Pipeline (ideal)", ideal);
+  std::printf(
+      "\nPaper Table 1: worst 20M/s (80 MB/s, 2.9 GB/s); best 50M/s "
+      "(200 MB/s, 7.4 GB/s); ideal 75M/s (300 MB/s, 11.1 GB/s).\n");
+}
+
+}  // namespace
+}  // namespace dphist
+
+int main() {
+  dphist::bench::PrintBanner(
+      "bench_table1_binner_rate", "Table 1 (Binner module performance)",
+      "simulated device rates at 150 MHz; memory service intervals "
+      "calibrated in sim::DramConfig");
+  dphist::Run();
+  return 0;
+}

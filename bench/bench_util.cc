@@ -1,0 +1,70 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dphist::bench {
+
+double ScaleFactor() {
+  const char* env = std::getenv("DPHIST_BENCH_SCALE");
+  if (env == nullptr || *env == '\0') return 1.0;
+  double scale = std::atof(env);
+  return scale > 0 ? scale : 1.0;
+}
+
+uint64_t Scaled(uint64_t base) {
+  double scaled = static_cast<double>(base) * ScaleFactor();
+  return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+}
+
+void PrintBanner(const char* binary, const char* reproduces,
+                 const char* notes) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", binary);
+  std::printf("Reproduces: %s\n", reproduces);
+  if (notes != nullptr && *notes != '\0') std::printf("Notes: %s\n", notes);
+  std::printf("Scale: %.3gx of defaults (DPHIST_BENCH_SCALE; paper scale ~100)\n",
+              ScaleFactor());
+  std::printf("==============================================================\n");
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           int column_width)
+    : headers_(std::move(headers)), column_width_(column_width) {}
+
+void TablePrinter::PrintHeader() const {
+  for (const auto& h : headers_) {
+    std::printf("%-*s", column_width_, h.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    for (int c = 0; c < column_width_ - 1; ++c) std::printf("-");
+    std::printf(" ");
+  }
+  std::printf("\n");
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  for (const auto& cell : cells) {
+    std::printf("%-*s", column_width_, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string TablePrinter::Fmt(double v, const char* unit) {
+  char buf[64];
+  if (v != 0 && (v < 0.01 || v >= 100000)) {
+    std::snprintf(buf, sizeof(buf), "%.3g%s", v, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3f%s", v, unit);
+  }
+  return buf;
+}
+
+std::string TablePrinter::FmtInt(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace dphist::bench

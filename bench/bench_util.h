@@ -1,0 +1,46 @@
+#ifndef DPHIST_BENCH_BENCH_UTIL_H_
+#define DPHIST_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dphist::bench {
+
+/// Global size multiplier for every benchmark, read from the
+/// DPHIST_BENCH_SCALE environment variable (default 1.0). The default
+/// sizes are scaled down ~100x from the paper's testbed so the whole
+/// suite completes on one core; set DPHIST_BENCH_SCALE=100 to run at
+/// paper scale.
+double ScaleFactor();
+
+/// Applies the scale factor to a base row/bin count.
+uint64_t Scaled(uint64_t base);
+
+/// Prints the benchmark banner: which paper table/figure this binary
+/// regenerates and at what scale.
+void PrintBanner(const char* binary, const char* reproduces,
+                 const char* notes);
+
+/// Minimal fixed-width table printer for paper-style series output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers,
+                        int column_width = 14);
+
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+  /// Formats helpers.
+  static std::string Fmt(double v, const char* unit = "");
+  static std::string FmtInt(uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  int column_width_;
+};
+
+}  // namespace dphist::bench
+
+#endif  // DPHIST_BENCH_BENCH_UTIL_H_

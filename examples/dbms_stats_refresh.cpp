@@ -1,0 +1,98 @@
+// The paper's end-to-end story on the mini-DBMS: a table is updated, the
+// optimizer mis-plans on stale statistics, and a data-path scan refreshes
+// the histograms "for free", fixing the plan.
+//
+//   ./build/examples/dbms_stats_refresh
+
+#include <cstdio>
+
+#include "accel/accelerator.h"
+#include "db/catalog.h"
+#include "db/datapath.h"
+#include "db/planner.h"
+#include "workload/tpch.h"
+
+namespace {
+
+void RunAndReport(const dphist::db::Catalog& catalog, const char* label,
+                  const dphist::db::Q1Query& query) {
+  using namespace dphist;
+  auto plan = db::PlanQ1(catalog, "lineitem", "customer", query);
+  auto exec = db::ExecuteQ1(catalog, "lineitem", "customer", query,
+                            plan->join);
+  std::printf("%s\n  plan: %s\n", label, plan->explanation.c_str());
+  std::printf(
+      "  actual somelines=%llu, customers=%llu, groups=%llu; join time "
+      "%.3f ms\n\n",
+      (unsigned long long)exec->somelines_rows,
+      (unsigned long long)exec->customer_rows,
+      (unsigned long long)exec->result_groups, exec->join_seconds * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dphist;
+
+  // Register lineitem (SF ~0.013, 80k rows) and customer (30k rows).
+  db::Catalog catalog;
+  workload::LineitemOptions li;
+  li.scale_factor = 80000.0 / 6000000.0;
+  li.row_limit = 80000;
+  catalog.AddTable("lineitem", workload::GenerateLineitem(li));
+  workload::CustomerOptions cust;
+  cust.scale_factor = 0.2;
+  catalog.AddTable("customer", workload::GenerateCustomer(cust));
+
+  // The accelerator sits on the data path; every scan refreshes stats.
+  accel::Accelerator accelerator{accel::AcceleratorConfig{}};
+  db::DataPathScanner scanner(&catalog, &accelerator);
+
+  accel::ScanRequest price_request;
+  price_request.min_value = workload::kPriceScaledMin;
+  price_request.max_value = workload::kPriceScaledMax;
+  price_request.granularity = 100;  // one bin per currency unit
+  accel::ScanRequest custkey_request;
+  custkey_request.min_value = 1;
+  custkey_request.max_value = 30000;
+
+  std::printf("== Initial scans (statistics appear as a side effect) ==\n");
+  auto r1 = scanner.ScanAndRefresh("lineitem", workload::kLExtendedPrice,
+                                   price_request);
+  auto r2 = scanner.ScanAndRefresh("customer", workload::kCCustKey,
+                                   custkey_request);
+  if (!r1.ok() || !r2.ok()) return 1;
+  std::printf("lineitem scan: %.3f ms device time, stats fresh: %s\n\n",
+              r1->total_seconds * 1e3,
+              catalog.StatsFresh("lineitem", workload::kLExtendedPrice)
+                  ? "yes"
+                  : "no");
+
+  db::Q1Query query;
+  query.price_scaled = 200100;  // l_extendedprice = 2001.00
+  query.custkey_limit = 10000;
+  RunAndReport(catalog, "== Q1 on the original data ==", query);
+
+  // The update of Section 2: price 2001.00 now appears 16,000 times.
+  std::printf("== Updating lineitem: 16k rows now have price 2001.00 ==\n\n");
+  workload::LineitemOptions spiked = li;
+  spiked.price_spikes.push_back(workload::PriceSpike{200100, 16000});
+  auto entry = catalog.Find("lineitem");
+  *(*entry)->table = workload::GenerateLineitem(spiked);
+  (void)catalog.BumpDataVersion("lineitem");
+
+  RunAndReport(catalog,
+               "== Q1 with STALE statistics (no refresh happened) ==",
+               query);
+
+  std::printf(
+      "== Any full scan of lineitem refreshes the histogram for free ==\n");
+  auto r3 = scanner.ScanAndRefresh("lineitem", workload::kLExtendedPrice,
+                                   price_request);
+  if (!r3.ok()) return 1;
+  std::printf("refresh device time: %.3f ms (zero host CPU)\n\n",
+              r3->total_seconds * 1e3);
+
+  RunAndReport(catalog, "== Q1 with FRESH statistics ==", query);
+  return 0;
+}

@@ -1,0 +1,130 @@
+#ifndef DPHIST_ACCEL_ACCELERATOR_H_
+#define DPHIST_ACCEL_ACCELERATOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "accel/binner.h"
+#include "accel/block.h"
+#include "accel/config.h"
+#include "accel/histogram_module.h"
+#include "common/result.h"
+#include "hist/types.h"
+#include "page/table_file.h"
+#include "sim/dram.h"
+
+namespace dphist::accel {
+
+/// One histogram request, mirroring the metadata packet the host
+/// piggybacks on the read command (paper Section 4): which column, how
+/// value space maps to address space, and which statistics to produce.
+struct ScanRequest {
+  size_t column_index = 0;
+
+  /// Host-supplied domain metadata for the Preprocessor's value-to-
+  /// address translation (the catalog knows column bounds).
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  int64_t granularity = 1;
+
+  uint32_t num_buckets = 64;  ///< B, adjustable per request
+  uint32_t top_k = 64;        ///< T
+
+  bool want_topk = true;
+  bool want_equi_depth = true;
+  bool want_max_diff = true;
+  bool want_compressed = true;
+};
+
+/// All statistics produced by one pass, converted back to value space.
+struct HistogramSet {
+  std::vector<hist::ValueCount> top_k;
+  hist::Histogram equi_depth;
+  hist::Histogram max_diff;
+  hist::Histogram compressed;
+};
+
+/// Timing of a block on its result port, labelled.
+struct NamedBlockTiming {
+  std::string name;
+  BlockTiming timing;
+};
+
+/// Everything the host receives back: the histograms plus the simulated
+/// device-time breakdown.
+struct AcceleratorReport {
+  HistogramSet histograms;
+  uint64_t rows = 0;
+  uint64_t num_bins = 0;
+  uint64_t distinct_values = 0;  ///< non-zero bins (exact NDV per bin domain)
+
+  /// Cut-through: time for the table to stream over the input link.
+  double stream_seconds = 0;
+  /// Parser + Binner completion (last bin update retired).
+  double binner_finish_seconds = 0;
+  /// Histogram module completion (starts when the Binner finishes).
+  double histogram_finish_seconds = 0;
+  /// End-to-end device time: first byte sent until last result byte
+  /// received (the paper's FPGA runtime definition, Section 6.2).
+  double total_seconds = 0;
+  /// Latency the accelerator adds to the cut-through data path
+  /// (Splitter + I/O logic; nanoseconds).
+  double added_latency_ns = 0;
+
+  BinnerReport binner;
+  ModuleReport module;
+  std::vector<NamedBlockTiming> block_timings;
+  sim::DramStats dram_stats;
+  /// Pages the Parser had to skip. A device in the data path must never
+  /// abort the wire: corrupt pages pass through on the cut-through path
+  /// untouched and are merely excluded from the statistics.
+  uint64_t corrupt_pages = 0;
+};
+
+/// The complete in-datapath statistics accelerator (Figure 9): Splitter ->
+/// Parser -> Binner -> DRAM -> Scanner -> statistic-block chain. One
+/// instance owns one simulated device (DRAM included) and processes one
+/// scan at a time.
+class Accelerator {
+ public:
+  explicit Accelerator(const AcceleratorConfig& config);
+
+  const AcceleratorConfig& config() const { return config_; }
+
+  /// Computes histograms on one column of a sealed table as a side effect
+  /// of streaming its pages. This is the primary entry point.
+  Result<AcceleratorReport> ProcessTable(const page::TableFile& table,
+                                         const ScanRequest& request);
+
+  /// Streaming entry point: processes an arbitrary page stream (what the
+  /// Splitter taps off the wire). Corrupt pages are skipped — they still
+  /// flow to the host on the cut-through path — and counted in the
+  /// report.
+  Result<AcceleratorReport> ProcessPages(
+      std::span<const std::span<const uint8_t>> pages,
+      const page::Schema& schema, const ScanRequest& request);
+
+  /// Bypasses the Parser and feeds decoded values directly; used for
+  /// synthetic column feeds and micro-benchmarks. `bytes_per_value` sets
+  /// the modelled wire cost of each value on the input link (e.g., the
+  /// full row width when the column rides inside wide rows).
+  Result<AcceleratorReport> ProcessValues(std::span<const int64_t> values,
+                                          const ScanRequest& request,
+                                          uint64_t bytes_per_value);
+
+ private:
+  Result<AcceleratorReport> Run(
+      std::span<const int64_t>* direct_values,
+      std::span<const std::span<const uint8_t>> pages,
+      const page::Schema* schema, const ScanRequest& request,
+      uint64_t bytes_per_value);
+
+  AcceleratorConfig config_;
+  sim::Dram dram_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_ACCELERATOR_H_

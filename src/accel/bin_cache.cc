@@ -1,0 +1,31 @@
+#include "accel/bin_cache.h"
+
+namespace dphist::accel {
+
+bool BinCache::LookupAndTouch(uint64_t line) {
+  ++tick_;
+  for (auto& entry : entries_) {
+    if (entry.line == line) {
+      entry.last_use = tick_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  return false;
+}
+
+void BinCache::Insert(uint64_t line) {
+  ++tick_;
+  if (entries_.size() < capacity_lines_) {
+    entries_.push_back(Entry{line, tick_});
+    return;
+  }
+  size_t victim = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].last_use < entries_[victim].last_use) victim = i;
+  }
+  entries_[victim] = Entry{line, tick_};
+}
+
+}  // namespace dphist::accel

@@ -1,0 +1,65 @@
+#ifndef DPHIST_ACCEL_BIN_CACHE_H_
+#define DPHIST_ACCEL_BIN_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+/// The Binner's small on-chip write-through cache (paper Section 5.1.3).
+/// It holds the memory lines of items currently in flight in the pipeline
+/// so that a bin updated by one item can be forwarded to a following item
+/// referencing the same line without waiting for the off-chip write —
+/// eliminating read-after-write stalls and making Binner throughput
+/// independent of data skew.
+///
+/// Modelled as a fully associative LRU array over line indices (the
+/// hardware uses a BRAM indexed through a lookup table of in-flight
+/// addresses; associativity at 16 entries is realistic for an FPGA CAM).
+/// Functional bin contents live in the DRAM model; the cache determines
+/// timing (hit => no off-chip read) and records hit statistics.
+class BinCache {
+ public:
+  /// \param cache_bytes total capacity; line count = cache_bytes / line_bytes.
+  BinCache(uint64_t cache_bytes, uint64_t line_bytes)
+      : capacity_lines_(cache_bytes / line_bytes) {
+    DPHIST_CHECK_GT(capacity_lines_, 0u);
+    entries_.reserve(capacity_lines_);
+  }
+
+  uint64_t capacity_lines() const { return capacity_lines_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  /// Looks up `line`; on hit refreshes its recency. Records statistics.
+  bool LookupAndTouch(uint64_t line);
+
+  /// Inserts `line` (after a miss), evicting the least recently used
+  /// entry when full.
+  void Insert(uint64_t line);
+
+  void Reset() {
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+    tick_ = 0;
+  }
+
+ private:
+  struct Entry {
+    uint64_t line;
+    uint64_t last_use;
+  };
+
+  uint64_t capacity_lines_;
+  std::vector<Entry> entries_;  // small (16): linear scan beats a map
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_BIN_CACHE_H_

@@ -1,0 +1,132 @@
+#include "accel/binner.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+Binner::Binner(const BinnerConfig& config, const Preprocessor* prep,
+               sim::Dram* dram)
+    : config_(config),
+      prep_(prep),
+      dram_(dram),
+      cache_(config.cache_bytes, dram->config().line_bytes) {
+  DPHIST_CHECK_GE(dram->allocated_bins(), prep->num_bins());
+}
+
+void Binner::DrainWritesUpTo(double now) {
+  while (!pending_writes_.empty() &&
+         pending_writes_.front().request_cycle <= now) {
+    PendingWrite w = pending_writes_.front();
+    pending_writes_.pop_front();
+    dram_->IssueWrite(w.request_cycle, w.bin);
+  }
+}
+
+void Binner::ProcessValue(int64_t value) {
+  const uint64_t bin = prep_->BinOf(value);
+  const uint64_t line = dram_->LineOfBin(bin);
+
+  // Arrival: the value cannot issue before the link delivers its row.
+  double arrival =
+      static_cast<double>(total_items_) * input_interval_cycles_;
+  double issue = std::max(next_issue_cycle_, arrival);
+
+  // Bounded address FIFO between READ and UPDATE: when full, issuing
+  // stalls until the oldest in-flight item retires (in-order).
+  while (!in_flight_.empty() && in_flight_.front() <= issue) {
+    in_flight_.pop_front();
+  }
+  if (in_flight_.size() >= config_.address_fifo_capacity) {
+    issue = std::max(issue, in_flight_.front());
+    while (!in_flight_.empty() && in_flight_.front() <= issue) {
+      in_flight_.pop_front();
+    }
+  }
+
+  // Bounded write buffer: when full, the oldest buffered write must be
+  // forced onto the port before a new item may enter the pipeline.
+  while (pending_writes_.size() >= config_.address_fifo_capacity) {
+    PendingWrite w = pending_writes_.front();
+    pending_writes_.pop_front();
+    double start = dram_->IssueWrite(w.request_cycle, w.bin);
+    issue = std::max(issue, start);
+  }
+
+  const double after_preprocess = issue + config_.preprocess_latency_cycles;
+
+  double data_ready;
+  if (config_.cache_enabled) {
+    if (cache_.LookupAndTouch(line)) {
+      // Freshest bin value forwarded on-chip; no off-chip read.
+      data_ready = after_preprocess;
+    } else {
+      DrainWritesUpTo(after_preprocess);
+      data_ready = dram_->IssueRead(after_preprocess, bin);
+      cache_.Insert(line);
+    }
+  } else {
+    // Stall-on-hazard baseline: a read of a line with an outstanding
+    // update must wait until that write reaches memory (Section 5.1.3).
+    double read_request = after_preprocess;
+    auto it = line_retire_.find(line);
+    if (it != line_retire_.end() && it->second > read_request) {
+      hazard_stall_cycles_ +=
+          static_cast<uint64_t>(it->second - read_request);
+      read_request = it->second;
+    }
+    DrainWritesUpTo(read_request);
+    data_ready = dram_->IssueRead(read_request, bin);
+  }
+
+  const double update_done = data_ready + config_.update_latency_cycles;
+  // The WRITE stage requests a port slot once the update completes; it is
+  // buffered and interleaves with later reads in request-time order.
+  pending_writes_.push_back(PendingWrite{update_done, bin});
+
+  // Functional effect: the UPDATE stage increments the bin.
+  dram_->WriteBin(bin, dram_->ReadBin(bin) + 1);
+
+  next_issue_cycle_ = issue + config_.issue_interval_cycles;
+  // In-order retirement: an item cannot leave the FIFO before its
+  // predecessors.
+  double retire = std::max(update_done, last_update_cycle_);
+  last_update_cycle_ = retire;
+  in_flight_.push_back(retire);
+  if (!config_.cache_enabled) {
+    // Estimated time the write-back lands in memory.
+    line_retire_[line] =
+        update_done + dram_->config().near_interval_cycles;
+  }
+  ++total_items_;
+}
+
+BinnerReport Binner::Finish() {
+  // Drain the write buffer onto the port.
+  while (!pending_writes_.empty()) {
+    PendingWrite w = pending_writes_.front();
+    pending_writes_.pop_front();
+    dram_->IssueWrite(w.request_cycle, w.bin);
+  }
+  BinnerReport report;
+  report.total_items = total_items_;
+  report.finish_cycle = std::max(last_update_cycle_, dram_->port_free_at());
+  report.cache_hits = cache_.hits();
+  report.cache_misses = cache_.misses();
+  report.hazard_stall_cycles = hazard_stall_cycles_;
+  return report;
+}
+
+void Binner::Reset() {
+  cache_.Reset();
+  next_issue_cycle_ = 0.0;
+  last_update_cycle_ = 0.0;
+  total_items_ = 0;
+  hazard_stall_cycles_ = 0;
+  in_flight_.clear();
+  pending_writes_.clear();
+  line_retire_.clear();
+}
+
+}  // namespace dphist::accel

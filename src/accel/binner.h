@@ -1,0 +1,121 @@
+#ifndef DPHIST_ACCEL_BINNER_H_
+#define DPHIST_ACCEL_BINNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "accel/bin_cache.h"
+#include "accel/config.h"
+#include "accel/preprocessor.h"
+#include "sim/clock.h"
+#include "sim/dram.h"
+
+namespace dphist::accel {
+
+/// Result of a completed binning pass.
+struct BinnerReport {
+  uint64_t total_items = 0;       ///< values binned (sent to Histogram module)
+  double finish_cycle = 0;        ///< cycle at which the last write retired
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t hazard_stall_cycles = 0;  ///< only non-zero with the cache disabled
+
+  /// Sustained throughput in values per second given the clock.
+  double ValuesPerSecond(const sim::Clock& clock) const {
+    if (finish_cycle <= 0) return 0.0;
+    return static_cast<double>(total_items) /
+           clock.CyclesToSeconds(finish_cycle);
+  }
+};
+
+/// The Binner module (paper Section 5.1): bin-sorts a column into DRAM via
+/// the PREPROCESS -> READ -> UPDATE -> WRITE pipeline. Functionally it
+/// increments one 64-bit counter per value; its timing is simulated with
+/// an event-advance model (O(1) amortized host work per value) that
+/// reproduces:
+///
+///  * the pipeline issue bound (issue_interval_cycles per value),
+///  * the DRAM service bound: each miss costs a random-access read plus a
+///    write; each cache hit costs only the write-through write. Reads and
+///    writes interleave on the memory port in request-time order — writes
+///    are buffered in a bounded write queue and drained ahead of later
+///    reads, exactly as the decoupled WRITE stage does in hardware. This
+///    yields Table 1's split: 2 random ops = 7.5 cycles -> 20 M/s worst;
+///    same-line writes only = 3 cycles -> 50 M/s best; 2-cycle issue
+///    bound -> 75 M/s ideal.
+///  * the bounded address FIFO between READ and UPDATE (in-order
+///    retirement),
+///  * read-after-write hazards: with the cache enabled they cost nothing
+///    (write-through forwarding); disabled, a read of a line with an
+///    outstanding update stalls until that update's write is estimated to
+///    have reached memory (Section 5.1.3's rejected baseline, kept for
+///    the ablation benchmark),
+///  * an optional input arrival bound (values cannot be consumed faster
+///    than the storage link delivers rows).
+class Binner {
+ public:
+  /// \param config  pipeline parameters
+  /// \param prep    value -> bin translation (owned by caller)
+  /// \param dram    backing DRAM model (owned by caller); the caller must
+  ///                have allocated at least prep->num_bins() bins
+  Binner(const BinnerConfig& config, const Preprocessor* prep,
+         sim::Dram* dram);
+
+  /// Sets the minimum cycles between consecutive input values as imposed
+  /// by the delivery medium (0 = input always available).
+  void set_input_interval_cycles(double cycles) {
+    input_interval_cycles_ = cycles;
+  }
+
+  /// Consumes one raw column field (Parser output).
+  void ProcessRaw(uint64_t raw) { ProcessValue(prep_->DecodeRaw(raw)); }
+
+  /// Consumes one decoded logical value.
+  void ProcessValue(int64_t value);
+
+  /// Completes the pass: drains the pipeline and write buffer and returns
+  /// the report. The Binner hands `total_items` to the Histogram module,
+  /// as the hardware does when the last item reaches the WRITE stage.
+  BinnerReport Finish();
+
+  /// Re-arms for a new pass (zeroing DRAM bins is the caller's job).
+  void Reset();
+
+ private:
+  struct PendingWrite {
+    double request_cycle;
+    uint64_t bin;
+  };
+
+  /// Issues buffered writes whose request time is at or before `now`.
+  void DrainWritesUpTo(double now);
+
+  BinnerConfig config_;
+  const Preprocessor* prep_;
+  sim::Dram* dram_;
+  BinCache cache_;
+
+  double input_interval_cycles_ = 0.0;
+  double next_issue_cycle_ = 0.0;
+  double last_update_cycle_ = 0.0;
+  uint64_t total_items_ = 0;
+  uint64_t hazard_stall_cycles_ = 0;
+
+  /// In-order retirement times (running max of update completions) of
+  /// in-flight items; bounds occupancy by the address FIFO capacity.
+  std::deque<double> in_flight_;
+
+  /// Write-through writes awaiting a port slot (bounded by
+  /// config_.address_fifo_capacity as well — one buffered write per
+  /// in-flight item in hardware).
+  std::deque<PendingWrite> pending_writes_;
+
+  /// Estimated write-retirement time per line; used for hazard detection
+  /// when the cache is disabled.
+  std::unordered_map<uint64_t, double> line_retire_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_BINNER_H_

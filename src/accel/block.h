@@ -1,0 +1,86 @@
+#ifndef DPHIST_ACCEL_BLOCK_H_
+#define DPHIST_ACCEL_BLOCK_H_
+
+#include <cstdint>
+
+namespace dphist::accel {
+
+/// One element of the bin stream the Scanner feeds through the daisy
+/// chain: the bin's index in the binned representation and its count.
+struct BinStreamItem {
+  uint64_t bin = 0;
+  uint64_t count = 0;
+};
+
+/// Per-scan context handed to every block (paper Section 5.2: the Binner
+/// provides the total item count when it finishes; the scan number lets
+/// two-pass blocks distinguish their phases).
+struct ScanContext {
+  uint64_t num_bins = 0;     ///< Delta: bins to be streamed
+  uint64_t total_count = 0;  ///< total rows binned
+  uint32_t scan_number = 0;  ///< 0-based
+};
+
+/// A bucket in bin-index space as emitted on a block's result port. The
+/// Accelerator converts bin indices back to column values through the
+/// Preprocessor mapping.
+struct BinBucket {
+  uint64_t lo_bin = 0;
+  uint64_t hi_bin = 0;
+  uint64_t count = 0;
+  uint64_t distinct = 0;  ///< non-zero bins covered
+
+  friend bool operator==(const BinBucket&, const BinBucket&) = default;
+};
+
+/// Timing observed on a block's result port, in absolute simulated cycles.
+struct BlockTiming {
+  double first_result_cycle = -1.0;
+  double last_result_cycle = -1.0;
+  uint64_t result_bytes = 0;
+  uint32_t scans_used = 0;
+};
+
+/// Interface of a statistic block in the Histogram module's daisy chain
+/// (Figure 11). Blocks always relay the bin stream unchanged to their
+/// successor; they differ in the statistics they accumulate, in how many
+/// cycles an item occupies them (1 or 2), and in whether they ask the
+/// Scanner for another pass over the bins (the `repeat` channel).
+class StatBlock {
+ public:
+  virtual ~StatBlock() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Called at the start of every scan, whether or not the block still
+  /// needs one; a finished block simply relays.
+  virtual void StartScan(const ScanContext& context) = 0;
+
+  /// Processes one bin at simulated time `now`; returns the cycles the
+  /// item occupies this block (the chain advances at the maximum over
+  /// blocks, modelling lockstep backpressure).
+  virtual uint32_t ProcessBin(const BinStreamItem& item, double now) = 0;
+
+  /// Called after the last bin of a scan at time `now`; returns extra
+  /// drain cycles the block needs (e.g., shifting out the TopK list).
+  virtual double EndScan(double now) = 0;
+
+  /// True if the block needs the Scanner to stream the bins again.
+  virtual bool NeedsAnotherScan() const = 0;
+
+  const BlockTiming& timing() const { return timing_; }
+
+ protected:
+  /// Records `bytes` of result emitted at time `now`.
+  void RecordResult(double now, uint64_t bytes) {
+    if (timing_.first_result_cycle < 0) timing_.first_result_cycle = now;
+    timing_.last_result_cycle = now;
+    timing_.result_bytes += bytes;
+  }
+
+  BlockTiming timing_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_BLOCK_H_

@@ -1,0 +1,282 @@
+#include "accel/blocks.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+// ---------------------------------------------------------------------------
+// SortedTopList
+
+bool SortedTopList::Offer(uint64_t key, uint64_t payload) {
+  if (capacity_ == 0) return false;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(Entry{key, payload});
+    return true;
+  }
+  // Find the eviction candidate: smallest key; among equal keys the
+  // largest payload (the latest arrival sits at the tail of the hardware
+  // list and falls off first).
+  size_t victim = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].key < entries_[victim].key ||
+        (entries_[i].key == entries_[victim].key &&
+         entries_[i].payload > entries_[victim].payload)) {
+      victim = i;
+    }
+  }
+  if (key > entries_[victim].key) {  // strictly larger: ties never displace
+    entries_[victim] = Entry{key, payload};
+    return true;
+  }
+  return false;
+}
+
+std::vector<SortedTopList::Entry> SortedTopList::Sorted() const {
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(), [](const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key > b.key;
+    return a.payload < b.payload;
+  });
+  return sorted;
+}
+
+// ---------------------------------------------------------------------------
+// TopKBlock
+
+void TopKBlock::StartScan(const ScanContext& context) {
+  active_ = context.scan_number == 0;
+  if (active_) {
+    list_.Clear();
+    result_.clear();
+  }
+}
+
+uint32_t TopKBlock::ProcessBin(const BinStreamItem& item, double /*now*/) {
+  if (!active_ || item.count == 0) return 1;
+  // Every non-zero item interacts with the pipelined insertion-sort list
+  // and occupies the block for two cycles (Section 6.3: "depending on
+  // the contents of the top-list, it can take two cycles to process a
+  // single input item" — Figure 22 shows TopK ~2x Equi-depth).
+  list_.Offer(item.count, item.bin);
+  return 2;
+}
+
+double TopKBlock::EndScan(double now) {
+  if (!active_) return 0.0;
+  active_ = false;
+  ++timing_.scans_used;
+  result_ = list_.Sorted();
+  // The list shifts out one entry per two cycles (2T drain, Table 2).
+  double drain = 2.0 * static_cast<double>(result_.size());
+  RecordResult(now, 0);
+  RecordResult(now + drain, result_.size() * 8);
+  return drain;
+}
+
+// ---------------------------------------------------------------------------
+// EquiDepthBlock
+
+void EquiDepthBlock::StartScan(const ScanContext& context) {
+  active_ = context.scan_number == 0;
+  if (active_) {
+    DPHIST_CHECK_GT(num_buckets_, 0u);
+    limit_ = std::max<uint64_t>(1, context.total_count / num_buckets_);
+    sum_ = 0;
+    distinct_ = 0;
+    start_bin_ = 0;
+    last_bin_ = 0;
+    result_.clear();
+  }
+}
+
+uint32_t EquiDepthBlock::ProcessBin(const BinStreamItem& item, double now) {
+  if (!active_) return 1;
+  // Bins stream densely from 0, so the current bucket always starts at
+  // start_bin_ (0 initially, previous close + 1 afterwards).
+  sum_ += item.count;
+  distinct_ += (item.count != 0);
+  last_bin_ = item.bin;
+  if (sum_ >= limit_) {
+    result_.push_back(BinBucket{start_bin_, item.bin, sum_, distinct_});
+    RecordResult(now, 8);
+    sum_ = 0;
+    distinct_ = 0;
+    start_bin_ = item.bin + 1;
+  }
+  return 1;
+}
+
+double EquiDepthBlock::EndScan(double now) {
+  if (!active_) return 0.0;
+  active_ = false;
+  ++timing_.scans_used;
+  if (sum_ > 0) {
+    result_.push_back(BinBucket{start_bin_, last_bin_, sum_, distinct_});
+    RecordResult(now, 8);
+  }
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// MaxDiffBlock
+
+void MaxDiffBlock::StartScan(const ScanContext& context) {
+  current_scan_ = context.scan_number;
+  DPHIST_CHECK_GT(num_buckets_, 0u);
+  if (current_scan_ == 0) {
+    active_ = true;
+    diff_list_.Clear();
+    have_prev_ = false;
+    prev_count_ = 0;
+    scans_done_ = 0;
+    result_.clear();
+  } else if (current_scan_ == 1 && scans_done_ == 1) {
+    active_ = true;
+    boundaries_.clear();
+    for (const auto& entry : diff_list_.Sorted()) {
+      boundaries_.insert(entry.payload);
+    }
+    sum_ = 0;
+    distinct_ = 0;
+    open_ = false;
+  } else {
+    active_ = false;
+  }
+}
+
+void MaxDiffBlock::EmitSegment(double now) {
+  if (open_ && sum_ > 0) {
+    result_.push_back(BinBucket{start_bin_, last_bin_, sum_, distinct_});
+    RecordResult(now, 8);
+  }
+  sum_ = 0;
+  distinct_ = 0;
+  open_ = false;
+}
+
+uint32_t MaxDiffBlock::ProcessBin(const BinStreamItem& item, double now) {
+  if (!active_) return 1;
+  if (current_scan_ == 0) {
+    // Subtract front end feeding the modified TopK list with the
+    // difference between consecutive bins.
+    uint32_t cost = 1;
+    if (have_prev_) {
+      uint64_t diff = item.count > prev_count_ ? item.count - prev_count_
+                                               : prev_count_ - item.count;
+      if (diff > 0) {
+        diff_list_.Offer(diff, item.bin);
+        cost = 2;  // non-zero differences interact with the list
+      }
+    }
+    prev_count_ = item.count;
+    have_prev_ = true;
+    return cost;
+  }
+  // Scan 2: flagged bins open a new bucket.
+  if (boundaries_.contains(item.bin)) EmitSegment(now);
+  if (!open_) {
+    start_bin_ = item.bin;
+    open_ = true;
+  }
+  sum_ += item.count;
+  distinct_ += (item.count != 0);
+  last_bin_ = item.bin;
+  return 1;
+}
+
+double MaxDiffBlock::EndScan(double now) {
+  if (!active_) return 0.0;
+  active_ = false;
+  ++timing_.scans_used;
+  if (current_scan_ == 0) {
+    scans_done_ = 1;
+    // The boundary list is finalized by draining it internally (2B).
+    return 2.0 * static_cast<double>(diff_list_.size());
+  }
+  scans_done_ = 2;
+  EmitSegment(now);
+  return 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// CompressedBlock
+
+void CompressedBlock::StartScan(const ScanContext& context) {
+  current_scan_ = context.scan_number;
+  DPHIST_CHECK_GT(num_buckets_, 0u);
+  if (current_scan_ == 0) {
+    active_ = true;
+    top_list_.Clear();
+    singletons_.clear();
+    excluded_bins_.clear();
+    scans_done_ = 0;
+    result_.clear();
+  } else if (current_scan_ == 1 && scans_done_ == 1) {
+    active_ = true;
+    uint64_t singleton_rows = 0;
+    for (const auto& s : singletons_) singleton_rows += s.key;
+    uint64_t remaining = context.total_count - singleton_rows;
+    limit_ = remaining == 0
+                 ? 0
+                 : std::max<uint64_t>(1, remaining / num_buckets_);
+    sum_ = 0;
+    distinct_ = 0;
+    open_ = false;
+  } else {
+    active_ = false;
+  }
+}
+
+uint32_t CompressedBlock::ProcessBin(const BinStreamItem& item, double now) {
+  if (!active_) return 1;
+  if (current_scan_ == 0) {
+    if (item.count == 0) return 1;
+    top_list_.Offer(item.count, item.bin);
+    return 2;  // same list interaction cost as the TopK block
+  }
+  // Scan 2: singleton bins are flagged invalid; the rest feed the
+  // equi-depth back end.
+  if (limit_ == 0) return 1;
+  if (!open_) {
+    start_bin_ = item.bin;
+    open_ = true;
+  }
+  if (!excluded_bins_.contains(item.bin)) {
+    sum_ += item.count;
+    distinct_ += (item.count != 0);
+  }
+  last_bin_ = item.bin;
+  if (sum_ >= limit_) {
+    result_.push_back(BinBucket{start_bin_, item.bin, sum_, distinct_});
+    RecordResult(now, 8);
+    sum_ = 0;
+    distinct_ = 0;
+    open_ = false;
+  }
+  return 1;
+}
+
+double CompressedBlock::EndScan(double now) {
+  if (!active_) return 0.0;
+  active_ = false;
+  ++timing_.scans_used;
+  if (current_scan_ == 0) {
+    scans_done_ = 1;
+    singletons_ = top_list_.Sorted();
+    for (const auto& s : singletons_) excluded_bins_.insert(s.payload);
+    double drain = 2.0 * static_cast<double>(singletons_.size());
+    RecordResult(now, 0);
+    RecordResult(now + drain, singletons_.size() * 8);
+    return drain;
+  }
+  scans_done_ = 2;
+  if (open_ && sum_ > 0) {
+    result_.push_back(BinBucket{start_bin_, last_bin_, sum_, distinct_});
+    RecordResult(now, 8);
+  }
+  return 0.0;
+}
+
+}  // namespace dphist::accel

@@ -1,0 +1,171 @@
+#ifndef DPHIST_ACCEL_BLOCKS_H_
+#define DPHIST_ACCEL_BLOCKS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "accel/block.h"
+#include "hist/types.h"
+
+namespace dphist::accel {
+
+/// Pipelined insertion-sort list used by the TopK block and, with the
+/// subtract front end, by the Max-diff block (Figure 12). An incoming
+/// element displaces a stored one only when strictly larger, so among
+/// equal keys the earlier arrival wins — the tie-breaking the dense
+/// reference in src/hist mirrors.
+class SortedTopList {
+ public:
+  struct Entry {
+    uint64_t key = 0;      ///< count (TopK) or difference (Max-diff)
+    uint64_t payload = 0;  ///< bin index
+  };
+
+  explicit SortedTopList(uint32_t capacity) : capacity_(capacity) {}
+
+  /// Offers an element; returns true if it entered the list (which costs
+  /// the hardware an extra cycle).
+  bool Offer(uint64_t key, uint64_t payload);
+
+  /// Entries ordered by (key desc, payload asc).
+  std::vector<Entry> Sorted() const;
+
+  void Clear() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+  uint32_t capacity() const { return capacity_; }
+
+ private:
+  uint32_t capacity_;
+  std::vector<Entry> entries_;  // unordered; capacity <= a few hundred
+};
+
+/// TopK statistic block: maintains the K most frequent values in one scan
+/// (Section 5.2.1).
+class TopKBlock : public StatBlock {
+ public:
+  explicit TopKBlock(uint32_t k) : list_(k) {}
+
+  const char* name() const override { return "TopK"; }
+  void StartScan(const ScanContext& context) override;
+  uint32_t ProcessBin(const BinStreamItem& item, double now) override;
+  double EndScan(double now) override;
+  bool NeedsAnotherScan() const override { return false; }
+
+  /// Result: (bin, count) entries ordered by count desc.
+  const std::vector<SortedTopList::Entry>& result() const { return result_; }
+
+ private:
+  SortedTopList list_;
+  std::vector<SortedTopList::Entry> result_;
+  bool active_ = false;
+};
+
+/// Equi-depth statistic block (Section 5.2.1): one scan, one cycle per
+/// bin; emits a bucket whenever the running sum reaches total/B. Oracle
+/// hybrid semantics — a value's occurrences are never split.
+class EquiDepthBlock : public StatBlock {
+ public:
+  explicit EquiDepthBlock(uint32_t num_buckets)
+      : num_buckets_(num_buckets) {}
+
+  const char* name() const override { return "Equi-depth"; }
+  void StartScan(const ScanContext& context) override;
+  uint32_t ProcessBin(const BinStreamItem& item, double now) override;
+  double EndScan(double now) override;
+  bool NeedsAnotherScan() const override { return false; }
+
+  const std::vector<BinBucket>& result() const { return result_; }
+
+ private:
+  uint32_t num_buckets_;
+  bool active_ = false;
+  uint64_t limit_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t distinct_ = 0;
+  uint64_t start_bin_ = 0;
+  uint64_t last_bin_ = 0;
+  std::vector<BinBucket> result_;
+};
+
+/// Max-diff composite block (Section 5.2.2, Figure 13): scan 1 feeds the
+/// absolute difference between consecutive bins into a modified TopK list
+/// of B-1 boundaries; scan 2 cuts buckets at the flagged bins with a
+/// modified equi-depth back end.
+class MaxDiffBlock : public StatBlock {
+ public:
+  explicit MaxDiffBlock(uint32_t num_buckets)
+      : num_buckets_(num_buckets), diff_list_(num_buckets - 1) {}
+
+  const char* name() const override { return "Max-diff"; }
+  void StartScan(const ScanContext& context) override;
+  uint32_t ProcessBin(const BinStreamItem& item, double now) override;
+  double EndScan(double now) override;
+  bool NeedsAnotherScan() const override { return scans_done_ == 1; }
+
+  const std::vector<BinBucket>& result() const { return result_; }
+
+ private:
+  void EmitSegment(double now);
+
+  uint32_t num_buckets_;
+  SortedTopList diff_list_;
+  uint32_t scans_done_ = 0;
+  uint32_t current_scan_ = 0;
+  bool active_ = false;
+
+  // Scan-1 state.
+  uint64_t prev_count_ = 0;
+  bool have_prev_ = false;
+
+  // Scan-2 state.
+  std::unordered_set<uint64_t> boundaries_;
+  uint64_t sum_ = 0;
+  uint64_t distinct_ = 0;
+  uint64_t start_bin_ = 0;
+  uint64_t last_bin_ = 0;
+  bool open_ = false;
+  std::vector<BinBucket> result_;
+};
+
+/// Compressed-histogram composite block (Section 5.2.2, Figure 14):
+/// scan 1 collects the T most frequent values; scan 2 filters them out and
+/// equi-depth-buckets the remainder.
+class CompressedBlock : public StatBlock {
+ public:
+  CompressedBlock(uint32_t num_buckets, uint32_t top_k)
+      : num_buckets_(num_buckets), top_list_(top_k) {}
+
+  const char* name() const override { return "Compressed"; }
+  void StartScan(const ScanContext& context) override;
+  uint32_t ProcessBin(const BinStreamItem& item, double now) override;
+  double EndScan(double now) override;
+  bool NeedsAnotherScan() const override { return scans_done_ == 1; }
+
+  /// Exactly counted frequent values, ordered by count desc.
+  const std::vector<SortedTopList::Entry>& singletons() const {
+    return singletons_;
+  }
+  const std::vector<BinBucket>& result() const { return result_; }
+
+ private:
+  uint32_t num_buckets_;
+  SortedTopList top_list_;
+  uint32_t scans_done_ = 0;
+  uint32_t current_scan_ = 0;
+  bool active_ = false;
+
+  std::vector<SortedTopList::Entry> singletons_;
+  std::unordered_set<uint64_t> excluded_bins_;
+  uint64_t limit_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t distinct_ = 0;
+  uint64_t start_bin_ = 0;
+  uint64_t last_bin_ = 0;
+  bool open_ = false;
+  std::vector<BinBucket> result_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_BLOCKS_H_

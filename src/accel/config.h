@@ -1,0 +1,68 @@
+#ifndef DPHIST_ACCEL_CONFIG_H_
+#define DPHIST_ACCEL_CONFIG_H_
+
+#include <cstdint>
+
+#include "sim/clock.h"
+#include "sim/dram.h"
+#include "sim/link.h"
+
+namespace dphist::accel {
+
+/// Timing/structure parameters of the Binner pipeline (paper Section 5.1).
+struct BinnerConfig {
+  /// Minimum cycles between issuing consecutive items into the pipeline.
+  /// 2 cycles at 150 MHz bounds the ideal pipeline at 75 M values/s
+  /// (Table 1, "Pipeline (Ideal)").
+  double issue_interval_cycles = 2.0;
+
+  /// Latency of the PREPROCESS stage (value -> bin address).
+  double preprocess_latency_cycles = 1.0;
+
+  /// Latency of the UPDATE stage (increment within a memory line).
+  double update_latency_cycles = 1.0;
+
+  /// Capacity of the logical-address FIFO between the READ and UPDATE
+  /// stages; bounds the number of outstanding memory reads.
+  uint32_t address_fifo_capacity = 32;
+
+  /// Size of the on-chip write-through cache (Section 5.1.3). 1 KB of
+  /// BRAM = 16 lines of 64 B; sized to cover the items that can arrive
+  /// within one memory round trip.
+  uint64_t cache_bytes = 1024;
+
+  /// Disabling the cache reverts to the stall-on-hazard baseline the
+  /// paper rejects, where skewed inputs serialize on memory latency.
+  bool cache_enabled = true;
+};
+
+/// Parameters of the Histogram module and its statistic blocks.
+struct HistogramModuleConfig {
+  uint32_t top_k = 64;        ///< T: TopK list length (synthesized at 64)
+  uint32_t num_buckets = 64;  ///< B: buckets for ED / Max-diff / Compressed
+  /// Pass-through latency added by each block in the daisy chain
+  /// (Section 6.3: 2 cycles per block).
+  double block_passthrough_cycles = 2.0;
+};
+
+/// Complete configuration of the simulated statistics accelerator,
+/// defaulting to the paper's Maxeler/Virtex-6 prototype.
+struct AcceleratorConfig {
+  sim::Clock clock{sim::Clock::kDefaultFrequencyHz};  // 150 MHz
+  sim::DramConfig dram;
+  BinnerConfig binner;
+  HistogramModuleConfig histogram;
+  sim::Link input_link = sim::Link::PcieGen1x8();
+
+  /// Latency of the Parser FSM from first byte to first extracted value.
+  /// The paper bounds this conservatively below 2 us for all source types.
+  double parser_latency_cycles = 300.0;  // 2 us at 150 MHz
+
+  /// Latency of the Splitter on the cut-through path (nanoseconds; the
+  /// paper states "in the order of nanoseconds").
+  double splitter_latency_ns = 10.0;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_CONFIG_H_

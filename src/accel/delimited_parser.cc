@@ -1,0 +1,94 @@
+#include "accel/delimited_parser.h"
+
+namespace dphist::accel {
+
+void DelimitedParser::EndRecord(std::vector<int64_t>* out) {
+  if (record_started_) {
+    ++records_;
+    const bool reached_field =
+        state_ == State::kInField || state_ == State::kAfterField;
+    if (reached_field && any_digit_ && !malformed_field_) {
+      int64_t value = magnitude_;
+      if (seen_decimal_point_) {
+        // Fixed-point x100 (Decimal2): pad missing fractional digits.
+        for (int d = fraction_digits_; d < 2; ++d) value *= 10;
+      }
+      out->push_back(negative_ ? -value : value);
+    } else {
+      ++malformed_;
+    }
+  }
+  // Re-arm for the next record.
+  state_ = field_index_ == 0 ? State::kInField : State::kSkipping;
+  current_field_ = 0;
+  negative_ = false;
+  any_digit_ = false;
+  malformed_field_ = false;
+  seen_decimal_point_ = false;
+  fraction_digits_ = 0;
+  magnitude_ = 0;
+  record_started_ = false;
+}
+
+Status DelimitedParser::ParseChunk(std::string_view chunk,
+                                   std::vector<int64_t>* out) {
+  if (!record_started_ && state_ == State::kSkipping &&
+      field_index_ == 0) {
+    state_ = State::kInField;
+  }
+  for (char c : chunk) {
+    if (c == '\n') {
+      EndRecord(out);
+      continue;
+    }
+    record_started_ = true;
+    if (c == delimiter_) {
+      if (state_ == State::kSkipping) {
+        ++current_field_;
+        if (current_field_ == field_index_) state_ = State::kInField;
+      } else if (state_ == State::kInField) {
+        state_ = State::kAfterField;
+      }
+      continue;
+    }
+    if (state_ != State::kInField) continue;
+    if (c == '-' && !any_digit_ && !negative_ && !seen_decimal_point_) {
+      negative_ = true;
+    } else if (c == '.' && !seen_decimal_point_) {
+      seen_decimal_point_ = true;
+    } else if (c >= '0' && c <= '9') {
+      if (seen_decimal_point_ && fraction_digits_ >= 2) {
+        continue;  // beyond Decimal2 precision: truncate
+      }
+      magnitude_ = magnitude_ * 10 + (c - '0');
+      if (seen_decimal_point_) ++fraction_digits_;
+      any_digit_ = true;
+    } else {
+      malformed_field_ = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status DelimitedParser::Finish(std::vector<int64_t>* out) {
+  EndRecord(out);
+  return Status::OK();
+}
+
+Result<AcceleratorReport> ProcessDelimitedText(
+    Accelerator* accelerator, std::string_view text, size_t field_index,
+    const ScanRequest& request, uint64_t* malformed_records) {
+  DelimitedParser parser(field_index);
+  std::vector<int64_t> values;
+  DPHIST_RETURN_NOT_OK(parser.ParseChunk(text, &values));
+  DPHIST_RETURN_NOT_OK(parser.Finish(&values));
+  if (malformed_records != nullptr) {
+    *malformed_records = parser.malformed_records();
+  }
+  const uint64_t bytes_per_value =
+      parser.records() > 0 ? text.size() / parser.records() : 1;
+  return accelerator->ProcessValues(values, request,
+                                    std::max<uint64_t>(1, bytes_per_value));
+}
+
+}  // namespace dphist::accel

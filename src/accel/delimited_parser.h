@@ -1,0 +1,83 @@
+#ifndef DPHIST_ACCEL_DELIMITED_PARSER_H_
+#define DPHIST_ACCEL_DELIMITED_PARSER_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dphist::accel {
+
+/// A second Parser front end for a different data source type (paper
+/// Section 4: "the time it takes for the Parser to extract the relevant
+/// information from the input rows depends on the data source type"):
+/// delimited text records, as produced by TPC-H's dbgen (`.tbl` files,
+/// `|`-separated fields, one record per line).
+///
+/// Like the page parser, it is a byte-at-a-time finite-state machine
+/// that counts delimiters until the requested field, accumulates its
+/// digits, and skips to the record end — the exact structure a hardware
+/// FSM would implement. Fields must be (possibly signed) integers;
+/// decimals with a '.' are parsed as fixed-point x100 (Decimal2).
+class DelimitedParser {
+ public:
+  /// \param field_index 0-based field to extract
+  /// \param delimiter   field separator (dbgen uses '|')
+  DelimitedParser(size_t field_index, char delimiter = '|')
+      : field_index_(field_index), delimiter_(delimiter) {}
+
+  /// Parses a chunk of text, appending one decoded integer per complete
+  /// record to `out`. Chunks may split records arbitrarily — the FSM
+  /// carries its state across calls, as a streaming device must.
+  /// Records whose selected field is malformed are counted and skipped.
+  Status ParseChunk(std::string_view chunk, std::vector<int64_t>* out);
+
+  /// Flushes a trailing record that did not end with a newline.
+  Status Finish(std::vector<int64_t>* out);
+
+  uint64_t records() const { return records_; }
+  uint64_t malformed_records() const { return malformed_; }
+
+ private:
+  enum class State {
+    kSkipping,    ///< before the target field
+    kInField,     ///< accumulating the target field
+    kAfterField,  ///< target consumed; skipping to end of record
+  };
+
+  /// Finalizes the current record at a newline (or at Finish).
+  void EndRecord(std::vector<int64_t>* out);
+
+  size_t field_index_;
+  char delimiter_;
+
+  State state_ = State::kSkipping;
+  size_t current_field_ = 0;
+  bool negative_ = false;
+  bool any_digit_ = false;
+  bool malformed_field_ = false;
+  bool seen_decimal_point_ = false;
+  int fraction_digits_ = 0;
+  int64_t magnitude_ = 0;
+  bool record_started_ = false;
+
+  uint64_t records_ = 0;
+  uint64_t malformed_ = 0;
+};
+
+/// Runs a full delimited-text stream (e.g., a dbgen `.tbl` file tapped on
+/// its way to a loader) through the accelerator: DelimitedParser front
+/// end feeding the device. `malformed_records` (optional) receives the
+/// number of skipped records; each value's wire cost is the stream's
+/// average record length.
+Result<AcceleratorReport> ProcessDelimitedText(
+    Accelerator* accelerator, std::string_view text, size_t field_index,
+    const ScanRequest& request, uint64_t* malformed_records = nullptr);
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_DELIMITED_PARSER_H_

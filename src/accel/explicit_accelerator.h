@@ -1,0 +1,65 @@
+#ifndef DPHIST_ACCEL_EXPLICIT_ACCELERATOR_H_
+#define DPHIST_ACCEL_EXPLICIT_ACCELERATOR_H_
+
+#include <cstdint>
+#include <span>
+
+#include "accel/accelerator.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "sim/link.h"
+
+namespace dphist::accel {
+
+/// The *explicit* accelerator of Figure 7 (top): a device on the side of
+/// the host — a GPU in Heimel et al. [13] — that must be fed by explicit
+/// copies. Its compute is massively parallel and fast, but:
+///
+///  * every byte must cross the transfer link, so whole-table analysis is
+///    copy-bound ("copying whole tables to the GPU quickly becomes a
+///    bottleneck"), which is why such systems fall back to sampling;
+///  * the host CPU stages the copy, so query processing is disrupted —
+///    unlike the implicit in-datapath design whose host cost is zero.
+struct ExplicitAcceleratorConfig {
+  sim::Link transfer_link = sim::Link::PcieGen1x8();
+  /// Device-side binning rate; GPU-class parallelism, far above the
+  /// in-datapath prototype's memory-bound 20-50 M/s.
+  double device_values_per_second = 2e9;
+  /// Host bytes/s the CPU can stage into transfer buffers while also
+  /// serving queries.
+  double host_staging_bytes_per_second = 4e9;
+};
+
+/// Outcome of one explicit-accelerator analysis.
+struct ExplicitReport {
+  double copy_seconds = 0;     ///< host -> device transfer
+  double compute_seconds = 0;  ///< device-side histogram build
+  double host_cpu_seconds = 0;  ///< host time burned staging the copy
+  double total_seconds = 0;
+  double sampling_rate = 1.0;  ///< fraction of rows actually shipped
+  uint64_t rows_shipped = 0;
+  HistogramSet histograms;     ///< built on the shipped rows, scaled up
+};
+
+/// Models the explicit (on-the-side) statistics accelerator. Functional
+/// results are computed on the (sampled) column and scaled to population;
+/// timing follows the copy-then-compute structure.
+class ExplicitAccelerator {
+ public:
+  explicit ExplicitAccelerator(const ExplicitAcceleratorConfig& config)
+      : config_(config) {}
+
+  /// Analyzes `column`, shipping each value (of `bytes_per_value` wire
+  /// bytes) with probability `sampling_rate`.
+  Result<ExplicitReport> Analyze(std::span<const int64_t> column,
+                                 const ScanRequest& request,
+                                 uint64_t bytes_per_value,
+                                 double sampling_rate, Rng* rng) const;
+
+ private:
+  ExplicitAcceleratorConfig config_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_EXPLICIT_ACCELERATOR_H_

@@ -1,0 +1,53 @@
+#include "accel/histogram_module.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+ModuleReport HistogramModule::Run(uint64_t num_bins, uint64_t total_count,
+                                  double start_cycle) {
+  DPHIST_CHECK_LE(num_bins, dram_->allocated_bins());
+  ModuleReport report;
+  report.start_cycle = start_cycle;
+
+  const uint64_t bins_per_line = dram_->config().bins_per_line();
+  double t = start_cycle;
+  bool more = !blocks_.empty();
+  while (more) {
+    ScanContext context{num_bins, total_count, report.scans};
+    for (auto& block : blocks_) block->StartScan(context);
+
+    // The Scanner pays the DRAM read latency for the first line, then
+    // stays ahead of the chain; each block adds pass-through latency.
+    t += dram_->config().latency_cycles +
+         config_.block_passthrough_cycles *
+             static_cast<double>(blocks_.size());
+    if (report.scans == 0) report.first_bin_cycle = t;
+
+    for (uint64_t i = 0; i < num_bins; ++i) {
+      if (i % bins_per_line == 0) {
+        dram_->IssueSequentialLineRead(t, i / bins_per_line);
+      }
+      BinStreamItem item{i, dram_->ReadBin(i)};
+      uint32_t cost = 1;
+      for (auto& block : blocks_) {
+        cost = std::max(cost, block->ProcessBin(item, t));
+      }
+      t += static_cast<double>(cost);
+    }
+
+    double drain = 0.0;
+    for (auto& block : blocks_) drain = std::max(drain, block->EndScan(t));
+    t += drain;
+
+    ++report.scans;
+    more = false;
+    for (auto& block : blocks_) more = more || block->NeedsAnotherScan();
+  }
+  report.finish_cycle = t;
+  return report;
+}
+
+}  // namespace dphist::accel

@@ -1,0 +1,64 @@
+#ifndef DPHIST_ACCEL_HISTOGRAM_MODULE_H_
+#define DPHIST_ACCEL_HISTOGRAM_MODULE_H_
+
+#include <memory>
+#include <vector>
+
+#include "accel/block.h"
+#include "accel/config.h"
+#include "sim/dram.h"
+
+namespace dphist::accel {
+
+/// Timing summary of a Histogram-module run.
+struct ModuleReport {
+  double start_cycle = 0;      ///< when the Binner handed over
+  double first_bin_cycle = 0;  ///< first bin available to the chain
+  double finish_cycle = 0;     ///< last drain completed
+  uint32_t scans = 0;          ///< passes over the binned data
+};
+
+/// The Histogram module (paper Section 5.2, Figure 11): a Scanner that
+/// streams the binned representation out of DRAM through a daisy chain of
+/// statistic blocks. Blocks needing a second pass signal the Scanner via
+/// the repeat channel; the module keeps scanning until every block is
+/// satisfied.
+///
+/// Timing model: the Scanner sustains one bin per cycle (it reads 8-bin
+/// lines sequentially, far faster than the chain consumes them); the
+/// chain advances in lockstep at the maximum per-item cost over blocks
+/// (1 cycle normally, 2 when a TopK-style list insertion occupies a
+/// block); each block adds a 2-cycle pass-through latency; each scan pays
+/// the DRAM read latency once up front.
+class HistogramModule {
+ public:
+  HistogramModule(const HistogramModuleConfig& config, sim::Dram* dram)
+      : config_(config), dram_(dram) {}
+
+  /// Appends `block` to the daisy chain; returns a non-owning pointer for
+  /// result retrieval.
+  template <typename BlockType>
+  BlockType* AddBlock(std::unique_ptr<BlockType> block) {
+    BlockType* raw = block.get();
+    blocks_.push_back(std::move(block));
+    return raw;
+  }
+
+  size_t num_blocks() const { return blocks_.size(); }
+
+  /// Streams bins [0, num_bins) (with the current DRAM contents) through
+  /// the chain, repeating until no block requests another scan.
+  /// \param total_count  total rows binned, as reported by the Binner
+  /// \param start_cycle  simulated time at which the Binner finished
+  ModuleReport Run(uint64_t num_bins, uint64_t total_count,
+                   double start_cycle);
+
+ private:
+  HistogramModuleConfig config_;
+  sim::Dram* dram_;
+  std::vector<std::unique_ptr<StatBlock>> blocks_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_HISTOGRAM_MODULE_H_

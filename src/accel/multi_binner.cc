@@ -1,0 +1,58 @@
+#include "accel/multi_binner.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+MultiBinner::MultiBinner(uint32_t replication,
+                         const BinnerConfig& binner_config,
+                         const sim::DramConfig& dram_config,
+                         const Preprocessor* prep)
+    : prep_(prep) {
+  DPHIST_CHECK_GE(replication, 1u);
+  for (uint32_t r = 0; r < replication; ++r) {
+    auto dram = std::make_unique<sim::Dram>(dram_config);
+    dram->AllocateBins(prep->num_bins());
+    binners_.push_back(
+        std::make_unique<Binner>(binner_config, prep, dram.get()));
+    drams_.push_back(std::move(dram));
+  }
+}
+
+void MultiBinner::set_input_interval_cycles(double cycles) {
+  // Round-robin: each replica receives every R-th value, so its private
+  // arrival interval is R times the stream interval.
+  for (auto& binner : binners_) {
+    binner->set_input_interval_cycles(cycles *
+                                      static_cast<double>(binners_.size()));
+  }
+}
+
+void MultiBinner::ProcessValue(int64_t value) {
+  binners_[next_replica_]->ProcessValue(value);
+  next_replica_ = (next_replica_ + 1) % binners_.size();
+  ++total_items_;
+}
+
+MultiBinnerReport MultiBinner::Finish() {
+  MultiBinnerReport report;
+  report.total_items = total_items_;
+  for (auto& binner : binners_) {
+    BinnerReport r = binner->Finish();
+    report.finish_cycle = std::max(report.finish_cycle, r.finish_cycle);
+    report.replicas.push_back(r);
+  }
+  report.finish_cycle += kMergeCycles;
+
+  merged_.assign(prep_->num_bins(), 0);
+  for (auto& dram : drams_) {
+    for (uint64_t i = 0; i < merged_.size(); ++i) {
+      merged_[i] += dram->ReadBin(i);
+    }
+  }
+  return report;
+}
+
+}  // namespace dphist::accel

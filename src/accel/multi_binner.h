@@ -1,0 +1,69 @@
+#ifndef DPHIST_ACCEL_MULTI_BINNER_H_
+#define DPHIST_ACCEL_MULTI_BINNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "accel/binner.h"
+#include "accel/config.h"
+#include "accel/preprocessor.h"
+#include "sim/dram.h"
+
+namespace dphist::accel {
+
+/// Result of a replicated binning pass.
+struct MultiBinnerReport {
+  uint64_t total_items = 0;
+  double finish_cycle = 0;  ///< max over replicas + constant merge time
+  std::vector<BinnerReport> replicas;
+
+  double ValuesPerSecond(const sim::Clock& clock) const {
+    if (finish_cycle <= 0) return 0.0;
+    return static_cast<double>(total_items) /
+           clock.CyclesToSeconds(finish_cycle);
+  }
+};
+
+/// The Section 7 scale-up design: R replicated Binner modules, each with
+/// its own memory channel, fed round-robin from the tapped input stream.
+/// Partial counts are aggregated in constant time by an adder tree before
+/// the statistic blocks consume them, so the Histogram module needs no
+/// change. Aggregate throughput scales ~R-fold until the input link
+/// becomes the bottleneck.
+class MultiBinner {
+ public:
+  /// \param replication  number of Binner/DRAM replicas (>= 1)
+  MultiBinner(uint32_t replication, const BinnerConfig& binner_config,
+              const sim::DramConfig& dram_config, const Preprocessor* prep);
+
+  uint32_t replication() const { return static_cast<uint32_t>(drams_.size()); }
+
+  /// Minimum cycles between consecutive values on the shared input; each
+  /// replica sees every R-th value.
+  void set_input_interval_cycles(double cycles);
+
+  void ProcessValue(int64_t value);
+
+  /// Drains all replicas and merges the partial counts.
+  MultiBinnerReport Finish();
+
+  /// Aggregated bin counts (valid after Finish()).
+  const std::vector<uint64_t>& merged_counts() const { return merged_; }
+
+ private:
+  /// Cycles for the constant-time adder-tree aggregation of partials.
+  static constexpr double kMergeCycles = 16.0;
+
+  const Preprocessor* prep_;
+  std::vector<std::unique_ptr<sim::Dram>> drams_;
+  std::vector<std::unique_ptr<Binner>> binners_;
+  std::vector<uint64_t> merged_;
+  uint64_t next_replica_ = 0;
+  uint64_t total_items_ = 0;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_MULTI_BINNER_H_

@@ -1,0 +1,43 @@
+#include "accel/multi_column.h"
+
+#include <algorithm>
+
+#include "accel/resource_model.h"
+
+namespace dphist::accel {
+
+Result<MultiColumnReport> ProcessTableMultiColumn(
+    const AcceleratorConfig& config, const page::TableFile& table,
+    std::span<const ScanRequest> requests) {
+  if (requests.empty()) {
+    return Status::InvalidArgument("no scan requests");
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    for (size_t j = i + 1; j < requests.size(); ++j) {
+      if (requests[i].column_index == requests[j].column_index) {
+        return Status::InvalidArgument(
+            "multi-column scan requests must name distinct columns");
+      }
+    }
+  }
+
+  MultiColumnReport report;
+  for (const ScanRequest& request : requests) {
+    // Each circuit is an independent device instance with its own DRAM
+    // region; they share only the tapped input stream.
+    Accelerator circuit(config);
+    DPHIST_ASSIGN_OR_RETURN(AcceleratorReport column,
+                            circuit.ProcessTable(table, request));
+    report.total_seconds = std::max(report.total_seconds,
+                                    column.total_seconds);
+    auto chain = resource_model::Chain(
+        request.want_topk, request.want_equi_depth, request.want_max_diff,
+        request.want_compressed, request.top_k, request.num_buckets);
+    report.total_utilization_percent += chain.utilization_percent;
+    report.columns.push_back(std::move(column));
+  }
+  report.fits_on_device = report.total_utilization_percent < 100.0;
+  return report;
+}
+
+}  // namespace dphist::accel

@@ -1,0 +1,36 @@
+#ifndef DPHIST_ACCEL_MULTI_COLUMN_H_
+#define DPHIST_ACCEL_MULTI_COLUMN_H_
+
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "common/result.h"
+#include "page/table_file.h"
+
+namespace dphist::accel {
+
+/// Statistics on several columns from one pass of the table stream.
+///
+/// In hardware this is the Section 7 replication pattern applied to
+/// columns instead of throughput: one Parser variant extracts k fields,
+/// and k statistical circuits (each with its own memory region) consume
+/// them in parallel off the same tapped stream. Device time for the pass
+/// is therefore the *maximum* over the per-column circuits, not the sum
+/// — the table only streams once.
+struct MultiColumnReport {
+  std::vector<AcceleratorReport> columns;  ///< one per request, in order
+  double total_seconds = 0;                ///< max over circuits
+  double total_utilization_percent = 0;    ///< sum of chain footprints
+  bool fits_on_device = false;             ///< utilization < 100 %
+};
+
+/// Runs every request against its own simulated circuit and combines the
+/// reports under the one-pass timing model. All requests must name
+/// distinct columns of `table`.
+Result<MultiColumnReport> ProcessTableMultiColumn(
+    const AcceleratorConfig& config, const page::TableFile& table,
+    std::span<const ScanRequest> requests);
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_MULTI_COLUMN_H_

@@ -1,0 +1,48 @@
+#include "accel/parser.h"
+
+#include <cstring>
+
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+Parser::Parser(const page::Schema& schema, size_t column_index)
+    : schema_(schema), column_index_(column_index) {
+  DPHIST_CHECK_LT(column_index, schema.num_columns());
+  column_offset_ = schema_.column_offset(column_index_);
+  column_width_ = page::ColumnTypeWidth(schema_.column(column_index_).type);
+}
+
+Status Parser::ParsePage(std::span<const uint8_t> page_bytes,
+                         std::vector<uint64_t>* out) {
+  stats_.bytes += page_bytes.size();
+  if (page_bytes.size() != page::kPageSize) {
+    ++stats_.corrupt_pages;
+    return Status::Corruption("page has wrong size");
+  }
+  page::PageHeader header;
+  std::memcpy(&header, page_bytes.data(), sizeof(header));
+  if (header.magic != page::PageHeader::kMagic ||
+      header.row_width != schema_.row_width() ||
+      page::kPageHeaderSize +
+              static_cast<size_t>(header.tuple_count) * header.row_width >
+          page::kPageSize) {
+    ++stats_.corrupt_pages;
+    return Status::Corruption("bad page header");
+  }
+  ++stats_.pages;
+  stats_.rows += header.tuple_count;
+
+  // Counting FSM: hop row_width bytes at a time, lifting column_width_
+  // bytes at column_offset_ within each row.
+  const uint8_t* row = page_bytes.data() + page::kPageHeaderSize;
+  for (uint32_t r = 0; r < header.tuple_count; ++r) {
+    uint64_t raw = 0;
+    std::memcpy(&raw, row + column_offset_, column_width_);
+    out->push_back(raw);
+    row += header.row_width;
+  }
+  return Status::OK();
+}
+
+}  // namespace dphist::accel

@@ -1,0 +1,57 @@
+#ifndef DPHIST_ACCEL_PARSER_H_
+#define DPHIST_ACCEL_PARSER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "page/page.h"
+#include "page/schema.h"
+
+namespace dphist::accel {
+
+/// Per-scan statistics of the Parser.
+struct ParserStats {
+  uint64_t pages = 0;
+  uint64_t rows = 0;
+  uint64_t bytes = 0;
+  uint64_t corrupt_pages = 0;
+};
+
+/// The Parser module (paper Section 4): a counting finite-state machine
+/// that walks the raw page stream moving from storage to the host and
+/// extracts the single column named in the scan command's piggybacked
+/// metadata. It emits the raw fixed-width field bytes (zero-extended into
+/// a uint64); decoding to an integer is the Preprocessor's job.
+///
+/// The FSM is deliberately structured as header/skip/extract states over
+/// byte offsets rather than using PageReader, mirroring the hardware
+/// implementation and keeping the module independent of host-side
+/// conveniences.
+class Parser {
+ public:
+  /// \param schema        row layout of the streamed table
+  /// \param column_index  column selected by the scan command
+  Parser(const page::Schema& schema, size_t column_index);
+
+  /// Parses one page worth of bytes, appending one raw field per row to
+  /// `out`. Corrupt pages are counted and skipped (the cut-through data
+  /// path is unaffected by parser errors).
+  Status ParsePage(std::span<const uint8_t> page_bytes,
+                   std::vector<uint64_t>* out);
+
+  const ParserStats& stats() const { return stats_; }
+
+ private:
+  page::Schema schema_;
+  size_t column_index_;
+  uint32_t column_offset_;
+  uint32_t column_width_;
+  ParserStats stats_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_PARSER_H_

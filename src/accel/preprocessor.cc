@@ -1,0 +1,60 @@
+#include "accel/preprocessor.h"
+
+#include <algorithm>
+
+#include "common/date.h"
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+Result<Preprocessor> Preprocessor::Create(const PreprocessorConfig& config) {
+  if (config.granularity < 1) {
+    return Status::InvalidArgument("granularity must be >= 1");
+  }
+  if (config.min_value > config.max_value) {
+    return Status::InvalidArgument("min_value > max_value");
+  }
+  return Preprocessor(config);
+}
+
+Preprocessor::Preprocessor(const PreprocessorConfig& config)
+    : config_(config) {
+  uint64_t span = static_cast<uint64_t>(config_.max_value) -
+                  static_cast<uint64_t>(config_.min_value);
+  num_bins_ = span / static_cast<uint64_t>(config_.granularity) + 1;
+}
+
+int64_t Preprocessor::DecodeRaw(uint64_t raw) const {
+  switch (config_.type) {
+    case page::ColumnType::kInt32:
+    case page::ColumnType::kDateEpoch:
+      return static_cast<int32_t>(static_cast<uint32_t>(raw));
+    case page::ColumnType::kInt64:
+    case page::ColumnType::kDecimal2:
+      return static_cast<int64_t>(raw);
+    case page::ColumnType::kDateUnpacked:
+      return UnpackedDateToEpochDays(static_cast<uint32_t>(raw));
+  }
+  DPHIST_UNREACHABLE("invalid ColumnType");
+}
+
+uint64_t Preprocessor::BinOf(int64_t value) const {
+  DPHIST_CHECK_GE(value, config_.min_value);
+  DPHIST_CHECK_LE(value, config_.max_value);
+  uint64_t offset = static_cast<uint64_t>(value) -
+                    static_cast<uint64_t>(config_.min_value);
+  return offset / static_cast<uint64_t>(config_.granularity);
+}
+
+int64_t Preprocessor::BinLowValue(uint64_t bin) const {
+  DPHIST_CHECK_LT(bin, num_bins_);
+  return config_.min_value +
+         static_cast<int64_t>(bin) * config_.granularity;
+}
+
+int64_t Preprocessor::BinHighValue(uint64_t bin) const {
+  return std::min(BinLowValue(bin) + config_.granularity - 1,
+                  config_.max_value);
+}
+
+}  // namespace dphist::accel

@@ -1,0 +1,59 @@
+#ifndef DPHIST_ACCEL_PREPROCESSOR_H_
+#define DPHIST_ACCEL_PREPROCESSOR_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "page/schema.h"
+
+namespace dphist::accel {
+
+/// Configuration of the value-space -> address-space translation
+/// (Section 5.1.1). The host piggybacks these parameters on the scan
+/// command: the column's minimum value is subtracted from every value and
+/// the result optionally divided by a granularity constant, so multiple
+/// raw values can share one bin (e.g., second timestamps binned per day).
+struct PreprocessorConfig {
+  page::ColumnType type = page::ColumnType::kInt32;
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  int64_t granularity = 1;  ///< >= 1; raw units per bin
+};
+
+/// Translates raw column fields into bin indices and back. Also decodes
+/// the handful of predefined unpacked representations (Oracle-style dates,
+/// fixed-point decimals) to integers, as the paper's preprocessor does.
+class Preprocessor {
+ public:
+  /// Validates the configuration (granularity >= 1, min <= max, and the
+  /// implied bin count).
+  static Result<Preprocessor> Create(const PreprocessorConfig& config);
+
+  const PreprocessorConfig& config() const { return config_; }
+
+  /// Number of bins the configured domain maps to.
+  uint64_t num_bins() const { return num_bins_; }
+
+  /// Decodes a raw fixed-width field (zero-extended into a uint64) into
+  /// its logical integer value: INT32/INT64 pass through, DECIMAL2 yields
+  /// the x100-scaled integer, dates yield epoch days.
+  int64_t DecodeRaw(uint64_t raw) const;
+
+  /// Maps a logical integer value to its bin index. Values outside
+  /// [min_value, max_value] abort — the host supplies true bounds.
+  uint64_t BinOf(int64_t value) const;
+
+  /// First and last logical value mapped to `bin`.
+  int64_t BinLowValue(uint64_t bin) const;
+  int64_t BinHighValue(uint64_t bin) const;
+
+ private:
+  explicit Preprocessor(const PreprocessorConfig& config);
+
+  PreprocessorConfig config_;
+  uint64_t num_bins_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_PREPROCESSOR_H_

@@ -1,0 +1,57 @@
+#include "accel/report_text.h"
+
+#include <cstdio>
+
+namespace dphist::accel {
+
+std::string ReportToString(const AcceleratorReport& report) {
+  std::string out;
+  char buf[256];
+  auto line = [&out, &buf]() { out += buf; };
+
+  std::snprintf(buf, sizeof(buf),
+                "rows=%llu bins=%llu distinct=%llu corrupt_pages=%llu\n",
+                (unsigned long long)report.rows,
+                (unsigned long long)report.num_bins,
+                (unsigned long long)report.distinct_values,
+                (unsigned long long)report.corrupt_pages);
+  line();
+  std::snprintf(buf, sizeof(buf),
+                "device time: stream %.3f ms, binner %.3f ms, histograms "
+                "%.3f ms, total %.3f ms (tap latency %.0f ns)\n",
+                report.stream_seconds * 1e3,
+                report.binner_finish_seconds * 1e3,
+                report.histogram_finish_seconds * 1e3,
+                report.total_seconds * 1e3, report.added_latency_ns);
+  line();
+  std::snprintf(buf, sizeof(buf),
+                "binner: %llu items, cache %llu hits / %llu misses, "
+                "hazard stalls %llu cycles\n",
+                (unsigned long long)report.binner.total_items,
+                (unsigned long long)report.binner.cache_hits,
+                (unsigned long long)report.binner.cache_misses,
+                (unsigned long long)report.binner.hazard_stall_cycles);
+  line();
+  std::snprintf(buf, sizeof(buf),
+                "dram: %llu reads, %llu writes (%llu near, %llu random)\n",
+                (unsigned long long)report.dram_stats.reads,
+                (unsigned long long)report.dram_stats.writes,
+                (unsigned long long)report.dram_stats.near_accesses,
+                (unsigned long long)report.dram_stats.random_accesses);
+  line();
+  std::snprintf(buf, sizeof(buf), "chain: %u scan(s)\n",
+                report.module.scans);
+  line();
+  for (const auto& block : report.block_timings) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-11s first result @ cycle %.0f, last @ %.0f, "
+                  "%llu result bytes\n",
+                  block.name.c_str(), block.timing.first_result_cycle,
+                  block.timing.last_result_cycle,
+                  (unsigned long long)block.timing.result_bytes);
+    line();
+  }
+  return out;
+}
+
+}  // namespace dphist::accel

@@ -1,0 +1,18 @@
+#ifndef DPHIST_ACCEL_REPORT_TEXT_H_
+#define DPHIST_ACCEL_REPORT_TEXT_H_
+
+#include <string>
+
+#include "accel/accelerator.h"
+
+namespace dphist::accel {
+
+/// Renders an AcceleratorReport as a multi-line human-readable summary:
+/// row/bin accounting, the device-time breakdown, per-block result-port
+/// timing, and cache/DRAM statistics. Used by examples and debugging
+/// sessions; not a stable machine format (see wire_format.h for that).
+std::string ReportToString(const AcceleratorReport& report);
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_REPORT_TEXT_H_

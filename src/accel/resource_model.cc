@@ -1,0 +1,58 @@
+#include "accel/resource_model.h"
+
+#include <algorithm>
+
+namespace dphist::accel::resource_model {
+
+namespace {
+// Table 2 reference points.
+constexpr double kTopKPercentAt64 = 2.5;
+constexpr double kEquiDepthPercent = 0.8;  // "<1 %"
+constexpr double kMaxDiffPercentAt64 = 3.0;
+constexpr double kCompressedPercentAt64 = 3.0;
+constexpr double kTopKFreq = 170e6;
+constexpr double kEquiDepthFreq = 240e6;
+constexpr double kMaxDiffFreq = 170e6;
+constexpr double kCompressedFreq = 170e6;
+}  // namespace
+
+BlockResource TopK(uint32_t t) {
+  return BlockResource{kTopKPercentAt64 * static_cast<double>(t) / 64.0,
+                       kTopKFreq};
+}
+
+BlockResource EquiDepth() {
+  return BlockResource{kEquiDepthPercent, kEquiDepthFreq};
+}
+
+BlockResource MaxDiff(uint32_t b) {
+  return BlockResource{kMaxDiffPercentAt64 * static_cast<double>(b) / 64.0,
+                       kMaxDiffFreq};
+}
+
+BlockResource Compressed(uint32_t t) {
+  return BlockResource{kCompressedPercentAt64 * static_cast<double>(t) / 64.0,
+                       kCompressedFreq};
+}
+
+ChainResource Chain(bool want_topk, bool want_equi_depth, bool want_max_diff,
+                    bool want_compressed, uint32_t t, uint32_t b) {
+  ChainResource chain;
+  chain.max_frequency_hz = 1e12;
+  auto add = [&chain](const BlockResource& block) {
+    chain.utilization_percent += block.utilization_percent;
+    chain.max_frequency_hz =
+        std::min(chain.max_frequency_hz, block.max_frequency_hz);
+  };
+  if (want_topk) add(TopK(t));
+  if (want_equi_depth) add(EquiDepth());
+  if (want_max_diff) add(MaxDiff(b));
+  if (want_compressed) add(Compressed(t));
+  if (!want_topk && !want_equi_depth && !want_max_diff && !want_compressed) {
+    chain.max_frequency_hz = 0;
+  }
+  chain.fits = chain.utilization_percent < 100.0;
+  return chain;
+}
+
+}  // namespace dphist::accel::resource_model

@@ -1,0 +1,42 @@
+#ifndef DPHIST_ACCEL_RESOURCE_MODEL_H_
+#define DPHIST_ACCEL_RESOURCE_MODEL_H_
+
+#include <cstdint>
+
+namespace dphist::accel {
+
+/// FPGA footprint of one statistic block.
+struct BlockResource {
+  double utilization_percent = 0;  ///< share of the Virtex-6 SXT475 fabric
+  double max_frequency_hz = 0;     ///< timing-closure ceiling of the block
+};
+
+/// Analytic resource model calibrated to the paper's Table 2 (Virtex-6
+/// SXT475): TopK occupies 2.5 % at T=64 and scales O(T); Equi-depth is
+/// <1 % and O(1); the composites occupy <3 % at their default sizes and
+/// scale with B (Max-diff) or T (Compressed). Block clock ceilings are
+/// 170 / 240 / 170 / 170 MHz; a chain must run at the minimum over its
+/// blocks. Since this substitutes for synthesis, the *scaling laws* are
+/// what the model guarantees; the constants are the paper's.
+namespace resource_model {
+
+BlockResource TopK(uint32_t t);
+BlockResource EquiDepth();
+BlockResource MaxDiff(uint32_t b);
+BlockResource Compressed(uint32_t t);
+
+/// Aggregate footprint of a chain with the given blocks enabled.
+struct ChainResource {
+  double utilization_percent = 0;
+  double max_frequency_hz = 0;  ///< min over enabled blocks
+  bool fits = false;            ///< utilization below 100 %
+};
+
+ChainResource Chain(bool want_topk, bool want_equi_depth, bool want_max_diff,
+                    bool want_compressed, uint32_t t, uint32_t b);
+
+}  // namespace resource_model
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_RESOURCE_MODEL_H_

@@ -1,0 +1,71 @@
+#include "accel/scan_pipeline.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+Result<ScanPipelineReport> RunScanPipeline(
+    const AcceleratorConfig& config, std::span<const PipelinedScan> scans,
+    uint32_t num_regions) {
+  if (scans.empty()) return Status::InvalidArgument("no scans");
+  if (num_regions == 0) {
+    return Status::InvalidArgument("need at least one bin region");
+  }
+
+  ScanPipelineReport report;
+  // Run each scan on its own device instance to obtain functional
+  // results and the two phase durations.
+  std::vector<double> bin_duration;
+  std::vector<double> histogram_duration;
+  for (const PipelinedScan& scan : scans) {
+    Accelerator device(config);
+    DPHIST_ASSIGN_OR_RETURN(AcceleratorReport r,
+                            device.ProcessTable(*scan.table, scan.request));
+    // The front end (Splitter/Parser/Binner) is busy until both the
+    // stream and the last bin update finish.
+    bin_duration.push_back(
+        std::max(r.stream_seconds, r.binner_finish_seconds));
+    histogram_duration.push_back(r.histogram_finish_seconds -
+                                 r.binner_finish_seconds);
+    report.scans.push_back(std::move(r));
+  }
+
+  // Pipelined schedule under the hardware's structural constraints: the
+  // front end (Splitter/Parser/Binner) is one serial pipeline, the
+  // Histogram module (Scanner + chain) is another, and a scan's bin
+  // region stays occupied from binning start until its histograms are
+  // drained. Two regions therefore suffice for full overlap of the two
+  // stages; more regions buy nothing.
+  std::vector<double> region_free(num_regions, 0.0);
+  double front_free = 0.0;
+  double chain_free = 0.0;
+  for (size_t k = 0; k < scans.size(); ++k) {
+    size_t region = 0;
+    for (size_t r = 1; r < region_free.size(); ++r) {
+      if (region_free[r] < region_free[region]) region = r;
+    }
+    ScanTimeline timeline;
+    timeline.bin_start_seconds = std::max(front_free, region_free[region]);
+    timeline.bin_finish_seconds =
+        timeline.bin_start_seconds + bin_duration[k];
+    double histogram_start =
+        std::max(timeline.bin_finish_seconds, chain_free);
+    timeline.histogram_finish_seconds =
+        histogram_start + histogram_duration[k];
+    front_free = timeline.bin_finish_seconds;
+    chain_free = timeline.histogram_finish_seconds;
+    region_free[region] = timeline.histogram_finish_seconds;
+    report.pipelined_seconds = std::max(report.pipelined_seconds,
+                                        timeline.histogram_finish_seconds);
+    report.timeline.push_back(timeline);
+  }
+
+  for (size_t k = 0; k < scans.size(); ++k) {
+    report.serial_seconds += bin_duration[k] + histogram_duration[k];
+  }
+  return report;
+}
+
+}  // namespace dphist::accel

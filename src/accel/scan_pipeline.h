@@ -1,0 +1,51 @@
+#ifndef DPHIST_ACCEL_SCAN_PIPELINE_H_
+#define DPHIST_ACCEL_SCAN_PIPELINE_H_
+
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "common/result.h"
+#include "page/table_file.h"
+
+namespace dphist::accel {
+
+/// The paper's Section 4 decoupling, applied across consecutive scans:
+/// "these two modules are decoupled in their operation, since they only
+/// interact through regions in memory. This means that while for some
+/// data the histogram is calculated in the Histogram module, another
+/// input table can be already processed and binned at a different region
+/// in memory."
+///
+/// ScanPipeline schedules a sequence of scans over such double-buffered
+/// bin regions: scan k's Binner may start as soon as scan k-1's Binner
+/// released the front-end (and a region is free), while scan k-1's
+/// Histogram module is still draining its region. The report contrasts
+/// the pipelined makespan with the serial one.
+struct PipelinedScan {
+  const page::TableFile* table;
+  ScanRequest request;
+};
+
+struct ScanTimeline {
+  double bin_start_seconds = 0;
+  double bin_finish_seconds = 0;
+  double histogram_finish_seconds = 0;
+};
+
+struct ScanPipelineReport {
+  std::vector<AcceleratorReport> scans;    ///< per-scan results, in order
+  std::vector<ScanTimeline> timeline;      ///< pipelined schedule
+  double pipelined_seconds = 0;            ///< makespan with 2 regions
+  double serial_seconds = 0;               ///< makespan with 1 region
+};
+
+/// Runs the scans and computes both schedules. `num_regions` bin regions
+/// are available (the paper's platform has one 24 GB DRAM that can hold
+/// many regions; 2 suffices for full overlap of adjacent scans).
+Result<ScanPipelineReport> RunScanPipeline(
+    const AcceleratorConfig& config, std::span<const PipelinedScan> scans,
+    uint32_t num_regions = 2);
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_SCAN_PIPELINE_H_

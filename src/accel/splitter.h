@@ -1,0 +1,38 @@
+#ifndef DPHIST_ACCEL_SPLITTER_H_
+#define DPHIST_ACCEL_SPLITTER_H_
+
+#include <cstdint>
+#include <span>
+
+namespace dphist::accel {
+
+/// The Splitter on the cut-through data path (paper Section 4, Figure 9):
+/// duplicates the storage-to-host stream so the statistical circuit works
+/// on a copy while the original flows through unthrottled. Its only cost
+/// to the data path is a fixed nanosecond-scale replication latency.
+class Splitter {
+ public:
+  explicit Splitter(double latency_ns) : latency_ns_(latency_ns) {}
+
+  /// Forwards `data` on the cut-through path and returns the tapped copy
+  /// (the same bytes; hardware replication is free of buffering).
+  std::span<const uint8_t> Tap(std::span<const uint8_t> data) {
+    bytes_forwarded_ += data.size();
+    ++packets_;
+    return data;
+  }
+
+  /// Latency the splitter adds to the cut-through path.
+  double added_latency_ns() const { return latency_ns_; }
+  uint64_t bytes_forwarded() const { return bytes_forwarded_; }
+  uint64_t packets() const { return packets_; }
+
+ private:
+  double latency_ns_;
+  uint64_t bytes_forwarded_ = 0;
+  uint64_t packets_ = 0;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_SPLITTER_H_

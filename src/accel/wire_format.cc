@@ -1,0 +1,94 @@
+#include "accel/wire_format.h"
+
+#include <cstring>
+#include <limits>
+
+namespace dphist::accel {
+
+namespace {
+
+uint32_t Saturate32(uint64_t v) {
+  return v > std::numeric_limits<uint32_t>::max()
+             ? std::numeric_limits<uint32_t>::max()
+             : static_cast<uint32_t>(v);
+}
+
+void AppendPair(uint32_t first, uint32_t second, std::vector<uint8_t>* out) {
+  uint8_t buf[8];
+  std::memcpy(buf, &first, 4);
+  std::memcpy(buf + 4, &second, 4);
+  out->insert(out->end(), buf, buf + 8);
+}
+
+Result<std::vector<std::pair<uint32_t, uint32_t>>> DecodePairs(
+    std::span<const uint8_t> bytes) {
+  if (bytes.size() % 8 != 0) {
+    return Status::Corruption("result stream is not a multiple of 8 bytes");
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  pairs.reserve(bytes.size() / 8);
+  for (size_t i = 0; i < bytes.size(); i += 8) {
+    uint32_t first;
+    uint32_t second;
+    std::memcpy(&first, bytes.data() + i, 4);
+    std::memcpy(&second, bytes.data() + i + 4, 4);
+    pairs.emplace_back(first, second);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeBuckets(std::span<const BinBucket> buckets) {
+  std::vector<uint8_t> out;
+  out.reserve(buckets.size() * 8);
+  for (const auto& bucket : buckets) {
+    AppendPair(Saturate32(bucket.count),
+               Saturate32(bucket.hi_bin - bucket.lo_bin + 1), &out);
+  }
+  return out;
+}
+
+Result<std::vector<BinBucket>> DecodeEquiDepthBuckets(
+    std::span<const uint8_t> bytes) {
+  DPHIST_ASSIGN_OR_RETURN(auto pairs, DecodePairs(bytes));
+  std::vector<BinBucket> buckets;
+  buckets.reserve(pairs.size());
+  uint64_t next_bin = 0;
+  for (const auto& [sum, bins] : pairs) {
+    if (bins == 0) {
+      return Status::Corruption("bucket with zero bins on the wire");
+    }
+    BinBucket bucket;
+    bucket.lo_bin = next_bin;
+    bucket.hi_bin = next_bin + bins - 1;
+    bucket.count = sum;
+    bucket.distinct = 0;  // not carried on the wire
+    next_bin += bins;
+    buckets.push_back(bucket);
+  }
+  return buckets;
+}
+
+std::vector<uint8_t> EncodeTopK(
+    std::span<const SortedTopList::Entry> entries) {
+  std::vector<uint8_t> out;
+  out.reserve(entries.size() * 8);
+  for (const auto& entry : entries) {
+    AppendPair(Saturate32(entry.payload), Saturate32(entry.key), &out);
+  }
+  return out;
+}
+
+Result<std::vector<SortedTopList::Entry>> DecodeTopK(
+    std::span<const uint8_t> bytes) {
+  DPHIST_ASSIGN_OR_RETURN(auto pairs, DecodePairs(bytes));
+  std::vector<SortedTopList::Entry> entries;
+  entries.reserve(pairs.size());
+  for (const auto& [bin, count] : pairs) {
+    entries.push_back(SortedTopList::Entry{count, bin});
+  }
+  return entries;
+}
+
+}  // namespace dphist::accel

@@ -1,0 +1,50 @@
+#ifndef DPHIST_ACCEL_WIRE_FORMAT_H_
+#define DPHIST_ACCEL_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accel/block.h"
+#include "accel/blocks.h"
+#include "common/result.h"
+
+namespace dphist::accel {
+
+/// The device's result-port encoding (paper Section 6.3: "each bucket is
+/// output as a pair of 32-bit integers, each bucket needs 8 bytes").
+///
+///  * Equi-depth-style buckets travel as (aggregate sum, number of bins)
+///    pairs (Section 5.2.1: "the final output of this block consists of
+///    the aggregate sum in the bucket and the number of bins in it");
+///    because the chain streams bins densely from 0, the host
+///    reconstructs the bucket bin ranges from the running bin count.
+///  * TopK entries travel as (bin index, count) pairs.
+///
+/// Counts saturate at 2^32 - 1 on the wire, as 32-bit hardware registers
+/// would.
+
+/// Encodes bucket results for the result port. `dense_from_zero` buckets
+/// (Equi-depth/Compressed) are assumed contiguous from bin 0; Max-diff
+/// buckets may skip all-zero segments, which the wire format cannot
+/// express losslessly — use EncodeTopK-style sideband for those bounds or
+/// re-derive them host-side.
+std::vector<uint8_t> EncodeBuckets(std::span<const BinBucket> buckets);
+
+/// Decodes (sum, bins) pairs back into buckets with reconstructed
+/// contiguous bin ranges starting at bin 0. `distinct` is not carried on
+/// the wire and is reported as 0.
+Result<std::vector<BinBucket>> DecodeEquiDepthBuckets(
+    std::span<const uint8_t> bytes);
+
+/// Encodes a TopK result as (bin, count) pairs.
+std::vector<uint8_t> EncodeTopK(
+    std::span<const SortedTopList::Entry> entries);
+
+/// Decodes (bin, count) pairs.
+Result<std::vector<SortedTopList::Entry>> DecodeTopK(
+    std::span<const uint8_t> bytes);
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_WIRE_FORMAT_H_

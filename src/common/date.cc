@@ -1,0 +1,56 @@
+#include "common/date.h"
+
+#include "common/macros.h"
+
+namespace dphist {
+
+int64_t ToEpochDays(const CalendarDate& date) {
+  // days_from_civil (Hinnant). Shift year so the era starts in March.
+  int64_t y = date.year;
+  const int64_t m = date.month;
+  const int64_t d = date.day;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                          // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+CalendarDate FromEpochDays(int64_t days) {
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const int64_t mp = (5 * doy + 2) / 153;
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;
+  const int64_t m = mp + (mp < 10 ? 3 : -9);
+  return CalendarDate{static_cast<int32_t>(y + (m <= 2)),
+                      static_cast<int32_t>(m), static_cast<int32_t>(d)};
+}
+
+uint32_t EncodeUnpackedDate(const CalendarDate& date) {
+  DPHIST_CHECK_GE(date.year, 0);
+  DPHIST_CHECK_LE(date.year, 9999);
+  uint32_t century = static_cast<uint32_t>(date.year / 100) + 100;
+  uint32_t year = static_cast<uint32_t>(date.year % 100) + 100;
+  return (century << 24) | (year << 16) |
+         (static_cast<uint32_t>(date.month) << 8) |
+         static_cast<uint32_t>(date.day);
+}
+
+CalendarDate DecodeUnpackedDate(uint32_t encoded) {
+  int32_t century = static_cast<int32_t>((encoded >> 24) & 0xFF) - 100;
+  int32_t year2 = static_cast<int32_t>((encoded >> 16) & 0xFF) - 100;
+  int32_t month = static_cast<int32_t>((encoded >> 8) & 0xFF);
+  int32_t day = static_cast<int32_t>(encoded & 0xFF);
+  return CalendarDate{century * 100 + year2, month, day};
+}
+
+int64_t UnpackedDateToEpochDays(uint32_t encoded) {
+  return ToEpochDays(DecodeUnpackedDate(encoded));
+}
+
+}  // namespace dphist

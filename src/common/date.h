@@ -1,0 +1,48 @@
+#ifndef DPHIST_COMMON_DATE_H_
+#define DPHIST_COMMON_DATE_H_
+
+#include <cstdint>
+
+namespace dphist {
+
+/// Calendar date utilities for the accelerator preprocessor.
+///
+/// Databases store dates in proprietary formats; Oracle, for example, keeps
+/// them *unpacked* — year, month, day encoded as separate fields rather
+/// than one epoch number (paper Section 5.1.1). The preprocessor must
+/// convert such representations to a single integer before binning. We
+/// model two encodings:
+///   * PackedDate  — days since 1970-01-01 (a plain integer column).
+///   * UnpackedDate — Oracle-style {century+100, year+100, month, day}
+///     byte fields packed into a uint32 for transport.
+struct CalendarDate {
+  int32_t year;   // e.g. 1996
+  int32_t month;  // 1..12
+  int32_t day;    // 1..31
+
+  friend bool operator==(const CalendarDate&, const CalendarDate&) = default;
+};
+
+/// Converts a calendar date to days since the civil epoch 1970-01-01
+/// (Howard Hinnant's days_from_civil algorithm; valid for all proleptic
+/// Gregorian dates).
+int64_t ToEpochDays(const CalendarDate& date);
+
+/// Inverse of ToEpochDays.
+CalendarDate FromEpochDays(int64_t days);
+
+/// Encodes a date in the Oracle-style unpacked byte layout:
+/// byte3 = century + 100, byte2 = (year % 100) + 100, byte1 = month,
+/// byte0 = day. Mirrors the on-disk DATE format the paper cites [25].
+uint32_t EncodeUnpackedDate(const CalendarDate& date);
+
+/// Decodes the unpacked byte layout back to a calendar date.
+CalendarDate DecodeUnpackedDate(uint32_t encoded);
+
+/// Hardware-friendly decode straight to epoch days: this is the operation
+/// the accelerator preprocessor performs on unpacked date columns.
+int64_t UnpackedDateToEpochDays(uint32_t encoded);
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_DATE_H_

@@ -1,0 +1,38 @@
+#include "common/fixed_point.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dphist {
+
+Decimal2 Decimal2::FromDouble(double v) {
+  double scaled = v * kScale;
+  return Decimal2(static_cast<int64_t>(
+      scaled >= 0 ? std::floor(scaled + 0.5) : std::ceil(scaled - 0.5)));
+}
+
+std::string Decimal2::ToString() const {
+  int64_t units = scaled_ / kScale;
+  int64_t cents = scaled_ % kScale;
+  if (cents < 0) cents = -cents;
+  char buf[32];
+  if (scaled_ < 0 && units == 0) {
+    std::snprintf(buf, sizeof(buf), "-0.%02lld", static_cast<long long>(cents));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld.%02lld",
+                  static_cast<long long>(units), static_cast<long long>(cents));
+  }
+  return buf;
+}
+
+Decimal2 operator*(Decimal2 a, Decimal2 b) {
+  __int128 product = static_cast<__int128>(a.scaled()) * b.scaled();
+  // Round half away from zero when dropping the extra scale factor.
+  __int128 half = Decimal2::kScale / 2;
+  __int128 rounded =
+      product >= 0 ? (product + half) / Decimal2::kScale
+                   : (product - half) / Decimal2::kScale;
+  return Decimal2(static_cast<int64_t>(rounded));
+}
+
+}  // namespace dphist

@@ -1,0 +1,63 @@
+#ifndef DPHIST_COMMON_FIXED_POINT_H_
+#define DPHIST_COMMON_FIXED_POINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dphist {
+
+/// Fixed-point decimal with two fractional digits, the representation used
+/// for monetary TPC-H columns such as l_extendedprice and c_acctbal.
+/// Stored as a scaled 64-bit integer (value * 100), which is exactly the
+/// integer view the paper's accelerator preprocessor relies on when it maps
+/// fixed-point columns to bin addresses (Section 5.1.1).
+class Decimal2 {
+ public:
+  static constexpr int64_t kScale = 100;
+
+  constexpr Decimal2() : scaled_(0) {}
+  constexpr explicit Decimal2(int64_t scaled) : scaled_(scaled) {}
+
+  /// Builds from whole and hundredth parts, e.g. FromParts(2001, 50) ==
+  /// 2001.50. `cents` must be in [0, 100) and carries the sign of `units`
+  /// implicitly (pass units < 0 for negative values).
+  static constexpr Decimal2 FromParts(int64_t units, int64_t cents) {
+    return Decimal2(units * kScale + (units < 0 ? -cents : cents));
+  }
+
+  /// Builds from a double, rounding half away from zero.
+  static Decimal2 FromDouble(double v);
+
+  /// The raw scaled integer (value * 100). This is what the accelerator
+  /// preprocessor bins on.
+  constexpr int64_t scaled() const { return scaled_; }
+
+  double ToDouble() const { return static_cast<double>(scaled_) / kScale; }
+
+  /// Renders as e.g. "2001.00".
+  std::string ToString() const;
+
+  friend constexpr bool operator==(Decimal2 a, Decimal2 b) {
+    return a.scaled_ == b.scaled_;
+  }
+  friend constexpr auto operator<=>(Decimal2 a, Decimal2 b) {
+    return a.scaled_ <=> b.scaled_;
+  }
+  friend constexpr Decimal2 operator+(Decimal2 a, Decimal2 b) {
+    return Decimal2(a.scaled_ + b.scaled_);
+  }
+  friend constexpr Decimal2 operator-(Decimal2 a, Decimal2 b) {
+    return Decimal2(a.scaled_ - b.scaled_);
+  }
+
+  /// Multiplies two decimals, rounding the product back to two fractional
+  /// digits (used for the l_tax * l_extendedprice expression in query Q1).
+  friend Decimal2 operator*(Decimal2 a, Decimal2 b);
+
+ private:
+  int64_t scaled_;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_FIXED_POINT_H_

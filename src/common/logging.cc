@@ -1,0 +1,38 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace dphist {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void Log(LogLevel level, const char* format, ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[dphist %s] ", LevelName(level));
+  va_list args;
+  va_start(args, format);
+  std::vfprintf(stderr, format, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace dphist

@@ -1,0 +1,24 @@
+#ifndef DPHIST_COMMON_LOGGING_H_
+#define DPHIST_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace dphist {
+
+/// Severity levels for the library logger. Benchmarks lower the threshold
+/// to kWarning to keep their stdout machine-parseable.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is emitted. Thread-compatible:
+/// call before spawning workers.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging to stderr with a severity prefix. Messages below
+/// the global threshold are dropped.
+void Log(LogLevel level, const char* format, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_LOGGING_H_

@@ -1,0 +1,73 @@
+#ifndef DPHIST_COMMON_MACROS_H_
+#define DPHIST_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Assertion macros used throughout the library. Following the project's
+/// no-exception policy, programmer errors (violated preconditions,
+/// unreachable states) abort the process with a diagnostic; recoverable
+/// errors are reported through dphist::Status instead.
+
+/// Aborts with a formatted message if `cond` is false. Active in all build
+/// types: these guard invariants whose violation would silently corrupt
+/// results (e.g., histogram bucket accounting).
+#define DPHIST_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DPHIST_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// DPHIST_CHECK with an explanatory message appended to the diagnostic.
+#define DPHIST_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DPHIST_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Comparison checks that print both operands on failure.
+#define DPHIST_CHECK_OP(op, a, b)                                            \
+  do {                                                                       \
+    auto a_eval = (a);                                                       \
+    auto b_eval = (b);                                                       \
+    if (!(a_eval op b_eval)) {                                               \
+      std::fprintf(stderr,                                                   \
+                   "DPHIST_CHECK failed at %s:%d: %s %s %s (lhs=%lld, "      \
+                   "rhs=%lld)\n",                                            \
+                   __FILE__, __LINE__, #a, #op, #b,                          \
+                   static_cast<long long>(a_eval),                           \
+                   static_cast<long long>(b_eval));                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#define DPHIST_CHECK_EQ(a, b) DPHIST_CHECK_OP(==, a, b)
+#define DPHIST_CHECK_NE(a, b) DPHIST_CHECK_OP(!=, a, b)
+#define DPHIST_CHECK_LT(a, b) DPHIST_CHECK_OP(<, a, b)
+#define DPHIST_CHECK_LE(a, b) DPHIST_CHECK_OP(<=, a, b)
+#define DPHIST_CHECK_GT(a, b) DPHIST_CHECK_OP(>, a, b)
+#define DPHIST_CHECK_GE(a, b) DPHIST_CHECK_OP(>=, a, b)
+
+/// Marks a code path that must never execute.
+#define DPHIST_UNREACHABLE(msg)                                              \
+  do {                                                                       \
+    std::fprintf(stderr, "DPHIST_UNREACHABLE at %s:%d: %s\n", __FILE__,      \
+                 __LINE__, msg);                                             \
+    std::abort();                                                            \
+  } while (0)
+
+/// Propagates a non-OK Status from the evaluated expression.
+#define DPHIST_RETURN_NOT_OK(expr)                                           \
+  do {                                                                       \
+    ::dphist::Status status_macro_ = (expr);                                 \
+    if (!status_macro_.ok()) return status_macro_;                           \
+  } while (0)
+
+#endif  // DPHIST_COMMON_MACROS_H_

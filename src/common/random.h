@@ -1,0 +1,58 @@
+#ifndef DPHIST_COMMON_RANDOM_H_
+#define DPHIST_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dphist {
+
+/// xoshiro256** pseudo-random generator. Deterministic across platforms,
+/// much faster than std::mt19937_64, and sufficient for workload
+/// generation and property tests.
+class Rng {
+ public:
+  /// Seeds the generator via splitmix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t Next();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// Samples from a Zipf distribution over {1, ..., n} with exponent `s`
+/// (s = 0 degenerates to uniform). Uses the inverse-CDF over precomputed
+/// cumulative weights; construction is O(n), sampling is O(log n).
+class ZipfGenerator {
+ public:
+  /// \param n     population size (>= 1)
+  /// \param s     skew exponent (>= 0); the paper sweeps 0, 0.35, 0.75, 1.0
+  ZipfGenerator(uint64_t n, double s);
+
+  /// Returns a value in [1, n].
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t population() const { return cdf_.size(); }
+  double exponent() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // normalized cumulative weights
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_RANDOM_H_

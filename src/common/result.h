@@ -1,0 +1,66 @@
+#ifndef DPHIST_COMMON_RESULT_H_
+#define DPHIST_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace dphist {
+
+/// Holds either a value of type T or an error Status (Arrow-style
+/// Result<T>). Accessing the value of an error result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or a non-OK status keeps call
+  /// sites readable: `return value;` / `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    DPHIST_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DPHIST_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T& value() & {
+    DPHIST_CHECK_MSG(ok(), status_.ToString().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    DPHIST_CHECK_MSG(ok(), status_.ToString().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates the error of a Result-returning expression, otherwise binds
+/// the unwrapped value to `lhs` (which may be a declaration, e.g.
+/// `DPHIST_ASSIGN_OR_RETURN(Foo foo, MakeFoo())`).
+#define DPHIST_RESULT_CONCAT_INNER_(a, b) a##b
+#define DPHIST_RESULT_CONCAT_(a, b) DPHIST_RESULT_CONCAT_INNER_(a, b)
+#define DPHIST_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+#define DPHIST_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  DPHIST_ASSIGN_OR_RETURN_IMPL_(DPHIST_RESULT_CONCAT_(result_, __LINE__), \
+                                lhs, expr)
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_RESULT_H_

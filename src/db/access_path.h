@@ -1,0 +1,53 @@
+#ifndef DPHIST_DB_ACCESS_PATH_H_
+#define DPHIST_DB_ACCESS_PATH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/ops.h"
+
+namespace dphist::db {
+
+/// The other optimizer decision the paper's introduction calls out:
+/// histograms "influence, e.g., how the data is accessed". For a range
+/// predicate on an indexed column, the planner chooses between a
+/// sequential scan (cost ~ all rows) and an index scan (cost ~ matching
+/// rows, each paying a random-fetch penalty), based on the selectivity
+/// its histogram predicts. A stale or under-sampled histogram mis-sizes
+/// the predicate and flips the choice.
+enum class AccessPath { kSeqScan, kIndexScan };
+
+const char* AccessPathName(AccessPath path);
+
+struct AccessPathChoice {
+  AccessPath path = AccessPath::kSeqScan;
+  double estimated_rows = 0;
+  double selectivity = 0;
+  double cost_seq_scan = 0;
+  double cost_index_scan = 0;
+  bool used_histogram = false;
+  std::string explanation;
+};
+
+/// Plans the access path for `lo <= column <= hi` on `table`. An index
+/// scan is only considered if the catalog has an index on the column.
+Result<AccessPathChoice> ChooseAccessPath(const Catalog& catalog,
+                                          const std::string& table,
+                                          size_t column, int64_t lo,
+                                          int64_t hi);
+
+/// Executes the range query `select <projection> where lo <= column <= hi`
+/// with the chosen access path; both produce identical relations (index
+/// results are returned in value order). `seconds` receives measured
+/// wall time.
+Result<Relation> ExecuteRangeQuery(const Catalog& catalog,
+                                   const std::string& table, size_t column,
+                                   int64_t lo, int64_t hi,
+                                   std::span<const size_t> projection,
+                                   AccessPath path, double* seconds);
+
+}  // namespace dphist::db
+
+#endif  // DPHIST_DB_ACCESS_PATH_H_

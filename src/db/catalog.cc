@@ -1,0 +1,88 @@
+#include "db/catalog.h"
+
+#include "common/macros.h"
+
+namespace dphist::db {
+
+page::TableFile* Catalog::AddTable(const std::string& name,
+                                   page::TableFile table,
+                                   Residency residency) {
+  DPHIST_CHECK_MSG(!tables_.contains(name), "table already registered");
+  TableEntry entry;
+  entry.name = name;
+  entry.table = std::make_unique<page::TableFile>(std::move(table));
+  entry.residency = residency;
+  entry.column_stats.resize(entry.table->schema().num_columns());
+  auto [it, inserted] = tables_.emplace(name, std::move(entry));
+  DPHIST_CHECK(inserted);
+  return it->second.table.get();
+}
+
+Result<TableEntry*> Catalog::Find(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return &it->second;
+}
+
+Result<const TableEntry*> Catalog::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table '" + name + "'");
+  return const_cast<const TableEntry*>(&it->second);
+}
+
+Status Catalog::SetColumnStats(const std::string& table, size_t column,
+                               ColumnStats stats) {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, Find(table));
+  if (column >= entry->column_stats.size()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  stats.version = entry->data_version;
+  entry->column_stats[column] = std::move(stats);
+  return Status::OK();
+}
+
+Result<const ColumnStats*> Catalog::GetColumnStats(const std::string& table,
+                                                   size_t column) const {
+  DPHIST_ASSIGN_OR_RETURN(const TableEntry* entry, Find(table));
+  if (column >= entry->column_stats.size()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  return &entry->column_stats[column];
+}
+
+bool Catalog::StatsFresh(const std::string& table, size_t column) const {
+  auto entry = Find(table);
+  if (!entry.ok()) return false;
+  if (column >= (*entry)->column_stats.size()) return false;
+  const ColumnStats& stats = (*entry)->column_stats[column];
+  return stats.valid && stats.version == (*entry)->data_version;
+}
+
+Status Catalog::BumpDataVersion(const std::string& table) {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, Find(table));
+  ++entry->data_version;
+  return Status::OK();
+}
+
+Result<double> Catalog::BuildIndex(const std::string& table, size_t column) {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, Find(table));
+  if (column >= entry->table->schema().num_columns()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  double seconds = 0;
+  Index index = Index::Build(*entry->table, column, &seconds);
+  entry->indexes.insert_or_assign(column, std::move(index));
+  return seconds;
+}
+
+Result<const Index*> Catalog::GetIndex(const std::string& table,
+                                       size_t column) const {
+  DPHIST_ASSIGN_OR_RETURN(const TableEntry* entry, Find(table));
+  auto it = entry->indexes.find(column);
+  if (it == entry->indexes.end()) {
+    return Status::NotFound("no index on that column");
+  }
+  return &it->second;
+}
+
+}  // namespace dphist::db

@@ -1,0 +1,83 @@
+#ifndef DPHIST_DB_CATALOG_H_
+#define DPHIST_DB_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/index.h"
+#include "db/stats.h"
+#include "db/storage.h"
+#include "page/table_file.h"
+
+namespace dphist::db {
+
+/// A registered table with its statistics and indexes.
+struct TableEntry {
+  std::string name;
+  std::unique_ptr<page::TableFile> table;
+  Residency residency = Residency::kMemory;
+  std::vector<ColumnStats> column_stats;  ///< one slot per column
+  std::map<size_t, Index> indexes;        ///< keyed by column index
+  /// Monotonic data version; bumped on logical updates so stats built
+  /// against an older version are observably stale.
+  uint64_t data_version = 1;
+};
+
+/// The system catalog of the mini-DBMS: tables, their optimizer stats,
+/// and their indexes. Stats freshness is explicit — the paper's central
+/// scenario is a planner consulting stats whose version lags the data.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a sealed table; the catalog takes ownership.
+  page::TableFile* AddTable(const std::string& name, page::TableFile table,
+                            Residency residency = Residency::kMemory);
+
+  Result<TableEntry*> Find(const std::string& name);
+  Result<const TableEntry*> Find(const std::string& name) const;
+
+  /// Installs stats for a column (e.g., from ANALYZE or the data-path
+  /// accelerator); records the current data version as their build
+  /// version.
+  Status SetColumnStats(const std::string& table, size_t column,
+                        ColumnStats stats);
+
+  Result<const ColumnStats*> GetColumnStats(const std::string& table,
+                                            size_t column) const;
+
+  /// True if the column's stats were built against the current data.
+  bool StatsFresh(const std::string& table, size_t column) const;
+
+  /// Marks a logical update to the table's data (the paper's "update
+  /// these lines without refreshing statistics").
+  Status BumpDataVersion(const std::string& table);
+
+  /// Builds (or rebuilds) an index on a column; returns measured build
+  /// seconds.
+  Result<double> BuildIndex(const std::string& table, size_t column);
+
+  Result<const Index*> GetIndex(const std::string& table,
+                                size_t column) const;
+
+  /// Applies `fn(const TableEntry&)` to every registered table, in name
+  /// order.
+  template <typename Fn>
+  void ForEachTable(Fn&& fn) const {
+    for (const auto& [name, entry] : tables_) fn(entry);
+  }
+
+ private:
+  std::map<std::string, TableEntry> tables_;
+};
+
+}  // namespace dphist::db
+
+#endif  // DPHIST_DB_CATALOG_H_

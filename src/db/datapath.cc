@@ -1,0 +1,59 @@
+#include "db/datapath.h"
+
+#include "common/macros.h"
+
+namespace dphist::db {
+
+ColumnStats StatsFromAcceleratorReport(const accel::AcceleratorReport& report,
+                                       const accel::ScanRequest& request) {
+  ColumnStats stats;
+  stats.valid = true;
+  // The Compressed histogram carries exact counts for the heavy hitters
+  // and equi-depth buckets for the body — the most planner-friendly of
+  // the four products.
+  if (!report.histograms.compressed.buckets.empty() ||
+      !report.histograms.compressed.singletons.empty()) {
+    stats.histogram = report.histograms.compressed;
+  } else {
+    stats.histogram = report.histograms.equi_depth;
+  }
+  stats.top_k = report.histograms.top_k;
+  stats.row_count = report.rows;
+  stats.ndv = report.distinct_values;
+  stats.min_value = request.min_value;
+  stats.max_value = request.max_value;
+  stats.sampling_rate = 1.0;  // the accelerator always sees all rows
+  stats.build_seconds = report.total_seconds;
+  return stats;
+}
+
+Result<accel::AcceleratorReport> DataPathScanner::ScanAndRefresh(
+    const std::string& table, size_t column,
+    const accel::ScanRequest& request) {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Find(table));
+  accel::ScanRequest scan = request;
+  scan.column_index = column;
+  DPHIST_ASSIGN_OR_RETURN(accel::AcceleratorReport report,
+                          accelerator_->ProcessTable(*entry->table, scan));
+  DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
+      table, column, StatsFromAcceleratorReport(report, scan)));
+  return report;
+}
+
+Result<accel::MultiColumnReport> DataPathScanner::ScanAndRefreshColumns(
+    const std::string& table,
+    std::span<const accel::ScanRequest> requests) {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Find(table));
+  DPHIST_ASSIGN_OR_RETURN(
+      accel::MultiColumnReport report,
+      accel::ProcessTableMultiColumn(accelerator_->config(), *entry->table,
+                                     requests));
+  for (size_t i = 0; i < requests.size(); ++i) {
+    DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
+        table, requests[i].column_index,
+        StatsFromAcceleratorReport(report.columns[i], requests[i])));
+  }
+  return report;
+}
+
+}  // namespace dphist::db

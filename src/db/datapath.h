@@ -1,0 +1,58 @@
+#ifndef DPHIST_DB_DATAPATH_H_
+#define DPHIST_DB_DATAPATH_H_
+
+#include <string>
+
+#include "accel/accelerator.h"
+#include "accel/multi_column.h"
+#include "common/result.h"
+#include "db/catalog.h"
+
+namespace dphist::db {
+
+/// The paper's end-to-end integration: the statistics accelerator sits on
+/// the storage-to-host path, so every full table scan can refresh the
+/// catalog's histograms as a side effect (Section 1: "if histograms can
+/// be refreshed every time a table is scanned, the global freshness of
+/// statistics will be higher").
+///
+/// DataPathScanner streams a registered table through an Accelerator and
+/// installs the resulting statistics in the catalog, stamped with the
+/// current data version — i.e., always fresh.
+class DataPathScanner {
+ public:
+  /// Neither pointer is owned; both must outlive the scanner.
+  DataPathScanner(Catalog* catalog, accel::Accelerator* accelerator)
+      : catalog_(catalog), accelerator_(accelerator) {}
+
+  /// Scans `table` (as a query's full table scan would) and refreshes the
+  /// stats of `column`. Domain metadata (min/max) comes from `request`;
+  /// callers typically take it from prior stats or schema knowledge, as
+  /// the host does when it parameterizes the accelerator's preprocessor.
+  Result<accel::AcceleratorReport> ScanAndRefresh(
+      const std::string& table, size_t column,
+      const accel::ScanRequest& request);
+
+  /// Refreshes several columns from a single pass of the table stream
+  /// (replicated statistic circuits; see accel::ProcessTableMultiColumn).
+  /// Each request's column_index selects its column. Returns the
+  /// combined one-pass report.
+  Result<accel::MultiColumnReport> ScanAndRefreshColumns(
+      const std::string& table,
+      std::span<const accel::ScanRequest> requests);
+
+ private:
+  Catalog* catalog_;
+  accel::Accelerator* accelerator_;
+};
+
+/// Converts an accelerator report into catalog ColumnStats: the
+/// Compressed histogram (singletons + equi-depth body) becomes the
+/// planner's histogram, the TopK list becomes the MCV list, and NDV is
+/// the exact non-zero bin count.
+ColumnStats StatsFromAcceleratorReport(const accel::AcceleratorReport& report,
+                                       const accel::ScanRequest& request);
+
+}  // namespace dphist::db
+
+#endif  // DPHIST_DB_DATAPATH_H_

@@ -1,0 +1,52 @@
+#include "db/index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "db/storage.h"
+
+namespace dphist::db {
+
+Index Index::Build(const page::TableFile& table, size_t column,
+                   double* build_seconds) {
+  WallTimer timer;
+  std::vector<int64_t> values = table.ReadColumn(column);
+
+  std::vector<uint64_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint64_t a, uint64_t b) {
+    if (values[a] != values[b]) return values[a] < values[b];
+    return a < b;
+  });
+
+  std::vector<int64_t> sorted;
+  sorted.reserve(values.size());
+  for (uint64_t row : order) sorted.push_back(values[row]);
+
+  if (build_seconds != nullptr) *build_seconds = timer.Seconds();
+  return Index(std::move(sorted), std::move(order));
+}
+
+uint64_t Index::CountLess(int64_t v) const {
+  return static_cast<uint64_t>(
+      std::lower_bound(sorted_.begin(), sorted_.end(), v) - sorted_.begin());
+}
+
+uint64_t Index::CountEquals(int64_t v) const {
+  auto range = std::equal_range(sorted_.begin(), sorted_.end(), v);
+  return static_cast<uint64_t>(range.second - range.first);
+}
+
+std::vector<uint64_t> Index::LookupRange(int64_t lo, int64_t hi) const {
+  std::vector<uint64_t> rows;
+  if (lo > hi) return rows;
+  auto begin = std::lower_bound(sorted_.begin(), sorted_.end(), lo);
+  auto end = std::upper_bound(sorted_.begin(), sorted_.end(), hi);
+  rows.reserve(static_cast<size_t>(end - begin));
+  for (auto it = begin; it != end; ++it) {
+    rows.push_back(row_ids_[static_cast<size_t>(it - sorted_.begin())]);
+  }
+  return rows;
+}
+
+}  // namespace dphist::db

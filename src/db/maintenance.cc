@@ -1,0 +1,67 @@
+#include "db/maintenance.h"
+
+#include <algorithm>
+
+namespace dphist::db {
+
+std::vector<MaintenanceCandidate> FindStaleColumns(
+    const Catalog& catalog, double analyze_bytes_per_second) {
+  std::vector<MaintenanceCandidate> stale;
+  catalog.ForEachTable([&](const TableEntry& entry) {
+    for (size_t column = 0; column < entry.column_stats.size(); ++column) {
+      const ColumnStats& stats = entry.column_stats[column];
+      bool fresh = stats.valid && stats.version == entry.data_version;
+      if (fresh) continue;
+      MaintenanceCandidate candidate;
+      candidate.table = entry.name;
+      candidate.column = column;
+      // Cost estimate: table bytes at the analyzer's observed rate; a
+      // previously measured build refines the guess.
+      candidate.estimated_seconds =
+          static_cast<double>(entry.table->size_bytes()) /
+          analyze_bytes_per_second;
+      if (stats.valid && stats.build_seconds > 0) {
+        candidate.estimated_seconds = stats.build_seconds;
+      }
+      // Staleness depth as priority: columns more versions behind first.
+      candidate.priority =
+          stats.valid
+              ? static_cast<double>(entry.data_version - stats.version)
+              : static_cast<double>(entry.data_version);
+      stale.push_back(std::move(candidate));
+    }
+  });
+  return stale;
+}
+
+std::vector<MaintenanceCandidate> PlanMaintenanceWindow(
+    std::vector<MaintenanceCandidate> candidates, double budget_seconds,
+    std::vector<MaintenanceCandidate>* left_out) {
+  // Greedy by priority per second (ties: cheaper first, then by name for
+  // determinism).
+  std::sort(candidates.begin(), candidates.end(),
+            [](const MaintenanceCandidate& a,
+               const MaintenanceCandidate& b) {
+              double ra = a.priority / std::max(1e-12, a.estimated_seconds);
+              double rb = b.priority / std::max(1e-12, b.estimated_seconds);
+              if (ra != rb) return ra > rb;
+              if (a.estimated_seconds != b.estimated_seconds) {
+                return a.estimated_seconds < b.estimated_seconds;
+              }
+              if (a.table != b.table) return a.table < b.table;
+              return a.column < b.column;
+            });
+  std::vector<MaintenanceCandidate> chosen;
+  double spent = 0;
+  for (auto& candidate : candidates) {
+    if (spent + candidate.estimated_seconds <= budget_seconds) {
+      spent += candidate.estimated_seconds;
+      chosen.push_back(std::move(candidate));
+    } else if (left_out != nullptr) {
+      left_out->push_back(std::move(candidate));
+    }
+  }
+  return chosen;
+}
+
+}  // namespace dphist::db

@@ -1,0 +1,143 @@
+#include "db/ops.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/fixed_point.h"
+#include "common/macros.h"
+
+namespace dphist::db {
+
+bool EvalCompare(int64_t value, CompareOp op, int64_t literal) {
+  switch (op) {
+    case CompareOp::kEq:
+      return value == literal;
+    case CompareOp::kNe:
+      return value != literal;
+    case CompareOp::kLt:
+      return value < literal;
+    case CompareOp::kLe:
+      return value <= literal;
+    case CompareOp::kGt:
+      return value > literal;
+    case CompareOp::kGe:
+      return value >= literal;
+  }
+  DPHIST_UNREACHABLE("invalid CompareOp");
+}
+
+Relation ScanFilterProject(const page::TableFile& table,
+                           std::span<const ColumnPredicate> predicates,
+                           std::span<const size_t> projection) {
+  Relation out;
+  out.columns.resize(projection.size());
+  // Decode only the columns the predicates and projection touch: a table
+  // scan's cost is per-needed-column, which is what makes a simple scan
+  // query cheaper than column analysis (paper Figure 2).
+  for (size_t p = 0; p < table.page_count(); ++p) {
+    auto reader = table.OpenPage(p);
+    DPHIST_CHECK(reader.ok());
+    for (uint32_t r = 0; r < reader->tuple_count(); ++r) {
+      bool keep = true;
+      for (const auto& pred : predicates) {
+        if (!EvalCompare(reader->GetValue(r, pred.column), pred.op,
+                         pred.literal)) {
+          keep = false;
+          break;
+        }
+      }
+      if (!keep) continue;
+      for (size_t i = 0; i < projection.size(); ++i) {
+        out.columns[i].push_back(reader->GetValue(r, projection[i]));
+      }
+    }
+  }
+  return out;
+}
+
+void AppendDecimalProduct(Relation* relation, size_t a, size_t b) {
+  DPHIST_CHECK_LT(a, relation->num_columns());
+  DPHIST_CHECK_LT(b, relation->num_columns());
+  std::vector<int64_t> product;
+  product.reserve(relation->num_rows());
+  const auto& col_a = relation->columns[a];
+  const auto& col_b = relation->columns[b];
+  for (size_t i = 0; i < col_a.size(); ++i) {
+    product.push_back((Decimal2(col_a[i]) * Decimal2(col_b[i])).scaled());
+  }
+  relation->columns.push_back(std::move(product));
+}
+
+Relation NestedLoopCountLess(const Relation& left, size_t left_column,
+                             const Relation& right, size_t right_column) {
+  Relation out = left;
+  std::vector<int64_t> counts;
+  counts.reserve(left.num_rows());
+  const auto& lvals = left.columns[left_column];
+  const auto& rvals = right.columns[right_column];
+  for (int64_t lv : lvals) {
+    int64_t count = 0;
+    for (int64_t rv : rvals) {
+      count += (rv < lv);
+    }
+    counts.push_back(count);
+  }
+  out.columns.push_back(std::move(counts));
+  return out;
+}
+
+Relation SortMergeCountLess(const Relation& left, size_t left_column,
+                            const Relation& right, size_t right_column) {
+  Relation out = left;
+  std::vector<int64_t> sorted = right.columns[right_column];
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int64_t> counts;
+  counts.reserve(left.num_rows());
+  for (int64_t lv : left.columns[left_column]) {
+    counts.push_back(static_cast<int64_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), lv) -
+        sorted.begin()));
+  }
+  out.columns.push_back(std::move(counts));
+  return out;
+}
+
+Relation HashGroupCount(const Relation& input, size_t key_column) {
+  std::unordered_map<int64_t, int64_t> counts;
+  for (int64_t key : input.columns[key_column]) ++counts[key];
+  std::map<int64_t, int64_t> sorted(counts.begin(), counts.end());
+  Relation out;
+  out.columns.resize(2);
+  for (const auto& [key, count] : sorted) {
+    out.columns[0].push_back(key);
+    out.columns[1].push_back(count);
+  }
+  return out;
+}
+
+Relation HashJoinEquals(const Relation& left, size_t left_column,
+                        const Relation& right, size_t right_column) {
+  std::unordered_multimap<int64_t, size_t> build;
+  build.reserve(right.num_rows());
+  for (size_t r = 0; r < right.columns[right_column].size(); ++r) {
+    build.emplace(right.columns[right_column][r], r);
+  }
+  Relation out;
+  out.columns.resize(left.num_columns() + right.num_columns());
+  for (size_t l = 0; l < left.num_rows(); ++l) {
+    auto [begin, end] = build.equal_range(left.columns[left_column][l]);
+    for (auto it = begin; it != end; ++it) {
+      for (size_t c = 0; c < left.num_columns(); ++c) {
+        out.columns[c].push_back(left.columns[c][l]);
+      }
+      for (size_t c = 0; c < right.num_columns(); ++c) {
+        out.columns[left.num_columns() + c].push_back(
+            right.columns[c][it->second]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dphist::db

@@ -1,0 +1,71 @@
+#ifndef DPHIST_DB_OPS_H_
+#define DPHIST_DB_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "page/table_file.h"
+
+namespace dphist::db {
+
+/// A materialized columnar relation — the unit the executor's operators
+/// exchange. All values use the library-wide logical int64 encoding
+/// (Decimal2 columns carry the x100-scaled integer).
+struct Relation {
+  std::vector<std::vector<int64_t>> columns;
+
+  uint64_t num_rows() const {
+    return columns.empty() ? 0 : columns[0].size();
+  }
+  size_t num_columns() const { return columns.size(); }
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Evaluates `value (op) literal`.
+bool EvalCompare(int64_t value, CompareOp op, int64_t literal);
+
+/// A conjunctive scan predicate on one column.
+struct ColumnPredicate {
+  size_t column;
+  CompareOp op;
+  int64_t literal;
+};
+
+/// Scans a table, keeps rows satisfying every predicate, and projects the
+/// given columns (in order) into a Relation.
+Relation ScanFilterProject(const page::TableFile& table,
+                           std::span<const ColumnPredicate> predicates,
+                           std::span<const size_t> projection);
+
+/// Appends a computed column: the Decimal2 product of columns `a` and `b`
+/// (Q1's `l_tax * l_extendedprice`).
+void AppendDecimalProduct(Relation* relation, size_t a, size_t b);
+
+/// Band aggregation join, the core of query Q1: for every left row,
+/// counts the right rows whose `right_column` value is strictly less than
+/// the left row's `left_column` value. Returns the left relation extended
+/// with the count column. Two physical implementations:
+///
+///  * Nested loops — O(|L| * |R|); the plan a misled optimizer picks when
+///    it believes |R| is tiny.
+///  * Sort-merge — sorts R once, then answers each left row with a binary
+///    search; O((|L| + |R|) log |R|).
+Relation NestedLoopCountLess(const Relation& left, size_t left_column,
+                             const Relation& right, size_t right_column);
+Relation SortMergeCountLess(const Relation& left, size_t left_column,
+                            const Relation& right, size_t right_column);
+
+/// Hash group-by counting occurrences of each key; returns (key, count)
+/// sorted by key.
+Relation HashGroupCount(const Relation& input, size_t key_column);
+
+/// Generic inner equality hash join projecting all columns of both sides
+/// (left columns first). Used by tests and examples beyond Q1.
+Relation HashJoinEquals(const Relation& left, size_t left_column,
+                        const Relation& right, size_t right_column);
+
+}  // namespace dphist::db
+
+#endif  // DPHIST_DB_OPS_H_

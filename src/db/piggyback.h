@@ -1,0 +1,50 @@
+#ifndef DPHIST_DB_PIGGYBACK_H_
+#define DPHIST_DB_PIGGYBACK_H_
+
+#include <cstdint>
+
+#include "db/ops.h"
+#include "db/stats.h"
+#include "page/table_file.h"
+
+namespace dphist::db {
+
+/// The piggyback method of Zhu et al. [37], the paper's software
+/// counterpart (Section 2, Related Work): statistics are collected *on
+/// the CPU* during the processing of a user query, by piggybacking extra
+/// work onto the scan. Freshness matches the data path's, but — as the
+/// original authors concede and the paper stresses — the query itself
+/// slows down, because the same processor that answers the query also
+/// aggregates and sorts the statistics column.
+///
+/// This implementation runs a ScanFilterProject while simultaneously
+/// collecting the values of a statistics column (which need not be part
+/// of the query's projection), then builds the histogram from the
+/// collected values. The measured overhead vs a plain scan is exactly
+/// what the paper's in-datapath design eliminates.
+struct PiggybackResult {
+  Relation query_result;   ///< the user query's output
+  ColumnStats stats;       ///< full-data statistics on stats_column
+  double scan_seconds = 0;   ///< query scan including the piggyback work
+  double stats_seconds = 0;  ///< histogram build after the scan
+  double total_seconds = 0;
+};
+
+/// Executes the query scan (predicates + projection) and piggybacks
+/// full-data statistics collection on `stats_column`.
+/// \param num_buckets buckets for the resulting equi-depth histogram
+/// \param top_k       most-common-values list length
+PiggybackResult PiggybackScan(const page::TableFile& table,
+                              std::span<const ColumnPredicate> predicates,
+                              std::span<const size_t> projection,
+                              size_t stats_column, uint32_t num_buckets,
+                              uint32_t top_k);
+
+/// The same query without the piggyback, for overhead measurement.
+double PlainScanSeconds(const page::TableFile& table,
+                        std::span<const ColumnPredicate> predicates,
+                        std::span<const size_t> projection);
+
+}  // namespace dphist::db
+
+#endif  // DPHIST_DB_PIGGYBACK_H_

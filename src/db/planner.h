@@ -1,0 +1,70 @@
+#ifndef DPHIST_DB_PLANNER_H_
+#define DPHIST_DB_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/ops.h"
+
+namespace dphist::db {
+
+/// The paper's motivating query Q1 (Section 2) against our mini-DBMS:
+///
+///   with somelines as (
+///     select (l_tax * l_extendedprice) as val
+///     from lineitem where l_extendedprice = :price)
+///   select c_custkey, count(*)
+///   from customer, somelines
+///   where somelines.val < customer.c_acctbal
+///     and customer.c_custkey < :x
+///   group by c_custkey;
+struct Q1Query {
+  int64_t price_scaled = 200100;  ///< 2001.00 in Decimal2 units
+  int64_t custkey_limit = 2000;   ///< the paper's parameter x
+};
+
+enum class JoinAlgorithm { kNestedLoops, kSortMerge };
+
+const char* JoinAlgorithmName(JoinAlgorithm algorithm);
+
+/// The optimizer's decision plus the estimates that led to it.
+struct PlanChoice {
+  JoinAlgorithm join = JoinAlgorithm::kNestedLoops;
+  double estimated_somelines = 0;  ///< rows matching the price predicate
+  double estimated_customers = 0;  ///< rows passing c_custkey < x
+  double cost_nested_loops = 0;    ///< comparisons: |L| * |R|
+  double cost_sort_merge = 0;      ///< (|R| log |R|) + |L| log |R|
+  bool used_histogram = false;     ///< false when stats were missing
+  std::string explanation;         ///< EXPLAIN-style one-liner
+};
+
+/// Chooses the join algorithm for Q1 from the catalog's statistics on
+/// lineitem.l_extendedprice and customer.c_custkey. This is the component
+/// the paper shows being misled by stale or under-sampled histograms
+/// (Figures 1 and 21).
+Result<PlanChoice> PlanQ1(const Catalog& catalog,
+                          const std::string& lineitem_name,
+                          const std::string& customer_name,
+                          const Q1Query& query);
+
+/// Measured execution of Q1 with an explicitly chosen join algorithm.
+struct Q1Execution {
+  uint64_t somelines_rows = 0;   ///< actual CTE size
+  uint64_t customer_rows = 0;    ///< actual filtered customer size
+  uint64_t result_groups = 0;
+  uint64_t total_matches = 0;    ///< sum of counts over all groups
+  double scan_seconds = 0;       ///< producing both join inputs
+  double join_seconds = 0;       ///< the join itself (paper's "join time")
+  double total_seconds = 0;
+};
+
+Result<Q1Execution> ExecuteQ1(const Catalog& catalog,
+                              const std::string& lineitem_name,
+                              const std::string& customer_name,
+                              const Q1Query& query, JoinAlgorithm algorithm);
+
+}  // namespace dphist::db
+
+#endif  // DPHIST_DB_PLANNER_H_

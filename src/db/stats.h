@@ -1,0 +1,30 @@
+#ifndef DPHIST_DB_STATS_H_
+#define DPHIST_DB_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hist/types.h"
+
+namespace dphist::db {
+
+/// Optimizer statistics for one column, as stored in the catalog. The
+/// paper's thesis is about the *freshness* of exactly this object:
+/// `version` records the catalog version at which the stats were built,
+/// so staleness is observable.
+struct ColumnStats {
+  bool valid = false;
+  hist::Histogram histogram;
+  std::vector<hist::ValueCount> top_k;
+  uint64_t row_count = 0;
+  uint64_t ndv = 0;  ///< (estimated) number of distinct values
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  double sampling_rate = 1.0;  ///< fraction of rows examined when built
+  double build_seconds = 0;    ///< what it cost to produce
+  uint64_t version = 0;        ///< catalog data version when built
+};
+
+}  // namespace dphist::db
+
+#endif  // DPHIST_DB_STATS_H_

@@ -1,0 +1,47 @@
+#ifndef DPHIST_DB_STORAGE_H_
+#define DPHIST_DB_STORAGE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dphist::db {
+
+/// Where a table resides; the paper's Figure 2 contrasts ANALYZE times for
+/// lineitem on disk and in memory.
+enum class Residency { kMemory, kDisk };
+
+/// Storage-device timing model. CPU work is measured for real; when a
+/// table is "on disk" the reported time is the maximum of the measured
+/// CPU time and the sequential-transfer time of the bytes actually read
+/// (I/O and computation overlap in a streaming scan).
+struct StorageModel {
+  double disk_bandwidth_bytes_per_s = 150e6;  ///< HDD-era sequential rate
+
+  double ScanSeconds(uint64_t bytes_read, Residency residency,
+                     double cpu_seconds) const {
+    if (residency == Residency::kMemory) return cpu_seconds;
+    double io_seconds =
+        static_cast<double>(bytes_read) / disk_bandwidth_bytes_per_s;
+    return cpu_seconds > io_seconds ? cpu_seconds : io_seconds;
+  }
+};
+
+/// Monotonic wall-clock stopwatch for measuring real engine work.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double Seconds() const {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double>(elapsed).count();
+  }
+
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dphist::db
+
+#endif  // DPHIST_DB_STORAGE_H_

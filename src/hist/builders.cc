@@ -1,0 +1,189 @@
+#include "hist/builders.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace dphist::hist {
+
+namespace {
+
+Histogram MakeShell(const FrequencyVector& freqs, HistogramType type) {
+  Histogram h;
+  h.type = type;
+  if (!freqs.empty()) {
+    h.min_value = freqs.front().value;
+    h.max_value = freqs.back().value;
+  }
+  for (const auto& f : freqs) h.total_count += f.count;
+  return h;
+}
+
+/// Emits equi-depth buckets over `freqs`, skipping entries for which
+/// `excluded` (if non-null) is true. Appends to h->buckets.
+void EquiDepthInto(const FrequencyVector& freqs, uint32_t num_buckets,
+                   const std::vector<bool>* excluded, uint64_t total,
+                   Histogram* h) {
+  if (total == 0) return;
+  const uint64_t limit = std::max<uint64_t>(1, total / num_buckets);
+  uint64_t sum = 0;
+  uint64_t distinct = 0;
+  int64_t lo = 0;
+  bool open = false;
+  for (size_t i = 0; i < freqs.size(); ++i) {
+    if (excluded != nullptr && (*excluded)[i]) continue;
+    if (!open) {
+      lo = freqs[i].value;
+      open = true;
+    }
+    sum += freqs[i].count;
+    ++distinct;
+    if (sum >= limit) {
+      h->buckets.push_back(Bucket{lo, freqs[i].value, sum, distinct});
+      sum = 0;
+      distinct = 0;
+      open = false;
+    }
+  }
+  if (open && sum > 0) {
+    int64_t hi = 0;
+    for (size_t i = freqs.size(); i-- > 0;) {
+      if (excluded == nullptr || !(*excluded)[i]) {
+        hi = freqs[i].value;
+        break;
+      }
+    }
+    h->buckets.push_back(Bucket{lo, hi, sum, distinct});
+  }
+}
+
+}  // namespace
+
+std::vector<ValueCount> TopKSparse(const FrequencyVector& freqs, uint32_t k) {
+  std::vector<ValueCount> entries = freqs;
+  std::sort(entries.begin(), entries.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+Histogram EquiDepthSparse(const FrequencyVector& freqs, uint32_t num_buckets) {
+  DPHIST_CHECK_GT(num_buckets, 0u);
+  Histogram h = MakeShell(freqs, HistogramType::kEquiDepth);
+  EquiDepthInto(freqs, num_buckets, nullptr, h.total_count, &h);
+  return h;
+}
+
+Histogram CompressedSparse(const FrequencyVector& freqs, uint32_t num_buckets,
+                           uint32_t top_k) {
+  DPHIST_CHECK_GT(num_buckets, 0u);
+  Histogram h = MakeShell(freqs, HistogramType::kCompressed);
+  h.singletons = TopKSparse(freqs, top_k);
+  uint64_t singleton_rows = 0;
+  for (const auto& s : h.singletons) singleton_rows += s.count;
+
+  std::vector<bool> excluded(freqs.size(), false);
+  // freqs is sorted by value, so singleton positions are binary-searchable.
+  for (const auto& s : h.singletons) {
+    auto it = std::lower_bound(
+        freqs.begin(), freqs.end(), s.value,
+        [](const ValueCount& f, int64_t v) { return f.value < v; });
+    DPHIST_CHECK(it != freqs.end() && it->value == s.value);
+    excluded[static_cast<size_t>(it - freqs.begin())] = true;
+  }
+  EquiDepthInto(freqs, num_buckets, &excluded, h.total_count - singleton_rows,
+                &h);
+  return h;
+}
+
+Histogram MaxDiffSparse(const FrequencyVector& freqs, uint32_t num_buckets) {
+  DPHIST_CHECK_GT(num_buckets, 0u);
+  Histogram h = MakeShell(freqs, HistogramType::kMaxDiff);
+  if (freqs.empty()) return h;
+
+  struct Diff {
+    uint64_t magnitude;
+    size_t boundary;  // break before freqs[boundary]
+  };
+  std::vector<Diff> diffs;
+  for (size_t i = 1; i < freqs.size(); ++i) {
+    uint64_t a = freqs[i - 1].count;
+    uint64_t b = freqs[i].count;
+    uint64_t magnitude = a > b ? a - b : b - a;
+    if (magnitude > 0) diffs.push_back(Diff{magnitude, i});
+  }
+  std::sort(diffs.begin(), diffs.end(), [](const Diff& a, const Diff& b) {
+    if (a.magnitude != b.magnitude) return a.magnitude > b.magnitude;
+    return a.boundary < b.boundary;
+  });
+  size_t num_boundaries = std::min<size_t>(diffs.size(), num_buckets - 1);
+  std::vector<size_t> boundaries;
+  for (size_t i = 0; i < num_boundaries; ++i) {
+    boundaries.push_back(diffs[i].boundary);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+
+  size_t start = 0;
+  auto emit = [&](size_t first, size_t last) {
+    uint64_t count = 0;
+    for (size_t i = first; i <= last; ++i) count += freqs[i].count;
+    h.buckets.push_back(Bucket{freqs[first].value, freqs[last].value, count,
+                               last - first + 1});
+  };
+  for (size_t boundary : boundaries) {
+    emit(start, boundary - 1);
+    start = boundary;
+  }
+  emit(start, freqs.size() - 1);
+  return h;
+}
+
+Histogram EquiWidthSparse(const FrequencyVector& freqs, uint32_t num_buckets) {
+  DPHIST_CHECK_GT(num_buckets, 0u);
+  Histogram h = MakeShell(freqs, HistogramType::kEquiWidth);
+  if (freqs.empty()) return h;
+
+  // Equal-width ranges over [min, max]; a bucket is emitted for every
+  // range (including empty ones) since the fixed grid is the point of the
+  // equi-width shape.
+  const __int128 span = static_cast<__int128>(h.max_value) - h.min_value + 1;
+  const __int128 width =
+      (span + num_buckets - 1) / static_cast<__int128>(num_buckets);
+  size_t i = 0;
+  for (uint32_t b = 0; b < num_buckets; ++b) {
+    int64_t lo =
+        static_cast<int64_t>(h.min_value + width * static_cast<__int128>(b));
+    if (lo > h.max_value) break;
+    int64_t hi = static_cast<int64_t>(
+        std::min<__int128>(static_cast<__int128>(lo) + width - 1,
+                           static_cast<__int128>(h.max_value)));
+    uint64_t count = 0;
+    uint64_t distinct = 0;
+    while (i < freqs.size() && freqs[i].value <= hi) {
+      count += freqs[i].count;
+      ++distinct;
+      ++i;
+    }
+    h.buckets.push_back(Bucket{lo, hi, count, distinct});
+  }
+  return h;
+}
+
+Histogram ScaleToPopulation(Histogram sampled, double sampling_rate) {
+  DPHIST_CHECK_GT(sampling_rate, 0.0);
+  if (sampling_rate >= 1.0) return sampled;
+  const double scale = 1.0 / sampling_rate;
+  auto scale_count = [scale](uint64_t c) {
+    return static_cast<uint64_t>(std::llround(static_cast<double>(c) * scale));
+  };
+  for (auto& b : sampled.buckets) b.count = scale_count(b.count);
+  for (auto& s : sampled.singletons) s.count = scale_count(s.count);
+  sampled.total_count = scale_count(sampled.total_count);
+  return sampled;
+}
+
+}  // namespace dphist::hist

@@ -1,0 +1,41 @@
+#ifndef DPHIST_HIST_BUILDERS_H_
+#define DPHIST_HIST_BUILDERS_H_
+
+#include <cstdint>
+
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// Software (DBMS-style) histogram builders over the sparse sorted
+/// FrequencyVector — the representation a database reaches by sorting a
+/// column (or a sample of it). These are the baselines the mini-DBMS
+/// analyzers use; they follow classic semantics where buckets span only
+/// values present in the data.
+
+/// Top-k most frequent values, ordered by (count desc, value asc).
+std::vector<ValueCount> TopKSparse(const FrequencyVector& freqs, uint32_t k);
+
+/// Equi-depth histogram (hybrid: a value's occurrences are never split
+/// across buckets).
+Histogram EquiDepthSparse(const FrequencyVector& freqs, uint32_t num_buckets);
+
+/// Compressed histogram: top_k exact singletons + equi-depth on the rest.
+Histogram CompressedSparse(const FrequencyVector& freqs, uint32_t num_buckets,
+                           uint32_t top_k);
+
+/// Max-diff histogram: boundaries at the (B-1) largest absolute
+/// differences between the counts of adjacent present values.
+Histogram MaxDiffSparse(const FrequencyVector& freqs, uint32_t num_buckets);
+
+/// Equi-width histogram over [min present value, max present value].
+Histogram EquiWidthSparse(const FrequencyVector& freqs, uint32_t num_buckets);
+
+/// Scales a histogram built on a p-sampled subset up to population scale:
+/// all counts are multiplied by 1/p (rounded). total_count is scaled the
+/// same way. Used by the sampling analyzers (paper Section 2, Figure 2).
+Histogram ScaleToPopulation(Histogram sampled, double sampling_rate);
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_BUILDERS_H_

@@ -1,0 +1,189 @@
+#include "hist/dense_reference.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dphist::hist {
+
+namespace {
+
+/// Shared skeleton for histograms built by cutting the dense bin range
+/// into contiguous segments. Emits one bucket per non-empty segment.
+void EmitSegment(const DenseCounts& dense, size_t first_bin, size_t last_bin,
+                 std::vector<Bucket>* out) {
+  uint64_t count = 0;
+  uint64_t distinct = 0;
+  for (size_t i = first_bin; i <= last_bin; ++i) {
+    count += dense.counts[i];
+    distinct += (dense.counts[i] != 0);
+  }
+  if (count == 0) return;  // all-zero segments carry no rows
+  out->push_back(Bucket{dense.ValueOfBin(first_bin),
+                        dense.ValueOfBin(last_bin), count, distinct});
+}
+
+Histogram MakeHistogramShell(const DenseCounts& dense, HistogramType type) {
+  Histogram h;
+  h.type = type;
+  h.min_value = dense.min_value;
+  h.max_value = dense.min_value + static_cast<int64_t>(dense.counts.size()) - 1;
+  h.total_count = dense.TotalCount();
+  return h;
+}
+
+}  // namespace
+
+std::vector<ValueCount> TopKDense(const DenseCounts& dense, uint32_t k) {
+  std::vector<ValueCount> entries;
+  for (size_t i = 0; i < dense.counts.size(); ++i) {
+    if (dense.counts[i] != 0) {
+      entries.push_back(ValueCount{dense.ValueOfBin(i), dense.counts[i]});
+    }
+  }
+  // (count desc, value asc): equal counts never displace an earlier entry
+  // in the hardware insertion-sort list, so the earlier (smaller) value
+  // ranks first.
+  std::sort(entries.begin(), entries.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+Histogram EquiDepthDense(const DenseCounts& dense, uint32_t num_buckets) {
+  DPHIST_CHECK_GT(num_buckets, 0u);
+  Histogram h = MakeHistogramShell(dense, HistogramType::kEquiDepth);
+  if (h.total_count == 0) return h;
+
+  const uint64_t limit = std::max<uint64_t>(1, h.total_count / num_buckets);
+  size_t start = 0;
+  uint64_t sum = 0;
+  uint64_t distinct = 0;
+  for (size_t i = 0; i < dense.counts.size(); ++i) {
+    sum += dense.counts[i];
+    distinct += (dense.counts[i] != 0);
+    if (sum >= limit) {
+      h.buckets.push_back(Bucket{dense.ValueOfBin(start), dense.ValueOfBin(i),
+                                 sum, distinct});
+      start = i + 1;
+      sum = 0;
+      distinct = 0;
+    }
+  }
+  if (sum > 0) {
+    h.buckets.push_back(Bucket{dense.ValueOfBin(start),
+                               dense.ValueOfBin(dense.counts.size() - 1), sum,
+                               distinct});
+  }
+  return h;
+}
+
+Histogram MaxDiffDense(const DenseCounts& dense, uint32_t num_buckets) {
+  DPHIST_CHECK_GT(num_buckets, 0u);
+  Histogram h = MakeHistogramShell(dense, HistogramType::kMaxDiff);
+  if (h.total_count == 0) return h;
+
+  // Scan 1: absolute differences between adjacent bins. diff_at[i] is the
+  // difference across the boundary between bin i-1 and bin i.
+  struct Diff {
+    uint64_t magnitude;
+    size_t boundary;  // bucket break placed *before* this bin
+  };
+  std::vector<Diff> diffs;
+  diffs.reserve(dense.counts.size());
+  for (size_t i = 1; i < dense.counts.size(); ++i) {
+    uint64_t a = dense.counts[i - 1];
+    uint64_t b = dense.counts[i];
+    uint64_t magnitude = a > b ? a - b : b - a;
+    if (magnitude > 0) diffs.push_back(Diff{magnitude, i});
+  }
+  std::sort(diffs.begin(), diffs.end(), [](const Diff& a, const Diff& b) {
+    if (a.magnitude != b.magnitude) return a.magnitude > b.magnitude;
+    return a.boundary < b.boundary;
+  });
+  size_t num_boundaries =
+      std::min<size_t>(diffs.size(), num_buckets - 1);
+  std::vector<size_t> boundaries;
+  boundaries.reserve(num_boundaries);
+  for (size_t i = 0; i < num_boundaries; ++i) {
+    boundaries.push_back(diffs[i].boundary);
+  }
+  std::sort(boundaries.begin(), boundaries.end());
+
+  // Scan 2: cut segments at the selected boundaries.
+  size_t start = 0;
+  for (size_t boundary : boundaries) {
+    EmitSegment(dense, start, boundary - 1, &h.buckets);
+    start = boundary;
+  }
+  EmitSegment(dense, start, dense.counts.size() - 1, &h.buckets);
+  return h;
+}
+
+Histogram CompressedDense(const DenseCounts& dense, uint32_t num_buckets,
+                          uint32_t top_k) {
+  DPHIST_CHECK_GT(num_buckets, 0u);
+  Histogram h = MakeHistogramShell(dense, HistogramType::kCompressed);
+  if (h.total_count == 0) return h;
+
+  h.singletons = TopKDense(dense, top_k);
+  uint64_t singleton_rows = 0;
+  for (const auto& s : h.singletons) singleton_rows += s.count;
+
+  // Scan 2: equi-depth over the remaining values; singleton bins are
+  // flagged invalid and contribute nothing.
+  std::vector<bool> excluded(dense.counts.size(), false);
+  for (const auto& s : h.singletons) {
+    excluded[static_cast<size_t>(s.value - dense.min_value)] = true;
+  }
+  uint64_t remaining = h.total_count - singleton_rows;
+  if (remaining == 0) return h;
+  const uint64_t limit = std::max<uint64_t>(1, remaining / num_buckets);
+
+  size_t start = 0;
+  uint64_t sum = 0;
+  uint64_t distinct = 0;
+  for (size_t i = 0; i < dense.counts.size(); ++i) {
+    if (!excluded[i]) {
+      sum += dense.counts[i];
+      distinct += (dense.counts[i] != 0);
+    }
+    if (sum >= limit) {
+      h.buckets.push_back(Bucket{dense.ValueOfBin(start), dense.ValueOfBin(i),
+                                 sum, distinct});
+      start = i + 1;
+      sum = 0;
+      distinct = 0;
+    }
+  }
+  if (sum > 0) {
+    h.buckets.push_back(Bucket{dense.ValueOfBin(start),
+                               dense.ValueOfBin(dense.counts.size() - 1), sum,
+                               distinct});
+  }
+  return h;
+}
+
+Histogram EquiWidthDense(const DenseCounts& dense, uint32_t num_buckets) {
+  DPHIST_CHECK_GT(num_buckets, 0u);
+  Histogram h = MakeHistogramShell(dense, HistogramType::kEquiWidth);
+  const size_t num_bins = dense.counts.size();
+  const size_t width = (num_bins + num_buckets - 1) / num_buckets;
+  for (size_t start = 0; start < num_bins; start += width) {
+    size_t end = std::min(start + width, num_bins) - 1;
+    uint64_t count = 0;
+    uint64_t distinct = 0;
+    for (size_t i = start; i <= end; ++i) {
+      count += dense.counts[i];
+      distinct += (dense.counts[i] != 0);
+    }
+    h.buckets.push_back(Bucket{dense.ValueOfBin(start), dense.ValueOfBin(end),
+                               count, distinct});
+  }
+  return h;
+}
+
+}  // namespace dphist::hist

@@ -1,0 +1,50 @@
+#ifndef DPHIST_HIST_DENSE_REFERENCE_H_
+#define DPHIST_HIST_DENSE_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// Reference implementations of the paper's statistic blocks, operating on
+/// the dense binned representation (Section 5.2). These are the executable
+/// specification the accelerator blocks in src/accel are tested against:
+/// identical bucket boundaries, identical deterministic tie-breaking.
+///
+/// Tie-breaking convention (matches the pipelined insertion-sort list of
+/// the TopK block, Figure 12): an item displaces a list occupant only if
+/// its count is *strictly* larger, so among equal counts the earlier bin
+/// (lower bin index / smaller value) wins and is ordered first.
+
+/// Exact top-k most frequent values. Zero-count bins never enter the list.
+/// Result is ordered by (count descending, value ascending).
+std::vector<ValueCount> TopKDense(const DenseCounts& dense, uint32_t k);
+
+/// Equi-depth histogram with Oracle-hybrid semantics: buckets are closed
+/// as soon as the running row sum reaches total/B, and a bucket always
+/// contains every appearance of each value it covers. The final partial
+/// bucket is emitted if it holds any rows.
+Histogram EquiDepthDense(const DenseCounts& dense, uint32_t num_buckets);
+
+/// Max-diff histogram: bucket boundaries placed at the (B-1) largest
+/// absolute differences between adjacent bins (two-scan algorithm of
+/// Figure 13). Ties favor earlier boundaries.
+Histogram MaxDiffDense(const DenseCounts& dense, uint32_t num_buckets);
+
+/// Compressed histogram: the top_k most frequent values are counted
+/// exactly as singletons; the remaining values are equi-depth bucketed
+/// into num_buckets buckets (two-scan algorithm of Figure 14).
+Histogram CompressedDense(const DenseCounts& dense, uint32_t num_buckets,
+                          uint32_t top_k);
+
+/// Equi-width histogram (Figure 3): the value range is cut into
+/// num_buckets equal-width ranges. Not implemented by the FPGA circuit —
+/// the binned representation *is* a width-1 equi-width histogram — but
+/// included for completeness of the histogram family.
+Histogram EquiWidthDense(const DenseCounts& dense, uint32_t num_buckets);
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_DENSE_REFERENCE_H_

@@ -1,0 +1,59 @@
+#include "hist/error.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "hist/estimator.h"
+
+namespace dphist::hist {
+
+AccuracyReport EvaluateAccuracy(const DenseCounts& truth,
+                                const Histogram& histogram,
+                                uint32_t num_range_queries, Rng* rng) {
+  AccuracyReport report;
+  Estimator estimator(&histogram);
+  const size_t n = truth.counts.size();
+  DPHIST_CHECK_GT(n, 0u);
+
+  // Point (equality-predicate) errors over the whole domain.
+  double sse = 0.0;
+  double abs_sum = 0.0;
+  double abs_max = 0.0;
+  std::vector<uint64_t> prefix(n + 1, 0);
+  for (size_t i = 0; i < n; ++i) {
+    double est = estimator.EstimateEquals(truth.ValueOfBin(i));
+    double err = est - static_cast<double>(truth.counts[i]);
+    sse += err * err;
+    abs_sum += std::abs(err);
+    abs_max = std::max(abs_max, std::abs(err));
+    prefix[i + 1] = prefix[i] + truth.counts[i];
+  }
+  report.reconstruction_sse = sse;
+  report.mean_abs_point_error = abs_sum / static_cast<double>(n);
+  report.max_abs_point_error = abs_max;
+
+  // Range-predicate errors on random inclusive ranges, normalized by the
+  // table size (selectivity error).
+  const double total = static_cast<double>(prefix[n]);
+  double range_sum = 0.0;
+  double range_max = 0.0;
+  for (uint32_t q = 0; q < num_range_queries; ++q) {
+    size_t a = static_cast<size_t>(rng->NextBounded(n));
+    size_t b = static_cast<size_t>(rng->NextBounded(n));
+    if (a > b) std::swap(a, b);
+    double actual = static_cast<double>(prefix[b + 1] - prefix[a]);
+    double est =
+        estimator.EstimateRange(truth.ValueOfBin(a), truth.ValueOfBin(b));
+    double err = total > 0 ? std::abs(est - actual) / total : 0.0;
+    range_sum += err;
+    range_max = std::max(range_max, err);
+  }
+  if (num_range_queries > 0) {
+    report.mean_range_error = range_sum / num_range_queries;
+    report.max_range_error = range_max;
+  }
+  return report;
+}
+
+}  // namespace dphist::hist

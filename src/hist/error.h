@@ -1,0 +1,31 @@
+#ifndef DPHIST_HIST_ERROR_H_
+#define DPHIST_HIST_ERROR_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// Histogram accuracy metrics against ground-truth dense counts. These
+/// back the paper's accuracy claims (Section 6.2: full-data FPGA
+/// histograms are "the same, or more accurate" than sampled DBMS ones).
+struct AccuracyReport {
+  double mean_abs_point_error = 0;  ///< mean |est(v) - true(v)| over domain
+  double max_abs_point_error = 0;   ///< max |est(v) - true(v)| over domain
+  double reconstruction_sse = 0;    ///< sum of squared point errors
+  double mean_range_error = 0;      ///< mean |est - true| / total, random ranges
+  double max_range_error = 0;       ///< max  |est - true| / total, random ranges
+};
+
+/// Evaluates `histogram` against the true distribution. Point metrics
+/// cover every value in the dense domain; range metrics average
+/// `num_range_queries` uniformly random inclusive ranges.
+AccuracyReport EvaluateAccuracy(const DenseCounts& truth,
+                                const Histogram& histogram,
+                                uint32_t num_range_queries, Rng* rng);
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_ERROR_H_

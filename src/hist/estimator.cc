@@ -1,0 +1,78 @@
+#include "hist/estimator.h"
+
+#include <algorithm>
+
+namespace dphist::hist {
+
+double Estimator::BucketOverlap(const Bucket& b, int64_t lo,
+                                int64_t hi) const {
+  int64_t overlap_lo = std::max(lo, b.lo);
+  int64_t overlap_hi = std::min(hi, b.hi);
+  if (overlap_lo > overlap_hi) return 0.0;
+  double bucket_width = static_cast<double>(b.hi - b.lo) + 1.0;
+  double overlap_width =
+      static_cast<double>(overlap_hi - overlap_lo) + 1.0;
+  return static_cast<double>(b.count) * overlap_width / bucket_width;
+}
+
+double Estimator::EstimateEquals(int64_t v) const {
+  for (const auto& s : h_->singletons) {
+    if (s.value == v) return static_cast<double>(s.count);
+  }
+  for (const auto& b : h_->buckets) {
+    if (v >= b.lo && v <= b.hi) {
+      // Uniformity over the distinct values when known, otherwise over
+      // the full value range.
+      if (b.distinct > 0) {
+        return static_cast<double>(b.count) / static_cast<double>(b.distinct);
+      }
+      double width = static_cast<double>(b.hi - b.lo) + 1.0;
+      return static_cast<double>(b.count) / width;
+    }
+  }
+  return 0.0;
+}
+
+double Estimator::EstimateRange(int64_t lo, int64_t hi) const {
+  if (lo > hi) return 0.0;
+  double estimate = 0.0;
+  for (const auto& s : h_->singletons) {
+    if (s.value >= lo && s.value <= hi) {
+      estimate += static_cast<double>(s.count);
+    }
+  }
+  for (const auto& b : h_->buckets) {
+    estimate += BucketOverlap(b, lo, hi);
+  }
+  return estimate;
+}
+
+double Estimator::EstimateLess(int64_t v) const {
+  if (v <= h_->min_value) return 0.0;
+  return EstimateRange(h_->min_value, v - 1);
+}
+
+double Estimator::EstimateGreater(int64_t v) const {
+  if (v >= h_->max_value) return 0.0;
+  return EstimateRange(v + 1, h_->max_value);
+}
+
+double EstimateCountLessPairs(const Histogram& left,
+                              const Histogram& right) {
+  Estimator left_estimator(&left);
+  double pairs = 0.0;
+  for (const auto& s : right.singletons) {
+    pairs += static_cast<double>(s.count) *
+             left_estimator.EstimateLess(s.value);
+  }
+  for (const auto& b : right.buckets) {
+    // Rows spread uniformly over [lo, hi]: the average count-below is
+    // approximated by the trapezoid over the bucket's endpoints.
+    double below_lo = left_estimator.EstimateLess(b.lo);
+    double below_hi = left_estimator.EstimateLess(b.hi);
+    pairs += static_cast<double>(b.count) * 0.5 * (below_lo + below_hi);
+  }
+  return pairs;
+}
+
+}  // namespace dphist::hist

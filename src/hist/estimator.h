@@ -1,0 +1,49 @@
+#ifndef DPHIST_HIST_ESTIMATOR_H_
+#define DPHIST_HIST_ESTIMATOR_H_
+
+#include <cstdint>
+
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// Cardinality estimation from a histogram under the uniform-within-bucket
+/// assumption (paper Section 3: "the height of the rectangle corresponds
+/// to the estimated count of each value within the respective bucket").
+/// This is the component a query planner consults; see db::Planner.
+class Estimator {
+ public:
+  /// `histogram` must outlive the estimator.
+  explicit Estimator(const Histogram* histogram) : h_(histogram) {}
+
+  /// Estimated number of rows with value == v.
+  double EstimateEquals(int64_t v) const;
+
+  /// Estimated number of rows with lo <= value <= hi (inclusive).
+  double EstimateRange(int64_t lo, int64_t hi) const;
+
+  /// Estimated number of rows with value < v.
+  double EstimateLess(int64_t v) const;
+
+  /// Estimated number of rows with value > v.
+  double EstimateGreater(int64_t v) const;
+
+ private:
+  /// Rows of bucket `b` expected in [lo, hi] by linear interpolation over
+  /// the bucket's value range.
+  double BucketOverlap(const Bucket& b, int64_t lo, int64_t hi) const;
+
+  const Histogram* h_;
+};
+
+/// Estimates the output size of the band join
+/// `count of pairs (l, r) with l.value < r.value` from the two sides'
+/// histograms — the quantity Q1's join produces per customer, summed.
+/// Each right-side mass contributes its rows times the left histogram's
+/// estimated count below it, integrated per bucket with the trapezoid
+/// rule under the uniformity assumption.
+double EstimateCountLessPairs(const Histogram& left, const Histogram& right);
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_ESTIMATOR_H_

@@ -1,0 +1,72 @@
+#include "hist/incremental.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dphist::hist {
+
+IncrementalEquiDepth::IncrementalEquiDepth(Histogram histogram)
+    : histogram_(std::move(histogram)) {
+  DPHIST_CHECK_MSG(!histogram_.buckets.empty(),
+                   "incremental maintenance needs at least one bucket");
+}
+
+size_t IncrementalEquiDepth::BucketFor(int64_t value) const {
+  // Buckets are ordered and non-overlapping; clamp to the edges so
+  // out-of-range inserts stretch the first/last bucket, as engines do.
+  if (value <= histogram_.buckets.front().hi) return 0;
+  if (value >= histogram_.buckets.back().lo) {
+    return histogram_.buckets.size() - 1;
+  }
+  size_t lo = 0;
+  size_t hi = histogram_.buckets.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (histogram_.buckets[mid].hi < value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void IncrementalEquiDepth::Insert(int64_t value) {
+  Bucket& bucket = histogram_.buckets[BucketFor(value)];
+  bucket.lo = std::min(bucket.lo, value);
+  bucket.hi = std::max(bucket.hi, value);
+  ++bucket.count;
+  ++histogram_.total_count;
+  histogram_.min_value = std::min(histogram_.min_value, value);
+  histogram_.max_value = std::max(histogram_.max_value, value);
+  ++inserts_;
+}
+
+void IncrementalEquiDepth::Delete(int64_t value) {
+  size_t index = BucketFor(value);
+  Bucket& bucket = histogram_.buckets[index];
+  if (value < bucket.lo || value > bucket.hi || bucket.count == 0) {
+    return;  // value not represented; nothing to absorb
+  }
+  --bucket.count;
+  --histogram_.total_count;
+  ++deletes_;
+}
+
+double IncrementalEquiDepth::ImbalanceRatio() const {
+  uint64_t max_count = 0;
+  for (const auto& bucket : histogram_.buckets) {
+    max_count = std::max(max_count, bucket.count);
+  }
+  double ideal = static_cast<double>(histogram_.total_count) /
+                 static_cast<double>(histogram_.buckets.size());
+  if (ideal <= 0) return 1.0;
+  return static_cast<double>(max_count) / ideal;
+}
+
+bool IncrementalEquiDepth::NeedsRebuild(double threshold) const {
+  return ImbalanceRatio() > threshold;
+}
+
+}  // namespace dphist::hist

@@ -1,0 +1,55 @@
+#ifndef DPHIST_HIST_INCREMENTAL_H_
+#define DPHIST_HIST_INCREMENTAL_H_
+
+#include <cstdint>
+
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// Incremental maintenance of an equi-depth histogram between full
+/// rebuilds — the software freshness mechanism real engines bolt on
+/// (absorb updates in place, rebuild when drift exceeds a threshold)
+/// and the natural yardstick for the paper's "rebuild for free on
+/// every scan" alternative: absorbing updates keeps the histogram
+/// *roughly* right but degrades structurally, while the data path simply
+/// rebuilds exact histograms.
+class IncrementalEquiDepth {
+ public:
+  /// Starts from a freshly built equi-depth histogram.
+  explicit IncrementalEquiDepth(Histogram histogram);
+
+  /// Absorbs one inserted value: the covering bucket's count grows (the
+  /// edge buckets stretch for out-of-range values).
+  void Insert(int64_t value);
+
+  /// Absorbs one deleted value; deletes of values outside any bucket are
+  /// ignored.
+  void Delete(int64_t value);
+
+  /// Current (drifted) histogram.
+  const Histogram& histogram() const { return histogram_; }
+
+  /// Imbalance ratio: max bucket count / ideal equal share. 1.0 is
+  /// perfectly balanced; engines trigger a rebuild past a threshold
+  /// (commonly ~2).
+  double ImbalanceRatio() const;
+
+  /// True once the histogram drifted past `threshold` imbalance and a
+  /// full rebuild is warranted.
+  bool NeedsRebuild(double threshold = 2.0) const;
+
+  uint64_t inserts_absorbed() const { return inserts_; }
+  uint64_t deletes_absorbed() const { return deletes_; }
+
+ private:
+  size_t BucketFor(int64_t value) const;
+
+  Histogram histogram_;
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_INCREMENTAL_H_

@@ -1,0 +1,39 @@
+#include "hist/sampling.h"
+
+#include "common/macros.h"
+
+namespace dphist::hist {
+
+std::vector<int64_t> BernoulliSample(std::span<const int64_t> data,
+                                     double rate, Rng* rng) {
+  DPHIST_CHECK_GT(rate, 0.0);
+  std::vector<int64_t> sample;
+  if (rate >= 1.0) {
+    sample.assign(data.begin(), data.end());
+    return sample;
+  }
+  sample.reserve(static_cast<size_t>(static_cast<double>(data.size()) * rate) +
+                 16);
+  for (int64_t v : data) {
+    if (rng->NextBernoulli(rate)) sample.push_back(v);
+  }
+  return sample;
+}
+
+std::vector<int64_t> ReservoirSample(std::span<const int64_t> data, uint64_t k,
+                                     Rng* rng) {
+  DPHIST_CHECK_GT(k, 0u);
+  std::vector<int64_t> reservoir;
+  reservoir.reserve(static_cast<size_t>(k));
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (reservoir.size() < k) {
+      reservoir.push_back(data[i]);
+    } else {
+      uint64_t j = rng->NextBounded(i + 1);
+      if (j < k) reservoir[static_cast<size_t>(j)] = data[i];
+    }
+  }
+  return reservoir;
+}
+
+}  // namespace dphist::hist

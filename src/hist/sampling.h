@@ -1,0 +1,26 @@
+#ifndef DPHIST_HIST_SAMPLING_H_
+#define DPHIST_HIST_SAMPLING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dphist::hist {
+
+/// Row sampling strategies used by the DBMS-style analyzers. The paper's
+/// core critique (Sections 1-2) is that time-budgeted statistics force low
+/// sampling rates, which lose small but plan-relevant features.
+
+/// Keeps each element independently with probability `rate`.
+std::vector<int64_t> BernoulliSample(std::span<const int64_t> data,
+                                     double rate, Rng* rng);
+
+/// Classic reservoir sampling: uniform sample of exactly min(k, n) items.
+std::vector<int64_t> ReservoirSample(std::span<const int64_t> data, uint64_t k,
+                                     Rng* rng);
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_SAMPLING_H_

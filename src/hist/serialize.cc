@@ -1,0 +1,128 @@
+#include "hist/serialize.h"
+
+#include <cstring>
+
+namespace dphist::hist {
+
+namespace {
+
+constexpr uint8_t kFormatVersion = 1;
+
+void Append64(uint64_t v, std::vector<uint8_t>* out) {
+  uint8_t buf[8];
+  std::memcpy(buf, &v, 8);
+  out->insert(out->end(), buf, buf + 8);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool Read64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    std::memcpy(v, bytes_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadByte(uint8_t* v) {
+    if (pos_ >= bytes_.size()) return false;
+    *v = bytes_[pos_++];
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<uint8_t> SerializeHistogram(const Histogram& histogram) {
+  std::vector<uint8_t> out;
+  out.reserve(2 + 5 * 8 + histogram.buckets.size() * 32 +
+              histogram.singletons.size() * 16);
+  out.push_back(kFormatVersion);
+  out.push_back(static_cast<uint8_t>(histogram.type));
+  Append64(static_cast<uint64_t>(histogram.min_value), &out);
+  Append64(static_cast<uint64_t>(histogram.max_value), &out);
+  Append64(histogram.total_count, &out);
+  Append64(histogram.buckets.size(), &out);
+  Append64(histogram.singletons.size(), &out);
+  for (const auto& b : histogram.buckets) {
+    Append64(static_cast<uint64_t>(b.lo), &out);
+    Append64(static_cast<uint64_t>(b.hi), &out);
+    Append64(b.count, &out);
+    Append64(b.distinct, &out);
+  }
+  for (const auto& s : histogram.singletons) {
+    Append64(static_cast<uint64_t>(s.value), &out);
+    Append64(s.count, &out);
+  }
+  return out;
+}
+
+Result<Histogram> DeserializeHistogram(std::span<const uint8_t> bytes) {
+  Reader reader(bytes);
+  uint8_t version = 0;
+  uint8_t type = 0;
+  if (!reader.ReadByte(&version) || version != kFormatVersion) {
+    return Status::Corruption("unsupported histogram format version");
+  }
+  if (!reader.ReadByte(&type) ||
+      type > static_cast<uint8_t>(HistogramType::kTopK)) {
+    return Status::Corruption("invalid histogram type tag");
+  }
+
+  Histogram h;
+  h.type = static_cast<HistogramType>(type);
+  uint64_t min_value;
+  uint64_t max_value;
+  uint64_t num_buckets;
+  uint64_t num_singletons;
+  if (!reader.Read64(&min_value) || !reader.Read64(&max_value) ||
+      !reader.Read64(&h.total_count) || !reader.Read64(&num_buckets) ||
+      !reader.Read64(&num_singletons)) {
+    return Status::Corruption("truncated histogram header");
+  }
+  h.min_value = static_cast<int64_t>(min_value);
+  h.max_value = static_cast<int64_t>(max_value);
+
+  // Sanity bound before reserving: each bucket needs 32 bytes on the
+  // wire, so the counts cannot exceed what the buffer could hold.
+  if (num_buckets > bytes.size() / 32 + 1 ||
+      num_singletons > bytes.size() / 16 + 1) {
+    return Status::Corruption("histogram entry counts exceed buffer");
+  }
+  h.buckets.reserve(num_buckets);
+  for (uint64_t i = 0; i < num_buckets; ++i) {
+    uint64_t lo;
+    uint64_t hi;
+    Bucket b;
+    if (!reader.Read64(&lo) || !reader.Read64(&hi) ||
+        !reader.Read64(&b.count) || !reader.Read64(&b.distinct)) {
+      return Status::Corruption("truncated bucket");
+    }
+    b.lo = static_cast<int64_t>(lo);
+    b.hi = static_cast<int64_t>(hi);
+    h.buckets.push_back(b);
+  }
+  h.singletons.reserve(num_singletons);
+  for (uint64_t i = 0; i < num_singletons; ++i) {
+    uint64_t value;
+    ValueCount s;
+    if (!reader.Read64(&value) || !reader.Read64(&s.count)) {
+      return Status::Corruption("truncated singleton");
+    }
+    s.value = static_cast<int64_t>(value);
+    h.singletons.push_back(s);
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after histogram");
+  }
+  return h;
+}
+
+}  // namespace dphist::hist

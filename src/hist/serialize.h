@@ -1,0 +1,27 @@
+#ifndef DPHIST_HIST_SERIALIZE_H_
+#define DPHIST_HIST_SERIALIZE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// Binary (de)serialization of histograms, so a catalog can persist its
+/// statistics the way engines store them in system tables (pg_statistic,
+/// Oracle's DBA_TAB_HISTOGRAMS, ...). Fixed-width little-endian layout
+/// with a version byte; all counts are 64-bit (unlike the device's
+/// 32-bit result-port wire format in accel/wire_format.h, this is the
+/// host-side durable form).
+std::vector<uint8_t> SerializeHistogram(const Histogram& histogram);
+
+/// Parses a buffer produced by SerializeHistogram. Rejects truncated or
+/// version-mismatched input with Corruption.
+Result<Histogram> DeserializeHistogram(std::span<const uint8_t> bytes);
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_SERIALIZE_H_

@@ -1,0 +1,62 @@
+#include "hist/space_saving.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/macros.h"
+
+namespace dphist::hist {
+
+SpaceSaving::SpaceSaving(size_t capacity) : capacity_(capacity) {
+  DPHIST_CHECK_GT(capacity, 0u);
+  counters_.reserve(capacity * 2);
+}
+
+void SpaceSaving::Offer(int64_t value) {
+  ++items_;
+  auto it = counters_.find(value);
+  if (it != counters_.end()) {
+    ++it->second.count;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(value, Counter{1, 0});
+    return;
+  }
+  // Take over the minimum counter: the newcomer inherits its count as
+  // the classic SpaceSaving overestimate.
+  auto victim = counters_.begin();
+  for (auto candidate = counters_.begin(); candidate != counters_.end();
+       ++candidate) {
+    if (candidate->second.count < victim->second.count) victim = candidate;
+  }
+  Counter taken{victim->second.count + 1, victim->second.count};
+  counters_.erase(victim);
+  counters_.emplace(value, taken);
+}
+
+std::vector<ValueCount> SpaceSaving::TopK(size_t k) const {
+  std::vector<ValueCount> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [value, counter] : counters_) {
+    entries.push_back(ValueCount{value, counter.count});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+uint64_t SpaceSaving::max_error() const {
+  if (counters_.size() < capacity_) return 0;
+  uint64_t min_count = std::numeric_limits<uint64_t>::max();
+  for (const auto& [value, counter] : counters_) {
+    min_count = std::min(min_count, counter.count);
+  }
+  return min_count;
+}
+
+}  // namespace dphist::hist

@@ -1,0 +1,50 @@
+#ifndef DPHIST_HIST_SPACE_SAVING_H_
+#define DPHIST_HIST_SPACE_SAVING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// SpaceSaving frequent-items sketch (Metwally et al.), the streaming
+/// alternative to the accelerator's exact TopK. The paper's TopK block
+/// descends from FPGA frequent-item work (Teubner et al. [31], which
+/// evaluates exactly this family); the software sketch is the natural
+/// baseline when no binned representation exists: O(capacity) space on
+/// the raw stream, counts overestimated by at most `max_error()`, and
+/// every value with true count > n/capacity guaranteed present.
+class SpaceSaving {
+ public:
+  /// \param capacity number of monitored counters (> 0)
+  explicit SpaceSaving(size_t capacity);
+
+  /// Processes one stream item.
+  void Offer(int64_t value);
+
+  /// The k entries with the highest estimated counts, ordered by
+  /// (estimate desc, value asc). Estimates never undercount.
+  std::vector<ValueCount> TopK(size_t k) const;
+
+  /// Upper bound on any entry's overestimation (the smallest counter).
+  uint64_t max_error() const;
+
+  uint64_t items() const { return items_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Counter {
+    uint64_t count = 0;
+    uint64_t error = 0;  ///< possible overestimation inherited on takeover
+  };
+
+  size_t capacity_;
+  uint64_t items_ = 0;
+  std::unordered_map<int64_t, Counter> counters_;
+};
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_SPACE_SAVING_H_

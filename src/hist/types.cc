@@ -1,0 +1,103 @@
+#include "hist/types.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace dphist::hist {
+
+const char* HistogramTypeName(HistogramType type) {
+  switch (type) {
+    case HistogramType::kEquiWidth:
+      return "Equi-width";
+    case HistogramType::kEquiDepth:
+      return "Equi-depth";
+    case HistogramType::kCompressed:
+      return "Compressed";
+    case HistogramType::kMaxDiff:
+      return "Max-diff";
+    case HistogramType::kVOptimal:
+      return "V-optimal";
+    case HistogramType::kTopK:
+      return "TopK";
+  }
+  DPHIST_UNREACHABLE("invalid HistogramType");
+}
+
+std::string Histogram::ToString() const {
+  std::string out = HistogramTypeName(type);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                " histogram: %zu buckets, %zu singletons, %llu rows\n",
+                buckets.size(), singletons.size(),
+                static_cast<unsigned long long>(total_count));
+  out += buf;
+  for (const auto& s : singletons) {
+    std::snprintf(buf, sizeof(buf), "  value %lld : count %llu\n",
+                  static_cast<long long>(s.value),
+                  static_cast<unsigned long long>(s.count));
+    out += buf;
+  }
+  for (const auto& b : buckets) {
+    std::snprintf(buf, sizeof(buf),
+                  "  [%lld, %lld] : count %llu, distinct %llu\n",
+                  static_cast<long long>(b.lo), static_cast<long long>(b.hi),
+                  static_cast<unsigned long long>(b.count),
+                  static_cast<unsigned long long>(b.distinct));
+    out += buf;
+  }
+  return out;
+}
+
+uint64_t DenseCounts::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+uint64_t DenseCounts::NonZeroBins() const {
+  uint64_t n = 0;
+  for (uint64_t c : counts) n += (c != 0);
+  return n;
+}
+
+DenseCounts BuildDenseCounts(std::span<const int64_t> data, int64_t min_value,
+                             int64_t max_value) {
+  DPHIST_CHECK_LE(min_value, max_value);
+  DenseCounts dense;
+  dense.min_value = min_value;
+  dense.counts.assign(
+      static_cast<size_t>(max_value - min_value) + 1, 0);
+  for (int64_t v : data) {
+    DPHIST_CHECK_GE(v, min_value);
+    DPHIST_CHECK_LE(v, max_value);
+    ++dense.counts[static_cast<size_t>(v - min_value)];
+  }
+  return dense;
+}
+
+FrequencyVector BuildFrequencyVector(std::span<const int64_t> data) {
+  std::vector<int64_t> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  FrequencyVector freqs;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    freqs.push_back(ValueCount{sorted[i], j - i});
+    i = j;
+  }
+  return freqs;
+}
+
+FrequencyVector DenseToFrequencies(const DenseCounts& dense) {
+  FrequencyVector freqs;
+  for (size_t i = 0; i < dense.counts.size(); ++i) {
+    if (dense.counts[i] != 0) {
+      freqs.push_back(ValueCount{dense.ValueOfBin(i), dense.counts[i]});
+    }
+  }
+  return freqs;
+}
+
+}  // namespace dphist::hist

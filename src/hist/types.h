@@ -1,0 +1,87 @@
+#ifndef DPHIST_HIST_TYPES_H_
+#define DPHIST_HIST_TYPES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dphist::hist {
+
+/// The histogram families discussed in the paper (Section 3).
+enum class HistogramType {
+  kEquiWidth,
+  kEquiDepth,
+  kCompressed,
+  kMaxDiff,
+  kVOptimal,
+  kTopK,
+};
+
+const char* HistogramTypeName(HistogramType type);
+
+/// One histogram bucket over the inclusive value range [lo, hi].
+struct Bucket {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  uint64_t count = 0;     ///< total number of rows falling in the range
+  uint64_t distinct = 0;  ///< number of distinct values present in the range
+
+  friend bool operator==(const Bucket&, const Bucket&) = default;
+};
+
+/// An exactly counted value (TopK entries, Compressed singletons).
+struct ValueCount {
+  int64_t value = 0;
+  uint64_t count = 0;
+
+  friend bool operator==(const ValueCount&, const ValueCount&) = default;
+};
+
+/// A histogram: range buckets plus optional exactly-counted singleton
+/// values (used by Compressed histograms and TopK lists). Estimation
+/// assumes uniformity within each bucket, as in the paper's Figures 3-6.
+struct Histogram {
+  HistogramType type = HistogramType::kEquiDepth;
+  std::vector<Bucket> buckets;
+  std::vector<ValueCount> singletons;
+  uint64_t total_count = 0;  ///< rows covered: buckets + singletons
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+
+  /// Multi-line human-readable rendering for examples and debugging.
+  std::string ToString() const;
+};
+
+/// The "binned representation" the accelerator materializes in DRAM: a
+/// dense array of per-value counts covering [min_value, min_value +
+/// counts.size()). Bin i counts occurrences of value min_value + i.
+struct DenseCounts {
+  int64_t min_value = 0;
+  std::vector<uint64_t> counts;
+
+  uint64_t TotalCount() const;
+  uint64_t NonZeroBins() const;
+  int64_t ValueOfBin(size_t i) const {
+    return min_value + static_cast<int64_t>(i);
+  }
+};
+
+/// Sparse sorted (value, count) aggregation of a column — what a software
+/// DBMS obtains after sorting a (sample of a) column.
+using FrequencyVector = std::vector<ValueCount>;
+
+/// Builds a DenseCounts over exactly [min_value, max_value] from raw data.
+/// Values outside the range abort (callers pass true column bounds).
+DenseCounts BuildDenseCounts(std::span<const int64_t> data, int64_t min_value,
+                             int64_t max_value);
+
+/// Sorts and aggregates raw data into a FrequencyVector.
+FrequencyVector BuildFrequencyVector(std::span<const int64_t> data);
+
+/// Converts a dense representation to the sparse one (drops zero bins).
+FrequencyVector DenseToFrequencies(const DenseCounts& dense);
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_TYPES_H_

@@ -1,0 +1,108 @@
+#include "hist/v_optimal.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dphist::hist {
+
+namespace {
+
+/// SSE of bins [i, j] approximated by their mean, from prefix sums.
+double SegmentSse(const std::vector<double>& prefix_sum,
+                  const std::vector<double>& prefix_sq, size_t i, size_t j) {
+  double sum = prefix_sum[j + 1] - prefix_sum[i];
+  double sq = prefix_sq[j + 1] - prefix_sq[i];
+  double len = static_cast<double>(j - i + 1);
+  return sq - sum * sum / len;
+}
+
+}  // namespace
+
+Histogram VOptimalDense(const DenseCounts& dense, uint32_t num_buckets) {
+  DPHIST_CHECK_GT(num_buckets, 0u);
+  Histogram h;
+  h.type = HistogramType::kVOptimal;
+  h.min_value = dense.min_value;
+  h.max_value = dense.min_value + static_cast<int64_t>(dense.counts.size()) - 1;
+  h.total_count = dense.TotalCount();
+  const size_t n = dense.counts.size();
+  if (n == 0 || h.total_count == 0) return h;
+  const uint32_t b = std::min<uint32_t>(num_buckets,
+                                        static_cast<uint32_t>(n));
+
+  std::vector<double> prefix_sum(n + 1, 0.0);
+  std::vector<double> prefix_sq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double c = static_cast<double>(dense.counts[i]);
+    prefix_sum[i + 1] = prefix_sum[i] + c;
+    prefix_sq[i + 1] = prefix_sq[i] + c * c;
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // cost[k][j] = min SSE of covering bins [0, j] with k+1 buckets.
+  std::vector<std::vector<double>> cost(b, std::vector<double>(n, kInf));
+  std::vector<std::vector<size_t>> split(b, std::vector<size_t>(n, 0));
+  for (size_t j = 0; j < n; ++j) {
+    cost[0][j] = SegmentSse(prefix_sum, prefix_sq, 0, j);
+  }
+  for (uint32_t k = 1; k < b; ++k) {
+    for (size_t j = k; j < n; ++j) {
+      for (size_t i = k; i <= j; ++i) {
+        double candidate =
+            cost[k - 1][i - 1] + SegmentSse(prefix_sum, prefix_sq, i, j);
+        if (candidate < cost[k][j]) {
+          cost[k][j] = candidate;
+          split[k][j] = i;
+        }
+      }
+    }
+  }
+
+  // Reconstruct boundaries from the best feasible bucket count.
+  uint32_t best_k = b - 1;
+  std::vector<size_t> starts;
+  size_t j = n - 1;
+  for (uint32_t k = best_k; k > 0; --k) {
+    size_t i = split[k][j];
+    starts.push_back(i);
+    j = i - 1;
+  }
+  starts.push_back(0);
+  std::reverse(starts.begin(), starts.end());
+
+  for (size_t s = 0; s < starts.size(); ++s) {
+    size_t first = starts[s];
+    size_t last = (s + 1 < starts.size()) ? starts[s + 1] - 1 : n - 1;
+    uint64_t count = 0;
+    uint64_t distinct = 0;
+    for (size_t i = first; i <= last; ++i) {
+      count += dense.counts[i];
+      distinct += (dense.counts[i] != 0);
+    }
+    if (count == 0) continue;
+    h.buckets.push_back(Bucket{dense.ValueOfBin(first), dense.ValueOfBin(last),
+                               count, distinct});
+  }
+  return h;
+}
+
+double PartitionSse(const DenseCounts& dense, const Histogram& histogram) {
+  double sse = 0.0;
+  for (const auto& bucket : histogram.buckets) {
+    size_t first = static_cast<size_t>(bucket.lo - dense.min_value);
+    size_t last = static_cast<size_t>(bucket.hi - dense.min_value);
+    DPHIST_CHECK_LT(last, dense.counts.size());
+    double len = static_cast<double>(last - first + 1);
+    double mean = static_cast<double>(bucket.count) / len;
+    for (size_t i = first; i <= last; ++i) {
+      double d = static_cast<double>(dense.counts[i]) - mean;
+      sse += d * d;
+    }
+  }
+  return sse;
+}
+
+}  // namespace dphist::hist

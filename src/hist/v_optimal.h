@@ -1,0 +1,26 @@
+#ifndef DPHIST_HIST_V_OPTIMAL_H_
+#define DPHIST_HIST_V_OPTIMAL_H_
+
+#include <cstdint>
+
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// Exact V-optimal histogram via dynamic programming (Poosala et al. [27],
+/// cited in paper Section 3): chooses bucket boundaries minimizing the sum
+/// of within-bucket variances of the bin counts. O(n^2 * B) time and
+/// O(n * B) space in the number of dense bins — "prohibitively expensive"
+/// for production use, which is exactly the paper's motivation for
+/// Max-diff; included here as the accuracy gold standard for the
+/// histogram-quality experiments.
+Histogram VOptimalDense(const DenseCounts& dense, uint32_t num_buckets);
+
+/// Sum of within-bucket squared errors of a histogram's uniform
+/// reconstruction against the true dense counts. VOptimalDense minimizes
+/// this objective over all histograms with the same bucket budget.
+double PartitionSse(const DenseCounts& dense, const Histogram& histogram);
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_V_OPTIMAL_H_

@@ -1,0 +1,66 @@
+#include "hist/variants.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "hist/builders.h"
+
+namespace dphist::hist {
+
+bool FrequencyHistogramApplicable(const FrequencyVector& freqs,
+                                  uint32_t max_buckets) {
+  return freqs.size() <= max_buckets;
+}
+
+Histogram FrequencyHistogram(const FrequencyVector& freqs,
+                             uint32_t max_buckets) {
+  DPHIST_CHECK_MSG(FrequencyHistogramApplicable(freqs, max_buckets),
+                   "NDV exceeds the frequency-histogram bucket budget");
+  Histogram h;
+  h.type = HistogramType::kEquiDepth;  // degenerate: one value per bucket
+  if (freqs.empty()) return h;
+  h.min_value = freqs.front().value;
+  h.max_value = freqs.back().value;
+  for (const auto& f : freqs) {
+    h.buckets.push_back(Bucket{f.value, f.value, f.count, 1});
+    h.total_count += f.count;
+  }
+  return h;
+}
+
+Histogram EndBiasedHistogram(const FrequencyVector& freqs, uint32_t top_k) {
+  DPHIST_CHECK_GT(top_k, 0u);
+  Histogram h;
+  h.type = HistogramType::kCompressed;  // singletons + residual bucket
+  if (freqs.empty()) return h;
+  h.min_value = freqs.front().value;
+  h.max_value = freqs.back().value;
+  h.singletons = TopKSparse(freqs, top_k);
+
+  // Residual bucket over everything not in the top list.
+  uint64_t residual_count = 0;
+  uint64_t residual_distinct = 0;
+  int64_t residual_lo = 0;
+  int64_t residual_hi = 0;
+  bool have_residual = false;
+  for (const auto& f : freqs) {
+    bool is_top = false;
+    for (const auto& s : h.singletons) is_top |= (s.value == f.value);
+    h.total_count += f.count;
+    if (is_top) continue;
+    if (!have_residual) {
+      residual_lo = f.value;
+      have_residual = true;
+    }
+    residual_hi = f.value;
+    residual_count += f.count;
+    ++residual_distinct;
+  }
+  if (have_residual) {
+    h.buckets.push_back(
+        Bucket{residual_lo, residual_hi, residual_count, residual_distinct});
+  }
+  return h;
+}
+
+}  // namespace dphist::hist

@@ -1,0 +1,36 @@
+#ifndef DPHIST_HIST_VARIANTS_H_
+#define DPHIST_HIST_VARIANTS_H_
+
+#include <cstdint>
+
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// Additional histogram flavors used by the commercial engines the paper
+/// surveys (Section 3 / Section 6.2, "Oracle creates either equi-depth
+/// histograms (end-balanced or simple) or TopK representation"):
+///
+///  * Frequency histogram — one exact bucket per distinct value; what
+///    Oracle builds when NDV fits the bucket budget. Estimation from it
+///    is exact.
+///  * End-biased (TopK representation) — exact singletons for the most
+///    frequent values plus a single bucket summarizing the rest; the
+///    "TopK representation on the data" the paper attributes to Oracle.
+
+/// Builds a frequency histogram; requires freqs.size() <= max_buckets
+/// (callers check NDV first, as Oracle does). Each bucket has lo == hi.
+Histogram FrequencyHistogram(const FrequencyVector& freqs,
+                             uint32_t max_buckets);
+
+/// True if a frequency histogram is applicable under the bucket budget.
+bool FrequencyHistogramApplicable(const FrequencyVector& freqs,
+                                  uint32_t max_buckets);
+
+/// Builds an end-biased histogram: top_k exact singletons + one residual
+/// bucket spanning the remaining values.
+Histogram EndBiasedHistogram(const FrequencyVector& freqs, uint32_t top_k);
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_VARIANTS_H_

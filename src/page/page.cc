@@ -1,0 +1,128 @@
+#include "page/page.h"
+
+#include "common/date.h"
+#include "common/macros.h"
+
+namespace dphist::page {
+
+int64_t DecodeField(const uint8_t* bytes, ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32: {
+      int32_t v;
+      std::memcpy(&v, bytes, sizeof(v));
+      return v;
+    }
+    case ColumnType::kInt64:
+    case ColumnType::kDecimal2: {
+      int64_t v;
+      std::memcpy(&v, bytes, sizeof(v));
+      return v;
+    }
+    case ColumnType::kDateEpoch: {
+      int32_t v;
+      std::memcpy(&v, bytes, sizeof(v));
+      return v;
+    }
+    case ColumnType::kDateUnpacked: {
+      uint32_t v;
+      std::memcpy(&v, bytes, sizeof(v));
+      return UnpackedDateToEpochDays(v);
+    }
+  }
+  DPHIST_UNREACHABLE("invalid ColumnType");
+}
+
+void EncodeField(int64_t value, ColumnType type, uint8_t* out) {
+  switch (type) {
+    case ColumnType::kInt32: {
+      int32_t v = static_cast<int32_t>(value);
+      std::memcpy(out, &v, sizeof(v));
+      return;
+    }
+    case ColumnType::kInt64:
+    case ColumnType::kDecimal2: {
+      std::memcpy(out, &value, sizeof(value));
+      return;
+    }
+    case ColumnType::kDateEpoch: {
+      int32_t v = static_cast<int32_t>(value);
+      std::memcpy(out, &v, sizeof(v));
+      return;
+    }
+    case ColumnType::kDateUnpacked: {
+      uint32_t v = EncodeUnpackedDate(FromEpochDays(value));
+      std::memcpy(out, &v, sizeof(v));
+      return;
+    }
+  }
+  DPHIST_UNREACHABLE("invalid ColumnType");
+}
+
+PageBuilder::PageBuilder(const Schema& schema, uint32_t page_id)
+    : schema_(schema),
+      max_rows_(RowsPerPage(schema.row_width())),
+      data_(kPageSize, 0) {
+  DPHIST_CHECK_GT(schema.row_width(), 0u);
+  PageHeader header{PageHeader::kMagic, page_id, 0, schema.row_width()};
+  std::memcpy(data_.data(), &header, sizeof(header));
+}
+
+void PageBuilder::AppendRow(std::span<const int64_t> values) {
+  DPHIST_CHECK_MSG(HasSpace(), "append to full page");
+  DPHIST_CHECK_EQ(values.size(), schema_.num_columns());
+  uint8_t* row =
+      data_.data() + kPageHeaderSize +
+      static_cast<size_t>(tuple_count_) * schema_.row_width();
+  for (size_t c = 0; c < values.size(); ++c) {
+    EncodeField(values[c], schema_.column(c).type,
+                row + schema_.column_offset(c));
+  }
+  ++tuple_count_;
+}
+
+std::vector<uint8_t> PageBuilder::Finish() {
+  PageHeader header;
+  std::memcpy(&header, data_.data(), sizeof(header));
+  header.tuple_count = tuple_count_;
+  std::memcpy(data_.data(), &header, sizeof(header));
+  return std::move(data_);
+}
+
+Result<PageReader> PageReader::Open(std::span<const uint8_t> data,
+                                    const Schema& schema) {
+  if (data.size() != kPageSize) {
+    return Status::Corruption("page has wrong size");
+  }
+  PageHeader header;
+  std::memcpy(&header, data.data(), sizeof(header));
+  if (header.magic != PageHeader::kMagic) {
+    return Status::Corruption("bad page magic");
+  }
+  if (header.row_width != schema.row_width()) {
+    return Status::Corruption("page row width does not match schema");
+  }
+  if (kPageHeaderSize +
+          static_cast<size_t>(header.tuple_count) * header.row_width >
+      kPageSize) {
+    return Status::Corruption("tuple count exceeds page capacity");
+  }
+  return PageReader(data, schema, header);
+}
+
+int64_t PageReader::GetValue(uint32_t row, size_t col) const {
+  DPHIST_CHECK_LT(row, header_.tuple_count);
+  DPHIST_CHECK_LT(col, schema_.num_columns());
+  const uint8_t* row_ptr = data_.data() + kPageHeaderSize +
+                           static_cast<size_t>(row) * header_.row_width;
+  return DecodeField(row_ptr + schema_.column_offset(col),
+                     schema_.column(col).type);
+}
+
+std::span<const uint8_t> PageReader::RowBytes(uint32_t row) const {
+  DPHIST_CHECK_LT(row, header_.tuple_count);
+  return data_.subspan(
+      kPageHeaderSize + static_cast<size_t>(row) * header_.row_width,
+      header_.row_width);
+}
+
+}  // namespace dphist::page

@@ -1,0 +1,103 @@
+#ifndef DPHIST_PAGE_PAGE_H_
+#define DPHIST_PAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "page/schema.h"
+
+namespace dphist::page {
+
+/// On-wire page layout. Every page is exactly kPageSize bytes:
+///
+///   [PageHeader (16 B)] [row 0] [row 1] ... [row n-1] [unused]
+///
+/// Rows are fixed-width (Schema::row_width) and unaligned-packed. The
+/// format is intentionally simple enough for the accelerator's counting
+/// FSM to parse, while exercising the same mechanics (header skip, row
+/// stride, column offset) as a real slotted heap page.
+struct PageHeader {
+  static constexpr uint32_t kMagic = 0x44504831;  // "DPH1"
+
+  uint32_t magic;
+  uint32_t page_id;
+  uint32_t tuple_count;
+  uint32_t row_width;
+};
+
+inline constexpr size_t kPageSize = 8192;
+inline constexpr size_t kPageHeaderSize = sizeof(PageHeader);
+static_assert(kPageHeaderSize == 16);
+
+/// Number of rows of width `row_width` that fit in one page.
+inline uint32_t RowsPerPage(uint32_t row_width) {
+  return static_cast<uint32_t>((kPageSize - kPageHeaderSize) / row_width);
+}
+
+/// Serializes rows into fixed-size pages.
+class PageBuilder {
+ public:
+  /// \param schema row layout; retained by reference by value copy.
+  /// \param page_id id stamped into the header.
+  PageBuilder(const Schema& schema, uint32_t page_id);
+
+  /// True if another row still fits.
+  bool HasSpace() const { return tuple_count_ < max_rows_; }
+  uint32_t tuple_count() const { return tuple_count_; }
+
+  /// Appends one row given its logical column values. Logical values use
+  /// int64 uniformly: Decimal2 columns take the scaled representation,
+  /// date columns take epoch days (kDateUnpacked is converted to the
+  /// unpacked wire encoding here). Aborts if the page is full.
+  void AppendRow(std::span<const int64_t> values);
+
+  /// Finalizes the header and returns the page bytes (size kPageSize).
+  std::vector<uint8_t> Finish();
+
+ private:
+  Schema schema_;
+  uint32_t max_rows_;
+  uint32_t tuple_count_ = 0;
+  std::vector<uint8_t> data_;
+};
+
+/// Reads rows back out of a page.
+class PageReader {
+ public:
+  /// Validates the header. `data` must outlive the reader.
+  static Result<PageReader> Open(std::span<const uint8_t> data,
+                                 const Schema& schema);
+
+  uint32_t tuple_count() const { return header_.tuple_count; }
+  uint32_t page_id() const { return header_.page_id; }
+
+  /// Decodes the logical value of column `col` in row `row` (same int64
+  /// convention as PageBuilder::AppendRow).
+  int64_t GetValue(uint32_t row, size_t col) const;
+
+  /// Raw bytes of row `row`.
+  std::span<const uint8_t> RowBytes(uint32_t row) const;
+
+ private:
+  PageReader(std::span<const uint8_t> data, const Schema& schema,
+             PageHeader header)
+      : data_(data), schema_(schema), header_(header) {}
+
+  std::span<const uint8_t> data_;
+  Schema schema_;
+  PageHeader header_;
+};
+
+/// Decodes the logical int64 value of a single field given its raw bytes
+/// and type. Shared by PageReader and the accelerator Parser.
+int64_t DecodeField(const uint8_t* bytes, ColumnType type);
+
+/// Encodes a logical int64 value into `out` (must have the column width).
+void EncodeField(int64_t value, ColumnType type, uint8_t* out);
+
+}  // namespace dphist::page
+
+#endif  // DPHIST_PAGE_PAGE_H_

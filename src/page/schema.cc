@@ -1,0 +1,54 @@
+#include "page/schema.h"
+
+#include "common/macros.h"
+
+namespace dphist::page {
+
+uint32_t ColumnTypeWidth(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+      return 4;
+    case ColumnType::kInt64:
+      return 8;
+    case ColumnType::kDecimal2:
+      return 8;
+    case ColumnType::kDateEpoch:
+      return 4;
+    case ColumnType::kDateUnpacked:
+      return 4;
+  }
+  DPHIST_UNREACHABLE("invalid ColumnType");
+}
+
+const char* ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+      return "INT32";
+    case ColumnType::kInt64:
+      return "INT64";
+    case ColumnType::kDecimal2:
+      return "DECIMAL(2)";
+    case ColumnType::kDateEpoch:
+      return "DATE";
+    case ColumnType::kDateUnpacked:
+      return "DATE_UNPACKED";
+  }
+  DPHIST_UNREACHABLE("invalid ColumnType");
+}
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    offsets_.push_back(row_width_);
+    row_width_ += ColumnTypeWidth(col.type);
+  }
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+}  // namespace dphist::page

@@ -1,0 +1,66 @@
+#ifndef DPHIST_PAGE_SCHEMA_H_
+#define DPHIST_PAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace dphist::page {
+
+/// Physical column types supported by the page format and understood by
+/// the accelerator's Parser/Preprocessor. All types are fixed-width so
+/// that the Parser can extract a column with a counting state machine
+/// (paper Section 4).
+enum class ColumnType : uint8_t {
+  kInt32 = 0,     ///< 4-byte signed integer
+  kInt64 = 1,     ///< 8-byte signed integer
+  kDecimal2 = 2,  ///< 8-byte fixed-point, two fractional digits (x100)
+  kDateEpoch = 3,     ///< 4-byte days since 1970-01-01
+  kDateUnpacked = 4,  ///< 4-byte Oracle-style unpacked {century,year,m,d}
+};
+
+/// Width in bytes of a column of the given type.
+uint32_t ColumnTypeWidth(ColumnType type);
+
+/// Printable name, e.g. "INT32".
+const char* ColumnTypeName(ColumnType type);
+
+/// A named, typed column.
+struct ColumnDef {
+  std::string name;
+  ColumnType type;
+};
+
+/// Fixed-width row schema. Rows are laid out as the concatenation of the
+/// columns' physical encodings with no padding, matching what a DBMS
+/// storage engine would stream to the host.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Total row width in bytes.
+  uint32_t row_width() const { return row_width_; }
+
+  /// Byte offset of column `i` within a row.
+  uint32_t column_offset(size_t i) const { return offsets_[i]; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t row_width_ = 0;
+};
+
+}  // namespace dphist::page
+
+#endif  // DPHIST_PAGE_SCHEMA_H_

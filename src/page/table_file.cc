@@ -1,0 +1,53 @@
+#include "page/table_file.h"
+
+#include "common/macros.h"
+
+namespace dphist::page {
+
+void TableFile::AppendRow(std::span<const int64_t> values) {
+  DPHIST_CHECK_MSG(!sealed_, "append to sealed TableFile");
+  if (builder_ == nullptr) {
+    builder_ = std::make_unique<PageBuilder>(
+        schema_, static_cast<uint32_t>(pages_.size()));
+  }
+  builder_->AppendRow(values);
+  ++row_count_;
+  if (!builder_->HasSpace()) {
+    pages_.push_back(builder_->Finish());
+    builder_.reset();
+  }
+}
+
+void TableFile::Seal() {
+  if (builder_ != nullptr) {
+    pages_.push_back(builder_->Finish());
+    builder_.reset();
+  }
+  sealed_ = true;
+}
+
+std::span<const uint8_t> TableFile::PageBytes(size_t i) const {
+  DPHIST_CHECK_MSG(sealed_, "PageBytes before Seal()");
+  DPHIST_CHECK_LT(i, pages_.size());
+  return pages_[i];
+}
+
+Result<PageReader> TableFile::OpenPage(size_t i) const {
+  return PageReader::Open(PageBytes(i), schema_);
+}
+
+std::vector<int64_t> TableFile::ReadColumn(size_t col) const {
+  DPHIST_CHECK_LT(col, schema_.num_columns());
+  std::vector<int64_t> out;
+  out.reserve(row_count_);
+  for (size_t p = 0; p < pages_.size(); ++p) {
+    auto reader = OpenPage(p);
+    DPHIST_CHECK(reader.ok());
+    for (uint32_t r = 0; r < reader->tuple_count(); ++r) {
+      out.push_back(reader->GetValue(r, col));
+    }
+  }
+  return out;
+}
+
+}  // namespace dphist::page

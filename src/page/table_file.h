@@ -1,0 +1,79 @@
+#ifndef DPHIST_PAGE_TABLE_FILE_H_
+#define DPHIST_PAGE_TABLE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "page/page.h"
+#include "page/schema.h"
+
+namespace dphist::page {
+
+/// A table materialized as a sequence of pages — the unit the storage
+/// engine streams to the host, and therefore the unit the in-datapath
+/// accelerator observes. Kept in memory; "on disk" residency is modelled
+/// by the db::StorageModel when timing scans.
+class TableFile {
+ public:
+  explicit TableFile(Schema schema) : schema_(std::move(schema)) {}
+
+  TableFile(const TableFile&) = delete;
+  TableFile& operator=(const TableFile&) = delete;
+  TableFile(TableFile&&) = default;
+  TableFile& operator=(TableFile&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  uint64_t row_count() const { return row_count_; }
+  size_t page_count() const { return pages_.size(); }
+  uint64_t size_bytes() const { return pages_.size() * kPageSize; }
+
+  /// Appends one row (logical int64 values, one per column).
+  void AppendRow(std::span<const int64_t> values);
+
+  /// Flushes the partially filled trailing page, if any. Must be called
+  /// after the last AppendRow and before reading pages.
+  void Seal();
+
+  /// Raw bytes of page `i` (valid only after Seal()).
+  std::span<const uint8_t> PageBytes(size_t i) const;
+
+  /// Opens a reader over page `i`.
+  Result<PageReader> OpenPage(size_t i) const;
+
+  /// Convenience: decodes an entire column into a vector (logical int64
+  /// values). Used by software baselines and tests.
+  std::vector<int64_t> ReadColumn(size_t col) const;
+
+  /// Applies `fn(row_values)` to every row. `fn` receives a span of the
+  /// logical values of one row.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    std::vector<int64_t> row(schema_.num_columns());
+    for (size_t p = 0; p < pages_.size(); ++p) {
+      auto reader = OpenPage(p);
+      DPHIST_CHECK(reader.ok());
+      for (uint32_t r = 0; r < reader->tuple_count(); ++r) {
+        for (size_t c = 0; c < row.size(); ++c) {
+          row[c] = reader->GetValue(r, c);
+        }
+        fn(std::span<const int64_t>(row));
+      }
+    }
+  }
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<uint8_t>> pages_;
+  std::vector<uint8_t> open_page_buffer_;  // unused; builder holds state
+  uint64_t row_count_ = 0;
+  // Builder for the page currently being filled; null when sealed.
+  std::unique_ptr<PageBuilder> builder_;
+  bool sealed_ = false;
+};
+
+}  // namespace dphist::page
+
+#endif  // DPHIST_PAGE_TABLE_FILE_H_

@@ -1,0 +1,45 @@
+#ifndef DPHIST_SIM_BRAM_H_
+#define DPHIST_SIM_BRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dphist::sim {
+
+/// On-chip block RAM model: word-addressed, single-cycle access, strictly
+/// capacity-limited. FPGAs have very little of it (the paper dedicates
+/// only 1 KB to the Binner cache), so components that use Bram must size
+/// their state against it explicitly — this is what forces the paper's
+/// bounded TopK list and the small write-through cache.
+class Bram {
+ public:
+  static constexpr uint32_t kAccessLatencyCycles = 1;
+
+  /// \param capacity_bytes total size; word count = capacity_bytes / 8.
+  explicit Bram(uint64_t capacity_bytes)
+      : words_(capacity_bytes / sizeof(uint64_t), 0) {
+    DPHIST_CHECK_GT(capacity_bytes, 0u);
+  }
+
+  uint64_t capacity_bytes() const { return words_.size() * sizeof(uint64_t); }
+  uint64_t word_count() const { return words_.size(); }
+
+  uint64_t Read(uint64_t word_index) const {
+    DPHIST_CHECK_LT(word_index, words_.size());
+    return words_[word_index];
+  }
+
+  void Write(uint64_t word_index, uint64_t value) {
+    DPHIST_CHECK_LT(word_index, words_.size());
+    words_[word_index] = value;
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace dphist::sim
+
+#endif  // DPHIST_SIM_BRAM_H_

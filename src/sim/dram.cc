@@ -1,0 +1,45 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+
+namespace dphist::sim {
+
+void Dram::AllocateBins(uint64_t bin_count) {
+  DPHIST_CHECK_LE(bin_count * config_.bin_bytes, config_.capacity_bytes);
+  bins_.assign(bin_count, 0);
+}
+
+double Dram::Service(double now, uint64_t line) {
+  double start = std::max(now, port_free_at_);
+  bool near = line == last_line_ || (last_line_ != kNoLine &&
+                                     (line == last_line_ + 1));
+  double interval =
+      near ? config_.near_interval_cycles : config_.random_interval_cycles;
+  if (near) {
+    ++stats_.near_accesses;
+  } else {
+    ++stats_.random_accesses;
+  }
+  port_free_at_ = start + interval;
+  last_line_ = line;
+  return start;
+}
+
+double Dram::IssueRead(double now, uint64_t bin_index) {
+  ++stats_.reads;
+  double start = Service(now, LineOfBin(bin_index));
+  return start + config_.latency_cycles;
+}
+
+double Dram::IssueWrite(double now, uint64_t bin_index) {
+  ++stats_.writes;
+  return Service(now, LineOfBin(bin_index));
+}
+
+double Dram::IssueSequentialLineRead(double now, uint64_t line_index) {
+  ++stats_.reads;
+  double start = Service(now, line_index);
+  return start + config_.latency_cycles;
+}
+
+}  // namespace dphist::sim

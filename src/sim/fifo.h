@@ -1,0 +1,54 @@
+#ifndef DPHIST_SIM_FIFO_H_
+#define DPHIST_SIM_FIFO_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "common/macros.h"
+
+namespace dphist::sim {
+
+/// Bounded FIFO queue modelling an on-chip buffer between pipeline stages
+/// (e.g., the logical-address queue between the Binner's READ and UPDATE
+/// stages, Section 5.1.2). Capacity limits model the finite buffering that
+/// creates backpressure in the hardware.
+template <typename T>
+class Fifo {
+ public:
+  /// \param capacity maximum number of queued elements; must be > 0.
+  explicit Fifo(size_t capacity) : capacity_(capacity) {
+    DPHIST_CHECK_GT(capacity, 0u);
+  }
+
+  bool Full() const { return items_.size() >= capacity_; }
+  bool Empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  /// Enqueues an element. Callers must check Full() first; pushing into a
+  /// full FIFO is a modelling bug and aborts.
+  void Push(T item) {
+    DPHIST_CHECK_MSG(!Full(), "push into full Fifo");
+    items_.push_back(std::move(item));
+  }
+
+  const T& Front() const {
+    DPHIST_CHECK_MSG(!Empty(), "front of empty Fifo");
+    return items_.front();
+  }
+
+  T Pop() {
+    DPHIST_CHECK_MSG(!Empty(), "pop from empty Fifo");
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+ private:
+  size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace dphist::sim
+
+#endif  // DPHIST_SIM_FIFO_H_

@@ -1,0 +1,41 @@
+#ifndef DPHIST_SIM_LINK_H_
+#define DPHIST_SIM_LINK_H_
+
+#include <cstdint>
+
+namespace dphist::sim {
+
+/// Transmission-medium model for the accelerator's I/O. The paper notes
+/// that the latency an in-datapath accelerator adds is dominated by the
+/// I/O logic (microseconds, medium-dependent) while the Splitter itself
+/// adds only nanoseconds (Section 4).
+class Link {
+ public:
+  /// \param bandwidth_bits_per_s sustained payload bandwidth
+  /// \param latency_s            one-way propagation + SerDes latency
+  Link(double bandwidth_bits_per_s, double latency_s)
+      : bandwidth_bps_(bandwidth_bits_per_s), latency_s_(latency_s) {}
+
+  /// PCIe Gen1 x8 as in the Maxeler box: 2 GB/s payload, ~1 us latency.
+  static Link PcieGen1x8() { return Link(16e9, 1e-6); }
+  /// Gigabit Ethernet, the reference line in Figure 22.
+  static Link GigabitEthernet() { return Link(1e9, 10e-6); }
+  /// 10 GbE, the scale-up target of Section 7.
+  static Link TenGigabitEthernet() { return Link(10e9, 5e-6); }
+
+  double bandwidth_bps() const { return bandwidth_bps_; }
+  double latency_s() const { return latency_s_; }
+
+  /// Time to deliver `bytes` of payload over the link, in seconds.
+  double TransferSeconds(uint64_t bytes) const {
+    return latency_s_ + static_cast<double>(bytes) * 8.0 / bandwidth_bps_;
+  }
+
+ private:
+  double bandwidth_bps_;
+  double latency_s_;
+};
+
+}  // namespace dphist::sim
+
+#endif  // DPHIST_SIM_LINK_H_

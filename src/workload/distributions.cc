@@ -1,0 +1,78 @@
+#include "workload/distributions.h"
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace dphist::workload {
+
+std::vector<int64_t> UniformColumn(uint64_t rows, int64_t lo, int64_t hi,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> column;
+  column.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    column.push_back(rng.NextInRange(lo, hi));
+  }
+  return column;
+}
+
+std::vector<int64_t> ZipfColumn(uint64_t rows, uint64_t cardinality, double s,
+                                uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(cardinality, s);
+  std::vector<int64_t> column;
+  column.reserve(rows);
+  for (uint64_t i = 0; i < rows; ++i) {
+    column.push_back(static_cast<int64_t>(zipf.Sample(&rng)));
+  }
+  return column;
+}
+
+std::vector<int64_t> CacheAdversarialColumn(uint64_t rows,
+                                            uint64_t cardinality,
+                                            uint64_t line_span) {
+  DPHIST_CHECK_GT(cardinality, 2 * line_span + 1);
+  std::vector<int64_t> column;
+  column.reserve(rows);
+  // Stride through the domain by two full memory lines plus one bin so
+  // that consecutive values land on distinct lines that are not even
+  // adjacent (adjacent-line accesses still get the DRAM's fast "near"
+  // service).
+  uint64_t v = 0;
+  const uint64_t stride = 2 * line_span + 1;
+  for (uint64_t i = 0; i < rows; ++i) {
+    column.push_back(static_cast<int64_t>(v + 1));
+    v = (v + stride) % cardinality;
+  }
+  return column;
+}
+
+std::vector<int64_t> CacheFriendlyColumn(uint64_t rows, int64_t value) {
+  return std::vector<int64_t>(rows, value);
+}
+
+page::TableFile ColumnToTable(const std::vector<int64_t>& column,
+                              uint32_t num_columns, uint64_t seed) {
+  DPHIST_CHECK_GE(num_columns, 1u);
+  std::vector<page::ColumnDef> defs;
+  defs.push_back(page::ColumnDef{"c0", page::ColumnType::kInt64});
+  for (uint32_t c = 1; c < num_columns; ++c) {
+    defs.push_back(
+        page::ColumnDef{"c" + std::to_string(c), page::ColumnType::kInt64});
+  }
+  page::TableFile table(page::Schema(std::move(defs)));
+
+  Rng rng(seed);
+  std::vector<int64_t> row(num_columns);
+  for (int64_t v : column) {
+    row[0] = v;
+    for (uint32_t c = 1; c < num_columns; ++c) {
+      row[c] = static_cast<int64_t>(rng.Next() >> 16);
+    }
+    table.AppendRow(row);
+  }
+  table.Seal();
+  return table;
+}
+
+}  // namespace dphist::workload

@@ -1,0 +1,44 @@
+#ifndef DPHIST_WORKLOAD_DISTRIBUTIONS_H_
+#define DPHIST_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "page/table_file.h"
+
+namespace dphist::workload {
+
+/// Synthetic column/table generators for the skew and cardinality
+/// experiments (paper Figures 20 and 19) and for property tests.
+
+/// Uniform integers in [lo, hi].
+std::vector<int64_t> UniformColumn(uint64_t rows, int64_t lo, int64_t hi,
+                                   uint64_t seed);
+
+/// Zipf-distributed values over {1, ..., cardinality} with exponent `s`
+/// (s = 0 is uniform; the paper sweeps 0, 0.35, 0.75, 1.0 at cardinality
+/// 2048).
+std::vector<int64_t> ZipfColumn(uint64_t rows, uint64_t cardinality, double s,
+                                uint64_t seed);
+
+/// A worst-case stream for the Binner cache: consecutive values always map
+/// to different, non-adjacent memory lines (values stride by two lines
+/// plus one bin), so no access ever hits the cache or an open DRAM row.
+/// Used for Table 1's "cache never hit" row.
+std::vector<int64_t> CacheAdversarialColumn(uint64_t rows,
+                                            uint64_t cardinality,
+                                            uint64_t line_span);
+
+/// A best-case stream: a single repeated value, every access after the
+/// first hits the cache. Used for Table 1's "cache always hit" row.
+std::vector<int64_t> CacheFriendlyColumn(uint64_t rows, int64_t value);
+
+/// Wraps a single generated column into an N-column table whose analyzed
+/// column is column 0; filler columns widen the rows as in the paper's
+/// 8-column synthetic table (Figure 20). All columns are INT64.
+page::TableFile ColumnToTable(const std::vector<int64_t>& column,
+                              uint32_t num_columns, uint64_t seed);
+
+}  // namespace dphist::workload
+
+#endif  // DPHIST_WORKLOAD_DISTRIBUTIONS_H_

@@ -1,0 +1,42 @@
+#include "workload/tbl_format.h"
+
+#include <cstdio>
+
+#include "common/date.h"
+#include "common/fixed_point.h"
+
+namespace dphist::workload {
+
+std::string ToTblText(const page::TableFile& table) {
+  std::string out;
+  // Rough reserve: ~8 characters per field.
+  out.reserve(table.row_count() * table.schema().num_columns() * 8);
+  const auto& schema = table.schema();
+  char buf[48];
+  table.ForEachRow([&](std::span<const int64_t> row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      switch (schema.column(c).type) {
+        case page::ColumnType::kDecimal2:
+          out += Decimal2(row[c]).ToString();
+          break;
+        case page::ColumnType::kDateEpoch:
+        case page::ColumnType::kDateUnpacked: {
+          CalendarDate date = FromEpochDays(row[c]);
+          std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", date.year,
+                        date.month, date.day);
+          out += buf;
+          break;
+        }
+        default:
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(row[c]));
+          out += buf;
+      }
+      out += '|';
+    }
+    out += '\n';
+  });
+  return out;
+}
+
+}  // namespace dphist::workload

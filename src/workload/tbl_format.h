@@ -1,0 +1,20 @@
+#ifndef DPHIST_WORKLOAD_TBL_FORMAT_H_
+#define DPHIST_WORKLOAD_TBL_FORMAT_H_
+
+#include <string>
+
+#include "page/table_file.h"
+
+namespace dphist::workload {
+
+/// Serializes a table into TPC-H dbgen's `.tbl` text format: one record
+/// per line, fields separated by '|', with a trailing delimiter before
+/// the newline (dbgen's quirk). DECIMAL2 columns render with two
+/// fractional digits; date columns render as YYYY-MM-DD. Feeds the
+/// accelerator's DelimitedParser front end in the text-ingestion tests
+/// and examples.
+std::string ToTblText(const page::TableFile& table);
+
+}  // namespace dphist::workload
+
+#endif  // DPHIST_WORKLOAD_TBL_FORMAT_H_

@@ -1,0 +1,143 @@
+#include "workload/tpch.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+#include "common/random.h"
+
+namespace dphist::workload {
+
+using page::ColumnDef;
+using page::ColumnType;
+using page::Schema;
+
+Schema LineitemSchema(uint32_t num_columns) {
+  DPHIST_CHECK_MSG(num_columns == 8 || num_columns == 1,
+                   "lineitem variant must have 8 or 1 columns");
+  if (num_columns == 1) {
+    return Schema({ColumnDef{"l_quantity", ColumnType::kInt32}});
+  }
+  return Schema({
+      ColumnDef{"l_orderkey", ColumnType::kInt64},
+      ColumnDef{"l_partkey", ColumnType::kInt32},
+      ColumnDef{"l_suppkey", ColumnType::kInt32},
+      ColumnDef{"l_linenumber", ColumnType::kInt32},
+      ColumnDef{"l_quantity", ColumnType::kInt32},
+      ColumnDef{"l_extendedprice", ColumnType::kDecimal2},
+      ColumnDef{"l_discount", ColumnType::kDecimal2},
+      ColumnDef{"l_tax", ColumnType::kDecimal2},
+  });
+}
+
+page::TableFile GenerateLineitem(const LineitemOptions& options) {
+  DPHIST_CHECK_GT(options.scale_factor, 0.0);
+  const uint64_t sf_rows =
+      static_cast<uint64_t>(6000000.0 * options.scale_factor);
+  const uint64_t rows =
+      options.row_limit > 0 ? std::min(options.row_limit, sf_rows) : sf_rows;
+  const uint64_t num_orders = std::max<uint64_t>(
+      1, static_cast<uint64_t>(1500000.0 * options.scale_factor));
+  const int64_t max_partkey = std::max<int64_t>(
+      1, static_cast<int64_t>(200000.0 * options.scale_factor));
+  const int64_t max_suppkey = std::max<int64_t>(
+      1, static_cast<int64_t>(10000.0 * options.scale_factor));
+
+  Rng rng(options.seed);
+  page::TableFile table(LineitemSchema(options.num_columns));
+
+  // Spike bookkeeping: spike rows are injected at random positions by
+  // drawing against the remaining-row budget, which keeps the stream
+  // single-pass and deterministic.
+  uint64_t spike_rows_total = 0;
+  for (const auto& spike : options.price_spikes) {
+    spike_rows_total += spike.count;
+  }
+  DPHIST_CHECK_LE(spike_rows_total, rows);
+  std::vector<uint64_t> spike_remaining;
+  spike_remaining.reserve(options.price_spikes.size());
+  for (const auto& spike : options.price_spikes) {
+    spike_remaining.push_back(spike.count);
+  }
+
+  uint64_t order = 1;
+  uint32_t lines_left_in_order = 0;
+  uint64_t spikes_left = spike_rows_total;
+  std::vector<int64_t> row(options.num_columns);
+  for (uint64_t r = 0; r < rows; ++r) {
+    if (lines_left_in_order == 0) {
+      lines_left_in_order = static_cast<uint32_t>(rng.NextInRange(1, 7));
+      order = 1 + rng.NextBounded(num_orders);
+    }
+    --lines_left_in_order;
+
+    const int64_t quantity = rng.NextInRange(kQuantityMin, kQuantityMax);
+    // Retail price per unit in [900.00, 2100.00) scaled; extended price =
+    // quantity * unit price, spanning the high-cardinality fixed-point
+    // domain the paper's Figure 19 analyzes.
+    int64_t unit_price_scaled = rng.NextInRange(90000, 209999);
+    int64_t price_scaled = quantity * unit_price_scaled;
+    price_scaled = std::min(price_scaled, kPriceScaledMax);
+
+    // Decide whether this row becomes a spike row (uniform over the
+    // remaining rows so spikes land at random positions).
+    if (spikes_left > 0 && rng.NextBounded(rows - r) < spikes_left) {
+      // Pick the first spike with budget left.
+      for (size_t s = 0; s < spike_remaining.size(); ++s) {
+        if (spike_remaining[s] > 0) {
+          price_scaled = options.price_spikes[s].price_scaled;
+          --spike_remaining[s];
+          --spikes_left;
+          break;
+        }
+      }
+    }
+
+    if (options.num_columns == 1) {
+      row[0] = quantity;
+    } else {
+      row[kLOrderKey] = static_cast<int64_t>(order);
+      row[kLPartKey] = 1 + static_cast<int64_t>(rng.NextBounded(
+                               static_cast<uint64_t>(max_partkey)));
+      row[kLSuppKey] = 1 + static_cast<int64_t>(rng.NextBounded(
+                               static_cast<uint64_t>(max_suppkey)));
+      row[kLLineNumber] = rng.NextInRange(1, 7);
+      row[kLQuantity] = quantity;
+      row[kLExtendedPrice] = price_scaled;
+      row[kLDiscount] = rng.NextInRange(0, kDiscountScaledMax);
+      row[kLTax] = rng.NextInRange(0, kTaxScaledMax);
+    }
+    table.AppendRow(row);
+  }
+  table.Seal();
+  return table;
+}
+
+Schema CustomerSchema() {
+  return Schema({
+      ColumnDef{"c_custkey", ColumnType::kInt32},
+      ColumnDef{"c_acctbal", ColumnType::kDecimal2},
+      ColumnDef{"c_nationkey", ColumnType::kInt32},
+  });
+}
+
+page::TableFile GenerateCustomer(const CustomerOptions& options) {
+  DPHIST_CHECK_GT(options.scale_factor, 0.0);
+  const uint64_t sf_rows =
+      static_cast<uint64_t>(150000.0 * options.scale_factor);
+  const uint64_t rows =
+      options.row_limit > 0 ? std::min(options.row_limit, sf_rows) : sf_rows;
+
+  Rng rng(options.seed);
+  page::TableFile table(CustomerSchema());
+  std::vector<int64_t> row(3);
+  for (uint64_t r = 0; r < rows; ++r) {
+    row[kCCustKey] = static_cast<int64_t>(r + 1);
+    row[kCAcctBal] = rng.NextInRange(kAcctBalScaledMin, kAcctBalScaledMax);
+    row[kCNationKey] = rng.NextInRange(0, 24);
+    table.AppendRow(row);
+  }
+  table.Seal();
+  return table;
+}
+
+}  // namespace dphist::workload

@@ -1,0 +1,96 @@
+#ifndef DPHIST_WORKLOAD_TPCH_H_
+#define DPHIST_WORKLOAD_TPCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "page/schema.h"
+#include "page/table_file.h"
+
+namespace dphist::workload {
+
+/// Deterministic TPC-H-like generators for the tables the paper's
+/// evaluation uses. They reproduce the *distributional* properties the
+/// experiments depend on (cardinalities, value ranges, fixed-point money
+/// columns, skew injection) rather than TPC-H referential structure; see
+/// DESIGN.md for the substitution rationale.
+///
+/// Column layout of the 8-column lineitem variant (the paper truncates
+/// dbgen output to the first eight numeric columns):
+///   0 l_orderkey      INT64   dense 1 .. 1.5M*SF (high cardinality)
+///   1 l_partkey       INT32   uniform 1 .. 200k*SF
+///   2 l_suppkey       INT32   uniform 1 .. 10k*SF
+///   3 l_linenumber    INT32   1 .. 7
+///   4 l_quantity      INT32   uniform 1 .. 50 (low cardinality)
+///   5 l_extendedprice DECIMAL2  quantity * part retail price
+///   6 l_discount      DECIMAL2  0.00 .. 0.10
+///   7 l_tax           DECIMAL2  0.00 .. 0.08
+/// The 1-column variant keeps only l_quantity (paper Figure 17).
+
+/// Column indices in the 8-column lineitem schema.
+enum LineitemColumn : size_t {
+  kLOrderKey = 0,
+  kLPartKey = 1,
+  kLSuppKey = 2,
+  kLLineNumber = 3,
+  kLQuantity = 4,
+  kLExtendedPrice = 5,
+  kLDiscount = 6,
+  kLTax = 7,
+};
+
+/// A forced spike in l_extendedprice: `count` rows get exactly
+/// `price_scaled` (Decimal2 x100 units). Reproduces the paper's "increase
+/// the number of records with price 2001 to 120,000" update (Section 2)
+/// and the random small spikes of Section 6.2.
+struct PriceSpike {
+  int64_t price_scaled = 0;
+  uint64_t count = 0;
+};
+
+struct LineitemOptions {
+  double scale_factor = 1.0;
+  /// Caps the generated row count (0 = the SF-derived ~6M * SF).
+  uint64_t row_limit = 0;
+  uint64_t seed = 42;
+  uint32_t num_columns = 8;  ///< 8 or 1 (quantity only)
+  std::vector<PriceSpike> price_spikes;
+};
+
+page::Schema LineitemSchema(uint32_t num_columns);
+page::TableFile GenerateLineitem(const LineitemOptions& options);
+
+/// Value-range constants callers (catalog metadata, scan requests) need.
+inline constexpr int64_t kQuantityMin = 1;
+inline constexpr int64_t kQuantityMax = 50;
+inline constexpr int64_t kPriceScaledMin = 90000;      // 900.00
+inline constexpr int64_t kPriceScaledMax = 10500000;   // 105000.00
+inline constexpr int64_t kDiscountScaledMax = 10;      // 0.10
+inline constexpr int64_t kTaxScaledMax = 8;            // 0.08
+/// Bytes per row of the full 16-column TPC-H lineitem, used to express
+/// Binner rates as table throughput (Table 1's 2.9 GB/s equivalence).
+inline constexpr uint64_t kFullLineitemRowBytes = 145;
+
+/// Customer table: c_custkey INT32 dense 1..150k*SF, c_acctbal DECIMAL2
+/// uniform -999.99 .. 9999.99, c_nationkey INT32 0..24.
+enum CustomerColumn : size_t {
+  kCCustKey = 0,
+  kCAcctBal = 1,
+  kCNationKey = 2,
+};
+
+struct CustomerOptions {
+  double scale_factor = 1.0;
+  uint64_t row_limit = 0;
+  uint64_t seed = 4242;
+};
+
+page::Schema CustomerSchema();
+page::TableFile GenerateCustomer(const CustomerOptions& options);
+
+inline constexpr int64_t kAcctBalScaledMin = -99999;   // -999.99
+inline constexpr int64_t kAcctBalScaledMax = 999999;   // 9999.99
+
+}  // namespace dphist::workload
+
+#endif  // DPHIST_WORKLOAD_TPCH_H_

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "accel/accelerator.h"
+#include "common/random.h"
+#include "hist/dense_reference.h"
+#include "workload/distributions.h"
+
+namespace dphist::accel {
+namespace {
+
+/// Parameterized end-to-end equivalence sweep: for every combination of
+/// distribution, domain, granularity, and block sizing, the accelerator's
+/// output must match the dense reference implementation bit for bit, and
+/// its accounting invariants must hold.
+struct Params {
+  const char* name;
+  double zipf_s;        // < 0 -> uniform with holes
+  uint64_t rows;
+  int64_t domain;       // values drawn from [1, domain]
+  int64_t granularity;
+  uint32_t buckets;
+  uint32_t top_k;
+};
+
+class AcceleratorPropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  std::vector<int64_t> GenerateColumn() const {
+    const Params& p = GetParam();
+    if (p.zipf_s >= 0) {
+      return workload::ZipfColumn(p.rows, p.domain, p.zipf_s,
+                                  1234 + p.rows);
+    }
+    // Uniform over a third of the domain (holes elsewhere).
+    Rng rng(4321 + p.rows);
+    std::vector<int64_t> column;
+    for (uint64_t i = 0; i < p.rows; ++i) {
+      int64_t v = rng.NextInRange(1, p.domain);
+      column.push_back(v % 3 == 0 ? v : (v % p.domain) / 3 * 3 + 1);
+    }
+    return column;
+  }
+
+  /// Reference dense counts in *bin space* under the granularity mapping.
+  hist::DenseCounts BinSpaceCounts(const std::vector<int64_t>& column)
+      const {
+    const Params& p = GetParam();
+    hist::DenseCounts dense;
+    dense.min_value = 0;
+    uint64_t bins =
+        (static_cast<uint64_t>(p.domain - 1)) /
+            static_cast<uint64_t>(p.granularity) +
+        1;
+    dense.counts.assign(bins, 0);
+    for (int64_t v : column) {
+      ++dense.counts[static_cast<uint64_t>(v - 1) /
+                     static_cast<uint64_t>(p.granularity)];
+    }
+    return dense;
+  }
+};
+
+TEST_P(AcceleratorPropertyTest, MatchesDenseReferenceEndToEnd) {
+  const Params& p = GetParam();
+  auto column = GenerateColumn();
+  hist::DenseCounts dense = BinSpaceCounts(column);
+
+  Accelerator accelerator{AcceleratorConfig{}};
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = p.domain;
+  request.granularity = p.granularity;
+  request.num_buckets = p.buckets;
+  request.top_k = p.top_k;
+  auto report = accelerator.ProcessValues(column, request, 8);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // Accounting invariants.
+  EXPECT_EQ(report->rows, p.rows);
+  EXPECT_EQ(report->distinct_values, dense.NonZeroBins());
+  uint64_t ed_rows = 0;
+  for (const auto& b : report->histograms.equi_depth.buckets) {
+    ed_rows += b.count;
+  }
+  EXPECT_EQ(ed_rows, p.rows);
+  uint64_t compressed_rows = 0;
+  for (const auto& b : report->histograms.compressed.buckets) {
+    compressed_rows += b.count;
+  }
+  for (const auto& s : report->histograms.compressed.singletons) {
+    compressed_rows += s.count;
+  }
+  EXPECT_EQ(compressed_rows, p.rows);
+
+  // Bucket-for-bucket equivalence with the reference (counts; bounds are
+  // checked through the count comparison plus the value mapping).
+  auto expect_buckets_match = [&](const hist::Histogram& got,
+                                  const hist::Histogram& want,
+                                  const char* which) {
+    ASSERT_EQ(got.buckets.size(), want.buckets.size()) << which;
+    for (size_t i = 0; i < want.buckets.size(); ++i) {
+      EXPECT_EQ(got.buckets[i].count, want.buckets[i].count)
+          << which << " bucket " << i;
+      EXPECT_EQ(got.buckets[i].distinct, want.buckets[i].distinct)
+          << which << " bucket " << i;
+    }
+  };
+  expect_buckets_match(report->histograms.equi_depth,
+                       hist::EquiDepthDense(dense, p.buckets),
+                       "equi-depth");
+  expect_buckets_match(report->histograms.max_diff,
+                       hist::MaxDiffDense(dense, p.buckets), "max-diff");
+  hist::Histogram want_compressed =
+      hist::CompressedDense(dense, p.buckets, p.top_k);
+  expect_buckets_match(report->histograms.compressed, want_compressed,
+                       "compressed");
+  ASSERT_EQ(report->histograms.compressed.singletons.size(),
+            want_compressed.singletons.size());
+
+  auto want_top = hist::TopKDense(dense, p.top_k);
+  ASSERT_EQ(report->histograms.top_k.size(), want_top.size());
+  for (size_t i = 0; i < want_top.size(); ++i) {
+    EXPECT_EQ(report->histograms.top_k[i].count, want_top[i].count)
+        << "topk " << i;
+  }
+}
+
+TEST_P(AcceleratorPropertyTest, DeterministicAcrossRuns) {
+  auto column = GenerateColumn();
+  const Params& p = GetParam();
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = p.domain;
+  request.granularity = p.granularity;
+  request.num_buckets = p.buckets;
+  request.top_k = p.top_k;
+
+  Accelerator a{AcceleratorConfig{}};
+  Accelerator b{AcceleratorConfig{}};
+  auto ra = a.ProcessValues(column, request, 8);
+  auto rb = b.ProcessValues(column, request, 8);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->histograms.equi_depth.buckets,
+            rb->histograms.equi_depth.buckets);
+  EXPECT_EQ(ra->histograms.top_k, rb->histograms.top_k);
+  EXPECT_DOUBLE_EQ(ra->total_seconds, rb->total_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AcceleratorPropertyTest,
+    ::testing::Values(
+        Params{"uniform_small", 0.0, 20000, 256, 1, 16, 8},
+        Params{"uniform_wide", 0.0, 30000, 100000, 1, 64, 16},
+        Params{"uniform_gran100", 0.0, 30000, 100000, 100, 64, 16},
+        Params{"zipf05", 0.5, 20000, 2048, 1, 32, 8},
+        Params{"zipf10", 1.0, 20000, 2048, 1, 32, 8},
+        Params{"zipf15_gran7", 1.5, 20000, 4096, 7, 16, 4},
+        Params{"holes", -1.0, 20000, 1024, 1, 16, 8},
+        Params{"one_bucket", 1.0, 10000, 512, 1, 1, 1},
+        Params{"more_buckets_than_bins", 0.0, 5000, 16, 1, 64, 64},
+        Params{"tiny", 0.0, 10, 4, 1, 2, 2}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace dphist::accel

@@ -1,0 +1,258 @@
+#include "accel/accelerator.h"
+
+#include <gtest/gtest.h>
+
+#include "accel/resource_model.h"
+#include "accel/splitter.h"
+#include "common/date.h"
+#include "common/random.h"
+#include "hist/dense_reference.h"
+#include "workload/distributions.h"
+#include "workload/tpch.h"
+
+namespace dphist::accel {
+namespace {
+
+AcceleratorConfig SmallConfig() {
+  AcceleratorConfig config;
+  config.dram.capacity_bytes = 1ULL << 30;
+  return config;
+}
+
+ScanRequest RequestFor(int64_t min_value, int64_t max_value,
+                       uint32_t buckets = 16, uint32_t top_k = 8) {
+  ScanRequest request;
+  request.min_value = min_value;
+  request.max_value = max_value;
+  request.num_buckets = buckets;
+  request.top_k = top_k;
+  return request;
+}
+
+TEST(AcceleratorTest, EndToEndMatchesDenseReference) {
+  auto values = workload::ZipfColumn(30000, 1024, 0.9, 3);
+  auto table = workload::ColumnToTable(values, 4, 99);
+
+  Accelerator accel(SmallConfig());
+  ScanRequest request = RequestFor(1, 1024);
+  auto report = accel.ProcessTable(table, request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows, 30000u);
+  EXPECT_EQ(report->num_bins, 1024u);
+
+  hist::DenseCounts dense = hist::BuildDenseCounts(values, 1, 1024);
+  EXPECT_EQ(report->distinct_values, dense.NonZeroBins());
+
+  // TopK matches.
+  auto expected_top = hist::TopKDense(dense, 8);
+  ASSERT_EQ(report->histograms.top_k.size(), expected_top.size());
+  for (size_t i = 0; i < expected_top.size(); ++i) {
+    EXPECT_EQ(report->histograms.top_k[i], expected_top[i]);
+  }
+
+  // Equi-depth matches bucket for bucket (value space; min_value = 1).
+  hist::Histogram expected_ed = hist::EquiDepthDense(dense, 16);
+  ASSERT_EQ(report->histograms.equi_depth.buckets.size(),
+            expected_ed.buckets.size());
+  for (size_t i = 0; i < expected_ed.buckets.size(); ++i) {
+    EXPECT_EQ(report->histograms.equi_depth.buckets[i],
+              expected_ed.buckets[i]);
+  }
+
+  // Max-diff and Compressed match.
+  hist::Histogram expected_md = hist::MaxDiffDense(dense, 16);
+  ASSERT_EQ(report->histograms.max_diff.buckets.size(),
+            expected_md.buckets.size());
+  for (size_t i = 0; i < expected_md.buckets.size(); ++i) {
+    EXPECT_EQ(report->histograms.max_diff.buckets[i],
+              expected_md.buckets[i]);
+  }
+  hist::Histogram expected_cp = hist::CompressedDense(dense, 16, 8);
+  ASSERT_EQ(report->histograms.compressed.singletons.size(),
+            expected_cp.singletons.size());
+  for (size_t i = 0; i < expected_cp.singletons.size(); ++i) {
+    EXPECT_EQ(report->histograms.compressed.singletons[i],
+              expected_cp.singletons[i]);
+  }
+}
+
+TEST(AcceleratorTest, DecimalColumnBinsOnScaledValues) {
+  workload::LineitemOptions options;
+  options.scale_factor = 0.01;
+  options.row_limit = 20000;
+  options.price_spikes.push_back(workload::PriceSpike{200100, 500});
+  auto table = workload::GenerateLineitem(options);
+
+  Accelerator accel(SmallConfig());
+  ScanRequest request = RequestFor(workload::kPriceScaledMin,
+                                   workload::kPriceScaledMax, 64, 8);
+  request.column_index = workload::kLExtendedPrice;
+  request.granularity = 100;  // bin per whole currency unit
+  auto report = accel.ProcessTable(table, request);
+  ASSERT_TRUE(report.ok());
+  // The injected spike (500 occurrences of exactly 2001.00) dominates the
+  // TopK list; its bin's low value is 2001.00 scaled.
+  ASSERT_FALSE(report->histograms.top_k.empty());
+  EXPECT_EQ(report->histograms.top_k[0].value, 200100);
+  EXPECT_GE(report->histograms.top_k[0].count, 500u);
+}
+
+TEST(AcceleratorTest, UnpackedDateColumn) {
+  using page::ColumnDef;
+  using page::ColumnType;
+  page::TableFile table(
+      page::Schema({ColumnDef{"d", ColumnType::kDateUnpacked}}));
+  Rng rng(5);
+  int64_t base = dphist::ToEpochDays({1995, 1, 1});
+  std::vector<int64_t> days;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t d = base + rng.NextInRange(0, 364);
+    days.push_back(d);
+    const int64_t row[] = {d};
+    table.AppendRow(row);
+  }
+  table.Seal();
+
+  Accelerator accel(SmallConfig());
+  ScanRequest request = RequestFor(base, base + 364, 12, 4);
+  auto report = accel.ProcessTable(table, request);
+  ASSERT_TRUE(report.ok());
+  hist::DenseCounts dense = hist::BuildDenseCounts(days, base, base + 364);
+  hist::Histogram expected = hist::EquiDepthDense(dense, 12);
+  ASSERT_EQ(report->histograms.equi_depth.buckets.size(),
+            expected.buckets.size());
+  for (size_t i = 0; i < expected.buckets.size(); ++i) {
+    EXPECT_EQ(report->histograms.equi_depth.buckets[i],
+              expected.buckets[i]);
+  }
+}
+
+TEST(AcceleratorTest, GranularityMapsBackToValueRanges) {
+  std::vector<int64_t> values;
+  for (int64_t v = 0; v < 1000; ++v) values.push_back(v);
+  Accelerator accel(SmallConfig());
+  ScanRequest request = RequestFor(0, 999, 4, 4);
+  request.granularity = 10;
+  auto report = accel.ProcessValues(values, request, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_bins, 100u);
+  // Bucket bounds land on granularity multiples.
+  for (const auto& b : report->histograms.equi_depth.buckets) {
+    EXPECT_EQ(b.lo % 10, 0);
+    EXPECT_EQ((b.hi + 1) % 10, 0);
+  }
+}
+
+TEST(AcceleratorTest, RejectsInvalidRequests) {
+  std::vector<int64_t> values = {1, 2, 3};
+  Accelerator accel(SmallConfig());
+  ScanRequest bad = RequestFor(10, 5);
+  EXPECT_FALSE(accel.ProcessValues(values, bad, 8).ok());
+
+  ScanRequest no_stats = RequestFor(0, 10);
+  no_stats.want_topk = no_stats.want_equi_depth = false;
+  no_stats.want_max_diff = no_stats.want_compressed = false;
+  EXPECT_FALSE(accel.ProcessValues(values, no_stats, 8).ok());
+
+  ScanRequest zero_buckets = RequestFor(0, 10, 0);
+  EXPECT_FALSE(accel.ProcessValues(values, zero_buckets, 8).ok());
+
+  auto table = workload::ColumnToTable({1, 2, 3}, 2, 1);
+  ScanRequest bad_col = RequestFor(0, 10);
+  bad_col.column_index = 99;
+  EXPECT_FALSE(accel.ProcessTable(table, bad_col).ok());
+}
+
+TEST(AcceleratorTest, RejectsDomainsBeyondDramCapacity) {
+  std::vector<int64_t> values = {1};
+  AcceleratorConfig config;
+  config.dram.capacity_bytes = 1 << 20;  // 128 K bins max
+  Accelerator accel(config);
+  ScanRequest request = RequestFor(0, 10'000'000);
+  auto report = accel.ProcessValues(values, request, 8);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AcceleratorTest, TimingFieldsAreConsistent) {
+  auto values = workload::UniformColumn(50000, 0, 4095, 17);
+  Accelerator accel(SmallConfig());
+  auto report = accel.ProcessValues(values, RequestFor(0, 4095), 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->binner_finish_seconds, 0.0);
+  EXPECT_GT(report->histogram_finish_seconds,
+            report->binner_finish_seconds);
+  EXPECT_GE(report->total_seconds, report->histogram_finish_seconds);
+  // The accelerator adds only microsecond-scale latency to the data path
+  // ("bump in the wire").
+  EXPECT_LT(report->added_latency_ns, 10000.0);
+  EXPECT_GT(report->binner.total_items, 0u);
+  EXPECT_EQ(report->block_timings.size(), 4u);
+}
+
+TEST(AcceleratorTest, DeviceTimeScalesLinearlyWithRows) {
+  Accelerator accel(SmallConfig());
+  auto run_rows = [&](uint64_t rows) {
+    auto values = workload::UniformColumn(rows, 0, 4095, 23);
+    auto report = accel.ProcessValues(values, RequestFor(0, 4095), 8);
+    return report->total_seconds;
+  };
+  double t1 = run_rows(100000);
+  double t2 = run_rows(200000);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.25);
+}
+
+TEST(AcceleratorTest, SelectiveStatistics) {
+  std::vector<int64_t> values = {1, 1, 2, 3, 3, 3};
+  Accelerator accel(SmallConfig());
+  ScanRequest request = RequestFor(1, 3, 2, 2);
+  request.want_max_diff = false;
+  request.want_compressed = false;
+  auto report = accel.ProcessValues(values, request, 8);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->block_timings.size(), 2u);
+  EXPECT_EQ(report->module.scans, 1u);  // no composite -> single scan
+  EXPECT_TRUE(report->histograms.max_diff.buckets.empty());
+}
+
+TEST(SplitterTest, ForwardsBytesUnchanged) {
+  Splitter splitter(10.0);
+  std::vector<uint8_t> data = {1, 2, 3, 4};
+  auto tapped = splitter.Tap(data);
+  EXPECT_EQ(tapped.data(), data.data());
+  EXPECT_EQ(splitter.bytes_forwarded(), 4u);
+  EXPECT_EQ(splitter.packets(), 1u);
+  EXPECT_DOUBLE_EQ(splitter.added_latency_ns(), 10.0);
+}
+
+TEST(ResourceModelTest, MatchesTable2) {
+  EXPECT_NEAR(resource_model::TopK(64).utilization_percent, 2.5, 1e-9);
+  EXPECT_LT(resource_model::EquiDepth().utilization_percent, 1.0);
+  EXPECT_NEAR(resource_model::MaxDiff(64).utilization_percent, 3.0, 1e-9);
+  EXPECT_NEAR(resource_model::Compressed(64).utilization_percent, 3.0,
+              1e-9);
+  EXPECT_DOUBLE_EQ(resource_model::TopK(64).max_frequency_hz, 170e6);
+  EXPECT_DOUBLE_EQ(resource_model::EquiDepth().max_frequency_hz, 240e6);
+}
+
+TEST(ResourceModelTest, ScalingLaws) {
+  // TopK and Compressed scale O(T); Max-diff O(B); Equi-depth O(1).
+  EXPECT_NEAR(resource_model::TopK(128).utilization_percent, 5.0, 1e-9);
+  EXPECT_NEAR(resource_model::MaxDiff(128).utilization_percent, 6.0, 1e-9);
+  EXPECT_NEAR(resource_model::Compressed(32).utilization_percent, 1.5,
+              1e-9);
+}
+
+TEST(ResourceModelTest, ChainClockIsMinimumOfBlocks) {
+  auto chain = resource_model::Chain(true, true, true, true, 64, 64);
+  EXPECT_DOUBLE_EQ(chain.max_frequency_hz, 170e6);
+  EXPECT_TRUE(chain.fits);
+  EXPECT_NEAR(chain.utilization_percent, 2.5 + 0.8 + 3.0 + 3.0, 1e-9);
+  // A pathological T would not fit.
+  auto huge = resource_model::Chain(true, false, false, true, 64 * 2048,
+                                    64);
+  EXPECT_FALSE(huge.fits);
+}
+
+}  // namespace
+}  // namespace dphist::accel

@@ -1,0 +1,52 @@
+#include "accel/bin_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist::accel {
+namespace {
+
+TEST(BinCacheTest, CapacityFromBytes) {
+  BinCache cache(1024, 64);  // the paper's 1 KB over 64 B lines
+  EXPECT_EQ(cache.capacity_lines(), 16u);
+}
+
+TEST(BinCacheTest, MissThenHit) {
+  BinCache cache(128, 64);  // 2 lines
+  EXPECT_FALSE(cache.LookupAndTouch(7));
+  cache.Insert(7);
+  EXPECT_TRUE(cache.LookupAndTouch(7));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BinCacheTest, LruEviction) {
+  BinCache cache(128, 64);  // 2 lines
+  cache.Insert(1);
+  cache.Insert(2);
+  EXPECT_TRUE(cache.LookupAndTouch(1));  // 1 becomes most recent
+  cache.Insert(3);                       // evicts 2
+  EXPECT_TRUE(cache.LookupAndTouch(1));
+  EXPECT_TRUE(cache.LookupAndTouch(3));
+  EXPECT_FALSE(cache.LookupAndTouch(2));
+}
+
+TEST(BinCacheTest, ResetClearsEverything) {
+  BinCache cache(128, 64);
+  cache.Insert(1);
+  cache.LookupAndTouch(1);
+  cache.Reset();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_FALSE(cache.LookupAndTouch(1));
+}
+
+TEST(BinCacheTest, FillsToCapacityWithoutEvicting) {
+  BinCache cache(1024, 64);
+  for (uint64_t line = 0; line < 16; ++line) cache.Insert(line);
+  for (uint64_t line = 0; line < 16; ++line) {
+    EXPECT_TRUE(cache.LookupAndTouch(line)) << "line " << line;
+  }
+}
+
+}  // namespace
+}  // namespace dphist::accel

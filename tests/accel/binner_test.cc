@@ -1,0 +1,155 @@
+#include "accel/binner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/clock.h"
+#include "workload/distributions.h"
+
+namespace dphist::accel {
+namespace {
+
+struct BinnerRig {
+  explicit BinnerRig(uint64_t num_bins, bool cache_enabled = true,
+                     double mem_random = -1, double mem_near = -1) {
+    prep_config.type = page::ColumnType::kInt64;
+    prep_config.min_value = 1;
+    prep_config.max_value = static_cast<int64_t>(num_bins);
+    auto created = Preprocessor::Create(prep_config);
+    prep = std::make_unique<Preprocessor>(*created);
+    sim::DramConfig dram_config;
+    if (mem_random >= 0) dram_config.random_interval_cycles = mem_random;
+    if (mem_near >= 0) dram_config.near_interval_cycles = mem_near;
+    dram = std::make_unique<sim::Dram>(dram_config);
+    dram->AllocateBins(prep->num_bins());
+    BinnerConfig binner_config;
+    binner_config.cache_enabled = cache_enabled;
+    binner = std::make_unique<Binner>(binner_config, prep.get(), dram.get());
+  }
+
+  double Throughput(const BinnerReport& report) {
+    return report.ValuesPerSecond(sim::Clock());
+  }
+
+  PreprocessorConfig prep_config;
+  std::unique_ptr<Preprocessor> prep;
+  std::unique_ptr<sim::Dram> dram;
+  std::unique_ptr<Binner> binner;
+};
+
+TEST(BinnerTest, FunctionalCountsAreExact) {
+  BinnerRig rig(100);
+  Rng rng(7);
+  std::vector<uint64_t> expected(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.NextInRange(1, 100);
+    ++expected[v - 1];
+    rig.binner->ProcessValue(v);
+  }
+  BinnerReport report = rig.binner->Finish();
+  EXPECT_EQ(report.total_items, 20000u);
+  for (size_t b = 0; b < 100; ++b) {
+    EXPECT_EQ(rig.dram->ReadBin(b), expected[b]) << "bin " << b;
+  }
+}
+
+TEST(BinnerTest, WorstCaseRateMatchesTable1) {
+  // Adversarial stream: no cache hits, every access random -> one read +
+  // one write per item = 7.5 cycles -> ~20 M values/s (Table 1 worst).
+  BinnerRig rig(1 << 16);
+  auto stream = workload::CacheAdversarialColumn(
+      100000, 1 << 16, rig.dram->config().bins_per_line());
+  for (int64_t v : stream) rig.binner->ProcessValue(v);
+  BinnerReport report = rig.binner->Finish();
+  EXPECT_EQ(report.cache_hits, 0u);
+  EXPECT_NEAR(rig.Throughput(report), 20e6, 0.5e6);
+}
+
+TEST(BinnerTest, BestCaseRateMatchesTable1) {
+  // Single repeated value: all hits after the first -> write-only at the
+  // near interval = 3 cycles -> ~50 M values/s (Table 1 best).
+  BinnerRig rig(1 << 16);
+  auto stream = workload::CacheFriendlyColumn(100000, 42);
+  for (int64_t v : stream) rig.binner->ProcessValue(v);
+  BinnerReport report = rig.binner->Finish();
+  EXPECT_EQ(report.cache_misses, 1u);
+  EXPECT_NEAR(rig.Throughput(report), 50e6, 1e6);
+}
+
+TEST(BinnerTest, IdealPipelineRateMatchesTable1) {
+  // Infinitely fast memory: bound by the 2-cycle issue interval ->
+  // 75 M values/s (Table 1 ideal).
+  BinnerRig rig(1 << 16, /*cache_enabled=*/true, /*mem_random=*/0.01,
+                /*mem_near=*/0.01);
+  auto stream = workload::CacheAdversarialColumn(
+      100000, 1 << 16, rig.dram->config().bins_per_line());
+  for (int64_t v : stream) rig.binner->ProcessValue(v);
+  BinnerReport report = rig.binner->Finish();
+  EXPECT_NEAR(rig.Throughput(report), 75e6, 1.5e6);
+}
+
+TEST(BinnerTest, SkewNeverHurtsWithCache) {
+  // Section 5.1.3's design goal: with the write-through cache, skewed
+  // inputs are at least as fast as uniform ones.
+  auto run = [](const std::vector<int64_t>& stream) {
+    BinnerRig rig(2048);
+    for (int64_t v : stream) rig.binner->ProcessValue(v);
+    return rig.Throughput(rig.binner->Finish());
+  };
+  constexpr uint64_t kRows = 50000;
+  double uniform = run(workload::ZipfColumn(kRows, 2048, 0.0, 5));
+  double zipf_mid = run(workload::ZipfColumn(kRows, 2048, 0.75, 5));
+  double zipf_high = run(workload::ZipfColumn(kRows, 2048, 1.0, 5));
+  EXPECT_GE(zipf_mid, uniform * 0.99);
+  EXPECT_GE(zipf_high, uniform * 0.99);
+  // All at or above the worst-case floor.
+  EXPECT_GE(uniform, 19.5e6);
+}
+
+TEST(BinnerTest, HazardStallsWithoutCache) {
+  // The rejected stall-on-hazard baseline: repeated values serialize on
+  // the memory round trip.
+  BinnerRig with_cache(2048, /*cache_enabled=*/true);
+  BinnerRig no_cache(2048, /*cache_enabled=*/false);
+  auto stream = workload::CacheFriendlyColumn(20000, 7);
+  for (int64_t v : stream) {
+    with_cache.binner->ProcessValue(v);
+    no_cache.binner->ProcessValue(v);
+  }
+  BinnerReport cached = with_cache.binner->Finish();
+  BinnerReport stalled = no_cache.binner->Finish();
+  EXPECT_EQ(cached.hazard_stall_cycles, 0u);
+  EXPECT_GT(stalled.hazard_stall_cycles, 0u);
+  EXPECT_GT(with_cache.Throughput(cached),
+            5 * no_cache.Throughput(stalled));
+  // Functional results are identical either way.
+  EXPECT_EQ(with_cache.dram->ReadBin(6), 20000u);
+  EXPECT_EQ(no_cache.dram->ReadBin(6), 20000u);
+}
+
+TEST(BinnerTest, InputIntervalThrottles) {
+  BinnerRig rig(1 << 16);
+  // One value per 15 cycles -> 10 M values/s regardless of memory.
+  rig.binner->set_input_interval_cycles(15.0);
+  auto stream = workload::CacheAdversarialColumn(
+      50000, 1 << 16, rig.dram->config().bins_per_line());
+  for (int64_t v : stream) rig.binner->ProcessValue(v);
+  EXPECT_NEAR(rig.Throughput(rig.binner->Finish()), 10e6, 0.3e6);
+}
+
+TEST(BinnerTest, ResetAllowsSecondPass) {
+  BinnerRig rig(64);
+  for (int i = 0; i < 100; ++i) rig.binner->ProcessValue(5);
+  rig.binner->Finish();
+  rig.binner->Reset();
+  rig.dram->AllocateBins(64);  // zero the bins
+  rig.dram->ResetTiming();
+  for (int i = 0; i < 50; ++i) rig.binner->ProcessValue(9);
+  BinnerReport report = rig.binner->Finish();
+  EXPECT_EQ(report.total_items, 50u);
+  EXPECT_EQ(rig.dram->ReadBin(8), 50u);
+  EXPECT_EQ(rig.dram->ReadBin(4), 0u);
+}
+
+}  // namespace
+}  // namespace dphist::accel

@@ -1,0 +1,204 @@
+#include "accel/blocks.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accel/histogram_module.h"
+#include "common/random.h"
+#include "hist/dense_reference.h"
+#include "hist/types.h"
+#include "sim/dram.h"
+
+namespace dphist::accel {
+namespace {
+
+/// Loads dense counts into a DRAM model and runs the four blocks through
+/// a HistogramModule, returning pointers for result inspection.
+struct ChainRig {
+  explicit ChainRig(const hist::DenseCounts& dense, uint32_t buckets,
+                    uint32_t top_k) {
+    sim::DramConfig config;
+    config.capacity_bytes = 1ULL << 30;
+    dram = std::make_unique<sim::Dram>(config);
+    dram->AllocateBins(dense.counts.size());
+    for (size_t i = 0; i < dense.counts.size(); ++i) {
+      dram->WriteBin(i, dense.counts[i]);
+    }
+    module = std::make_unique<HistogramModule>(HistogramModuleConfig{},
+                                               dram.get());
+    topk = module->AddBlock(std::make_unique<TopKBlock>(top_k));
+    equi_depth = module->AddBlock(std::make_unique<EquiDepthBlock>(buckets));
+    max_diff = module->AddBlock(std::make_unique<MaxDiffBlock>(buckets));
+    compressed = module->AddBlock(
+        std::make_unique<CompressedBlock>(buckets, top_k));
+    report = module->Run(dense.counts.size(), dense.TotalCount(), 0.0);
+  }
+
+  std::unique_ptr<sim::Dram> dram;
+  std::unique_ptr<HistogramModule> module;
+  TopKBlock* topk;
+  EquiDepthBlock* equi_depth;
+  MaxDiffBlock* max_diff;
+  CompressedBlock* compressed;
+  ModuleReport report;
+};
+
+hist::DenseCounts RandomDense(uint64_t bins, uint64_t seed, double spike_p) {
+  Rng rng(seed);
+  hist::DenseCounts dense;
+  dense.min_value = 0;
+  dense.counts.resize(bins);
+  for (auto& c : dense.counts) {
+    c = rng.NextBounded(30);
+    if (spike_p > 0 && rng.NextBernoulli(spike_p)) c *= 100;
+  }
+  return dense;
+}
+
+TEST(SortedTopListTest, StrictDisplacementKeepsEarlierTies) {
+  SortedTopList list(2);
+  EXPECT_TRUE(list.Offer(5, 10));
+  EXPECT_TRUE(list.Offer(5, 20));
+  EXPECT_FALSE(list.Offer(5, 30));  // tie: never displaces
+  auto sorted = list.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].payload, 10u);
+  EXPECT_EQ(sorted[1].payload, 20u);
+}
+
+TEST(SortedTopListTest, EvictsSmallestKeyLargestPayload) {
+  SortedTopList list(2);
+  list.Offer(3, 100);
+  list.Offer(3, 50);
+  EXPECT_TRUE(list.Offer(7, 1));  // evicts (3, 100), the later equal entry
+  auto sorted = list.Sorted();
+  EXPECT_EQ(sorted[0].key, 7u);
+  EXPECT_EQ(sorted[1].key, 3u);
+  EXPECT_EQ(sorted[1].payload, 50u);
+}
+
+TEST(SortedTopListTest, ZeroCapacityRejectsAll) {
+  SortedTopList list(0);
+  EXPECT_FALSE(list.Offer(100, 1));
+  EXPECT_TRUE(list.Sorted().empty());
+}
+
+TEST(BlockEquivalenceTest, TopKMatchesDenseReference) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    hist::DenseCounts dense = RandomDense(500, seed, 0.02);
+    ChainRig rig(dense, 16, 8);
+    auto expected = hist::TopKDense(dense, 8);
+    ASSERT_EQ(rig.topk->result().size(), expected.size()) << "seed " << seed;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(rig.topk->result()[i].payload,
+                static_cast<uint64_t>(expected[i].value));
+      EXPECT_EQ(rig.topk->result()[i].key, expected[i].count);
+    }
+  }
+}
+
+TEST(BlockEquivalenceTest, EquiDepthMatchesDenseReference) {
+  for (uint64_t seed : {5u, 6u, 7u, 8u}) {
+    hist::DenseCounts dense = RandomDense(777, seed, 0.01);
+    ChainRig rig(dense, 16, 8);
+    hist::Histogram expected = hist::EquiDepthDense(dense, 16);
+    const auto& got = rig.equi_depth->result();
+    ASSERT_EQ(got.size(), expected.buckets.size()) << "seed " << seed;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(static_cast<int64_t>(got[i].lo_bin), expected.buckets[i].lo);
+      EXPECT_EQ(static_cast<int64_t>(got[i].hi_bin), expected.buckets[i].hi);
+      EXPECT_EQ(got[i].count, expected.buckets[i].count);
+      EXPECT_EQ(got[i].distinct, expected.buckets[i].distinct);
+    }
+  }
+}
+
+TEST(BlockEquivalenceTest, MaxDiffMatchesDenseReference) {
+  for (uint64_t seed : {9u, 10u, 11u, 12u}) {
+    hist::DenseCounts dense = RandomDense(600, seed, 0.03);
+    ChainRig rig(dense, 16, 8);
+    hist::Histogram expected = hist::MaxDiffDense(dense, 16);
+    const auto& got = rig.max_diff->result();
+    ASSERT_EQ(got.size(), expected.buckets.size()) << "seed " << seed;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(static_cast<int64_t>(got[i].lo_bin), expected.buckets[i].lo);
+      EXPECT_EQ(static_cast<int64_t>(got[i].hi_bin), expected.buckets[i].hi);
+      EXPECT_EQ(got[i].count, expected.buckets[i].count);
+    }
+  }
+}
+
+TEST(BlockEquivalenceTest, CompressedMatchesDenseReference) {
+  for (uint64_t seed : {13u, 14u, 15u, 16u}) {
+    hist::DenseCounts dense = RandomDense(400, seed, 0.05);
+    ChainRig rig(dense, 16, 8);
+    hist::Histogram expected = hist::CompressedDense(dense, 16, 8);
+    ASSERT_EQ(rig.compressed->singletons().size(),
+              expected.singletons.size());
+    for (size_t i = 0; i < expected.singletons.size(); ++i) {
+      EXPECT_EQ(rig.compressed->singletons()[i].payload,
+                static_cast<uint64_t>(expected.singletons[i].value));
+      EXPECT_EQ(rig.compressed->singletons()[i].key,
+                expected.singletons[i].count);
+    }
+    const auto& got = rig.compressed->result();
+    ASSERT_EQ(got.size(), expected.buckets.size()) << "seed " << seed;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(static_cast<int64_t>(got[i].lo_bin), expected.buckets[i].lo);
+      EXPECT_EQ(got[i].count, expected.buckets[i].count);
+    }
+  }
+}
+
+TEST(BlockTimingTest, TwoScansForComposites) {
+  hist::DenseCounts dense = RandomDense(256, 20, 0.02);
+  ChainRig rig(dense, 8, 4);
+  EXPECT_EQ(rig.report.scans, 2u);
+  EXPECT_EQ(rig.topk->timing().scans_used, 1u);
+  EXPECT_EQ(rig.equi_depth->timing().scans_used, 1u);
+  EXPECT_EQ(rig.max_diff->timing().scans_used, 2u);
+  EXPECT_EQ(rig.compressed->timing().scans_used, 2u);
+}
+
+TEST(BlockTimingTest, ResultBytesAre8PerEntry) {
+  hist::DenseCounts dense = RandomDense(256, 21, 0.02);
+  ChainRig rig(dense, 8, 4);
+  EXPECT_EQ(rig.topk->timing().result_bytes,
+            rig.topk->result().size() * 8);
+  EXPECT_EQ(rig.equi_depth->timing().result_bytes,
+            rig.equi_depth->result().size() * 8);
+  EXPECT_EQ(rig.max_diff->timing().result_bytes,
+            rig.max_diff->result().size() * 8);
+  EXPECT_EQ(rig.compressed->timing().result_bytes,
+            (rig.compressed->result().size() +
+             rig.compressed->singletons().size()) *
+                8);
+}
+
+TEST(BlockTimingTest, EquiDepthEmitsFirstBucketEarly) {
+  // Table 2: the Equi-depth block returns its first bucket after ~Delta/B
+  // bins; TopK only after the whole scan.
+  hist::DenseCounts dense;
+  dense.min_value = 0;
+  dense.counts.assign(10000, 5);
+  ChainRig rig(dense, 10, 8);
+  double ed_first = rig.equi_depth->timing().first_result_cycle;
+  double topk_first = rig.topk->timing().first_result_cycle;
+  EXPECT_LT(ed_first, topk_first / 5);
+}
+
+TEST(BlockTimingTest, ZeroBinsProduceEmptyResults) {
+  hist::DenseCounts dense;
+  dense.min_value = 0;
+  dense.counts.assign(128, 0);
+  ChainRig rig(dense, 8, 4);
+  EXPECT_TRUE(rig.topk->result().empty());
+  EXPECT_TRUE(rig.equi_depth->result().empty());
+  EXPECT_TRUE(rig.max_diff->result().empty());
+  EXPECT_TRUE(rig.compressed->result().empty());
+  EXPECT_TRUE(rig.compressed->singletons().empty());
+}
+
+}  // namespace
+}  // namespace dphist::accel

@@ -1,0 +1,114 @@
+#include "accel/delimited_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace dphist::accel {
+namespace {
+
+std::vector<int64_t> ParseAll(DelimitedParser* parser,
+                              std::string_view text) {
+  std::vector<int64_t> out;
+  EXPECT_TRUE(parser->ParseChunk(text, &out).ok());
+  EXPECT_TRUE(parser->Finish(&out).ok());
+  return out;
+}
+
+TEST(DelimitedParserTest, ExtractsMiddleField) {
+  DelimitedParser parser(2);
+  auto values = ParseAll(&parser, "1|alpha|42|x\n2|beta|77|y\n");
+  EXPECT_EQ(values, (std::vector<int64_t>{42, 77}));
+  EXPECT_EQ(parser.records(), 2u);
+  EXPECT_EQ(parser.malformed_records(), 0u);
+}
+
+TEST(DelimitedParserTest, FirstAndLastFields) {
+  DelimitedParser first(0);
+  EXPECT_EQ(ParseAll(&first, "10|a\n20|b\n"),
+            (std::vector<int64_t>{10, 20}));
+  DelimitedParser last(1);
+  EXPECT_EQ(ParseAll(&last, "a|10\nb|20\n"),
+            (std::vector<int64_t>{10, 20}));
+}
+
+TEST(DelimitedParserTest, NegativeAndDecimalFields) {
+  DelimitedParser parser(1);
+  // Decimal fields are parsed as Decimal2 (x100); extra fractional
+  // digits are truncated.
+  auto values =
+      ParseAll(&parser, "a|-17|z\nb|2001.00|z\nc|3.5|z\nd|1.999|z\n");
+  EXPECT_EQ(values, (std::vector<int64_t>{-17, 200100, 350, 199}));
+}
+
+TEST(DelimitedParserTest, TrailingRecordWithoutNewline) {
+  DelimitedParser parser(0);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(parser.ParseChunk("5|x\n6|y", &out).ok());
+  EXPECT_EQ(out, (std::vector<int64_t>{5}));
+  ASSERT_TRUE(parser.Finish(&out).ok());
+  EXPECT_EQ(out, (std::vector<int64_t>{5, 6}));
+}
+
+TEST(DelimitedParserTest, StateSurvivesChunkBoundaries) {
+  // Split a record across every possible boundary position.
+  const std::string text = "123|45|6\n78|90|1\n";
+  for (size_t split = 1; split < text.size(); ++split) {
+    DelimitedParser parser(1);
+    std::vector<int64_t> out;
+    ASSERT_TRUE(parser.ParseChunk(text.substr(0, split), &out).ok());
+    ASSERT_TRUE(parser.ParseChunk(text.substr(split), &out).ok());
+    ASSERT_TRUE(parser.Finish(&out).ok());
+    EXPECT_EQ(out, (std::vector<int64_t>{45, 90})) << "split " << split;
+  }
+}
+
+TEST(DelimitedParserTest, MalformedFieldsSkippedAndCounted) {
+  DelimitedParser parser(1);
+  auto values =
+      ParseAll(&parser, "a|12|x\nb|oops|x\nc||x\nd|34|x\ne\n");
+  // "oops" is non-numeric, "" has no digits, record "e" never reaches
+  // field 1.
+  EXPECT_EQ(values, (std::vector<int64_t>{12, 34}));
+  EXPECT_EQ(parser.records(), 5u);
+  EXPECT_EQ(parser.malformed_records(), 3u);
+}
+
+TEST(DelimitedParserTest, EmptyLinesIgnored) {
+  DelimitedParser parser(0);
+  auto values = ParseAll(&parser, "\n\n7\n\n8\n\n");
+  EXPECT_EQ(values, (std::vector<int64_t>{7, 8}));
+  EXPECT_EQ(parser.records(), 2u);
+}
+
+TEST(DelimitedParserTest, RandomizedRoundTripAgainstGenerator) {
+  Rng rng(5);
+  std::string text;
+  std::vector<int64_t> expected;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t a = rng.NextInRange(-1000, 1000);
+    int64_t price = rng.NextInRange(0, 99999);
+    text += std::to_string(a) + "|" + std::to_string(price / 100) + "." +
+            (price % 100 < 10 ? "0" : "") + std::to_string(price % 100) +
+            "|tail\n";
+    expected.push_back(price);
+  }
+  DelimitedParser parser(1);
+  // Feed in uneven chunks.
+  std::vector<int64_t> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t len = 1 + rng.NextBounded(97);
+    len = std::min(len, text.size() - pos);
+    ASSERT_TRUE(parser.ParseChunk(
+        std::string_view(text).substr(pos, len), &out).ok());
+    pos += len;
+  }
+  ASSERT_TRUE(parser.Finish(&out).ok());
+  EXPECT_EQ(out, expected);
+}
+
+}  // namespace
+}  // namespace dphist::accel

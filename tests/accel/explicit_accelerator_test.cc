@@ -1,0 +1,98 @@
+#include "accel/explicit_accelerator.h"
+
+#include <gtest/gtest.h>
+
+#include "hist/dense_reference.h"
+#include "hist/error.h"
+#include "workload/distributions.h"
+
+namespace dphist::accel {
+namespace {
+
+ScanRequest TestRequest() {
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = 1024;
+  request.num_buckets = 32;
+  request.top_k = 8;
+  return request;
+}
+
+TEST(ExplicitAcceleratorTest, FullCopyMatchesDenseReference) {
+  auto column = workload::ZipfColumn(50000, 1024, 0.8, 3);
+  ExplicitAccelerator device{ExplicitAcceleratorConfig{}};
+  Rng rng(1);
+  auto report = device.Analyze(column, TestRequest(), 8, 1.0, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_shipped, 50000u);
+
+  hist::DenseCounts dense = hist::BuildDenseCounts(column, 1, 1024);
+  hist::Histogram expected = hist::EquiDepthDense(dense, 32);
+  ASSERT_EQ(report->histograms.equi_depth.buckets.size(),
+            expected.buckets.size());
+  for (size_t i = 0; i < expected.buckets.size(); ++i) {
+    EXPECT_EQ(report->histograms.equi_depth.buckets[i],
+              expected.buckets[i]);
+  }
+}
+
+TEST(ExplicitAcceleratorTest, CopyDominatesCompute) {
+  // The paper's observation about GPUs: transfer, not compute, is the
+  // bottleneck for whole-table analysis.
+  auto column = workload::UniformColumn(200000, 1, 1024, 5);
+  ExplicitAccelerator device{ExplicitAcceleratorConfig{}};
+  Rng rng(2);
+  auto report = device.Analyze(column, TestRequest(), 8, 1.0, &rng);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->copy_seconds, 5 * report->compute_seconds);
+  EXPECT_GT(report->host_cpu_seconds, 0.0);
+}
+
+TEST(ExplicitAcceleratorTest, SamplingCutsCopyButLosesAccuracy) {
+  auto column = workload::ZipfColumn(300000, 1024, 1.0, 7);
+  hist::DenseCounts truth = hist::BuildDenseCounts(column, 1, 1024);
+  ExplicitAccelerator device{ExplicitAcceleratorConfig{}};
+  Rng rng_full(3);
+  auto full = device.Analyze(column, TestRequest(), 8, 1.0, &rng_full);
+  Rng rng_sampled(3);
+  auto sampled =
+      device.Analyze(column, TestRequest(), 8, 0.02, &rng_sampled);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(sampled.ok());
+  EXPECT_LT(sampled->total_seconds, full->total_seconds / 10);
+
+  Rng rng_a(4);
+  auto full_acc = hist::EvaluateAccuracy(
+      truth, full->histograms.compressed, 200, &rng_a);
+  Rng rng_b(4);
+  auto sampled_acc = hist::EvaluateAccuracy(
+      truth, sampled->histograms.compressed, 200, &rng_b);
+  EXPECT_LT(full_acc.max_abs_point_error,
+            sampled_acc.max_abs_point_error);
+}
+
+TEST(ExplicitAcceleratorTest, ScaledCountsApproximatePopulation) {
+  auto column = workload::UniformColumn(100000, 1, 100, 11);
+  ScanRequest request = TestRequest();
+  request.max_value = 100;
+  ExplicitAccelerator device{ExplicitAcceleratorConfig{}};
+  Rng rng(13);
+  auto report = device.Analyze(column, request, 8, 0.1, &rng);
+  ASSERT_TRUE(report.ok());
+  uint64_t total = 0;
+  for (const auto& b : report->histograms.equi_depth.buckets) {
+    total += b.count;
+  }
+  EXPECT_NEAR(static_cast<double>(total), 100000.0, 10000.0);
+}
+
+TEST(ExplicitAcceleratorTest, RejectsBadRates) {
+  std::vector<int64_t> column = {1, 2, 3};
+  ExplicitAccelerator device{ExplicitAcceleratorConfig{}};
+  Rng rng(17);
+  EXPECT_FALSE(device.Analyze(column, TestRequest(), 8, 0.0, &rng).ok());
+  EXPECT_FALSE(device.Analyze(column, TestRequest(), 8, 1.5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace dphist::accel

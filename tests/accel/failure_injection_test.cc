@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "hist/dense_reference.h"
+#include "workload/distributions.h"
+
+namespace dphist::accel {
+namespace {
+
+/// A device in the data path must not abort the wire: corrupt pages flow
+/// to the host untouched and are skipped by the statistics side. These
+/// tests inject corruption into page streams and check the accelerator
+/// degrades gracefully.
+
+struct CorruptibleStream {
+  explicit CorruptibleStream(const page::TableFile& table) {
+    for (size_t p = 0; p < table.page_count(); ++p) {
+      auto bytes = table.PageBytes(p);
+      pages.emplace_back(bytes.begin(), bytes.end());
+    }
+  }
+
+  void CorruptMagic(size_t page) { pages[page][0] ^= 0xFF; }
+  void CorruptTupleCount(size_t page) {
+    pages[page][8] = 0xFF;  // tuple_count low byte -> exceeds capacity
+    pages[page][9] = 0xFF;
+  }
+  void Truncate(size_t page) { pages[page].resize(100); }
+
+  std::vector<std::span<const uint8_t>> Spans() const {
+    std::vector<std::span<const uint8_t>> spans;
+    for (const auto& p : pages) spans.emplace_back(p);
+    return spans;
+  }
+
+  std::vector<std::vector<uint8_t>> pages;
+};
+
+ScanRequest TestRequest() {
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = 512;
+  request.num_buckets = 16;
+  request.top_k = 8;
+  return request;
+}
+
+TEST(FailureInjectionTest, CleanStreamHasNoCorruptPages) {
+  auto column = workload::ZipfColumn(20000, 512, 0.5, 1);
+  auto table = workload::ColumnToTable(column, 2, 2);
+  CorruptibleStream stream(table);
+  Accelerator accelerator{AcceleratorConfig{}};
+  auto report = accelerator.ProcessPages(stream.Spans(), table.schema(),
+                                         TestRequest());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->corrupt_pages, 0u);
+  EXPECT_EQ(report->rows, 20000u);
+}
+
+TEST(FailureInjectionTest, CorruptPagesSkippedStatisticsContinue) {
+  auto column = workload::ZipfColumn(20000, 512, 0.5, 1);
+  auto table = workload::ColumnToTable(column, 2, 2);
+  ASSERT_GE(table.page_count(), 5u);
+
+  CorruptibleStream stream(table);
+  stream.CorruptMagic(0);
+  stream.CorruptTupleCount(2);
+  stream.Truncate(4);
+
+  Accelerator accelerator{AcceleratorConfig{}};
+  auto report = accelerator.ProcessPages(stream.Spans(), table.schema(),
+                                         TestRequest());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->corrupt_pages, 3u);
+  EXPECT_LT(report->rows, 20000u);
+  EXPECT_GT(report->rows, 0u);
+
+  // The histograms describe exactly the surviving rows.
+  uint64_t bucket_rows = 0;
+  for (const auto& b : report->histograms.equi_depth.buckets) {
+    bucket_rows += b.count;
+  }
+  EXPECT_EQ(bucket_rows, report->rows);
+}
+
+TEST(FailureInjectionTest, SurvivingRowsMatchReference) {
+  auto column = workload::ZipfColumn(10000, 256, 1.0, 3);
+  auto table = workload::ColumnToTable(column, 1, 4);
+  ASSERT_GE(table.page_count(), 3u);
+
+  CorruptibleStream stream(table);
+  stream.CorruptMagic(1);
+
+  // Reference: decode the surviving pages only.
+  std::vector<int64_t> surviving;
+  for (size_t p = 0; p < table.page_count(); ++p) {
+    if (p == 1) continue;
+    auto reader = table.OpenPage(p);
+    ASSERT_TRUE(reader.ok());
+    for (uint32_t r = 0; r < reader->tuple_count(); ++r) {
+      surviving.push_back(reader->GetValue(r, 0));
+    }
+  }
+
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = 256;
+  request.num_buckets = 8;
+  request.top_k = 4;
+  Accelerator accelerator{AcceleratorConfig{}};
+  auto report =
+      accelerator.ProcessPages(stream.Spans(), table.schema(), request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows, surviving.size());
+
+  hist::DenseCounts dense = hist::BuildDenseCounts(surviving, 1, 256);
+  hist::Histogram expected = hist::EquiDepthDense(dense, 8);
+  ASSERT_EQ(report->histograms.equi_depth.buckets.size(),
+            expected.buckets.size());
+  for (size_t i = 0; i < expected.buckets.size(); ++i) {
+    EXPECT_EQ(report->histograms.equi_depth.buckets[i],
+              expected.buckets[i]);
+  }
+}
+
+TEST(FailureInjectionTest, AllPagesCorruptYieldsEmptyHistograms) {
+  auto column = workload::ZipfColumn(5000, 128, 0.5, 5);
+  auto table = workload::ColumnToTable(column, 1, 6);
+  CorruptibleStream stream(table);
+  for (size_t p = 0; p < stream.pages.size(); ++p) stream.CorruptMagic(p);
+
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = 128;
+  Accelerator accelerator{AcceleratorConfig{}};
+  auto report =
+      accelerator.ProcessPages(stream.Spans(), table.schema(), request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows, 0u);
+  EXPECT_EQ(report->corrupt_pages, table.page_count());
+  EXPECT_TRUE(report->histograms.equi_depth.buckets.empty());
+  EXPECT_TRUE(report->histograms.top_k.empty());
+}
+
+}  // namespace
+}  // namespace dphist::accel

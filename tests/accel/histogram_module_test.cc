@@ -1,0 +1,120 @@
+#include "accel/histogram_module.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accel/blocks.h"
+#include "sim/dram.h"
+
+namespace dphist::accel {
+namespace {
+
+std::unique_ptr<sim::Dram> LoadedDram(uint64_t bins, uint64_t value) {
+  sim::DramConfig config;
+  config.capacity_bytes = 1ULL << 30;
+  auto dram = std::make_unique<sim::Dram>(config);
+  dram->AllocateBins(bins);
+  for (uint64_t i = 0; i < bins; ++i) dram->WriteBin(i, value);
+  return dram;
+}
+
+/// Alternating counts so every adjacent-bin difference is non-zero (the
+/// cost-model worst case for the Max-diff front end).
+std::unique_ptr<sim::Dram> AlternatingDram(uint64_t bins) {
+  auto dram = LoadedDram(bins, 0);
+  for (uint64_t i = 0; i < bins; ++i) dram->WriteBin(i, i % 2 == 0 ? 3 : 1);
+  return dram;
+}
+
+TEST(HistogramModuleTest, SingleScanForOnePassBlocks) {
+  auto dram = LoadedDram(1000, 3);
+  HistogramModule module(HistogramModuleConfig{}, dram.get());
+  module.AddBlock(std::make_unique<TopKBlock>(8));
+  module.AddBlock(std::make_unique<EquiDepthBlock>(16));
+  ModuleReport report = module.Run(1000, 3000, 0.0);
+  EXPECT_EQ(report.scans, 1u);
+  EXPECT_GT(report.finish_cycle, 1000.0);
+}
+
+TEST(HistogramModuleTest, RepeatChannelTriggersSecondScan) {
+  auto dram = LoadedDram(1000, 3);
+  HistogramModule module(HistogramModuleConfig{}, dram.get());
+  module.AddBlock(std::make_unique<MaxDiffBlock>(16));
+  ModuleReport report = module.Run(1000, 3000, 0.0);
+  EXPECT_EQ(report.scans, 2u);
+}
+
+TEST(HistogramModuleTest, CreationTimeLinearInBins) {
+  // Figure 22: processing time grows linearly with the bin count.
+  auto time_for = [](uint64_t bins) {
+    auto dram = LoadedDram(bins, 2);
+    HistogramModule module(HistogramModuleConfig{}, dram.get());
+    module.AddBlock(std::make_unique<EquiDepthBlock>(64));
+    return module.Run(bins, bins * 2, 0.0).finish_cycle;
+  };
+  double t1 = time_for(100000);
+  double t2 = time_for(200000);
+  double t4 = time_for(400000);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+  EXPECT_NEAR(t4 / t2, 2.0, 0.05);
+}
+
+TEST(HistogramModuleTest, CompositesCostRoughlyTopKPlusEquiDepth) {
+  // Figure 22: Max-diff/Compressed completion ~= TopK + Equi-depth, since
+  // they are two-scan composites of those blocks.
+  constexpr uint64_t kBins = 200000;
+  auto run = [&](auto make_block) {
+    auto dram = AlternatingDram(kBins);
+    HistogramModule module(HistogramModuleConfig{}, dram.get());
+    module.AddBlock(make_block());
+    return module.Run(kBins, kBins * 2, 0.0).finish_cycle;
+  };
+  double topk = run([] { return std::make_unique<TopKBlock>(64); });
+  double ed = run([] { return std::make_unique<EquiDepthBlock>(64); });
+  double maxdiff = run([] { return std::make_unique<MaxDiffBlock>(64); });
+  double compressed =
+      run([] { return std::make_unique<CompressedBlock>(64, 64); });
+  EXPECT_NEAR(maxdiff, topk + ed, 0.1 * (topk + ed));
+  EXPECT_NEAR(compressed, topk + ed, 0.1 * (topk + ed));
+}
+
+TEST(HistogramModuleTest, ChainedBlocksShareTheScan) {
+  // Running all four together costs about as much as the slowest path
+  // (two scans), not the sum of the four (Section 6.2: "different types
+  // ... in parallel, without additional overhead").
+  constexpr uint64_t kBins = 100000;
+  auto dram_all = AlternatingDram(kBins);
+  HistogramModule all(HistogramModuleConfig{}, dram_all.get());
+  all.AddBlock(std::make_unique<TopKBlock>(64));
+  all.AddBlock(std::make_unique<EquiDepthBlock>(64));
+  all.AddBlock(std::make_unique<MaxDiffBlock>(64));
+  all.AddBlock(std::make_unique<CompressedBlock>(64, 64));
+  double together = all.Run(kBins, kBins * 2, 0.0).finish_cycle;
+
+  auto dram_one = AlternatingDram(kBins);
+  HistogramModule one(HistogramModuleConfig{}, dram_one.get());
+  one.AddBlock(std::make_unique<MaxDiffBlock>(64));
+  double alone = one.Run(kBins, kBins * 2, 0.0).finish_cycle;
+  EXPECT_LT(together, alone * 1.2);
+}
+
+TEST(HistogramModuleTest, StartCycleOffsetsTimeline) {
+  auto dram = LoadedDram(1000, 1);
+  HistogramModule module(HistogramModuleConfig{}, dram.get());
+  module.AddBlock(std::make_unique<EquiDepthBlock>(8));
+  ModuleReport report = module.Run(1000, 1000, 5000.0);
+  EXPECT_GE(report.first_bin_cycle, 5000.0);
+  EXPECT_GT(report.finish_cycle, 6000.0);
+}
+
+TEST(HistogramModuleTest, NoBlocksNoScans) {
+  auto dram = LoadedDram(100, 1);
+  HistogramModule module(HistogramModuleConfig{}, dram.get());
+  ModuleReport report = module.Run(100, 100, 0.0);
+  EXPECT_EQ(report.scans, 0u);
+  EXPECT_DOUBLE_EQ(report.finish_cycle, 0.0);
+}
+
+}  // namespace
+}  // namespace dphist::accel

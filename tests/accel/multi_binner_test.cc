@@ -1,0 +1,91 @@
+#include "accel/multi_binner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/clock.h"
+#include "workload/distributions.h"
+
+namespace dphist::accel {
+namespace {
+
+Preprocessor MakePrep(int64_t max_value) {
+  PreprocessorConfig config;
+  config.type = page::ColumnType::kInt64;
+  config.min_value = 1;
+  config.max_value = max_value;
+  return *Preprocessor::Create(config);
+}
+
+TEST(MultiBinnerTest, MergedCountsAreExact) {
+  Preprocessor prep = MakePrep(512);
+  MultiBinner multi(4, BinnerConfig{}, sim::DramConfig{}, &prep);
+  Rng rng(9);
+  std::vector<uint64_t> expected(512, 0);
+  for (int i = 0; i < 30000; ++i) {
+    int64_t v = rng.NextInRange(1, 512);
+    ++expected[v - 1];
+    multi.ProcessValue(v);
+  }
+  MultiBinnerReport report = multi.Finish();
+  EXPECT_EQ(report.total_items, 30000u);
+  ASSERT_EQ(multi.merged_counts().size(), 512u);
+  for (size_t b = 0; b < 512; ++b) {
+    EXPECT_EQ(multi.merged_counts()[b], expected[b]) << "bin " << b;
+  }
+}
+
+TEST(MultiBinnerTest, ThroughputScalesWithReplication) {
+  // Section 7: replicated Binners with private memory channels reach ~R
+  // times the single-module rate when the input can feed them.
+  auto throughput = [](uint32_t replication) {
+    Preprocessor prep = MakePrep(1 << 16);
+    MultiBinner multi(replication, BinnerConfig{}, sim::DramConfig{}, &prep);
+    auto stream = workload::CacheAdversarialColumn(80000, 1 << 16, 8);
+    for (int64_t v : stream) multi.ProcessValue(v);
+    return multi.Finish().ValuesPerSecond(sim::Clock());
+  };
+  double r1 = throughput(1);
+  double r2 = throughput(2);
+  double r4 = throughput(4);
+  EXPECT_NEAR(r2 / r1, 2.0, 0.2);
+  EXPECT_NEAR(r4 / r1, 4.0, 0.4);
+  // The paper's 10 Gbps goal needs 312.5 M 32-bit values/s; linear
+  // scaling from the 20 M/s worst case means 16 replicas suffice.
+  EXPECT_GT(r4 * 4, 312.5e6);
+}
+
+TEST(MultiBinnerTest, InputLinkBecomesBottleneck) {
+  Preprocessor prep = MakePrep(1 << 16);
+  MultiBinner multi(8, BinnerConfig{}, sim::DramConfig{}, &prep);
+  // One value per 10 cycles on the shared input: 15 M values/s cap.
+  multi.set_input_interval_cycles(10.0);
+  auto stream = workload::CacheAdversarialColumn(80000, 1 << 16, 8);
+  for (int64_t v : stream) multi.ProcessValue(v);
+  EXPECT_NEAR(multi.Finish().ValuesPerSecond(sim::Clock()), 15e6, 0.5e6);
+}
+
+TEST(MultiBinnerTest, SingleReplicaMatchesPlainBinner) {
+  Preprocessor prep = MakePrep(1024);
+  MultiBinner multi(1, BinnerConfig{}, sim::DramConfig{}, &prep);
+
+  sim::Dram dram{sim::DramConfig{}};
+  dram.AllocateBins(prep.num_bins());
+  Binner plain(BinnerConfig{}, &prep, &dram);
+
+  auto stream = workload::ZipfColumn(20000, 1024, 0.5, 13);
+  for (int64_t v : stream) {
+    multi.ProcessValue(v);
+    plain.ProcessValue(v);
+  }
+  MultiBinnerReport multi_report = multi.Finish();
+  BinnerReport plain_report = plain.Finish();
+  // Identical pipeline timing up to the constant merge adder.
+  EXPECT_NEAR(multi_report.finish_cycle, plain_report.finish_cycle, 20.0);
+  for (uint64_t b = 0; b < prep.num_bins(); ++b) {
+    EXPECT_EQ(multi.merged_counts()[b], dram.ReadBin(b));
+  }
+}
+
+}  // namespace
+}  // namespace dphist::accel

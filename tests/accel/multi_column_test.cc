@@ -1,0 +1,95 @@
+#include "accel/multi_column.h"
+
+#include <gtest/gtest.h>
+
+#include "hist/dense_reference.h"
+#include "workload/tpch.h"
+
+namespace dphist::accel {
+namespace {
+
+page::TableFile SmallLineitem() {
+  workload::LineitemOptions li;
+  li.scale_factor = 0.005;
+  return workload::GenerateLineitem(li);
+}
+
+std::vector<ScanRequest> TwoColumnRequests() {
+  ScanRequest quantity;
+  quantity.column_index = workload::kLQuantity;
+  quantity.min_value = workload::kQuantityMin;
+  quantity.max_value = workload::kQuantityMax;
+  quantity.num_buckets = 10;
+  quantity.top_k = 5;
+  ScanRequest price;
+  price.column_index = workload::kLExtendedPrice;
+  price.min_value = workload::kPriceScaledMin;
+  price.max_value = workload::kPriceScaledMax;
+  price.granularity = 100;
+  price.num_buckets = 64;
+  price.top_k = 16;
+  return {quantity, price};
+}
+
+TEST(MultiColumnTest, EachColumnMatchesSingleColumnScan) {
+  auto table = SmallLineitem();
+  auto requests = TwoColumnRequests();
+  AcceleratorConfig config;
+  auto multi = ProcessTableMultiColumn(config, table, requests);
+  ASSERT_TRUE(multi.ok());
+  ASSERT_EQ(multi->columns.size(), 2u);
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Accelerator single(config);
+    auto expected = single.ProcessTable(table, requests[i]);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(multi->columns[i].histograms.equi_depth.buckets,
+              expected->histograms.equi_depth.buckets)
+        << "column request " << i;
+    EXPECT_EQ(multi->columns[i].rows, expected->rows);
+  }
+}
+
+TEST(MultiColumnTest, OnePassTiming) {
+  auto table = SmallLineitem();
+  auto requests = TwoColumnRequests();
+  AcceleratorConfig config;
+  auto multi = ProcessTableMultiColumn(config, table, requests);
+  ASSERT_TRUE(multi.ok());
+  // The table streams once: total = max over circuits, < sum.
+  double max_single = 0;
+  double sum_single = 0;
+  for (const auto& column : multi->columns) {
+    max_single = std::max(max_single, column.total_seconds);
+    sum_single += column.total_seconds;
+  }
+  EXPECT_DOUBLE_EQ(multi->total_seconds, max_single);
+  EXPECT_LT(multi->total_seconds, sum_single);
+}
+
+TEST(MultiColumnTest, ResourceAccounting) {
+  auto table = SmallLineitem();
+  auto requests = TwoColumnRequests();
+  AcceleratorConfig config;
+  auto multi = ProcessTableMultiColumn(config, table, requests);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_GT(multi->total_utilization_percent, 0.0);
+  EXPECT_TRUE(multi->fits_on_device);
+}
+
+TEST(MultiColumnTest, RejectsDuplicateColumns) {
+  auto table = SmallLineitem();
+  auto requests = TwoColumnRequests();
+  requests[1].column_index = requests[0].column_index;
+  AcceleratorConfig config;
+  EXPECT_FALSE(ProcessTableMultiColumn(config, table, requests).ok());
+}
+
+TEST(MultiColumnTest, RejectsEmptyRequestList) {
+  auto table = SmallLineitem();
+  AcceleratorConfig config;
+  EXPECT_FALSE(ProcessTableMultiColumn(config, table, {}).ok());
+}
+
+}  // namespace
+}  // namespace dphist::accel

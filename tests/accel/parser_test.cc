@@ -1,0 +1,106 @@
+#include "accel/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "page/table_file.h"
+
+namespace dphist::accel {
+namespace {
+
+using page::ColumnDef;
+using page::ColumnType;
+using page::Schema;
+
+Schema ThreeColSchema() {
+  return Schema({ColumnDef{"a", ColumnType::kInt32},
+                 ColumnDef{"b", ColumnType::kInt64},
+                 ColumnDef{"c", ColumnType::kDecimal2}});
+}
+
+TEST(ParserTest, ExtractsSelectedColumn) {
+  page::TableFile table(ThreeColSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    const int64_t row[] = {i, i * 1000, i * 7};
+    table.AppendRow(row);
+  }
+  table.Seal();
+
+  Parser parser(table.schema(), 1);
+  std::vector<uint64_t> raw;
+  for (size_t p = 0; p < table.page_count(); ++p) {
+    ASSERT_TRUE(parser.ParsePage(table.PageBytes(p), &raw).ok());
+  }
+  ASSERT_EQ(raw.size(), 100u);
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(static_cast<int64_t>(raw[i]), i * 1000);
+  }
+  EXPECT_EQ(parser.stats().rows, 100u);
+  EXPECT_EQ(parser.stats().pages, table.page_count());
+  EXPECT_EQ(parser.stats().corrupt_pages, 0u);
+}
+
+TEST(ParserTest, Int32FieldsAreZeroExtendedBytes) {
+  page::TableFile table(ThreeColSchema());
+  const int64_t row[] = {-42, 0, 0};
+  table.AppendRow(row);
+  table.Seal();
+  Parser parser(table.schema(), 0);
+  std::vector<uint64_t> raw;
+  ASSERT_TRUE(parser.ParsePage(table.PageBytes(0), &raw).ok());
+  // The parser does not decode: it lifts the 4 field bytes.
+  EXPECT_EQ(raw[0], static_cast<uint32_t>(-42));
+}
+
+TEST(ParserTest, RejectsWrongSizedPage) {
+  Parser parser(ThreeColSchema(), 0);
+  std::vector<uint8_t> bogus(100, 0);
+  std::vector<uint64_t> raw;
+  EXPECT_FALSE(parser.ParsePage(bogus, &raw).ok());
+  EXPECT_EQ(parser.stats().corrupt_pages, 1u);
+  EXPECT_TRUE(raw.empty());
+}
+
+TEST(ParserTest, RejectsCorruptHeaderButContinues) {
+  page::TableFile table(ThreeColSchema());
+  const int64_t row[] = {1, 2, 3};
+  table.AppendRow(row);
+  table.Seal();
+  std::vector<uint8_t> corrupted(table.PageBytes(0).begin(),
+                                 table.PageBytes(0).end());
+  corrupted[0] ^= 0xFF;
+
+  Parser parser(table.schema(), 0);
+  std::vector<uint64_t> raw;
+  EXPECT_FALSE(parser.ParsePage(corrupted, &raw).ok());
+  // A good page afterwards still parses (the FSM resynchronizes per page).
+  EXPECT_TRUE(parser.ParsePage(table.PageBytes(0), &raw).ok());
+  EXPECT_EQ(raw.size(), 1u);
+}
+
+TEST(ParserTest, MultiPageRandomizedRoundTrip) {
+  Rng rng(111);
+  page::TableFile table(ThreeColSchema());
+  std::vector<int64_t> expected;
+  for (int i = 0; i < 5000; ++i) {
+    int64_t v = rng.NextInRange(-1000000, 1000000);
+    const int64_t row[] = {i, 0, v};
+    table.AppendRow(row);
+    expected.push_back(v);
+  }
+  table.Seal();
+  ASSERT_GT(table.page_count(), 1u);
+
+  Parser parser(table.schema(), 2);
+  std::vector<uint64_t> raw;
+  for (size_t p = 0; p < table.page_count(); ++p) {
+    ASSERT_TRUE(parser.ParsePage(table.PageBytes(p), &raw).ok());
+  }
+  ASSERT_EQ(raw.size(), expected.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    EXPECT_EQ(static_cast<int64_t>(raw[i]), expected[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dphist::accel

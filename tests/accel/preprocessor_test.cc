@@ -1,0 +1,101 @@
+#include "accel/preprocessor.h"
+
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+
+namespace dphist::accel {
+namespace {
+
+TEST(PreprocessorTest, IntegerMappingSubtractsMin) {
+  PreprocessorConfig config;
+  config.type = page::ColumnType::kInt32;
+  config.min_value = 100;
+  config.max_value = 199;
+  auto prep = Preprocessor::Create(config);
+  ASSERT_TRUE(prep.ok());
+  EXPECT_EQ(prep->num_bins(), 100u);
+  EXPECT_EQ(prep->BinOf(100), 0u);
+  EXPECT_EQ(prep->BinOf(150), 50u);
+  EXPECT_EQ(prep->BinOf(199), 99u);
+  EXPECT_EQ(prep->BinLowValue(50), 150);
+  EXPECT_EQ(prep->BinHighValue(50), 150);
+}
+
+TEST(PreprocessorTest, GranularityGroupsValues) {
+  // Section 5.1.1: divide by a constant to assign multiple values to the
+  // same bin (e.g., second timestamps binned per day).
+  PreprocessorConfig config;
+  config.type = page::ColumnType::kInt64;
+  config.min_value = 0;
+  config.max_value = 86399;  // one day of seconds
+  config.granularity = 3600;
+  auto prep = Preprocessor::Create(config);
+  ASSERT_TRUE(prep.ok());
+  EXPECT_EQ(prep->num_bins(), 24u);
+  EXPECT_EQ(prep->BinOf(0), 0u);
+  EXPECT_EQ(prep->BinOf(3599), 0u);
+  EXPECT_EQ(prep->BinOf(3600), 1u);
+  EXPECT_EQ(prep->BinLowValue(1), 3600);
+  EXPECT_EQ(prep->BinHighValue(1), 7199);
+  EXPECT_EQ(prep->BinHighValue(23), 86399);
+}
+
+TEST(PreprocessorTest, NegativeDomain) {
+  PreprocessorConfig config;
+  config.min_value = -50;
+  config.max_value = 49;
+  auto prep = Preprocessor::Create(config);
+  ASSERT_TRUE(prep.ok());
+  EXPECT_EQ(prep->num_bins(), 100u);
+  EXPECT_EQ(prep->BinOf(-50), 0u);
+  EXPECT_EQ(prep->BinOf(0), 50u);
+  EXPECT_EQ(prep->BinLowValue(0), -50);
+}
+
+TEST(PreprocessorTest, DecodesRawInt32SignExtended) {
+  PreprocessorConfig config;
+  config.type = page::ColumnType::kInt32;
+  config.min_value = -10;
+  config.max_value = 10;
+  auto prep = Preprocessor::Create(config);
+  ASSERT_TRUE(prep.ok());
+  uint64_t raw = static_cast<uint32_t>(-7);  // zero-extended field bytes
+  EXPECT_EQ(prep->DecodeRaw(raw), -7);
+}
+
+TEST(PreprocessorTest, DecodesUnpackedDates) {
+  PreprocessorConfig config;
+  config.type = page::ColumnType::kDateUnpacked;
+  config.min_value = 0;
+  config.max_value = 30000;
+  auto prep = Preprocessor::Create(config);
+  ASSERT_TRUE(prep.ok());
+  CalendarDate date{1996, 7, 4};
+  uint64_t raw = EncodeUnpackedDate(date);
+  EXPECT_EQ(prep->DecodeRaw(raw), ToEpochDays(date));
+}
+
+TEST(PreprocessorTest, DecimalPassesScaledInteger) {
+  PreprocessorConfig config;
+  config.type = page::ColumnType::kDecimal2;
+  config.min_value = 0;
+  config.max_value = 1000000;
+  auto prep = Preprocessor::Create(config);
+  ASSERT_TRUE(prep.ok());
+  EXPECT_EQ(prep->DecodeRaw(200100), 200100);
+}
+
+TEST(PreprocessorTest, RejectsBadConfigs) {
+  PreprocessorConfig bad;
+  bad.min_value = 10;
+  bad.max_value = 5;
+  EXPECT_FALSE(Preprocessor::Create(bad).ok());
+  bad.min_value = 0;
+  bad.max_value = 5;
+  bad.granularity = 0;
+  EXPECT_FALSE(Preprocessor::Create(bad).ok());
+}
+
+}  // namespace
+}  // namespace dphist::accel

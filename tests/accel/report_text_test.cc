@@ -1,0 +1,35 @@
+#include "accel/report_text.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/distributions.h"
+
+namespace dphist::accel {
+namespace {
+
+TEST(ReportTextTest, SummaryMentionsAllSections) {
+  auto column = workload::ZipfColumn(5000, 128, 0.7, 3);
+  Accelerator device{AcceleratorConfig{}};
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = 128;
+  request.num_buckets = 8;
+  request.top_k = 4;
+  auto report = device.ProcessValues(column, request, 8);
+  ASSERT_TRUE(report.ok());
+
+  std::string text = ReportToString(*report);
+  EXPECT_NE(text.find("rows=5000"), std::string::npos);
+  EXPECT_NE(text.find("bins=128"), std::string::npos);
+  EXPECT_NE(text.find("device time"), std::string::npos);
+  EXPECT_NE(text.find("binner:"), std::string::npos);
+  EXPECT_NE(text.find("dram:"), std::string::npos);
+  EXPECT_NE(text.find("TopK"), std::string::npos);
+  EXPECT_NE(text.find("Equi-depth"), std::string::npos);
+  EXPECT_NE(text.find("Max-diff"), std::string::npos);
+  EXPECT_NE(text.find("Compressed"), std::string::npos);
+  EXPECT_NE(text.find("2 scan(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dphist::accel

@@ -1,0 +1,110 @@
+#include "accel/scan_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/distributions.h"
+
+namespace dphist::accel {
+namespace {
+
+ScanRequest RequestFor(int64_t max_value, uint32_t buckets) {
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = max_value;
+  request.num_buckets = buckets;
+  request.top_k = 8;
+  return request;
+}
+
+TEST(ScanPipelineTest, ResultsMatchStandaloneScans) {
+  auto a = workload::ColumnToTable(
+      workload::ZipfColumn(20000, 512, 0.8, 1), 2, 1);
+  auto b = workload::ColumnToTable(
+      workload::UniformColumn(30000, 1, 2048, 2), 2, 2);
+  std::vector<PipelinedScan> scans = {{&a, RequestFor(512, 16)},
+                                      {&b, RequestFor(2048, 32)}};
+  AcceleratorConfig config;
+  auto report = RunScanPipeline(config, scans, 2);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->scans.size(), 2u);
+
+  Accelerator standalone(config);
+  auto expected = standalone.ProcessTable(a, scans[0].request);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(report->scans[0].histograms.equi_depth.buckets,
+            expected->histograms.equi_depth.buckets);
+}
+
+TEST(ScanPipelineTest, OverlapBeatsSerialExecution) {
+  // Tables whose histogram phase is substantial (many bins) relative to
+  // binning, so the overlap is visible.
+  auto make = [](uint64_t seed) {
+    return workload::ColumnToTable(
+        workload::UniformColumn(20000, 1, 200000, seed), 1, seed);
+  };
+  auto t1 = make(1);
+  auto t2 = make(2);
+  auto t3 = make(3);
+  std::vector<PipelinedScan> scans = {{&t1, RequestFor(200000, 64)},
+                                      {&t2, RequestFor(200000, 64)},
+                                      {&t3, RequestFor(200000, 64)}};
+  AcceleratorConfig config;
+  auto report = RunScanPipeline(config, scans, 2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->pipelined_seconds, report->serial_seconds);
+  // Lower bound: the front end is serial, so the makespan is at least
+  // the sum of binning phases.
+  double bin_sum = 0;
+  for (const auto& t : report->timeline) {
+    bin_sum += t.bin_finish_seconds - t.bin_start_seconds;
+  }
+  EXPECT_GE(report->pipelined_seconds, bin_sum);
+}
+
+TEST(ScanPipelineTest, SingleRegionSerializesRegions) {
+  auto t1 = workload::ColumnToTable(
+      workload::UniformColumn(20000, 1, 100000, 5), 1, 5);
+  auto t2 = workload::ColumnToTable(
+      workload::UniformColumn(20000, 1, 100000, 6), 1, 6);
+  std::vector<PipelinedScan> scans = {{&t1, RequestFor(100000, 64)},
+                                      {&t2, RequestFor(100000, 64)}};
+  AcceleratorConfig config;
+  auto one_region = RunScanPipeline(config, scans, 1);
+  auto two_regions = RunScanPipeline(config, scans, 2);
+  ASSERT_TRUE(one_region.ok());
+  ASSERT_TRUE(two_regions.ok());
+  // With a single region, scan 2's binning cannot start before scan 1's
+  // histograms drain: no overlap at all.
+  EXPECT_NEAR(one_region->pipelined_seconds, one_region->serial_seconds,
+              1e-9);
+  EXPECT_LT(two_regions->pipelined_seconds,
+            one_region->pipelined_seconds);
+}
+
+TEST(ScanPipelineTest, TimelineIsConsistent) {
+  auto t1 = workload::ColumnToTable(
+      workload::UniformColumn(10000, 1, 50000, 7), 1, 7);
+  std::vector<PipelinedScan> scans = {{&t1, RequestFor(50000, 16)},
+                                      {&t1, RequestFor(50000, 16)}};
+  AcceleratorConfig config;
+  auto report = RunScanPipeline(config, scans, 2);
+  ASSERT_TRUE(report.ok());
+  for (const auto& t : report->timeline) {
+    EXPECT_LE(t.bin_start_seconds, t.bin_finish_seconds);
+    EXPECT_LE(t.bin_finish_seconds, t.histogram_finish_seconds);
+  }
+  // Front end serial: scan 1 bins only after scan 0 finished binning.
+  EXPECT_GE(report->timeline[1].bin_start_seconds,
+            report->timeline[0].bin_finish_seconds);
+}
+
+TEST(ScanPipelineTest, RejectsBadInputs) {
+  AcceleratorConfig config;
+  EXPECT_FALSE(RunScanPipeline(config, {}, 2).ok());
+  auto t = workload::ColumnToTable({1, 2, 3}, 1, 1);
+  std::vector<PipelinedScan> scans = {{&t, RequestFor(3, 2)}};
+  EXPECT_FALSE(RunScanPipeline(config, scans, 0).ok());
+}
+
+}  // namespace
+}  // namespace dphist::accel

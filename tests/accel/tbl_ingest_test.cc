@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "accel/delimited_parser.h"
+#include "workload/tbl_format.h"
+#include "workload/tpch.h"
+
+namespace dphist::accel {
+namespace {
+
+/// End-to-end: lineitem serialized to dbgen `.tbl` text and re-ingested
+/// through the delimited Parser front end must produce the same
+/// histograms as the page-stream path.
+
+TEST(TblIngestTest, TblTextRendersAllTypes) {
+  workload::LineitemOptions li;
+  li.scale_factor = 0.0001;
+  auto table = workload::GenerateLineitem(li);
+  std::string text = workload::ToTblText(table);
+  // One line per row, trailing '|' before each newline (dbgen quirk).
+  uint64_t lines = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++lines;
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(text[i - 1], '|');
+    }
+  }
+  EXPECT_EQ(lines, table.row_count());
+  // Decimal columns carry a decimal point.
+  EXPECT_NE(text.find('.'), std::string::npos);
+}
+
+TEST(TblIngestTest, TextPathMatchesPagePath) {
+  workload::LineitemOptions li;
+  li.scale_factor = 0.003;
+  li.price_spikes.push_back(workload::PriceSpike{200100, 400});
+  auto table = workload::GenerateLineitem(li);
+  std::string text = workload::ToTblText(table);
+
+  ScanRequest request;
+  request.min_value = workload::kPriceScaledMin;
+  request.max_value = workload::kPriceScaledMax;
+  request.granularity = 100;
+  request.num_buckets = 32;
+  request.top_k = 8;
+
+  AcceleratorConfig config;
+  Accelerator page_device(config);
+  ScanRequest page_request = request;
+  page_request.column_index = workload::kLExtendedPrice;
+  auto from_pages = page_device.ProcessTable(table, page_request);
+  ASSERT_TRUE(from_pages.ok());
+
+  Accelerator text_device(config);
+  uint64_t malformed = 0;
+  auto from_text = ProcessDelimitedText(
+      &text_device, text, workload::kLExtendedPrice, request, &malformed);
+  ASSERT_TRUE(from_text.ok());
+  EXPECT_EQ(malformed, 0u);
+  EXPECT_EQ(from_text->rows, from_pages->rows);
+  EXPECT_EQ(from_text->histograms.equi_depth.buckets,
+            from_pages->histograms.equi_depth.buckets);
+  EXPECT_EQ(from_text->histograms.top_k, from_pages->histograms.top_k);
+  ASSERT_FALSE(from_text->histograms.top_k.empty());
+  EXPECT_EQ(from_text->histograms.top_k[0].value, 200100);
+}
+
+TEST(TblIngestTest, IntegerColumnThroughText) {
+  workload::LineitemOptions li;
+  li.scale_factor = 0.002;
+  auto table = workload::GenerateLineitem(li);
+  std::string text = workload::ToTblText(table);
+
+  ScanRequest request;
+  request.min_value = workload::kQuantityMin;
+  request.max_value = workload::kQuantityMax;
+  request.num_buckets = 10;
+  request.top_k = 5;
+
+  AcceleratorConfig config;
+  Accelerator device(config);
+  auto report = ProcessDelimitedText(&device, text, workload::kLQuantity,
+                                     request, nullptr);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows, table.row_count());
+  uint64_t total = 0;
+  for (const auto& b : report->histograms.equi_depth.buckets) {
+    total += b.count;
+  }
+  EXPECT_EQ(total, table.row_count());
+}
+
+}  // namespace
+}  // namespace dphist::accel

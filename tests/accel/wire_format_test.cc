@@ -1,0 +1,66 @@
+#include "accel/wire_format.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace dphist::accel {
+namespace {
+
+TEST(WireFormatTest, BucketsAre8BytesEach) {
+  std::vector<BinBucket> buckets = {{0, 9, 500, 10}, {10, 19, 480, 7}};
+  auto bytes = EncodeBuckets(buckets);
+  EXPECT_EQ(bytes.size(), 16u);
+}
+
+TEST(WireFormatTest, EquiDepthRoundTripReconstructsRanges) {
+  std::vector<BinBucket> buckets = {
+      {0, 9, 500, 10}, {10, 14, 480, 5}, {15, 99, 520, 60}};
+  auto bytes = EncodeBuckets(buckets);
+  auto decoded = DecodeEquiDepthBuckets(bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 3u);
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    EXPECT_EQ((*decoded)[i].lo_bin, buckets[i].lo_bin) << i;
+    EXPECT_EQ((*decoded)[i].hi_bin, buckets[i].hi_bin) << i;
+    EXPECT_EQ((*decoded)[i].count, buckets[i].count) << i;
+  }
+}
+
+TEST(WireFormatTest, CountsSaturateAt32Bits) {
+  std::vector<BinBucket> buckets = {{0, 0, 1ULL << 40, 1}};
+  auto decoded = DecodeEquiDepthBuckets(EncodeBuckets(buckets));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0].count, std::numeric_limits<uint32_t>::max());
+}
+
+TEST(WireFormatTest, TopKRoundTrip) {
+  std::vector<SortedTopList::Entry> entries = {{900, 42}, {31, 7}};
+  auto decoded = DecodeTopK(EncodeTopK(entries));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ((*decoded)[0].key, 900u);
+  EXPECT_EQ((*decoded)[0].payload, 42u);
+  EXPECT_EQ((*decoded)[1].key, 31u);
+  EXPECT_EQ((*decoded)[1].payload, 7u);
+}
+
+TEST(WireFormatTest, RejectsMisalignedStreams) {
+  std::vector<uint8_t> bogus(13, 0);
+  EXPECT_FALSE(DecodeEquiDepthBuckets(bogus).ok());
+  EXPECT_FALSE(DecodeTopK(bogus).ok());
+}
+
+TEST(WireFormatTest, RejectsZeroBinBuckets) {
+  std::vector<uint8_t> bytes(8, 0);  // (sum=0, bins=0)
+  EXPECT_FALSE(DecodeEquiDepthBuckets(bytes).ok());
+}
+
+TEST(WireFormatTest, EmptyStreamsAreValid) {
+  EXPECT_TRUE(DecodeEquiDepthBuckets({}).ok());
+  EXPECT_TRUE(DecodeEquiDepthBuckets({})->empty());
+  EXPECT_TRUE(DecodeTopK({})->empty());
+}
+
+}  // namespace
+}  // namespace dphist::accel

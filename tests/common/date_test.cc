@@ -1,0 +1,64 @@
+#include "common/date.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(DateTest, EpochOrigin) {
+  EXPECT_EQ(ToEpochDays({1970, 1, 1}), 0);
+  EXPECT_EQ(ToEpochDays({1970, 1, 2}), 1);
+  EXPECT_EQ(ToEpochDays({1969, 12, 31}), -1);
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(ToEpochDays({2000, 3, 1}), 11017);
+  EXPECT_EQ(ToEpochDays({1996, 7, 4}), 9681);   // TPC-H era shipdate
+  EXPECT_EQ(ToEpochDays({2014, 6, 22}), 16243);  // SIGMOD'14 opening day
+}
+
+TEST(DateTest, RoundTripAcrossRange) {
+  for (int64_t days = -200000; days <= 200000; days += 137) {
+    CalendarDate date = FromEpochDays(days);
+    EXPECT_EQ(ToEpochDays(date), days);
+    EXPECT_GE(date.month, 1);
+    EXPECT_LE(date.month, 12);
+    EXPECT_GE(date.day, 1);
+    EXPECT_LE(date.day, 31);
+  }
+}
+
+TEST(DateTest, LeapYearHandling) {
+  EXPECT_EQ(ToEpochDays({2000, 2, 29}) + 1, ToEpochDays({2000, 3, 1}));
+  // 1900 is not a leap year.
+  EXPECT_EQ(ToEpochDays({1900, 2, 28}) + 1, ToEpochDays({1900, 3, 1}));
+  // 2004 is.
+  EXPECT_EQ(ToEpochDays({2004, 2, 28}) + 2, ToEpochDays({2004, 3, 1}));
+}
+
+TEST(DateTest, UnpackedEncodingLayout) {
+  // Oracle-style: century+100, year%100+100, month, day.
+  uint32_t encoded = EncodeUnpackedDate({1996, 7, 4});
+  EXPECT_EQ((encoded >> 24) & 0xFF, 119u);  // 19 + 100
+  EXPECT_EQ((encoded >> 16) & 0xFF, 196u);  // 96 + 100
+  EXPECT_EQ((encoded >> 8) & 0xFF, 7u);
+  EXPECT_EQ(encoded & 0xFF, 4u);
+}
+
+TEST(DateTest, UnpackedRoundTrip) {
+  for (int year : {1970, 1992, 1996, 1998, 2014, 2026}) {
+    for (int month : {1, 6, 12}) {
+      CalendarDate date{year, month, 15};
+      EXPECT_EQ(DecodeUnpackedDate(EncodeUnpackedDate(date)), date);
+    }
+  }
+}
+
+TEST(DateTest, UnpackedToEpochDaysMatchesDirectConversion) {
+  CalendarDate date{1995, 3, 17};
+  EXPECT_EQ(UnpackedDateToEpochDays(EncodeUnpackedDate(date)),
+            ToEpochDays(date));
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,70 @@
+#include "common/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+TEST(Decimal2Test, FromPartsAndScaled) {
+  Decimal2 d = Decimal2::FromParts(2001, 0);
+  EXPECT_EQ(d.scaled(), 200100);
+  EXPECT_EQ(Decimal2::FromParts(2001, 50).scaled(), 200150);
+  EXPECT_EQ(Decimal2::FromParts(-3, 25).scaled(), -325);
+}
+
+TEST(Decimal2Test, FromDoubleRounds) {
+  // 0.125 is exactly representable: 12.5 hundredths rounds half away
+  // from zero to 13.
+  EXPECT_EQ(Decimal2::FromDouble(0.125).scaled(), 13);
+  EXPECT_EQ(Decimal2::FromDouble(-0.125).scaled(), -13);
+  EXPECT_EQ(Decimal2::FromDouble(2001.0).scaled(), 200100);
+  EXPECT_EQ(Decimal2::FromDouble(0.1).scaled(), 10);
+}
+
+TEST(Decimal2Test, ToString) {
+  EXPECT_EQ(Decimal2::FromParts(2001, 0).ToString(), "2001.00");
+  EXPECT_EQ(Decimal2::FromParts(0, 7).ToString(), "0.07");
+  EXPECT_EQ(Decimal2(-5).ToString(), "-0.05");
+  EXPECT_EQ(Decimal2::FromParts(-12, 34).ToString(), "-12.34");
+}
+
+TEST(Decimal2Test, Arithmetic) {
+  Decimal2 a = Decimal2::FromParts(10, 50);
+  Decimal2 b = Decimal2::FromParts(2, 25);
+  EXPECT_EQ((a + b).scaled(), 1275);
+  EXPECT_EQ((a - b).scaled(), 825);
+}
+
+TEST(Decimal2Test, MultiplicationRescales) {
+  // 0.08 * 2001.00 = 160.08 exactly.
+  Decimal2 tax = Decimal2::FromParts(0, 8);
+  Decimal2 price = Decimal2::FromParts(2001, 0);
+  EXPECT_EQ((tax * price).scaled(), 16008);
+  // 0.05 * 0.05 = 0.0025 -> rounds to 0.00 (half away from zero: 0.0025
+  // scaled is 0.25 hundredths, rounds to 0).
+  EXPECT_EQ((Decimal2(5) * Decimal2(5)).scaled(), 0);
+  // 0.10 * 0.50 = 0.05.
+  EXPECT_EQ((Decimal2(10) * Decimal2(50)).scaled(), 5);
+}
+
+TEST(Decimal2Test, MultiplicationNegative) {
+  Decimal2 a = Decimal2::FromParts(-2, 0);
+  Decimal2 b = Decimal2::FromParts(3, 50);
+  EXPECT_EQ((a * b).scaled(), -700);
+}
+
+TEST(Decimal2Test, Ordering) {
+  EXPECT_LT(Decimal2(100), Decimal2(101));
+  EXPECT_EQ(Decimal2(100), Decimal2::FromParts(1, 0));
+  EXPECT_GT(Decimal2::FromParts(0, 1), Decimal2::FromParts(-1, 99));
+}
+
+TEST(Decimal2Test, LargeValuesNoOverflow) {
+  // 105000.00 * 50 stays well within int64 via __int128 intermediate.
+  Decimal2 price = Decimal2::FromParts(105000, 0);
+  Decimal2 qty = Decimal2::FromParts(50, 0);
+  EXPECT_EQ((price * qty).scaled(), 525000000);
+}
+
+}  // namespace
+}  // namespace dphist

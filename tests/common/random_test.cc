@@ -1,0 +1,132 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dphist {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += (a.Next() != b.Next());
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 20000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 50000; ++i) hits += rng.NextBernoulli(0.2);
+  EXPECT_NEAR(hits / 50000.0, 0.2, 0.01);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  Rng rng(17);
+  ZipfGenerator zipf(10, 0.0);
+  std::vector<int> counts(11, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint64_t v = 1; v <= 10; ++v) {
+    EXPECT_NEAR(counts[v], kDraws / 10, kDraws / 10 * 0.1) << "value " << v;
+  }
+}
+
+TEST(ZipfTest, SamplesWithinPopulation) {
+  Rng rng(19);
+  ZipfGenerator zipf(100, 1.0);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = zipf.Sample(&rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfTest, HigherSkewConcentratesOnHead) {
+  Rng rng(23);
+  constexpr int kDraws = 50000;
+  auto head_share = [&](double s) {
+    ZipfGenerator zipf(1000, s);
+    Rng local(23);
+    int head = 0;
+    for (int i = 0; i < kDraws; ++i) head += (zipf.Sample(&local) <= 10);
+    return static_cast<double>(head) / kDraws;
+  };
+  double share_035 = head_share(0.35);
+  double share_075 = head_share(0.75);
+  double share_100 = head_share(1.0);
+  EXPECT_LT(share_035, share_075);
+  EXPECT_LT(share_075, share_100);
+  // At s=1 the 10 hottest of 1000 values take a large share (~39 %).
+  EXPECT_GT(share_100, 0.3);
+}
+
+TEST(ZipfTest, FrequencyRatioFollowsPowerLaw) {
+  Rng rng(29);
+  ZipfGenerator zipf(50, 1.0);
+  std::vector<int> counts(51, 0);
+  constexpr int kDraws = 400000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  // count(1)/count(2) should be ~2 under s=1.
+  double ratio = static_cast<double>(counts[1]) / counts[2];
+  EXPECT_NEAR(ratio, 2.0, 0.2);
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,133 @@
+#include "db/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "hist/estimator.h"
+#include "workload/distributions.h"
+#include "workload/tpch.h"
+
+namespace dphist::db {
+namespace {
+
+TEST(AnalyzerTest, FullScanIsExact) {
+  auto column = workload::ZipfColumn(20000, 256, 0.8, 3);
+  auto table = workload::ColumnToTable(column, 2, 7);
+  AnalyzeOptions options;
+  options.sampling_rate = 1.0;
+  AnalyzeResult result = AnalyzeColumn(table, 0, options);
+  ASSERT_TRUE(result.stats.valid);
+  EXPECT_EQ(result.stats.row_count, 20000u);
+  EXPECT_EQ(result.rows_examined, 20000u);
+  EXPECT_EQ(result.bytes_read, table.size_bytes());
+  EXPECT_EQ(result.stats.min_value, 1);
+  EXPECT_GT(result.stats.ndv, 200u);
+  uint64_t sum = 0;
+  for (const auto& b : result.stats.histogram.buckets) sum += b.count;
+  EXPECT_EQ(sum, 20000u);
+}
+
+TEST(AnalyzerTest, DbxBlockSamplingReadsFewerBytes) {
+  auto column = workload::UniformColumn(200000, 0, 999, 11);
+  auto table = workload::ColumnToTable(column, 2, 13);
+  AnalyzeOptions options;
+  options.profile = AnalyzerProfile::kDbx;
+  options.sampling_rate = 0.1;
+  AnalyzeResult result = AnalyzeColumn(table, 0, options);
+  // Only ~10% of pages touched.
+  EXPECT_LT(result.bytes_read, table.size_bytes() / 5);
+  EXPECT_GT(result.bytes_read, table.size_bytes() / 25);
+  // Scaled row count approximates the true population.
+  EXPECT_NEAR(static_cast<double>(result.stats.row_count), 200000.0,
+              40000.0);
+}
+
+TEST(AnalyzerTest, DbyAlwaysScansEverything) {
+  auto column = workload::UniformColumn(100000, 0, 999, 17);
+  auto table = workload::ColumnToTable(column, 2, 19);
+  AnalyzeOptions options;
+  options.profile = AnalyzerProfile::kDby;
+  options.sampling_rate = 0.05;
+  AnalyzeResult result = AnalyzeColumn(table, 0, options);
+  // The scan-then-filter profile reads every page regardless of the rate.
+  EXPECT_EQ(result.bytes_read, table.size_bytes());
+  EXPECT_NEAR(static_cast<double>(result.rows_examined), 5000.0, 600.0);
+}
+
+TEST(AnalyzerTest, SampledHistogramApproximatesFullOne) {
+  auto column = workload::ZipfColumn(300000, 512, 0.9, 23);
+  auto table = workload::ColumnToTable(column, 1, 29);
+  AnalyzeOptions full_options;
+  AnalyzeResult full = AnalyzeColumn(table, 0, full_options);
+  AnalyzeOptions sampled_options;
+  sampled_options.sampling_rate = 0.2;
+  AnalyzeResult sampled = AnalyzeColumn(table, 0, sampled_options);
+
+  hist::Estimator full_est(&full.stats.histogram);
+  hist::Estimator sampled_est(&sampled.stats.histogram);
+  // Selectivity of a mid-range predicate should roughly agree.
+  double full_sel = full_est.EstimateLess(50);
+  double sampled_sel = sampled_est.EstimateLess(50);
+  EXPECT_NEAR(sampled_sel / full_sel, 1.0, 0.25);
+}
+
+TEST(AnalyzerTest, LowCardinalityUsesCountMapAndIsExact) {
+  // l_quantity-like column: 50 distinct values.
+  auto column = workload::UniformColumn(150000, 1, 50, 31);
+  auto table = workload::ColumnToTable(column, 1, 37);
+  AnalyzeOptions options;
+  options.profile = AnalyzerProfile::kDbx;
+  AnalyzeResult result = AnalyzeColumn(table, 0, options);
+  EXPECT_EQ(result.stats.ndv, 50u);
+  uint64_t sum = 0;
+  for (const auto& b : result.stats.histogram.buckets) sum += b.count;
+  EXPECT_EQ(sum, 150000u);
+}
+
+TEST(AnalyzerTest, IndexAnalyzeNeedsNoSort) {
+  auto column = workload::ZipfColumn(100000, 1024, 0.7, 41);
+  auto table = workload::ColumnToTable(column, 2, 43);
+  double build_seconds = 0;
+  Index index = Index::Build(table, 0, &build_seconds);
+
+  AnalyzeOptions options;
+  AnalyzeResult from_index = AnalyzeFromIndex(index, options);
+  AnalyzeResult from_table = AnalyzeColumn(table, 0, options);
+  EXPECT_EQ(from_index.stats.row_count, from_table.stats.row_count);
+  EXPECT_EQ(from_index.stats.ndv, from_table.stats.ndv);
+  // Identical full-data equi-depth histograms.
+  ASSERT_EQ(from_index.stats.histogram.buckets.size(),
+            from_table.stats.histogram.buckets.size());
+  for (size_t i = 0; i < from_index.stats.histogram.buckets.size(); ++i) {
+    EXPECT_EQ(from_index.stats.histogram.buckets[i],
+              from_table.stats.histogram.buckets[i]);
+  }
+}
+
+TEST(AnalyzerTest, IndexStrideSampling) {
+  auto column = workload::UniformColumn(50000, 0, 99, 47);
+  auto table = workload::ColumnToTable(column, 1, 53);
+  Index index = Index::Build(table, 0, nullptr);
+  AnalyzeOptions options;
+  options.sampling_rate = 0.1;
+  AnalyzeResult result = AnalyzeFromIndex(index, options);
+  EXPECT_NEAR(static_cast<double>(result.rows_examined), 5000.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(result.stats.row_count), 50000.0, 100.0);
+}
+
+TEST(AnalyzerTest, TopKListDetectsInjectedSpike) {
+  workload::LineitemOptions lineitem_options;
+  lineitem_options.scale_factor = 0.01;
+  lineitem_options.row_limit = 50000;
+  lineitem_options.price_spikes.push_back(
+      workload::PriceSpike{200100, 2000});
+  auto table = workload::GenerateLineitem(lineitem_options);
+  AnalyzeOptions options;
+  AnalyzeResult result =
+      AnalyzeColumn(table, workload::kLExtendedPrice, options);
+  ASSERT_FALSE(result.stats.top_k.empty());
+  EXPECT_EQ(result.stats.top_k[0].value, 200100);
+  EXPECT_GE(result.stats.top_k[0].count, 2000u);
+}
+
+}  // namespace
+}  // namespace dphist::db

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "db/catalog.h"
+#include "db/index.h"
+#include "workload/distributions.h"
+
+namespace dphist::db {
+namespace {
+
+page::TableFile SmallTable() {
+  return workload::ColumnToTable({5, 3, 8, 3, 1, 9, 3}, 2, 1);
+}
+
+TEST(CatalogTest, AddAndFind) {
+  Catalog catalog;
+  page::TableFile* table = catalog.AddTable("t", SmallTable());
+  EXPECT_EQ(table->row_count(), 7u);
+  auto entry = catalog.Find("t");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->name, "t");
+  EXPECT_EQ((*entry)->column_stats.size(), 2u);
+  EXPECT_FALSE(catalog.Find("missing").ok());
+}
+
+TEST(CatalogTest, StatsFreshnessTracksDataVersion) {
+  Catalog catalog;
+  catalog.AddTable("t", SmallTable());
+  EXPECT_FALSE(catalog.StatsFresh("t", 0));  // no stats yet
+
+  ColumnStats stats;
+  stats.valid = true;
+  stats.row_count = 7;
+  ASSERT_TRUE(catalog.SetColumnStats("t", 0, stats).ok());
+  EXPECT_TRUE(catalog.StatsFresh("t", 0));
+
+  // The paper's scenario: data changes, stats are not refreshed.
+  ASSERT_TRUE(catalog.BumpDataVersion("t").ok());
+  EXPECT_FALSE(catalog.StatsFresh("t", 0));
+  auto stale = catalog.GetColumnStats("t", 0);
+  ASSERT_TRUE(stale.ok());
+  EXPECT_TRUE((*stale)->valid);  // still usable, just stale
+
+  // Refreshing restores freshness.
+  ASSERT_TRUE(catalog.SetColumnStats("t", 0, stats).ok());
+  EXPECT_TRUE(catalog.StatsFresh("t", 0));
+}
+
+TEST(CatalogTest, ColumnIndexBounds) {
+  Catalog catalog;
+  catalog.AddTable("t", SmallTable());
+  ColumnStats stats;
+  EXPECT_FALSE(catalog.SetColumnStats("t", 99, stats).ok());
+  EXPECT_FALSE(catalog.GetColumnStats("t", 99).ok());
+}
+
+TEST(CatalogTest, BuildAndFetchIndex) {
+  Catalog catalog;
+  catalog.AddTable("t", SmallTable());
+  EXPECT_FALSE(catalog.GetIndex("t", 0).ok());
+  auto seconds = catalog.BuildIndex("t", 0);
+  ASSERT_TRUE(seconds.ok());
+  EXPECT_GE(*seconds, 0.0);
+  auto index = catalog.GetIndex("t", 0);
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->size(), 7u);
+}
+
+TEST(IndexTest, SortedAndSearchable) {
+  auto table = SmallTable();
+  double seconds = 0;
+  Index index = Index::Build(table, 0, &seconds);
+  const auto& sorted = index.sorted_values();
+  ASSERT_EQ(sorted.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_EQ(index.CountLess(3), 1u);   // only the 1
+  EXPECT_EQ(index.CountEquals(3), 3u);
+  EXPECT_EQ(index.CountLess(100), 7u);
+  EXPECT_EQ(index.CountEquals(4), 0u);
+}
+
+TEST(StorageModelTest, DiskTimeIsMaxOfCpuAndIo) {
+  StorageModel model;
+  model.disk_bandwidth_bytes_per_s = 100e6;
+  // 1 GB at 100 MB/s = 10 s; CPU 2 s -> disk-bound.
+  EXPECT_DOUBLE_EQ(model.ScanSeconds(1000000000, Residency::kDisk, 2.0),
+                   10.0);
+  // CPU-bound case.
+  EXPECT_DOUBLE_EQ(model.ScanSeconds(1000000, Residency::kDisk, 2.0), 2.0);
+  // Memory residency: pure CPU.
+  EXPECT_DOUBLE_EQ(model.ScanSeconds(1000000000, Residency::kMemory, 2.0),
+                   2.0);
+}
+
+}  // namespace
+}  // namespace dphist::db

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "db/datapath.h"
+#include "workload/tpch.h"
+
+namespace dphist::db {
+namespace {
+
+TEST(DataPathMultiColumnTest, OnePassRefreshesSeveralColumns) {
+  Catalog catalog;
+  workload::LineitemOptions li;
+  li.scale_factor = 0.005;
+  catalog.AddTable("lineitem", workload::GenerateLineitem(li));
+
+  accel::Accelerator accelerator{accel::AcceleratorConfig{}};
+  DataPathScanner scanner(&catalog, &accelerator);
+
+  accel::ScanRequest quantity;
+  quantity.column_index = workload::kLQuantity;
+  quantity.min_value = workload::kQuantityMin;
+  quantity.max_value = workload::kQuantityMax;
+  quantity.num_buckets = 10;
+  accel::ScanRequest price;
+  price.column_index = workload::kLExtendedPrice;
+  price.min_value = workload::kPriceScaledMin;
+  price.max_value = workload::kPriceScaledMax;
+  price.granularity = 100;
+  price.num_buckets = 64;
+  const accel::ScanRequest requests[] = {quantity, price};
+
+  EXPECT_FALSE(catalog.StatsFresh("lineitem", workload::kLQuantity));
+  EXPECT_FALSE(catalog.StatsFresh("lineitem", workload::kLExtendedPrice));
+
+  auto report = scanner.ScanAndRefreshColumns("lineitem", requests);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->columns.size(), 2u);
+  EXPECT_TRUE(report->fits_on_device);
+  EXPECT_TRUE(catalog.StatsFresh("lineitem", workload::kLQuantity));
+  EXPECT_TRUE(catalog.StatsFresh("lineitem", workload::kLExtendedPrice));
+
+  auto quantity_stats =
+      catalog.GetColumnStats("lineitem", workload::kLQuantity);
+  ASSERT_TRUE(quantity_stats.ok());
+  EXPECT_LE((*quantity_stats)->ndv, 50u);
+  auto price_stats =
+      catalog.GetColumnStats("lineitem", workload::kLExtendedPrice);
+  ASSERT_TRUE(price_stats.ok());
+  EXPECT_GT((*price_stats)->ndv, 1000u);
+}
+
+TEST(DataPathMultiColumnTest, FailurePropagates) {
+  Catalog catalog;
+  workload::LineitemOptions li;
+  li.scale_factor = 0.001;
+  catalog.AddTable("lineitem", workload::GenerateLineitem(li));
+  accel::Accelerator accelerator{accel::AcceleratorConfig{}};
+  DataPathScanner scanner(&catalog, &accelerator);
+
+  accel::ScanRequest bad;
+  bad.column_index = 0;
+  bad.min_value = 10;
+  bad.max_value = 5;  // invalid domain
+  const accel::ScanRequest requests[] = {bad};
+  EXPECT_FALSE(scanner.ScanAndRefreshColumns("lineitem", requests).ok());
+  EXPECT_FALSE(scanner.ScanAndRefreshColumns("missing", requests).ok());
+}
+
+}  // namespace
+}  // namespace dphist::db

@@ -1,0 +1,141 @@
+#include "db/datapath.h"
+
+#include <gtest/gtest.h>
+
+#include "db/planner.h"
+#include "workload/tpch.h"
+
+namespace dphist::db {
+namespace {
+
+accel::AcceleratorConfig TestAccelConfig() {
+  accel::AcceleratorConfig config;
+  config.dram.capacity_bytes = 1ULL << 30;
+  return config;
+}
+
+accel::ScanRequest PriceRequest() {
+  accel::ScanRequest request;
+  request.min_value = workload::kPriceScaledMin;
+  request.max_value = workload::kPriceScaledMax;
+  request.granularity = 100;
+  request.num_buckets = 64;
+  request.top_k = 16;
+  return request;
+}
+
+TEST(DataPathTest, ScanRefreshesStats) {
+  Catalog catalog;
+  workload::LineitemOptions li;
+  li.scale_factor = 0.01;
+  li.row_limit = 30000;
+  li.price_spikes.push_back(workload::PriceSpike{200100, 3000});
+  catalog.AddTable("lineitem", workload::GenerateLineitem(li));
+
+  accel::Accelerator accelerator(TestAccelConfig());
+  DataPathScanner scanner(&catalog, &accelerator);
+  EXPECT_FALSE(catalog.StatsFresh("lineitem", workload::kLExtendedPrice));
+
+  auto report = scanner.ScanAndRefresh("lineitem",
+                                       workload::kLExtendedPrice,
+                                       PriceRequest());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(catalog.StatsFresh("lineitem", workload::kLExtendedPrice));
+
+  auto stats = catalog.GetColumnStats("lineitem",
+                                      workload::kLExtendedPrice);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE((*stats)->valid);
+  EXPECT_EQ((*stats)->row_count, 30000u);
+  EXPECT_DOUBLE_EQ((*stats)->sampling_rate, 1.0);
+  // The spike tops the MCV list with its exact count.
+  ASSERT_FALSE((*stats)->top_k.empty());
+  EXPECT_EQ((*stats)->top_k[0].value, 200100);
+  EXPECT_GE((*stats)->top_k[0].count, 3000u);
+}
+
+TEST(DataPathTest, RefreshAfterUpdateFixesThePlan) {
+  // End-to-end reproduction of the paper's core story: update the data,
+  // plan with stale stats (wrong join), rescan via the data path (free
+  // refresh), plan again (right join).
+  Catalog catalog;
+  workload::LineitemOptions li;
+  li.scale_factor = 0.02;
+  li.row_limit = 80000;
+  catalog.AddTable("lineitem", workload::GenerateLineitem(li));
+  workload::CustomerOptions cust;
+  cust.scale_factor = 0.1;
+  catalog.AddTable("customer", workload::GenerateCustomer(cust));
+
+  accel::Accelerator accelerator(TestAccelConfig());
+  DataPathScanner scanner(&catalog, &accelerator);
+
+  // Initial stats via a data-path scan of the original data.
+  ASSERT_TRUE(scanner.ScanAndRefresh("lineitem",
+                                     workload::kLExtendedPrice,
+                                     PriceRequest())
+                  .ok());
+  {
+    accel::ScanRequest custkey_request;
+    custkey_request.min_value = 1;
+    custkey_request.max_value = 15000;
+    ASSERT_TRUE(scanner.ScanAndRefresh("customer", workload::kCCustKey,
+                                       custkey_request)
+                    .ok());
+  }
+
+  // "Update" the table: regenerate with a heavy price spike.
+  workload::LineitemOptions spiked = li;
+  spiked.price_spikes.push_back(workload::PriceSpike{200100, 16000});
+  auto entry = catalog.Find("lineitem");
+  *(*entry)->table = workload::GenerateLineitem(spiked);
+  ASSERT_TRUE(catalog.BumpDataVersion("lineitem").ok());
+
+  Q1Query query;
+  query.custkey_limit = 8000;
+  auto stale_plan = PlanQ1(catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(stale_plan.ok());
+  EXPECT_EQ(stale_plan->join, JoinAlgorithm::kNestedLoops);
+
+  // Any query that scans lineitem refreshes the histogram for free.
+  ASSERT_TRUE(scanner.ScanAndRefresh("lineitem",
+                                     workload::kLExtendedPrice,
+                                     PriceRequest())
+                  .ok());
+  EXPECT_TRUE(catalog.StatsFresh("lineitem", workload::kLExtendedPrice));
+  auto fresh_plan = PlanQ1(catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(fresh_plan.ok());
+  EXPECT_EQ(fresh_plan->join, JoinAlgorithm::kSortMerge);
+  EXPECT_GT(fresh_plan->estimated_somelines,
+            stale_plan->estimated_somelines * 100);
+}
+
+TEST(DataPathTest, StatsConversionPrefersCompressed) {
+  accel::AcceleratorReport report;
+  report.rows = 100;
+  report.distinct_values = 10;
+  report.histograms.compressed.buckets.push_back(
+      hist::Bucket{0, 9, 60, 8});
+  report.histograms.compressed.singletons.push_back(
+      hist::ValueCount{5, 40});
+  report.histograms.equi_depth.buckets.push_back(
+      hist::Bucket{0, 9, 100, 10});
+  accel::ScanRequest request;
+  request.min_value = 0;
+  request.max_value = 9;
+  ColumnStats stats = StatsFromAcceleratorReport(report, request);
+  EXPECT_TRUE(stats.valid);
+  EXPECT_EQ(stats.ndv, 10u);
+  ASSERT_EQ(stats.histogram.singletons.size(), 1u);
+  EXPECT_EQ(stats.histogram.singletons[0].count, 40u);
+}
+
+TEST(DataPathTest, UnknownTableFails) {
+  Catalog catalog;
+  accel::Accelerator accelerator(TestAccelConfig());
+  DataPathScanner scanner(&catalog, &accelerator);
+  EXPECT_FALSE(scanner.ScanAndRefresh("nope", 0, PriceRequest()).ok());
+}
+
+}  // namespace
+}  // namespace dphist::db

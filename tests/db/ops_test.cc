@@ -1,0 +1,126 @@
+#include "db/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "workload/distributions.h"
+
+namespace dphist::db {
+namespace {
+
+TEST(EvalCompareTest, AllOperators) {
+  EXPECT_TRUE(EvalCompare(5, CompareOp::kEq, 5));
+  EXPECT_FALSE(EvalCompare(5, CompareOp::kEq, 6));
+  EXPECT_TRUE(EvalCompare(5, CompareOp::kNe, 6));
+  EXPECT_TRUE(EvalCompare(5, CompareOp::kLt, 6));
+  EXPECT_FALSE(EvalCompare(5, CompareOp::kLt, 5));
+  EXPECT_TRUE(EvalCompare(5, CompareOp::kLe, 5));
+  EXPECT_TRUE(EvalCompare(6, CompareOp::kGt, 5));
+  EXPECT_TRUE(EvalCompare(5, CompareOp::kGe, 5));
+}
+
+TEST(ScanFilterProjectTest, FiltersAndProjects) {
+  auto table = workload::ColumnToTable({10, 20, 30, 40, 50}, 2, 3);
+  ColumnPredicate preds[] = {{0, CompareOp::kGt, 15},
+                             {0, CompareOp::kLt, 45}};
+  size_t proj[] = {0};
+  Relation r = ScanFilterProject(table, preds, proj);
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.columns[0], (std::vector<int64_t>{20, 30, 40}));
+}
+
+TEST(ScanFilterProjectTest, EmptyPredicatesKeepAll) {
+  auto table = workload::ColumnToTable({1, 2, 3}, 2, 5);
+  size_t proj[] = {1, 0};
+  Relation r = ScanFilterProject(table, {}, proj);
+  EXPECT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.num_columns(), 2u);
+  EXPECT_EQ(r.columns[1], (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(AppendDecimalProductTest, ComputesScaledProduct) {
+  Relation r;
+  r.columns = {{8, 10}, {200100, 50}};  // 0.08*2001.00, 0.10*0.50
+  AppendDecimalProduct(&r, 0, 1);
+  ASSERT_EQ(r.num_columns(), 3u);
+  EXPECT_EQ(r.columns[2], (std::vector<int64_t>{16008, 5}));
+}
+
+TEST(CountLessJoinTest, NestedLoopsAndSortMergeAgree) {
+  Rng rng(61);
+  Relation left;
+  Relation right;
+  left.columns.resize(2);
+  right.columns.resize(1);
+  for (int i = 0; i < 300; ++i) {
+    left.columns[0].push_back(i);
+    left.columns[1].push_back(rng.NextInRange(0, 1000));
+  }
+  for (int i = 0; i < 500; ++i) {
+    right.columns[0].push_back(rng.NextInRange(0, 1000));
+  }
+  Relation nlj = NestedLoopCountLess(left, 1, right, 0);
+  Relation smj = SortMergeCountLess(left, 1, right, 0);
+  ASSERT_EQ(nlj.num_rows(), 300u);
+  ASSERT_EQ(smj.num_rows(), 300u);
+  EXPECT_EQ(nlj.columns.back(), smj.columns.back());
+}
+
+TEST(CountLessJoinTest, StrictInequality) {
+  Relation left;
+  left.columns = {{0}, {5}};
+  Relation right;
+  right.columns = {{4, 5, 6}};
+  Relation out = NestedLoopCountLess(left, 1, right, 0);
+  EXPECT_EQ(out.columns.back()[0], 1);  // only 4 < 5
+}
+
+TEST(CountLessJoinTest, EmptySides) {
+  Relation left;
+  left.columns = {{1, 2}, {10, 20}};
+  Relation empty;
+  empty.columns = {{}};
+  Relation out = SortMergeCountLess(left, 1, empty, 0);
+  EXPECT_EQ(out.columns.back(), (std::vector<int64_t>{0, 0}));
+
+  Relation no_left;
+  no_left.columns = {{}, {}};
+  Relation out2 = NestedLoopCountLess(no_left, 1, empty, 0);
+  EXPECT_TRUE(out2.columns.back().empty());
+}
+
+TEST(HashGroupCountTest, CountsPerKeySortedByKey) {
+  Relation input;
+  input.columns = {{3, 1, 3, 2, 3, 1}};
+  Relation grouped = HashGroupCount(input, 0);
+  EXPECT_EQ(grouped.columns[0], (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(grouped.columns[1], (std::vector<int64_t>{2, 1, 3}));
+}
+
+TEST(HashJoinEqualsTest, InnerJoinSemantics) {
+  Relation left;
+  left.columns = {{1, 2, 3}, {10, 20, 30}};
+  Relation right;
+  right.columns = {{2, 2, 4}, {200, 201, 400}};
+  Relation joined = HashJoinEquals(left, 0, right, 0);
+  ASSERT_EQ(joined.num_rows(), 2u);  // key 2 matches twice
+  ASSERT_EQ(joined.num_columns(), 4u);
+  // Both output rows carry the left side (2, 20).
+  EXPECT_EQ(joined.columns[0], (std::vector<int64_t>{2, 2}));
+  EXPECT_EQ(joined.columns[1], (std::vector<int64_t>{20, 20}));
+  // Right payloads 200 and 201 both appear.
+  std::vector<int64_t> payloads = joined.columns[3];
+  std::sort(payloads.begin(), payloads.end());
+  EXPECT_EQ(payloads, (std::vector<int64_t>{200, 201}));
+}
+
+TEST(HashJoinEqualsTest, NoMatches) {
+  Relation left;
+  left.columns = {{1}};
+  Relation right;
+  right.columns = {{2}};
+  EXPECT_EQ(HashJoinEquals(left, 0, right, 0).num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace dphist::db

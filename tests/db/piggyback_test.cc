@@ -1,0 +1,92 @@
+#include "db/piggyback.h"
+
+#include <gtest/gtest.h>
+
+#include "db/analyzer.h"
+#include "workload/tpch.h"
+
+namespace dphist::db {
+namespace {
+
+struct Fixture {
+  Fixture() : table(MakeTable()) {}
+
+  static page::TableFile MakeTable() {
+    workload::LineitemOptions li;
+    li.scale_factor = 0.01;
+    li.row_limit = 50000;
+    li.price_spikes.push_back(workload::PriceSpike{200100, 1500});
+    return workload::GenerateLineitem(li);
+  }
+
+  page::TableFile table;
+};
+
+TEST(PiggybackTest, QueryResultMatchesPlainScan) {
+  Fixture f;
+  const ColumnPredicate pred{workload::kLExtendedPrice, CompareOp::kGe,
+                             5000000};
+  const size_t proj[] = {workload::kLQuantity};
+  Relation plain = ScanFilterProject(f.table, {&pred, 1}, proj);
+  PiggybackResult piggyback =
+      PiggybackScan(f.table, {&pred, 1}, proj, workload::kLExtendedPrice,
+                    254, 16);
+  ASSERT_EQ(piggyback.query_result.num_rows(), plain.num_rows());
+  EXPECT_EQ(piggyback.query_result.columns[0], plain.columns[0]);
+}
+
+TEST(PiggybackTest, StatsCoverWholeTableNotJustMatches) {
+  Fixture f;
+  // A predicate matching almost nothing: the stats must still describe
+  // every row.
+  const ColumnPredicate pred{workload::kLQuantity, CompareOp::kGt, 49};
+  const size_t proj[] = {workload::kLQuantity};
+  PiggybackResult result =
+      PiggybackScan(f.table, {&pred, 1}, proj, workload::kLExtendedPrice,
+                    254, 16);
+  EXPECT_LT(result.query_result.num_rows(), f.table.row_count() / 10);
+  EXPECT_EQ(result.stats.row_count, f.table.row_count());
+  EXPECT_DOUBLE_EQ(result.stats.sampling_rate, 1.0);
+  // The injected spike is fully visible.
+  ASSERT_FALSE(result.stats.top_k.empty());
+  EXPECT_EQ(result.stats.top_k[0].value, 200100);
+  EXPECT_GE(result.stats.top_k[0].count, 1500u);
+}
+
+TEST(PiggybackTest, StatsMatchDedicatedAnalyze) {
+  Fixture f;
+  const size_t proj[] = {workload::kLQuantity};
+  PiggybackResult piggyback = PiggybackScan(
+      f.table, {}, proj, workload::kLExtendedPrice, 254, 16);
+  AnalyzeOptions options;
+  options.count_map_limit = 0;
+  AnalyzeResult analyzed =
+      AnalyzeColumn(f.table, workload::kLExtendedPrice, options);
+  EXPECT_EQ(piggyback.stats.ndv, analyzed.stats.ndv);
+  ASSERT_EQ(piggyback.stats.histogram.buckets.size(),
+            analyzed.stats.histogram.buckets.size());
+  for (size_t i = 0; i < piggyback.stats.histogram.buckets.size(); ++i) {
+    EXPECT_EQ(piggyback.stats.histogram.buckets[i],
+              analyzed.stats.histogram.buckets[i]);
+  }
+}
+
+TEST(PiggybackTest, PiggybackingCostsMoreThanPlainScan) {
+  Fixture f;
+  const ColumnPredicate pred{workload::kLExtendedPrice, CompareOp::kGe,
+                             5000000};
+  const size_t proj[] = {workload::kLQuantity};
+  // Average a few runs; wall-clock on a busy box is noisy.
+  double plain = 0;
+  double piggyback = 0;
+  for (int i = 0; i < 3; ++i) {
+    plain += PlainScanSeconds(f.table, {&pred, 1}, proj);
+    piggyback += PiggybackScan(f.table, {&pred, 1}, proj,
+                               workload::kLExtendedPrice, 254, 16)
+                     .total_seconds;
+  }
+  EXPECT_GT(piggyback, plain);
+}
+
+}  // namespace
+}  // namespace dphist::db

@@ -1,0 +1,166 @@
+#include "db/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "db/analyzer.h"
+#include "workload/tpch.h"
+
+namespace dphist::db {
+namespace {
+
+/// Builds a catalog holding a small lineitem (optionally spiked at price
+/// 2001.00) and a customer table, with ANALYZE-built stats installed
+/// before the spike decision.
+struct Q1Rig {
+  explicit Q1Rig(uint64_t spike_rows, bool stats_before_spike) {
+    workload::LineitemOptions li;
+    li.scale_factor = 0.02;
+    li.row_limit = 100000;
+    if (!stats_before_spike && spike_rows > 0) {
+      li.price_spikes.push_back(workload::PriceSpike{200100, spike_rows});
+    }
+    page::TableFile lineitem = workload::GenerateLineitem(li);
+
+    // Stats "before the update": analyze the unspiked table, then swap in
+    // the spiked data without refreshing (the paper's Section 2 setup).
+    if (stats_before_spike) {
+      catalog.AddTable("lineitem", std::move(lineitem));
+      InstallStats();
+      workload::LineitemOptions spiked = li;
+      if (spike_rows > 0) {
+        spiked.price_spikes.push_back(
+            workload::PriceSpike{200100, spike_rows});
+      }
+      auto entry = catalog.Find("lineitem");
+      *(*entry)->table = workload::GenerateLineitem(spiked);
+      (void)catalog.BumpDataVersion("lineitem");
+    } else {
+      catalog.AddTable("lineitem", std::move(lineitem));
+      InstallStats();
+    }
+
+    workload::CustomerOptions cust;
+    cust.scale_factor = 0.2;  // 30k customers
+    catalog.AddTable("customer", workload::GenerateCustomer(cust));
+    AnalyzeOptions options;
+    auto entry = catalog.Find("customer");
+    AnalyzeResult custkey = AnalyzeColumn(
+        *(*entry)->table, workload::kCCustKey, options);
+    (void)catalog.SetColumnStats("customer", workload::kCCustKey,
+                                 custkey.stats);
+  }
+
+  void InstallStats() {
+    AnalyzeOptions options;
+    auto entry = catalog.Find("lineitem");
+    AnalyzeResult price = AnalyzeColumn(
+        *(*entry)->table, workload::kLExtendedPrice, options);
+    (void)catalog.SetColumnStats("lineitem", workload::kLExtendedPrice,
+                                 price.stats);
+  }
+
+  Catalog catalog;
+};
+
+TEST(PlannerTest, StaleStatsPickNestedLoops) {
+  // Stats predate the spike: the planner believes the price predicate
+  // matches almost nothing and picks the O(L*R) join.
+  Q1Rig rig(/*spike_rows=*/20000, /*stats_before_spike=*/true);
+  Q1Query query;
+  query.custkey_limit = 5000;
+  auto plan = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->used_histogram);
+  EXPECT_LT(plan->estimated_somelines, 100.0);
+  EXPECT_EQ(plan->join, JoinAlgorithm::kNestedLoops);
+  EXPECT_FALSE(rig.catalog.StatsFresh("lineitem",
+                                      workload::kLExtendedPrice));
+}
+
+TEST(PlannerTest, FreshStatsPickSortMerge) {
+  Q1Rig rig(/*spike_rows=*/20000, /*stats_before_spike=*/false);
+  Q1Query query;
+  query.custkey_limit = 5000;
+  auto plan = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(plan.ok());
+  // Fresh stats see the 20k-row spike (it tops the MCV/singleton list).
+  EXPECT_GT(plan->estimated_somelines, 5000.0);
+  EXPECT_EQ(plan->join, JoinAlgorithm::kSortMerge);
+}
+
+TEST(PlannerTest, NoSpikeNestedLoopsIsFine) {
+  Q1Rig rig(/*spike_rows=*/0, /*stats_before_spike=*/false);
+  Q1Query query;
+  auto plan = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(plan.ok());
+  // Without the spike the predicate really is rare; NLJ is the right call.
+  EXPECT_EQ(plan->join, JoinAlgorithm::kNestedLoops);
+}
+
+TEST(PlannerTest, MissingStatsFallBackToDefaults) {
+  Catalog catalog;
+  workload::LineitemOptions li;
+  li.scale_factor = 0.01;
+  li.row_limit = 5000;
+  catalog.AddTable("lineitem", workload::GenerateLineitem(li));
+  workload::CustomerOptions cust;
+  cust.scale_factor = 0.01;
+  catalog.AddTable("customer", workload::GenerateCustomer(cust));
+  auto plan = PlanQ1(catalog, "lineitem", "customer", Q1Query{});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->used_histogram);
+  EXPECT_GT(plan->estimated_somelines, 0.0);
+}
+
+TEST(PlannerTest, ExplanationMentionsAlgorithm) {
+  Q1Rig rig(0, false);
+  auto plan = PlanQ1(rig.catalog, "lineitem", "customer", Q1Query{});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->explanation.find(JoinAlgorithmName(plan->join)),
+            std::string::npos);
+}
+
+TEST(ExecuteQ1Test, BothJoinsProduceIdenticalResults) {
+  Q1Rig rig(/*spike_rows=*/5000, /*stats_before_spike=*/false);
+  Q1Query query;
+  query.custkey_limit = 3000;
+  auto nlj = ExecuteQ1(rig.catalog, "lineitem", "customer", query,
+                       JoinAlgorithm::kNestedLoops);
+  auto smj = ExecuteQ1(rig.catalog, "lineitem", "customer", query,
+                       JoinAlgorithm::kSortMerge);
+  ASSERT_TRUE(nlj.ok());
+  ASSERT_TRUE(smj.ok());
+  EXPECT_EQ(nlj->somelines_rows, smj->somelines_rows);
+  EXPECT_EQ(nlj->customer_rows, smj->customer_rows);
+  EXPECT_EQ(nlj->result_groups, smj->result_groups);
+  EXPECT_EQ(nlj->total_matches, smj->total_matches);
+  EXPECT_GE(nlj->somelines_rows, 5000u);
+}
+
+TEST(ExecuteQ1Test, SortMergeWinsOnLargeSpikes) {
+  // The paper's Figure 21 effect: with many matching rows the wrong
+  // (NLJ) plan is dramatically slower.
+  Q1Rig rig(/*spike_rows=*/30000, /*stats_before_spike=*/false);
+  Q1Query query;
+  query.custkey_limit = 15000;
+  auto nlj = ExecuteQ1(rig.catalog, "lineitem", "customer", query,
+                       JoinAlgorithm::kNestedLoops);
+  auto smj = ExecuteQ1(rig.catalog, "lineitem", "customer", query,
+                       JoinAlgorithm::kSortMerge);
+  ASSERT_TRUE(nlj.ok());
+  ASSERT_TRUE(smj.ok());
+  EXPECT_GT(nlj->join_seconds, smj->join_seconds * 3);
+}
+
+TEST(ExecuteQ1Test, CustkeyLimitFiltersCustomers) {
+  Q1Rig rig(0, false);
+  Q1Query query;
+  query.custkey_limit = 100;
+  auto result = ExecuteQ1(rig.catalog, "lineitem", "customer", query,
+                          JoinAlgorithm::kSortMerge);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->customer_rows, 99u);
+}
+
+}  // namespace
+}  // namespace dphist::db

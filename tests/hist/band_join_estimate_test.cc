@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "hist/dense_reference.h"
+#include "hist/estimator.h"
+#include "workload/distributions.h"
+
+namespace dphist::hist {
+namespace {
+
+uint64_t ExactCountLessPairs(const std::vector<int64_t>& left,
+                             const std::vector<int64_t>& right) {
+  std::vector<int64_t> sorted = left;
+  std::sort(sorted.begin(), sorted.end());
+  uint64_t pairs = 0;
+  for (int64_t r : right) {
+    pairs += static_cast<uint64_t>(
+        std::lower_bound(sorted.begin(), sorted.end(), r) - sorted.begin());
+  }
+  return pairs;
+}
+
+TEST(BandJoinEstimateTest, UniformData) {
+  auto left = workload::UniformColumn(20000, 1, 1000, 1);
+  auto right = workload::UniformColumn(5000, 1, 1000, 2);
+  Histogram lh = EquiDepthDense(BuildDenseCounts(left, 1, 1000), 32);
+  Histogram rh = EquiDepthDense(BuildDenseCounts(right, 1, 1000), 32);
+  double estimate = EstimateCountLessPairs(lh, rh);
+  double exact = static_cast<double>(ExactCountLessPairs(left, right));
+  // Uniform x uniform: ~n*m/2; the estimate should be within 5 %.
+  EXPECT_NEAR(estimate / exact, 1.0, 0.05);
+}
+
+TEST(BandJoinEstimateTest, SkewedData) {
+  auto left = workload::ZipfColumn(30000, 2048, 1.0, 3);
+  auto right = workload::ZipfColumn(8000, 2048, 0.5, 4);
+  Histogram lh = CompressedDense(BuildDenseCounts(left, 1, 2048), 64, 16);
+  Histogram rh = CompressedDense(BuildDenseCounts(right, 1, 2048), 64, 16);
+  double estimate = EstimateCountLessPairs(lh, rh);
+  double exact = static_cast<double>(ExactCountLessPairs(left, right));
+  EXPECT_NEAR(estimate / exact, 1.0, 0.15);
+}
+
+TEST(BandJoinEstimateTest, DisjointRanges) {
+  // All left values below all right values -> every pair qualifies.
+  auto left = workload::UniformColumn(1000, 1, 100, 5);
+  auto right = workload::UniformColumn(500, 200, 300, 6);
+  Histogram lh = EquiDepthDense(BuildDenseCounts(left, 1, 100), 8);
+  Histogram rh = EquiDepthDense(BuildDenseCounts(right, 200, 300), 8);
+  double estimate = EstimateCountLessPairs(lh, rh);
+  EXPECT_NEAR(estimate, 1000.0 * 500.0, 1.0);
+
+  // Reversed: no pair qualifies.
+  EXPECT_NEAR(EstimateCountLessPairs(rh, lh), 0.0, 1500.0);
+}
+
+TEST(BandJoinEstimateTest, SingletonsHandledExactly) {
+  Histogram left;
+  left.min_value = 0;
+  left.max_value = 100;
+  left.total_count = 50;
+  left.buckets.push_back(Bucket{0, 49, 50, 50});
+  Histogram right;
+  right.min_value = 0;
+  right.max_value = 100;
+  right.total_count = 10;
+  right.singletons.push_back(ValueCount{100, 10});
+  // Every left row is below 100: 50 * 10 pairs.
+  EXPECT_NEAR(EstimateCountLessPairs(left, right), 500.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace dphist::hist

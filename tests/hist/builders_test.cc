@@ -1,0 +1,120 @@
+#include "hist/builders.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hist/dense_reference.h"
+#include "hist/types.h"
+
+namespace dphist::hist {
+namespace {
+
+FrequencyVector MakeFreqs(std::vector<ValueCount> entries) { return entries; }
+
+TEST(EquiDepthSparseTest, BasicBucketing) {
+  FrequencyVector freqs =
+      MakeFreqs({{10, 5}, {20, 5}, {30, 5}, {40, 5}, {50, 5}, {60, 5}});
+  Histogram h = EquiDepthSparse(freqs, 3);
+  ASSERT_EQ(h.buckets.size(), 3u);
+  EXPECT_EQ(h.buckets[0], (Bucket{10, 20, 10, 2}));
+  EXPECT_EQ(h.buckets[1], (Bucket{30, 40, 10, 2}));
+  EXPECT_EQ(h.buckets[2], (Bucket{50, 60, 10, 2}));
+}
+
+TEST(EquiDepthSparseTest, MatchesDenseReferenceOnDenseDomain) {
+  // When every value in [min,max] is present, sparse and dense builders
+  // must agree exactly.
+  Rng rng(43);
+  std::vector<uint64_t> counts(64);
+  for (auto& c : counts) c = 1 + rng.NextBounded(30);
+  DenseCounts dense;
+  dense.min_value = 100;
+  dense.counts = counts;
+  Histogram from_dense = EquiDepthDense(dense, 8);
+  Histogram from_sparse = EquiDepthSparse(DenseToFrequencies(dense), 8);
+  ASSERT_EQ(from_dense.buckets.size(), from_sparse.buckets.size());
+  for (size_t i = 0; i < from_dense.buckets.size(); ++i) {
+    EXPECT_EQ(from_dense.buckets[i].count, from_sparse.buckets[i].count);
+    EXPECT_EQ(from_dense.buckets[i].lo, from_sparse.buckets[i].lo);
+  }
+}
+
+TEST(TopKSparseTest, OrderAndTies) {
+  FrequencyVector freqs = MakeFreqs({{1, 4}, {2, 9}, {3, 9}, {4, 2}});
+  auto top = TopKSparse(freqs, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (ValueCount{2, 9}));
+  EXPECT_EQ(top[1], (ValueCount{3, 9}));
+  EXPECT_EQ(top[2], (ValueCount{1, 4}));
+}
+
+TEST(CompressedSparseTest, SingletonsPlusBody) {
+  FrequencyVector freqs =
+      MakeFreqs({{1, 100}, {2, 1}, {3, 1}, {4, 90}, {5, 1}, {6, 1}});
+  Histogram h = CompressedSparse(freqs, 2, 2);
+  ASSERT_EQ(h.singletons.size(), 2u);
+  EXPECT_EQ(h.singletons[0].value, 1);
+  EXPECT_EQ(h.singletons[1].value, 4);
+  uint64_t body = 0;
+  for (const auto& b : h.buckets) body += b.count;
+  EXPECT_EQ(body, 4u);
+}
+
+TEST(MaxDiffSparseTest, CutsAtCountJumps) {
+  FrequencyVector freqs = MakeFreqs({{1, 5}, {2, 5}, {3, 50}, {4, 5}});
+  Histogram h = MaxDiffSparse(freqs, 3);
+  ASSERT_EQ(h.buckets.size(), 3u);
+  EXPECT_EQ(h.buckets[0], (Bucket{1, 2, 10, 2}));
+  EXPECT_EQ(h.buckets[1], (Bucket{3, 3, 50, 1}));
+  EXPECT_EQ(h.buckets[2], (Bucket{4, 4, 5, 1}));
+}
+
+TEST(EquiWidthSparseTest, GridOverRange) {
+  FrequencyVector freqs = MakeFreqs({{0, 1}, {99, 1}});
+  Histogram h = EquiWidthSparse(freqs, 10);
+  ASSERT_EQ(h.buckets.size(), 10u);
+  EXPECT_EQ(h.buckets[0].count, 1u);
+  EXPECT_EQ(h.buckets[9].count, 1u);
+  for (size_t i = 1; i < 9; ++i) EXPECT_EQ(h.buckets[i].count, 0u);
+  EXPECT_EQ(h.buckets[0].lo, 0);
+  EXPECT_EQ(h.buckets[9].hi, 99);
+}
+
+TEST(ScaleToPopulationTest, ScalesAllCounts) {
+  Histogram h;
+  h.buckets.push_back(Bucket{0, 9, 10, 5});
+  h.singletons.push_back(ValueCount{3, 4});
+  h.total_count = 14;
+  Histogram scaled = ScaleToPopulation(h, 0.1);
+  EXPECT_EQ(scaled.buckets[0].count, 100u);
+  EXPECT_EQ(scaled.singletons[0].count, 40u);
+  EXPECT_EQ(scaled.total_count, 140u);
+}
+
+TEST(ScaleToPopulationTest, FullRateIsIdentity) {
+  Histogram h;
+  h.buckets.push_back(Bucket{0, 9, 10, 5});
+  h.total_count = 10;
+  Histogram scaled = ScaleToPopulation(h, 1.0);
+  EXPECT_EQ(scaled.buckets[0].count, 10u);
+}
+
+TEST(BuilderInvariantTest, SumPreservedAcrossTypes) {
+  Rng rng(47);
+  std::vector<int64_t> data;
+  for (int i = 0; i < 5000; ++i) data.push_back(rng.NextInRange(0, 300));
+  FrequencyVector freqs = BuildFrequencyVector(data);
+  for (uint32_t buckets : {1u, 2u, 7u, 64u}) {
+    uint64_t ed = 0;
+    for (const auto& b : EquiDepthSparse(freqs, buckets).buckets) {
+      ed += b.count;
+    }
+    EXPECT_EQ(ed, data.size()) << "equi-depth B=" << buckets;
+    uint64_t md = 0;
+    for (const auto& b : MaxDiffSparse(freqs, buckets).buckets) md += b.count;
+    EXPECT_EQ(md, data.size()) << "max-diff B=" << buckets;
+  }
+}
+
+}  // namespace
+}  // namespace dphist::hist

@@ -1,0 +1,205 @@
+#include "hist/dense_reference.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hist/types.h"
+
+namespace dphist::hist {
+namespace {
+
+DenseCounts MakeDense(std::vector<uint64_t> counts, int64_t min_value = 0) {
+  DenseCounts dense;
+  dense.min_value = min_value;
+  dense.counts = std::move(counts);
+  return dense;
+}
+
+// --------------------------------------------------------------------------
+// TopK
+
+TEST(TopKDenseTest, OrdersByCountThenValue) {
+  DenseCounts dense = MakeDense({3, 9, 9, 1, 0, 7});
+  auto top = TopKDense(dense, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (ValueCount{1, 9}));  // earlier value wins the tie
+  EXPECT_EQ(top[1], (ValueCount{2, 9}));
+  EXPECT_EQ(top[2], (ValueCount{5, 7}));
+}
+
+TEST(TopKDenseTest, IgnoresZeroBins) {
+  DenseCounts dense = MakeDense({0, 0, 5, 0});
+  auto top = TopKDense(dense, 4);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], (ValueCount{2, 5}));
+}
+
+TEST(TopKDenseTest, KLargerThanDistinct) {
+  DenseCounts dense = MakeDense({1, 2});
+  EXPECT_EQ(TopKDense(dense, 64).size(), 2u);
+}
+
+// --------------------------------------------------------------------------
+// Equi-depth
+
+TEST(EquiDepthDenseTest, UniformDataSplitsEvenly) {
+  // 10 values x 10 occurrences, 5 buckets -> each bucket 2 values, 20 rows.
+  DenseCounts dense = MakeDense(std::vector<uint64_t>(10, 10));
+  Histogram h = EquiDepthDense(dense, 5);
+  ASSERT_EQ(h.buckets.size(), 5u);
+  for (const auto& b : h.buckets) {
+    EXPECT_EQ(b.count, 20u);
+    EXPECT_EQ(b.distinct, 2u);
+    EXPECT_EQ(b.hi - b.lo, 1);
+  }
+  EXPECT_EQ(h.total_count, 100u);
+}
+
+TEST(EquiDepthDenseTest, HeavyValueStaysInOneBucket) {
+  // A value with count far above the limit must not be split (hybrid
+  // semantics, as in Oracle).
+  DenseCounts dense = MakeDense({1, 100, 1, 1, 1});
+  Histogram h = EquiDepthDense(dense, 4);
+  // limit = 104/4 = 26; bucket 1 closes at the heavy bin with count 101.
+  ASSERT_GE(h.buckets.size(), 2u);
+  EXPECT_EQ(h.buckets[0].count, 101u);
+  EXPECT_EQ(h.buckets[0].lo, 0);
+  EXPECT_EQ(h.buckets[0].hi, 1);
+}
+
+TEST(EquiDepthDenseTest, TrailingPartialBucketEmitted) {
+  DenseCounts dense = MakeDense({10, 10, 10, 1});
+  Histogram h = EquiDepthDense(dense, 3);
+  // limit = 31/3 = 10: three full buckets, then the trailing 1.
+  ASSERT_EQ(h.buckets.size(), 4u);
+  EXPECT_EQ(h.buckets.back().count, 1u);
+  EXPECT_EQ(h.buckets.back().lo, 3);
+  EXPECT_EQ(h.buckets.back().hi, 3);
+}
+
+TEST(EquiDepthDenseTest, TrailingZeroBinsProduceNoBucket) {
+  DenseCounts dense = MakeDense({10, 10, 0, 0});
+  Histogram h = EquiDepthDense(dense, 2);
+  ASSERT_EQ(h.buckets.size(), 2u);
+  EXPECT_EQ(h.buckets.back().hi, 1);
+}
+
+TEST(EquiDepthDenseTest, BucketCountsSumToTotal) {
+  Rng rng(31);
+  std::vector<uint64_t> counts(257);
+  for (auto& c : counts) c = rng.NextBounded(50);
+  DenseCounts dense = MakeDense(std::move(counts));
+  Histogram h = EquiDepthDense(dense, 16);
+  uint64_t sum = 0;
+  for (const auto& b : h.buckets) sum += b.count;
+  EXPECT_EQ(sum, dense.TotalCount());
+}
+
+TEST(EquiDepthDenseTest, EmptyInputYieldsNoBuckets) {
+  DenseCounts dense = MakeDense({0, 0, 0});
+  Histogram h = EquiDepthDense(dense, 4);
+  EXPECT_TRUE(h.buckets.empty());
+  EXPECT_EQ(h.total_count, 0u);
+}
+
+// --------------------------------------------------------------------------
+// Max-diff
+
+TEST(MaxDiffDenseTest, BoundariesAtLargestJumps) {
+  // Distribution: low plateau, spike, low plateau.
+  DenseCounts dense = MakeDense({5, 5, 5, 100, 5, 5});
+  Histogram h = MaxDiffDense(dense, 3);
+  // Largest diffs are 95 at boundaries 3 and 4 -> buckets [0,2][3,3][4,5].
+  ASSERT_EQ(h.buckets.size(), 3u);
+  EXPECT_EQ(h.buckets[0], (Bucket{0, 2, 15, 3}));
+  EXPECT_EQ(h.buckets[1], (Bucket{3, 3, 100, 1}));
+  EXPECT_EQ(h.buckets[2], (Bucket{4, 5, 10, 2}));
+}
+
+TEST(MaxDiffDenseTest, FlatDataSingleBucket) {
+  DenseCounts dense = MakeDense({7, 7, 7, 7});
+  Histogram h = MaxDiffDense(dense, 4);
+  // No non-zero differences: nothing to cut.
+  ASSERT_EQ(h.buckets.size(), 1u);
+  EXPECT_EQ(h.buckets[0].count, 28u);
+}
+
+TEST(MaxDiffDenseTest, RespectsBucketBudget) {
+  Rng rng(37);
+  std::vector<uint64_t> counts(100);
+  for (auto& c : counts) c = rng.NextBounded(1000);
+  DenseCounts dense = MakeDense(std::move(counts));
+  Histogram h = MaxDiffDense(dense, 8);
+  EXPECT_LE(h.buckets.size(), 8u);
+  uint64_t sum = 0;
+  for (const auto& b : h.buckets) sum += b.count;
+  EXPECT_EQ(sum, dense.TotalCount());
+}
+
+TEST(MaxDiffDenseTest, TieOnDiffPrefersEarlierBoundary) {
+  // Diffs: |10-0|=10 at b1, |0-10|=10 at b2, |10-0|=10 at b3, ... with
+  // budget for one boundary the earliest (b1) is chosen.
+  DenseCounts dense = MakeDense({0, 10, 0, 10});
+  Histogram h = MaxDiffDense(dense, 2);
+  // Boundary 1 is chosen; the leading all-zero segment [0,0] carries no
+  // rows and is skipped, leaving one bucket spanning bins 1..3.
+  ASSERT_EQ(h.buckets.size(), 1u);
+  EXPECT_EQ(h.buckets[0], (Bucket{1, 3, 20, 2}));
+}
+
+// --------------------------------------------------------------------------
+// Compressed
+
+TEST(CompressedDenseTest, SingletonsSeparated) {
+  DenseCounts dense = MakeDense({1, 50, 1, 1, 40, 1});
+  Histogram h = CompressedDense(dense, 2, 2);
+  ASSERT_EQ(h.singletons.size(), 2u);
+  EXPECT_EQ(h.singletons[0], (ValueCount{1, 50}));
+  EXPECT_EQ(h.singletons[1], (ValueCount{4, 40}));
+  // Remaining 4 rows in 2 buckets of 2.
+  uint64_t bucket_sum = 0;
+  for (const auto& b : h.buckets) bucket_sum += b.count;
+  EXPECT_EQ(bucket_sum, 4u);
+  EXPECT_EQ(h.total_count, 94u);
+}
+
+TEST(CompressedDenseTest, AllRowsInSingletons) {
+  DenseCounts dense = MakeDense({9, 0, 8});
+  Histogram h = CompressedDense(dense, 4, 2);
+  EXPECT_EQ(h.singletons.size(), 2u);
+  EXPECT_TRUE(h.buckets.empty());
+}
+
+TEST(CompressedDenseTest, AccountingInvariant) {
+  Rng rng(41);
+  std::vector<uint64_t> counts(500);
+  for (auto& c : counts) c = rng.NextBounded(100);
+  DenseCounts dense = MakeDense(std::move(counts));
+  Histogram h = CompressedDense(dense, 16, 8);
+  uint64_t total = 0;
+  for (const auto& s : h.singletons) total += s.count;
+  for (const auto& b : h.buckets) total += b.count;
+  EXPECT_EQ(total, dense.TotalCount());
+}
+
+// --------------------------------------------------------------------------
+// Equi-width
+
+TEST(EquiWidthDenseTest, FixedWidthRanges) {
+  DenseCounts dense = MakeDense({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  Histogram h = EquiWidthDense(dense, 5);
+  ASSERT_EQ(h.buckets.size(), 5u);
+  for (const auto& b : h.buckets) EXPECT_EQ(b.hi - b.lo, 1);
+  EXPECT_EQ(h.buckets[0].count, 3u);   // 1+2
+  EXPECT_EQ(h.buckets[4].count, 19u);  // 9+10
+}
+
+TEST(EquiWidthDenseTest, EmitsEmptyRangeBuckets) {
+  DenseCounts dense = MakeDense({5, 0, 0, 0, 0, 5});
+  Histogram h = EquiWidthDense(dense, 3);
+  ASSERT_EQ(h.buckets.size(), 3u);
+  EXPECT_EQ(h.buckets[1].count, 0u);  // the hole is represented
+}
+
+}  // namespace
+}  // namespace dphist::hist

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hist/builders.h"
+#include "hist/dense_reference.h"
+#include "hist/error.h"
+#include "hist/sampling.h"
+#include "hist/types.h"
+
+namespace dphist::hist {
+namespace {
+
+TEST(AccuracyTest, PerfectHistogramHasZeroError) {
+  // One bucket per value reconstructs exactly.
+  DenseCounts dense;
+  dense.min_value = 0;
+  dense.counts = {3, 7, 1, 9};
+  Histogram h = EquiWidthDense(dense, 4);
+  Rng rng(61);
+  AccuracyReport report = EvaluateAccuracy(dense, h, 100, &rng);
+  EXPECT_DOUBLE_EQ(report.reconstruction_sse, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_abs_point_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_range_error, 0.0);
+}
+
+TEST(AccuracyTest, CoarserHistogramsHaveLargerError) {
+  Rng data_rng(67);
+  DenseCounts dense;
+  dense.min_value = 0;
+  dense.counts.resize(512);
+  for (auto& c : dense.counts) c = data_rng.NextBounded(100);
+  Rng rng(71);
+  Histogram fine = EquiDepthDense(dense, 64);
+  Histogram coarse = EquiDepthDense(dense, 4);
+  AccuracyReport fine_report = EvaluateAccuracy(dense, fine, 200, &rng);
+  Rng rng2(71);
+  AccuracyReport coarse_report = EvaluateAccuracy(dense, coarse, 200, &rng2);
+  EXPECT_LT(fine_report.reconstruction_sse, coarse_report.reconstruction_sse);
+  EXPECT_LE(fine_report.mean_range_error,
+            coarse_report.mean_range_error + 1e-9);
+}
+
+TEST(AccuracyTest, CompressedBeatsEquiDepthOnSpikes) {
+  // Paper Section 3: Compressed mitigates the heavy-hitter smearing of
+  // equi-depth.
+  DenseCounts dense;
+  dense.min_value = 0;
+  dense.counts.assign(256, 20);
+  dense.counts[17] = 5000;
+  dense.counts[200] = 4000;
+  Rng rng(73);
+  AccuracyReport ed =
+      EvaluateAccuracy(dense, EquiDepthDense(dense, 16), 100, &rng);
+  Rng rng2(73);
+  AccuracyReport cp =
+      EvaluateAccuracy(dense, CompressedDense(dense, 16, 8), 100, &rng2);
+  EXPECT_LT(cp.max_abs_point_error, ed.max_abs_point_error);
+  EXPECT_LT(cp.reconstruction_sse, ed.reconstruction_sse);
+}
+
+TEST(BernoulliSampleTest, RateControlsSize) {
+  Rng rng(79);
+  std::vector<int64_t> data(100000, 1);
+  auto sample = BernoulliSample(data, 0.1, &rng);
+  EXPECT_NEAR(sample.size(), 10000, 600);
+  auto all = BernoulliSample(data, 1.0, &rng);
+  EXPECT_EQ(all.size(), data.size());
+}
+
+TEST(BernoulliSampleTest, PreservesValueDistribution) {
+  Rng data_rng(83);
+  std::vector<int64_t> data;
+  for (int i = 0; i < 50000; ++i) data.push_back(data_rng.NextInRange(0, 9));
+  Rng rng(89);
+  auto sample = BernoulliSample(data, 0.2, &rng);
+  std::vector<int> counts(10, 0);
+  for (int64_t v : sample) ++counts[v];
+  for (int c : counts) EXPECT_NEAR(c, sample.size() / 10.0, 300);
+}
+
+TEST(ReservoirSampleTest, ExactSizeAndMembership) {
+  Rng rng(97);
+  std::vector<int64_t> data;
+  for (int64_t i = 0; i < 1000; ++i) data.push_back(i);
+  auto sample = ReservoirSample(data, 50, &rng);
+  EXPECT_EQ(sample.size(), 50u);
+  for (int64_t v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000);
+  }
+  // Fewer items than k: keep them all.
+  auto tiny = ReservoirSample(std::span(data.data(), 5), 50, &rng);
+  EXPECT_EQ(tiny.size(), 5u);
+}
+
+TEST(ReservoirSampleTest, RoughlyUniformInclusion) {
+  std::vector<int64_t> data;
+  for (int64_t i = 0; i < 100; ++i) data.push_back(i);
+  std::vector<int> inclusion(100, 0);
+  for (uint64_t seed = 0; seed < 2000; ++seed) {
+    Rng rng(seed);
+    for (int64_t v : ReservoirSample(data, 10, &rng)) ++inclusion[v];
+  }
+  // Each element should be included ~10 % of the time.
+  for (int count : inclusion) EXPECT_NEAR(count, 200, 80);
+}
+
+TEST(SamplingAccuracyTest, UndersamplingMissesSpikes) {
+  // The paper's Section 6.2 scenario: small spikes (2000 rows in 6M)
+  // randomly vanish from a low-rate sample's histogram.
+  Rng data_rng(101);
+  std::vector<int64_t> data;
+  constexpr int64_t kDomain = 10000;
+  for (int i = 0; i < 400000; ++i) {
+    data.push_back(data_rng.NextInRange(0, kDomain - 1));
+  }
+  constexpr int64_t kSpikeValue = 4242;
+  for (int i = 0; i < 300; ++i) data.push_back(kSpikeValue);
+
+  // Full-data Compressed histogram always sees the spike.
+  DenseCounts dense = BuildDenseCounts(data, 0, kDomain - 1);
+  Histogram full = CompressedDense(dense, 64, 16);
+  bool full_sees_spike = false;
+  for (const auto& s : full.singletons) {
+    full_sees_spike |= (s.value == kSpikeValue);
+  }
+  EXPECT_TRUE(full_sees_spike);
+
+  // A 0.5 % sample (expected 1.5 spike copies) misses the spike in its
+  // top-16 list for a nontrivial fraction of resamples — the plan-
+  // oscillation mechanism of Section 6.2.
+  int misses = 0;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(200 + trial);
+    auto sample = BernoulliSample(data, 0.005, &rng);
+    FrequencyVector freqs = BuildFrequencyVector(sample);
+    auto top = TopKSparse(freqs, 16);
+    bool seen = false;
+    for (const auto& s : top) seen |= (s.value == kSpikeValue);
+    misses += !seen;
+  }
+  EXPECT_GT(misses, 0);
+}
+
+}  // namespace
+}  // namespace dphist::hist

@@ -1,0 +1,96 @@
+#include "hist/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "hist/builders.h"
+#include "hist/dense_reference.h"
+
+namespace dphist::hist {
+namespace {
+
+Histogram SimpleHistogram() {
+  Histogram h;
+  h.type = HistogramType::kEquiDepth;
+  h.min_value = 0;
+  h.max_value = 19;
+  h.total_count = 200;
+  h.buckets.push_back(Bucket{0, 9, 100, 10});
+  h.buckets.push_back(Bucket{10, 19, 100, 10});
+  return h;
+}
+
+TEST(EstimatorTest, EqualsUniformWithinBucket) {
+  Histogram h = SimpleHistogram();
+  Estimator est(&h);
+  EXPECT_DOUBLE_EQ(est.EstimateEquals(5), 10.0);   // 100 / 10 distinct
+  EXPECT_DOUBLE_EQ(est.EstimateEquals(15), 10.0);
+  EXPECT_DOUBLE_EQ(est.EstimateEquals(99), 0.0);   // outside all buckets
+}
+
+TEST(EstimatorTest, SingletonsAreExact) {
+  Histogram h = SimpleHistogram();
+  h.singletons.push_back(ValueCount{5, 77});
+  Estimator est(&h);
+  EXPECT_DOUBLE_EQ(est.EstimateEquals(5), 77.0);
+}
+
+TEST(EstimatorTest, FullRangeReturnsTotal) {
+  Histogram h = SimpleHistogram();
+  Estimator est(&h);
+  EXPECT_DOUBLE_EQ(est.EstimateRange(0, 19), 200.0);
+  EXPECT_DOUBLE_EQ(est.EstimateRange(-100, 100), 200.0);
+}
+
+TEST(EstimatorTest, PartialRangeInterpolates) {
+  Histogram h = SimpleHistogram();
+  Estimator est(&h);
+  // Half of the first bucket's range.
+  EXPECT_DOUBLE_EQ(est.EstimateRange(0, 4), 50.0);
+  // Spanning the bucket boundary.
+  EXPECT_DOUBLE_EQ(est.EstimateRange(5, 14), 100.0);
+}
+
+TEST(EstimatorTest, LessAndGreater) {
+  Histogram h = SimpleHistogram();
+  Estimator est(&h);
+  EXPECT_DOUBLE_EQ(est.EstimateLess(10), 100.0);
+  EXPECT_DOUBLE_EQ(est.EstimateGreater(9), 100.0);
+  EXPECT_DOUBLE_EQ(est.EstimateLess(0), 0.0);
+  EXPECT_DOUBLE_EQ(est.EstimateGreater(19), 0.0);
+  EXPECT_DOUBLE_EQ(est.EstimateLess(-5), 0.0);
+}
+
+TEST(EstimatorTest, EmptyRange) {
+  Histogram h = SimpleHistogram();
+  Estimator est(&h);
+  EXPECT_DOUBLE_EQ(est.EstimateRange(7, 3), 0.0);
+}
+
+TEST(EstimatorTest, SingletonInsideRangeCounted) {
+  Histogram h = SimpleHistogram();
+  h.singletons.push_back(ValueCount{25, 30});  // outside bucket coverage
+  h.max_value = 25;
+  h.total_count = 230;
+  Estimator est(&h);
+  EXPECT_DOUBLE_EQ(est.EstimateRange(20, 30), 30.0);
+  EXPECT_DOUBLE_EQ(est.EstimateRange(0, 30), 230.0);
+}
+
+TEST(EstimatorTest, CompressedHistogramSpikesExactOnRealData) {
+  // The motivating scenario: a spike the equi-depth histogram smears is
+  // exact under the Compressed histogram.
+  DenseCounts dense;
+  dense.min_value = 0;
+  dense.counts.assign(100, 10);
+  dense.counts[42] = 2000;  // spike
+  Histogram equi_depth = EquiDepthDense(dense, 10);
+  Histogram compressed = CompressedDense(dense, 10, 4);
+  Estimator ed(&equi_depth);
+  Estimator cp(&compressed);
+  EXPECT_DOUBLE_EQ(cp.EstimateEquals(42), 2000.0);
+  // Equi-depth underestimates the spike badly.
+  EXPECT_LT(ed.EstimateEquals(42), 2000.0);
+}
+
+}  // namespace
+}  // namespace dphist::hist

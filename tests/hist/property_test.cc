@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "hist/dense_reference.h"
+#include "hist/estimator.h"
+#include "hist/types.h"
+#include "hist/v_optimal.h"
+
+namespace dphist::hist {
+namespace {
+
+/// Parameterized invariant sweep over (distribution, cardinality, bucket
+/// count): structural properties every histogram family must satisfy on
+/// every input.
+struct Params {
+  const char* distribution;
+  uint64_t cardinality;
+  uint32_t buckets;
+  double zipf_s;
+};
+
+class HistogramPropertyTest : public ::testing::TestWithParam<Params> {
+ protected:
+  DenseCounts GenerateDense() {
+    const Params& p = GetParam();
+    Rng rng(1234 + p.cardinality * 7 + p.buckets);
+    DenseCounts dense;
+    dense.min_value = -static_cast<int64_t>(p.cardinality / 2);
+    dense.counts.assign(p.cardinality, 0);
+    constexpr uint64_t kRows = 20000;
+    if (p.zipf_s >= 0) {
+      ZipfGenerator zipf(p.cardinality, p.zipf_s);
+      for (uint64_t i = 0; i < kRows; ++i) {
+        ++dense.counts[zipf.Sample(&rng) - 1];
+      }
+    } else {
+      // "holes": uniform but with 70% of the domain empty.
+      for (uint64_t i = 0; i < kRows; ++i) {
+        uint64_t bin = rng.NextBounded(p.cardinality);
+        if (bin % 10 < 3) ++dense.counts[bin];
+      }
+    }
+    return dense;
+  }
+};
+
+TEST_P(HistogramPropertyTest, EquiDepthInvariants) {
+  DenseCounts dense = GenerateDense();
+  Histogram h = EquiDepthDense(dense, GetParam().buckets);
+  uint64_t sum = 0;
+  int64_t prev_hi = dense.min_value - 1;
+  for (const auto& b : h.buckets) {
+    EXPECT_EQ(b.lo, prev_hi + 1);  // contiguous coverage from the start
+    EXPECT_LE(b.lo, b.hi);
+    EXPECT_GT(b.count, 0u);
+    EXPECT_GE(b.distinct, 1u);
+    EXPECT_LE(b.distinct, static_cast<uint64_t>(b.hi - b.lo) + 1);
+    sum += b.count;
+    prev_hi = b.hi;
+  }
+  EXPECT_EQ(sum, dense.TotalCount());
+  // Bucket count stays within budget + remainder bucket.
+  EXPECT_LE(h.buckets.size(), static_cast<size_t>(GetParam().buckets) + 1);
+}
+
+TEST_P(HistogramPropertyTest, MaxDiffInvariants) {
+  DenseCounts dense = GenerateDense();
+  Histogram h = MaxDiffDense(dense, GetParam().buckets);
+  uint64_t sum = 0;
+  int64_t prev_hi = dense.min_value - 1;
+  for (const auto& b : h.buckets) {
+    EXPECT_GT(b.lo, prev_hi);  // ordered, non-overlapping
+    EXPECT_LE(b.lo, b.hi);
+    EXPECT_GT(b.count, 0u);
+    sum += b.count;
+    prev_hi = b.hi;
+  }
+  EXPECT_EQ(sum, dense.TotalCount());
+  EXPECT_LE(h.buckets.size(), static_cast<size_t>(GetParam().buckets));
+}
+
+TEST_P(HistogramPropertyTest, CompressedInvariants) {
+  DenseCounts dense = GenerateDense();
+  const uint32_t top_k = 8;
+  Histogram h = CompressedDense(dense, GetParam().buckets, top_k);
+  EXPECT_LE(h.singletons.size(), static_cast<size_t>(top_k));
+  uint64_t total = 0;
+  for (const auto& s : h.singletons) {
+    // Singletons hold exact counts.
+    size_t bin = static_cast<size_t>(s.value - dense.min_value);
+    EXPECT_EQ(s.count, dense.counts[bin]);
+    total += s.count;
+  }
+  for (const auto& b : h.buckets) total += b.count;
+  EXPECT_EQ(total, dense.TotalCount());
+  // Singletons are the true top-k: every non-singleton count is <= the
+  // smallest singleton count.
+  if (h.singletons.size() == top_k) {
+    uint64_t smallest = h.singletons.back().count;
+    for (size_t i = 0; i < dense.counts.size(); ++i) {
+      bool is_singleton = false;
+      for (const auto& s : h.singletons) {
+        is_singleton |=
+            (s.value == dense.ValueOfBin(i));
+      }
+      if (!is_singleton) {
+        EXPECT_LE(dense.counts[i], smallest);
+      }
+    }
+  }
+}
+
+TEST_P(HistogramPropertyTest, TopKMatchesGlobalSort) {
+  DenseCounts dense = GenerateDense();
+  const uint32_t k = 16;
+  auto top = TopKDense(dense, k);
+  // Entries strictly ordered by (count desc, value asc).
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_TRUE(top[i - 1].count > top[i].count ||
+                (top[i - 1].count == top[i].count &&
+                 top[i - 1].value < top[i].value));
+  }
+  // No excluded value beats the last included one.
+  if (top.size() == k) {
+    for (size_t i = 0; i < dense.counts.size(); ++i) {
+      bool included = false;
+      for (const auto& e : top) included |= (e.value == dense.ValueOfBin(i));
+      if (!included) {
+        EXPECT_LE(dense.counts[i], top.back().count);
+      }
+    }
+  }
+}
+
+TEST_P(HistogramPropertyTest, EstimatorTotalMatchesRange) {
+  DenseCounts dense = GenerateDense();
+  Histogram h = EquiDepthDense(dense, GetParam().buckets);
+  Estimator est(&h);
+  double full = est.EstimateRange(
+      dense.min_value,
+      dense.min_value + static_cast<int64_t>(dense.counts.size()));
+  EXPECT_NEAR(full, static_cast<double>(dense.TotalCount()),
+              1e-6 * static_cast<double>(dense.TotalCount()) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HistogramPropertyTest,
+    ::testing::Values(
+        Params{"uniform", 64, 8, 0.0}, Params{"uniform", 1000, 16, 0.0},
+        Params{"uniform", 2048, 64, 0.0}, Params{"zipf035", 2048, 16, 0.35},
+        Params{"zipf075", 2048, 16, 0.75}, Params{"zipf100", 2048, 16, 1.0},
+        Params{"zipf100", 511, 7, 1.0}, Params{"zipf150", 100, 4, 1.5},
+        Params{"holes", 1024, 16, -1.0}, Params{"holes", 333, 5, -1.0},
+        Params{"tiny", 4, 2, 0.0}, Params{"onebucket", 512, 1, 1.0}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return std::string(info.param.distribution) + "_c" +
+             std::to_string(info.param.cardinality) + "_b" +
+             std::to_string(info.param.buckets);
+    });
+
+}  // namespace
+}  // namespace dphist::hist

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hist/dense_reference.h"
+#include "hist/incremental.h"
+#include "hist/serialize.h"
+#include "hist/types.h"
+#include "workload/distributions.h"
+
+namespace dphist::hist {
+namespace {
+
+Histogram SampleHistogram() {
+  auto column = workload::ZipfColumn(20000, 512, 0.9, 3);
+  return CompressedDense(BuildDenseCounts(column, 1, 512), 16, 8);
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  Histogram original = SampleHistogram();
+  auto bytes = SerializeHistogram(original);
+  auto decoded = DeserializeHistogram(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->type, original.type);
+  EXPECT_EQ(decoded->min_value, original.min_value);
+  EXPECT_EQ(decoded->max_value, original.max_value);
+  EXPECT_EQ(decoded->total_count, original.total_count);
+  EXPECT_EQ(decoded->buckets, original.buckets);
+  EXPECT_EQ(decoded->singletons, original.singletons);
+}
+
+TEST(SerializeTest, NegativeDomainsSurvive) {
+  Histogram h;
+  h.type = HistogramType::kEquiDepth;
+  h.min_value = -1000;
+  h.max_value = -1;
+  h.total_count = 7;
+  h.buckets.push_back(Bucket{-1000, -500, 4, 2});
+  h.buckets.push_back(Bucket{-499, -1, 3, 3});
+  auto decoded = DeserializeHistogram(SerializeHistogram(h));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->buckets, h.buckets);
+}
+
+TEST(SerializeTest, EmptyHistogram) {
+  Histogram h;
+  auto decoded = DeserializeHistogram(SerializeHistogram(h));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->buckets.empty());
+  EXPECT_TRUE(decoded->singletons.empty());
+}
+
+TEST(SerializeTest, RejectsCorruptInput) {
+  Histogram h = SampleHistogram();
+  auto bytes = SerializeHistogram(h);
+  // Truncations at every boundary class.
+  EXPECT_FALSE(DeserializeHistogram({}).ok());
+  EXPECT_FALSE(
+      DeserializeHistogram(std::span(bytes.data(), 1)).ok());
+  EXPECT_FALSE(
+      DeserializeHistogram(std::span(bytes.data(), 20)).ok());
+  EXPECT_FALSE(
+      DeserializeHistogram(std::span(bytes.data(), bytes.size() - 3))
+          .ok());
+  // Wrong version byte.
+  auto bad_version = bytes;
+  bad_version[0] = 99;
+  EXPECT_FALSE(DeserializeHistogram(bad_version).ok());
+  // Trailing garbage.
+  auto trailing = bytes;
+  trailing.push_back(0);
+  trailing.resize(trailing.size() + 7, 0);
+  EXPECT_FALSE(DeserializeHistogram(trailing).ok());
+  // Absurd entry counts cannot make us over-allocate.
+  auto inflated = bytes;
+  inflated[2 + 24] = 0xFF;  // low byte of num_buckets
+  EXPECT_FALSE(DeserializeHistogram(
+                   std::span(inflated.data(), 2 + 5 * 8))
+                   .ok());
+}
+
+TEST(IncrementalTest, InsertsTrackedInCoveringBucket) {
+  Histogram h;
+  h.min_value = 0;
+  h.max_value = 29;
+  h.total_count = 30;
+  h.buckets = {Bucket{0, 9, 10, 10}, Bucket{10, 19, 10, 10},
+               Bucket{20, 29, 10, 10}};
+  IncrementalEquiDepth inc(h);
+  inc.Insert(15);
+  inc.Insert(15);
+  EXPECT_EQ(inc.histogram().buckets[1].count, 12u);
+  EXPECT_EQ(inc.histogram().total_count, 32u);
+  EXPECT_EQ(inc.inserts_absorbed(), 2u);
+}
+
+TEST(IncrementalTest, OutOfRangeStretchesEdgeBuckets) {
+  Histogram h;
+  h.min_value = 10;
+  h.max_value = 19;
+  h.total_count = 10;
+  h.buckets = {Bucket{10, 14, 5, 5}, Bucket{15, 19, 5, 5}};
+  IncrementalEquiDepth inc(h);
+  inc.Insert(3);
+  inc.Insert(40);
+  EXPECT_EQ(inc.histogram().buckets.front().lo, 3);
+  EXPECT_EQ(inc.histogram().buckets.back().hi, 40);
+  EXPECT_EQ(inc.histogram().min_value, 3);
+  EXPECT_EQ(inc.histogram().max_value, 40);
+}
+
+TEST(IncrementalTest, DeletesAbsorbed) {
+  Histogram h;
+  h.min_value = 0;
+  h.max_value = 9;
+  h.total_count = 10;
+  h.buckets = {Bucket{0, 9, 10, 10}};
+  IncrementalEquiDepth inc(h);
+  inc.Delete(5);
+  EXPECT_EQ(inc.histogram().total_count, 9u);
+  inc.Delete(100);  // outside: ignored
+  EXPECT_EQ(inc.histogram().total_count, 9u);
+  EXPECT_EQ(inc.deletes_absorbed(), 1u);
+}
+
+TEST(IncrementalTest, DriftTriggersRebuildSignal) {
+  // Start balanced; flood one bucket's range (the paper's update
+  // scenario) and watch the imbalance grow past the rebuild threshold.
+  auto column = workload::UniformColumn(10000, 1, 1000, 7);
+  Histogram h = EquiDepthDense(BuildDenseCounts(column, 1, 1000), 10);
+  IncrementalEquiDepth inc(std::move(h));
+  EXPECT_LT(inc.ImbalanceRatio(), 1.3);
+  EXPECT_FALSE(inc.NeedsRebuild());
+  for (int i = 0; i < 5000; ++i) inc.Insert(42);
+  EXPECT_GT(inc.ImbalanceRatio(), 2.0);
+  EXPECT_TRUE(inc.NeedsRebuild());
+}
+
+TEST(IncrementalTest, EstimatesStayUsableUnderModestDrift) {
+  auto column = workload::UniformColumn(20000, 1, 1000, 9);
+  Histogram h = EquiDepthDense(BuildDenseCounts(column, 1, 1000), 20);
+  IncrementalEquiDepth inc(std::move(h));
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    inc.Insert(rng.NextInRange(1, 1000));  // uniform drift
+  }
+  // Total stays exact; the histogram remains near-balanced.
+  EXPECT_EQ(inc.histogram().total_count, 22000u);
+  EXPECT_LT(inc.ImbalanceRatio(), 1.5);
+}
+
+}  // namespace
+}  // namespace dphist::hist

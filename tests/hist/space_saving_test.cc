@@ -1,0 +1,84 @@
+#include "hist/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hist/dense_reference.h"
+#include "workload/distributions.h"
+
+namespace dphist::hist {
+namespace {
+
+TEST(SpaceSavingTest, ExactWhenUnderCapacity) {
+  SpaceSaving sketch(16);
+  for (int i = 0; i < 5; ++i) sketch.Offer(1);
+  for (int i = 0; i < 3; ++i) sketch.Offer(2);
+  sketch.Offer(3);
+  auto top = sketch.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (ValueCount{1, 5}));
+  EXPECT_EQ(top[1], (ValueCount{2, 3}));
+  EXPECT_EQ(top[2], (ValueCount{3, 1}));
+  EXPECT_EQ(sketch.max_error(), 0u);
+  EXPECT_EQ(sketch.items(), 9u);
+}
+
+TEST(SpaceSavingTest, NeverUndercounts) {
+  auto stream = workload::ZipfColumn(50000, 5000, 1.1, 3);
+  SpaceSaving sketch(64);
+  std::unordered_map<int64_t, uint64_t> truth;
+  for (int64_t v : stream) {
+    sketch.Offer(v);
+    ++truth[v];
+  }
+  for (const auto& entry : sketch.TopK(64)) {
+    EXPECT_GE(entry.count, truth[entry.value]) << "value " << entry.value;
+    EXPECT_LE(entry.count, truth[entry.value] + sketch.max_error());
+  }
+}
+
+TEST(SpaceSavingTest, HeavyHittersGuaranteedPresent) {
+  // Every value with true count > n/capacity must be monitored.
+  auto stream = workload::ZipfColumn(80000, 10000, 1.2, 7);
+  constexpr size_t kCapacity = 128;
+  SpaceSaving sketch(kCapacity);
+  std::unordered_map<int64_t, uint64_t> truth;
+  for (int64_t v : stream) {
+    sketch.Offer(v);
+    ++truth[v];
+  }
+  auto monitored = sketch.TopK(kCapacity);
+  const uint64_t threshold = 80000 / kCapacity;
+  for (const auto& [value, count] : truth) {
+    if (count <= threshold) continue;
+    bool present = false;
+    for (const auto& entry : monitored) present |= (entry.value == value);
+    EXPECT_TRUE(present) << "heavy hitter " << value << " (count "
+                         << count << ") evicted";
+  }
+}
+
+TEST(SpaceSavingTest, ErrorBoundIsItemsOverCapacity) {
+  auto stream = workload::UniformColumn(40000, 1, 100000, 11);
+  SpaceSaving sketch(100);
+  for (int64_t v : stream) sketch.Offer(v);
+  EXPECT_LE(sketch.max_error(), sketch.items() / sketch.capacity() + 1);
+}
+
+TEST(SpaceSavingTest, AgreesWithExactTopKOnSkewedData) {
+  // On heavy skew, the sketch's top entries match the exact TopK that
+  // the accelerator's binned representation yields.
+  auto stream = workload::ZipfColumn(60000, 2048, 1.3, 13);
+  SpaceSaving sketch(256);
+  for (int64_t v : stream) sketch.Offer(v);
+  DenseCounts dense = BuildDenseCounts(stream, 1, 2048);
+  auto exact = TopKDense(dense, 8);
+  auto approx = sketch.TopK(8);
+  ASSERT_EQ(approx.size(), exact.size());
+  for (size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(approx[i].value, exact[i].value) << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dphist::hist

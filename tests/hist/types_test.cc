@@ -1,0 +1,69 @@
+#include "hist/types.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist::hist {
+namespace {
+
+TEST(DenseCountsTest, BuildFromData) {
+  std::vector<int64_t> data = {5, 7, 5, 9, 5};
+  DenseCounts dense = BuildDenseCounts(data, 5, 9);
+  EXPECT_EQ(dense.min_value, 5);
+  ASSERT_EQ(dense.counts.size(), 5u);
+  EXPECT_EQ(dense.counts[0], 3u);  // value 5
+  EXPECT_EQ(dense.counts[2], 1u);  // value 7
+  EXPECT_EQ(dense.counts[4], 1u);  // value 9
+  EXPECT_EQ(dense.TotalCount(), 5u);
+  EXPECT_EQ(dense.NonZeroBins(), 3u);
+  EXPECT_EQ(dense.ValueOfBin(2), 7);
+}
+
+TEST(DenseCountsTest, NegativeDomain) {
+  std::vector<int64_t> data = {-3, -1, -3};
+  DenseCounts dense = BuildDenseCounts(data, -3, -1);
+  EXPECT_EQ(dense.counts[0], 2u);
+  EXPECT_EQ(dense.counts[2], 1u);
+  EXPECT_EQ(dense.ValueOfBin(0), -3);
+}
+
+TEST(FrequencyVectorTest, SortedAggregation) {
+  std::vector<int64_t> data = {9, 5, 7, 5, 5};
+  FrequencyVector freqs = BuildFrequencyVector(data);
+  ASSERT_EQ(freqs.size(), 3u);
+  EXPECT_EQ(freqs[0], (ValueCount{5, 3}));
+  EXPECT_EQ(freqs[1], (ValueCount{7, 1}));
+  EXPECT_EQ(freqs[2], (ValueCount{9, 1}));
+}
+
+TEST(FrequencyVectorTest, DenseToFrequenciesDropsZeros) {
+  DenseCounts dense;
+  dense.min_value = 10;
+  dense.counts = {2, 0, 0, 5};
+  FrequencyVector freqs = DenseToFrequencies(dense);
+  ASSERT_EQ(freqs.size(), 2u);
+  EXPECT_EQ(freqs[0], (ValueCount{10, 2}));
+  EXPECT_EQ(freqs[1], (ValueCount{13, 5}));
+}
+
+TEST(HistogramTest, ToStringMentionsTypeAndBuckets) {
+  Histogram h;
+  h.type = HistogramType::kMaxDiff;
+  h.buckets.push_back(Bucket{1, 5, 100, 5});
+  h.singletons.push_back(ValueCount{7, 42});
+  h.total_count = 142;
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("Max-diff"), std::string::npos);
+  EXPECT_NE(s.find("[1, 5]"), std::string::npos);
+  EXPECT_NE(s.find("value 7"), std::string::npos);
+}
+
+TEST(HistogramTest, TypeNames) {
+  EXPECT_STREQ(HistogramTypeName(HistogramType::kEquiWidth), "Equi-width");
+  EXPECT_STREQ(HistogramTypeName(HistogramType::kEquiDepth), "Equi-depth");
+  EXPECT_STREQ(HistogramTypeName(HistogramType::kCompressed), "Compressed");
+  EXPECT_STREQ(HistogramTypeName(HistogramType::kVOptimal), "V-optimal");
+  EXPECT_STREQ(HistogramTypeName(HistogramType::kTopK), "TopK");
+}
+
+}  // namespace
+}  // namespace dphist::hist

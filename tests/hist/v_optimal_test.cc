@@ -1,0 +1,123 @@
+#include "hist/v_optimal.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+#include "hist/dense_reference.h"
+#include "hist/types.h"
+
+namespace dphist::hist {
+namespace {
+
+DenseCounts MakeDense(std::vector<uint64_t> counts) {
+  DenseCounts dense;
+  dense.min_value = 0;
+  dense.counts = std::move(counts);
+  return dense;
+}
+
+/// Brute-force minimum SSE over all partitions of n bins into <= b
+/// contiguous segments (exponential; for tiny n only).
+double BruteForceBestSse(const DenseCounts& dense, uint32_t b) {
+  const size_t n = dense.counts.size();
+  double best = std::numeric_limits<double>::infinity();
+  // Enumerate boundary bitmasks over the n-1 gaps.
+  for (uint64_t mask = 0; mask < (1ULL << (n - 1)); ++mask) {
+    if (static_cast<uint32_t>(__builtin_popcountll(mask)) + 1 > b) continue;
+    double sse = 0.0;
+    size_t start = 0;
+    for (size_t i = 1; i <= n; ++i) {
+      bool cut = i == n || (mask >> (i - 1)) & 1;
+      if (!cut) continue;
+      double sum = 0;
+      for (size_t j = start; j < i; ++j) {
+        sum += static_cast<double>(dense.counts[j]);
+      }
+      double mean = sum / static_cast<double>(i - start);
+      for (size_t j = start; j < i; ++j) {
+        double d = static_cast<double>(dense.counts[j]) - mean;
+        sse += d * d;
+      }
+      start = i;
+    }
+    best = std::min(best, sse);
+  }
+  return best;
+}
+
+TEST(VOptimalTest, PerfectPartitionHasZeroSse) {
+  // Two plateaus: with 2 buckets the optimal SSE is exactly zero.
+  DenseCounts dense = MakeDense({5, 5, 5, 20, 20, 20});
+  Histogram h = VOptimalDense(dense, 2);
+  ASSERT_EQ(h.buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(PartitionSse(dense, h), 0.0);
+  EXPECT_EQ(h.buckets[0].hi, 2);
+  EXPECT_EQ(h.buckets[1].lo, 3);
+}
+
+TEST(VOptimalTest, MatchesBruteForceOnSmallInputs) {
+  Rng rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<uint64_t> counts(10);
+    for (auto& c : counts) c = rng.NextBounded(40);
+    DenseCounts dense = MakeDense(counts);
+    if (dense.TotalCount() == 0) continue;
+    for (uint32_t b : {2u, 3u, 4u}) {
+      Histogram h = VOptimalDense(dense, b);
+      EXPECT_NEAR(PartitionSse(dense, h), BruteForceBestSse(dense, b), 1e-6)
+          << "trial " << trial << " b=" << b;
+    }
+  }
+}
+
+TEST(VOptimalTest, NeverWorseThanHeuristics) {
+  // Poosala et al.: v-optimal is the best histogram under the SSE
+  // objective, so Max-diff and Equi-depth cannot beat it.
+  Rng rng(59);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<uint64_t> counts(60);
+    for (auto& c : counts) {
+      c = rng.NextBounded(20);
+      if (rng.NextBernoulli(0.1)) c *= 50;  // occasional spike
+    }
+    DenseCounts dense = MakeDense(counts);
+    if (dense.TotalCount() == 0) continue;
+    constexpr uint32_t kBuckets = 8;
+    double vopt = PartitionSse(dense, VOptimalDense(dense, kBuckets));
+    double maxdiff = PartitionSse(dense, MaxDiffDense(dense, kBuckets));
+    EXPECT_LE(vopt, maxdiff + 1e-6) << "trial " << trial;
+    // Equi-depth buckets do not necessarily cover all-zero tails; compare
+    // only when they cover the full range (common case here).
+    Histogram ed = EquiDepthDense(dense, kBuckets);
+    if (!ed.buckets.empty() &&
+        ed.buckets.back().hi ==
+            dense.min_value + static_cast<int64_t>(dense.counts.size()) - 1) {
+      EXPECT_LE(vopt, PartitionSse(dense, ed) + 1e-6) << "trial " << trial;
+    }
+  }
+}
+
+TEST(VOptimalTest, SingleBucketIsWholeRange) {
+  DenseCounts dense = MakeDense({1, 2, 3});
+  Histogram h = VOptimalDense(dense, 1);
+  ASSERT_EQ(h.buckets.size(), 1u);
+  EXPECT_EQ(h.buckets[0].count, 6u);
+}
+
+TEST(VOptimalTest, MoreBucketsThanBinsClamps) {
+  DenseCounts dense = MakeDense({4, 7});
+  Histogram h = VOptimalDense(dense, 10);
+  EXPECT_EQ(h.buckets.size(), 2u);
+  EXPECT_DOUBLE_EQ(PartitionSse(dense, h), 0.0);
+}
+
+TEST(VOptimalTest, EmptyDataNoBuckets) {
+  DenseCounts dense = MakeDense({0, 0});
+  Histogram h = VOptimalDense(dense, 3);
+  EXPECT_TRUE(h.buckets.empty());
+}
+
+}  // namespace
+}  // namespace dphist::hist

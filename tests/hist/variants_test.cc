@@ -1,0 +1,99 @@
+#include "hist/variants.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hist/estimator.h"
+#include "hist/types.h"
+
+namespace dphist::hist {
+namespace {
+
+FrequencyVector SampleFreqs() {
+  return {{10, 100}, {20, 5}, {30, 50}, {40, 5}, {50, 200}};
+}
+
+TEST(FrequencyHistogramTest, OneBucketPerValue) {
+  Histogram h = FrequencyHistogram(SampleFreqs(), 10);
+  ASSERT_EQ(h.buckets.size(), 5u);
+  for (size_t i = 0; i < h.buckets.size(); ++i) {
+    EXPECT_EQ(h.buckets[i].lo, h.buckets[i].hi);
+    EXPECT_EQ(h.buckets[i].distinct, 1u);
+  }
+  EXPECT_EQ(h.total_count, 360u);
+}
+
+TEST(FrequencyHistogramTest, EstimationIsExact) {
+  FrequencyVector freqs = SampleFreqs();
+  Histogram h = FrequencyHistogram(freqs, 10);
+  Estimator estimator(&h);
+  for (const auto& f : freqs) {
+    EXPECT_DOUBLE_EQ(estimator.EstimateEquals(f.value),
+                     static_cast<double>(f.count));
+  }
+  EXPECT_DOUBLE_EQ(estimator.EstimateEquals(25), 0.0);
+  EXPECT_DOUBLE_EQ(estimator.EstimateRange(10, 30), 155.0);
+}
+
+TEST(FrequencyHistogramTest, ApplicabilityFollowsNdv) {
+  EXPECT_TRUE(FrequencyHistogramApplicable(SampleFreqs(), 5));
+  EXPECT_FALSE(FrequencyHistogramApplicable(SampleFreqs(), 4));
+}
+
+TEST(FrequencyHistogramDeathTest, OverBudgetAborts) {
+  EXPECT_DEATH(FrequencyHistogram(SampleFreqs(), 2), "bucket budget");
+}
+
+TEST(EndBiasedTest, TopValuesExactRestSummarized) {
+  Histogram h = EndBiasedHistogram(SampleFreqs(), 2);
+  ASSERT_EQ(h.singletons.size(), 2u);
+  EXPECT_EQ(h.singletons[0], (ValueCount{50, 200}));
+  EXPECT_EQ(h.singletons[1], (ValueCount{10, 100}));
+  ASSERT_EQ(h.buckets.size(), 1u);
+  EXPECT_EQ(h.buckets[0], (Bucket{20, 40, 60, 3}));
+  EXPECT_EQ(h.total_count, 360u);
+}
+
+TEST(EndBiasedTest, EstimatorUsesExactSingletons) {
+  Histogram h = EndBiasedHistogram(SampleFreqs(), 2);
+  Estimator estimator(&h);
+  EXPECT_DOUBLE_EQ(estimator.EstimateEquals(50), 200.0);
+  EXPECT_DOUBLE_EQ(estimator.EstimateEquals(10), 100.0);
+  // Residual values estimated from the one bucket.
+  EXPECT_NEAR(estimator.EstimateEquals(30), 60.0 / 3.0, 1e-9);
+}
+
+TEST(EndBiasedTest, AllValuesInTopList) {
+  Histogram h = EndBiasedHistogram(SampleFreqs(), 10);
+  EXPECT_EQ(h.singletons.size(), 5u);
+  EXPECT_TRUE(h.buckets.empty());
+}
+
+TEST(EndBiasedTest, EmptyInput) {
+  Histogram h = EndBiasedHistogram({}, 4);
+  EXPECT_TRUE(h.singletons.empty());
+  EXPECT_TRUE(h.buckets.empty());
+  EXPECT_EQ(h.total_count, 0u);
+}
+
+TEST(VariantsPropertyTest, CountsConserved) {
+  Rng rng(71);
+  FrequencyVector freqs;
+  uint64_t total = 0;
+  for (int64_t v = 0; v < 200; v += 2) {
+    uint64_t count = 1 + rng.NextBounded(100);
+    freqs.push_back(ValueCount{v, count});
+    total += count;
+  }
+  Histogram freq_hist = FrequencyHistogram(freqs, 256);
+  EXPECT_EQ(freq_hist.total_count, total);
+
+  Histogram end_biased = EndBiasedHistogram(freqs, 16);
+  uint64_t sum = 0;
+  for (const auto& s : end_biased.singletons) sum += s.count;
+  for (const auto& b : end_biased.buckets) sum += b.count;
+  EXPECT_EQ(sum, total);
+}
+
+}  // namespace
+}  // namespace dphist::hist

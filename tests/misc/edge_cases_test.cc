@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accel/blocks.h"
+#include "accel/histogram_module.h"
+#include "common/logging.h"
+#include "hist/estimator.h"
+#include "sim/dram.h"
+
+namespace dphist {
+namespace {
+
+/// Edge cases spanning modules that the per-module suites do not cover.
+
+TEST(LoggingTest, ThresholdFilters) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  // Below-threshold calls must be safe no-ops; above-threshold calls
+  // must format without crashing.
+  Log(LogLevel::kDebug, "dropped %d", 1);
+  Log(LogLevel::kError, "emitted %s", "fine");
+  SetLogLevel(saved);
+}
+
+TEST(HistogramModuleEdgeTest, ZeroBinsRunIsWellDefined) {
+  sim::Dram dram{sim::DramConfig{}};
+  dram.AllocateBins(0);
+  accel::HistogramModule module{accel::HistogramModuleConfig{}, &dram};
+  auto* ed = module.AddBlock(std::make_unique<accel::EquiDepthBlock>(8));
+  auto* md = module.AddBlock(std::make_unique<accel::MaxDiffBlock>(8));
+  accel::ModuleReport report = module.Run(0, 0, 0.0);
+  EXPECT_EQ(report.scans, 2u);  // the composite still requests its repeat
+  EXPECT_TRUE(ed->result().empty());
+  EXPECT_TRUE(md->result().empty());
+}
+
+TEST(HistogramModuleEdgeTest, SingleBinSingleRow) {
+  sim::Dram dram{sim::DramConfig{}};
+  dram.AllocateBins(1);
+  dram.WriteBin(0, 1);
+  accel::HistogramModule module{accel::HistogramModuleConfig{}, &dram};
+  auto* ed = module.AddBlock(std::make_unique<accel::EquiDepthBlock>(8));
+  auto* topk = module.AddBlock(std::make_unique<accel::TopKBlock>(4));
+  auto* cp = module.AddBlock(std::make_unique<accel::CompressedBlock>(8, 4));
+  module.Run(1, 1, 0.0);
+  ASSERT_EQ(ed->result().size(), 1u);
+  EXPECT_EQ(ed->result()[0], (accel::BinBucket{0, 0, 1, 1}));
+  ASSERT_EQ(topk->result().size(), 1u);
+  EXPECT_EQ(topk->result()[0].key, 1u);
+  // The single row lands in the singleton list; no residual bucket.
+  EXPECT_EQ(cp->singletons().size(), 1u);
+  EXPECT_TRUE(cp->result().empty());
+}
+
+TEST(EstimatorEdgeTest, ZeroDistinctFallsBackToWidth) {
+  hist::Histogram h;
+  h.min_value = 0;
+  h.max_value = 9;
+  h.total_count = 100;
+  h.buckets.push_back(hist::Bucket{0, 9, 100, 0});  // distinct unknown
+  hist::Estimator estimator(&h);
+  EXPECT_DOUBLE_EQ(estimator.EstimateEquals(5), 10.0);  // 100 / width 10
+}
+
+TEST(EstimatorEdgeTest, SingleValueBucket) {
+  hist::Histogram h;
+  h.min_value = 7;
+  h.max_value = 7;
+  h.total_count = 42;
+  h.buckets.push_back(hist::Bucket{7, 7, 42, 1});
+  hist::Estimator estimator(&h);
+  EXPECT_DOUBLE_EQ(estimator.EstimateEquals(7), 42.0);
+  EXPECT_DOUBLE_EQ(estimator.EstimateRange(7, 7), 42.0);
+  EXPECT_DOUBLE_EQ(estimator.EstimateLess(7), 0.0);
+  EXPECT_DOUBLE_EQ(estimator.EstimateGreater(7), 0.0);
+}
+
+TEST(DramEdgeTest, SameLineRepeatIsNear) {
+  sim::Dram dram{sim::DramConfig{}};
+  dram.AllocateBins(64);
+  dram.IssueWrite(0.0, 3);
+  dram.IssueWrite(0.0, 4);  // same 8-bin line
+  EXPECT_EQ(dram.stats().near_accesses, 1u);
+}
+
+TEST(DramEdgeTest, RequestAfterIdlePortStartsImmediately) {
+  sim::Dram dram{sim::DramConfig{}};
+  dram.AllocateBins(64);
+  dram.IssueRead(0.0, 0);
+  // A request long after the port went idle is serviced at request time.
+  double ready = dram.IssueRead(1000.0, 32);
+  EXPECT_DOUBLE_EQ(ready, 1000.0 + dram.config().latency_cycles);
+}
+
+}  // namespace
+}  // namespace dphist

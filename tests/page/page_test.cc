@@ -1,0 +1,127 @@
+#include "page/page.h"
+
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "page/schema.h"
+
+namespace dphist::page {
+namespace {
+
+Schema TestSchema() {
+  return Schema({
+      ColumnDef{"id", ColumnType::kInt32},
+      ColumnDef{"big", ColumnType::kInt64},
+      ColumnDef{"price", ColumnType::kDecimal2},
+      ColumnDef{"d1", ColumnType::kDateEpoch},
+      ColumnDef{"d2", ColumnType::kDateUnpacked},
+  });
+}
+
+TEST(SchemaTest, WidthsAndOffsets) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.row_width(), 4u + 8 + 8 + 4 + 4);
+  EXPECT_EQ(schema.column_offset(0), 0u);
+  EXPECT_EQ(schema.column_offset(1), 4u);
+  EXPECT_EQ(schema.column_offset(2), 12u);
+  EXPECT_EQ(schema.column_offset(3), 20u);
+  EXPECT_EQ(schema.column_offset(4), 24u);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(*schema.ColumnIndex("price"), 2u);
+  EXPECT_FALSE(schema.ColumnIndex("missing").ok());
+}
+
+TEST(SchemaTest, TypeNamesAndWidths) {
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kInt32), 4u);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kInt64), 8u);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kDecimal2), 8u);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kDateEpoch), 4u);
+  EXPECT_EQ(ColumnTypeWidth(ColumnType::kDateUnpacked), 4u);
+  EXPECT_STREQ(ColumnTypeName(ColumnType::kDecimal2), "DECIMAL(2)");
+}
+
+TEST(PageTest, RoundTripAllTypes) {
+  Schema schema = TestSchema();
+  PageBuilder builder(schema, 3);
+  int64_t epoch_days = ToEpochDays({1996, 7, 4});
+  const int64_t row0[] = {-5, 1234567890123LL, 200100, epoch_days,
+                          epoch_days};
+  const int64_t row1[] = {7, -9, -12345, 0, 0};
+  builder.AppendRow(row0);
+  builder.AppendRow(row1);
+  auto bytes = builder.Finish();
+  ASSERT_EQ(bytes.size(), kPageSize);
+
+  auto reader = PageReader::Open(bytes, schema);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->page_id(), 3u);
+  EXPECT_EQ(reader->tuple_count(), 2u);
+  for (size_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(reader->GetValue(0, c), row0[c]) << "col " << c;
+    EXPECT_EQ(reader->GetValue(1, c), row1[c]) << "col " << c;
+  }
+}
+
+TEST(PageTest, UnpackedDateWireFormatDiffersFromEpoch) {
+  Schema schema = TestSchema();
+  PageBuilder builder(schema, 0);
+  int64_t epoch_days = ToEpochDays({1996, 7, 4});
+  const int64_t row[] = {0, 0, 0, epoch_days, epoch_days};
+  builder.AppendRow(row);
+  auto bytes = builder.Finish();
+  auto reader = PageReader::Open(bytes, schema);
+  ASSERT_TRUE(reader.ok());
+  // The raw bytes differ (unpacked encoding) but decode identically.
+  auto raw = reader->RowBytes(0);
+  uint32_t packed, unpacked;
+  std::memcpy(&packed, raw.data() + schema.column_offset(3), 4);
+  std::memcpy(&unpacked, raw.data() + schema.column_offset(4), 4);
+  EXPECT_NE(packed, unpacked);
+  EXPECT_EQ(reader->GetValue(0, 3), reader->GetValue(0, 4));
+}
+
+TEST(PageTest, CapacityMatchesRowWidth) {
+  Schema schema = TestSchema();
+  uint32_t expected = (kPageSize - kPageHeaderSize) / schema.row_width();
+  EXPECT_EQ(RowsPerPage(schema.row_width()), expected);
+  PageBuilder builder(schema, 0);
+  const int64_t row[] = {1, 2, 3, 4, 5};
+  uint32_t appended = 0;
+  while (builder.HasSpace()) {
+    builder.AppendRow(row);
+    ++appended;
+  }
+  EXPECT_EQ(appended, expected);
+}
+
+TEST(PageTest, RejectsCorruptPages) {
+  Schema schema = TestSchema();
+  std::vector<uint8_t> wrong_size(100, 0);
+  EXPECT_FALSE(PageReader::Open(wrong_size, schema).ok());
+
+  PageBuilder builder(schema, 0);
+  auto bytes = builder.Finish();
+  bytes[0] ^= 0xFF;  // corrupt magic
+  EXPECT_FALSE(PageReader::Open(bytes, schema).ok());
+}
+
+TEST(PageTest, RejectsSchemaMismatch) {
+  Schema narrow({ColumnDef{"x", ColumnType::kInt32}});
+  PageBuilder builder(narrow, 0);
+  const int64_t row[] = {1};
+  builder.AppendRow(row);
+  auto bytes = builder.Finish();
+  EXPECT_FALSE(PageReader::Open(bytes, TestSchema()).ok());
+}
+
+TEST(FieldCodecTest, NegativeInt32RoundTrip) {
+  uint8_t buf[8];
+  EncodeField(-123456, ColumnType::kInt32, buf);
+  EXPECT_EQ(DecodeField(buf, ColumnType::kInt32), -123456);
+}
+
+}  // namespace
+}  // namespace dphist::page

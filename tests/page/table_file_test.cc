@@ -1,0 +1,82 @@
+#include "page/table_file.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist::page {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({ColumnDef{"a", ColumnType::kInt64},
+                 ColumnDef{"b", ColumnType::kInt32}});
+}
+
+TEST(TableFileTest, SpansMultiplePages) {
+  TableFile table(TwoColSchema());
+  const uint32_t per_page = RowsPerPage(table.schema().row_width());
+  const uint64_t rows = per_page * 3 + 5;
+  for (uint64_t i = 0; i < rows; ++i) {
+    const int64_t row[] = {static_cast<int64_t>(i), static_cast<int64_t>(-i)};
+    table.AppendRow(row);
+  }
+  table.Seal();
+  EXPECT_EQ(table.row_count(), rows);
+  EXPECT_EQ(table.page_count(), 4u);
+  EXPECT_EQ(table.size_bytes(), 4 * kPageSize);
+}
+
+TEST(TableFileTest, ReadColumnPreservesOrder) {
+  TableFile table(TwoColSchema());
+  for (int64_t i = 0; i < 1000; ++i) {
+    const int64_t row[] = {i * 3, 42};
+    table.AppendRow(row);
+  }
+  table.Seal();
+  auto column = table.ReadColumn(0);
+  ASSERT_EQ(column.size(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) EXPECT_EQ(column[i], i * 3);
+}
+
+TEST(TableFileTest, ForEachRowVisitsAll) {
+  TableFile table(TwoColSchema());
+  for (int64_t i = 0; i < 500; ++i) {
+    const int64_t row[] = {i, i + 1};
+    table.AppendRow(row);
+  }
+  table.Seal();
+  int64_t sum_a = 0;
+  int64_t sum_b = 0;
+  table.ForEachRow([&](std::span<const int64_t> row) {
+    sum_a += row[0];
+    sum_b += row[1];
+  });
+  EXPECT_EQ(sum_a, 499 * 500 / 2);
+  EXPECT_EQ(sum_b, 499 * 500 / 2 + 500);
+}
+
+TEST(TableFileTest, EmptyTableSeals) {
+  TableFile table(TwoColSchema());
+  table.Seal();
+  EXPECT_EQ(table.row_count(), 0u);
+  EXPECT_EQ(table.page_count(), 0u);
+  EXPECT_TRUE(table.ReadColumn(0).empty());
+}
+
+TEST(TableFileTest, PagesValidateAgainstSchema) {
+  TableFile table(TwoColSchema());
+  const int64_t row[] = {1, 2};
+  table.AppendRow(row);
+  table.Seal();
+  auto reader = table.OpenPage(0);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->tuple_count(), 1u);
+}
+
+TEST(TableFileDeathTest, AppendAfterSealAborts) {
+  TableFile table(TwoColSchema());
+  table.Seal();
+  const int64_t row[] = {1, 2};
+  EXPECT_DEATH(table.AppendRow(row), "sealed");
+}
+
+}  // namespace
+}  // namespace dphist::page

@@ -1,0 +1,29 @@
+#include "sim/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist::sim {
+namespace {
+
+TEST(ClockTest, DefaultIs150MHz) {
+  Clock clock;
+  EXPECT_DOUBLE_EQ(clock.frequency_hz(), 150e6);
+  EXPECT_NEAR(clock.CyclePeriodNs(), 6.6667, 1e-3);
+}
+
+TEST(ClockTest, CycleConversions) {
+  Clock clock(150e6);
+  EXPECT_DOUBLE_EQ(clock.CyclesToSeconds(150e6), 1.0);
+  EXPECT_DOUBLE_EQ(clock.CyclesToMillis(150e3), 1.0);
+  EXPECT_NEAR(clock.CyclesToNanos(60), 400.0, 1e-9);  // paper's 0.4 us
+  EXPECT_DOUBLE_EQ(clock.SecondsToCycles(2.0), 300e6);
+}
+
+TEST(ClockTest, OtherFrequencies) {
+  Clock clock(240e6);  // Equi-depth block ceiling from Table 2
+  EXPECT_NEAR(clock.CyclePeriodNs(), 4.1667, 1e-3);
+  EXPECT_DOUBLE_EQ(clock.CyclesToSeconds(240e6), 1.0);
+}
+
+}  // namespace
+}  // namespace dphist::sim

@@ -1,0 +1,125 @@
+#include "sim/dram.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/bram.h"
+#include "sim/link.h"
+
+namespace dphist::sim {
+namespace {
+
+DramConfig SmallConfig() {
+  DramConfig config;
+  config.capacity_bytes = 1 << 20;
+  return config;
+}
+
+TEST(DramTest, AllocateAndFunctionalAccess) {
+  Dram dram(SmallConfig());
+  dram.AllocateBins(100);
+  EXPECT_EQ(dram.allocated_bins(), 100u);
+  EXPECT_EQ(dram.ReadBin(42), 0u);
+  dram.WriteBin(42, 7);
+  EXPECT_EQ(dram.ReadBin(42), 7u);
+}
+
+TEST(DramTest, LineMapping) {
+  Dram dram(SmallConfig());
+  // 64-byte lines, 8-byte bins: 8 bins per line.
+  EXPECT_EQ(dram.config().bins_per_line(), 8u);
+  EXPECT_EQ(dram.LineOfBin(0), 0u);
+  EXPECT_EQ(dram.LineOfBin(7), 0u);
+  EXPECT_EQ(dram.LineOfBin(8), 1u);
+  EXPECT_EQ(dram.LineOfBin(63), 7u);
+}
+
+TEST(DramTest, ReadLatencyApplied) {
+  Dram dram(SmallConfig());
+  dram.AllocateBins(64);
+  double ready = dram.IssueRead(0.0, 0);
+  EXPECT_DOUBLE_EQ(ready, dram.config().latency_cycles);
+  EXPECT_EQ(dram.stats().reads, 1u);
+}
+
+TEST(DramTest, PortSerializesOperations) {
+  Dram dram(SmallConfig());
+  dram.AllocateBins(1024);
+  // Two random accesses to far-apart lines: second waits for the port.
+  dram.IssueRead(0.0, 0);
+  double free_after_first = dram.port_free_at();
+  EXPECT_DOUBLE_EQ(free_after_first, dram.config().random_interval_cycles);
+  dram.IssueRead(0.0, 512);
+  EXPECT_DOUBLE_EQ(dram.port_free_at(),
+                   2 * dram.config().random_interval_cycles);
+}
+
+TEST(DramTest, NearAccessIsFaster) {
+  Dram dram(SmallConfig());
+  dram.AllocateBins(1024);
+  dram.IssueRead(0.0, 0);
+  // Same line: near interval.
+  dram.IssueWrite(0.0, 1);
+  EXPECT_DOUBLE_EQ(dram.port_free_at(),
+                   dram.config().random_interval_cycles +
+                       dram.config().near_interval_cycles);
+  EXPECT_EQ(dram.stats().near_accesses, 1u);
+  EXPECT_EQ(dram.stats().random_accesses, 1u);
+}
+
+TEST(DramTest, SequentialLineReadsAreNear) {
+  Dram dram(SmallConfig());
+  dram.AllocateBins(1024);
+  dram.IssueSequentialLineRead(0.0, 0);
+  dram.IssueSequentialLineRead(0.0, 1);
+  dram.IssueSequentialLineRead(0.0, 2);
+  // First is random, the following two are adjacent-line (near).
+  EXPECT_EQ(dram.stats().near_accesses, 2u);
+  EXPECT_EQ(dram.stats().random_accesses, 1u);
+}
+
+TEST(DramTest, ResetTimingClearsHorizonAndStats) {
+  Dram dram(SmallConfig());
+  dram.AllocateBins(64);
+  dram.WriteBin(3, 9);
+  dram.IssueRead(0.0, 0);
+  dram.ResetTiming();
+  EXPECT_DOUBLE_EQ(dram.port_free_at(), 0.0);
+  EXPECT_EQ(dram.stats().reads, 0u);
+  // Functional contents survive a timing reset.
+  EXPECT_EQ(dram.ReadBin(3), 9u);
+}
+
+TEST(DramTest, WorstCaseOpRateMatchesPaper) {
+  // A random read + random write pair per bin update = 7.5 cycles/update
+  // = 20 M updates/s = 40 M memory ops/s at 150 MHz (Table 1 worst case,
+  // Section 6.1's "40 million read or write accesses per second").
+  DramConfig config;
+  EXPECT_DOUBLE_EQ(2 * config.random_interval_cycles, 7.5);
+}
+
+TEST(BramTest, WordAccess) {
+  Bram bram(1024);
+  EXPECT_EQ(bram.capacity_bytes(), 1024u);
+  EXPECT_EQ(bram.word_count(), 128u);
+  bram.Write(5, 0xDEADBEEF);
+  EXPECT_EQ(bram.Read(5), 0xDEADBEEFu);
+  EXPECT_EQ(bram.Read(6), 0u);
+}
+
+TEST(LinkTest, TransferTimes) {
+  Link gbe = Link::GigabitEthernet();
+  // 1 Gbit/s: 125 MB takes ~1 s (plus latency).
+  EXPECT_NEAR(gbe.TransferSeconds(125000000), 1.0, 0.01);
+  Link pcie = Link::PcieGen1x8();
+  EXPECT_LT(pcie.TransferSeconds(125000000), 0.1);
+  EXPECT_GT(Link::TenGigabitEthernet().bandwidth_bps(),
+            gbe.bandwidth_bps());
+}
+
+TEST(LinkTest, LatencyDominatesSmallTransfers) {
+  Link gbe = Link::GigabitEthernet();
+  EXPECT_NEAR(gbe.TransferSeconds(0), gbe.latency_s(), 1e-12);
+}
+
+}  // namespace
+}  // namespace dphist::sim

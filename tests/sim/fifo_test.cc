@@ -1,0 +1,59 @@
+#include "sim/fifo.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist::sim {
+namespace {
+
+TEST(FifoTest, StartsEmpty) {
+  Fifo<int> fifo(4);
+  EXPECT_TRUE(fifo.Empty());
+  EXPECT_FALSE(fifo.Full());
+  EXPECT_EQ(fifo.size(), 0u);
+  EXPECT_EQ(fifo.capacity(), 4u);
+}
+
+TEST(FifoTest, PushPopFifoOrder) {
+  Fifo<int> fifo(4);
+  fifo.Push(1);
+  fifo.Push(2);
+  fifo.Push(3);
+  EXPECT_EQ(fifo.Front(), 1);
+  EXPECT_EQ(fifo.Pop(), 1);
+  EXPECT_EQ(fifo.Pop(), 2);
+  fifo.Push(4);
+  EXPECT_EQ(fifo.Pop(), 3);
+  EXPECT_EQ(fifo.Pop(), 4);
+  EXPECT_TRUE(fifo.Empty());
+}
+
+TEST(FifoTest, FullAtCapacity) {
+  Fifo<int> fifo(2);
+  fifo.Push(1);
+  EXPECT_FALSE(fifo.Full());
+  fifo.Push(2);
+  EXPECT_TRUE(fifo.Full());
+  fifo.Pop();
+  EXPECT_FALSE(fifo.Full());
+}
+
+TEST(FifoDeathTest, PushIntoFullAborts) {
+  Fifo<int> fifo(1);
+  fifo.Push(1);
+  EXPECT_DEATH(fifo.Push(2), "push into full Fifo");
+}
+
+TEST(FifoDeathTest, PopFromEmptyAborts) {
+  Fifo<int> fifo(1);
+  EXPECT_DEATH(fifo.Pop(), "pop from empty Fifo");
+}
+
+TEST(FifoTest, MoveOnlyPayload) {
+  Fifo<std::unique_ptr<int>> fifo(2);
+  fifo.Push(std::make_unique<int>(7));
+  auto p = fifo.Pop();
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace dphist::sim

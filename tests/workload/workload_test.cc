@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hist/types.h"
+#include "workload/distributions.h"
+#include "workload/tpch.h"
+
+namespace dphist::workload {
+namespace {
+
+TEST(LineitemTest, SchemaVariants) {
+  page::Schema eight = LineitemSchema(8);
+  EXPECT_EQ(eight.num_columns(), 8u);
+  EXPECT_EQ(*eight.ColumnIndex("l_extendedprice"), kLExtendedPrice);
+  EXPECT_EQ(eight.column(kLExtendedPrice).type,
+            page::ColumnType::kDecimal2);
+  page::Schema one = LineitemSchema(1);
+  EXPECT_EQ(one.num_columns(), 1u);
+  EXPECT_EQ(one.column(0).name, "l_quantity");
+}
+
+TEST(LineitemTest, RowCountFollowsScaleFactor) {
+  LineitemOptions options;
+  options.scale_factor = 0.001;  // 6000 rows
+  auto table = GenerateLineitem(options);
+  EXPECT_EQ(table.row_count(), 6000u);
+  options.row_limit = 1000;
+  EXPECT_EQ(GenerateLineitem(options).row_count(), 1000u);
+}
+
+TEST(LineitemTest, ValueRangesRespected) {
+  LineitemOptions options;
+  options.scale_factor = 0.002;
+  auto table = GenerateLineitem(options);
+  auto quantity = table.ReadColumn(kLQuantity);
+  auto price = table.ReadColumn(kLExtendedPrice);
+  auto tax = table.ReadColumn(kLTax);
+  for (size_t i = 0; i < quantity.size(); ++i) {
+    EXPECT_GE(quantity[i], kQuantityMin);
+    EXPECT_LE(quantity[i], kQuantityMax);
+    EXPECT_GE(price[i], kPriceScaledMin);
+    EXPECT_LE(price[i], kPriceScaledMax);
+    EXPECT_GE(tax[i], 0);
+    EXPECT_LE(tax[i], kTaxScaledMax);
+  }
+}
+
+TEST(LineitemTest, DeterministicForSeed) {
+  LineitemOptions options;
+  options.scale_factor = 0.001;
+  auto a = GenerateLineitem(options);
+  auto b = GenerateLineitem(options);
+  EXPECT_EQ(a.ReadColumn(kLExtendedPrice), b.ReadColumn(kLExtendedPrice));
+  options.seed = 43;
+  auto c = GenerateLineitem(options);
+  EXPECT_NE(a.ReadColumn(kLExtendedPrice), c.ReadColumn(kLExtendedPrice));
+}
+
+TEST(LineitemTest, SpikesInjectExactCounts) {
+  LineitemOptions options;
+  options.scale_factor = 0.005;
+  options.price_spikes.push_back(PriceSpike{200100, 1200});
+  options.price_spikes.push_back(PriceSpike{300000, 77});
+  auto table = GenerateLineitem(options);
+  auto price = table.ReadColumn(kLExtendedPrice);
+  uint64_t spike_a = 0;
+  uint64_t spike_b = 0;
+  for (int64_t p : price) {
+    spike_a += (p == 200100);
+    spike_b += (p == 300000);
+  }
+  EXPECT_GE(spike_a, 1200u);  // background rows can also hit the value
+  EXPECT_LE(spike_a, 1210u);
+  EXPECT_GE(spike_b, 77u);
+  EXPECT_LE(spike_b, 87u);
+}
+
+TEST(LineitemTest, HighAndLowCardinalityColumns) {
+  LineitemOptions options;
+  options.scale_factor = 0.01;
+  auto table = GenerateLineitem(options);
+  std::set<int64_t> quantity_values;
+  std::set<int64_t> price_values;
+  auto quantity = table.ReadColumn(kLQuantity);
+  auto price = table.ReadColumn(kLExtendedPrice);
+  for (size_t i = 0; i < quantity.size(); ++i) {
+    quantity_values.insert(quantity[i]);
+    price_values.insert(price[i]);
+  }
+  EXPECT_LE(quantity_values.size(), 50u);       // Figure 19's cheap column
+  EXPECT_GT(price_values.size(), 10000u);       // and its expensive one
+}
+
+TEST(CustomerTest, DenseKeysAndBalances) {
+  CustomerOptions options;
+  options.scale_factor = 0.01;  // 1500 rows
+  auto table = GenerateCustomer(options);
+  EXPECT_EQ(table.row_count(), 1500u);
+  auto keys = table.ReadColumn(kCCustKey);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], static_cast<int64_t>(i + 1));
+  }
+  auto balance = table.ReadColumn(kCAcctBal);
+  for (int64_t b : balance) {
+    EXPECT_GE(b, kAcctBalScaledMin);
+    EXPECT_LE(b, kAcctBalScaledMax);
+  }
+}
+
+TEST(DistributionsTest, UniformColumnBounds) {
+  auto column = UniformColumn(10000, -5, 5, 3);
+  for (int64_t v : column) {
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(DistributionsTest, ZipfSkewShiftsMass) {
+  auto flat = ZipfColumn(50000, 1000, 0.0, 7);
+  auto skewed = ZipfColumn(50000, 1000, 1.0, 7);
+  auto head_share = [](const std::vector<int64_t>& column) {
+    uint64_t head = 0;
+    for (int64_t v : column) head += (v <= 10);
+    return static_cast<double>(head) / column.size();
+  };
+  EXPECT_GT(head_share(skewed), 5 * head_share(flat));
+}
+
+TEST(DistributionsTest, CacheStreamsHaveClaimedShape) {
+  auto adversarial = CacheAdversarialColumn(1000, 65536, 8);
+  // Consecutive values never share or neighbor a memory line (8 bins).
+  for (size_t i = 1; i < adversarial.size(); ++i) {
+    int64_t line_a = (adversarial[i - 1] - 1) / 8;
+    int64_t line_b = (adversarial[i] - 1) / 8;
+    EXPECT_GT(std::abs(line_a - line_b), 1) << "at " << i;
+  }
+  auto friendly = CacheFriendlyColumn(100, 7);
+  for (int64_t v : friendly) EXPECT_EQ(v, 7);
+}
+
+TEST(DistributionsTest, ColumnToTableWrapsColumnZero) {
+  std::vector<int64_t> column = {9, 8, 7};
+  auto table = ColumnToTable(column, 5, 1);
+  EXPECT_EQ(table.schema().num_columns(), 5u);
+  EXPECT_EQ(table.ReadColumn(0), column);
+  EXPECT_EQ(table.row_count(), 3u);
+}
+
+}  // namespace
+}  // namespace dphist::workload
