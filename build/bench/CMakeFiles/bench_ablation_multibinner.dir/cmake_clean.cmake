@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multibinner.dir/bench_ablation_multibinner.cc.o"
+  "CMakeFiles/bench_ablation_multibinner.dir/bench_ablation_multibinner.cc.o.d"
+  "bench_ablation_multibinner"
+  "bench_ablation_multibinner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multibinner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

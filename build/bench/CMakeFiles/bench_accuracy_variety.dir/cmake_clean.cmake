@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_variety.dir/bench_accuracy_variety.cc.o"
+  "CMakeFiles/bench_accuracy_variety.dir/bench_accuracy_variety.cc.o.d"
+  "bench_accuracy_variety"
+  "bench_accuracy_variety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_variety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig01_query_plans.cc" "bench/CMakeFiles/bench_fig01_query_plans.dir/bench_fig01_query_plans.cc.o" "gcc" "bench/CMakeFiles/bench_fig01_query_plans.dir/bench_fig01_query_plans.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/dphist_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dphist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dphist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/dphist_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dphist_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dphist_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dphist_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dphist_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

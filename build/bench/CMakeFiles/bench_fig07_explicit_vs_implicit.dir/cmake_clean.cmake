@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_explicit_vs_implicit.dir/bench_fig07_explicit_vs_implicit.cc.o"
+  "CMakeFiles/bench_fig07_explicit_vs_implicit.dir/bench_fig07_explicit_vs_implicit.cc.o.d"
+  "bench_fig07_explicit_vs_implicit"
+  "bench_fig07_explicit_vs_implicit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_explicit_vs_implicit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

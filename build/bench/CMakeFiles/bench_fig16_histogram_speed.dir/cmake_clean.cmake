@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_histogram_speed.dir/bench_fig16_histogram_speed.cc.o"
+  "CMakeFiles/bench_fig16_histogram_speed.dir/bench_fig16_histogram_speed.cc.o.d"
+  "bench_fig16_histogram_speed"
+  "bench_fig16_histogram_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_histogram_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

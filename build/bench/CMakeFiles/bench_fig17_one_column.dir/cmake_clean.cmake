@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_one_column.dir/bench_fig17_one_column.cc.o"
+  "CMakeFiles/bench_fig17_one_column.dir/bench_fig17_one_column.cc.o.d"
+  "bench_fig17_one_column"
+  "bench_fig17_one_column.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_one_column.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

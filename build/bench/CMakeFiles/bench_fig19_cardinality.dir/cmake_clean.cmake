@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_cardinality.dir/bench_fig19_cardinality.cc.o"
+  "CMakeFiles/bench_fig19_cardinality.dir/bench_fig19_cardinality.cc.o.d"
+  "bench_fig19_cardinality"
+  "bench_fig19_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_plan_oscillation.dir/bench_fig21_plan_oscillation.cc.o"
+  "CMakeFiles/bench_fig21_plan_oscillation.dir/bench_fig21_plan_oscillation.cc.o.d"
+  "bench_fig21_plan_oscillation"
+  "bench_fig21_plan_oscillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_plan_oscillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

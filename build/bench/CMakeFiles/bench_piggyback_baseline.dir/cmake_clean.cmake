@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_piggyback_baseline.dir/bench_piggyback_baseline.cc.o"
+  "CMakeFiles/bench_piggyback_baseline.dir/bench_piggyback_baseline.cc.o.d"
+  "bench_piggyback_baseline"
+  "bench_piggyback_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_piggyback_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

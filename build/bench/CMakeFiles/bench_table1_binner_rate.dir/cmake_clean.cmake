@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_binner_rate.dir/bench_table1_binner_rate.cc.o"
+  "CMakeFiles/bench_table1_binner_rate.dir/bench_table1_binner_rate.cc.o.d"
+  "bench_table1_binner_rate"
+  "bench_table1_binner_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_binner_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

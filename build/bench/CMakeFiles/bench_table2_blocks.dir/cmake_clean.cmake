@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_blocks.dir/bench_table2_blocks.cc.o"
+  "CMakeFiles/bench_table2_blocks.dir/bench_table2_blocks.cc.o.d"
+  "bench_table2_blocks"
+  "bench_table2_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dphist_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/dphist_bench_util.dir/bench_util.cc.o.d"
+  "libdphist_bench_util.a"
+  "libdphist_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dphist_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

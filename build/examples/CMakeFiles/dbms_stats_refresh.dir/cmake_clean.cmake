@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbms_stats_refresh.dir/dbms_stats_refresh.cpp.o"
+  "CMakeFiles/dbms_stats_refresh.dir/dbms_stats_refresh.cpp.o.d"
+  "dbms_stats_refresh"
+  "dbms_stats_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbms_stats_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

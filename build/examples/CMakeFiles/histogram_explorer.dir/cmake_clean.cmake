@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_explorer.dir/histogram_explorer.cpp.o"
+  "CMakeFiles/histogram_explorer.dir/histogram_explorer.cpp.o.d"
+  "histogram_explorer"
+  "histogram_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_tap.dir/storage_tap.cpp.o"
+  "CMakeFiles/storage_tap.dir/storage_tap.cpp.o.d"
+  "storage_tap"
+  "storage_tap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_tap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_ingest.dir/tbl_ingest.cpp.o"
+  "CMakeFiles/tbl_ingest.dir/tbl_ingest.cpp.o.d"
+  "tbl_ingest"
+  "tbl_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

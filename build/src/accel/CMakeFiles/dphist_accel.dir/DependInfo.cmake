@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/accelerator.cc" "src/accel/CMakeFiles/dphist_accel.dir/accelerator.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/accelerator.cc.o.d"
+  "/root/repo/src/accel/bin_cache.cc" "src/accel/CMakeFiles/dphist_accel.dir/bin_cache.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/bin_cache.cc.o.d"
+  "/root/repo/src/accel/binner.cc" "src/accel/CMakeFiles/dphist_accel.dir/binner.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/binner.cc.o.d"
+  "/root/repo/src/accel/blocks.cc" "src/accel/CMakeFiles/dphist_accel.dir/blocks.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/blocks.cc.o.d"
+  "/root/repo/src/accel/delimited_parser.cc" "src/accel/CMakeFiles/dphist_accel.dir/delimited_parser.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/delimited_parser.cc.o.d"
+  "/root/repo/src/accel/explicit_accelerator.cc" "src/accel/CMakeFiles/dphist_accel.dir/explicit_accelerator.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/explicit_accelerator.cc.o.d"
+  "/root/repo/src/accel/histogram_module.cc" "src/accel/CMakeFiles/dphist_accel.dir/histogram_module.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/histogram_module.cc.o.d"
+  "/root/repo/src/accel/multi_binner.cc" "src/accel/CMakeFiles/dphist_accel.dir/multi_binner.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/multi_binner.cc.o.d"
+  "/root/repo/src/accel/multi_column.cc" "src/accel/CMakeFiles/dphist_accel.dir/multi_column.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/multi_column.cc.o.d"
+  "/root/repo/src/accel/parser.cc" "src/accel/CMakeFiles/dphist_accel.dir/parser.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/parser.cc.o.d"
+  "/root/repo/src/accel/preprocessor.cc" "src/accel/CMakeFiles/dphist_accel.dir/preprocessor.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/preprocessor.cc.o.d"
+  "/root/repo/src/accel/report_text.cc" "src/accel/CMakeFiles/dphist_accel.dir/report_text.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/report_text.cc.o.d"
+  "/root/repo/src/accel/resource_model.cc" "src/accel/CMakeFiles/dphist_accel.dir/resource_model.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/resource_model.cc.o.d"
+  "/root/repo/src/accel/scan_pipeline.cc" "src/accel/CMakeFiles/dphist_accel.dir/scan_pipeline.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/scan_pipeline.cc.o.d"
+  "/root/repo/src/accel/wire_format.cc" "src/accel/CMakeFiles/dphist_accel.dir/wire_format.cc.o" "gcc" "src/accel/CMakeFiles/dphist_accel.dir/wire_format.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dphist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dphist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/dphist_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dphist_hist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dphist_accel.dir/accelerator.cc.o"
+  "CMakeFiles/dphist_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/bin_cache.cc.o"
+  "CMakeFiles/dphist_accel.dir/bin_cache.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/binner.cc.o"
+  "CMakeFiles/dphist_accel.dir/binner.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/blocks.cc.o"
+  "CMakeFiles/dphist_accel.dir/blocks.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/delimited_parser.cc.o"
+  "CMakeFiles/dphist_accel.dir/delimited_parser.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/explicit_accelerator.cc.o"
+  "CMakeFiles/dphist_accel.dir/explicit_accelerator.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/histogram_module.cc.o"
+  "CMakeFiles/dphist_accel.dir/histogram_module.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/multi_binner.cc.o"
+  "CMakeFiles/dphist_accel.dir/multi_binner.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/multi_column.cc.o"
+  "CMakeFiles/dphist_accel.dir/multi_column.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/parser.cc.o"
+  "CMakeFiles/dphist_accel.dir/parser.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/preprocessor.cc.o"
+  "CMakeFiles/dphist_accel.dir/preprocessor.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/report_text.cc.o"
+  "CMakeFiles/dphist_accel.dir/report_text.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/resource_model.cc.o"
+  "CMakeFiles/dphist_accel.dir/resource_model.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/scan_pipeline.cc.o"
+  "CMakeFiles/dphist_accel.dir/scan_pipeline.cc.o.d"
+  "CMakeFiles/dphist_accel.dir/wire_format.cc.o"
+  "CMakeFiles/dphist_accel.dir/wire_format.cc.o.d"
+  "libdphist_accel.a"
+  "libdphist_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dphist_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

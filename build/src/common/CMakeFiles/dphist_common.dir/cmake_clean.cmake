@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dphist_common.dir/date.cc.o"
+  "CMakeFiles/dphist_common.dir/date.cc.o.d"
+  "CMakeFiles/dphist_common.dir/fixed_point.cc.o"
+  "CMakeFiles/dphist_common.dir/fixed_point.cc.o.d"
+  "CMakeFiles/dphist_common.dir/logging.cc.o"
+  "CMakeFiles/dphist_common.dir/logging.cc.o.d"
+  "CMakeFiles/dphist_common.dir/random.cc.o"
+  "CMakeFiles/dphist_common.dir/random.cc.o.d"
+  "CMakeFiles/dphist_common.dir/status.cc.o"
+  "CMakeFiles/dphist_common.dir/status.cc.o.d"
+  "libdphist_common.a"
+  "libdphist_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dphist_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/access_path.cc" "src/db/CMakeFiles/dphist_db.dir/access_path.cc.o" "gcc" "src/db/CMakeFiles/dphist_db.dir/access_path.cc.o.d"
+  "/root/repo/src/db/analyzer.cc" "src/db/CMakeFiles/dphist_db.dir/analyzer.cc.o" "gcc" "src/db/CMakeFiles/dphist_db.dir/analyzer.cc.o.d"
+  "/root/repo/src/db/catalog.cc" "src/db/CMakeFiles/dphist_db.dir/catalog.cc.o" "gcc" "src/db/CMakeFiles/dphist_db.dir/catalog.cc.o.d"
+  "/root/repo/src/db/datapath.cc" "src/db/CMakeFiles/dphist_db.dir/datapath.cc.o" "gcc" "src/db/CMakeFiles/dphist_db.dir/datapath.cc.o.d"
+  "/root/repo/src/db/index.cc" "src/db/CMakeFiles/dphist_db.dir/index.cc.o" "gcc" "src/db/CMakeFiles/dphist_db.dir/index.cc.o.d"
+  "/root/repo/src/db/maintenance.cc" "src/db/CMakeFiles/dphist_db.dir/maintenance.cc.o" "gcc" "src/db/CMakeFiles/dphist_db.dir/maintenance.cc.o.d"
+  "/root/repo/src/db/ops.cc" "src/db/CMakeFiles/dphist_db.dir/ops.cc.o" "gcc" "src/db/CMakeFiles/dphist_db.dir/ops.cc.o.d"
+  "/root/repo/src/db/piggyback.cc" "src/db/CMakeFiles/dphist_db.dir/piggyback.cc.o" "gcc" "src/db/CMakeFiles/dphist_db.dir/piggyback.cc.o.d"
+  "/root/repo/src/db/planner.cc" "src/db/CMakeFiles/dphist_db.dir/planner.cc.o" "gcc" "src/db/CMakeFiles/dphist_db.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dphist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/dphist_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dphist_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dphist_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dphist_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dphist_db.dir/access_path.cc.o"
+  "CMakeFiles/dphist_db.dir/access_path.cc.o.d"
+  "CMakeFiles/dphist_db.dir/analyzer.cc.o"
+  "CMakeFiles/dphist_db.dir/analyzer.cc.o.d"
+  "CMakeFiles/dphist_db.dir/catalog.cc.o"
+  "CMakeFiles/dphist_db.dir/catalog.cc.o.d"
+  "CMakeFiles/dphist_db.dir/datapath.cc.o"
+  "CMakeFiles/dphist_db.dir/datapath.cc.o.d"
+  "CMakeFiles/dphist_db.dir/index.cc.o"
+  "CMakeFiles/dphist_db.dir/index.cc.o.d"
+  "CMakeFiles/dphist_db.dir/maintenance.cc.o"
+  "CMakeFiles/dphist_db.dir/maintenance.cc.o.d"
+  "CMakeFiles/dphist_db.dir/ops.cc.o"
+  "CMakeFiles/dphist_db.dir/ops.cc.o.d"
+  "CMakeFiles/dphist_db.dir/piggyback.cc.o"
+  "CMakeFiles/dphist_db.dir/piggyback.cc.o.d"
+  "CMakeFiles/dphist_db.dir/planner.cc.o"
+  "CMakeFiles/dphist_db.dir/planner.cc.o.d"
+  "libdphist_db.a"
+  "libdphist_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dphist_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hist/builders.cc" "src/hist/CMakeFiles/dphist_hist.dir/builders.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/builders.cc.o.d"
+  "/root/repo/src/hist/dense_reference.cc" "src/hist/CMakeFiles/dphist_hist.dir/dense_reference.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/dense_reference.cc.o.d"
+  "/root/repo/src/hist/error.cc" "src/hist/CMakeFiles/dphist_hist.dir/error.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/error.cc.o.d"
+  "/root/repo/src/hist/estimator.cc" "src/hist/CMakeFiles/dphist_hist.dir/estimator.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/estimator.cc.o.d"
+  "/root/repo/src/hist/incremental.cc" "src/hist/CMakeFiles/dphist_hist.dir/incremental.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/incremental.cc.o.d"
+  "/root/repo/src/hist/sampling.cc" "src/hist/CMakeFiles/dphist_hist.dir/sampling.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/sampling.cc.o.d"
+  "/root/repo/src/hist/serialize.cc" "src/hist/CMakeFiles/dphist_hist.dir/serialize.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/serialize.cc.o.d"
+  "/root/repo/src/hist/space_saving.cc" "src/hist/CMakeFiles/dphist_hist.dir/space_saving.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/space_saving.cc.o.d"
+  "/root/repo/src/hist/types.cc" "src/hist/CMakeFiles/dphist_hist.dir/types.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/types.cc.o.d"
+  "/root/repo/src/hist/v_optimal.cc" "src/hist/CMakeFiles/dphist_hist.dir/v_optimal.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/v_optimal.cc.o.d"
+  "/root/repo/src/hist/variants.cc" "src/hist/CMakeFiles/dphist_hist.dir/variants.cc.o" "gcc" "src/hist/CMakeFiles/dphist_hist.dir/variants.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dphist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dphist_hist.dir/builders.cc.o"
+  "CMakeFiles/dphist_hist.dir/builders.cc.o.d"
+  "CMakeFiles/dphist_hist.dir/dense_reference.cc.o"
+  "CMakeFiles/dphist_hist.dir/dense_reference.cc.o.d"
+  "CMakeFiles/dphist_hist.dir/error.cc.o"
+  "CMakeFiles/dphist_hist.dir/error.cc.o.d"
+  "CMakeFiles/dphist_hist.dir/estimator.cc.o"
+  "CMakeFiles/dphist_hist.dir/estimator.cc.o.d"
+  "CMakeFiles/dphist_hist.dir/incremental.cc.o"
+  "CMakeFiles/dphist_hist.dir/incremental.cc.o.d"
+  "CMakeFiles/dphist_hist.dir/sampling.cc.o"
+  "CMakeFiles/dphist_hist.dir/sampling.cc.o.d"
+  "CMakeFiles/dphist_hist.dir/serialize.cc.o"
+  "CMakeFiles/dphist_hist.dir/serialize.cc.o.d"
+  "CMakeFiles/dphist_hist.dir/space_saving.cc.o"
+  "CMakeFiles/dphist_hist.dir/space_saving.cc.o.d"
+  "CMakeFiles/dphist_hist.dir/types.cc.o"
+  "CMakeFiles/dphist_hist.dir/types.cc.o.d"
+  "CMakeFiles/dphist_hist.dir/v_optimal.cc.o"
+  "CMakeFiles/dphist_hist.dir/v_optimal.cc.o.d"
+  "CMakeFiles/dphist_hist.dir/variants.cc.o"
+  "CMakeFiles/dphist_hist.dir/variants.cc.o.d"
+  "libdphist_hist.a"
+  "libdphist_hist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dphist_hist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

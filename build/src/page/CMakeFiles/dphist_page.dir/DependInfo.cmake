@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/page/page.cc" "src/page/CMakeFiles/dphist_page.dir/page.cc.o" "gcc" "src/page/CMakeFiles/dphist_page.dir/page.cc.o.d"
+  "/root/repo/src/page/schema.cc" "src/page/CMakeFiles/dphist_page.dir/schema.cc.o" "gcc" "src/page/CMakeFiles/dphist_page.dir/schema.cc.o.d"
+  "/root/repo/src/page/table_file.cc" "src/page/CMakeFiles/dphist_page.dir/table_file.cc.o" "gcc" "src/page/CMakeFiles/dphist_page.dir/table_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dphist_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dphist_page.dir/page.cc.o"
+  "CMakeFiles/dphist_page.dir/page.cc.o.d"
+  "CMakeFiles/dphist_page.dir/schema.cc.o"
+  "CMakeFiles/dphist_page.dir/schema.cc.o.d"
+  "CMakeFiles/dphist_page.dir/table_file.cc.o"
+  "CMakeFiles/dphist_page.dir/table_file.cc.o.d"
+  "libdphist_page.a"
+  "libdphist_page.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dphist_page.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dphist_sim.dir/dram.cc.o"
+  "CMakeFiles/dphist_sim.dir/dram.cc.o.d"
+  "libdphist_sim.a"
+  "libdphist_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dphist_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

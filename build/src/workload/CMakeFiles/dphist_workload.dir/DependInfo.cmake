@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/distributions.cc" "src/workload/CMakeFiles/dphist_workload.dir/distributions.cc.o" "gcc" "src/workload/CMakeFiles/dphist_workload.dir/distributions.cc.o.d"
+  "/root/repo/src/workload/tbl_format.cc" "src/workload/CMakeFiles/dphist_workload.dir/tbl_format.cc.o" "gcc" "src/workload/CMakeFiles/dphist_workload.dir/tbl_format.cc.o.d"
+  "/root/repo/src/workload/tpch.cc" "src/workload/CMakeFiles/dphist_workload.dir/tpch.cc.o" "gcc" "src/workload/CMakeFiles/dphist_workload.dir/tpch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dphist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/dphist_page.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

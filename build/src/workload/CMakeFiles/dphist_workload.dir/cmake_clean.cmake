@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dphist_workload.dir/distributions.cc.o"
+  "CMakeFiles/dphist_workload.dir/distributions.cc.o.d"
+  "CMakeFiles/dphist_workload.dir/tbl_format.cc.o"
+  "CMakeFiles/dphist_workload.dir/tbl_format.cc.o.d"
+  "CMakeFiles/dphist_workload.dir/tpch.cc.o"
+  "CMakeFiles/dphist_workload.dir/tpch.cc.o.d"
+  "libdphist_workload.a"
+  "libdphist_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dphist_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

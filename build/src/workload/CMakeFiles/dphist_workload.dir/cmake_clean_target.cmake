@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdphist_workload.a"
+)

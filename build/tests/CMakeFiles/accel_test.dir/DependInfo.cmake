@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel/accel_property_test.cc" "tests/CMakeFiles/accel_test.dir/accel/accel_property_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/accel_property_test.cc.o.d"
+  "/root/repo/tests/accel/accelerator_test.cc" "tests/CMakeFiles/accel_test.dir/accel/accelerator_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/accelerator_test.cc.o.d"
+  "/root/repo/tests/accel/bin_cache_test.cc" "tests/CMakeFiles/accel_test.dir/accel/bin_cache_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/bin_cache_test.cc.o.d"
+  "/root/repo/tests/accel/binner_test.cc" "tests/CMakeFiles/accel_test.dir/accel/binner_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/binner_test.cc.o.d"
+  "/root/repo/tests/accel/blocks_test.cc" "tests/CMakeFiles/accel_test.dir/accel/blocks_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/blocks_test.cc.o.d"
+  "/root/repo/tests/accel/delimited_parser_test.cc" "tests/CMakeFiles/accel_test.dir/accel/delimited_parser_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/delimited_parser_test.cc.o.d"
+  "/root/repo/tests/accel/explicit_accelerator_test.cc" "tests/CMakeFiles/accel_test.dir/accel/explicit_accelerator_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/explicit_accelerator_test.cc.o.d"
+  "/root/repo/tests/accel/failure_injection_test.cc" "tests/CMakeFiles/accel_test.dir/accel/failure_injection_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/failure_injection_test.cc.o.d"
+  "/root/repo/tests/accel/histogram_module_test.cc" "tests/CMakeFiles/accel_test.dir/accel/histogram_module_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/histogram_module_test.cc.o.d"
+  "/root/repo/tests/accel/multi_binner_test.cc" "tests/CMakeFiles/accel_test.dir/accel/multi_binner_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/multi_binner_test.cc.o.d"
+  "/root/repo/tests/accel/multi_column_test.cc" "tests/CMakeFiles/accel_test.dir/accel/multi_column_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/multi_column_test.cc.o.d"
+  "/root/repo/tests/accel/parser_test.cc" "tests/CMakeFiles/accel_test.dir/accel/parser_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/parser_test.cc.o.d"
+  "/root/repo/tests/accel/preprocessor_test.cc" "tests/CMakeFiles/accel_test.dir/accel/preprocessor_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/preprocessor_test.cc.o.d"
+  "/root/repo/tests/accel/report_text_test.cc" "tests/CMakeFiles/accel_test.dir/accel/report_text_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/report_text_test.cc.o.d"
+  "/root/repo/tests/accel/scan_pipeline_test.cc" "tests/CMakeFiles/accel_test.dir/accel/scan_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/scan_pipeline_test.cc.o.d"
+  "/root/repo/tests/accel/tbl_ingest_test.cc" "tests/CMakeFiles/accel_test.dir/accel/tbl_ingest_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/tbl_ingest_test.cc.o.d"
+  "/root/repo/tests/accel/wire_format_test.cc" "tests/CMakeFiles/accel_test.dir/accel/wire_format_test.cc.o" "gcc" "tests/CMakeFiles/accel_test.dir/accel/wire_format_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dphist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dphist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/dphist_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dphist_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dphist_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dphist_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dphist_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/db/access_path_test.cc" "tests/CMakeFiles/db_test.dir/db/access_path_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/access_path_test.cc.o.d"
+  "/root/repo/tests/db/analyzer_test.cc" "tests/CMakeFiles/db_test.dir/db/analyzer_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/analyzer_test.cc.o.d"
+  "/root/repo/tests/db/catalog_index_test.cc" "tests/CMakeFiles/db_test.dir/db/catalog_index_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/catalog_index_test.cc.o.d"
+  "/root/repo/tests/db/datapath_multi_test.cc" "tests/CMakeFiles/db_test.dir/db/datapath_multi_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/datapath_multi_test.cc.o.d"
+  "/root/repo/tests/db/datapath_test.cc" "tests/CMakeFiles/db_test.dir/db/datapath_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/datapath_test.cc.o.d"
+  "/root/repo/tests/db/fixed_sample_test.cc" "tests/CMakeFiles/db_test.dir/db/fixed_sample_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/fixed_sample_test.cc.o.d"
+  "/root/repo/tests/db/maintenance_test.cc" "tests/CMakeFiles/db_test.dir/db/maintenance_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/maintenance_test.cc.o.d"
+  "/root/repo/tests/db/ops_test.cc" "tests/CMakeFiles/db_test.dir/db/ops_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/ops_test.cc.o.d"
+  "/root/repo/tests/db/piggyback_test.cc" "tests/CMakeFiles/db_test.dir/db/piggyback_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/piggyback_test.cc.o.d"
+  "/root/repo/tests/db/planner_test.cc" "tests/CMakeFiles/db_test.dir/db/planner_test.cc.o" "gcc" "tests/CMakeFiles/db_test.dir/db/planner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dphist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dphist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/dphist_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dphist_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dphist_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dphist_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dphist_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

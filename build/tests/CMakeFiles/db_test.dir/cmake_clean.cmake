@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_test.dir/db/access_path_test.cc.o"
+  "CMakeFiles/db_test.dir/db/access_path_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/analyzer_test.cc.o"
+  "CMakeFiles/db_test.dir/db/analyzer_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/catalog_index_test.cc.o"
+  "CMakeFiles/db_test.dir/db/catalog_index_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/datapath_multi_test.cc.o"
+  "CMakeFiles/db_test.dir/db/datapath_multi_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/datapath_test.cc.o"
+  "CMakeFiles/db_test.dir/db/datapath_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/fixed_sample_test.cc.o"
+  "CMakeFiles/db_test.dir/db/fixed_sample_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/maintenance_test.cc.o"
+  "CMakeFiles/db_test.dir/db/maintenance_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/ops_test.cc.o"
+  "CMakeFiles/db_test.dir/db/ops_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/piggyback_test.cc.o"
+  "CMakeFiles/db_test.dir/db/piggyback_test.cc.o.d"
+  "CMakeFiles/db_test.dir/db/planner_test.cc.o"
+  "CMakeFiles/db_test.dir/db/planner_test.cc.o.d"
+  "db_test"
+  "db_test.pdb"
+  "db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hist/band_join_estimate_test.cc" "tests/CMakeFiles/hist_test.dir/hist/band_join_estimate_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/band_join_estimate_test.cc.o.d"
+  "/root/repo/tests/hist/builders_test.cc" "tests/CMakeFiles/hist_test.dir/hist/builders_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/builders_test.cc.o.d"
+  "/root/repo/tests/hist/dense_reference_test.cc" "tests/CMakeFiles/hist_test.dir/hist/dense_reference_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/dense_reference_test.cc.o.d"
+  "/root/repo/tests/hist/error_sampling_test.cc" "tests/CMakeFiles/hist_test.dir/hist/error_sampling_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/error_sampling_test.cc.o.d"
+  "/root/repo/tests/hist/estimator_test.cc" "tests/CMakeFiles/hist_test.dir/hist/estimator_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/estimator_test.cc.o.d"
+  "/root/repo/tests/hist/property_test.cc" "tests/CMakeFiles/hist_test.dir/hist/property_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/property_test.cc.o.d"
+  "/root/repo/tests/hist/serialize_incremental_test.cc" "tests/CMakeFiles/hist_test.dir/hist/serialize_incremental_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/serialize_incremental_test.cc.o.d"
+  "/root/repo/tests/hist/space_saving_test.cc" "tests/CMakeFiles/hist_test.dir/hist/space_saving_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/space_saving_test.cc.o.d"
+  "/root/repo/tests/hist/types_test.cc" "tests/CMakeFiles/hist_test.dir/hist/types_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/types_test.cc.o.d"
+  "/root/repo/tests/hist/v_optimal_test.cc" "tests/CMakeFiles/hist_test.dir/hist/v_optimal_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/v_optimal_test.cc.o.d"
+  "/root/repo/tests/hist/variants_test.cc" "tests/CMakeFiles/hist_test.dir/hist/variants_test.cc.o" "gcc" "tests/CMakeFiles/hist_test.dir/hist/variants_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dphist_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dphist_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/page/CMakeFiles/dphist_page.dir/DependInfo.cmake"
+  "/root/repo/build/src/hist/CMakeFiles/dphist_hist.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/dphist_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/dphist_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dphist_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

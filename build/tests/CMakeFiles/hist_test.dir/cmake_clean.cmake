@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hist_test.dir/hist/band_join_estimate_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/band_join_estimate_test.cc.o.d"
+  "CMakeFiles/hist_test.dir/hist/builders_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/builders_test.cc.o.d"
+  "CMakeFiles/hist_test.dir/hist/dense_reference_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/dense_reference_test.cc.o.d"
+  "CMakeFiles/hist_test.dir/hist/error_sampling_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/error_sampling_test.cc.o.d"
+  "CMakeFiles/hist_test.dir/hist/estimator_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/estimator_test.cc.o.d"
+  "CMakeFiles/hist_test.dir/hist/property_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/property_test.cc.o.d"
+  "CMakeFiles/hist_test.dir/hist/serialize_incremental_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/serialize_incremental_test.cc.o.d"
+  "CMakeFiles/hist_test.dir/hist/space_saving_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/space_saving_test.cc.o.d"
+  "CMakeFiles/hist_test.dir/hist/types_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/types_test.cc.o.d"
+  "CMakeFiles/hist_test.dir/hist/v_optimal_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/v_optimal_test.cc.o.d"
+  "CMakeFiles/hist_test.dir/hist/variants_test.cc.o"
+  "CMakeFiles/hist_test.dir/hist/variants_test.cc.o.d"
+  "hist_test"
+  "hist_test.pdb"
+  "hist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
