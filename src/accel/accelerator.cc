@@ -53,8 +53,30 @@ Status ValidateRequest(const ScanRequest& request) {
 
 }  // namespace
 
+namespace {
+
+std::unique_ptr<sim::Dram> MakeDram(const AcceleratorConfig& config) {
+  if (config.faults.any_dram_faults()) {
+    return std::make_unique<sim::FaultyDram>(config.dram, config.faults);
+  }
+  return std::make_unique<sim::Dram>(config.dram);
+}
+
+}  // namespace
+
 Accelerator::Accelerator(const AcceleratorConfig& config)
-    : config_(config), dram_(config.dram) {}
+    : config_(config),
+      dram_(MakeDram(config)),
+      stream_faults_(config.faults, /*salt=*/0x57A6E5) {
+  if (config_.faults.any_dram_faults()) {
+    faulty_dram_ = static_cast<sim::FaultyDram*>(dram_.get());
+  }
+}
+
+const sim::FaultStats& Accelerator::dram_fault_stats() const {
+  static const sim::FaultStats kNoFaults;
+  return faulty_dram_ != nullptr ? faulty_dram_->fault_stats() : kNoFaults;
+}
 
 Result<AcceleratorReport> Accelerator::ProcessTable(
     const page::TableFile& table, const ScanRequest& request) {
@@ -88,6 +110,13 @@ Result<AcceleratorReport> Accelerator::Run(
     uint64_t bytes_per_value) {
   DPHIST_RETURN_NOT_OK(ValidateRequest(request));
 
+  // Device-level failure (bus drop, firmware wedge): the scan attempt
+  // fails cleanly. The wire itself is untouched — the host still gets its
+  // data, only the statistics side effect is lost.
+  if (stream_faults_.NextScanFails()) {
+    return Status::Internal("injected device failure: scan aborted");
+  }
+
   PreprocessorConfig prep_config;
   prep_config.type = schema != nullptr
                          ? schema->column(request.column_index).type
@@ -98,14 +127,8 @@ Result<AcceleratorReport> Accelerator::Run(
   DPHIST_ASSIGN_OR_RETURN(Preprocessor prep,
                           Preprocessor::Create(prep_config));
 
-  if (prep.num_bins() * dram_.config().bin_bytes >
-      dram_.config().capacity_bytes) {
-    return Status::ResourceExhausted(
-        "binned representation exceeds accelerator DRAM capacity");
-  }
-
-  dram_.ResetTiming();
-  dram_.AllocateBins(prep.num_bins());
+  dram_->ResetTiming();
+  DPHIST_RETURN_NOT_OK(dram_->AllocateBins(prep.num_bins()));
 
   // Input arrival bound: the Binner consumes one value per row delivered
   // by the link.
@@ -113,9 +136,10 @@ Result<AcceleratorReport> Accelerator::Run(
       static_cast<double>(bytes_per_value) * 8.0 /
       config_.input_link.bandwidth_bps());
 
-  Binner binner(config_.binner, &prep, &dram_);
+  Binner binner(config_.binner, &prep, dram_.get());
   binner.set_input_interval_cycles(value_interval_cycles);
 
+  ScanQuality quality;
   double parser_latency = 0.0;
   uint64_t rows = 0;
   uint64_t streamed_bytes = 0;
@@ -125,7 +149,37 @@ Result<AcceleratorReport> Accelerator::Run(
     Parser parser(*schema, request.column_index);
     std::vector<uint64_t> raw_values;
     raw_values.reserve(page::RowsPerPage(schema->row_width()));
-    for (const auto& page_bytes : pages) {
+
+    // Wire-side fault injection: a faulty stream drops, truncates, or
+    // damages pages before they reach the tap. The caller's buffers are
+    // never modified — mutated pages are private copies, exactly as the
+    // Splitter's statistics copy is private in hardware.
+    const bool inject_pages = config_.faults.any_page_faults();
+    std::vector<uint8_t> mutated;
+
+    quality.pages_total = pages.size();
+    for (const auto& original_bytes : pages) {
+      std::span<const uint8_t> page_bytes = original_bytes;
+      if (inject_pages) {
+        if (stream_faults_.Roll(config_.faults.page_drop_probability)) {
+          ++quality.pages_dropped;
+          continue;
+        }
+        bool truncate =
+            stream_faults_.Roll(config_.faults.page_truncate_probability);
+        bool corrupt =
+            stream_faults_.Roll(config_.faults.page_corrupt_probability);
+        if (truncate || corrupt) {
+          mutated.assign(original_bytes.begin(), original_bytes.end());
+          if (truncate && !mutated.empty()) {
+            mutated.resize(stream_faults_.NextBits() % mutated.size());
+          }
+          if (corrupt && !mutated.empty()) {
+            mutated[0] ^= 0xFF;  // header damage: detectably unparseable
+          }
+          page_bytes = mutated;
+        }
+      }
       raw_values.clear();
       // Corrupt pages still reach the host on the cut-through path; the
       // statistics side merely skips them.
@@ -148,11 +202,11 @@ Result<AcceleratorReport> Accelerator::Run(
   report.num_bins = prep.num_bins();
   report.corrupt_pages = corrupt_pages;
   for (uint64_t i = 0; i < prep.num_bins(); ++i) {
-    report.distinct_values += (dram_.ReadBin(i) != 0);
+    report.distinct_values += (dram_->ReadBin(i) != 0);
   }
 
   // Histogram module: daisy chain in the paper's order.
-  HistogramModule module(config_.histogram, &dram_);
+  HistogramModule module(config_.histogram, dram_.get());
   TopKBlock* topk = nullptr;
   EquiDepthBlock* equi_depth = nullptr;
   MaxDiffBlock* max_diff = nullptr;
@@ -172,8 +226,10 @@ Result<AcceleratorReport> Accelerator::Run(
     compressed = module.AddBlock(std::make_unique<CompressedBlock>(
         request.num_buckets, request.top_k));
   }
-  report.module =
-      module.Run(prep.num_bins(), rows, report.binner.finish_cycle);
+  // The module sees the binned population (rows minus dropped values),
+  // which is what the bins actually sum to.
+  report.module = module.Run(prep.num_bins(), report.binner.total_items,
+                             report.binner.finish_cycle);
 
   uint64_t result_bytes = 0;
   auto collect_timing = [&](const char* name, const StatBlock* block) {
@@ -222,7 +278,19 @@ Result<AcceleratorReport> Accelerator::Run(
       result_transfer;
   report.added_latency_ns = config_.splitter_latency_ns +
                             config_.input_link.latency_s() * 1e9;
-  report.dram_stats = dram_.stats();
+  report.dram_stats = dram_->stats();
+
+  // Quality record: what the statistics actually cover, and why.
+  quality.pages_corrupt = corrupt_pages;
+  quality.rows_seen = rows;
+  quality.rows_dropped = report.binner.dropped_values;
+  const sim::FaultStats& dram_faults = dram_fault_stats();
+  quality.bins_lost = dram_faults.bins_lost;
+  quality.bit_flips = dram_faults.bit_flips;
+  quality.latency_spikes = dram_faults.latency_spikes;
+  quality.faults_observed = dram_faults.total() + quality.pages_dropped +
+                            quality.pages_corrupt + quality.rows_dropped;
+  report.quality = quality;
   return report;
 }
 

@@ -2,6 +2,8 @@
 #define DPHIST_ACCEL_ACCELERATOR_H_
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "hist/types.h"
 #include "page/table_file.h"
 #include "sim/dram.h"
+#include "sim/fault.h"
 
 namespace dphist::accel {
 
@@ -52,6 +55,46 @@ struct NamedBlockTiming {
   BlockTiming timing;
 };
 
+/// How much of the scan the statistics actually describe. The device
+/// degrades instead of failing: pages that never parsed, values outside
+/// the request domain, and bins destroyed by memory faults are recorded
+/// here so the host can decide whether the partial result is usable
+/// (db::ResilientScanner consumes this).
+struct ScanQuality {
+  uint64_t pages_total = 0;    ///< pages offered to the device
+  uint64_t pages_dropped = 0;  ///< never arrived (wire loss)
+  uint64_t pages_corrupt = 0;  ///< arrived but unparseable (incl. truncation)
+  uint64_t rows_seen = 0;      ///< rows the Parser extracted
+  uint64_t rows_dropped = 0;   ///< values outside the request domain
+  uint64_t bins_lost = 0;      ///< bins zeroed by uncorrectable ECC
+  uint64_t bit_flips = 0;      ///< silent bin-count corruptions
+  uint64_t latency_spikes = 0; ///< timing-only faults observed
+  uint64_t faults_observed = 0;  ///< all injected fault events seen
+
+  /// True when the statistics describe every row that was streamed.
+  bool complete() const {
+    return pages_dropped == 0 && pages_corrupt == 0 && rows_dropped == 0 &&
+           bins_lost == 0;
+  }
+
+  /// Estimated fraction of the table the statistics cover, combining the
+  /// page-level survival rate with the row-level drop rate.
+  double Coverage() const {
+    double page_cov = 1.0;
+    if (pages_total > 0) {
+      page_cov = static_cast<double>(pages_total - pages_dropped -
+                                     pages_corrupt) /
+                 static_cast<double>(pages_total);
+    }
+    double row_cov = 1.0;
+    if (rows_seen > 0) {
+      row_cov = static_cast<double>(rows_seen - rows_dropped) /
+                static_cast<double>(rows_seen);
+    }
+    return page_cov * row_cov;
+  }
+};
+
 /// Everything the host receives back: the histograms plus the simulated
 /// device-time breakdown.
 struct AcceleratorReport {
@@ -81,6 +124,9 @@ struct AcceleratorReport {
   /// abort the wire: corrupt pages pass through on the cut-through path
   /// untouched and are merely excluded from the statistics.
   uint64_t corrupt_pages = 0;
+  /// Degradation record for this scan; quality.complete() when nothing
+  /// was lost.
+  ScanQuality quality;
 };
 
 /// The complete in-datapath statistics accelerator (Figure 9): Splitter ->
@@ -114,6 +160,10 @@ class Accelerator {
                                           const ScanRequest& request,
                                           uint64_t bytes_per_value);
 
+  /// Fault counters of the device's DRAM for the *last* scan; all zeros
+  /// when no fault scenario is configured.
+  const sim::FaultStats& dram_fault_stats() const;
+
  private:
   Result<AcceleratorReport> Run(
       std::span<const int64_t>* direct_values,
@@ -122,7 +172,12 @@ class Accelerator {
       uint64_t bytes_per_value);
 
   AcceleratorConfig config_;
-  sim::Dram dram_;
+  /// FaultyDram when config_.faults is enabled, plain Dram otherwise.
+  std::unique_ptr<sim::Dram> dram_;
+  sim::FaultyDram* faulty_dram_ = nullptr;  ///< non-owning view of dram_
+  /// Deterministic oracle for scan-level and page-stream faults (the
+  /// DRAM decorator keeps its own, salted differently).
+  sim::FaultInjector stream_faults_;
 };
 
 }  // namespace dphist::accel

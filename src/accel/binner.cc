@@ -25,12 +25,22 @@ void Binner::DrainWritesUpTo(double now) {
 }
 
 void Binner::ProcessValue(int64_t value) {
+  // Arrival: the value cannot issue before the link delivers its row.
+  // Dropped values still consume their link slot.
+  double arrival =
+      static_cast<double>(arrived_items_) * input_interval_cycles_;
+  ++arrived_items_;
+
+  if (!prep_->InRange(value)) {
+    // Out-of-domain value (stale bounds or in-flight damage): skip it.
+    // The cut-through path is unaffected; the statistics lose one row.
+    ++dropped_values_;
+    return;
+  }
+
   const uint64_t bin = prep_->BinOf(value);
   const uint64_t line = dram_->LineOfBin(bin);
 
-  // Arrival: the value cannot issue before the link delivers its row.
-  double arrival =
-      static_cast<double>(total_items_) * input_interval_cycles_;
   double issue = std::max(next_issue_cycle_, arrival);
 
   // Bounded address FIFO between READ and UPDATE: when full, issuing
@@ -115,6 +125,7 @@ BinnerReport Binner::Finish() {
   report.cache_hits = cache_.hits();
   report.cache_misses = cache_.misses();
   report.hazard_stall_cycles = hazard_stall_cycles_;
+  report.dropped_values = dropped_values_;
   return report;
 }
 
@@ -123,6 +134,8 @@ void Binner::Reset() {
   next_issue_cycle_ = 0.0;
   last_update_cycle_ = 0.0;
   total_items_ = 0;
+  arrived_items_ = 0;
+  dropped_values_ = 0;
   hazard_stall_cycles_ = 0;
   in_flight_.clear();
   pending_writes_.clear();

@@ -20,6 +20,11 @@ struct BinnerReport {
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t hazard_stall_cycles = 0;  ///< only non-zero with the cache disabled
+  /// Values outside the request's [min, max] domain, dropped instead of
+  /// binned. Non-zero means the host's domain metadata was stale or the
+  /// value was damaged in flight; either way the device degrades the
+  /// statistics rather than aborting (paper Section 4).
+  uint64_t dropped_values = 0;
 
   /// Sustained throughput in values per second given the clock.
   double ValuesPerSecond(const sim::Clock& clock) const {
@@ -100,6 +105,10 @@ class Binner {
   double next_issue_cycle_ = 0.0;
   double last_update_cycle_ = 0.0;
   uint64_t total_items_ = 0;
+  /// Values delivered by the link (binned + dropped); drives the arrival
+  /// bound — a dropped value still occupied the wire.
+  uint64_t arrived_items_ = 0;
+  uint64_t dropped_values_ = 0;
   uint64_t hazard_stall_cycles_ = 0;
 
   /// In-order retirement times (running max of update completions) of

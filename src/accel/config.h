@@ -5,6 +5,7 @@
 
 #include "sim/clock.h"
 #include "sim/dram.h"
+#include "sim/fault.h"
 #include "sim/link.h"
 
 namespace dphist::accel {
@@ -61,6 +62,12 @@ struct AcceleratorConfig {
   /// Latency of the Splitter on the cut-through path (nanoseconds; the
   /// paper states "in the order of nanoseconds").
   double splitter_latency_ns = 10.0;
+
+  /// Fault-injection scenario (sim/fault.h); disabled by default. When
+  /// enabled, the device's DRAM is wrapped in a FaultyDram and the page
+  /// stream / scan attempts are subjected to the scenario's faults —
+  /// deterministically, from the scenario seed.
+  sim::FaultScenario faults;
 };
 
 }  // namespace dphist::accel

@@ -14,7 +14,8 @@ MultiBinner::MultiBinner(uint32_t replication,
   DPHIST_CHECK_GE(replication, 1u);
   for (uint32_t r = 0; r < replication; ++r) {
     auto dram = std::make_unique<sim::Dram>(dram_config);
-    dram->AllocateBins(prep->num_bins());
+    Status allocated = dram->AllocateBins(prep->num_bins());
+    DPHIST_CHECK_MSG(allocated.ok(), allocated.message().c_str());
     binners_.push_back(
         std::make_unique<Binner>(binner_config, prep, dram.get()));
     drams_.push_back(std::move(dram));
@@ -42,6 +43,7 @@ MultiBinnerReport MultiBinner::Finish() {
   for (auto& binner : binners_) {
     BinnerReport r = binner->Finish();
     report.finish_cycle = std::max(report.finish_cycle, r.finish_cycle);
+    report.dropped_values += r.dropped_values;
     report.replicas.push_back(r);
   }
   report.finish_cycle += kMergeCycles;

@@ -17,6 +17,7 @@ namespace dphist::accel {
 struct MultiBinnerReport {
   uint64_t total_items = 0;
   double finish_cycle = 0;  ///< max over replicas + constant merge time
+  uint64_t dropped_values = 0;  ///< out-of-domain values, summed over replicas
   std::vector<BinnerReport> replicas;
 
   double ValuesPerSecond(const sim::Clock& clock) const {

@@ -14,6 +14,16 @@ Result<Preprocessor> Preprocessor::Create(const PreprocessorConfig& config) {
   if (config.min_value > config.max_value) {
     return Status::InvalidArgument("min_value > max_value");
   }
+  // Guard the bin-count arithmetic: the full int64 domain at granularity
+  // 1 would overflow span/granularity + 1. Host-supplied metadata must
+  // produce a Status, not undefined behaviour.
+  uint64_t span = static_cast<uint64_t>(config.max_value) -
+                  static_cast<uint64_t>(config.min_value);
+  if (span / static_cast<uint64_t>(config.granularity) ==
+      ~uint64_t{0}) {
+    return Status::InvalidArgument(
+        "value domain too large for the binned representation");
+  }
   return Preprocessor(config);
 }
 

@@ -39,8 +39,17 @@ class Preprocessor {
   /// the x100-scaled integer, dates yield epoch days.
   int64_t DecodeRaw(uint64_t raw) const;
 
-  /// Maps a logical integer value to its bin index. Values outside
-  /// [min_value, max_value] abort — the host supplies true bounds.
+  /// True when `value` lies inside the configured [min_value, max_value]
+  /// domain. Values outside it (stale catalog bounds, in-flight bit
+  /// damage) must be dropped by the caller, never binned: a device in the
+  /// data path may not abort on data-dependent conditions.
+  bool InRange(int64_t value) const {
+    return value >= config_.min_value && value <= config_.max_value;
+  }
+
+  /// Maps a logical integer value to its bin index. Requires
+  /// InRange(value); out-of-domain values are a programmer error here —
+  /// the Binner filters them first.
   uint64_t BinOf(int64_t value) const;
 
   /// First and last logical value mapped to `bin`.

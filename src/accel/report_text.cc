@@ -32,6 +32,26 @@ std::string ReportToString(const AcceleratorReport& report) {
                 (unsigned long long)report.binner.cache_misses,
                 (unsigned long long)report.binner.hazard_stall_cycles);
   line();
+  const ScanQuality& q = report.quality;
+  if (!q.complete() || q.faults_observed > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "quality: DEGRADED coverage=%.1f%% (pages %llu/%llu ok, "
+                  "%llu dropped, %llu corrupt; rows dropped %llu; bins lost "
+                  "%llu; bit flips %llu; latency spikes %llu)\n",
+                  q.Coverage() * 100.0,
+                  (unsigned long long)(q.pages_total - q.pages_dropped -
+                                       q.pages_corrupt),
+                  (unsigned long long)q.pages_total,
+                  (unsigned long long)q.pages_dropped,
+                  (unsigned long long)q.pages_corrupt,
+                  (unsigned long long)q.rows_dropped,
+                  (unsigned long long)q.bins_lost,
+                  (unsigned long long)q.bit_flips,
+                  (unsigned long long)q.latency_spikes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "quality: complete (no faults)\n");
+  }
+  line();
   std::snprintf(buf, sizeof(buf),
                 "dram: %llu reads, %llu writes (%llu near, %llu random)\n",
                 (unsigned long long)report.dram_stats.reads,

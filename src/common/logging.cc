@@ -1,11 +1,28 @@
 #include "common/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
 
 namespace dphist {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+
+using Clock = std::chrono::steady_clock;
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<uint64_t> g_suppressed_total{0};
+
+// Rate-limiter state, guarded by g_limiter_mutex. Logging under fault
+// storms is the one place this library writes to stderr in a loop, so
+// the limiter exists to keep a misbehaving device from drowning the
+// terminal; the mutex also serializes interleaved writers.
+std::mutex g_limiter_mutex;
+uint64_t g_rate_limit = 0;  // 0 = unlimited
+uint64_t g_window_count = 0;
+uint64_t g_window_suppressed = 0;
+Clock::time_point g_window_start;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,19 +37,75 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-void Log(LogLevel level, const char* format, ...) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[dphist %s] ", LevelName(level));
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void SetLogRateLimit(uint64_t max_per_window) {
+  std::lock_guard<std::mutex> lock(g_limiter_mutex);
+  g_rate_limit = max_per_window;
+  g_window_count = 0;
+  g_window_suppressed = 0;
+  g_window_start = Clock::now();
+}
+
+uint64_t GetLogRateLimit() {
+  std::lock_guard<std::mutex> lock(g_limiter_mutex);
+  return g_rate_limit;
+}
+
+uint64_t SuppressedLogCount() {
+  return g_suppressed_total.load(std::memory_order_relaxed);
+}
+
+bool Log(LogLevel level, const char* format, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return false;
+  }
+
+  uint64_t backlog = 0;
+  {
+    std::lock_guard<std::mutex> lock(g_limiter_mutex);
+    if (g_rate_limit > 0) {
+      const Clock::time_point now = Clock::now();
+      if (now - g_window_start >= std::chrono::seconds(1)) {
+        g_window_start = now;
+        g_window_count = 0;
+        backlog = g_window_suppressed;
+        g_window_suppressed = 0;
+      }
+      if (g_window_count >= g_rate_limit) {
+        ++g_window_suppressed;
+        g_suppressed_total.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      ++g_window_count;
+    }
+  }
+
+  // Format into a buffer so each message lands as a single write —
+  // concurrent loggers interleave lines, not characters.
+  char message[1024];
   va_list args;
   va_start(args, format);
-  std::vfprintf(stderr, format, args);
+  std::vsnprintf(message, sizeof(message), format, args);
   va_end(args);
-  std::fprintf(stderr, "\n");
+
+  if (backlog > 0) {
+    std::fprintf(stderr,
+                 "[dphist WARN] rate limit: %llu messages suppressed in "
+                 "the last window\n",
+                 static_cast<unsigned long long>(backlog));
+  }
+  std::fprintf(stderr, "[dphist %s] %s\n", LevelName(level), message);
+  return true;
 }
 
 }  // namespace dphist

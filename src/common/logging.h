@@ -2,6 +2,7 @@
 #define DPHIST_COMMON_LOGGING_H_
 
 #include <cstdarg>
+#include <cstdint>
 
 namespace dphist {
 
@@ -9,14 +10,26 @@ namespace dphist {
 /// to kWarning to keep their stdout machine-parseable.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the global minimum severity that is emitted. Thread-compatible:
-/// call before spawning workers.
+/// Sets the global minimum severity that is emitted. Thread-safe: the
+/// level is an atomic, so workers may adjust it mid-run (e.g. a fault
+/// storm dropping to kError).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Caps emission at `max_per_window` messages per one-second window
+/// (0 = unlimited, the default). Messages over the budget are dropped
+/// and counted; the first message of the next window notes how many
+/// were suppressed. Calling this resets the current window.
+void SetLogRateLimit(uint64_t max_per_window);
+uint64_t GetLogRateLimit();
+
+/// Total messages dropped by the rate limiter since process start.
+uint64_t SuppressedLogCount();
+
 /// printf-style logging to stderr with a severity prefix. Messages below
-/// the global threshold are dropped.
-void Log(LogLevel level, const char* format, ...)
+/// the global threshold or over the rate limit are dropped. Returns
+/// whether the message was emitted.
+bool Log(LogLevel level, const char* format, ...)
     __attribute__((format(printf, 2, 3)));
 
 }  // namespace dphist

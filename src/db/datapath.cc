@@ -22,8 +22,14 @@ ColumnStats StatsFromAcceleratorReport(const accel::AcceleratorReport& report,
   stats.ndv = report.distinct_values;
   stats.min_value = request.min_value;
   stats.max_value = request.max_value;
-  stats.sampling_rate = 1.0;  // the accelerator always sees all rows
+  stats.sampling_rate = 1.0;  // the accelerator sees every arriving row
   stats.build_seconds = report.total_seconds;
+  // Quality stamp: a degraded scan (lost pages, dropped rows, destroyed
+  // bins) is still installable, but the planner must know.
+  stats.provenance = report.quality.complete()
+                         ? StatsProvenance::kImplicit
+                         : StatsProvenance::kImplicitPartial;
+  stats.coverage = report.quality.Coverage();
   return stats;
 }
 

@@ -17,6 +17,18 @@ constexpr double kDefaultEqSelectivity = 0.0005;
 
 double Log2Safe(double x) { return std::log2(std::max(2.0, x)); }
 
+/// Scales an estimate derived from degraded implicit stats back up to the
+/// full population. A partial scan saw only `coverage` of the rows, so
+/// its histogram undercounts everything by roughly that factor; full-
+/// quality and sampling-fallback stats are already population-scaled.
+double DiscountForCoverage(double estimate, const ColumnStats& stats) {
+  if (stats.provenance == StatsProvenance::kImplicitPartial &&
+      stats.coverage > 0 && stats.coverage < 1.0) {
+    return estimate / stats.coverage;
+  }
+  return estimate;
+}
+
 }  // namespace
 
 const char* JoinAlgorithmName(JoinAlgorithm algorithm) {
@@ -75,6 +87,8 @@ Result<PlanChoice> PlanQ1(const Catalog& catalog,
             estimator.EstimateEquals(query.price_scaled);
       }
     }
+    plan.estimated_somelines =
+        DiscountForCoverage(plan.estimated_somelines, price_stats);
     plan.used_histogram = true;
   } else {
     plan.estimated_somelines =
@@ -85,8 +99,8 @@ Result<PlanChoice> PlanQ1(const Catalog& catalog,
   const ColumnStats& custkey_stats = customer->column_stats[custkey_col];
   if (custkey_stats.valid) {
     hist::Estimator estimator(&custkey_stats.histogram);
-    plan.estimated_customers =
-        estimator.EstimateLess(query.custkey_limit);
+    plan.estimated_customers = DiscountForCoverage(
+        estimator.EstimateLess(query.custkey_limit), custkey_stats);
   } else {
     plan.estimated_customers = std::min(
         static_cast<double>(customer->table->row_count()),
@@ -110,14 +124,26 @@ Result<PlanChoice> PlanQ1(const Catalog& catalog,
                   ? JoinAlgorithm::kNestedLoops
                   : JoinAlgorithm::kSortMerge;
 
+  // The stats source matters for debugging bad plans: "implicit-partial"
+  // says the estimates came from a degraded scan and were rescaled.
+  char stats_desc[64];
+  if (!plan.used_histogram) {
+    std::snprintf(stats_desc, sizeof(stats_desc), "default");
+  } else if (price_stats.provenance == StatsProvenance::kImplicit &&
+             custkey_stats.provenance == StatsProvenance::kImplicit) {
+    std::snprintf(stats_desc, sizeof(stats_desc), "histogram");
+  } else {
+    std::snprintf(stats_desc, sizeof(stats_desc), "histogram[%s/%s]",
+                  StatsProvenanceName(price_stats.provenance),
+                  StatsProvenanceName(custkey_stats.provenance));
+  }
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "%s (est somelines=%.0f, est customers=%.0f, "
                 "cost NLJ=%.3g, cost SMJ=%.3g, stats=%s)",
                 JoinAlgorithmName(plan.join), plan.estimated_somelines,
                 plan.estimated_customers, plan.cost_nested_loops,
-                plan.cost_sort_merge,
-                plan.used_histogram ? "histogram" : "default");
+                plan.cost_sort_merge, stats_desc);
   plan.explanation = buf;
   return plan;
 }

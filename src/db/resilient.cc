@@ -1,0 +1,241 @@
+#include "db/resilient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "db/storage.h"
+#include "hist/builders.h"
+#include "hist/sampling.h"
+
+namespace dphist::db {
+
+namespace {
+
+/// Aggregates a sorted value vector into (value, count) pairs.
+hist::FrequencyVector AggregateSorted(const std::vector<int64_t>& sorted) {
+  hist::FrequencyVector freqs;
+  for (size_t i = 0; i < sorted.size();) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    freqs.push_back(hist::ValueCount{sorted[i], j - i});
+    i = j;
+  }
+  return freqs;
+}
+
+}  // namespace
+
+const char* ScanPathName(ScanPath path) {
+  switch (path) {
+    case ScanPath::kImplicit:
+      return "implicit";
+    case ScanPath::kImplicitPartial:
+      return "implicit-partial";
+    case ScanPath::kSamplingFallback:
+      return "sampling-fallback";
+    case ScanPath::kStatsRetained:
+      return "stats-retained";
+  }
+  return "?";
+}
+
+std::string ScanOutcome::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "path=%s attempts=%u retries=%u backoff=%.1fms "
+                "breaker_open=%d tripped=%d installed=%d coverage=%.1f%%",
+                ScanPathName(path), attempts, retries,
+                backoff_seconds * 1e3, breaker_was_open ? 1 : 0,
+                tripped_breaker ? 1 : 0, stats_installed ? 1 : 0,
+                quality.Coverage() * 100.0);
+  return buf;
+}
+
+std::string ScanCounters::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "scans=%llu attempts=%llu retries=%llu failures=%llu "
+                "partial=%llu fallbacks=%llu trips=%llu short_circuits=%llu",
+                (unsigned long long)scans, (unsigned long long)attempts,
+                (unsigned long long)retries,
+                (unsigned long long)device_failures,
+                (unsigned long long)partial_scans,
+                (unsigned long long)fallback_scans,
+                (unsigned long long)breaker_trips,
+                (unsigned long long)short_circuits);
+  return buf;
+}
+
+Result<ColumnStats> ResilientScanner::BuildFallbackStats(
+    const page::TableFile& table, size_t column) const {
+  const FallbackPolicy& policy = options_.fallback;
+  std::vector<int64_t> values = table.ReadColumn(column);
+  if (values.empty()) {
+    return Status::NotFound("fallback: table has no rows to sample");
+  }
+  WallTimer timer;
+  Rng rng(policy.seed);
+  std::vector<int64_t> sample =
+      hist::ReservoirSample(values, policy.reservoir_rows, &rng);
+  const double rate = static_cast<double>(sample.size()) /
+                      static_cast<double>(values.size());
+  std::sort(sample.begin(), sample.end());
+  hist::FrequencyVector freqs = AggregateSorted(sample);
+
+  ColumnStats stats;
+  stats.valid = true;
+  stats.histogram = hist::ScaleToPopulation(
+      hist::EquiDepthSparse(freqs, policy.num_buckets), rate);
+  stats.top_k = hist::TopKSparse(freqs, policy.top_k);
+  if (rate < 1.0) {
+    for (auto& entry : stats.top_k) {
+      entry.count = static_cast<uint64_t>(std::llround(
+          static_cast<double>(entry.count) / rate));
+    }
+  }
+  stats.ndv = freqs.size();  // lower bound; honest for a sample
+  stats.min_value = freqs.front().value;
+  stats.max_value = freqs.back().value;
+  stats.row_count = values.size();
+  stats.sampling_rate = rate;
+  stats.build_seconds = timer.Seconds();
+  stats.provenance = StatsProvenance::kSamplingFallback;
+  stats.coverage = rate;
+  return stats;
+}
+
+Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
+    const std::string& table, size_t column,
+    const accel::ScanRequest& request) {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Find(table));
+  if (column >= entry->table->schema().num_columns()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+
+  ScanOutcome outcome;
+  ++counters_.scans;
+
+  // Circuit breaker: while open, most scans skip the device entirely and
+  // go straight to the fallback; every probe_interval-th scan sends one
+  // half-open probe.
+  bool try_device = true;
+  bool probing = false;
+  if (breaker_open_) {
+    outcome.breaker_was_open = true;
+    ++scans_while_open_;
+    if (options_.breaker.probe_interval == 0 ||
+        scans_while_open_ % options_.breaker.probe_interval != 0) {
+      try_device = false;
+      ++counters_.short_circuits;
+    } else {
+      probing = true;
+    }
+  }
+
+  accel::ScanRequest scan = request;
+  scan.column_index = column;
+
+  if (try_device) {
+    // A half-open probe gets exactly one attempt; normal scans retry
+    // with exponential backoff.
+    const uint32_t max_attempts =
+        probing ? 1 : std::max<uint32_t>(1, options_.retry.max_attempts);
+    double backoff = options_.retry.initial_backoff_seconds;
+    for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      ++outcome.attempts;
+      ++counters_.attempts;
+      auto report = accelerator_->ProcessTable(*entry->table, scan);
+      const bool usable =
+          report.ok() && report->quality.Coverage() >= options_.min_coverage;
+      if (usable) {
+        consecutive_failures_ = 0;
+        if (breaker_open_) {
+          Log(LogLevel::kInfo,
+              "resilient scan: probe succeeded, closing breaker for '%s'",
+              table.c_str());
+          breaker_open_ = false;
+          scans_while_open_ = 0;
+        }
+        outcome.quality = report->quality;
+        DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
+            table, column, StatsFromAcceleratorReport(*report, scan)));
+        outcome.stats_installed = true;
+        if (report->quality.complete()) {
+          outcome.path = ScanPath::kImplicit;
+        } else {
+          outcome.path = ScanPath::kImplicitPartial;
+          ++counters_.partial_scans;
+          Log(LogLevel::kWarning,
+              "resilient scan: installed partial stats for '%s' col %zu "
+              "(coverage %.1f%%)",
+              table.c_str(), column, report->quality.Coverage() * 100.0);
+        }
+        return outcome;
+      }
+
+      // Device failure (hard error or unusable quality).
+      ++counters_.device_failures;
+      ++consecutive_failures_;
+      if (report.ok()) {
+        outcome.quality = report->quality;
+        char msg[128];
+        std::snprintf(msg, sizeof(msg),
+                      "scan quality below threshold (coverage %.1f%% < "
+                      "%.1f%%)",
+                      report->quality.Coverage() * 100.0,
+                      options_.min_coverage * 100.0);
+        outcome.last_device_error = msg;
+      } else {
+        outcome.last_device_error = report.status().ToString();
+      }
+      Log(LogLevel::kWarning, "resilient scan: device failure on '%s': %s",
+          table.c_str(), outcome.last_device_error.c_str());
+
+      if (!breaker_open_ &&
+          consecutive_failures_ >= options_.breaker.trip_threshold) {
+        breaker_open_ = true;
+        scans_while_open_ = 0;
+        outcome.tripped_breaker = true;
+        ++counters_.breaker_trips;
+        Log(LogLevel::kError,
+            "resilient scan: breaker tripped after %u consecutive device "
+            "failures",
+            consecutive_failures_);
+        break;  // no point retrying a device we just declared down
+      }
+      if (probing) break;  // a failed probe keeps the breaker open
+      if (attempt < max_attempts) {
+        ++outcome.retries;
+        ++counters_.retries;
+        outcome.backoff_seconds += backoff;
+        backoff *= options_.retry.backoff_multiplier;
+      }
+    }
+  }
+
+  // Software fallback: histograms the way a DBMS without the device
+  // would build them — reservoir sample, sort, bucketize, scale up.
+  if (options_.fallback.enabled) {
+    auto fallback = BuildFallbackStats(*entry->table, column);
+    if (fallback.ok()) {
+      DPHIST_RETURN_NOT_OK(
+          catalog_->SetColumnStats(table, column, std::move(*fallback)));
+      outcome.path = ScanPath::kSamplingFallback;
+      outcome.stats_installed = true;
+      ++counters_.fallback_scans;
+      return outcome;
+    }
+    Log(LogLevel::kWarning, "resilient scan: fallback failed for '%s': %s",
+        table.c_str(), fallback.status().ToString().c_str());
+  }
+
+  // Nothing installable: the previous stats (if any) stay in place —
+  // stale-but-consistent beats absent.
+  outcome.path = ScanPath::kStatsRetained;
+  return outcome;
+}
+
+}  // namespace dphist::db

@@ -1,0 +1,143 @@
+#ifndef DPHIST_DB_RESILIENT_H_
+#define DPHIST_DB_RESILIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "accel/accelerator.h"
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/datapath.h"
+
+namespace dphist::db {
+
+/// Retry-with-exponential-backoff policy for device scan attempts.
+/// Backoff is *modelled* (accumulated in the outcome as simulated
+/// seconds), not slept — everything downstream of the simulator already
+/// treats time as data.
+struct RetryPolicy {
+  uint32_t max_attempts = 3;  ///< total attempts per scan (1 = no retry)
+  double initial_backoff_seconds = 0.001;
+  double backoff_multiplier = 2.0;
+};
+
+/// Circuit breaker over the implicit path: after `trip_threshold`
+/// consecutive device failures the breaker opens and scans stop touching
+/// the device (straight to fallback). Every `probe_interval`-th scan
+/// while open sends a single half-open probe; a successful probe closes
+/// the breaker.
+struct BreakerPolicy {
+  uint32_t trip_threshold = 3;
+  uint32_t probe_interval = 4;
+};
+
+/// Software fallback: when the device is down or its output unusable,
+/// rebuild the column's stats host-side from a reservoir sample
+/// (hist::ReservoirSample + hist::builders) and install them stamped
+/// StatsProvenance::kSamplingFallback.
+struct FallbackPolicy {
+  bool enabled = true;
+  uint64_t reservoir_rows = 20000;  ///< sample size (min(k, n) rows kept)
+  uint32_t num_buckets = 64;
+  uint32_t top_k = 16;
+  uint64_t seed = 0x5EED;
+};
+
+struct ResilientScannerOptions {
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  FallbackPolicy fallback;
+  /// Minimum ScanQuality coverage for a partial device report to be
+  /// installed; below this the scan counts as a device failure.
+  double min_coverage = 0.5;
+};
+
+/// Which path ultimately refreshed (or preserved) the column's stats.
+enum class ScanPath {
+  kImplicit,          ///< device scan, complete quality
+  kImplicitPartial,   ///< device scan, degraded but above min_coverage
+  kSamplingFallback,  ///< software rebuild installed
+  kStatsRetained,     ///< nothing installed; previous stats kept
+};
+
+const char* ScanPathName(ScanPath path);
+
+/// Everything that happened during one resilient scan.
+struct ScanOutcome {
+  ScanPath path = ScanPath::kStatsRetained;
+  uint32_t attempts = 0;  ///< device attempts made (0 when short-circuited)
+  uint32_t retries = 0;
+  bool breaker_was_open = false;  ///< breaker open when the scan started
+  bool tripped_breaker = false;   ///< this scan opened the breaker
+  bool stats_installed = false;
+  double backoff_seconds = 0;  ///< modelled retry backoff, summed
+  accel::ScanQuality quality;  ///< last device report's quality (if any)
+  std::string last_device_error;
+
+  std::string ToString() const;
+};
+
+/// Cumulative counters across the scanner's lifetime, for dashboards and
+/// the examples' observability printout.
+struct ScanCounters {
+  uint64_t scans = 0;
+  uint64_t attempts = 0;
+  uint64_t retries = 0;
+  uint64_t device_failures = 0;
+  uint64_t partial_scans = 0;
+  uint64_t fallback_scans = 0;
+  uint64_t breaker_trips = 0;
+  uint64_t short_circuits = 0;  ///< scans that skipped the device entirely
+
+  std::string ToString() const;
+};
+
+/// DataPathScanner hardened for production: the paper's device "must not
+/// abort the wire", and this wrapper extends the same promise to the
+/// catalog — a scan never aborts the process and always leaves the
+/// catalog consistent (fresh implicit stats, stamped-fallback stats, or
+/// the previous stats untouched). Device trouble is absorbed by retry
+/// with exponential backoff, a circuit breaker, and a software sampling
+/// fallback.
+class ResilientScanner {
+ public:
+  /// Neither pointer is owned; both must outlive the scanner.
+  ResilientScanner(Catalog* catalog, accel::Accelerator* accelerator,
+                   ResilientScannerOptions options = {})
+      : catalog_(catalog), accelerator_(accelerator),
+        options_(std::move(options)) {}
+
+  /// Scans `table` and refreshes `column`'s stats, degrading as needed.
+  /// Returns an error only for caller mistakes (unknown table, bad
+  /// column); device trouble is reported through the outcome.
+  Result<ScanOutcome> ScanAndRefresh(const std::string& table, size_t column,
+                                     const accel::ScanRequest& request);
+
+  const ScanCounters& counters() const { return counters_; }
+  bool breaker_open() const { return breaker_open_; }
+  uint32_t consecutive_failures() const { return consecutive_failures_; }
+
+  /// Manually closes the breaker (e.g., after servicing the device).
+  void ResetBreaker() {
+    breaker_open_ = false;
+    scans_while_open_ = 0;
+    consecutive_failures_ = 0;
+  }
+
+ private:
+  /// Rebuilds the column's stats host-side from a reservoir sample.
+  Result<ColumnStats> BuildFallbackStats(const page::TableFile& table,
+                                         size_t column) const;
+
+  Catalog* catalog_;
+  accel::Accelerator* accelerator_;
+  ResilientScannerOptions options_;
+  ScanCounters counters_;
+  uint32_t consecutive_failures_ = 0;
+  bool breaker_open_ = false;
+  uint64_t scans_while_open_ = 0;
+};
+
+}  // namespace dphist::db
+
+#endif  // DPHIST_DB_RESILIENT_H_

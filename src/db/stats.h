@@ -8,6 +8,28 @@
 
 namespace dphist::db {
 
+/// Where a column's statistics came from, and therefore how much the
+/// planner should trust them. The implicit (in-datapath) path may
+/// degrade under device faults rather than fail — the catalog records
+/// that degradation instead of hiding it.
+enum class StatsProvenance {
+  kImplicit,          ///< full-quality data-path scan (every row seen)
+  kImplicitPartial,   ///< data-path scan that lost pages/rows/bins
+  kSamplingFallback,  ///< software rebuild from a host-side sample
+};
+
+inline const char* StatsProvenanceName(StatsProvenance provenance) {
+  switch (provenance) {
+    case StatsProvenance::kImplicit:
+      return "implicit";
+    case StatsProvenance::kImplicitPartial:
+      return "implicit-partial";
+    case StatsProvenance::kSamplingFallback:
+      return "sampling-fallback";
+  }
+  return "?";
+}
+
 /// Optimizer statistics for one column, as stored in the catalog. The
 /// paper's thesis is about the *freshness* of exactly this object:
 /// `version` records the catalog version at which the stats were built,
@@ -23,6 +45,10 @@ struct ColumnStats {
   double sampling_rate = 1.0;  ///< fraction of rows examined when built
   double build_seconds = 0;    ///< what it cost to produce
   uint64_t version = 0;        ///< catalog data version when built
+  /// Quality stamp: how the stats were built and what fraction of the
+  /// data they describe. The planner discounts low-coverage estimates.
+  StatsProvenance provenance = StatsProvenance::kImplicit;
+  double coverage = 1.0;  ///< estimated fraction of rows described
 };
 
 }  // namespace dphist::db

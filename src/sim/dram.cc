@@ -4,9 +4,14 @@
 
 namespace dphist::sim {
 
-void Dram::AllocateBins(uint64_t bin_count) {
-  DPHIST_CHECK_LE(bin_count * config_.bin_bytes, config_.capacity_bytes);
+Status Dram::AllocateBins(uint64_t bin_count) {
+  // Division avoids overflow for astronomically wide request domains.
+  if (bin_count > config_.capacity_bytes / config_.bin_bytes) {
+    return Status::ResourceExhausted(
+        "binned representation exceeds DRAM capacity");
+  }
   bins_.assign(bin_count, 0);
+  return Status::OK();
 }
 
 double Dram::Service(double now, uint64_t line) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 
 namespace dphist::sim {
 
@@ -55,12 +56,19 @@ class Dram {
     DPHIST_CHECK_EQ(config.line_bytes % config.bin_bytes, 0u);
   }
 
+  /// The timed access methods are virtual so fault-injection decorators
+  /// (sim::FaultyDram) can wrap them; see sim/fault.h.
+  virtual ~Dram() = default;
+
   const DramConfig& config() const { return config_; }
   const DramStats& stats() const { return stats_; }
 
   /// Ensures the functional backing store covers `bin_count` bins
-  /// starting at bin address 0 and zeroes them.
-  void AllocateBins(uint64_t bin_count);
+  /// starting at bin address 0 and zeroes them. Fails with
+  /// ResourceExhausted when the binned representation would exceed the
+  /// configured capacity — the request's domain metadata is host-supplied
+  /// and must never abort the device.
+  Status AllocateBins(uint64_t bin_count);
   uint64_t allocated_bins() const { return bins_.size(); }
 
   /// Direct functional access (no timing) for verification and for the
@@ -77,21 +85,21 @@ class Dram {
   /// Timed read of the line containing `bin_index`, requested at time
   /// `now` (cycles). Returns the cycle at which the data is available to
   /// the pipeline; the port is busy until the service interval elapses.
-  double IssueRead(double now, uint64_t bin_index);
+  virtual double IssueRead(double now, uint64_t bin_index);
 
   /// Timed write of the line containing `bin_index`. Returns the cycle at
   /// which the write is accepted (the pipeline may continue; data is
   /// committed functionally immediately).
-  double IssueWrite(double now, uint64_t bin_index);
+  virtual double IssueWrite(double now, uint64_t bin_index);
 
   /// Timed sequential line read used by the Scanner: streaming reads
   /// pipeline back-to-back at the near interval per line.
-  double IssueSequentialLineRead(double now, uint64_t line_index);
+  virtual double IssueSequentialLineRead(double now, uint64_t line_index);
 
   /// Earliest time the port can accept a new command.
   double port_free_at() const { return port_free_at_; }
 
-  void ResetTiming() {
+  virtual void ResetTiming() {
     port_free_at_ = 0.0;
     last_line_ = kNoLine;
     stats_ = DramStats{};
@@ -100,6 +108,11 @@ class Dram {
   uint64_t LineOfBin(uint64_t bin_index) const {
     return bin_index / config_.bins_per_line();
   }
+
+ protected:
+  /// Functional backing store, visible to fault decorators that damage
+  /// stored counts.
+  std::vector<uint64_t> bins_;
 
  private:
   static constexpr uint64_t kNoLine = ~0ULL;
@@ -110,7 +123,6 @@ class Dram {
 
   DramConfig config_;
   DramStats stats_;
-  std::vector<uint64_t> bins_;
   double port_free_at_ = 0.0;
   uint64_t last_line_ = kNoLine;
 };

@@ -1,0 +1,116 @@
+#include "sim/fault.h"
+
+namespace dphist::sim {
+
+FaultScenario FaultScenario::None() { return FaultScenario{}; }
+
+FaultScenario FaultScenario::PageCorruption(double probability,
+                                            uint64_t seed) {
+  FaultScenario s;
+  s.enabled = true;
+  s.seed = seed;
+  s.page_corrupt_probability = probability;
+  return s;
+}
+
+FaultScenario FaultScenario::PageTruncation(double probability,
+                                            uint64_t seed) {
+  FaultScenario s;
+  s.enabled = true;
+  s.seed = seed;
+  s.page_truncate_probability = probability;
+  return s;
+}
+
+FaultScenario FaultScenario::DramEcc(double probability, uint64_t seed) {
+  FaultScenario s;
+  s.enabled = true;
+  s.seed = seed;
+  s.ecc_error_probability = probability;
+  return s;
+}
+
+FaultScenario FaultScenario::LatencySpikes(double probability, double cycles,
+                                           uint64_t seed) {
+  FaultScenario s;
+  s.enabled = true;
+  s.seed = seed;
+  s.latency_spike_probability = probability;
+  s.latency_spike_cycles = cycles;
+  return s;
+}
+
+FaultScenario FaultScenario::DeviceOutage(uint32_t fail_scans,
+                                          uint64_t seed) {
+  FaultScenario s;
+  s.enabled = true;
+  s.seed = seed;
+  s.fail_scans = fail_scans;
+  return s;
+}
+
+double FaultyDram::MaybeSpike() {
+  if (!injector_.Roll(injector_.scenario().latency_spike_probability)) {
+    return 0.0;
+  }
+  ++fault_stats_.latency_spikes;
+  fault_stats_.latency_spike_cycles +=
+      injector_.scenario().latency_spike_cycles;
+  return injector_.scenario().latency_spike_cycles;
+}
+
+void FaultyDram::LoseLine(uint64_t line) {
+  ++fault_stats_.ecc_errors;
+  const uint64_t first = line * config().bins_per_line();
+  for (uint64_t b = first;
+       b < first + config().bins_per_line() && b < allocated_bins(); ++b) {
+    ++fault_stats_.bins_lost;
+    bins_[b] = 0;
+  }
+}
+
+void FaultyDram::CorruptReadTarget(uint64_t bin_index) {
+  const FaultScenario& s = injector_.scenario();
+  if (bin_index < allocated_bins() && injector_.Roll(s.bit_flip_probability)) {
+    // The flipped word is both returned and written back by the device's
+    // read-modify-write, so the corruption is persistent.
+    bins_[bin_index] ^= 1ULL << (injector_.NextBits() % 64);
+    ++fault_stats_.bit_flips;
+  }
+  if (injector_.Roll(s.ecc_error_probability)) {
+    LoseLine(LineOfBin(bin_index));
+  }
+}
+
+double FaultyDram::IssueRead(double now, uint64_t bin_index) {
+  double ready = Dram::IssueRead(now, bin_index);
+  CorruptReadTarget(bin_index);
+  return ready + MaybeSpike();
+}
+
+double FaultyDram::IssueWrite(double now, uint64_t bin_index) {
+  double accepted = Dram::IssueWrite(now, bin_index);
+  const FaultScenario& s = injector_.scenario();
+  for (uint64_t stuck : s.stuck_bins) {
+    if (stuck == bin_index && stuck < allocated_bins()) {
+      bins_[stuck] = s.stuck_value;
+      ++fault_stats_.stuck_writes;
+    }
+  }
+  return accepted + MaybeSpike();
+}
+
+double FaultyDram::IssueSequentialLineRead(double now, uint64_t line_index) {
+  double ready = Dram::IssueSequentialLineRead(now, line_index);
+  if (injector_.Roll(injector_.scenario().ecc_error_probability)) {
+    LoseLine(line_index);
+  }
+  return ready + MaybeSpike();
+}
+
+void FaultyDram::ResetTiming() {
+  Dram::ResetTiming();
+  fault_stats_ = FaultStats{};
+}
+
+}  // namespace dphist::sim

@@ -1,0 +1,163 @@
+#ifndef DPHIST_SIM_FAULT_H_
+#define DPHIST_SIM_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "sim/dram.h"
+
+namespace dphist::sim {
+
+/// Declarative description of what misbehaves, with what probability.
+/// All probabilities are per-event (per DRAM operation, per page, per
+/// scan); every draw comes from one seeded generator, so a scenario's
+/// fault pattern is fully reproducible from `seed`.
+///
+/// The paper's contract (Section 4) is that the in-datapath device "must
+/// not abort the wire": faults injected here may degrade the statistics
+/// side effect but must never cost the query its data or the process its
+/// life. Tests drive every scenario through the full stack to enforce
+/// that.
+struct FaultScenario {
+  bool enabled = false;
+  uint64_t seed = 1;
+
+  /// Device-level: the next `fail_scans` scan attempts fail outright
+  /// (e.g., the device dropped off the bus), then the device recovers.
+  /// `scan_failure_probability` adds random scan-level failures on top.
+  uint32_t fail_scans = 0;
+  double scan_failure_probability = 0;
+
+  /// DRAM faults, applied on the timed access path.
+  double bit_flip_probability = 0;   ///< per read: flip one stored bit
+  double ecc_error_probability = 0;  ///< per read: line uncorrectable, zeroed
+  std::vector<uint64_t> stuck_bins;  ///< bins whose cell is stuck ...
+  uint64_t stuck_value = 0;          ///< ... at this value
+  double latency_spike_probability = 0;  ///< per DRAM op
+  double latency_spike_cycles = 10000;   ///< added service time per spike
+
+  /// Page-stream faults (the wire between storage and the tap).
+  double page_drop_probability = 0;      ///< page never arrives
+  double page_truncate_probability = 0;  ///< page cut short mid-transfer
+  double page_corrupt_probability = 0;   ///< header bytes damaged in flight
+
+  bool any_dram_faults() const {
+    return enabled && (bit_flip_probability > 0 || ecc_error_probability > 0 ||
+                       !stuck_bins.empty() || latency_spike_probability > 0);
+  }
+  bool any_page_faults() const {
+    return enabled && (page_drop_probability > 0 ||
+                       page_truncate_probability > 0 ||
+                       page_corrupt_probability > 0);
+  }
+  bool any_scan_faults() const {
+    return enabled && (fail_scans > 0 || scan_failure_probability > 0);
+  }
+
+  /// Named scenario presets used by the fault-matrix tests and examples.
+  static FaultScenario None();
+  static FaultScenario PageCorruption(double probability, uint64_t seed);
+  static FaultScenario PageTruncation(double probability, uint64_t seed);
+  static FaultScenario DramEcc(double probability, uint64_t seed);
+  static FaultScenario LatencySpikes(double probability, double cycles,
+                                     uint64_t seed);
+  static FaultScenario DeviceOutage(uint32_t fail_scans, uint64_t seed);
+};
+
+/// Counters of injected faults, kept separately per consumer so a report
+/// can attribute degradation to its cause.
+struct FaultStats {
+  uint64_t bit_flips = 0;
+  uint64_t ecc_errors = 0;       ///< uncorrectable line reads
+  uint64_t bins_lost = 0;        ///< bins zeroed by ECC errors
+  uint64_t stuck_writes = 0;     ///< writes overridden by a stuck cell
+  uint64_t latency_spikes = 0;
+  double latency_spike_cycles = 0;
+
+  uint64_t total() const {
+    return bit_flips + ecc_errors + stuck_writes + latency_spikes;
+  }
+};
+
+/// Deterministic fault oracle: every decision ("does this operation
+/// fault?") consumes bits from a seeded xoshiro stream, so two injectors
+/// built from the same scenario make identical decisions in identical
+/// call orders. `salt` decorrelates multiple injectors sharing one
+/// scenario (e.g., the DRAM's and the page stream's).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultScenario& scenario, uint64_t salt = 0)
+      : scenario_(scenario), rng_(scenario.seed ^ salt),
+        remaining_scan_failures_(scenario.enabled ? scenario.fail_scans : 0) {}
+
+  const FaultScenario& scenario() const { return scenario_; }
+
+  /// True with probability `p`; always consumes one draw when p > 0 so
+  /// decision streams stay aligned across runs.
+  bool Roll(double p) { return p > 0 && rng_.NextBernoulli(p); }
+
+  /// Uniform bits for picking which bit/byte/offset to damage.
+  uint64_t NextBits() { return rng_.Next(); }
+
+  /// Consumes one scan attempt: true if the device fails it outright.
+  bool NextScanFails() {
+    if (!scenario_.enabled) return false;
+    if (remaining_scan_failures_ > 0) {
+      --remaining_scan_failures_;
+      return true;
+    }
+    return Roll(scenario_.scan_failure_probability);
+  }
+
+  uint32_t remaining_scan_failures() const {
+    return remaining_scan_failures_;
+  }
+
+ private:
+  FaultScenario scenario_;
+  Rng rng_;
+  uint32_t remaining_scan_failures_;
+};
+
+/// Decorator over the DDR3 model that injects memory-side faults on the
+/// timed access path while keeping the Dram interface, so the Binner and
+/// Histogram module run against it unchanged:
+///
+///  * bit flips  — a read returns (and writes back) one flipped bit of
+///    the stored bin count: persistent silent corruption;
+///  * ECC errors — an uncorrectable line read; the device drops the
+///    line's bins (zeroed) rather than serving poisoned data;
+///  * stuck bins — writes to a stuck cell land as `stuck_value`;
+///  * latency spikes — occasional long service times (refresh storms,
+///    retraining), affecting timing only.
+///
+/// Per-scan fault counts reset with ResetTiming(), matching the
+/// accelerator's per-scan lifecycle.
+class FaultyDram : public Dram {
+ public:
+  FaultyDram(const DramConfig& config, const FaultScenario& scenario)
+      : Dram(config), injector_(scenario, /*salt=*/0x0D12A3) {}
+
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  double IssueRead(double now, uint64_t bin_index) override;
+  double IssueWrite(double now, uint64_t bin_index) override;
+  double IssueSequentialLineRead(double now, uint64_t line_index) override;
+  void ResetTiming() override;
+
+ private:
+  /// One more cycle burned on a latency spike, or 0.
+  double MaybeSpike();
+  /// Applies bit-flip / ECC / stuck effects for a read of `bin_index`.
+  void CorruptReadTarget(uint64_t bin_index);
+  /// Zeroes every allocated bin of `line` (uncorrectable ECC).
+  void LoseLine(uint64_t line);
+
+  FaultInjector injector_;
+  FaultStats fault_stats_;
+};
+
+}  // namespace dphist::sim
+
+#endif  // DPHIST_SIM_FAULT_H_

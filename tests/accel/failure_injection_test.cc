@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "accel/accelerator.h"
+#include "accel/multi_column.h"
 #include "hist/dense_reference.h"
 #include "workload/distributions.h"
 
@@ -140,6 +141,195 @@ TEST(FailureInjectionTest, AllPagesCorruptYieldsEmptyHistograms) {
   EXPECT_EQ(report->corrupt_pages, table.page_count());
   EXPECT_TRUE(report->histograms.equi_depth.buckets.empty());
   EXPECT_TRUE(report->histograms.top_k.empty());
+}
+
+TEST(FailureInjectionTest, TruncatedFinalPageIsSkipped) {
+  auto column = workload::ZipfColumn(20000, 512, 0.5, 1);
+  auto table = workload::ColumnToTable(column, 2, 2);
+  ASSERT_GE(table.page_count(), 2u);
+
+  // The last page of a stream is the classic truncation victim: the
+  // transfer ends mid-page and there is no following page to resync on.
+  CorruptibleStream stream(table);
+  stream.Truncate(stream.pages.size() - 1);
+
+  Accelerator accelerator{AcceleratorConfig{}};
+  auto report = accelerator.ProcessPages(stream.Spans(), table.schema(),
+                                         TestRequest());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->corrupt_pages, 1u);
+  EXPECT_LT(report->rows, 20000u);
+  EXPECT_GT(report->rows, 0u);
+  EXPECT_FALSE(report->quality.complete());
+  EXPECT_LT(report->quality.Coverage(), 1.0);
+
+  uint64_t bucket_rows = 0;
+  for (const auto& b : report->histograms.equi_depth.buckets) {
+    bucket_rows += b.count;
+  }
+  EXPECT_EQ(bucket_rows, report->rows);
+}
+
+TEST(FailureInjectionTest, InjectedCorruptionReachesMultiColumnPath) {
+  auto column = workload::ZipfColumn(20000, 512, 0.5, 1);
+  auto table = workload::ColumnToTable(column, 3, 2);
+
+  AcceleratorConfig config;
+  config.faults = sim::FaultScenario::PageCorruption(0.5, /*seed=*/21);
+
+  std::vector<ScanRequest> requests(2, TestRequest());
+  requests[0].column_index = 0;
+  requests[1].column_index = 1;
+  // Filler columns hold uniform 48-bit values; widen the domain so both
+  // requests are satisfiable.
+  requests[1].min_value = 0;
+  requests[1].max_value = int64_t{1} << 48;
+  requests[1].granularity = int64_t{1} << 36;
+
+  auto report = ProcessTableMultiColumn(config, table, requests);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->columns.size(), 2u);
+  for (const auto& col : report->columns) {
+    // Each circuit re-runs the same seeded scenario, so each sees faults.
+    EXPECT_GT(col.quality.pages_corrupt, 0u);
+    EXPECT_FALSE(col.quality.complete());
+    EXPECT_LT(col.quality.Coverage(), 1.0);
+    EXPECT_GT(col.rows, 0u);
+  }
+}
+
+TEST(FailureInjectionTest, CutThroughBytesUntouchedUnderEveryFault) {
+  auto column = workload::ZipfColumn(10000, 256, 0.5, 4);
+  auto table = workload::ColumnToTable(column, 2, 4);
+
+  sim::FaultScenario everything;
+  everything.enabled = true;
+  everything.seed = 99;
+  everything.page_drop_probability = 0.2;
+  everything.page_truncate_probability = 0.2;
+  everything.page_corrupt_probability = 0.2;
+  everything.bit_flip_probability = 0.01;
+  everything.ecc_error_probability = 0.01;
+  everything.latency_spike_probability = 0.01;
+
+  const sim::FaultScenario scenarios[] = {
+      sim::FaultScenario::PageCorruption(0.5, 5),
+      sim::FaultScenario::PageTruncation(0.5, 6),
+      sim::FaultScenario::DramEcc(0.05, 7),
+      sim::FaultScenario::LatencySpikes(0.05, 10000, 8),
+      everything,
+  };
+  for (const auto& scenario : scenarios) {
+    // Snapshot what the host will receive on the cut-through path.
+    CorruptibleStream stream(table);
+    const std::vector<std::vector<uint8_t>> before = stream.pages;
+
+    AcceleratorConfig config;
+    config.faults = scenario;
+    Accelerator accelerator(config);
+    auto report = accelerator.ProcessPages(stream.Spans(), table.schema(),
+                                           TestRequest());
+    ASSERT_TRUE(report.ok());
+    // The statistics tap damages only its private copies: every byte the
+    // host sees is exactly what storage sent.
+    EXPECT_EQ(stream.pages, before);
+  }
+}
+
+TEST(FailureInjectionTest, DisabledFaultConfigIsBitIdenticalToDefault) {
+  auto column = workload::ZipfColumn(15000, 512, 0.75, 9);
+  auto table = workload::ColumnToTable(column, 2, 9);
+
+  Accelerator plain{AcceleratorConfig{}};
+  auto baseline = plain.ProcessTable(table, TestRequest());
+  ASSERT_TRUE(baseline.ok());
+
+  // enabled=true with no fault configured must not perturb anything:
+  // same histograms, same simulated timings, bit for bit.
+  AcceleratorConfig quiet_config;
+  quiet_config.faults.enabled = true;
+  Accelerator quiet(quiet_config);
+  auto report = quiet.ProcessTable(table, TestRequest());
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_EQ(report->rows, baseline->rows);
+  EXPECT_EQ(report->histograms.top_k, baseline->histograms.top_k);
+  EXPECT_EQ(report->histograms.equi_depth.buckets,
+            baseline->histograms.equi_depth.buckets);
+  EXPECT_EQ(report->histograms.max_diff.buckets,
+            baseline->histograms.max_diff.buckets);
+  EXPECT_EQ(report->histograms.compressed.buckets,
+            baseline->histograms.compressed.buckets);
+  EXPECT_EQ(report->histograms.compressed.singletons,
+            baseline->histograms.compressed.singletons);
+  EXPECT_EQ(report->total_seconds, baseline->total_seconds);
+  EXPECT_EQ(report->binner_finish_seconds, baseline->binner_finish_seconds);
+  EXPECT_TRUE(report->quality.complete());
+  EXPECT_DOUBLE_EQ(report->quality.Coverage(), 1.0);
+}
+
+TEST(FailureInjectionTest, HostileRequestValuesReturnStatusNotAbort) {
+  auto column = workload::ZipfColumn(1000, 64, 0.5, 2);
+  auto table = workload::ColumnToTable(column, 1, 2);
+  Accelerator accelerator{AcceleratorConfig{}};
+
+  // The request metadata is host-supplied (catalog bounds travel in the
+  // piggybacked packet): garbage must come back as Status, never abort.
+  ScanRequest inverted = TestRequest();
+  inverted.min_value = 512;
+  inverted.max_value = 1;
+  EXPECT_EQ(accelerator.ProcessTable(table, inverted).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ScanRequest zero_gran = TestRequest();
+  zero_gran.granularity = 0;
+  EXPECT_EQ(accelerator.ProcessTable(table, zero_gran).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Full-int64 span: the bin count does not even fit in arithmetic.
+  ScanRequest huge = TestRequest();
+  huge.min_value = INT64_MIN;
+  huge.max_value = INT64_MAX;
+  huge.granularity = 1;
+  auto huge_report = accelerator.ProcessTable(table, huge);
+  ASSERT_FALSE(huge_report.ok());
+
+  // Large but representable domain: exceeds DRAM capacity instead.
+  ScanRequest too_many_bins = TestRequest();
+  too_many_bins.min_value = 0;
+  too_many_bins.max_value = INT64_MAX / 2;
+  too_many_bins.granularity = 1;
+  EXPECT_EQ(accelerator.ProcessTable(table, too_many_bins).status().code(),
+            StatusCode::kResourceExhausted);
+
+  // A sane request still works on the same accelerator afterwards.
+  auto ok_report = accelerator.ProcessTable(table, TestRequest());
+  ASSERT_TRUE(ok_report.ok());
+  EXPECT_EQ(ok_report->rows, 1000u);
+}
+
+TEST(FailureInjectionTest, OutOfRangeValuesAreDroppedNotFatal) {
+  auto column = workload::ZipfColumn(10000, 512, 0.5, 3);
+  auto table = workload::ColumnToTable(column, 1, 3);
+
+  // The catalog's bounds are stale: the column outgrew [100, 200].
+  ScanRequest narrow = TestRequest();
+  narrow.min_value = 100;
+  narrow.max_value = 200;
+  Accelerator accelerator{AcceleratorConfig{}};
+  auto report = accelerator.ProcessTable(table, narrow);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows, 10000u);
+  EXPECT_GT(report->quality.rows_dropped, 0u);
+  EXPECT_LT(report->quality.rows_dropped, 10000u);
+  EXPECT_FALSE(report->quality.complete());
+
+  // The histograms describe exactly the in-range rows.
+  uint64_t bucket_rows = 0;
+  for (const auto& b : report->histograms.equi_depth.buckets) {
+    bucket_rows += b.count;
+  }
+  EXPECT_EQ(bucket_rows, report->rows - report->quality.rows_dropped);
 }
 
 }  // namespace

@@ -1,0 +1,75 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist {
+namespace {
+
+/// The logger is process-global state; every test restores the defaults
+/// so ordering between tests (and other suites) does not matter.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetLogLevel(LogLevel::kInfo);
+    SetLogRateLimit(0);
+  }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, BelowThresholdIsDropped) {
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(Log(LogLevel::kDebug, "dropped"));
+  EXPECT_FALSE(Log(LogLevel::kWarning, "dropped"));
+  EXPECT_TRUE(Log(LogLevel::kError, "emitted (logging_test)"));
+}
+
+TEST_F(LoggingTest, RateLimiterSuppressesAndCounts) {
+  SetLogLevel(LogLevel::kError);
+  SetLogRateLimit(2);
+  const uint64_t before = SuppressedLogCount();
+  EXPECT_TRUE(Log(LogLevel::kError, "rate limit test %d", 1));
+  EXPECT_TRUE(Log(LogLevel::kError, "rate limit test %d", 2));
+  EXPECT_FALSE(Log(LogLevel::kError, "rate limit test %d", 3));
+  EXPECT_FALSE(Log(LogLevel::kError, "rate limit test %d", 4));
+  EXPECT_EQ(SuppressedLogCount(), before + 2);
+}
+
+TEST_F(LoggingTest, SettingLimitResetsWindow) {
+  SetLogLevel(LogLevel::kError);
+  SetLogRateLimit(1);
+  EXPECT_TRUE(Log(LogLevel::kError, "window test a"));
+  EXPECT_FALSE(Log(LogLevel::kError, "window test b"));
+  // Reconfiguring opens a fresh window.
+  SetLogRateLimit(1);
+  EXPECT_TRUE(Log(LogLevel::kError, "window test c"));
+}
+
+TEST_F(LoggingTest, ZeroMeansUnlimited) {
+  SetLogLevel(LogLevel::kError);
+  SetLogRateLimit(0);
+  EXPECT_EQ(GetLogRateLimit(), 0u);
+  const uint64_t before = SuppressedLogCount();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(Log(LogLevel::kError, "unlimited %d (logging_test)", i));
+  }
+  EXPECT_EQ(SuppressedLogCount(), before);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesBelowLevelDoNotCount) {
+  SetLogLevel(LogLevel::kError);
+  SetLogRateLimit(1);
+  const uint64_t before = SuppressedLogCount();
+  // Dropped by severity, not by the limiter: the window budget is intact.
+  EXPECT_FALSE(Log(LogLevel::kDebug, "below level"));
+  EXPECT_EQ(SuppressedLogCount(), before);
+  EXPECT_TRUE(Log(LogLevel::kError, "budget intact (logging_test)"));
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,382 @@
+#include "db/resilient.h"
+
+#include <gtest/gtest.h>
+
+#include "db/planner.h"
+#include "workload/distributions.h"
+#include "workload/tpch.h"
+
+namespace dphist::db {
+namespace {
+
+constexpr uint64_t kRows = 20000;
+constexpr uint64_t kCardinality = 512;
+
+accel::ScanRequest TestRequest() {
+  accel::ScanRequest request;
+  request.min_value = 1;
+  request.max_value = kCardinality;
+  request.num_buckets = 16;
+  request.top_k = 8;
+  return request;
+}
+
+Catalog MakeCatalog() {
+  Catalog catalog;
+  auto column = workload::ZipfColumn(kRows, kCardinality, 0.5, 1);
+  catalog.AddTable("t", workload::ColumnToTable(column, 2, 2));
+  return catalog;
+}
+
+accel::AcceleratorConfig FaultyConfig(const sim::FaultScenario& scenario) {
+  accel::AcceleratorConfig config;
+  config.faults = scenario;
+  return config;
+}
+
+/// The acceptance matrix: under every fault class the scanner must
+/// neither abort nor error, and must leave the catalog with valid,
+/// honestly-stamped stats.
+TEST(ResilientScannerTest, FaultMatrixNeverAbortsAndKeepsCatalogConsistent) {
+  struct Case {
+    const char* name;
+    sim::FaultScenario scenario;
+  };
+  const Case cases[] = {
+      {"none", sim::FaultScenario::None()},
+      {"page-corruption", sim::FaultScenario::PageCorruption(0.3, 11)},
+      {"page-truncation", sim::FaultScenario::PageTruncation(0.3, 12)},
+      {"dram-ecc", sim::FaultScenario::DramEcc(0.02, 13)},
+      {"latency-spikes", sim::FaultScenario::LatencySpikes(0.05, 10000, 14)},
+      {"device-outage", sim::FaultScenario::DeviceOutage(1, 15)},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    Catalog catalog = MakeCatalog();
+    accel::Accelerator accelerator(FaultyConfig(c.scenario));
+    ResilientScanner scanner(&catalog, &accelerator);
+
+    auto outcome = scanner.ScanAndRefresh("t", 0, TestRequest());
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->stats_installed);
+
+    auto stats = catalog.GetColumnStats("t", 0);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_TRUE((*stats)->valid);
+    EXPECT_GT((*stats)->row_count, 0u);
+    EXPECT_GT((*stats)->coverage, 0.0);
+    EXPECT_LE((*stats)->coverage, 1.0);
+    // Histogram content is internally consistent: buckets plus
+    // singletons describe a non-empty population.
+    uint64_t described = 0;
+    for (const auto& b : (*stats)->histogram.buckets) described += b.count;
+    for (const auto& s : (*stats)->histogram.singletons) described += s.count;
+    EXPECT_GT(described, 0u);
+    // Outcome path and catalog provenance stamp agree.
+    switch (outcome->path) {
+      case ScanPath::kImplicit:
+        EXPECT_EQ((*stats)->provenance, StatsProvenance::kImplicit);
+        EXPECT_DOUBLE_EQ((*stats)->coverage, 1.0);
+        break;
+      case ScanPath::kImplicitPartial:
+        EXPECT_EQ((*stats)->provenance, StatsProvenance::kImplicitPartial);
+        // Page/row loss shows up as coverage < 1; ECC bin loss damages
+        // the histogram without reducing row coverage.
+        EXPECT_TRUE((*stats)->coverage < 1.0 ||
+                    outcome->quality.bins_lost > 0);
+        break;
+      case ScanPath::kSamplingFallback:
+        EXPECT_EQ((*stats)->provenance, StatsProvenance::kSamplingFallback);
+        break;
+      case ScanPath::kStatsRetained:
+        ADD_FAILURE() << "stats should have been installed";
+        break;
+    }
+  }
+}
+
+TEST(ResilientScannerTest, NoFaultsMatchesPlainScannerBitForBit) {
+  Catalog plain_catalog = MakeCatalog();
+  accel::Accelerator plain_accel{accel::AcceleratorConfig{}};
+  DataPathScanner plain(&plain_catalog, &plain_accel);
+  ASSERT_TRUE(plain.ScanAndRefresh("t", 0, TestRequest()).ok());
+
+  Catalog resilient_catalog = MakeCatalog();
+  accel::Accelerator resilient_accel{accel::AcceleratorConfig{}};
+  ResilientScanner resilient(&resilient_catalog, &resilient_accel);
+  auto outcome = resilient.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->path, ScanPath::kImplicit);
+  EXPECT_EQ(outcome->attempts, 1u);
+  EXPECT_EQ(outcome->retries, 0u);
+
+  auto a = plain_catalog.GetColumnStats("t", 0);
+  auto b = resilient_catalog.GetColumnStats("t", 0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ((*a)->histogram.buckets, (*b)->histogram.buckets);
+  EXPECT_EQ((*a)->histogram.singletons, (*b)->histogram.singletons);
+  EXPECT_EQ((*a)->top_k, (*b)->top_k);
+  EXPECT_EQ((*a)->row_count, (*b)->row_count);
+  EXPECT_EQ((*a)->ndv, (*b)->ndv);
+  EXPECT_EQ((*a)->provenance, StatsProvenance::kImplicit);
+  EXPECT_EQ((*b)->provenance, StatsProvenance::kImplicit);
+}
+
+TEST(ResilientScannerTest, RetryAbsorbsShortOutage) {
+  Catalog catalog = MakeCatalog();
+  // First attempt fails, second succeeds: retries hide the blip entirely.
+  accel::Accelerator accelerator(
+      FaultyConfig(sim::FaultScenario::DeviceOutage(1, 3)));
+  ResilientScanner scanner(&catalog, &accelerator);
+  auto outcome = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->path, ScanPath::kImplicit);
+  EXPECT_EQ(outcome->attempts, 2u);
+  EXPECT_EQ(outcome->retries, 1u);
+  EXPECT_GT(outcome->backoff_seconds, 0.0);
+  EXPECT_FALSE(scanner.breaker_open());
+  EXPECT_EQ(scanner.counters().device_failures, 1u);
+}
+
+TEST(ResilientScannerTest, OutageTripProbeRecoverySequence) {
+  Catalog catalog = MakeCatalog();
+  // 4 failing attempts, then the device is healthy again.
+  accel::Accelerator accelerator(
+      FaultyConfig(sim::FaultScenario::DeviceOutage(4, 5)));
+  ResilientScannerOptions options;
+  options.retry.max_attempts = 2;
+  options.breaker.trip_threshold = 3;
+  options.breaker.probe_interval = 4;
+  ResilientScanner scanner(&catalog, &accelerator, options);
+
+  // Scan 1: both attempts fail (2 outage attempts consumed) -> fallback.
+  auto s1 = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(s1.ok());
+  EXPECT_EQ(s1->path, ScanPath::kSamplingFallback);
+  EXPECT_EQ(s1->attempts, 2u);
+  EXPECT_FALSE(scanner.breaker_open());
+
+  // Scan 2: third consecutive failure trips the breaker.
+  auto s2 = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(s2->path, ScanPath::kSamplingFallback);
+  EXPECT_TRUE(s2->tripped_breaker);
+  EXPECT_TRUE(scanner.breaker_open());
+
+  // Scans 3-5: breaker open, device never touched.
+  for (int i = 0; i < 3; ++i) {
+    auto s = scanner.ScanAndRefresh("t", 0, TestRequest());
+    ASSERT_TRUE(s.ok());
+    EXPECT_TRUE(s->breaker_was_open);
+    EXPECT_EQ(s->attempts, 0u);
+    EXPECT_EQ(s->path, ScanPath::kSamplingFallback);
+  }
+  EXPECT_EQ(scanner.counters().short_circuits, 3u);
+
+  // Scan 6: half-open probe; the outage's last failing attempt eats it.
+  auto s6 = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(s6.ok());
+  EXPECT_EQ(s6->attempts, 1u);
+  EXPECT_EQ(s6->path, ScanPath::kSamplingFallback);
+  EXPECT_TRUE(scanner.breaker_open());
+
+  // Scans 7-9: still open, still short-circuiting.
+  for (int i = 0; i < 3; ++i) {
+    auto s = scanner.ScanAndRefresh("t", 0, TestRequest());
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(s->attempts, 0u);
+  }
+
+  // Scan 10: probe again — the device recovered, breaker closes, the
+  // catalog gets full-quality implicit stats.
+  auto s10 = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(s10.ok());
+  EXPECT_EQ(s10->path, ScanPath::kImplicit);
+  EXPECT_FALSE(scanner.breaker_open());
+  auto stats = catalog.GetColumnStats("t", 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ((*stats)->provenance, StatsProvenance::kImplicit);
+
+  const ScanCounters& counters = scanner.counters();
+  EXPECT_EQ(counters.scans, 10u);
+  EXPECT_EQ(counters.breaker_trips, 1u);
+  EXPECT_EQ(counters.short_circuits, 6u);
+  EXPECT_EQ(counters.device_failures, 4u);
+  EXPECT_EQ(counters.fallback_scans, 9u);
+}
+
+TEST(ResilientScannerTest, FallbackStatsDescribeTheColumn) {
+  Catalog catalog = MakeCatalog();
+  accel::Accelerator accelerator(
+      FaultyConfig(sim::FaultScenario::DeviceOutage(100, 8)));
+  ResilientScannerOptions options;
+  options.fallback.reservoir_rows = kRows;  // sample everything: rate 1.0
+  ResilientScanner scanner(&catalog, &accelerator, options);
+
+  auto outcome = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->path, ScanPath::kSamplingFallback);
+
+  auto stats = catalog.GetColumnStats("t", 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ((*stats)->provenance, StatsProvenance::kSamplingFallback);
+  EXPECT_EQ((*stats)->row_count, kRows);
+  EXPECT_DOUBLE_EQ((*stats)->sampling_rate, 1.0);
+  EXPECT_EQ((*stats)->min_value, 1);
+  EXPECT_LE((*stats)->max_value, static_cast<int64_t>(kCardinality));
+  uint64_t described = 0;
+  for (const auto& b : (*stats)->histogram.buckets) described += b.count;
+  for (const auto& s : (*stats)->histogram.singletons) described += s.count;
+  EXPECT_EQ(described, kRows);
+}
+
+TEST(ResilientScannerTest, FallbackDisabledRetainsPreviousStats) {
+  Catalog catalog = MakeCatalog();
+
+  // Install good stats first, via a healthy device.
+  accel::Accelerator healthy{accel::AcceleratorConfig{}};
+  ResilientScanner good_scanner(&catalog, &healthy);
+  ASSERT_TRUE(good_scanner.ScanAndRefresh("t", 0, TestRequest()).ok());
+  auto before = catalog.GetColumnStats("t", 0);
+  ASSERT_TRUE(before.ok());
+  const uint64_t installed_rows = (*before)->row_count;
+
+  // Now the device dies and there is no fallback: old stats must stay.
+  accel::Accelerator dead(
+      FaultyConfig(sim::FaultScenario::DeviceOutage(100, 8)));
+  ResilientScannerOptions options;
+  options.fallback.enabled = false;
+  ResilientScanner scanner(&catalog, &dead, options);
+  auto outcome = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->path, ScanPath::kStatsRetained);
+  EXPECT_FALSE(outcome->stats_installed);
+  EXPECT_FALSE(outcome->last_device_error.empty());
+
+  auto after = catalog.GetColumnStats("t", 0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE((*after)->valid);
+  EXPECT_EQ((*after)->row_count, installed_rows);
+  EXPECT_EQ((*after)->provenance, StatsProvenance::kImplicit);
+}
+
+TEST(ResilientScannerTest, DegradedScanInstallsPartialStats) {
+  Catalog catalog = MakeCatalog();
+  accel::Accelerator accelerator(
+      FaultyConfig(sim::FaultScenario::PageCorruption(0.3, 17)));
+  ResilientScannerOptions options;
+  options.min_coverage = 0.1;
+  ResilientScanner scanner(&catalog, &accelerator, options);
+  auto outcome = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->path, ScanPath::kImplicitPartial);
+  EXPECT_GT(outcome->quality.pages_corrupt, 0u);
+  auto stats = catalog.GetColumnStats("t", 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ((*stats)->provenance, StatsProvenance::kImplicitPartial);
+  EXPECT_LT((*stats)->coverage, 1.0);
+  EXPECT_GT((*stats)->coverage, 0.0);
+  EXPECT_EQ(scanner.counters().partial_scans, 1u);
+}
+
+TEST(ResilientScannerTest, UnusableQualityFallsBack) {
+  Catalog catalog = MakeCatalog();
+  sim::FaultScenario heavy_loss;
+  heavy_loss.enabled = true;
+  heavy_loss.seed = 19;
+  heavy_loss.page_drop_probability = 0.95;
+  accel::Accelerator accelerator(FaultyConfig(heavy_loss));
+  ResilientScannerOptions options;
+  options.min_coverage = 0.99;  // nearly nothing survives: unusable
+  ResilientScanner scanner(&catalog, &accelerator, options);
+  auto outcome = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->path, ScanPath::kSamplingFallback);
+  EXPECT_GT(scanner.counters().device_failures, 0u);
+  EXPECT_NE(outcome->last_device_error.find("coverage"), std::string::npos);
+}
+
+TEST(ResilientScannerTest, DeterministicFromScenarioSeed) {
+  auto run = [] {
+    Catalog catalog = MakeCatalog();
+    accel::Accelerator accelerator(
+        FaultyConfig(sim::FaultScenario::PageCorruption(0.3, 23)));
+    ResilientScanner scanner(&catalog, &accelerator);
+    auto outcome = scanner.ScanAndRefresh("t", 0, TestRequest());
+    EXPECT_TRUE(outcome.ok());
+    auto stats = catalog.GetColumnStats("t", 0);
+    EXPECT_TRUE(stats.ok());
+    return std::make_tuple((*outcome).ToString(), (**stats).coverage,
+                           (**stats).histogram.buckets);
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(std::get<0>(first), std::get<0>(second));
+  EXPECT_EQ(std::get<1>(first), std::get<1>(second));
+  EXPECT_EQ(std::get<2>(first), std::get<2>(second));
+}
+
+TEST(ResilientScannerTest, CallerMistakesAreStillErrors) {
+  Catalog catalog = MakeCatalog();
+  accel::Accelerator accelerator{accel::AcceleratorConfig{}};
+  ResilientScanner scanner(&catalog, &accelerator);
+  EXPECT_FALSE(scanner.ScanAndRefresh("nope", 0, TestRequest()).ok());
+  EXPECT_FALSE(scanner.ScanAndRefresh("t", 99, TestRequest()).ok());
+}
+
+TEST(ResilientScannerTest, PlannerDiscountsPartialCoverage) {
+  // Full planner integration: identical stats, one copy stamped as a
+  // half-coverage partial scan, must double the selectivity estimates.
+  Catalog catalog;
+  workload::LineitemOptions li;
+  li.scale_factor = 0.01;
+  li.row_limit = 30000;
+  li.price_spikes.push_back(workload::PriceSpike{200100, 3000});
+  catalog.AddTable("lineitem", workload::GenerateLineitem(li));
+  workload::CustomerOptions cust;
+  cust.scale_factor = 0.05;
+  catalog.AddTable("customer", workload::GenerateCustomer(cust));
+
+  accel::Accelerator accelerator{accel::AcceleratorConfig{}};
+  ResilientScanner scanner(&catalog, &accelerator);
+  accel::ScanRequest price_request;
+  price_request.min_value = workload::kPriceScaledMin;
+  price_request.max_value = workload::kPriceScaledMax;
+  price_request.granularity = 100;
+  ASSERT_TRUE(
+      scanner.ScanAndRefresh("lineitem", workload::kLExtendedPrice,
+                             price_request)
+          .ok());
+  accel::ScanRequest custkey_request;
+  custkey_request.min_value = 1;
+  custkey_request.max_value = 15000;
+  ASSERT_TRUE(
+      scanner.ScanAndRefresh("customer", workload::kCCustKey, custkey_request)
+          .ok());
+
+  Q1Query query;
+  query.price_scaled = 200100;
+  query.custkey_limit = 8000;
+  auto full = PlanQ1(catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(full.ok());
+
+  // Re-stamp the price stats as a degraded scan that saw half the rows.
+  auto entry = catalog.Find("lineitem");
+  ASSERT_TRUE(entry.ok());
+  ColumnStats& price_stats =
+      (*entry)->column_stats[workload::kLExtendedPrice];
+  price_stats.provenance = StatsProvenance::kImplicitPartial;
+  price_stats.coverage = 0.5;
+
+  auto partial = PlanQ1(catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_DOUBLE_EQ(partial->estimated_somelines,
+                   full->estimated_somelines * 2.0);
+  EXPECT_DOUBLE_EQ(partial->estimated_customers, full->estimated_customers);
+  EXPECT_NE(partial->explanation.find("implicit-partial"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dphist::db

@@ -1,0 +1,209 @@
+#include "sim/fault.h"
+
+#include <gtest/gtest.h>
+
+namespace dphist::sim {
+namespace {
+
+DramConfig SmallConfig() {
+  DramConfig config;
+  config.capacity_bytes = 1 << 20;
+  return config;
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  FaultScenario scenario;
+  scenario.enabled = true;
+  scenario.seed = 42;
+  FaultInjector a(scenario, /*salt=*/7);
+  FaultInjector b(scenario, /*salt=*/7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Roll(0.3), b.Roll(0.3));
+    EXPECT_EQ(a.NextBits(), b.NextBits());
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSaltDecorrelates) {
+  FaultScenario scenario;
+  scenario.enabled = true;
+  scenario.seed = 42;
+  FaultInjector a(scenario, /*salt=*/1);
+  FaultInjector b(scenario, /*salt=*/2);
+  int disagreements = 0;
+  for (int i = 0; i < 256; ++i) {
+    disagreements += a.NextBits() != b.NextBits();
+  }
+  EXPECT_GT(disagreements, 200);
+}
+
+TEST(FaultInjectorTest, RollEdgeProbabilities) {
+  FaultScenario scenario;
+  scenario.enabled = true;
+  FaultInjector injector(scenario);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.Roll(0.0));
+    EXPECT_TRUE(injector.Roll(1.0));
+  }
+}
+
+TEST(FaultInjectorTest, ScanFailuresConsumeThenRecover) {
+  FaultScenario scenario = FaultScenario::DeviceOutage(3, 9);
+  FaultInjector injector(scenario);
+  EXPECT_TRUE(injector.NextScanFails());
+  EXPECT_TRUE(injector.NextScanFails());
+  EXPECT_TRUE(injector.NextScanFails());
+  // Outage over; no residual probability configured.
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(injector.NextScanFails());
+}
+
+TEST(FaultInjectorTest, DisabledScenarioNeverFailsScans) {
+  FaultScenario scenario;
+  scenario.fail_scans = 5;  // ignored: enabled == false
+  FaultInjector injector(scenario);
+  EXPECT_FALSE(injector.NextScanFails());
+  EXPECT_EQ(injector.remaining_scan_failures(), 0u);
+}
+
+TEST(FaultyDramTest, BitFlipPersistsInStoredBin) {
+  FaultScenario scenario;
+  scenario.enabled = true;
+  scenario.seed = 3;
+  scenario.bit_flip_probability = 1.0;
+  FaultyDram dram(SmallConfig(), scenario);
+  ASSERT_TRUE(dram.AllocateBins(64).ok());
+  dram.WriteBin(5, 0);
+  dram.IssueRead(0.0, 5);
+  const uint64_t corrupted = dram.ReadBin(5);
+  EXPECT_NE(corrupted, 0u);
+  // Exactly one bit differs, and it stays flipped (persistent corruption).
+  EXPECT_EQ(__builtin_popcountll(corrupted), 1);
+  EXPECT_EQ(dram.fault_stats().bit_flips, 1u);
+  EXPECT_EQ(dram.ReadBin(5), corrupted);
+}
+
+TEST(FaultyDramTest, EccErrorZeroesWholeLine) {
+  FaultScenario scenario;
+  scenario.enabled = true;
+  scenario.seed = 3;
+  scenario.ecc_error_probability = 1.0;
+  FaultyDram dram(SmallConfig(), scenario);
+  ASSERT_TRUE(dram.AllocateBins(64).ok());
+  for (uint64_t b = 0; b < 16; ++b) dram.WriteBin(b, 100 + b);
+  dram.IssueRead(0.0, 3);  // line 0 = bins [0, 8)
+  for (uint64_t b = 0; b < 8; ++b) EXPECT_EQ(dram.ReadBin(b), 0u);
+  for (uint64_t b = 8; b < 16; ++b) EXPECT_EQ(dram.ReadBin(b), 100 + b);
+  EXPECT_EQ(dram.fault_stats().ecc_errors, 1u);
+  EXPECT_EQ(dram.fault_stats().bins_lost, 8u);
+}
+
+TEST(FaultyDramTest, StuckBinOverridesWrites) {
+  FaultScenario scenario;
+  scenario.enabled = true;
+  scenario.stuck_bins = {2};
+  scenario.stuck_value = 7;
+  FaultyDram dram(SmallConfig(), scenario);
+  ASSERT_TRUE(dram.AllocateBins(64).ok());
+  dram.WriteBin(2, 99);
+  dram.IssueWrite(0.0, 2);
+  EXPECT_EQ(dram.ReadBin(2), 7u);
+  EXPECT_GE(dram.fault_stats().stuck_writes, 1u);
+  // Neighbouring bins are untouched.
+  dram.WriteBin(3, 50);
+  dram.IssueWrite(0.0, 3);
+  EXPECT_EQ(dram.ReadBin(3), 50u);
+}
+
+TEST(FaultyDramTest, LatencySpikeDelaysDataOnly) {
+  FaultScenario scenario;
+  scenario.enabled = true;
+  scenario.seed = 11;
+  scenario.latency_spike_probability = 1.0;
+  scenario.latency_spike_cycles = 5000;
+  FaultyDram faulty(SmallConfig(), scenario);
+  Dram plain(SmallConfig());
+  ASSERT_TRUE(faulty.AllocateBins(64).ok());
+  ASSERT_TRUE(plain.AllocateBins(64).ok());
+  faulty.WriteBin(0, 42);
+  plain.WriteBin(0, 42);
+  const double faulty_ready = faulty.IssueRead(0.0, 0);
+  const double plain_ready = plain.IssueRead(0.0, 0);
+  EXPECT_DOUBLE_EQ(faulty_ready, plain_ready + 5000.0);
+  EXPECT_EQ(faulty.fault_stats().latency_spikes, 1u);
+  // Timing-only: the stored value is intact.
+  EXPECT_EQ(faulty.ReadBin(0), 42u);
+}
+
+TEST(FaultyDramTest, QuietScenarioMatchesPlainDram) {
+  FaultScenario scenario;
+  scenario.enabled = true;  // enabled but with nothing configured
+  FaultyDram faulty(SmallConfig(), scenario);
+  Dram plain(SmallConfig());
+  ASSERT_TRUE(faulty.AllocateBins(256).ok());
+  ASSERT_TRUE(plain.AllocateBins(256).ok());
+  for (uint64_t i = 0; i < 100; ++i) {
+    faulty.WriteBin(i % 256, i);
+    plain.WriteBin(i % 256, i);
+    EXPECT_DOUBLE_EQ(faulty.IssueRead(0.0, (i * 37) % 256),
+                     plain.IssueRead(0.0, (i * 37) % 256));
+    EXPECT_DOUBLE_EQ(faulty.IssueWrite(0.0, i % 256),
+                     plain.IssueWrite(0.0, i % 256));
+  }
+  for (uint64_t b = 0; b < 256; ++b) {
+    EXPECT_EQ(faulty.ReadBin(b), plain.ReadBin(b));
+  }
+  EXPECT_EQ(faulty.fault_stats().total(), 0u);
+}
+
+TEST(FaultyDramTest, DeterministicAcrossInstances) {
+  FaultScenario scenario;
+  scenario.enabled = true;
+  scenario.seed = 77;
+  scenario.bit_flip_probability = 0.2;
+  scenario.ecc_error_probability = 0.05;
+  auto run = [&scenario] {
+    FaultyDram dram(SmallConfig(), scenario);
+    EXPECT_TRUE(dram.AllocateBins(512).ok());
+    for (uint64_t i = 0; i < 2000; ++i) {
+      dram.WriteBin((i * 13) % 512, i);
+      dram.IssueWrite(0.0, (i * 13) % 512);
+      dram.IssueRead(0.0, (i * 29) % 512);
+    }
+    std::vector<uint64_t> contents;
+    for (uint64_t b = 0; b < 512; ++b) contents.push_back(dram.ReadBin(b));
+    return std::make_pair(contents, dram.fault_stats().total());
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+  EXPECT_GT(first.second, 0u);
+}
+
+TEST(FaultyDramTest, ResetTimingClearsFaultStats) {
+  FaultScenario scenario;
+  scenario.enabled = true;
+  scenario.seed = 5;
+  scenario.bit_flip_probability = 1.0;
+  FaultyDram dram(SmallConfig(), scenario);
+  ASSERT_TRUE(dram.AllocateBins(64).ok());
+  dram.IssueRead(0.0, 0);
+  ASSERT_GT(dram.fault_stats().total(), 0u);
+  dram.ResetTiming();
+  EXPECT_EQ(dram.fault_stats().total(), 0u);
+  EXPECT_DOUBLE_EQ(dram.port_free_at(), 0.0);
+}
+
+TEST(DramCapacityTest, OversizedAllocationIsStatusNotAbort) {
+  DramConfig config;
+  config.capacity_bytes = 1024;  // room for 128 8-byte bins
+  Dram dram(config);
+  EXPECT_TRUE(dram.AllocateBins(128).ok());
+  Status too_big = dram.AllocateBins(129);
+  EXPECT_EQ(too_big.code(), StatusCode::kResourceExhausted);
+  // The failed allocation left no partial state behind.
+  EXPECT_TRUE(dram.AllocateBins(64).ok());
+  EXPECT_EQ(dram.allocated_bins(), 64u);
+}
+
+}  // namespace
+}  // namespace dphist::sim
