@@ -30,21 +30,26 @@ void Run() {
                              "vs 10GbE", "10GbE-fed Mv/s"},
                             16);
   table.PrintHeader();
+  // One shared device with enough bin regions for the widest replication
+  // sweep; each MultiBinner leases its replicas' regions and returns
+  // them when it goes out of scope.
+  accel::Device device{accel::AcceleratorConfig{}, /*num_bin_regions=*/16};
   for (uint32_t replicas : {1u, 2u, 4u, 8u, 16u}) {
-    accel::MultiBinner multi(replicas, accel::BinnerConfig{},
-                             sim::DramConfig{}, &prep);
-    for (int64_t v : stream) multi.ProcessValue(v);
-    double rate = multi.Finish().ValuesPerSecond(sim::Clock());
+    double rate = 0;
+    {
+      auto multi = accel::MultiBinner::Create(&device, replicas, &prep);
+      for (int64_t v : stream) multi->ProcessValue(v);
+      rate = multi->Finish().ValuesPerSecond(sim::Clock());
+    }  // leases returned before the next MultiBinner takes its own
     double gbps = rate * 32 / 1e9;  // 4-byte values on the wire
 
     // Same configuration fed by an actual 10 Gbps link (one 4-byte value
     // each 32/10e9 s): the link caps the aggregate.
-    accel::MultiBinner fed(replicas, accel::BinnerConfig{},
-                           sim::DramConfig{}, &prep);
-    fed.set_input_interval_cycles(
+    auto fed = accel::MultiBinner::Create(&device, replicas, &prep);
+    fed->set_input_interval_cycles(
         sim::Clock().SecondsToCycles(32.0 / 10e9));
-    for (int64_t v : stream) fed.ProcessValue(v);
-    double fed_rate = fed.Finish().ValuesPerSecond(sim::Clock());
+    for (int64_t v : stream) fed->ProcessValue(v);
+    double fed_rate = fed->Finish().ValuesPerSecond(sim::Clock());
 
     table.PrintRow({bench::TablePrinter::FmtInt(replicas),
                     bench::TablePrinter::Fmt(rate / 1e6),

@@ -1,297 +1,41 @@
 #include "accel/accelerator.h"
 
-#include <algorithm>
-#include <memory>
-
-#include "accel/blocks.h"
-#include "accel/parser.h"
-#include "accel/preprocessor.h"
-#include "common/macros.h"
+#include "accel/device.h"
+#include "accel/scan_engine.h"
 
 namespace dphist::accel {
 
-namespace {
-
-/// Converts bin-space buckets back to value space via the Preprocessor
-/// mapping.
-hist::Histogram ConvertBuckets(const std::vector<BinBucket>& bin_buckets,
-                               hist::HistogramType type,
-                               const Preprocessor& prep, uint64_t rows) {
-  hist::Histogram h;
-  h.type = type;
-  h.min_value = prep.config().min_value;
-  h.max_value = prep.config().max_value;
-  h.total_count = rows;
-  h.buckets.reserve(bin_buckets.size());
-  for (const auto& b : bin_buckets) {
-    h.buckets.push_back(hist::Bucket{prep.BinLowValue(b.lo_bin),
-                                     prep.BinHighValue(b.hi_bin), b.count,
-                                     b.distinct});
-  }
-  return h;
-}
-
-Status ValidateRequest(const ScanRequest& request) {
-  if (request.min_value > request.max_value) {
-    return Status::InvalidArgument("scan request: min_value > max_value");
-  }
-  if (request.granularity < 1) {
-    return Status::InvalidArgument("scan request: granularity < 1");
-  }
-  if (request.num_buckets == 0) {
-    return Status::InvalidArgument("scan request: num_buckets == 0");
-  }
-  if (request.top_k == 0) {
-    return Status::InvalidArgument("scan request: top_k == 0");
-  }
-  if (!request.want_topk && !request.want_equi_depth &&
-      !request.want_max_diff && !request.want_compressed) {
-    return Status::InvalidArgument("scan request: no statistics requested");
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-namespace {
-
-std::unique_ptr<sim::Dram> MakeDram(const AcceleratorConfig& config) {
-  if (config.faults.any_dram_faults()) {
-    return std::make_unique<sim::FaultyDram>(config.dram, config.faults);
-  }
-  return std::make_unique<sim::Dram>(config.dram);
-}
-
-}  // namespace
-
 Accelerator::Accelerator(const AcceleratorConfig& config)
-    : config_(config),
-      dram_(MakeDram(config)),
-      stream_faults_(config.faults, /*salt=*/0x57A6E5) {
-  if (config_.faults.any_dram_faults()) {
-    faulty_dram_ = static_cast<sim::FaultyDram*>(dram_.get());
-  }
+    : device_(std::make_unique<Device>(config)) {}
+
+Accelerator::Accelerator(Accelerator&&) noexcept = default;
+Accelerator& Accelerator::operator=(Accelerator&&) noexcept = default;
+Accelerator::~Accelerator() = default;
+
+const AcceleratorConfig& Accelerator::config() const {
+  return device_->config();
 }
 
 const sim::FaultStats& Accelerator::dram_fault_stats() const {
-  static const sim::FaultStats kNoFaults;
-  return faulty_dram_ != nullptr ? faulty_dram_->fault_stats() : kNoFaults;
+  return device_->dram_fault_stats();
 }
 
 Result<AcceleratorReport> Accelerator::ProcessTable(
     const page::TableFile& table, const ScanRequest& request) {
-  std::vector<std::span<const uint8_t>> pages;
-  pages.reserve(table.page_count());
-  for (size_t p = 0; p < table.page_count(); ++p) {
-    pages.push_back(table.PageBytes(p));
-  }
-  return ProcessPages(pages, table.schema(), request);
+  return ScanEngine(device_.get()).ScanTable(table, request);
 }
 
 Result<AcceleratorReport> Accelerator::ProcessPages(
     std::span<const std::span<const uint8_t>> pages,
     const page::Schema& schema, const ScanRequest& request) {
-  if (request.column_index >= schema.num_columns()) {
-    return Status::InvalidArgument("scan request: column index out of range");
-  }
-  return Run(nullptr, pages, &schema, request, schema.row_width());
+  return ScanEngine(device_.get()).ScanPages(pages, schema, request);
 }
 
 Result<AcceleratorReport> Accelerator::ProcessValues(
     std::span<const int64_t> values, const ScanRequest& request,
     uint64_t bytes_per_value) {
-  return Run(&values, {}, nullptr, request, bytes_per_value);
-}
-
-Result<AcceleratorReport> Accelerator::Run(
-    std::span<const int64_t>* direct_values,
-    std::span<const std::span<const uint8_t>> pages,
-    const page::Schema* schema, const ScanRequest& request,
-    uint64_t bytes_per_value) {
-  DPHIST_RETURN_NOT_OK(ValidateRequest(request));
-
-  // Device-level failure (bus drop, firmware wedge): the scan attempt
-  // fails cleanly. The wire itself is untouched — the host still gets its
-  // data, only the statistics side effect is lost.
-  if (stream_faults_.NextScanFails()) {
-    return Status::Internal("injected device failure: scan aborted");
-  }
-
-  PreprocessorConfig prep_config;
-  prep_config.type = schema != nullptr
-                         ? schema->column(request.column_index).type
-                         : page::ColumnType::kInt64;
-  prep_config.min_value = request.min_value;
-  prep_config.max_value = request.max_value;
-  prep_config.granularity = request.granularity;
-  DPHIST_ASSIGN_OR_RETURN(Preprocessor prep,
-                          Preprocessor::Create(prep_config));
-
-  dram_->ResetTiming();
-  DPHIST_RETURN_NOT_OK(dram_->AllocateBins(prep.num_bins()));
-
-  // Input arrival bound: the Binner consumes one value per row delivered
-  // by the link.
-  const double value_interval_cycles = config_.clock.SecondsToCycles(
-      static_cast<double>(bytes_per_value) * 8.0 /
-      config_.input_link.bandwidth_bps());
-
-  Binner binner(config_.binner, &prep, dram_.get());
-  binner.set_input_interval_cycles(value_interval_cycles);
-
-  ScanQuality quality;
-  double parser_latency = 0.0;
-  uint64_t rows = 0;
-  uint64_t streamed_bytes = 0;
-  uint64_t corrupt_pages = 0;
-  if (schema != nullptr) {
-    parser_latency = config_.parser_latency_cycles;
-    Parser parser(*schema, request.column_index);
-    std::vector<uint64_t> raw_values;
-    raw_values.reserve(page::RowsPerPage(schema->row_width()));
-
-    // Wire-side fault injection: a faulty stream drops, truncates, or
-    // damages pages before they reach the tap. The caller's buffers are
-    // never modified — mutated pages are private copies, exactly as the
-    // Splitter's statistics copy is private in hardware.
-    const bool inject_pages = config_.faults.any_page_faults();
-    std::vector<uint8_t> mutated;
-
-    quality.pages_total = pages.size();
-    for (const auto& original_bytes : pages) {
-      std::span<const uint8_t> page_bytes = original_bytes;
-      if (inject_pages) {
-        if (stream_faults_.Roll(config_.faults.page_drop_probability)) {
-          ++quality.pages_dropped;
-          continue;
-        }
-        bool truncate =
-            stream_faults_.Roll(config_.faults.page_truncate_probability);
-        bool corrupt =
-            stream_faults_.Roll(config_.faults.page_corrupt_probability);
-        if (truncate || corrupt) {
-          mutated.assign(original_bytes.begin(), original_bytes.end());
-          if (truncate && !mutated.empty()) {
-            mutated.resize(stream_faults_.NextBits() % mutated.size());
-          }
-          if (corrupt && !mutated.empty()) {
-            mutated[0] ^= 0xFF;  // header damage: detectably unparseable
-          }
-          page_bytes = mutated;
-        }
-      }
-      raw_values.clear();
-      // Corrupt pages still reach the host on the cut-through path; the
-      // statistics side merely skips them.
-      Status parsed = parser.ParsePage(page_bytes, &raw_values);
-      if (!parsed.ok()) continue;
-      for (uint64_t raw : raw_values) binner.ProcessRaw(raw);
-    }
-    rows = parser.stats().rows;
-    streamed_bytes = parser.stats().bytes;
-    corrupt_pages = parser.stats().corrupt_pages;
-  } else {
-    for (int64_t v : *direct_values) binner.ProcessValue(v);
-    rows = direct_values->size();
-    streamed_bytes = rows * bytes_per_value;
-  }
-
-  AcceleratorReport report;
-  report.binner = binner.Finish();
-  report.rows = rows;
-  report.num_bins = prep.num_bins();
-  report.corrupt_pages = corrupt_pages;
-  for (uint64_t i = 0; i < prep.num_bins(); ++i) {
-    report.distinct_values += (dram_->ReadBin(i) != 0);
-  }
-
-  // Histogram module: daisy chain in the paper's order.
-  HistogramModule module(config_.histogram, dram_.get());
-  TopKBlock* topk = nullptr;
-  EquiDepthBlock* equi_depth = nullptr;
-  MaxDiffBlock* max_diff = nullptr;
-  CompressedBlock* compressed = nullptr;
-  if (request.want_topk) {
-    topk = module.AddBlock(std::make_unique<TopKBlock>(request.top_k));
-  }
-  if (request.want_equi_depth) {
-    equi_depth = module.AddBlock(
-        std::make_unique<EquiDepthBlock>(request.num_buckets));
-  }
-  if (request.want_max_diff) {
-    max_diff = module.AddBlock(
-        std::make_unique<MaxDiffBlock>(request.num_buckets));
-  }
-  if (request.want_compressed) {
-    compressed = module.AddBlock(std::make_unique<CompressedBlock>(
-        request.num_buckets, request.top_k));
-  }
-  // The module sees the binned population (rows minus dropped values),
-  // which is what the bins actually sum to.
-  report.module = module.Run(prep.num_bins(), report.binner.total_items,
-                             report.binner.finish_cycle);
-
-  uint64_t result_bytes = 0;
-  auto collect_timing = [&](const char* name, const StatBlock* block) {
-    report.block_timings.push_back(NamedBlockTiming{name, block->timing()});
-    result_bytes += block->timing().result_bytes;
-  };
-  if (topk != nullptr) {
-    collect_timing("TopK", topk);
-    for (const auto& e : topk->result()) {
-      report.histograms.top_k.push_back(
-          hist::ValueCount{prep.BinLowValue(e.payload), e.key});
-    }
-  }
-  if (equi_depth != nullptr) {
-    collect_timing("Equi-depth", equi_depth);
-    report.histograms.equi_depth = ConvertBuckets(
-        equi_depth->result(), hist::HistogramType::kEquiDepth, prep, rows);
-  }
-  if (max_diff != nullptr) {
-    collect_timing("Max-diff", max_diff);
-    report.histograms.max_diff = ConvertBuckets(
-        max_diff->result(), hist::HistogramType::kMaxDiff, prep, rows);
-  }
-  if (compressed != nullptr) {
-    collect_timing("Compressed", compressed);
-    report.histograms.compressed = ConvertBuckets(
-        compressed->result(), hist::HistogramType::kCompressed, prep, rows);
-    for (const auto& e : compressed->singletons()) {
-      report.histograms.compressed.singletons.push_back(
-          hist::ValueCount{prep.BinLowValue(e.payload), e.key});
-    }
-  }
-
-  // Device-time accounting (paper Section 6.2: first byte sent until last
-  // result byte received).
-  const sim::Clock& clock = config_.clock;
-  report.stream_seconds = config_.input_link.TransferSeconds(streamed_bytes);
-  report.binner_finish_seconds =
-      clock.CyclesToSeconds(report.binner.finish_cycle + parser_latency);
-  report.histogram_finish_seconds =
-      clock.CyclesToSeconds(report.module.finish_cycle + parser_latency);
-  const double result_transfer =
-      config_.input_link.TransferSeconds(result_bytes);
-  report.total_seconds =
-      std::max(report.stream_seconds, report.histogram_finish_seconds) +
-      result_transfer;
-  report.added_latency_ns = config_.splitter_latency_ns +
-                            config_.input_link.latency_s() * 1e9;
-  report.dram_stats = dram_->stats();
-
-  // Quality record: what the statistics actually cover, and why.
-  quality.pages_corrupt = corrupt_pages;
-  quality.rows_seen = rows;
-  quality.rows_dropped = report.binner.dropped_values;
-  const sim::FaultStats& dram_faults = dram_fault_stats();
-  quality.bins_lost = dram_faults.bins_lost;
-  quality.bit_flips = dram_faults.bit_flips;
-  quality.latency_spikes = dram_faults.latency_spikes;
-  quality.faults_observed = dram_faults.total() + quality.pages_dropped +
-                            quality.pages_corrupt + quality.rows_dropped;
-  report.quality = quality;
-  return report;
+  return ScanEngine(device_.get()).ScanValues(values, request,
+                                              bytes_per_value);
 }
 
 }  // namespace dphist::accel

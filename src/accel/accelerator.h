@@ -66,6 +66,7 @@ struct ScanQuality {
   uint64_t pages_corrupt = 0;  ///< arrived but unparseable (incl. truncation)
   uint64_t rows_seen = 0;      ///< rows the Parser extracted
   uint64_t rows_dropped = 0;   ///< values outside the request domain
+  uint64_t bins_total = 0;     ///< bins the request's domain mapped to
   uint64_t bins_lost = 0;      ///< bins zeroed by uncorrectable ECC
   uint64_t bit_flips = 0;      ///< silent bin-count corruptions
   uint64_t latency_spikes = 0; ///< timing-only faults observed
@@ -78,7 +79,9 @@ struct ScanQuality {
   }
 
   /// Estimated fraction of the table the statistics cover, combining the
-  /// page-level survival rate with the row-level drop rate.
+  /// page-level survival rate, the row-level drop rate, and the fraction
+  /// of bins that survived uncorrectable ECC (a destroyed bin erases its
+  /// rows from the statistics just as surely as a dropped page does).
   double Coverage() const {
     double page_cov = 1.0;
     if (pages_total > 0) {
@@ -91,7 +94,16 @@ struct ScanQuality {
       row_cov = static_cast<double>(rows_seen - rows_dropped) /
                 static_cast<double>(rows_seen);
     }
-    return page_cov * row_cov;
+    double bin_cov = 1.0;
+    if (bins_total > 0) {
+      // bins_lost counts ECC events x line width and can recount a line,
+      // so clamp rather than trust it as a distinct-bin tally.
+      bin_cov = bins_lost >= bins_total
+                    ? 0.0
+                    : static_cast<double>(bins_total - bins_lost) /
+                          static_cast<double>(bins_total);
+    }
+    return page_cov * row_cov * bin_cov;
   }
 };
 
@@ -129,15 +141,31 @@ struct AcceleratorReport {
   ScanQuality quality;
 };
 
+class Device;
+
 /// The complete in-datapath statistics accelerator (Figure 9): Splitter ->
-/// Parser -> Binner -> DRAM -> Scanner -> statistic-block chain. One
-/// instance owns one simulated device (DRAM included) and processes one
-/// scan at a time.
+/// Parser -> Binner -> DRAM -> Scanner -> statistic-block chain.
+///
+/// Compatibility facade: the machinery now lives in accel::Device (the
+/// shared hardware — DRAM region allocator, fault injectors, admission,
+/// schedule) and accel::ScanEngine (per-scan sessions). This class keeps
+/// the original serial one-scan-at-a-time API by owning a private Device
+/// and running every call as a single session on it; reports are
+/// bit-identical to the pre-split monolith (enforced by test). New code
+/// that wants concurrent scans should share one Device directly.
 class Accelerator {
  public:
   explicit Accelerator(const AcceleratorConfig& config);
+  Accelerator(Accelerator&&) noexcept;
+  Accelerator& operator=(Accelerator&&) noexcept;
+  ~Accelerator();
 
-  const AcceleratorConfig& config() const { return config_; }
+  const AcceleratorConfig& config() const;
+
+  /// The underlying shared device; lets facade holders graduate to the
+  /// session API (db-layer scanners lease sessions through this).
+  Device* device() { return device_.get(); }
+  const Device* device() const { return device_.get(); }
 
   /// Computes histograms on one column of a sealed table as a side effect
   /// of streaming its pages. This is the primary entry point.
@@ -165,19 +193,9 @@ class Accelerator {
   const sim::FaultStats& dram_fault_stats() const;
 
  private:
-  Result<AcceleratorReport> Run(
-      std::span<const int64_t>* direct_values,
-      std::span<const std::span<const uint8_t>> pages,
-      const page::Schema* schema, const ScanRequest& request,
-      uint64_t bytes_per_value);
-
-  AcceleratorConfig config_;
-  /// FaultyDram when config_.faults is enabled, plain Dram otherwise.
-  std::unique_ptr<sim::Dram> dram_;
-  sim::FaultyDram* faulty_dram_ = nullptr;  ///< non-owning view of dram_
-  /// Deterministic oracle for scan-level and page-stream faults (the
-  /// DRAM decorator keeps its own, salted differently).
-  sim::FaultInjector stream_faults_;
+  /// The facade's private shared device (serial scans always lease its
+  /// region slot 0, preserving the monolith's one-DRAM fault stream).
+  std::unique_ptr<Device> device_;
 };
 
 }  // namespace dphist::accel

@@ -1,0 +1,203 @@
+#include "accel/device.h"
+
+#include <algorithm>
+
+#include "accel/accelerator.h"
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+namespace {
+
+Status ValidateRequest(const ScanRequest& request) {
+  if (request.min_value > request.max_value) {
+    return Status::InvalidArgument("scan request: min_value > max_value");
+  }
+  if (request.granularity < 1) {
+    return Status::InvalidArgument("scan request: granularity < 1");
+  }
+  if (request.num_buckets == 0) {
+    return Status::InvalidArgument("scan request: num_buckets == 0");
+  }
+  if (request.top_k == 0) {
+    return Status::InvalidArgument("scan request: top_k == 0");
+  }
+  if (!request.want_topk && !request.want_equi_depth &&
+      !request.want_max_diff && !request.want_compressed) {
+    return Status::InvalidArgument("scan request: no statistics requested");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+RegionLease& RegionLease::operator=(RegionLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    device_ = other.device_;
+    slot_ = other.slot_;
+    bin_count_ = other.bin_count_;
+    channel_ = other.channel_;
+    other.device_ = nullptr;
+    other.channel_ = nullptr;
+  }
+  return *this;
+}
+
+void RegionLease::Release() {
+  if (device_ != nullptr) {
+    device_->ReleaseRegion(slot_);
+    device_ = nullptr;
+    channel_ = nullptr;
+  }
+}
+
+Device::Device(const AcceleratorConfig& config, uint32_t num_bin_regions)
+    : config_(config),
+      regions_(num_bin_regions),
+      stream_faults_(config.faults, /*salt=*/0x57A6E5) {
+  DPHIST_CHECK_GE(num_bin_regions, 1u);
+}
+
+Status Device::AdmitScan(const ScanRequest& request) {
+  Status valid = ValidateRequest(request);
+  if (!valid.ok()) {
+    ++stats_.sessions_rejected;
+    return valid;
+  }
+  // Device-level failure (bus drop, firmware wedge): the scan attempt
+  // fails cleanly. The wire itself is untouched — the host still gets its
+  // data, only the statistics side effect is lost.
+  if (stream_faults_.NextScanFails()) {
+    ++stats_.sessions_failed_injected;
+    return Status::Internal("injected device failure: scan aborted");
+  }
+  ++stats_.sessions_admitted;
+  return Status::OK();
+}
+
+Result<RegionLease> Device::AcquireRegion(uint64_t bin_count) {
+  // Earliest-free slot among the unleased ones (ties: lowest index), the
+  // same choice the pipelined schedule makes for its next scan.
+  size_t slot = regions_.size();
+  for (size_t r = 0; r < regions_.size(); ++r) {
+    if (regions_[r].leased) continue;
+    if (slot == regions_.size() ||
+        regions_[r].free_at_seconds < regions_[slot].free_at_seconds) {
+      slot = r;
+    }
+  }
+  if (slot == regions_.size()) {
+    ++stats_.region_exhaustions;
+    return Status::ResourceExhausted(
+        "bin-region allocator: all regions leased out");
+  }
+
+  Region& region = regions_[slot];
+  if (region.channel == nullptr) {
+    if (config_.faults.any_dram_faults()) {
+      auto faulty =
+          std::make_unique<sim::FaultyDram>(config_.dram, config_.faults);
+      region.faulty = faulty.get();
+      region.channel = std::move(faulty);
+    } else {
+      region.channel = std::make_unique<sim::Dram>(config_.dram);
+    }
+  }
+  region.channel->ResetTiming();
+  // Aggregate capacity: every live region carves its bins out of the one
+  // physical DRAM.
+  if (bin_count > config_.dram.capacity_bytes / config_.dram.bin_bytes ||
+      active_bins_ + bin_count >
+          config_.dram.capacity_bytes / config_.dram.bin_bytes) {
+    return Status::ResourceExhausted(
+        "binned representation exceeds DRAM capacity");
+  }
+  DPHIST_RETURN_NOT_OK(region.channel->AllocateBins(bin_count));
+  region.leased = true;
+  active_bins_ += bin_count;
+  ++stats_.regions_granted;
+  return RegionLease(this, static_cast<uint32_t>(slot), bin_count,
+                     region.channel.get());
+}
+
+void Device::ReleaseRegion(uint32_t slot) {
+  DPHIST_CHECK_LT(slot, regions_.size());
+  Region& region = regions_[slot];
+  DPHIST_CHECK(region.leased);
+  region.leased = false;
+  DPHIST_CHECK_GE(active_bins_, region.channel->allocated_bins());
+  active_bins_ -= region.channel->allocated_bins();
+}
+
+const sim::FaultStats& Device::dram_fault_stats() const {
+  return channel_fault_stats(0);
+}
+
+const sim::FaultStats& Device::channel_fault_stats(uint32_t slot) const {
+  static const sim::FaultStats kNoFaults;
+  if (slot >= regions_.size() || regions_[slot].faulty == nullptr) {
+    return kNoFaults;
+  }
+  return regions_[slot].faulty->fault_stats();
+}
+
+double Device::region_free_seconds(uint32_t slot) const {
+  DPHIST_CHECK_LT(slot, regions_.size());
+  return regions_[slot].free_at_seconds;
+}
+
+double Device::QuiesceSeconds() const {
+  double idle = std::max(front_free_seconds_, chain_free_seconds_);
+  for (const Region& region : regions_) {
+    idle = std::max(idle, region.free_at_seconds);
+  }
+  return idle;
+}
+
+ScanTimeline Device::CompleteSession(uint32_t slot, SessionMode mode,
+                                     double bin_duration_seconds,
+                                     double histogram_duration_seconds,
+                                     double total_seconds) {
+  DPHIST_CHECK_LT(slot, regions_.size());
+  ScanTimeline timeline;
+  timeline.region = slot;
+  Region& region = regions_[slot];
+  if (mode == SessionMode::kPipelined) {
+    // Structural constraints of the default hardware: one serial front
+    // end, one serial chain, and the bin region occupied from binning
+    // start until the histograms drained.
+    timeline.bin_start_seconds =
+        std::max(front_free_seconds_, region.free_at_seconds);
+    stats_.region_wait_seconds +=
+        timeline.bin_start_seconds - front_free_seconds_;
+    timeline.bin_finish_seconds =
+        timeline.bin_start_seconds + bin_duration_seconds;
+    double histogram_start =
+        std::max(timeline.bin_finish_seconds, chain_free_seconds_);
+    stats_.chain_wait_seconds +=
+        histogram_start - timeline.bin_finish_seconds;
+    timeline.histogram_finish_seconds =
+        histogram_start + histogram_duration_seconds;
+    front_free_seconds_ = timeline.bin_finish_seconds;
+    chain_free_seconds_ = timeline.histogram_finish_seconds;
+    region.free_at_seconds = timeline.histogram_finish_seconds;
+  } else {
+    // Replicated circuit: private front end and chain, so the session
+    // contends for nothing but its region. The region stays occupied for
+    // the session's full device time (results drain from it).
+    timeline.bin_start_seconds = region.free_at_seconds;
+    timeline.bin_finish_seconds =
+        timeline.bin_start_seconds + bin_duration_seconds;
+    timeline.histogram_finish_seconds =
+        timeline.bin_start_seconds + total_seconds;
+    region.free_at_seconds = timeline.histogram_finish_seconds;
+  }
+  stats_.front_busy_seconds += bin_duration_seconds;
+  stats_.chain_busy_seconds += histogram_duration_seconds;
+  ++stats_.sessions_completed;
+  timelines_.push_back(timeline);
+  return timeline;
+}
+
+}  // namespace dphist::accel

@@ -1,0 +1,194 @@
+#ifndef DPHIST_ACCEL_DEVICE_H_
+#define DPHIST_ACCEL_DEVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "accel/config.h"
+#include "common/result.h"
+#include "sim/dram.h"
+#include "sim/fault.h"
+
+namespace dphist::accel {
+
+struct ScanRequest;
+
+/// How a session occupies the device's shared structures.
+enum class SessionMode {
+  /// The default hardware configuration (paper Section 4): one front end
+  /// (Splitter/Parser/Binner) and one Histogram module, decoupled through
+  /// bin regions. Sessions serialize on the front end and the chain but
+  /// overlap across regions — scan k bins while scan k-1's histograms
+  /// drain.
+  kPipelined,
+  /// The Section 7 replication pattern: the session runs on a private
+  /// replicated circuit (own front end, own chain, own memory channel)
+  /// and contends only for a bin region. k such sessions tap one stream
+  /// in one pass, so device time is the maximum over circuits.
+  kReplicated,
+};
+
+/// Where one scan sat in the device schedule. All times are simulated
+/// seconds on the device's clock, measured from the device's own time
+/// origin (construction = 0).
+struct ScanTimeline {
+  double bin_start_seconds = 0;
+  double bin_finish_seconds = 0;
+  double histogram_finish_seconds = 0;
+  uint32_t region = 0;  ///< bin-region slot the scan occupied
+};
+
+/// Admission and arbitration counters of one device, across its lifetime.
+struct DeviceStats {
+  uint64_t sessions_admitted = 0;  ///< passed validation and fault gate
+  uint64_t sessions_completed = 0;
+  uint64_t sessions_rejected = 0;  ///< invalid requests refused at admission
+  uint64_t sessions_failed_injected = 0;  ///< injected device failures
+  uint64_t regions_granted = 0;
+  uint64_t region_exhaustions = 0;  ///< acquisitions refused: no free region
+  double front_busy_seconds = 0;    ///< front-end occupancy, summed
+  double chain_busy_seconds = 0;    ///< histogram-chain occupancy, summed
+  double region_wait_seconds = 0;   ///< binning delayed waiting for a region
+  double chain_wait_seconds = 0;    ///< histograms delayed behind the chain
+};
+
+class Device;
+
+/// RAII lease of one bin region. While held, the region's slot and its
+/// memory channel belong to the session; releasing (or destroying) the
+/// lease returns the slot to the allocator. Movable, not copyable.
+class RegionLease {
+ public:
+  RegionLease() = default;
+  RegionLease(const RegionLease&) = delete;
+  RegionLease& operator=(const RegionLease&) = delete;
+  RegionLease(RegionLease&& other) noexcept { *this = std::move(other); }
+  RegionLease& operator=(RegionLease&& other) noexcept;
+  ~RegionLease() { Release(); }
+
+  bool active() const { return device_ != nullptr; }
+  uint32_t slot() const { return slot_; }
+  uint64_t bin_count() const { return bin_count_; }
+  /// The region's memory channel (FaultyDram when the device's fault
+  /// scenario injects DRAM faults). Timing was reset and the bins zeroed
+  /// at acquisition.
+  sim::Dram* channel() const { return channel_; }
+
+  void Release();
+
+ private:
+  friend class Device;
+  RegionLease(Device* device, uint32_t slot, uint64_t bin_count,
+              sim::Dram* channel)
+      : device_(device), slot_(slot), bin_count_(bin_count),
+        channel_(channel) {}
+
+  Device* device_ = nullptr;
+  uint32_t slot_ = 0;
+  uint64_t bin_count_ = 0;
+  sim::Dram* channel_ = nullptr;
+};
+
+/// The one physical device (paper Figure 9) that every scan shares. It
+/// owns what the hardware owns once: the DRAM (as a bin-region
+/// allocator handing out leased regions with private memory channels),
+/// the fault injectors, the admission gate, and the schedule horizons of
+/// the shared front end and histogram chain. Scans run as ScanSessions
+/// (see accel/scan_engine.h) that lease a region, bin into it, drain
+/// their histograms, and report where they sat in the device schedule —
+/// so concurrent, pipelined, replicated and multi-column configurations
+/// are all just session schedules over this object, not separate
+/// devices.
+class Device {
+ public:
+  /// Regions the default device exposes: enough for double-buffered
+  /// pipelining plus a few concurrent column circuits.
+  static constexpr uint32_t kDefaultBinRegions = 4;
+
+  explicit Device(const AcceleratorConfig& config,
+                  uint32_t num_bin_regions = kDefaultBinRegions);
+
+  const AcceleratorConfig& config() const { return config_; }
+  uint32_t num_bin_regions() const {
+    return static_cast<uint32_t>(regions_.size());
+  }
+  const DeviceStats& stats() const { return stats_; }
+
+  /// Admission gate for one scan attempt: request validation (domain
+  /// bounds, granularity, zero bucket/top-k counts, at least one
+  /// statistic) and the injected device-failure oracle. Consumes one
+  /// scan-failure decision, exactly as the hardware consumes one command.
+  Status AdmitScan(const ScanRequest& request);
+
+  /// Leases a free bin region able to hold `bin_count` bins. Fails with
+  /// ResourceExhausted when every region is leased out or when the
+  /// aggregate binned representation would exceed the DRAM capacity. The
+  /// chosen slot is the free one whose schedule horizon is earliest.
+  Result<RegionLease> AcquireRegion(uint64_t bin_count);
+
+  /// Deterministic oracle for scan-level and page-stream faults, shared
+  /// by every session on this device (the memory channels keep their
+  /// own, salted differently).
+  sim::FaultInjector& stream_faults() { return stream_faults_; }
+
+  /// Fault counters of region slot 0's memory channel — the channel
+  /// serial scans through the Accelerator facade always use. All zeros
+  /// when no DRAM fault scenario is configured. Per-session attribution
+  /// lives in each report's ScanQuality.
+  const sim::FaultStats& dram_fault_stats() const;
+  /// Fault counters of an arbitrary slot's channel (zeros when the slot
+  /// has no faulty channel yet).
+  const sim::FaultStats& channel_fault_stats(uint32_t slot) const;
+
+  /// Schedule horizons (simulated seconds): when the shared front end /
+  /// histogram chain / a region accepts new work.
+  double front_free_seconds() const { return front_free_seconds_; }
+  double chain_free_seconds() const { return chain_free_seconds_; }
+  double region_free_seconds(uint32_t slot) const;
+  /// Earliest time the whole device is idle.
+  double QuiesceSeconds() const;
+
+  /// Timelines of completed sessions, in completion order.
+  const std::vector<ScanTimeline>& completed_timelines() const {
+    return timelines_;
+  }
+
+ private:
+  friend class RegionLease;
+  friend class ScanSession;
+
+  struct Region {
+    bool leased = false;
+    double free_at_seconds = 0;
+    /// Lazily created, then persistent: a FaultyDram's fault stream must
+    /// survive across the scans that reuse the slot, exactly as one
+    /// physical memory channel does.
+    std::unique_ptr<sim::Dram> channel;
+    sim::FaultyDram* faulty = nullptr;  ///< non-owning view of channel
+  };
+
+  void ReleaseRegion(uint32_t slot);
+
+  /// Books a finished session into the shared schedule and returns its
+  /// timeline. `bin_duration` is front-end occupancy (stream + binning),
+  /// `histogram_duration` is chain occupancy, `total_seconds` the
+  /// session's end-to-end device time including result transfer.
+  ScanTimeline CompleteSession(uint32_t slot, SessionMode mode,
+                               double bin_duration_seconds,
+                               double histogram_duration_seconds,
+                               double total_seconds);
+
+  AcceleratorConfig config_;
+  std::vector<Region> regions_;
+  uint64_t active_bins_ = 0;  ///< bins held by live leases, summed
+  sim::FaultInjector stream_faults_;
+  double front_free_seconds_ = 0;
+  double chain_free_seconds_ = 0;
+  DeviceStats stats_;
+  std::vector<ScanTimeline> timelines_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_DEVICE_H_

@@ -6,20 +6,23 @@
 
 namespace dphist::accel {
 
-MultiBinner::MultiBinner(uint32_t replication,
-                         const BinnerConfig& binner_config,
-                         const sim::DramConfig& dram_config,
-                         const Preprocessor* prep)
-    : prep_(prep) {
-  DPHIST_CHECK_GE(replication, 1u);
-  for (uint32_t r = 0; r < replication; ++r) {
-    auto dram = std::make_unique<sim::Dram>(dram_config);
-    Status allocated = dram->AllocateBins(prep->num_bins());
-    DPHIST_CHECK_MSG(allocated.ok(), allocated.message().c_str());
-    binners_.push_back(
-        std::make_unique<Binner>(binner_config, prep, dram.get()));
-    drams_.push_back(std::move(dram));
+Result<MultiBinner> MultiBinner::Create(Device* device, uint32_t replication,
+                                        const Preprocessor* prep) {
+  if (replication < 1) {
+    return Status::InvalidArgument("replication must be >= 1");
   }
+  std::vector<RegionLease> leases;
+  std::vector<std::unique_ptr<Binner>> binners;
+  leases.reserve(replication);
+  binners.reserve(replication);
+  for (uint32_t r = 0; r < replication; ++r) {
+    DPHIST_ASSIGN_OR_RETURN(RegionLease lease,
+                            device->AcquireRegion(prep->num_bins()));
+    binners.push_back(std::make_unique<Binner>(device->config().binner, prep,
+                                               lease.channel()));
+    leases.push_back(std::move(lease));
+  }
+  return MultiBinner(prep, std::move(leases), std::move(binners));
 }
 
 void MultiBinner::set_input_interval_cycles(double cycles) {
@@ -49,9 +52,9 @@ MultiBinnerReport MultiBinner::Finish() {
   report.finish_cycle += kMergeCycles;
 
   merged_.assign(prep_->num_bins(), 0);
-  for (auto& dram : drams_) {
+  for (const RegionLease& lease : leases_) {
     for (uint64_t i = 0; i < merged_.size(); ++i) {
-      merged_[i] += dram->ReadBin(i);
+      merged_[i] += lease.channel()->ReadBin(i);
     }
   }
   return report;

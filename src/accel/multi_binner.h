@@ -7,8 +7,9 @@
 #include <vector>
 
 #include "accel/binner.h"
-#include "accel/config.h"
+#include "accel/device.h"
 #include "accel/preprocessor.h"
+#include "common/result.h"
 #include "sim/dram.h"
 
 namespace dphist::accel {
@@ -27,19 +28,26 @@ struct MultiBinnerReport {
   }
 };
 
-/// The Section 7 scale-up design: R replicated Binner modules, each with
-/// its own memory channel, fed round-robin from the tapped input stream.
-/// Partial counts are aggregated in constant time by an adder tree before
-/// the statistic blocks consume them, so the Histogram module needs no
-/// change. Aggregate throughput scales ~R-fold until the input link
-/// becomes the bottleneck.
+/// The Section 7 scale-up design: R replicated Binner modules, each
+/// leasing its own bin region (= private memory channel) from the shared
+/// Device, fed round-robin from the tapped input stream. Partial counts
+/// are aggregated in constant time by an adder tree before the statistic
+/// blocks consume them, so the Histogram module needs no change.
+/// Aggregate throughput scales ~R-fold until the input link becomes the
+/// bottleneck.
 class MultiBinner {
  public:
-  /// \param replication  number of Binner/DRAM replicas (>= 1)
-  MultiBinner(uint32_t replication, const BinnerConfig& binner_config,
-              const sim::DramConfig& dram_config, const Preprocessor* prep);
+  /// Leases `replication` regions of prep->num_bins() bins each from
+  /// `device` (its Binner configuration applies to every replica). Fails
+  /// with ResourceExhausted when the device cannot hold that many
+  /// concurrent regions. The leases are held until the MultiBinner is
+  /// destroyed.
+  static Result<MultiBinner> Create(Device* device, uint32_t replication,
+                                    const Preprocessor* prep);
 
-  uint32_t replication() const { return static_cast<uint32_t>(drams_.size()); }
+  uint32_t replication() const {
+    return static_cast<uint32_t>(leases_.size());
+  }
 
   /// Minimum cycles between consecutive values on the shared input; each
   /// replica sees every R-th value.
@@ -54,11 +62,16 @@ class MultiBinner {
   const std::vector<uint64_t>& merged_counts() const { return merged_; }
 
  private:
+  MultiBinner(const Preprocessor* prep, std::vector<RegionLease> leases,
+              std::vector<std::unique_ptr<Binner>> binners)
+      : prep_(prep), leases_(std::move(leases)),
+        binners_(std::move(binners)) {}
+
   /// Cycles for the constant-time adder-tree aggregation of partials.
   static constexpr double kMergeCycles = 16.0;
 
   const Preprocessor* prep_;
-  std::vector<std::unique_ptr<sim::Dram>> drams_;
+  std::vector<RegionLease> leases_;
   std::vector<std::unique_ptr<Binner>> binners_;
   std::vector<uint64_t> merged_;
   uint64_t next_replica_ = 0;

@@ -3,16 +3,22 @@
 #include <algorithm>
 
 #include "accel/resource_model.h"
+#include "accel/scan_engine.h"
+#include "common/macros.h"
 
 namespace dphist::accel {
 
 Result<MultiColumnReport> ProcessTableMultiColumn(
-    const AcceleratorConfig& config, const page::TableFile& table,
+    Device* device, const page::TableFile& table,
     std::span<const ScanRequest> requests) {
   if (requests.empty()) {
     return Status::InvalidArgument("no scan requests");
   }
   for (size_t i = 0; i < requests.size(); ++i) {
+    if (requests[i].column_index >= table.schema().num_columns()) {
+      return Status::InvalidArgument(
+          "scan request: column index out of range");
+    }
     for (size_t j = i + 1; j < requests.size(); ++j) {
       if (requests[i].column_index == requests[j].column_index) {
         return Status::InvalidArgument(
@@ -21,23 +27,60 @@ Result<MultiColumnReport> ProcessTableMultiColumn(
     }
   }
 
-  MultiColumnReport report;
+  // One replicated circuit per column, all leased up front: the pass
+  // only happens if the device can hold every region at once.
+  ScanEngine engine(device);
+  std::vector<ScanSession> sessions;
+  sessions.reserve(requests.size());
   for (const ScanRequest& request : requests) {
-    // Each circuit is an independent device instance with its own DRAM
-    // region; they share only the tapped input stream.
-    Accelerator circuit(config);
-    DPHIST_ASSIGN_OR_RETURN(AcceleratorReport column,
-                            circuit.ProcessTable(table, request));
-    report.total_seconds = std::max(report.total_seconds,
-                                    column.total_seconds);
+    DPHIST_ASSIGN_OR_RETURN(
+        ScanSession session,
+        engine.OpenSession(request, &table.schema(),
+                           table.schema().row_width(),
+                           SessionMode::kReplicated));
+    sessions.push_back(std::move(session));
+  }
+
+  // The single pass: every page is tapped once and fans out to all
+  // circuits.
+  for (size_t p = 0; p < table.page_count(); ++p) {
+    std::span<const uint8_t> page_bytes = table.PageBytes(p);
+    for (ScanSession& session : sessions) session.FeedPage(page_bytes);
+  }
+
+  MultiColumnReport report;
+  double schedule_base = 0;
+  double schedule_finish = 0;
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    DPHIST_ASSIGN_OR_RETURN(AcceleratorReport column, sessions[i].Finish());
+    const ScanTimeline& timeline = sessions[i].timeline();
+    if (i == 0) {
+      schedule_base = timeline.bin_start_seconds;
+    } else {
+      schedule_base = std::min(schedule_base, timeline.bin_start_seconds);
+    }
+    schedule_finish =
+        std::max(schedule_finish, timeline.histogram_finish_seconds);
     auto chain = resource_model::Chain(
-        request.want_topk, request.want_equi_depth, request.want_max_diff,
-        request.want_compressed, request.top_k, request.num_buckets);
+        requests[i].want_topk, requests[i].want_equi_depth,
+        requests[i].want_max_diff, requests[i].want_compressed,
+        requests[i].top_k, requests[i].num_buckets);
     report.total_utilization_percent += chain.utilization_percent;
+    report.timeline.push_back(timeline);
     report.columns.push_back(std::move(column));
   }
+  report.total_seconds = schedule_finish - schedule_base;
   report.fits_on_device = report.total_utilization_percent < 100.0;
   return report;
+}
+
+Result<MultiColumnReport> ProcessTableMultiColumn(
+    const AcceleratorConfig& config, const page::TableFile& table,
+    std::span<const ScanRequest> requests) {
+  Device device(config,
+                std::max<uint32_t>(Device::kDefaultBinRegions,
+                                   static_cast<uint32_t>(requests.size())));
+  return ProcessTableMultiColumn(&device, table, requests);
 }
 
 }  // namespace dphist::accel

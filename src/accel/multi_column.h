@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "accel/accelerator.h"
+#include "accel/device.h"
 #include "common/result.h"
 #include "page/table_file.h"
 
@@ -13,20 +14,29 @@ namespace dphist::accel {
 ///
 /// In hardware this is the Section 7 replication pattern applied to
 /// columns instead of throughput: one Parser variant extracts k fields,
-/// and k statistical circuits (each with its own memory region) consume
-/// them in parallel off the same tapped stream. Device time for the pass
-/// is therefore the *maximum* over the per-column circuits, not the sum
-/// — the table only streams once.
+/// and k statistical circuits (each leasing its own bin region of the
+/// shared device) consume them in parallel off the same tapped stream.
+/// Device time for the pass is therefore the *maximum* over the
+/// per-column circuits, not the sum — the table only streams once.
 struct MultiColumnReport {
   std::vector<AcceleratorReport> columns;  ///< one per request, in order
+  std::vector<ScanTimeline> timeline;      ///< device schedule, per column
   double total_seconds = 0;                ///< max over circuits
   double total_utilization_percent = 0;    ///< sum of chain footprints
   bool fits_on_device = false;             ///< utilization < 100 %
 };
 
-/// Runs every request against its own simulated circuit and combines the
-/// reports under the one-pass timing model. All requests must name
-/// distinct columns of `table`.
+/// Opens k replicated sessions on the shared `device` (one region lease
+/// each — the pass fails with ResourceExhausted when the device cannot
+/// hold k concurrent regions), streams the table once feeding every
+/// session, and combines the reports. All requests must name distinct
+/// columns of `table`.
+Result<MultiColumnReport> ProcessTableMultiColumn(
+    Device* device, const page::TableFile& table,
+    std::span<const ScanRequest> requests);
+
+/// Convenience: runs the pass on a freshly constructed device with
+/// enough regions for the requests.
 Result<MultiColumnReport> ProcessTableMultiColumn(
     const AcceleratorConfig& config, const page::TableFile& table,
     std::span<const ScanRequest> requests);

@@ -1,0 +1,333 @@
+#include "accel/scan_engine.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "accel/binner.h"
+#include "accel/blocks.h"
+#include "accel/parser.h"
+#include "accel/preprocessor.h"
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+namespace {
+
+/// Converts bin-space buckets back to value space via the Preprocessor
+/// mapping.
+hist::Histogram ConvertBuckets(const std::vector<BinBucket>& bin_buckets,
+                               hist::HistogramType type,
+                               const Preprocessor& prep, uint64_t rows) {
+  hist::Histogram h;
+  h.type = type;
+  h.min_value = prep.config().min_value;
+  h.max_value = prep.config().max_value;
+  h.total_count = rows;
+  h.buckets.reserve(bin_buckets.size());
+  for (const auto& b : bin_buckets) {
+    h.buckets.push_back(hist::Bucket{prep.BinLowValue(b.lo_bin),
+                                     prep.BinHighValue(b.hi_bin), b.count,
+                                     b.distinct});
+  }
+  return h;
+}
+
+}  // namespace
+
+struct ScanSession::State {
+  Device* device = nullptr;
+  ScanRequest request;
+  SessionMode mode = SessionMode::kPipelined;
+  uint64_t bytes_per_value = 8;
+  double parser_latency_cycles = 0;
+  /// The Binner holds pointers into this state (prep, channel), which is
+  /// why sessions are heap-backed handles: moving the handle never moves
+  /// the state.
+  std::optional<Preprocessor> prep;
+  RegionLease lease;
+  std::optional<Parser> parser;
+  std::optional<Binner> binner;
+  bool inject_pages = false;
+  std::vector<uint64_t> raw_values;
+  std::vector<uint8_t> mutated;
+  ScanQuality quality;
+  uint64_t direct_rows = 0;
+  ScanTimeline timeline;
+  bool finished = false;
+};
+
+ScanSession::ScanSession(std::unique_ptr<State> state)
+    : state_(std::move(state)) {}
+
+ScanSession::ScanSession(ScanSession&&) noexcept = default;
+ScanSession& ScanSession::operator=(ScanSession&&) noexcept = default;
+ScanSession::~ScanSession() = default;
+
+void ScanSession::FeedPage(std::span<const uint8_t> original_bytes) {
+  State& s = *state_;
+  DPHIST_CHECK(s.parser.has_value());
+  DPHIST_CHECK(!s.finished);
+  ++s.quality.pages_total;
+
+  std::span<const uint8_t> page_bytes = original_bytes;
+  // Wire-side fault injection: a faulty stream drops, truncates, or
+  // damages pages before they reach the tap. The caller's buffers are
+  // never modified — mutated pages are private copies, exactly as the
+  // Splitter's statistics copy is private in hardware.
+  if (s.inject_pages) {
+    sim::FaultInjector& faults = s.device->stream_faults();
+    const sim::FaultScenario& scenario = s.device->config().faults;
+    if (faults.Roll(scenario.page_drop_probability)) {
+      ++s.quality.pages_dropped;
+      return;
+    }
+    bool truncate = faults.Roll(scenario.page_truncate_probability);
+    bool corrupt = faults.Roll(scenario.page_corrupt_probability);
+    if (truncate || corrupt) {
+      s.mutated.assign(original_bytes.begin(), original_bytes.end());
+      if (truncate && !s.mutated.empty()) {
+        s.mutated.resize(faults.NextBits() % s.mutated.size());
+      }
+      if (corrupt && !s.mutated.empty()) {
+        s.mutated[0] ^= 0xFF;  // header damage: detectably unparseable
+      }
+      page_bytes = s.mutated;
+    }
+  }
+  s.raw_values.clear();
+  // Corrupt pages still reach the host on the cut-through path; the
+  // statistics side merely skips them.
+  Status parsed = s.parser->ParsePage(page_bytes, &s.raw_values);
+  if (!parsed.ok()) return;
+  for (uint64_t raw : s.raw_values) s.binner->ProcessRaw(raw);
+}
+
+void ScanSession::FeedValue(int64_t value) {
+  State& s = *state_;
+  DPHIST_CHECK(!s.parser.has_value());
+  DPHIST_CHECK(!s.finished);
+  s.binner->ProcessValue(value);
+  ++s.direct_rows;
+}
+
+uint64_t ScanSession::num_bins() const { return state_->lease.bin_count(); }
+
+const ScanTimeline& ScanSession::timeline() const {
+  DPHIST_CHECK(state_->finished);
+  return state_->timeline;
+}
+
+Result<AcceleratorReport> ScanSession::Finish() {
+  State& s = *state_;
+  DPHIST_CHECK(!s.finished);
+  const AcceleratorConfig& config = s.device->config();
+  const Preprocessor& prep = *s.prep;
+  sim::Dram* channel = s.lease.channel();
+  const ScanRequest& request = s.request;
+
+  uint64_t rows = 0;
+  uint64_t streamed_bytes = 0;
+  uint64_t corrupt_pages = 0;
+  if (s.parser.has_value()) {
+    rows = s.parser->stats().rows;
+    streamed_bytes = s.parser->stats().bytes;
+    corrupt_pages = s.parser->stats().corrupt_pages;
+  } else {
+    rows = s.direct_rows;
+    streamed_bytes = rows * s.bytes_per_value;
+  }
+
+  AcceleratorReport report;
+  report.binner = s.binner->Finish();
+  report.rows = rows;
+  report.num_bins = prep.num_bins();
+  report.corrupt_pages = corrupt_pages;
+  for (uint64_t i = 0; i < prep.num_bins(); ++i) {
+    report.distinct_values += (channel->ReadBin(i) != 0);
+  }
+
+  // Histogram module: daisy chain in the paper's order.
+  HistogramModule module(config.histogram, channel);
+  TopKBlock* topk = nullptr;
+  EquiDepthBlock* equi_depth = nullptr;
+  MaxDiffBlock* max_diff = nullptr;
+  CompressedBlock* compressed = nullptr;
+  if (request.want_topk) {
+    topk = module.AddBlock(std::make_unique<TopKBlock>(request.top_k));
+  }
+  if (request.want_equi_depth) {
+    equi_depth = module.AddBlock(
+        std::make_unique<EquiDepthBlock>(request.num_buckets));
+  }
+  if (request.want_max_diff) {
+    max_diff = module.AddBlock(
+        std::make_unique<MaxDiffBlock>(request.num_buckets));
+  }
+  if (request.want_compressed) {
+    compressed = module.AddBlock(std::make_unique<CompressedBlock>(
+        request.num_buckets, request.top_k));
+  }
+  // The module sees the binned population (rows minus dropped values),
+  // which is what the bins actually sum to.
+  report.module = module.Run(prep.num_bins(), report.binner.total_items,
+                             report.binner.finish_cycle);
+
+  uint64_t result_bytes = 0;
+  auto collect_timing = [&](const char* name, const StatBlock* block) {
+    report.block_timings.push_back(NamedBlockTiming{name, block->timing()});
+    result_bytes += block->timing().result_bytes;
+  };
+  if (topk != nullptr) {
+    collect_timing("TopK", topk);
+    for (const auto& e : topk->result()) {
+      report.histograms.top_k.push_back(
+          hist::ValueCount{prep.BinLowValue(e.payload), e.key});
+    }
+  }
+  if (equi_depth != nullptr) {
+    collect_timing("Equi-depth", equi_depth);
+    report.histograms.equi_depth = ConvertBuckets(
+        equi_depth->result(), hist::HistogramType::kEquiDepth, prep, rows);
+  }
+  if (max_diff != nullptr) {
+    collect_timing("Max-diff", max_diff);
+    report.histograms.max_diff = ConvertBuckets(
+        max_diff->result(), hist::HistogramType::kMaxDiff, prep, rows);
+  }
+  if (compressed != nullptr) {
+    collect_timing("Compressed", compressed);
+    report.histograms.compressed = ConvertBuckets(
+        compressed->result(), hist::HistogramType::kCompressed, prep, rows);
+    for (const auto& e : compressed->singletons()) {
+      report.histograms.compressed.singletons.push_back(
+          hist::ValueCount{prep.BinLowValue(e.payload), e.key});
+    }
+  }
+
+  // Device-time accounting (paper Section 6.2: first byte sent until last
+  // result byte received).
+  const sim::Clock& clock = config.clock;
+  report.stream_seconds = config.input_link.TransferSeconds(streamed_bytes);
+  report.binner_finish_seconds = clock.CyclesToSeconds(
+      report.binner.finish_cycle + s.parser_latency_cycles);
+  report.histogram_finish_seconds = clock.CyclesToSeconds(
+      report.module.finish_cycle + s.parser_latency_cycles);
+  const double result_transfer =
+      config.input_link.TransferSeconds(result_bytes);
+  report.total_seconds =
+      std::max(report.stream_seconds, report.histogram_finish_seconds) +
+      result_transfer;
+  report.added_latency_ns =
+      config.splitter_latency_ns + config.input_link.latency_s() * 1e9;
+  report.dram_stats = channel->stats();
+
+  // Quality record: what the statistics actually cover, and why.
+  s.quality.pages_corrupt = corrupt_pages;
+  s.quality.rows_seen = rows;
+  s.quality.rows_dropped = report.binner.dropped_values;
+  s.quality.bins_total = prep.num_bins();
+  const sim::FaultStats& dram_faults =
+      s.device->channel_fault_stats(s.lease.slot());
+  s.quality.bins_lost = dram_faults.bins_lost;
+  s.quality.bit_flips = dram_faults.bit_flips;
+  s.quality.latency_spikes = dram_faults.latency_spikes;
+  s.quality.faults_observed = dram_faults.total() + s.quality.pages_dropped +
+                              s.quality.pages_corrupt +
+                              s.quality.rows_dropped;
+  report.quality = s.quality;
+
+  // Book the session into the shared schedule: the front end is busy
+  // until both the stream and the last bin update finish, the chain for
+  // the histogram drain.
+  const double bin_duration =
+      std::max(report.stream_seconds, report.binner_finish_seconds);
+  const double histogram_duration =
+      report.histogram_finish_seconds - report.binner_finish_seconds;
+  s.timeline = s.device->CompleteSession(s.lease.slot(), s.mode, bin_duration,
+                                         histogram_duration,
+                                         report.total_seconds);
+  s.lease.Release();
+  s.finished = true;
+  return report;
+}
+
+Result<ScanSession> ScanEngine::OpenSession(const ScanRequest& request,
+                                            const page::Schema* schema,
+                                            uint64_t bytes_per_value,
+                                            SessionMode mode) {
+  DPHIST_RETURN_NOT_OK(device_->AdmitScan(request));
+
+  PreprocessorConfig prep_config;
+  prep_config.type = schema != nullptr
+                         ? schema->column(request.column_index).type
+                         : page::ColumnType::kInt64;
+  prep_config.min_value = request.min_value;
+  prep_config.max_value = request.max_value;
+  prep_config.granularity = request.granularity;
+  DPHIST_ASSIGN_OR_RETURN(Preprocessor prep,
+                          Preprocessor::Create(prep_config));
+
+  auto state = std::make_unique<ScanSession::State>();
+  state->device = device_;
+  state->request = request;
+  state->mode = mode;
+  state->bytes_per_value = bytes_per_value;
+  state->prep.emplace(std::move(prep));
+  DPHIST_ASSIGN_OR_RETURN(state->lease,
+                          device_->AcquireRegion(state->prep->num_bins()));
+
+  const AcceleratorConfig& config = device_->config();
+  // Input arrival bound: the Binner consumes one value per row delivered
+  // by the link.
+  const double value_interval_cycles = config.clock.SecondsToCycles(
+      static_cast<double>(bytes_per_value) * 8.0 /
+      config.input_link.bandwidth_bps());
+  state->binner.emplace(config.binner, &*state->prep,
+                        state->lease.channel());
+  state->binner->set_input_interval_cycles(value_interval_cycles);
+
+  if (schema != nullptr) {
+    state->parser_latency_cycles = config.parser_latency_cycles;
+    state->parser.emplace(*schema, request.column_index);
+    state->raw_values.reserve(page::RowsPerPage(schema->row_width()));
+    state->inject_pages = config.faults.any_page_faults();
+  }
+  return ScanSession(std::move(state));
+}
+
+Result<AcceleratorReport> ScanEngine::ScanTable(const page::TableFile& table,
+                                                const ScanRequest& request,
+                                                SessionMode mode) {
+  std::vector<std::span<const uint8_t>> pages;
+  pages.reserve(table.page_count());
+  for (size_t p = 0; p < table.page_count(); ++p) {
+    pages.push_back(table.PageBytes(p));
+  }
+  return ScanPages(pages, table.schema(), request, mode);
+}
+
+Result<AcceleratorReport> ScanEngine::ScanPages(
+    std::span<const std::span<const uint8_t>> pages,
+    const page::Schema& schema, const ScanRequest& request,
+    SessionMode mode) {
+  if (request.column_index >= schema.num_columns()) {
+    return Status::InvalidArgument("scan request: column index out of range");
+  }
+  DPHIST_ASSIGN_OR_RETURN(
+      ScanSession session,
+      OpenSession(request, &schema, schema.row_width(), mode));
+  for (const auto& page_bytes : pages) session.FeedPage(page_bytes);
+  return session.Finish();
+}
+
+Result<AcceleratorReport> ScanEngine::ScanValues(
+    std::span<const int64_t> values, const ScanRequest& request,
+    uint64_t bytes_per_value, SessionMode mode) {
+  DPHIST_ASSIGN_OR_RETURN(
+      ScanSession session,
+      OpenSession(request, nullptr, bytes_per_value, mode));
+  for (int64_t v : values) session.FeedValue(v);
+  return session.Finish();
+}
+
+}  // namespace dphist::accel

@@ -1,0 +1,107 @@
+#ifndef DPHIST_ACCEL_SCAN_ENGINE_H_
+#define DPHIST_ACCEL_SCAN_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/device.h"
+#include "common/result.h"
+#include "page/schema.h"
+#include "page/table_file.h"
+
+namespace dphist::accel {
+
+/// One scan in flight on a shared Device: the composable Splitter →
+/// Parser → Preprocessor → Binner → Scanner-chain pipeline, leased one
+/// bin region. The input source is whatever the caller feeds — parsed
+/// pages (FeedPage) or decoded values (FeedValue; the delimited-text
+/// front end decodes to values and feeds these). Finish() drains the
+/// histogram chain, books the session into the device schedule, and
+/// returns the same AcceleratorReport the monolithic accelerator
+/// produced.
+///
+/// Sessions are movable handles; several may be open on one device at a
+/// time (each holding its own region lease), which is how multi-column
+/// and pipelined scans share the device.
+class ScanSession {
+ public:
+  ScanSession(ScanSession&&) noexcept;
+  ScanSession& operator=(ScanSession&&) noexcept;
+  ScanSession(const ScanSession&) = delete;
+  ScanSession& operator=(const ScanSession&) = delete;
+  ~ScanSession();
+
+  /// Feeds one page tapped off the wire (page-source sessions only).
+  /// Page-stream faults are injected here; corrupt pages still reach the
+  /// host on the cut-through path and are merely skipped.
+  void FeedPage(std::span<const uint8_t> page_bytes);
+
+  /// Feeds one decoded logical value (value-source sessions only).
+  void FeedValue(int64_t value);
+
+  /// Bins the session's region maps to (the lease size).
+  uint64_t num_bins() const;
+
+  /// Drains the statistic blocks, completes the session in the device
+  /// schedule, and releases the region. Call exactly once.
+  Result<AcceleratorReport> Finish();
+
+  /// Where the session sat in the device schedule; valid after Finish().
+  const ScanTimeline& timeline() const;
+
+ private:
+  friend class ScanEngine;
+  struct State;
+  explicit ScanSession(std::unique_ptr<State> state);
+
+  std::unique_ptr<State> state_;
+};
+
+/// Opens scan sessions on a shared Device and offers whole-scan
+/// conveniences for the common sources. The engine itself is stateless —
+/// all shared state (regions, injectors, schedule) lives in the Device,
+/// so any number of engines may point at one device.
+class ScanEngine {
+ public:
+  explicit ScanEngine(Device* device) : device_(device) {}
+
+  Device* device() const { return device_; }
+
+  /// Opens a session: admission (validation + injected-failure gate),
+  /// preprocessor construction, and region lease, in that order. Pass a
+  /// schema for a page-source session (the parser extracts
+  /// request.column_index); pass nullptr for a value-source session.
+  /// `bytes_per_value` models each value's wire cost on the input link.
+  Result<ScanSession> OpenSession(const ScanRequest& request,
+                                  const page::Schema* schema,
+                                  uint64_t bytes_per_value,
+                                  SessionMode mode = SessionMode::kPipelined);
+
+  /// Scans one column of a sealed table as a side effect of streaming
+  /// its pages.
+  Result<AcceleratorReport> ScanTable(
+      const page::TableFile& table, const ScanRequest& request,
+      SessionMode mode = SessionMode::kPipelined);
+
+  /// Scans an arbitrary page stream (what the Splitter taps off the
+  /// wire).
+  Result<AcceleratorReport> ScanPages(
+      std::span<const std::span<const uint8_t>> pages,
+      const page::Schema& schema, const ScanRequest& request,
+      SessionMode mode = SessionMode::kPipelined);
+
+  /// Scans pre-decoded values, bypassing the Parser.
+  Result<AcceleratorReport> ScanValues(
+      std::span<const int64_t> values, const ScanRequest& request,
+      uint64_t bytes_per_value, SessionMode mode = SessionMode::kPipelined);
+
+ private:
+  Device* device_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_SCAN_ENGINE_H_

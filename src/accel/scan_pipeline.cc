@@ -2,70 +2,54 @@
 
 #include <algorithm>
 
+#include "accel/scan_engine.h"
 #include "common/macros.h"
 
 namespace dphist::accel {
 
 Result<ScanPipelineReport> RunScanPipeline(
-    const AcceleratorConfig& config, std::span<const PipelinedScan> scans,
-    uint32_t num_regions) {
+    Device* device, std::span<const PipelinedScan> scans) {
   if (scans.empty()) return Status::InvalidArgument("no scans");
-  if (num_regions == 0) {
-    return Status::InvalidArgument("need at least one bin region");
-  }
 
   ScanPipelineReport report;
-  // Run each scan on its own device instance to obtain functional
-  // results and the two phase durations.
-  std::vector<double> bin_duration;
-  std::vector<double> histogram_duration;
+  ScanEngine engine(device);
   for (const PipelinedScan& scan : scans) {
-    Accelerator device(config);
-    DPHIST_ASSIGN_OR_RETURN(AcceleratorReport r,
-                            device.ProcessTable(*scan.table, scan.request));
-    // The front end (Splitter/Parser/Binner) is busy until both the
-    // stream and the last bin update finish.
-    bin_duration.push_back(
-        std::max(r.stream_seconds, r.binner_finish_seconds));
-    histogram_duration.push_back(r.histogram_finish_seconds -
-                                 r.binner_finish_seconds);
+    DPHIST_ASSIGN_OR_RETURN(
+        AcceleratorReport r,
+        engine.ScanTable(*scan.table, scan.request, SessionMode::kPipelined));
+    report.timeline.push_back(device->completed_timelines().back());
+    // The serial reference: no overlap, every scan pays its full
+    // front-end occupancy plus its histogram drain back to back.
+    report.serial_seconds +=
+        std::max(r.stream_seconds, r.binner_finish_seconds) +
+        (r.histogram_finish_seconds - r.binner_finish_seconds);
     report.scans.push_back(std::move(r));
   }
 
-  // Pipelined schedule under the hardware's structural constraints: the
-  // front end (Splitter/Parser/Binner) is one serial pipeline, the
-  // Histogram module (Scanner + chain) is another, and a scan's bin
-  // region stays occupied from binning start until its histograms are
-  // drained. Two regions therefore suffice for full overlap of the two
-  // stages; more regions buy nothing.
-  std::vector<double> region_free(num_regions, 0.0);
-  double front_free = 0.0;
-  double chain_free = 0.0;
-  for (size_t k = 0; k < scans.size(); ++k) {
-    size_t region = 0;
-    for (size_t r = 1; r < region_free.size(); ++r) {
-      if (region_free[r] < region_free[region]) region = r;
-    }
-    ScanTimeline timeline;
-    timeline.bin_start_seconds = std::max(front_free, region_free[region]);
-    timeline.bin_finish_seconds =
-        timeline.bin_start_seconds + bin_duration[k];
-    double histogram_start =
-        std::max(timeline.bin_finish_seconds, chain_free);
-    timeline.histogram_finish_seconds =
-        histogram_start + histogram_duration[k];
-    front_free = timeline.bin_finish_seconds;
-    chain_free = timeline.histogram_finish_seconds;
-    region_free[region] = timeline.histogram_finish_seconds;
-    report.pipelined_seconds = std::max(report.pipelined_seconds,
-                                        timeline.histogram_finish_seconds);
-    report.timeline.push_back(timeline);
+  // Report the schedule relative to this batch's first start, so the
+  // makespan is comparable whether the device was fresh or mid-life.
+  double base = report.timeline.front().bin_start_seconds;
+  for (const ScanTimeline& t : report.timeline) {
+    base = std::min(base, t.bin_start_seconds);
   }
-
-  for (size_t k = 0; k < scans.size(); ++k) {
-    report.serial_seconds += bin_duration[k] + histogram_duration[k];
+  for (ScanTimeline& t : report.timeline) {
+    t.bin_start_seconds -= base;
+    t.bin_finish_seconds -= base;
+    t.histogram_finish_seconds -= base;
+    report.pipelined_seconds =
+        std::max(report.pipelined_seconds, t.histogram_finish_seconds);
   }
   return report;
+}
+
+Result<ScanPipelineReport> RunScanPipeline(
+    const AcceleratorConfig& config, std::span<const PipelinedScan> scans,
+    uint32_t num_regions) {
+  if (num_regions == 0) {
+    return Status::InvalidArgument("need at least one bin region");
+  }
+  Device device(config, num_regions);
+  return RunScanPipeline(&device, scans);
 }
 
 }  // namespace dphist::accel

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "accel/accelerator.h"
+#include "accel/device.h"
 #include "common/result.h"
 #include "page/table_file.h"
 
@@ -16,32 +17,35 @@ namespace dphist::accel {
 /// input table can be already processed and binned at a different region
 /// in memory."
 ///
-/// ScanPipeline schedules a sequence of scans over such double-buffered
-/// bin regions: scan k's Binner may start as soon as scan k-1's Binner
-/// released the front-end (and a region is free), while scan k-1's
-/// Histogram module is still draining its region. The report contrasts
-/// the pipelined makespan with the serial one.
+/// The pipeline runs each scan as a pipelined session on the shared
+/// device: scan k's Binner starts as soon as scan k-1's Binner released
+/// the front end (and the region allocator handed out a region), while
+/// scan k-1's Histogram module is still draining its region. The
+/// schedule therefore falls out of the device's front-end/chain/region
+/// occupancy. The report contrasts the pipelined makespan with the
+/// serial one.
 struct PipelinedScan {
   const page::TableFile* table;
   ScanRequest request;
 };
 
-struct ScanTimeline {
-  double bin_start_seconds = 0;
-  double bin_finish_seconds = 0;
-  double histogram_finish_seconds = 0;
-};
-
 struct ScanPipelineReport {
-  std::vector<AcceleratorReport> scans;    ///< per-scan results, in order
-  std::vector<ScanTimeline> timeline;      ///< pipelined schedule
-  double pipelined_seconds = 0;            ///< makespan with 2 regions
-  double serial_seconds = 0;               ///< makespan with 1 region
+  std::vector<AcceleratorReport> scans;  ///< per-scan results, in order
+  std::vector<ScanTimeline> timeline;    ///< device schedule, per scan,
+                                         ///< relative to the first start
+  double pipelined_seconds = 0;          ///< makespan on the device
+  double serial_seconds = 0;             ///< makespan with no overlap
 };
 
-/// Runs the scans and computes both schedules. `num_regions` bin regions
-/// are available (the paper's platform has one 24 GB DRAM that can hold
-/// many regions; 2 suffices for full overlap of adjacent scans).
+/// Runs the scans as consecutive sessions on the shared `device`; its
+/// region count bounds the overlap (one region serializes everything,
+/// two suffice for full overlap of adjacent scans).
+Result<ScanPipelineReport> RunScanPipeline(
+    Device* device, std::span<const PipelinedScan> scans);
+
+/// Convenience: runs the pipeline on a freshly constructed device with
+/// `num_regions` bin regions (the paper's platform has one 24 GB DRAM
+/// that can hold many regions).
 Result<ScanPipelineReport> RunScanPipeline(
     const AcceleratorConfig& config, std::span<const PipelinedScan> scans,
     uint32_t num_regions = 2);

@@ -1,5 +1,6 @@
 #include "db/datapath.h"
 
+#include "accel/scan_engine.h"
 #include "common/macros.h"
 
 namespace dphist::db {
@@ -39,8 +40,9 @@ Result<accel::AcceleratorReport> DataPathScanner::ScanAndRefresh(
   DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Find(table));
   accel::ScanRequest scan = request;
   scan.column_index = column;
-  DPHIST_ASSIGN_OR_RETURN(accel::AcceleratorReport report,
-                          accelerator_->ProcessTable(*entry->table, scan));
+  DPHIST_ASSIGN_OR_RETURN(
+      accel::AcceleratorReport report,
+      accel::ScanEngine(device_).ScanTable(*entry->table, scan));
   DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
       table, column, StatsFromAcceleratorReport(report, scan)));
   return report;
@@ -52,8 +54,7 @@ Result<accel::MultiColumnReport> DataPathScanner::ScanAndRefreshColumns(
   DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Find(table));
   DPHIST_ASSIGN_OR_RETURN(
       accel::MultiColumnReport report,
-      accel::ProcessTableMultiColumn(accelerator_->config(), *entry->table,
-                                     requests));
+      accel::ProcessTableMultiColumn(device_, *entry->table, requests));
   for (size_t i = 0; i < requests.size(); ++i) {
     DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
         table, requests[i].column_index,

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "accel/accelerator.h"
+#include "accel/device.h"
 #include "accel/multi_column.h"
 #include "common/result.h"
 #include "db/catalog.h"
@@ -16,14 +17,20 @@ namespace dphist::db {
 /// be refreshed every time a table is scanned, the global freshness of
 /// statistics will be higher").
 ///
-/// DataPathScanner streams a registered table through an Accelerator and
-/// installs the resulting statistics in the catalog, stamped with the
-/// current data version — i.e., always fresh.
+/// DataPathScanner runs a registered table's stream as a scan session on
+/// the shared accel::Device and installs the resulting statistics in the
+/// catalog, stamped with the current data version — i.e., always fresh.
 class DataPathScanner {
  public:
-  /// Neither pointer is owned; both must outlive the scanner.
+  /// Neither pointer is owned; both must outlive the scanner. The device
+  /// is typically shared with every other consumer of the accelerator —
+  /// that sharing is the point: one physical device serves all scans.
+  DataPathScanner(Catalog* catalog, accel::Device* device)
+      : catalog_(catalog), device_(device) {}
+
+  /// Compatibility: scans through an Accelerator facade's device.
   DataPathScanner(Catalog* catalog, accel::Accelerator* accelerator)
-      : catalog_(catalog), accelerator_(accelerator) {}
+      : DataPathScanner(catalog, accelerator->device()) {}
 
   /// Scans `table` (as a query's full table scan would) and refreshes the
   /// stats of `column`. Domain metadata (min/max) comes from `request`;
@@ -43,7 +50,7 @@ class DataPathScanner {
 
  private:
   Catalog* catalog_;
-  accel::Accelerator* accelerator_;
+  accel::Device* device_;
 };
 
 /// Converts an accelerator report into catalog ColumnStats: the

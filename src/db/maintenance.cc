@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "db/datapath.h"
+
 namespace dphist::db {
 
 std::vector<MaintenanceCandidate> FindStaleColumns(
@@ -62,6 +64,40 @@ std::vector<MaintenanceCandidate> PlanMaintenanceWindow(
     }
   }
   return chosen;
+}
+
+Result<MaintenanceWindowReport> RunMaintenanceWindow(
+    Catalog* catalog, accel::Device* device,
+    std::span<const MaintenanceCandidate> jobs, double budget_seconds,
+    const std::function<accel::ScanRequest(const MaintenanceCandidate&)>&
+        request_for) {
+  if (device == nullptr || catalog == nullptr) {
+    return Status::InvalidArgument("maintenance window: null catalog/device");
+  }
+  MaintenanceWindowReport report;
+  DataPathScanner scanner(catalog, device);
+  for (const MaintenanceCandidate& job : jobs) {
+    if (report.device_seconds >= budget_seconds) {
+      report.deferred.push_back(job);
+      continue;
+    }
+    auto scan =
+        scanner.ScanAndRefresh(job.table, job.column, request_for(job));
+    if (!scan.ok()) {
+      // Unknown table/column is a planner bug worth surfacing; device
+      // trouble (injected failure, region exhaustion) defers the job.
+      if (scan.status().code() == StatusCode::kNotFound ||
+          scan.status().code() == StatusCode::kInvalidArgument) {
+        return scan.status();
+      }
+      ++report.device_failures;
+      report.deferred.push_back(job);
+      continue;
+    }
+    report.device_seconds += scan->total_seconds;
+    report.executed.push_back(job);
+  }
+  return report;
 }
 
 }  // namespace dphist::db

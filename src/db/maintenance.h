@@ -2,9 +2,14 @@
 #define DPHIST_DB_MAINTENANCE_H_
 
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "accel/accelerator.h"
+#include "accel/device.h"
+#include "common/result.h"
 #include "db/catalog.h"
 
 namespace dphist::db {
@@ -42,6 +47,30 @@ std::vector<MaintenanceCandidate> FindStaleColumns(
 std::vector<MaintenanceCandidate> PlanMaintenanceWindow(
     std::vector<MaintenanceCandidate> candidates, double budget_seconds,
     std::vector<MaintenanceCandidate>* left_out);
+
+/// What actually happened when a planned window ran against the shared
+/// device (rather than against its cost estimates).
+struct MaintenanceWindowReport {
+  std::vector<MaintenanceCandidate> executed;
+  /// Jobs the plan admitted but the device could not serve inside the
+  /// budget (or at all) — the freshness debt the estimates hid.
+  std::vector<MaintenanceCandidate> deferred;
+  double device_seconds = 0;    ///< simulated device time consumed
+  uint64_t device_failures = 0; ///< jobs the device refused or failed
+};
+
+/// Executes `jobs` in order as scan sessions on the *actual shared
+/// device*, charging each job's measured simulated device time against
+/// `budget_seconds` and stopping when the window is spent. `request_for`
+/// supplies the domain metadata (min/max/granularity/buckets) for each
+/// job, typically from catalog knowledge. Device failures defer the job
+/// instead of aborting the window — the window scheduler, like the
+/// device, must not abort the wire.
+Result<MaintenanceWindowReport> RunMaintenanceWindow(
+    Catalog* catalog, accel::Device* device,
+    std::span<const MaintenanceCandidate> jobs, double budget_seconds,
+    const std::function<accel::ScanRequest(const MaintenanceCandidate&)>&
+        request_for);
 
 }  // namespace dphist::db
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/scan_engine.h"
 #include "common/macros.h"
 #include "db/storage.h"
 #include "hist/builders.h"
@@ -83,6 +84,27 @@ double PlainScanSeconds(const page::TableFile& table,
   Relation r = ScanFilterProject(table, predicates, projection);
   (void)r;
   return timer.Seconds();
+}
+
+Result<PiggybackComparison> ComparePiggybackToDataPath(
+    const page::TableFile& table, std::span<const ColumnPredicate> predicates,
+    std::span<const size_t> projection, size_t stats_column,
+    const accel::ScanRequest& request, accel::Device* device,
+    uint32_t num_buckets, uint32_t top_k) {
+  PiggybackComparison comparison;
+  comparison.piggyback = PiggybackScan(table, predicates, projection,
+                                       stats_column, num_buckets, top_k);
+  comparison.plain_scan_seconds =
+      PlainScanSeconds(table, predicates, projection);
+  comparison.piggyback_overhead_seconds =
+      comparison.piggyback.scan_seconds - comparison.plain_scan_seconds;
+
+  accel::ScanRequest scan = request;
+  scan.column_index = stats_column;
+  DPHIST_ASSIGN_OR_RETURN(accel::AcceleratorReport report,
+                          accel::ScanEngine(device).ScanTable(table, scan));
+  comparison.device_seconds = report.total_seconds;
+  return comparison;
 }
 
 }  // namespace dphist::db

@@ -3,6 +3,9 @@
 
 #include <cstdint>
 
+#include "accel/accelerator.h"
+#include "accel/device.h"
+#include "common/result.h"
 #include "db/ops.h"
 #include "db/stats.h"
 #include "page/table_file.h"
@@ -44,6 +47,28 @@ PiggybackResult PiggybackScan(const page::TableFile& table,
 double PlainScanSeconds(const page::TableFile& table,
                         std::span<const ColumnPredicate> predicates,
                         std::span<const size_t> projection);
+
+/// Head-to-head of the two freshness strategies on the same table: the
+/// CPU piggyback (above) against an implicit scan session on the shared
+/// device. The comparison the paper draws in Section 2 — equal
+/// freshness, but the piggyback charges the query while the data path
+/// charges (simulated) silicon.
+struct PiggybackComparison {
+  PiggybackResult piggyback;  ///< measured CPU cost, query slowed down
+  double plain_scan_seconds = 0;    ///< the query alone, no piggyback
+  double piggyback_overhead_seconds = 0;  ///< what the query paid
+  double device_seconds = 0;  ///< simulated device time of the session
+};
+
+/// Runs both strategies: PiggybackScan on the CPU, then the same
+/// statistics request as a session on `device` (which need not be idle —
+/// it is the production shared device). `request.column_index` is set to
+/// `stats_column`.
+Result<PiggybackComparison> ComparePiggybackToDataPath(
+    const page::TableFile& table, std::span<const ColumnPredicate> predicates,
+    std::span<const size_t> projection, size_t stats_column,
+    const accel::ScanRequest& request, accel::Device* device,
+    uint32_t num_buckets, uint32_t top_k);
 
 }  // namespace dphist::db
 

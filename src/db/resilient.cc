@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "accel/scan_engine.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "db/storage.h"
@@ -147,7 +148,7 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
     for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
       ++outcome.attempts;
       ++counters_.attempts;
-      auto report = accelerator_->ProcessTable(*entry->table, scan);
+      auto report = accel::ScanEngine(device_).ScanTable(*entry->table, scan);
       const bool usable =
           report.ok() && report->quality.Coverage() >= options_.min_coverage;
       if (usable) {

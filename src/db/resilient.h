@@ -5,6 +5,7 @@
 #include <string>
 
 #include "accel/accelerator.h"
+#include "accel/device.h"
 #include "common/result.h"
 #include "db/catalog.h"
 #include "db/datapath.h"
@@ -101,11 +102,20 @@ struct ScanCounters {
 /// fallback.
 class ResilientScanner {
  public:
-  /// Neither pointer is owned; both must outlive the scanner.
+  /// Neither pointer is owned; both must outlive the scanner. The
+  /// breaker guards the shared device itself: when several scanners (or
+  /// schedulers) point at one Device, each observes the same resource's
+  /// failures — including region exhaustion when concurrent sessions
+  /// hold every region.
+  ResilientScanner(Catalog* catalog, accel::Device* device,
+                   ResilientScannerOptions options = {})
+      : catalog_(catalog), device_(device), options_(std::move(options)) {}
+
+  /// Compatibility: scans through an Accelerator facade's device.
   ResilientScanner(Catalog* catalog, accel::Accelerator* accelerator,
                    ResilientScannerOptions options = {})
-      : catalog_(catalog), accelerator_(accelerator),
-        options_(std::move(options)) {}
+      : ResilientScanner(catalog, accelerator->device(),
+                         std::move(options)) {}
 
   /// Scans `table` and refreshes `column`'s stats, degrading as needed.
   /// Returns an error only for caller mistakes (unknown table, bad
@@ -130,7 +140,7 @@ class ResilientScanner {
                                          size_t column) const;
 
   Catalog* catalog_;
-  accel::Accelerator* accelerator_;
+  accel::Device* device_;
   ResilientScannerOptions options_;
   ScanCounters counters_;
   uint32_t consecutive_failures_ = 0;

@@ -1,0 +1,244 @@
+#include "accel/device.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/scan_engine.h"
+#include "workload/distributions.h"
+
+namespace dphist::accel {
+namespace {
+
+/// The Device + ScanEngine split must be invisible to serial callers:
+/// the Accelerator facade is required to produce reports bit-identical
+/// to a session driven by hand on a bare device, clean or faulty. These
+/// tests pin that contract, plus the admission and region-arbitration
+/// behaviour only the device layer provides.
+
+ScanRequest TestRequest() {
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = 512;
+  request.num_buckets = 16;
+  request.top_k = 8;
+  return request;
+}
+
+void ExpectReportsIdentical(const AcceleratorReport& a,
+                            const AcceleratorReport& b) {
+  EXPECT_EQ(a.rows, b.rows);
+  EXPECT_EQ(a.num_bins, b.num_bins);
+  EXPECT_EQ(a.distinct_values, b.distinct_values);
+  EXPECT_EQ(a.histograms.top_k, b.histograms.top_k);
+  EXPECT_EQ(a.histograms.equi_depth.buckets, b.histograms.equi_depth.buckets);
+  EXPECT_EQ(a.histograms.max_diff.buckets, b.histograms.max_diff.buckets);
+  EXPECT_EQ(a.histograms.compressed.buckets, b.histograms.compressed.buckets);
+  EXPECT_EQ(a.histograms.compressed.singletons,
+            b.histograms.compressed.singletons);
+  EXPECT_EQ(a.stream_seconds, b.stream_seconds);
+  EXPECT_EQ(a.binner_finish_seconds, b.binner_finish_seconds);
+  EXPECT_EQ(a.histogram_finish_seconds, b.histogram_finish_seconds);
+  EXPECT_EQ(a.total_seconds, b.total_seconds);
+  EXPECT_EQ(a.corrupt_pages, b.corrupt_pages);
+  EXPECT_EQ(a.quality.pages_dropped, b.quality.pages_dropped);
+  EXPECT_EQ(a.quality.pages_corrupt, b.quality.pages_corrupt);
+  EXPECT_EQ(a.quality.rows_seen, b.quality.rows_seen);
+  EXPECT_EQ(a.quality.rows_dropped, b.quality.rows_dropped);
+  EXPECT_EQ(a.quality.bins_total, b.quality.bins_total);
+  EXPECT_EQ(a.quality.bins_lost, b.quality.bins_lost);
+  EXPECT_EQ(a.quality.bit_flips, b.quality.bit_flips);
+  EXPECT_EQ(a.quality.faults_observed, b.quality.faults_observed);
+}
+
+TEST(DeviceTest, FacadeTableScanBitIdenticalToEngineSession) {
+  auto column = workload::ZipfColumn(20000, 512, 0.6, 17);
+  auto table = workload::ColumnToTable(column, 2, 17);
+
+  Accelerator facade{AcceleratorConfig{}};
+  auto via_facade = facade.ProcessTable(table, TestRequest());
+  ASSERT_TRUE(via_facade.ok());
+
+  Device device{AcceleratorConfig{}};
+  auto via_engine = ScanEngine(&device).ScanTable(table, TestRequest());
+  ASSERT_TRUE(via_engine.ok());
+
+  ExpectReportsIdentical(*via_facade, *via_engine);
+  EXPECT_EQ(device.stats().sessions_completed, 1u);
+  EXPECT_EQ(device.stats().regions_granted, 1u);
+}
+
+TEST(DeviceTest, FacadeFaultyScanSequenceBitIdenticalToEngine) {
+  // Back-to-back faulty scans: the facade must consume the shared fault
+  // streams (page-stream injector and slot 0's persistent memory
+  // channel) in exactly the order the bare engine does, so the whole
+  // *sequence* of reports matches bit for bit, not just the first.
+  auto column = workload::ZipfColumn(15000, 512, 0.75, 23);
+  auto table = workload::ColumnToTable(column, 2, 23);
+
+  AcceleratorConfig config;
+  config.faults.enabled = true;
+  config.faults.seed = 99;
+  config.faults.page_drop_probability = 0.05;
+  config.faults.page_corrupt_probability = 0.05;
+  config.faults.ecc_error_probability = 2e-4;
+  config.faults.bit_flip_probability = 2e-4;
+
+  Accelerator facade{config};
+  Device device{config};
+  ScanEngine engine(&device);
+  for (int scan = 0; scan < 3; ++scan) {
+    auto via_facade = facade.ProcessTable(table, TestRequest());
+    auto via_engine = engine.ScanTable(table, TestRequest());
+    ASSERT_TRUE(via_facade.ok());
+    ASSERT_TRUE(via_engine.ok());
+    SCOPED_TRACE(testing::Message() << "scan " << scan);
+    ExpectReportsIdentical(*via_facade, *via_engine);
+  }
+  EXPECT_EQ(facade.dram_fault_stats().bit_flips,
+            device.dram_fault_stats().bit_flips);
+  EXPECT_EQ(facade.dram_fault_stats().ecc_errors,
+            device.dram_fault_stats().ecc_errors);
+}
+
+TEST(DeviceTest, ConcurrentSessionInterleavingIsDeterministic) {
+  // Two page-source sessions interleaved page by page on one faulty
+  // device: rerunning the identical schedule from the same seed must
+  // reproduce every report and timeline bit for bit.
+  auto column_a = workload::ZipfColumn(12000, 512, 0.5, 31);
+  auto column_b = workload::UniformColumn(12000, 1, 512, 32);
+  auto table_a = workload::ColumnToTable(column_a, 2, 31);
+  auto table_b = workload::ColumnToTable(column_b, 2, 32);
+
+  AcceleratorConfig config;
+  config.faults.enabled = true;
+  config.faults.seed = 7;
+  config.faults.page_drop_probability = 0.04;
+  config.faults.ecc_error_probability = 1e-4;
+
+  auto run = [&]() {
+    Device device{config, /*num_bin_regions=*/2};
+    ScanEngine engine(&device);
+    auto a = engine.OpenSession(TestRequest(), &table_a.schema(),
+                                table_a.schema().row_width());
+    auto b = engine.OpenSession(TestRequest(), &table_b.schema(),
+                                table_b.schema().row_width());
+    EXPECT_TRUE(a.ok());
+    EXPECT_TRUE(b.ok());
+    size_t pages = std::max(table_a.page_count(), table_b.page_count());
+    for (size_t p = 0; p < pages; ++p) {
+      if (p < table_a.page_count()) a->FeedPage(table_a.PageBytes(p));
+      if (p < table_b.page_count()) b->FeedPage(table_b.PageBytes(p));
+    }
+    std::vector<AcceleratorReport> reports;
+    auto report_a = a->Finish();
+    auto report_b = b->Finish();
+    EXPECT_TRUE(report_a.ok());
+    EXPECT_TRUE(report_b.ok());
+    reports.push_back(std::move(*report_a));
+    reports.push_back(std::move(*report_b));
+    EXPECT_EQ(device.stats().sessions_completed, 2u);
+    return reports;
+  };
+
+  auto first = run();
+  auto second = run();
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "session " << i);
+    ExpectReportsIdentical(first[i], second[i]);
+  }
+  // The two sessions must really have run concurrently on distinct
+  // regions of the one device.
+  EXPECT_NE(first[0].histograms.equi_depth.buckets,
+            first[1].histograms.equi_depth.buckets);
+}
+
+TEST(DeviceTest, RegionExhaustionReturnsResourceExhausted) {
+  Device device{AcceleratorConfig{}, /*num_bin_regions=*/1};
+  ScanEngine engine(&device);
+
+  auto lease = device.AcquireRegion(512);
+  ASSERT_TRUE(lease.ok());
+
+  // The only region is out on lease: opening a session must fail with
+  // ResourceExhausted and be counted, not crash or block.
+  auto session = engine.OpenSession(TestRequest(), nullptr, 8);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(device.stats().region_exhaustions, 1u);
+
+  lease->Release();
+  auto retry = engine.OpenSession(TestRequest(), nullptr, 8);
+  EXPECT_TRUE(retry.ok());
+}
+
+TEST(DeviceTest, AggregateBinCapacityIsEnforcedAcrossLeases) {
+  // Many small regions are fine, but their *sum* must fit the DRAM.
+  AcceleratorConfig config;
+  Device device{config, /*num_bin_regions=*/2};
+  uint64_t max_bins = config.dram.capacity_bytes / config.dram.bin_bytes;
+
+  auto big = device.AcquireRegion(max_bins);
+  ASSERT_TRUE(big.ok());
+  auto second = device.AcquireRegion(1);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+
+  big->Release();
+  EXPECT_TRUE(device.AcquireRegion(1).ok());
+}
+
+TEST(DeviceTest, ZeroBucketsRejectedAtAdmission) {
+  Device device{AcceleratorConfig{}};
+  ScanRequest request = TestRequest();
+  request.num_buckets = 0;
+  Status status = device.AdmitScan(request);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(device.stats().sessions_rejected, 1u);
+  EXPECT_EQ(device.stats().sessions_admitted, 0u);
+}
+
+TEST(DeviceTest, ZeroTopKRejectedAtAdmission) {
+  Device device{AcceleratorConfig{}};
+  ScanRequest request = TestRequest();
+  request.top_k = 0;
+  Status status = device.AdmitScan(request);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(device.stats().sessions_rejected, 1u);
+}
+
+TEST(DeviceTest, ArbitrationStatsAccumulateAcrossSessions) {
+  auto column = workload::ZipfColumn(8000, 256, 0.5, 41);
+  auto table = workload::ColumnToTable(column, 1, 41);
+
+  Device device{AcceleratorConfig{}, /*num_bin_regions=*/2};
+  ScanEngine engine(&device);
+  ScanRequest request = TestRequest();
+  request.max_value = 256;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(engine.ScanTable(table, request).ok());
+  }
+
+  const DeviceStats& stats = device.stats();
+  EXPECT_EQ(stats.sessions_admitted, 3u);
+  EXPECT_EQ(stats.sessions_completed, 3u);
+  EXPECT_EQ(stats.regions_granted, 3u);
+  EXPECT_GT(stats.front_busy_seconds, 0.0);
+  EXPECT_GT(stats.chain_busy_seconds, 0.0);
+  ASSERT_EQ(device.completed_timelines().size(), 3u);
+  // Serial sessions on an otherwise idle device pipeline back to back:
+  // each scan's binning may overlap the previous scan's histogram drain,
+  // but the chain itself serializes in completion order.
+  const auto& tl = device.completed_timelines();
+  for (size_t i = 1; i < tl.size(); ++i) {
+    EXPECT_GE(tl[i].bin_start_seconds, tl[i - 1].bin_finish_seconds);
+    EXPECT_GE(tl[i].histogram_finish_seconds,
+              tl[i - 1].histogram_finish_seconds);
+  }
+  EXPECT_GE(device.QuiesceSeconds(), tl.back().histogram_finish_seconds);
+}
+
+}  // namespace
+}  // namespace dphist::accel

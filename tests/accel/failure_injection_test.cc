@@ -302,6 +302,19 @@ TEST(FailureInjectionTest, HostileRequestValuesReturnStatusNotAbort) {
   EXPECT_EQ(accelerator.ProcessTable(table, too_many_bins).status().code(),
             StatusCode::kResourceExhausted);
 
+  // Degenerate statistic parameters: zero buckets or zero top-k slots
+  // describe a histogram that cannot exist, and must be refused at
+  // admission rather than build an empty statistic.
+  ScanRequest no_buckets = TestRequest();
+  no_buckets.num_buckets = 0;
+  EXPECT_EQ(accelerator.ProcessTable(table, no_buckets).status().code(),
+            StatusCode::kInvalidArgument);
+
+  ScanRequest no_topk = TestRequest();
+  no_topk.top_k = 0;
+  EXPECT_EQ(accelerator.ProcessTable(table, no_topk).status().code(),
+            StatusCode::kInvalidArgument);
+
   // A sane request still works on the same accelerator afterwards.
   auto ok_report = accelerator.ProcessTable(table, TestRequest());
   ASSERT_TRUE(ok_report.ok());

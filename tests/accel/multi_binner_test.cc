@@ -19,19 +19,21 @@ Preprocessor MakePrep(int64_t max_value) {
 
 TEST(MultiBinnerTest, MergedCountsAreExact) {
   Preprocessor prep = MakePrep(512);
-  MultiBinner multi(4, BinnerConfig{}, sim::DramConfig{}, &prep);
+  Device device{AcceleratorConfig{}};
+  auto multi = MultiBinner::Create(&device, 4, &prep);
+  ASSERT_TRUE(multi.ok());
   Rng rng(9);
   std::vector<uint64_t> expected(512, 0);
   for (int i = 0; i < 30000; ++i) {
     int64_t v = rng.NextInRange(1, 512);
     ++expected[v - 1];
-    multi.ProcessValue(v);
+    multi->ProcessValue(v);
   }
-  MultiBinnerReport report = multi.Finish();
+  MultiBinnerReport report = multi->Finish();
   EXPECT_EQ(report.total_items, 30000u);
-  ASSERT_EQ(multi.merged_counts().size(), 512u);
+  ASSERT_EQ(multi->merged_counts().size(), 512u);
   for (size_t b = 0; b < 512; ++b) {
-    EXPECT_EQ(multi.merged_counts()[b], expected[b]) << "bin " << b;
+    EXPECT_EQ(multi->merged_counts()[b], expected[b]) << "bin " << b;
   }
 }
 
@@ -40,10 +42,12 @@ TEST(MultiBinnerTest, ThroughputScalesWithReplication) {
   // times the single-module rate when the input can feed them.
   auto throughput = [](uint32_t replication) {
     Preprocessor prep = MakePrep(1 << 16);
-    MultiBinner multi(replication, BinnerConfig{}, sim::DramConfig{}, &prep);
+    Device device{AcceleratorConfig{}, replication};
+    auto multi = MultiBinner::Create(&device, replication, &prep);
+    EXPECT_TRUE(multi.ok());
     auto stream = workload::CacheAdversarialColumn(80000, 1 << 16, 8);
-    for (int64_t v : stream) multi.ProcessValue(v);
-    return multi.Finish().ValuesPerSecond(sim::Clock());
+    for (int64_t v : stream) multi->ProcessValue(v);
+    return multi->Finish().ValuesPerSecond(sim::Clock());
   };
   double r1 = throughput(1);
   double r2 = throughput(2);
@@ -57,17 +61,21 @@ TEST(MultiBinnerTest, ThroughputScalesWithReplication) {
 
 TEST(MultiBinnerTest, InputLinkBecomesBottleneck) {
   Preprocessor prep = MakePrep(1 << 16);
-  MultiBinner multi(8, BinnerConfig{}, sim::DramConfig{}, &prep);
+  Device device{AcceleratorConfig{}, /*num_bin_regions=*/8};
+  auto multi = MultiBinner::Create(&device, 8, &prep);
+  ASSERT_TRUE(multi.ok());
   // One value per 10 cycles on the shared input: 15 M values/s cap.
-  multi.set_input_interval_cycles(10.0);
+  multi->set_input_interval_cycles(10.0);
   auto stream = workload::CacheAdversarialColumn(80000, 1 << 16, 8);
-  for (int64_t v : stream) multi.ProcessValue(v);
-  EXPECT_NEAR(multi.Finish().ValuesPerSecond(sim::Clock()), 15e6, 0.5e6);
+  for (int64_t v : stream) multi->ProcessValue(v);
+  EXPECT_NEAR(multi->Finish().ValuesPerSecond(sim::Clock()), 15e6, 0.5e6);
 }
 
 TEST(MultiBinnerTest, SingleReplicaMatchesPlainBinner) {
   Preprocessor prep = MakePrep(1024);
-  MultiBinner multi(1, BinnerConfig{}, sim::DramConfig{}, &prep);
+  Device device{AcceleratorConfig{}};
+  auto multi = MultiBinner::Create(&device, 1, &prep);
+  ASSERT_TRUE(multi.ok());
 
   sim::Dram dram{sim::DramConfig{}};
   dram.AllocateBins(prep.num_bins());
@@ -75,16 +83,33 @@ TEST(MultiBinnerTest, SingleReplicaMatchesPlainBinner) {
 
   auto stream = workload::ZipfColumn(20000, 1024, 0.5, 13);
   for (int64_t v : stream) {
-    multi.ProcessValue(v);
+    multi->ProcessValue(v);
     plain.ProcessValue(v);
   }
-  MultiBinnerReport multi_report = multi.Finish();
+  MultiBinnerReport multi_report = multi->Finish();
   BinnerReport plain_report = plain.Finish();
   // Identical pipeline timing up to the constant merge adder.
   EXPECT_NEAR(multi_report.finish_cycle, plain_report.finish_cycle, 20.0);
   for (uint64_t b = 0; b < prep.num_bins(); ++b) {
-    EXPECT_EQ(multi.merged_counts()[b], dram.ReadBin(b));
+    EXPECT_EQ(multi->merged_counts()[b], dram.ReadBin(b));
   }
+}
+
+TEST(MultiBinnerTest, LeasesExhaustAndReturnRegions) {
+  // The replicas are real leases of the shared device: asking for more
+  // than the device has fails, and destroying the MultiBinner returns
+  // them to the allocator.
+  Preprocessor prep = MakePrep(512);
+  Device device{AcceleratorConfig{}, /*num_bin_regions=*/2};
+  {
+    auto multi = MultiBinner::Create(&device, 2, &prep);
+    ASSERT_TRUE(multi.ok());
+    auto overcommitted = MultiBinner::Create(&device, 1, &prep);
+    EXPECT_FALSE(overcommitted.ok());
+    EXPECT_EQ(overcommitted.status().code(), StatusCode::kResourceExhausted);
+  }
+  EXPECT_TRUE(MultiBinner::Create(&device, 2, &prep).ok());
+  EXPECT_GE(device.stats().region_exhaustions, 1u);
 }
 
 }  // namespace

@@ -114,5 +114,86 @@ TEST(MaintenanceTest, DataPathEliminatesTheDebt) {
   EXPECT_EQ(FindStaleColumns(catalog, 100e6).size(), 3u);
 }
 
+accel::ScanRequest WindowRequest(const MaintenanceCandidate&) {
+  accel::ScanRequest request;
+  request.min_value = 1;
+  request.max_value = 100;
+  request.num_buckets = 16;
+  request.top_k = 8;
+  return request;
+}
+
+TEST(MaintenanceTest, WindowRunsJobsOnSharedDeviceWithinBudget) {
+  Catalog catalog = MakeCatalogWithTables();
+  accel::Device device{accel::AcceleratorConfig{}};
+  std::vector<MaintenanceCandidate> jobs = {
+      {"small", 0, 0.0, 1.0}, {"large", 0, 0.0, 1.0}};
+
+  auto report =
+      RunMaintenanceWindow(&catalog, &device, jobs, 1e6, WindowRequest);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->executed, jobs);
+  EXPECT_TRUE(report->deferred.empty());
+  EXPECT_EQ(report->device_failures, 0u);
+  EXPECT_GT(report->device_seconds, 0.0);
+  // The jobs really went through the one device, and the catalog is
+  // fresh for every executed column.
+  EXPECT_EQ(device.stats().sessions_completed, jobs.size());
+  for (const auto& job : jobs) {
+    auto stats = catalog.GetColumnStats(job.table, job.column);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_TRUE((*stats)->valid);
+    EXPECT_EQ((*stats)->provenance, StatsProvenance::kImplicit);
+  }
+}
+
+TEST(MaintenanceTest, WindowDefersJobsPastTheBudget) {
+  // The budget is checked against *measured* device seconds, not the
+  // planner's estimates: once the window is spent, remaining jobs are
+  // the deferred freshness debt.
+  Catalog catalog = MakeCatalogWithTables();
+  accel::Device device{accel::AcceleratorConfig{}};
+  std::vector<MaintenanceCandidate> jobs = {
+      {"large", 0, 0.0, 1.0}, {"small", 0, 0.0, 1.0}, {"small", 1, 0.0, 1.0}};
+
+  auto report =
+      RunMaintenanceWindow(&catalog, &device, jobs, 1e-9, WindowRequest);
+  ASSERT_TRUE(report.ok());
+  // The first job runs (the window was still open when it started) and
+  // exhausts the budget; everything after is deferred.
+  ASSERT_EQ(report->executed.size(), 1u);
+  EXPECT_EQ(report->executed[0], jobs[0]);
+  EXPECT_EQ(report->deferred.size(), 2u);
+  auto deferred_stats = catalog.GetColumnStats("small", 0);
+  ASSERT_TRUE(deferred_stats.ok());
+  EXPECT_FALSE((*deferred_stats)->valid);
+}
+
+TEST(MaintenanceTest, WindowDefersDeviceFailuresInsteadOfAborting) {
+  Catalog catalog = MakeCatalogWithTables();
+  accel::AcceleratorConfig config;
+  config.faults.enabled = true;
+  config.faults.fail_scans = 1;  // device outage for the first command
+  accel::Device device{config};
+  std::vector<MaintenanceCandidate> jobs = {
+      {"small", 0, 0.0, 1.0}, {"small", 1, 0.0, 1.0}};
+
+  auto report =
+      RunMaintenanceWindow(&catalog, &device, jobs, 1e6, WindowRequest);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->device_failures, 1u);
+  ASSERT_EQ(report->deferred.size(), 1u);
+  EXPECT_EQ(report->deferred[0], jobs[0]);
+  ASSERT_EQ(report->executed.size(), 1u);
+  EXPECT_EQ(report->executed[0], jobs[1]);
+
+  // Planner bugs are not absorbed: an unknown table is an error.
+  std::vector<MaintenanceCandidate> bogus = {{"missing", 0, 0.0, 1.0}};
+  auto bad = RunMaintenanceWindow(&catalog, &device, bogus, 1e6,
+                                  WindowRequest);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace dphist::db

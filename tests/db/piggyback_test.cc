@@ -88,5 +88,45 @@ TEST(PiggybackTest, PiggybackingCostsMoreThanPlainScan) {
   EXPECT_GT(piggyback, plain);
 }
 
+TEST(PiggybackTest, ComparisonRunsTheDataPathScanOnTheSharedDevice) {
+  // The paper's Figure 1 contrast in one call: piggybacking charges its
+  // overhead to the query's wall clock, while the data-path device does
+  // the same statistics work in simulated device time, as a side effect.
+  Fixture f;
+  const ColumnPredicate pred{workload::kLExtendedPrice, CompareOp::kGe,
+                             5000000};
+  const size_t proj[] = {workload::kLQuantity};
+
+  // Domain metadata from a dedicated pass, as the catalog would hold.
+  AnalyzeOptions options;
+  AnalyzeResult analyzed =
+      AnalyzeColumn(f.table, workload::kLExtendedPrice, options);
+  accel::ScanRequest request;
+  request.min_value = analyzed.stats.min_value;
+  request.max_value = analyzed.stats.max_value;
+  request.granularity =
+      (analyzed.stats.max_value - analyzed.stats.min_value) / 4096 + 1;
+  request.num_buckets = 16;
+  request.top_k = 8;
+
+  accel::Device device{accel::AcceleratorConfig{}};
+  auto comparison = ComparePiggybackToDataPath(
+      f.table, {&pred, 1}, proj, workload::kLExtendedPrice, request,
+      &device, 254, 16);
+  ASSERT_TRUE(comparison.ok());
+  EXPECT_EQ(comparison->piggyback.query_result.num_rows(),
+            ScanFilterProject(f.table, {&pred, 1}, proj).num_rows());
+  EXPECT_TRUE(comparison->piggyback.stats.valid);
+  EXPECT_GT(comparison->plain_scan_seconds, 0.0);
+  EXPECT_GT(comparison->device_seconds, 0.0);
+  // The device scan really ran as a session on the shared device.
+  EXPECT_EQ(device.stats().sessions_completed, 1u);
+  ASSERT_EQ(device.completed_timelines().size(), 1u);
+  EXPECT_GE(comparison->device_seconds,
+            device.completed_timelines()[0].histogram_finish_seconds);
+  EXPECT_DOUBLE_EQ(device.QuiesceSeconds(),
+                   device.completed_timelines()[0].histogram_finish_seconds);
+}
+
 }  // namespace
 }  // namespace dphist::db

@@ -378,5 +378,43 @@ TEST(ResilientScannerTest, PlannerDiscountsPartialCoverage) {
             std::string::npos);
 }
 
+TEST(ResilientScannerTest, RegionExhaustionFallsBackThenRecovers) {
+  // A shared device whose only bin region is leased out to some other
+  // session: every implicit attempt comes back ResourceExhausted. The
+  // scanner must absorb that like any device failure — retry, then
+  // install sampling-fallback stats — and go back to the implicit path
+  // once the region frees up.
+  Catalog catalog = MakeCatalog();
+  accel::Device device{accel::AcceleratorConfig{}, /*num_bin_regions=*/1};
+  ResilientScanner scanner(&catalog, &device);
+
+  auto lease = device.AcquireRegion(kCardinality);
+  ASSERT_TRUE(lease.ok());
+
+  auto outcome = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->path, ScanPath::kSamplingFallback);
+  EXPECT_TRUE(outcome->stats_installed);
+  EXPECT_GT(scanner.counters().device_failures, 0u);
+  EXPECT_GE(device.stats().region_exhaustions,
+            static_cast<uint64_t>(outcome->attempts));
+  EXPECT_NE(outcome->last_device_error.find("region"), std::string::npos);
+
+  auto fallback_stats = catalog.GetColumnStats("t", 0);
+  ASSERT_TRUE(fallback_stats.ok());
+  EXPECT_TRUE((*fallback_stats)->valid);
+  EXPECT_EQ((*fallback_stats)->provenance, StatsProvenance::kSamplingFallback);
+
+  // Region returned (and breaker closed): the implicit path works again.
+  lease->Release();
+  scanner.ResetBreaker();
+  auto recovered = scanner.ScanAndRefresh("t", 0, TestRequest());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->path, ScanPath::kImplicit);
+  auto implicit_stats = catalog.GetColumnStats("t", 0);
+  ASSERT_TRUE(implicit_stats.ok());
+  EXPECT_EQ((*implicit_stats)->provenance, StatsProvenance::kImplicit);
+}
+
 }  // namespace
 }  // namespace dphist::db
