@@ -49,6 +49,9 @@ void Main() {
   bench::TablePrinter table({"distribution", "cache (Mv/s)", "hit rate",
                              "no-cache (Mv/s)", "stall cycles"},
                             16);
+  bench::JsonWriter json("ablation_cache");
+  json.Meta("reproduces", "Ablation: bin cache effectiveness");
+  table.AttachJson(&json);
   table.PrintHeader();
   const struct {
     const char* name;
@@ -74,6 +77,7 @@ void Main() {
       "the ~20 Mvalues/s floor and rises with skew; without it, "
       "throughput collapses as skew grows (every repeated value stalls "
       "a full memory round trip).\n");
+  json.WriteFile();
 }
 
 }  // namespace

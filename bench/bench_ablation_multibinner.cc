@@ -29,6 +29,9 @@ void Run() {
   bench::TablePrinter table({"replicas", "worst Mv/s", "1-col Gbps",
                              "vs 10GbE", "10GbE-fed Mv/s"},
                             16);
+  bench::JsonWriter json("ablation_multibinner");
+  json.Meta("reproduces", "Ablation: multi-binner replicas");
+  table.AttachJson(&json);
   table.PrintHeader();
   // One shared device with enough bin regions for the widest replication
   // sweep; each MultiBinner leases its replicas' regions and returns
@@ -63,6 +66,7 @@ void Run() {
       "312.5 Mvalues/s, so 16 worst-case replicas (or fewer with the "
       "faster memory the paper proposes as the first step) sustain line "
       "rate.\n");
+  json.WriteFile();
 }
 
 }  // namespace

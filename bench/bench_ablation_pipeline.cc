@@ -40,6 +40,9 @@ void Run() {
 
   bench::TablePrinter table({"bin regions", "makespan (s)", "vs serial"},
                             16);
+  bench::JsonWriter json("ablation_pipeline");
+  json.Meta("reproduces", "Section 4 decoupling: pipelined bin regions");
+  table.AttachJson(&json);
   table.PrintHeader();
   double serial = 0;
   for (uint32_t regions : {1u, 2u, 4u}) {
@@ -63,6 +66,7 @@ void Run() {
       "scan's histogram phase and the next scan's binning (Section 4's "
       "producer-consumer decoupling); more regions add little because "
       "the front end is serial.\n");
+  json.WriteFile();
 }
 
 }  // namespace

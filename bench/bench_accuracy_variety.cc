@@ -40,6 +40,9 @@ void Run() {
   bench::TablePrinter table({"histogram", "mean rng err", "max rng err",
                              "max pt err", "SSE"},
                             15);
+  bench::JsonWriter json("accuracy_variety");
+  json.Meta("reproduces", "Section 6.2 histogram variety + accuracy");
+  table.AttachJson(&json);
 
   for (double skew : {0.5, 1.0}) {
     auto column = workload::ZipfColumn(rows, kCardinality, skew, 303);
@@ -87,6 +90,7 @@ void Run() {
       "histograms match or beat the sampled software histogram on every "
       "error metric; Compressed handles heavy hitters best; V-optimal "
       "bounds what any histogram could do.\n");
+  json.WriteFile();
 }
 
 }  // namespace

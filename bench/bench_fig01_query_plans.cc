@@ -60,6 +60,9 @@ void Run() {
   bench::TablePrinter table({"x (custkey<)", "stale plan", "stale (s)",
                              "fresh plan", "fresh (s)", "speedup"},
                             17);
+  bench::JsonWriter json("fig01_query_plans");
+  json.Meta("reproduces", "Figure 1 (stale vs fresh statistics query plans)");
+  table.AttachJson(&json);
   table.PrintHeader();
 
   for (int64_t x : {2000, 5000, 10000, 20000}) {
@@ -102,6 +105,7 @@ void Run() {
       "\nExpected shape (paper Fig. 1): the stale-stats plan (join "
       "algorithm misled by a ~4-order cardinality underestimate) is far "
       "slower, and the gap grows with x.\n");
+  json.WriteFile();
 }
 
 }  // namespace

@@ -25,6 +25,9 @@ void Run() {
   db::StorageModel storage;
   bench::TablePrinter printer(
       {"Task", "cpu (s)", "in-memory (s)", "on-disk (s)"}, 16);
+  bench::JsonWriter json("fig02_sampling_cost");
+  json.Meta("reproduces", "Figure 2 (cost of sampling-based statistics)");
+  printer.AttachJson(&json);
   printer.PrintHeader();
 
   // The analyzer uses the DBy profile here (scan-then-filter) so the
@@ -67,6 +70,7 @@ void Run() {
       "\nExpected shape (paper Fig. 2): every ANALYZE bar, even at 5%% "
       "sampling, sits above the full-table-scan query; disk bars exceed "
       "memory bars.\n");
+  json.WriteFile();
 }
 
 }  // namespace

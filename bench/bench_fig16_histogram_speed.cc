@@ -35,6 +35,9 @@ void Run() {
                              "DBx 100% (s)", "DBx 5% (s)", "DBy 100% (s)",
                              "DBy 5% (s)"},
                             14);
+  bench::JsonWriter json("fig16_histogram_speed");
+  json.Meta("reproduces", "Figure 16 (histogram creation time vs table size)");
+  table.AttachJson(&json);
   table.PrintHeader();
 
   // Paper sweeps 30..450M rows; defaults scale 100x down.
@@ -74,6 +77,7 @@ void Run() {
       "sampling undercuts the simulated device wall-clock, unlike the "
       "paper's commercial engines — but the accelerator consumes zero "
       "host CPU and sees all rows (see EXPERIMENTS.md).\n");
+  json.WriteFile();
 }
 
 }  // namespace

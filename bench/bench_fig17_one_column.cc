@@ -31,6 +31,9 @@ void Run() {
   bench::TablePrinter table({"rows (M)", "FPGA 1col (s)", "FPGA 8col (s)",
                              "DBx 1col (s)", "DBy 1col (s)"},
                             15);
+  bench::JsonWriter json("fig17_one_column");
+  json.Meta("reproduces", "Figure 17 (one-column table scans)");
+  table.AttachJson(&json);
   table.PrintHeader();
 
   for (uint64_t base : {300000ULL, 600000ULL, 1500000ULL, 3000000ULL,
@@ -69,6 +72,7 @@ void Run() {
       "\nExpected shape (paper Fig. 17): software analysis without "
       "sampling remains well above the FPGA even on the 1-column table; "
       "the FPGA's 1- and 8-column lines nearly coincide.\n");
+  json.WriteFile();
 }
 
 }  // namespace

@@ -24,6 +24,9 @@ void Run() {
       {"rows (M)", "FPGA (s)", "Index1 100%", "Index1 5%", "Index8 100%",
        "Index8 5%", "build1 (s)", "build8 (s)"},
       13);
+  bench::JsonWriter json("fig18_indexed");
+  json.Meta("reproduces", "Figure 18 (indexed columns vs datapath histograms)");
+  table.AttachJson(&json);
   table.PrintHeader();
 
   for (uint64_t base : {300000ULL, 600000ULL, 1500000ULL, 3000000ULL}) {
@@ -70,6 +73,7 @@ void Run() {
       "coincide (the index hides the base row width); with 5%% sampling "
       "DBx approaches the FPGA — but the FPGA is doing full scans, and "
       "the index build columns show the cost the figure hides.\n");
+  json.WriteFile();
 }
 
 }  // namespace

@@ -49,6 +49,9 @@ void Run() {
   bench::TablePrinter table({"column", "FPGA (s)", "DBx 100%", "DBx 20%",
                              "DBx 10%", "DBx 5%"},
                             17);
+  bench::JsonWriter json("fig19_cardinality");
+  json.Meta("reproduces", "Figure 19 (cardinality sweep)");
+  table.AttachJson(&json);
   table.PrintHeader();
   for (const ColumnSpec& spec : columns) {
     accel::ScanRequest request;
@@ -77,6 +80,7 @@ void Run() {
       "\nExpected shape (paper Fig. 19): l_quantity is far cheaper for "
       "DBx than the high-cardinality columns (which must be sorted); the "
       "FPGA column is essentially flat across all three.\n");
+  json.WriteFile();
 }
 
 }  // namespace

@@ -78,6 +78,9 @@ void Run() {
   bench::TablePrinter table({"join size", "SMJ accurate (s)",
                              "NLJ inaccurate (s)", "slowdown"},
                             20);
+  bench::JsonWriter json("fig21_plan_oscillation");
+  json.Meta("reproduces", "Figure 21 (plan oscillation under stale stats)");
+  table.AttachJson(&json);
   table.PrintHeader();
   for (int64_t customers : {5000, 10000, 15000}) {
     db::Q1Query query;
@@ -101,6 +104,7 @@ void Run() {
       "several times slower, and the gap grows with the number of "
       "participating customers; the sampled ANALYZE detects the spikes "
       "only part of the time, so real deployments oscillate.\n");
+  json.WriteFile();
 }
 
 }  // namespace

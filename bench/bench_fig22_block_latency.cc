@@ -43,6 +43,9 @@ void Run() {
                              "Max-diff (ms)", "Compressed (ms)",
                              "1GbE ref (ms)"},
                             16);
+  bench::JsonWriter json("fig22_block_latency");
+  json.Meta("reproduces", "Figure 22 (histogram block latency)");
+  table.AttachJson(&json);
   table.PrintHeader();
   for (uint64_t base : {1, 5, 10, 20, 35}) {
     uint64_t bins = bench::Scaled(base * 1000000ULL) ;
@@ -70,6 +73,7 @@ void Run() {
       "\nExpected shape (paper Fig. 22): all linear in bins; "
       "MaxDiff ~= Compressed ~= TopK + Equi-depth; all below the 1GbE "
       "streaming time of the smallest such table.\n");
+  json.WriteFile();
 }
 
 }  // namespace

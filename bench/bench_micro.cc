@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "accel/accelerator.h"
+#include "bench/bench_util.h"
 #include "accel/binner.h"
 #include "accel/parser.h"
 #include "accel/preprocessor.h"
@@ -120,7 +121,44 @@ void BM_AcceleratorEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_AcceleratorEndToEnd)->Arg(100000);
 
+/// Console output as usual, with every run also mirrored into the
+/// repo-wide BENCH_<name>.json telemetry schema (google-benchmark's own
+/// --benchmark_out writes a different schema, and only when asked).
+class JsonMirrorReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonMirrorReporter(bench::JsonWriter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      json_->BeginRow();
+      json_->Str("name", run.benchmark_name());
+      json_->Num("iterations", static_cast<double>(run.iterations));
+      json_->Num("real_time_ns", run.GetAdjustedRealTime());
+      json_->Num("cpu_time_ns", run.GetAdjustedCPUTime());
+      for (const auto& [counter, value] : run.counters) {
+        json_->Num(counter, static_cast<double>(value));
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonWriter* json_;
+};
+
 }  // namespace
 }  // namespace dphist
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  dphist::bench::JsonWriter json("micro");
+  json.Meta("reproduces",
+            "host-side microbenchmarks (regression tracking, not a paper "
+            "figure)");
+  dphist::JsonMirrorReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  json.WriteFile();
+  return 0;
+}

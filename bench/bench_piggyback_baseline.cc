@@ -32,6 +32,9 @@ void Run() {
                              "stats fresh?", "stats build (s)",
                              "query slowdown"},
                             17);
+  bench::JsonWriter json("piggyback_baseline");
+  json.Meta("reproduces", "Piggybacked scan overhead baseline");
+  table.AttachJson(&json);
   table.PrintHeader();
 
   double plain =
@@ -73,6 +76,7 @@ void Run() {
       "achieves the same freshness with the query untouched. The "
       "'stats build' column for the data path is simulated device time, "
       "fully overlapped with the scan.\n");
+  json.WriteFile();
 }
 
 }  // namespace

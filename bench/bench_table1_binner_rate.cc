@@ -50,6 +50,9 @@ void Run() {
 
   bench::TablePrinter table(
       {"Binner case", "values/s", "1-col (MB/s)", "lineitem (GB/s)"}, 20);
+  bench::JsonWriter json("table1_binner_rate");
+  json.Meta("reproduces", "Table 1 (binner processing rates)");
+  table.AttachJson(&json);
   table.PrintHeader();
   auto print = [&](const char* label, double rate) {
     table.PrintRow({label, bench::TablePrinter::Fmt(rate / 1e6, "M"),
@@ -63,6 +66,7 @@ void Run() {
   std::printf(
       "\nPaper Table 1: worst 20M/s (80 MB/s, 2.9 GB/s); best 50M/s "
       "(200 MB/s, 7.4 GB/s); ideal 75M/s (300 MB/s, 11.1 GB/s).\n");
+  json.WriteFile();
 }
 
 }  // namespace

@@ -48,6 +48,9 @@ void Run() {
   bench::TablePrinter table({"Block", "Resource", "Scaling", "1st result",
                              "Last result", "Result B", "Scans", "MaxFreq"},
                             13);
+  bench::JsonWriter json("table2_blocks");
+  json.Meta("reproduces", "Table 2 (histogram block resources and scaling)");
+  table.AttachJson(&json);
   table.PrintHeader();
 
   auto row = [&](const char* name, accel::BlockResource res,
@@ -95,6 +98,7 @@ void Run() {
       accel::resource_model::Chain(true, true, true, true, kT, kB).fits
           ? "yes"
           : "NO");
+  json.WriteFile();
 }
 
 }  // namespace

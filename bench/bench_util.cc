@@ -1,20 +1,45 @@
 #include "bench/bench_util.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
 
 namespace dphist::bench {
 
-double ScaleFactor() {
+namespace {
+
+/// Parses DPHIST_BENCH_SCALE once. std::strtod with end-pointer checking
+/// (rather than atof, which maps garbage to 0.0 silently): unparsable or
+/// non-positive input warns on stderr and falls back to 1.0.
+double ParseScaleFactor() {
   const char* env = std::getenv("DPHIST_BENCH_SCALE");
   if (env == nullptr || *env == '\0') return 1.0;
-  double scale = std::atof(env);
-  return scale > 0 ? scale : 1.0;
+  char* end = nullptr;
+  double scale = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !std::isfinite(scale) || scale <= 0) {
+    std::fprintf(stderr,
+                 "bench_util: ignoring unparsable DPHIST_BENCH_SCALE=\"%s\" "
+                 "(want a positive number); using 1.0\n",
+                 env);
+    return 1.0;
+  }
+  return scale;
+}
+
+}  // namespace
+
+double ScaleFactor() {
+  // The environment cannot change mid-process; parse exactly once so the
+  // hot Scaled() path costs a load, not a getenv + strtod per call.
+  static const double kScale = ParseScaleFactor();
+  return kScale;
 }
 
 uint64_t Scaled(uint64_t base) {
   double scaled = static_cast<double>(base) * ScaleFactor();
-  return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+  // Round to nearest (0.3 * 10 must be 3, not 2) with a floor of 1.
+  return scaled < 1.0 ? 1 : static_cast<uint64_t>(std::llround(scaled));
 }
 
 void PrintBanner(const char* binary, const char* reproduces,
@@ -26,6 +51,119 @@ void PrintBanner(const char* binary, const char* reproduces,
   std::printf("Scale: %.3gx of defaults (DPHIST_BENCH_SCALE; paper scale ~100)\n",
               ScaleFactor());
   std::printf("==============================================================\n");
+}
+
+namespace {
+
+/// JSON string escaping: quotes, backslashes, and control characters.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  // JSON has no NaN/Inf; encode them as null rather than emit an
+  // unparsable file.
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+JsonWriter::JsonWriter(std::string name) : name_(std::move(name)) {
+  MetaNum("scale", ScaleFactor());
+}
+
+void JsonWriter::Meta(const std::string& key, const std::string& value) {
+  meta_.push_back({key, Value{false, 0, value}});
+}
+
+void JsonWriter::MetaNum(const std::string& key, double value) {
+  meta_.push_back({key, Value{true, value, {}}});
+}
+
+void JsonWriter::BeginRow() { rows_.emplace_back(); }
+
+void JsonWriter::Num(const std::string& key, double value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back({key, Value{true, value, {}}});
+}
+
+void JsonWriter::Str(const std::string& key, const std::string& value) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back({key, Value{false, 0, value}});
+}
+
+std::string JsonWriter::ToJson() const {
+  auto append_object = [](std::string* out, const Object& object) {
+    *out += "{";
+    for (size_t i = 0; i < object.size(); ++i) {
+      if (i > 0) *out += ", ";
+      *out += "\"" + JsonEscape(object[i].first) + "\": ";
+      const Value& v = object[i].second;
+      if (v.is_number) {
+        *out += JsonNumber(v.number);
+      } else {
+        *out += "\"" + JsonEscape(v.str) + "\"";
+      }
+    }
+    *out += "}";
+  };
+  std::string out = "{\n  \"bench\": \"" + JsonEscape(name_) + "\",\n";
+  out += "  \"meta\": ";
+  append_object(&out, meta_);
+  out += ",\n  \"rows\": [\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out += "    ";
+    append_object(&out, rows_[r]);
+    if (r + 1 < rows_.size()) out += ",";
+    out += "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool JsonWriter::WriteFile() const {
+  std::string path = "BENCH_" + name_ + ".json";
+  const char* dir = std::getenv("DPHIST_BENCH_JSON_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_util: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = ToJson();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (ok) std::printf("Telemetry: %s\n", path.c_str());
+  return ok;
 }
 
 TablePrinter::TablePrinter(std::vector<std::string> headers,
@@ -49,6 +187,13 @@ void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
     std::printf("%-*s", column_width_, cell.c_str());
   }
   std::printf("\n");
+  if (json_ != nullptr) {
+    json_->BeginRow();
+    for (size_t i = 0; i < cells.size(); ++i) {
+      json_->Str(i < headers_.size() ? headers_[i] : "col" + std::to_string(i),
+                 cells[i]);
+    }
+  }
 }
 
 std::string TablePrinter::Fmt(double v, const char* unit) {

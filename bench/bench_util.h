@@ -23,11 +23,62 @@ uint64_t Scaled(uint64_t base);
 void PrintBanner(const char* binary, const char* reproduces,
                  const char* notes);
 
+/// Machine-readable benchmark telemetry. Accumulates metadata and result
+/// rows and writes `BENCH_<name>.json` next to the text table (into the
+/// current working directory, or $DPHIST_BENCH_JSON_DIR when set), so CI
+/// can archive every run's numbers without scraping stdout.
+///
+/// Emitted schema:
+///   {
+///     "bench": "<name>",
+///     "meta":  { "<key>": <string|number>, ... },
+///     "rows":  [ { "<key>": <string|number>, ... }, ... ]
+///   }
+/// Rows mirror the text table one-to-one when attached to a TablePrinter
+/// (keys are the column headers, values the printed cells); benches may
+/// additionally record raw numeric metrics with Num().
+class JsonWriter {
+ public:
+  /// \param name benchmark name without the "bench_" prefix; the file
+  /// becomes BENCH_<name>.json.
+  explicit JsonWriter(std::string name);
+
+  void Meta(const std::string& key, const std::string& value);
+  void MetaNum(const std::string& key, double value);
+
+  /// Starts a new result row; Num/Str append to the latest row.
+  void BeginRow();
+  void Num(const std::string& key, double value);
+  void Str(const std::string& key, const std::string& value);
+
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json and prints its path; warns on stderr and
+  /// returns false on I/O failure (the bench itself still succeeded).
+  bool WriteFile() const;
+
+ private:
+  struct Value {
+    bool is_number = false;
+    double number = 0;
+    std::string str;
+  };
+  using Object = std::vector<std::pair<std::string, Value>>;
+
+  std::string name_;
+  Object meta_;
+  std::vector<Object> rows_;
+};
+
 /// Minimal fixed-width table printer for paper-style series output.
 class TablePrinter {
  public:
   explicit TablePrinter(std::vector<std::string> headers,
                         int column_width = 14);
+
+  /// Mirrors every subsequent PrintRow into `json` as one row keyed by
+  /// the column headers. The writer must outlive the printer.
+  void AttachJson(JsonWriter* json) { json_ = json; }
 
   void PrintHeader() const;
   void PrintRow(const std::vector<std::string>& cells) const;
@@ -39,6 +90,7 @@ class TablePrinter {
  private:
   std::vector<std::string> headers_;
   int column_width_;
+  JsonWriter* json_ = nullptr;
 };
 
 }  // namespace dphist::bench

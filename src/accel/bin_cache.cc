@@ -1,9 +1,13 @@
 #include "accel/bin_cache.h"
 
+#include <cstddef>
+
 namespace dphist::accel {
 
 bool BinCache::LookupAndTouch(uint64_t line) {
   ++tick_;
+  // A zero-capacity cache (cache_bytes < line_bytes) holds nothing and
+  // always misses; entries_ stays empty so the scan below is a no-op.
   for (auto& entry : entries_) {
     if (entry.line == line) {
       entry.last_use = tick_;
@@ -17,6 +21,7 @@ bool BinCache::LookupAndTouch(uint64_t line) {
 
 void BinCache::Insert(uint64_t line) {
   ++tick_;
+  if (capacity_lines_ == 0) return;  // nothing to hold, nothing to evict
   if (entries_.size() < capacity_lines_) {
     entries_.push_back(Entry{line, tick_});
     return;

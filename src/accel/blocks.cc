@@ -82,7 +82,12 @@ void EquiDepthBlock::StartScan(const ScanContext& context) {
   active_ = context.scan_number == 0;
   if (active_) {
     DPHIST_CHECK_GT(num_buckets_, 0u);
-    limit_ = std::max<uint64_t>(1, context.total_count / num_buckets_);
+    // Ceiling division (Oracle-hybrid semantics): a floor limit lets
+    // skewed data close far more than B buckets — e.g. total just above
+    // B yields limit 1 and one bucket per non-empty bin. With the
+    // ceiling, at most B buckets close on the limit plus one tail.
+    limit_ = std::max<uint64_t>(
+        1, (context.total_count + num_buckets_ - 1) / num_buckets_);
     sum_ = 0;
     distinct_ = 0;
     start_bin_ = 0;
@@ -218,9 +223,12 @@ void CompressedBlock::StartScan(const ScanContext& context) {
     uint64_t singleton_rows = 0;
     for (const auto& s : singletons_) singleton_rows += s.key;
     uint64_t remaining = context.total_count - singleton_rows;
+    // Ceiling division, as in the EquiDepthBlock: the body must not
+    // splinter into more than num_buckets_ buckets under skew.
     limit_ = remaining == 0
                  ? 0
-                 : std::max<uint64_t>(1, remaining / num_buckets_);
+                 : std::max<uint64_t>(
+                       1, (remaining + num_buckets_ - 1) / num_buckets_);
     sum_ = 0;
     distinct_ = 0;
     open_ = false;

@@ -59,7 +59,18 @@ Device::Device(const AcceleratorConfig& config, uint32_t num_bin_regions)
   DPHIST_CHECK_GE(num_bin_regions, 1u);
 }
 
+DeviceStats Device::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<ScanTimeline> Device::completed_timelines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timelines_;
+}
+
 Status Device::AdmitScan(const ScanRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
   Status valid = ValidateRequest(request);
   if (!valid.ok()) {
     ++stats_.sessions_rejected;
@@ -77,6 +88,7 @@ Status Device::AdmitScan(const ScanRequest& request) {
 }
 
 Result<RegionLease> Device::AcquireRegion(uint64_t bin_count) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Earliest-free slot among the unleased ones (ties: lowest index), the
   // same choice the pipelined schedule makes for its next scan.
   size_t slot = regions_.size();
@@ -92,7 +104,24 @@ Result<RegionLease> Device::AcquireRegion(uint64_t bin_count) {
     return Status::ResourceExhausted(
         "bin-region allocator: all regions leased out");
   }
+  return LeaseSlotLocked(slot, bin_count);
+}
 
+Result<RegionLease> Device::AcquireRegionAt(uint32_t slot,
+                                            uint64_t bin_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= regions_.size()) {
+    return Status::InvalidArgument("bin-region allocator: no such slot");
+  }
+  if (regions_[slot].leased) {
+    ++stats_.region_exhaustions;
+    return Status::ResourceExhausted(
+        "bin-region allocator: requested slot is leased out");
+  }
+  return LeaseSlotLocked(slot, bin_count);
+}
+
+Result<RegionLease> Device::LeaseSlotLocked(size_t slot, uint64_t bin_count) {
   Region& region = regions_[slot];
   if (region.channel == nullptr) {
     if (config_.faults.any_dram_faults()) {
@@ -122,6 +151,7 @@ Result<RegionLease> Device::AcquireRegion(uint64_t bin_count) {
 }
 
 void Device::ReleaseRegion(uint32_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
   DPHIST_CHECK_LT(slot, regions_.size());
   Region& region = regions_[slot];
   DPHIST_CHECK(region.leased);
@@ -135,6 +165,10 @@ const sim::FaultStats& Device::dram_fault_stats() const {
 }
 
 const sim::FaultStats& Device::channel_fault_stats(uint32_t slot) const {
+  // Lock-free by design: regions_ never resizes, and a slot's channel is
+  // only created/used by the session that holds (or is booking) the
+  // slot. Callers read their own slot's counters, or read after the
+  // device quiesced.
   static const sim::FaultStats kNoFaults;
   if (slot >= regions_.size() || regions_[slot].faulty == nullptr) {
     return kNoFaults;
@@ -142,12 +176,24 @@ const sim::FaultStats& Device::channel_fault_stats(uint32_t slot) const {
   return regions_[slot].faulty->fault_stats();
 }
 
+double Device::front_free_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return front_free_seconds_;
+}
+
+double Device::chain_free_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chain_free_seconds_;
+}
+
 double Device::region_free_seconds(uint32_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
   DPHIST_CHECK_LT(slot, regions_.size());
   return regions_[slot].free_at_seconds;
 }
 
 double Device::QuiesceSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
   double idle = std::max(front_free_seconds_, chain_free_seconds_);
   for (const Region& region : regions_) {
     idle = std::max(idle, region.free_at_seconds);
@@ -159,6 +205,7 @@ ScanTimeline Device::CompleteSession(uint32_t slot, SessionMode mode,
                                      double bin_duration_seconds,
                                      double histogram_duration_seconds,
                                      double total_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
   DPHIST_CHECK_LT(slot, regions_.size());
   ScanTimeline timeline;
   timeline.region = slot;

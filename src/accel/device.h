@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "accel/config.h"
@@ -100,6 +101,13 @@ class RegionLease {
 /// so concurrent, pipelined, replicated and multi-column configurations
 /// are all just session schedules over this object, not separate
 /// devices.
+///
+/// Thread safety: the allocator, admission gate, schedule horizons and
+/// counters are guarded by one mutex, so sessions on *different* regions
+/// may run from different host threads (see accel/scan_executor.h). The
+/// shared stream-fault injector is the exception — it is a single
+/// deterministic draw sequence and must be consumed from one thread at a
+/// time (the executor pre-draws fault plans serially at submission).
 class Device {
  public:
   /// Regions the default device exposes: enough for double-buffered
@@ -113,7 +121,9 @@ class Device {
   uint32_t num_bin_regions() const {
     return static_cast<uint32_t>(regions_.size());
   }
-  const DeviceStats& stats() const { return stats_; }
+  /// Snapshot of the lifetime counters (copied under the device lock, so
+  /// it is safe to call while executor workers are running).
+  DeviceStats stats() const;
 
   /// Admission gate for one scan attempt: request validation (domain
   /// bounds, granularity, zero bucket/top-k counts, at least one
@@ -127,9 +137,17 @@ class Device {
   /// chosen slot is the free one whose schedule horizon is earliest.
   Result<RegionLease> AcquireRegion(uint64_t bin_count);
 
+  /// Leases a specific slot (executor-planned placement: the planner
+  /// assigns slots deterministically at submission, so the concurrent
+  /// schedule books exactly like the serial one). Fails with
+  /// ResourceExhausted when that slot is already leased out.
+  Result<RegionLease> AcquireRegionAt(uint32_t slot, uint64_t bin_count);
+
   /// Deterministic oracle for scan-level and page-stream faults, shared
   /// by every session on this device (the memory channels keep their
-  /// own, salted differently).
+  /// own, salted differently). NOT guarded by the device lock: consume it
+  /// from one thread at a time — serially in the facade, or at plan time
+  /// in the executor.
   sim::FaultInjector& stream_faults() { return stream_faults_; }
 
   /// Fault counters of region slot 0's memory channel — the channel
@@ -143,16 +161,15 @@ class Device {
 
   /// Schedule horizons (simulated seconds): when the shared front end /
   /// histogram chain / a region accepts new work.
-  double front_free_seconds() const { return front_free_seconds_; }
-  double chain_free_seconds() const { return chain_free_seconds_; }
+  double front_free_seconds() const;
+  double chain_free_seconds() const;
   double region_free_seconds(uint32_t slot) const;
   /// Earliest time the whole device is idle.
   double QuiesceSeconds() const;
 
-  /// Timelines of completed sessions, in completion order.
-  const std::vector<ScanTimeline>& completed_timelines() const {
-    return timelines_;
-  }
+  /// Timelines of completed sessions, in completion order (copied under
+  /// the device lock).
+  std::vector<ScanTimeline> completed_timelines() const;
 
  private:
   friend class RegionLease;
@@ -179,7 +196,16 @@ class Device {
                                double histogram_duration_seconds,
                                double total_seconds);
 
+  /// Shared tail of AcquireRegion/AcquireRegionAt; requires mu_ held and
+  /// regions_[slot] unleased.
+  Result<RegionLease> LeaseSlotLocked(size_t slot, uint64_t bin_count);
+
   AcceleratorConfig config_;
+  /// Guards regions_ (lease flags, horizons, lazy channel creation),
+  /// active_bins_, the schedule horizons, stats_ and timelines_. The
+  /// regions_ vector itself never resizes after construction, so a
+  /// session may use its own slot's channel without the lock.
+  mutable std::mutex mu_;
   std::vector<Region> regions_;
   uint64_t active_bins_ = 0;  ///< bins held by live leases, summed
   sim::FaultInjector stream_faults_;

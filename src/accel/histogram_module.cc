@@ -11,6 +11,10 @@ ModuleReport HistogramModule::Run(uint64_t num_bins, uint64_t total_count,
   DPHIST_CHECK_LE(num_bins, dram_->allocated_bins());
   ModuleReport report;
   report.start_cycle = start_cycle;
+  // With an empty chain no scan runs; the first bin is "available" the
+  // moment the Binner hands over, so downstream timing never reads a
+  // stale default. The first real scan overwrites this below.
+  report.first_bin_cycle = start_cycle;
 
   const uint64_t bins_per_line = dram_->config().bins_per_line();
   double t = start_cycle;

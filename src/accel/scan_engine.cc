@@ -34,6 +34,23 @@ hist::Histogram ConvertBuckets(const std::vector<BinBucket>& bin_buckets,
 
 }  // namespace
 
+PageFaultDecision DrawPageFaultDecision(sim::FaultInjector& faults,
+                                        const sim::FaultScenario& scenario,
+                                        uint64_t page_size) {
+  // The draw order is load-bearing: it must consume the injector stream
+  // exactly as the live path always has, or pre-drawn plans would shift
+  // every later decision.
+  PageFaultDecision decision;
+  decision.drop = faults.Roll(scenario.page_drop_probability);
+  if (decision.drop) return decision;
+  decision.truncate = faults.Roll(scenario.page_truncate_probability);
+  decision.corrupt = faults.Roll(scenario.page_corrupt_probability);
+  if (decision.truncate && page_size > 0) {
+    decision.truncate_bytes = faults.NextBits() % page_size;
+  }
+  return decision;
+}
+
 struct ScanSession::State {
   Device* device = nullptr;
   ScanRequest request;
@@ -54,6 +71,19 @@ struct ScanSession::State {
   uint64_t direct_rows = 0;
   ScanTimeline timeline;
   bool finished = false;
+
+  /// Pre-drawn page decisions (executor mode) and the next one to apply.
+  bool use_fault_plan = false;
+  std::vector<PageFaultDecision> fault_plan;
+  size_t fault_plan_next = 0;
+
+  /// Booking inputs saved by ComputeReport so a deferred session can be
+  /// booked after its lease is gone.
+  uint32_t booked_slot = 0;
+  double bin_duration_seconds = 0;
+  double histogram_duration_seconds = 0;
+  double total_device_seconds = 0;
+  bool booked = false;
 };
 
 ScanSession::ScanSession(std::unique_ptr<State> state)
@@ -73,22 +103,29 @@ void ScanSession::FeedPage(std::span<const uint8_t> original_bytes) {
   // Wire-side fault injection: a faulty stream drops, truncates, or
   // damages pages before they reach the tap. The caller's buffers are
   // never modified — mutated pages are private copies, exactly as the
-  // Splitter's statistics copy is private in hardware.
+  // Splitter's statistics copy is private in hardware. Planned sessions
+  // replay pre-drawn decisions instead of rolling the shared injector
+  // (which concurrent sessions must not touch).
   if (s.inject_pages) {
-    sim::FaultInjector& faults = s.device->stream_faults();
-    const sim::FaultScenario& scenario = s.device->config().faults;
-    if (faults.Roll(scenario.page_drop_probability)) {
+    PageFaultDecision decision;
+    if (s.use_fault_plan) {
+      DPHIST_CHECK_LT(s.fault_plan_next, s.fault_plan.size());
+      decision = s.fault_plan[s.fault_plan_next++];
+    } else {
+      decision = DrawPageFaultDecision(s.device->stream_faults(),
+                                       s.device->config().faults,
+                                       original_bytes.size());
+    }
+    if (decision.drop) {
       ++s.quality.pages_dropped;
       return;
     }
-    bool truncate = faults.Roll(scenario.page_truncate_probability);
-    bool corrupt = faults.Roll(scenario.page_corrupt_probability);
-    if (truncate || corrupt) {
+    if (decision.truncate || decision.corrupt) {
       s.mutated.assign(original_bytes.begin(), original_bytes.end());
-      if (truncate && !s.mutated.empty()) {
-        s.mutated.resize(faults.NextBits() % s.mutated.size());
+      if (decision.truncate && !s.mutated.empty()) {
+        s.mutated.resize(decision.truncate_bytes);
       }
-      if (corrupt && !s.mutated.empty()) {
+      if (decision.corrupt && !s.mutated.empty()) {
         s.mutated[0] ^= 0xFF;  // header damage: detectably unparseable
       }
       page_bytes = s.mutated;
@@ -113,11 +150,11 @@ void ScanSession::FeedValue(int64_t value) {
 uint64_t ScanSession::num_bins() const { return state_->lease.bin_count(); }
 
 const ScanTimeline& ScanSession::timeline() const {
-  DPHIST_CHECK(state_->finished);
+  DPHIST_CHECK(state_->booked);
   return state_->timeline;
 }
 
-Result<AcceleratorReport> ScanSession::Finish() {
+AcceleratorReport ScanSession::ComputeReport() {
   State& s = *state_;
   DPHIST_CHECK(!s.finished);
   const AcceleratorConfig& config = s.device->config();
@@ -236,26 +273,65 @@ Result<AcceleratorReport> ScanSession::Finish() {
                               s.quality.rows_dropped;
   report.quality = s.quality;
 
-  // Book the session into the shared schedule: the front end is busy
-  // until both the stream and the last bin update finish, the chain for
-  // the histogram drain.
-  const double bin_duration =
+  // Booking inputs for CompleteSession: the front end is busy until both
+  // the stream and the last bin update finish, the chain for the
+  // histogram drain. Saved on the state so booking can happen after the
+  // lease is released (deferred mode).
+  s.booked_slot = s.lease.slot();
+  s.bin_duration_seconds =
       std::max(report.stream_seconds, report.binner_finish_seconds);
-  const double histogram_duration =
+  s.histogram_duration_seconds =
       report.histogram_finish_seconds - report.binner_finish_seconds;
-  s.timeline = s.device->CompleteSession(s.lease.slot(), s.mode, bin_duration,
-                                         histogram_duration,
-                                         report.total_seconds);
+  s.total_device_seconds = report.total_seconds;
+  return report;
+}
+
+Result<AcceleratorReport> ScanSession::Finish() {
+  AcceleratorReport report = ComputeReport();
+  State& s = *state_;
+  BookCompletion();
   s.lease.Release();
   s.finished = true;
   return report;
+}
+
+Result<AcceleratorReport> ScanSession::FinishDeferred() {
+  AcceleratorReport report = ComputeReport();
+  State& s = *state_;
+  // Release now so the next planned session can lease this slot; the
+  // schedule booking happens later, serially, in submission order. The
+  // report above never depends on the booking, so deferring it cannot
+  // change any result.
+  s.lease.Release();
+  s.finished = true;
+  return report;
+}
+
+void ScanSession::BookCompletion() {
+  State& s = *state_;
+  DPHIST_CHECK(!s.booked);
+  s.timeline = s.device->CompleteSession(
+      s.booked_slot, s.mode, s.bin_duration_seconds,
+      s.histogram_duration_seconds, s.total_device_seconds);
+  s.booked = true;
 }
 
 Result<ScanSession> ScanEngine::OpenSession(const ScanRequest& request,
                                             const page::Schema* schema,
                                             uint64_t bytes_per_value,
                                             SessionMode mode) {
-  DPHIST_RETURN_NOT_OK(device_->AdmitScan(request));
+  SessionOptions options;
+  options.mode = mode;
+  return OpenSessionWithOptions(request, schema, bytes_per_value,
+                                std::move(options));
+}
+
+Result<ScanSession> ScanEngine::OpenSessionWithOptions(
+    const ScanRequest& request, const page::Schema* schema,
+    uint64_t bytes_per_value, SessionOptions options) {
+  if (!options.skip_admission) {
+    DPHIST_RETURN_NOT_OK(device_->AdmitScan(request));
+  }
 
   PreprocessorConfig prep_config;
   prep_config.type = schema != nullptr
@@ -270,11 +346,20 @@ Result<ScanSession> ScanEngine::OpenSession(const ScanRequest& request,
   auto state = std::make_unique<ScanSession::State>();
   state->device = device_;
   state->request = request;
-  state->mode = mode;
+  state->mode = options.mode;
   state->bytes_per_value = bytes_per_value;
   state->prep.emplace(std::move(prep));
-  DPHIST_ASSIGN_OR_RETURN(state->lease,
-                          device_->AcquireRegion(state->prep->num_bins()));
+  state->use_fault_plan = options.use_fault_plan;
+  state->fault_plan = std::move(options.fault_plan);
+  if (options.region_slot >= 0) {
+    DPHIST_ASSIGN_OR_RETURN(
+        state->lease,
+        device_->AcquireRegionAt(static_cast<uint32_t>(options.region_slot),
+                                 state->prep->num_bins()));
+  } else {
+    DPHIST_ASSIGN_OR_RETURN(state->lease,
+                            device_->AcquireRegion(state->prep->num_bins()));
+  }
 
   const AcceleratorConfig& config = device_->config();
   // Input arrival bound: the Binner consumes one value per row delivered

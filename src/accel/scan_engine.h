@@ -14,6 +14,44 @@
 
 namespace dphist::accel {
 
+/// The fate of one page on a faulty wire, fully decided. Normally drawn
+/// live inside FeedPage from the device's stream-fault injector; the
+/// concurrent executor instead pre-draws one decision per page serially
+/// at submission (in exactly the order the serial facade would draw
+/// them) so concurrent sessions never race on the shared injector.
+struct PageFaultDecision {
+  bool drop = false;
+  bool truncate = false;
+  bool corrupt = false;
+  uint64_t truncate_bytes = 0;  ///< post-truncation size; valid iff truncate
+};
+
+/// Draws one page's fault decision, consuming injector draws in the
+/// exact order FeedPage historically rolled them: drop (early out),
+/// truncate, corrupt, then the truncation length iff truncating a
+/// non-empty page. Shared by the live path and the executor's planner so
+/// both consume the deterministic stream identically.
+PageFaultDecision DrawPageFaultDecision(sim::FaultInjector& faults,
+                                        const sim::FaultScenario& scenario,
+                                        uint64_t page_size);
+
+/// Knobs for opening a session outside the simple serial flow. The
+/// defaults reproduce OpenSession's behaviour exactly.
+struct SessionOptions {
+  SessionMode mode = SessionMode::kPipelined;
+  /// Lease this specific region slot instead of the earliest-free one
+  /// (negative: let the allocator choose). Executor-planned sessions get
+  /// pre-assigned slots so region placement is schedule-independent.
+  int32_t region_slot = -1;
+  /// Admission (validation + injected-failure draw) was already
+  /// performed by a planner; do not consume another draw.
+  bool skip_admission = false;
+  /// Take page-fault decisions from `fault_plan` instead of rolling the
+  /// shared injector live. One entry per page that will be fed.
+  bool use_fault_plan = false;
+  std::vector<PageFaultDecision> fault_plan;
+};
+
 /// One scan in flight on a shared Device: the composable Splitter →
 /// Parser → Preprocessor → Binner → Scanner-chain pipeline, leased one
 /// bin region. The input source is whatever the caller feeds — parsed
@@ -49,13 +87,32 @@ class ScanSession {
   /// schedule, and releases the region. Call exactly once.
   Result<AcceleratorReport> Finish();
 
-  /// Where the session sat in the device schedule; valid after Finish().
+  /// Two-phase variant for the concurrent executor: computes the full
+  /// report (which depends only on this session's own state, never on
+  /// the device schedule) and releases the region, but does NOT book the
+  /// session into the shared schedule. The executor books all sessions
+  /// serially in submission order afterwards via BookCompletion(), which
+  /// keeps the simulated-time accounting identical to serial execution
+  /// regardless of which host thread finished first.
+  Result<AcceleratorReport> FinishDeferred();
+
+  /// Books a FinishDeferred() session into the device schedule. Call
+  /// exactly once, after FinishDeferred, from one thread at a time.
+  void BookCompletion();
+
+  /// Where the session sat in the device schedule; valid after Finish()
+  /// (or BookCompletion()).
   const ScanTimeline& timeline() const;
 
  private:
   friend class ScanEngine;
   struct State;
   explicit ScanSession(std::unique_ptr<State> state);
+
+  /// Drains the blocks and assembles the report from session-local state
+  /// (also records the booking durations in the state). Requires the
+  /// lease to still be held.
+  AcceleratorReport ComputeReport();
 
   std::unique_ptr<State> state_;
 };
@@ -79,6 +136,13 @@ class ScanEngine {
                                   const page::Schema* schema,
                                   uint64_t bytes_per_value,
                                   SessionMode mode = SessionMode::kPipelined);
+
+  /// OpenSession with full placement/fault-plan control (see
+  /// SessionOptions); the executor's entry point.
+  Result<ScanSession> OpenSessionWithOptions(const ScanRequest& request,
+                                             const page::Schema* schema,
+                                             uint64_t bytes_per_value,
+                                             SessionOptions options);
 
   /// Scans one column of a sealed table as a side effect of streaming
   /// its pages.

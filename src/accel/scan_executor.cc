@@ -1,0 +1,233 @@
+#include "accel/scan_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "accel/preprocessor.h"
+#include "accel/scan_engine.h"
+#include "common/macros.h"
+
+namespace dphist::accel {
+
+namespace {
+
+/// Everything phase 1 decides about one job.
+struct JobPlan {
+  bool runnable = false;
+  uint32_t slot = 0;
+  SessionOptions session;
+};
+
+PreprocessorConfig PrepConfigFor(const ScanJob& job) {
+  PreprocessorConfig prep_config;
+  prep_config.type = job.table != nullptr
+                         ? job.table->schema()
+                               .column(job.request.column_index)
+                               .type
+                         : page::ColumnType::kInt64;
+  prep_config.min_value = job.request.min_value;
+  prep_config.max_value = job.request.max_value;
+  prep_config.granularity = job.request.granularity;
+  return prep_config;
+}
+
+void FillStats(const AcceleratorReport& report, double wall_seconds,
+               uint32_t worker, ScanJobStats* stats) {
+  stats->pages_fed = report.quality.pages_total;
+  stats->pages_parsed = report.quality.pages_total -
+                        report.quality.pages_dropped -
+                        report.quality.pages_corrupt;
+  stats->rows_binned = report.binner.total_items;
+  const uint64_t cache_lookups =
+      report.binner.cache_hits + report.binner.cache_misses;
+  stats->cache_hit_rate =
+      cache_lookups == 0 ? 0.0
+                         : static_cast<double>(report.binner.cache_hits) /
+                               static_cast<double>(cache_lookups);
+  stats->stall_cycles =
+      static_cast<double>(report.binner.hazard_stall_cycles);
+  stats->device_seconds = report.total_seconds;
+  stats->wall_seconds = wall_seconds;
+  stats->worker = worker;
+}
+
+}  // namespace
+
+std::vector<ScanOutcome> ScanExecutor::Run(std::span<const ScanJob> jobs) {
+  const AcceleratorConfig& config = device_->config();
+  const uint64_t capacity_bins =
+      config.dram.capacity_bytes / config.dram.bin_bytes;
+  const uint32_t num_slots = device_->num_bin_regions();
+
+  std::vector<ScanOutcome> outcomes(jobs.size());
+  std::vector<JobPlan> plans(jobs.size());
+
+  // The serial schedule's slot choice is "earliest-free, ties to lowest
+  // index", and because bookings only push horizons forward, that choice
+  // walks the slots round-robin through their current (free_at, index)
+  // order. Reproduce that walk so region placement — and with it every
+  // persistent memory channel's scan sequence — matches the facade.
+  std::vector<uint32_t> slot_order(num_slots);
+  std::iota(slot_order.begin(), slot_order.end(), 0u);
+  std::stable_sort(slot_order.begin(), slot_order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return device_->region_free_seconds(a) <
+                            device_->region_free_seconds(b);
+                   });
+
+  // Phase 1 — serial planning in submission order. Every draw from the
+  // shared stream-fault injector happens here, in exactly the order the
+  // serial facade would consume it: admission for job i, then job i's
+  // page decisions, then admission for job i+1.
+  std::vector<uint64_t> slot_max_bins(num_slots, 0);
+  size_t next_slot_index = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const ScanJob& job = jobs[i];
+    if (job.table != nullptr &&
+        job.request.column_index >= job.table->schema().num_columns()) {
+      // Same pre-admission check ScanPages makes: no draws consumed.
+      outcomes[i].status =
+          Status::InvalidArgument("scan request: column index out of range");
+      continue;
+    }
+    Status admitted = device_->AdmitScan(job.request);
+    if (!admitted.ok()) {
+      outcomes[i].status = admitted;
+      continue;
+    }
+    Result<Preprocessor> prep = Preprocessor::Create(PrepConfigFor(job));
+    if (!prep.ok()) {
+      outcomes[i].status = prep.status();
+      continue;
+    }
+    const uint64_t bins = prep->num_bins();
+    if (bins > capacity_bins) {
+      outcomes[i].status = Status::ResourceExhausted(
+          "binned representation exceeds DRAM capacity");
+      continue;
+    }
+    // Deterministic capacity gate: per-slot FIFO means at most one lease
+    // per slot is live, so the worst concurrent footprint is the sum of
+    // per-slot maxima. Gating on that at plan time keeps admission
+    // independent of the runtime schedule (a runtime check would pass or
+    // fail depending on which scans happened to overlap).
+    const uint32_t slot = slot_order[next_slot_index % num_slots];
+    const uint64_t slot_bins = std::max(slot_max_bins[slot], bins);
+    uint64_t footprint = slot_bins;
+    for (uint32_t s = 0; s < num_slots; ++s) {
+      if (s != slot) footprint += slot_max_bins[s];
+    }
+    if (footprint > capacity_bins) {
+      outcomes[i].status = Status::ResourceExhausted(
+          "concurrent bin footprint exceeds DRAM capacity");
+      continue;
+    }
+    slot_max_bins[slot] = slot_bins;
+    ++next_slot_index;
+
+    JobPlan& plan = plans[i];
+    plan.runnable = true;
+    plan.slot = slot;
+    plan.session.mode = SessionMode::kPipelined;
+    plan.session.region_slot = static_cast<int32_t>(slot);
+    plan.session.skip_admission = true;
+    if (job.table != nullptr && config.faults.any_page_faults()) {
+      plan.session.use_fault_plan = true;
+      plan.session.fault_plan.reserve(job.table->page_count());
+      for (size_t p = 0; p < job.table->page_count(); ++p) {
+        plan.session.fault_plan.push_back(DrawPageFaultDecision(
+            device_->stream_faults(), config.faults,
+            job.table->PageBytes(p).size()));
+      }
+    }
+  }
+
+  // Per-slot FIFO queues of runnable jobs, submission order.
+  std::vector<std::vector<size_t>> slot_queues(num_slots);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (plans[i].runnable) slot_queues[plans[i].slot].push_back(i);
+  }
+
+  // Phase 2 — concurrent execution. Workers claim whole slot queues, so
+  // every slot's channel sees its scans strictly in submission order no
+  // matter how many threads run or which finishes first.
+  std::vector<std::optional<ScanSession>> sessions(jobs.size());
+  std::atomic<uint32_t> next_queue{0};
+  auto run_queue = [&](uint32_t slot, uint32_t worker) {
+    ScanEngine engine(device_);
+    for (size_t i : slot_queues[slot]) {
+      const ScanJob& job = jobs[i];
+      ScanOutcome& out = outcomes[i];
+      const auto wall_start = std::chrono::steady_clock::now();
+      Result<ScanSession> opened =
+          job.table != nullptr
+              ? engine.OpenSessionWithOptions(
+                    job.request, &job.table->schema(),
+                    job.table->schema().row_width(),
+                    std::move(plans[i].session))
+              : engine.OpenSessionWithOptions(job.request, nullptr,
+                                              job.bytes_per_value,
+                                              std::move(plans[i].session));
+      if (!opened.ok()) {
+        out.status = opened.status();
+        continue;
+      }
+      sessions[i].emplace(std::move(*opened));
+      if (job.table != nullptr) {
+        for (size_t p = 0; p < job.table->page_count(); ++p) {
+          sessions[i]->FeedPage(job.table->PageBytes(p));
+        }
+      } else {
+        for (int64_t v : job.values) sessions[i]->FeedValue(v);
+      }
+      Result<AcceleratorReport> report = sessions[i]->FinishDeferred();
+      if (!report.ok()) {
+        out.status = report.status();
+        sessions[i].reset();
+        continue;
+      }
+      out.report = std::move(*report);
+      out.region = plans[i].slot;
+      const double wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start)
+              .count();
+      FillStats(out.report, wall_seconds, worker, &out.stats);
+    }
+  };
+  auto worker_loop = [&](uint32_t worker) {
+    for (;;) {
+      uint32_t q = next_queue.fetch_add(1, std::memory_order_relaxed);
+      if (q >= num_slots) return;
+      run_queue(q, worker);
+    }
+  };
+  const uint32_t num_threads =
+      std::max<uint32_t>(1, options_.num_threads);
+  if (num_threads == 1) {
+    worker_loop(0);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (uint32_t w = 0; w < num_threads; ++w) {
+      workers.emplace_back(worker_loop, w);
+    }
+    for (auto& w : workers) w.join();
+  }
+
+  // Phase 3 — serial booking in submission order: the device schedule
+  // and its stats advance exactly as if the scans had run one by one.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!sessions[i].has_value()) continue;
+    sessions[i]->BookCompletion();
+    sessions[i].reset();
+  }
+  return outcomes;
+}
+
+}  // namespace dphist::accel

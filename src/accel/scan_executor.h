@@ -1,0 +1,89 @@
+#ifndef DPHIST_ACCEL_SCAN_EXECUTOR_H_
+#define DPHIST_ACCEL_SCAN_EXECUTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/device.h"
+#include "common/status.h"
+#include "page/table_file.h"
+
+namespace dphist::accel {
+
+/// One unit of executor work: scan one column of a sealed table (page
+/// source) or a span of decoded values (value source, when `table` is
+/// null). The referenced table/values must outlive the Run() call.
+struct ScanJob {
+  const page::TableFile* table = nullptr;
+  std::span<const int64_t> values;
+  uint64_t bytes_per_value = 8;  ///< wire cost per value (value source)
+  ScanRequest request;
+};
+
+/// Per-session, per-stage observability for one executed job.
+struct ScanJobStats {
+  uint64_t pages_fed = 0;     ///< pages offered to the device
+  uint64_t pages_parsed = 0;  ///< pages that survived the wire and parsed
+  uint64_t rows_binned = 0;   ///< values the Binner committed to DRAM
+  double cache_hit_rate = 0;  ///< Binner cache hits / (hits + misses)
+  double stall_cycles = 0;    ///< Binner hazard stalls (cache disabled)
+  double device_seconds = 0;  ///< simulated end-to-end device time
+  double wall_seconds = 0;    ///< host wall-clock spent running the job
+  uint32_t worker = 0;        ///< host thread that executed the job
+};
+
+/// The result of one job, in submission order. `report` is valid only
+/// when `status` is OK; a failed admission, preprocessor rejection, or
+/// capacity rejection surfaces here exactly as it would from the serial
+/// facade.
+struct ScanOutcome {
+  Status status = Status::OK();
+  AcceleratorReport report;
+  uint32_t region = 0;  ///< bin-region slot the scan occupied (when OK)
+  ScanJobStats stats;
+};
+
+struct ExecutorOptions {
+  /// Host worker threads. Results are byte-identical for every value;
+  /// more threads only change wall-clock time.
+  uint32_t num_threads = 1;
+};
+
+/// Runs many scans concurrently against one shared Device without
+/// changing a single bit of any result the serial path would produce.
+///
+/// Three deterministic phases:
+///  1. Plan (serial, submission order): admission draws, preprocessor
+///     validation, round-robin region-slot assignment (mirroring the
+///     earliest-free choice the serial schedule makes), a worst-case
+///     DRAM-capacity gate, and pre-drawing every page-fault decision
+///     from the shared injector in exactly the serial draw order.
+///  2. Execute (concurrent): one FIFO queue per region slot; workers
+///     claim whole queues, so a slot's persistent memory channel sees
+///     its scans in the same order every run. Sessions compute their
+///     reports from session-local state only (FinishDeferred).
+///  3. Book (serial, submission order): completed sessions enter the
+///     device schedule via BookCompletion, so simulated-time timelines
+///     and DeviceStats match the serial facade exactly.
+///
+/// Simulated time is unaffected by host threading throughout; threads
+/// buy host wall-clock only.
+class ScanExecutor {
+ public:
+  explicit ScanExecutor(Device* device, ExecutorOptions options = {})
+      : device_(device), options_(options) {}
+
+  /// Executes all jobs and returns one outcome per job, in submission
+  /// order. Serialize calls: one Run() at a time per executor/device.
+  std::vector<ScanOutcome> Run(std::span<const ScanJob> jobs);
+
+ private:
+  Device* device_;
+  ExecutorOptions options_;
+};
+
+}  // namespace dphist::accel
+
+#endif  // DPHIST_ACCEL_SCAN_EXECUTOR_H_

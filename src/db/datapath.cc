@@ -48,6 +48,38 @@ Result<accel::AcceleratorReport> DataPathScanner::ScanAndRefresh(
   return report;
 }
 
+Result<std::vector<accel::ScanOutcome>> DataPathScanner::ScanAndRefreshTables(
+    std::span<const TableScanJob> jobs, uint32_t num_threads) {
+  // Resolve every job first: a planner handing us an unknown table or a
+  // bad column is a caller bug and must not half-run the batch.
+  std::vector<accel::ScanJob> scan_jobs;
+  scan_jobs.reserve(jobs.size());
+  for (const TableScanJob& job : jobs) {
+    DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Find(job.table));
+    if (job.column >= entry->table->schema().num_columns()) {
+      return Status::InvalidArgument(
+          "scan request: column index out of range");
+    }
+    accel::ScanJob scan;
+    scan.table = entry->table.get();
+    scan.request = job.request;
+    scan.request.column_index = job.column;
+    scan_jobs.push_back(scan);
+  }
+  accel::ExecutorOptions options;
+  options.num_threads = num_threads;
+  std::vector<accel::ScanOutcome> outcomes =
+      accel::ScanExecutor(device_, options).Run(scan_jobs);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (!outcomes[i].status.ok()) continue;
+    DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
+        jobs[i].table, jobs[i].column,
+        StatsFromAcceleratorReport(outcomes[i].report,
+                                   scan_jobs[i].request)));
+  }
+  return outcomes;
+}
+
 Result<accel::MultiColumnReport> DataPathScanner::ScanAndRefreshColumns(
     const std::string& table,
     std::span<const accel::ScanRequest> requests) {

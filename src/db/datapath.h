@@ -1,15 +1,26 @@
 #ifndef DPHIST_DB_DATAPATH_H_
 #define DPHIST_DB_DATAPATH_H_
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "accel/accelerator.h"
 #include "accel/device.h"
 #include "accel/multi_column.h"
+#include "accel/scan_executor.h"
 #include "common/result.h"
 #include "db/catalog.h"
 
 namespace dphist::db {
+
+/// One table/column refresh in a concurrent batch. `request` supplies
+/// the domain metadata; its column_index is overwritten with `column`.
+struct TableScanJob {
+  std::string table;
+  size_t column = 0;
+  accel::ScanRequest request;
+};
 
 /// The paper's end-to-end integration: the statistics accelerator sits on
 /// the storage-to-host path, so every full table scan can refresh the
@@ -47,6 +58,16 @@ class DataPathScanner {
   Result<accel::MultiColumnReport> ScanAndRefreshColumns(
       const std::string& table,
       std::span<const accel::ScanRequest> requests);
+
+  /// Refreshes many tables/columns concurrently through an
+  /// accel::ScanExecutor with `num_threads` host workers. Outcomes come
+  /// back in submission order and are bit-identical for every thread
+  /// count; stats of each successful job are installed in submission
+  /// order. Caller mistakes (unknown table, column out of range) fail
+  /// the whole call before anything runs; per-job device trouble is
+  /// reported in that job's outcome instead.
+  Result<std::vector<accel::ScanOutcome>> ScanAndRefreshTables(
+      std::span<const TableScanJob> jobs, uint32_t num_threads = 1);
 
  private:
   Catalog* catalog_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "accel/scan_executor.h"
 #include "db/datapath.h"
 
 namespace dphist::db {
@@ -95,6 +96,63 @@ Result<MaintenanceWindowReport> RunMaintenanceWindow(
       continue;
     }
     report.device_seconds += scan->total_seconds;
+    report.executed.push_back(job);
+  }
+  return report;
+}
+
+Result<MaintenanceWindowReport> RunMaintenanceWindowConcurrent(
+    Catalog* catalog, accel::Device* device,
+    std::span<const MaintenanceCandidate> jobs, double budget_seconds,
+    const std::function<accel::ScanRequest(const MaintenanceCandidate&)>&
+        request_for,
+    uint32_t num_threads) {
+  if (device == nullptr || catalog == nullptr) {
+    return Status::InvalidArgument("maintenance window: null catalog/device");
+  }
+  // Run everything in one executor pass...
+  std::vector<accel::ScanJob> scan_jobs;
+  scan_jobs.reserve(jobs.size());
+  for (const MaintenanceCandidate& job : jobs) {
+    DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, catalog->Find(job.table));
+    if (job.column >= entry->table->schema().num_columns()) {
+      return Status::InvalidArgument(
+          "maintenance window: column index out of range");
+    }
+    accel::ScanJob scan;
+    scan.table = entry->table.get();
+    scan.request = request_for(job);
+    scan.request.column_index = job.column;
+    scan_jobs.push_back(scan);
+  }
+  accel::ExecutorOptions options;
+  options.num_threads = num_threads;
+  std::vector<accel::ScanOutcome> outcomes =
+      accel::ScanExecutor(device, options).Run(scan_jobs);
+
+  // ...then charge the budget serially in submission order, exactly as
+  // the serial window does: stats only install while the window has
+  // budget left, later jobs are deferred.
+  MaintenanceWindowReport report;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const MaintenanceCandidate& job = jobs[i];
+    if (report.device_seconds >= budget_seconds) {
+      report.deferred.push_back(job);
+      continue;
+    }
+    const accel::ScanOutcome& outcome = outcomes[i];
+    if (!outcome.status.ok()) {
+      if (outcome.status.code() == StatusCode::kInvalidArgument) {
+        return outcome.status;  // malformed request: a planner bug
+      }
+      ++report.device_failures;
+      report.deferred.push_back(job);
+      continue;
+    }
+    DPHIST_RETURN_NOT_OK(catalog->SetColumnStats(
+        job.table, job.column,
+        StatsFromAcceleratorReport(outcome.report, scan_jobs[i].request)));
+    report.device_seconds += outcome.report.total_seconds;
     report.executed.push_back(job);
   }
   return report;

@@ -72,6 +72,21 @@ Result<MaintenanceWindowReport> RunMaintenanceWindow(
     const std::function<accel::ScanRequest(const MaintenanceCandidate&)>&
         request_for);
 
+/// Executor-backed window: all jobs run concurrently on `num_threads`
+/// host workers (simulated device time is unaffected — the executor's
+/// accounting is schedule-independent), then the budget is charged in
+/// submission order: stats install until the window is spent, the rest
+/// are deferred. Unlike the serial window, deferred jobs did occupy the
+/// device (their scans ran before the accounting), so this window trades
+/// device work for host wall-clock — the right trade when the window is
+/// host-bound, which is what bench_concurrent_scans measures.
+Result<MaintenanceWindowReport> RunMaintenanceWindowConcurrent(
+    Catalog* catalog, accel::Device* device,
+    std::span<const MaintenanceCandidate> jobs, double budget_seconds,
+    const std::function<accel::ScanRequest(const MaintenanceCandidate&)>&
+        request_for,
+    uint32_t num_threads);
+
 }  // namespace dphist::db
 
 #endif  // DPHIST_DB_MAINTENANCE_H_

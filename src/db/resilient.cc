@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "accel/scan_engine.h"
+#include "accel/scan_executor.h"
 #include "common/logging.h"
 #include "common/random.h"
 #include "db/storage.h"
@@ -237,6 +238,110 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
   // stale-but-consistent beats absent.
   outcome.path = ScanPath::kStatsRetained;
   return outcome;
+}
+
+Result<std::vector<ScanOutcome>> ResilientScanner::ScanAndRefreshMany(
+    std::span<const TableScanJob> jobs, uint32_t num_threads) {
+  // Resolve every job up front: caller mistakes abort the batch before
+  // anything touches the device.
+  std::vector<TableEntry*> entries;
+  entries.reserve(jobs.size());
+  for (const TableScanJob& job : jobs) {
+    DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Find(job.table));
+    if (job.column >= entry->table->schema().num_columns()) {
+      return Status::InvalidArgument("column index out of range");
+    }
+    entries.push_back(entry);
+  }
+
+  std::vector<ScanOutcome> outcomes(jobs.size());
+  counters_.scans += jobs.size();
+
+  // An open breaker short-circuits the whole batch — a batch is one
+  // scheduling decision, not probe_interval's worth of traffic.
+  const bool try_device = !breaker_open_;
+  std::vector<accel::ScanOutcome> device_outcomes;
+  std::vector<accel::ScanJob> scan_jobs;
+  if (try_device) {
+    scan_jobs.reserve(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      accel::ScanJob scan;
+      scan.table = entries[i]->table.get();
+      scan.request = jobs[i].request;
+      scan.request.column_index = jobs[i].column;
+      scan_jobs.push_back(scan);
+    }
+    accel::ExecutorOptions exec_options;
+    exec_options.num_threads = num_threads;
+    device_outcomes = accel::ScanExecutor(device_, exec_options).Run(scan_jobs);
+  }
+
+  // Gate quality, install, and update breaker state serially in
+  // submission order, mirroring the serial path's bookkeeping.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const TableScanJob& job = jobs[i];
+    ScanOutcome& outcome = outcomes[i];
+    if (!try_device) {
+      outcome.breaker_was_open = true;
+      ++scans_while_open_;
+      ++counters_.short_circuits;
+    } else {
+      const accel::ScanOutcome& device = device_outcomes[i];
+      outcome.attempts = 1;
+      ++counters_.attempts;
+      const bool usable =
+          device.status.ok() &&
+          device.report.quality.Coverage() >= options_.min_coverage;
+      if (usable) {
+        consecutive_failures_ = 0;
+        outcome.quality = device.report.quality;
+        DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
+            job.table, job.column,
+            StatsFromAcceleratorReport(device.report, scan_jobs[i].request)));
+        outcome.stats_installed = true;
+        if (device.report.quality.complete()) {
+          outcome.path = ScanPath::kImplicit;
+        } else {
+          outcome.path = ScanPath::kImplicitPartial;
+          ++counters_.partial_scans;
+        }
+        continue;
+      }
+      ++counters_.device_failures;
+      ++consecutive_failures_;
+      if (device.status.ok()) {
+        outcome.quality = device.report.quality;
+        outcome.last_device_error = "scan quality below threshold";
+      } else {
+        outcome.last_device_error = device.status.ToString();
+      }
+      if (!breaker_open_ &&
+          consecutive_failures_ >= options_.breaker.trip_threshold) {
+        breaker_open_ = true;
+        scans_while_open_ = 0;
+        outcome.tripped_breaker = true;
+        ++counters_.breaker_trips;
+        Log(LogLevel::kError,
+            "resilient batch: breaker tripped after %u consecutive device "
+            "failures",
+            consecutive_failures_);
+      }
+    }
+
+    if (options_.fallback.enabled) {
+      auto fallback = BuildFallbackStats(*entries[i]->table, job.column);
+      if (fallback.ok()) {
+        DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
+            job.table, job.column, std::move(*fallback)));
+        outcome.path = ScanPath::kSamplingFallback;
+        outcome.stats_installed = true;
+        ++counters_.fallback_scans;
+        continue;
+      }
+    }
+    outcome.path = ScanPath::kStatsRetained;
+  }
+  return outcomes;
 }
 
 }  // namespace dphist::db

@@ -2,7 +2,9 @@
 #define DPHIST_DB_RESILIENT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "accel/accelerator.h"
 #include "accel/device.h"
@@ -122,6 +124,17 @@ class ResilientScanner {
   /// column); device trouble is reported through the outcome.
   Result<ScanOutcome> ScanAndRefresh(const std::string& table, size_t column,
                                      const accel::ScanRequest& request);
+
+  /// Concurrent batch variant: one accel::ScanExecutor pass over all
+  /// jobs with `num_threads` host workers (one device attempt per job —
+  /// retry/backoff and half-open probes remain serial-path features),
+  /// then per-job quality gating and the sampling fallback for jobs the
+  /// device failed. A breaker that is open when the batch starts
+  /// short-circuits the whole batch to the fallback; breaker state
+  /// updates from this batch are applied in submission order and affect
+  /// the next call. Outcomes come back in submission order.
+  Result<std::vector<ScanOutcome>> ScanAndRefreshMany(
+      std::span<const TableScanJob> jobs, uint32_t num_threads = 1);
 
   const ScanCounters& counters() const { return counters_; }
   bool breaker_open() const { return breaker_open_; }

@@ -26,7 +26,9 @@ void EquiDepthInto(const FrequencyVector& freqs, uint32_t num_buckets,
                    const std::vector<bool>* excluded, uint64_t total,
                    Histogram* h) {
   if (total == 0) return;
-  const uint64_t limit = std::max<uint64_t>(1, total / num_buckets);
+  // Ceiling division, matching EquiDepthDense and the accelerator block.
+  const uint64_t limit =
+      std::max<uint64_t>(1, (total + num_buckets - 1) / num_buckets);
   uint64_t sum = 0;
   uint64_t distinct = 0;
   int64_t lo = 0;

@@ -58,7 +58,10 @@ Histogram EquiDepthDense(const DenseCounts& dense, uint32_t num_buckets) {
   Histogram h = MakeHistogramShell(dense, HistogramType::kEquiDepth);
   if (h.total_count == 0) return h;
 
-  const uint64_t limit = std::max<uint64_t>(1, h.total_count / num_buckets);
+  // Ceiling division, matching the accelerator's EquiDepthBlock: at most
+  // num_buckets buckets close on the limit, plus one tail.
+  const uint64_t limit =
+      std::max<uint64_t>(1, (h.total_count + num_buckets - 1) / num_buckets);
   size_t start = 0;
   uint64_t sum = 0;
   uint64_t distinct = 0;
@@ -141,7 +144,9 @@ Histogram CompressedDense(const DenseCounts& dense, uint32_t num_buckets,
   }
   uint64_t remaining = h.total_count - singleton_rows;
   if (remaining == 0) return h;
-  const uint64_t limit = std::max<uint64_t>(1, remaining / num_buckets);
+  // Ceiling division, matching the CompressedBlock's equi-depth body.
+  const uint64_t limit =
+      std::max<uint64_t>(1, (remaining + num_buckets - 1) / num_buckets);
 
   size_t start = 0;
   uint64_t sum = 0;

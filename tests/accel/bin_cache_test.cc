@@ -40,6 +40,21 @@ TEST(BinCacheTest, ResetClearsEverything) {
   EXPECT_FALSE(cache.LookupAndTouch(1));
 }
 
+TEST(BinCacheTest, ZeroCapacityNeverHitsAndNeverCrashes) {
+  // A byte budget below one line yields zero capacity; Insert used to
+  // index entries_[capacity - 1] on the "evict LRU" path, reading out of
+  // bounds. It must behave as if the cache were absent.
+  BinCache cache(32, 64);
+  EXPECT_EQ(cache.capacity_lines(), 0u);
+  EXPECT_FALSE(cache.LookupAndTouch(1));
+  cache.Insert(1);
+  cache.Insert(2);
+  EXPECT_FALSE(cache.LookupAndTouch(1));
+  EXPECT_FALSE(cache.LookupAndTouch(2));
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 3u);
+}
+
 TEST(BinCacheTest, FillsToCapacityWithoutEvicting) {
   BinCache cache(1024, 64);
   for (uint64_t line = 0; line < 16; ++line) cache.Insert(line);

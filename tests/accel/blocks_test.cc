@@ -188,6 +188,33 @@ TEST(BlockTimingTest, EquiDepthEmitsFirstBucketEarly) {
   EXPECT_LT(ed_first, topk_first / 5);
 }
 
+TEST(BlockEquivalenceTest, EquiDepthSkewStaysWithinBucketBudget) {
+  // Floor-division depth limits let skewed inputs close a bucket per bin
+  // and overshoot B; ceiling limits bound the output at B buckets plus
+  // at most one trailing partial, and must still match the software
+  // reference (which uses the same ceiling).
+  hist::DenseCounts dense;
+  dense.min_value = 0;
+  dense.counts = {10, 10, 10, 1};
+  for (uint32_t buckets : {3u, 4u}) {
+    ChainRig rig(dense, buckets, 4);
+    EXPECT_LE(rig.equi_depth->result().size(), buckets + 1)
+        << "B = " << buckets;
+    hist::Histogram expected = hist::EquiDepthDense(dense, buckets);
+    ASSERT_EQ(rig.equi_depth->result().size(), expected.buckets.size());
+  }
+
+  hist::DenseCounts heavy;
+  heavy.min_value = 0;
+  heavy.counts.assign(200, 1);
+  heavy.counts[0] = 100000;  // one bin carries ~99.8% of the mass
+  for (uint32_t buckets : {4u, 16u}) {
+    ChainRig rig(heavy, buckets, 8);
+    EXPECT_LE(rig.equi_depth->result().size(), buckets + 1)
+        << "B = " << buckets;
+  }
+}
+
 TEST(BlockTimingTest, ZeroBinsProduceEmptyResults) {
   hist::DenseCounts dense;
   dense.min_value = 0;

@@ -108,6 +108,18 @@ TEST(HistogramModuleTest, StartCycleOffsetsTimeline) {
   EXPECT_GT(report.finish_cycle, 6000.0);
 }
 
+TEST(HistogramModuleTest, EmptyChainInheritsStartCycle) {
+  // With no blocks configured, first_bin_cycle used to stay at its 0
+  // default, which read as "bins ready before the Binner handed over"
+  // to downstream timing. It must inherit the start cycle instead.
+  auto dram = LoadedDram(100, 1);
+  HistogramModule module(HistogramModuleConfig{}, dram.get());
+  ModuleReport report = module.Run(100, 100, 7500.0);
+  EXPECT_EQ(report.scans, 0u);
+  EXPECT_DOUBLE_EQ(report.first_bin_cycle, 7500.0);
+  EXPECT_DOUBLE_EQ(report.finish_cycle, 7500.0);
+}
+
 TEST(HistogramModuleTest, NoBlocksNoScans) {
   auto dram = LoadedDram(100, 1);
   HistogramModule module(HistogramModuleConfig{}, dram.get());

@@ -1,0 +1,284 @@
+// ScanExecutor determinism contract: concurrent execution over the
+// shared Device must not change a single bit of any result the serial
+// Accelerator facade would produce — regardless of thread count, with
+// or without an active fault scenario.
+
+#include "accel/scan_executor.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "accel/device.h"
+#include "accel/report_text.h"
+#include "workload/distributions.h"
+#include "workload/tpch.h"
+
+namespace dphist::accel {
+namespace {
+
+struct Workload {
+  std::vector<page::TableFile> tables;
+  std::vector<int64_t> values;
+  std::vector<ScanJob> jobs;
+};
+
+/// Six small lineitem tables (alternating quantity / extended-price
+/// scans) plus one value-source job, so the batch exercises both feed
+/// paths and more jobs than the device has bin regions.
+Workload BuildWorkload(uint64_t rows_per_table) {
+  Workload w;
+  w.tables.reserve(6);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    workload::LineitemOptions li;
+    li.scale_factor = static_cast<double>(rows_per_table) / 6000000.0;
+    li.row_limit = rows_per_table;
+    li.seed = seed;
+    w.tables.push_back(workload::GenerateLineitem(li));
+  }
+  for (size_t i = 0; i < w.tables.size(); ++i) {
+    ScanJob job;
+    job.table = &w.tables[i];
+    if (i % 2 == 0) {
+      job.request.column_index = workload::kLQuantity;
+      job.request.min_value = workload::kQuantityMin;
+      job.request.max_value = workload::kQuantityMax;
+    } else {
+      job.request.column_index = workload::kLExtendedPrice;
+      job.request.min_value = workload::kPriceScaledMin;
+      job.request.max_value = workload::kPriceScaledMax;
+      job.request.granularity = 1000;
+    }
+    job.request.num_buckets = 32;
+    job.request.top_k = 16;
+    w.jobs.push_back(job);
+  }
+  w.values = workload::ZipfColumn(rows_per_table, 4096, 0.7, 99);
+  ScanJob value_job;
+  value_job.values = w.values;
+  value_job.request.min_value = 1;
+  value_job.request.max_value = 4096;
+  value_job.request.num_buckets = 32;
+  value_job.request.top_k = 16;
+  w.jobs.push_back(value_job);
+  return w;
+}
+
+/// Serial baseline: the facade processing the same jobs one by one.
+/// Errors are recorded as "ERROR: <status>" so failed scans compare by
+/// message too.
+std::vector<std::string> SerialBaseline(const AcceleratorConfig& config,
+                                        const Workload& w) {
+  Accelerator accelerator(config);
+  std::vector<std::string> serialized;
+  for (const ScanJob& job : w.jobs) {
+    Result<AcceleratorReport> report =
+        job.table != nullptr
+            ? accelerator.ProcessTable(*job.table, job.request)
+            : accelerator.ProcessValues(job.values, job.request,
+                                        job.bytes_per_value);
+    serialized.push_back(report.ok()
+                             ? ReportToString(*report)
+                             : "ERROR: " + report.status().ToString());
+  }
+  return serialized;
+}
+
+std::vector<std::string> SerializeOutcomes(
+    const std::vector<ScanOutcome>& outcomes) {
+  std::vector<std::string> serialized;
+  for (const ScanOutcome& outcome : outcomes) {
+    serialized.push_back(outcome.status.ok()
+                             ? ReportToString(outcome.report)
+                             : "ERROR: " + outcome.status.ToString());
+  }
+  return serialized;
+}
+
+void ExpectSameStats(const DeviceStats& a, const DeviceStats& b) {
+  EXPECT_EQ(a.sessions_admitted, b.sessions_admitted);
+  EXPECT_EQ(a.sessions_completed, b.sessions_completed);
+  EXPECT_EQ(a.sessions_rejected, b.sessions_rejected);
+  EXPECT_EQ(a.sessions_failed_injected, b.sessions_failed_injected);
+  EXPECT_EQ(a.regions_granted, b.regions_granted);
+  EXPECT_EQ(a.region_exhaustions, b.region_exhaustions);
+  EXPECT_DOUBLE_EQ(a.front_busy_seconds, b.front_busy_seconds);
+  EXPECT_DOUBLE_EQ(a.chain_busy_seconds, b.chain_busy_seconds);
+  EXPECT_DOUBLE_EQ(a.region_wait_seconds, b.region_wait_seconds);
+  EXPECT_DOUBLE_EQ(a.chain_wait_seconds, b.chain_wait_seconds);
+}
+
+void ExpectSameTimelines(const std::vector<ScanTimeline>& a,
+                         const std::vector<ScanTimeline>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].region, b[i].region) << "timeline " << i;
+    EXPECT_DOUBLE_EQ(a[i].bin_start_seconds, b[i].bin_start_seconds);
+    EXPECT_DOUBLE_EQ(a[i].bin_finish_seconds, b[i].bin_finish_seconds);
+    EXPECT_DOUBLE_EQ(a[i].histogram_finish_seconds,
+                     b[i].histogram_finish_seconds);
+  }
+}
+
+TEST(ScanExecutorTest, MatchesSerialFacadeBitIdentically) {
+  AcceleratorConfig config;
+  Workload w = BuildWorkload(20000);
+  std::vector<std::string> expected = SerialBaseline(config, w);
+
+  Accelerator facade(config);  // a second facade just for its schedule
+  for (const ScanJob& job : w.jobs) {
+    if (job.table != nullptr) {
+      ASSERT_TRUE(facade.ProcessTable(*job.table, job.request).ok());
+    } else {
+      ASSERT_TRUE(
+          facade.ProcessValues(job.values, job.request, job.bytes_per_value)
+              .ok());
+    }
+  }
+
+  for (uint32_t threads : {1u, 4u}) {
+    Device device(config);
+    ExecutorOptions options;
+    options.num_threads = threads;
+    std::vector<ScanOutcome> outcomes =
+        ScanExecutor(&device, options).Run(w.jobs);
+    ASSERT_EQ(outcomes.size(), w.jobs.size());
+    EXPECT_EQ(SerializeOutcomes(outcomes), expected)
+        << "at " << threads << " threads";
+    ExpectSameStats(device.stats(), facade.device()->stats());
+    ExpectSameTimelines(device.completed_timelines(),
+                        facade.device()->completed_timelines());
+  }
+}
+
+TEST(ScanExecutorTest, MatchesSerialFacadeUnderFaultScenario) {
+  AcceleratorConfig config;
+  config.faults.enabled = true;
+  config.faults.seed = 7;
+  config.faults.fail_scans = 1;  // first admission fails outright
+  config.faults.scan_failure_probability = 0.1;
+  config.faults.page_drop_probability = 0.03;
+  config.faults.page_truncate_probability = 0.03;
+  config.faults.page_corrupt_probability = 0.03;
+  config.faults.bit_flip_probability = 1e-4;
+  config.faults.latency_spike_probability = 1e-3;
+
+  Workload w = BuildWorkload(20000);
+  std::vector<std::string> expected = SerialBaseline(config, w);
+  ASSERT_TRUE(expected[0].rfind("ERROR:", 0) == 0)
+      << "fail_scans=1 should reject the first scan";
+
+  for (uint32_t threads : {1u, 3u}) {
+    Device device(config);
+    ExecutorOptions options;
+    options.num_threads = threads;
+    std::vector<ScanOutcome> outcomes =
+        ScanExecutor(&device, options).Run(w.jobs);
+    EXPECT_EQ(SerializeOutcomes(outcomes), expected)
+        << "at " << threads << " threads";
+  }
+}
+
+TEST(ScanExecutorTest, ThreadCountNeverChangesSerializedReports) {
+  AcceleratorConfig config;
+  config.faults.enabled = true;
+  config.faults.seed = 21;
+  config.faults.page_truncate_probability = 0.05;
+  config.faults.bit_flip_probability = 1e-4;
+
+  Workload w = BuildWorkload(20000);
+  Device device1(config);
+  ExecutorOptions one;
+  one.num_threads = 1;
+  std::vector<std::string> baseline =
+      SerializeOutcomes(ScanExecutor(&device1, one).Run(w.jobs));
+
+  for (uint32_t threads : {2u, 8u}) {
+    Device device(config);
+    ExecutorOptions options;
+    options.num_threads = threads;
+    EXPECT_EQ(SerializeOutcomes(ScanExecutor(&device, options).Run(w.jobs)),
+              baseline)
+        << "at " << threads << " threads";
+    ExpectSameTimelines(device.completed_timelines(),
+                        device1.completed_timelines());
+  }
+}
+
+TEST(ScanExecutorTest, PopulatesPerJobObservability) {
+  AcceleratorConfig config;
+  Workload w = BuildWorkload(20000);
+  Device device(config);
+  ExecutorOptions options;
+  options.num_threads = 4;
+  std::vector<ScanOutcome> outcomes =
+      ScanExecutor(&device, options).Run(w.jobs);
+
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    ASSERT_TRUE(outcomes[i].status.ok()) << outcomes[i].status.ToString();
+    const ScanJobStats& stats = outcomes[i].stats;
+    if (w.jobs[i].table != nullptr) {
+      EXPECT_EQ(stats.pages_fed, w.jobs[i].table->page_count());
+      EXPECT_EQ(stats.pages_parsed, w.jobs[i].table->page_count());
+    }
+    EXPECT_GT(stats.rows_binned, 0u);
+    EXPECT_GT(stats.device_seconds, 0.0);
+    EXPECT_GE(stats.wall_seconds, 0.0);
+    EXPECT_LT(stats.worker, options.num_threads);
+    EXPECT_LT(outcomes[i].region, device.num_bin_regions());
+  }
+}
+
+TEST(ScanExecutorTest, PerJobCapacityGateMatchesSerialMessage) {
+  AcceleratorConfig config;
+  // One scan's bins alone exceed DRAM: same rejection the facade gives.
+  config.dram.capacity_bytes = 100 * config.dram.bin_bytes;
+  Device device(config);
+
+  std::vector<int64_t> values(1000, 5);
+  ScanJob job;
+  job.values = values;
+  job.request.min_value = 1;
+  job.request.max_value = 1000;  // 1000 bins > 100-bin capacity
+  std::vector<ScanJob> jobs = {job};
+  std::vector<ScanOutcome> outcomes = ScanExecutor(&device).Run(jobs);
+  ASSERT_FALSE(outcomes[0].status.ok());
+  EXPECT_NE(outcomes[0].status.ToString().find(
+                "binned representation exceeds DRAM capacity"),
+            std::string::npos);
+}
+
+TEST(ScanExecutorTest, ConcurrentFootprintGateIsDeterministic) {
+  AcceleratorConfig config;
+  // Two concurrent 1000-bin scans fit; a third slot's worth does not.
+  // The plan-time gate is schedule-independent: job 2 is rejected no
+  // matter which scans would actually have overlapped (the serial facade
+  // would have run it — this is the executor's documented conservative
+  // divergence).
+  config.dram.capacity_bytes = 2000 * config.dram.bin_bytes;
+  std::vector<int64_t> values(1000, 5);
+  ScanJob job;
+  job.values = values;
+  job.request.min_value = 1;
+  job.request.max_value = 1000;
+  std::vector<ScanJob> jobs = {job, job, job};
+
+  for (uint32_t threads : {1u, 4u}) {
+    Device device(config);
+    ExecutorOptions options;
+    options.num_threads = threads;
+    std::vector<ScanOutcome> outcomes =
+        ScanExecutor(&device, options).Run(jobs);
+    EXPECT_TRUE(outcomes[0].status.ok());
+    EXPECT_TRUE(outcomes[1].status.ok());
+    ASSERT_FALSE(outcomes[2].status.ok());
+    EXPECT_NE(outcomes[2].status.ToString().find(
+                  "concurrent bin footprint exceeds DRAM capacity"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dphist::accel

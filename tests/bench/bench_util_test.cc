@@ -1,0 +1,100 @@
+// bench_util regressions: the env-driven scale factor is parsed once,
+// rounds (not truncates), and JsonWriter emits the documented
+// BENCH_<name>.json schema with proper escaping.
+
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace dphist::bench {
+namespace {
+
+// ScaleFactor() caches its first parse for the process lifetime, so the
+// environment must be set before any test (or JsonWriter ctor) reads it.
+const bool kEnvReady = [] {
+  setenv("DPHIST_BENCH_SCALE", "0.3", 1);
+  return true;
+}();
+
+TEST(ScaleFactorTest, ParsesEnvironmentOnce) {
+  ASSERT_TRUE(kEnvReady);
+  EXPECT_DOUBLE_EQ(ScaleFactor(), 0.3);
+  // A later change must not be re-read: the value was cached.
+  setenv("DPHIST_BENCH_SCALE", "7", 1);
+  EXPECT_DOUBLE_EQ(ScaleFactor(), 0.3);
+  setenv("DPHIST_BENCH_SCALE", "0.3", 1);
+}
+
+TEST(ScaleFactorTest, ScaledRoundsToNearestWithFloorOfOne) {
+  // 0.3 * 10 is 2.999...96 in binary floating point; truncation used to
+  // yield 2. Rounding gives 3.
+  EXPECT_EQ(Scaled(10), 3u);
+  EXPECT_EQ(Scaled(100), 30u);
+  // Tiny bases never scale to zero rows.
+  EXPECT_EQ(Scaled(1), 1u);
+  EXPECT_EQ(Scaled(2), 1u);
+}
+
+TEST(JsonWriterTest, EmitsDocumentedSchema) {
+  JsonWriter json("unit");
+  json.Meta("reproduces", "nothing, this is a test");
+  json.MetaNum("jobs", 3);
+  json.BeginRow();
+  json.Num("threads", 4);
+  json.Str("label", "a\"b\\c\nd");
+  json.BeginRow();
+  json.Num("threads", 8);
+
+  const std::string out = json.ToJson();
+  EXPECT_NE(out.find("\"bench\": \"unit\""), std::string::npos);
+  // The ctor records the process scale factor automatically (0.3 has no
+  // exact binary representation, so match the %.17g rendering prefix).
+  EXPECT_NE(out.find("\"scale\": 0.29999999999999"), std::string::npos);
+  EXPECT_NE(out.find("\"jobs\": 3"), std::string::npos);
+  EXPECT_NE(out.find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(out.find("\"threads\": 8"), std::string::npos);
+  // Quotes, backslashes, and newlines must be escaped.
+  EXPECT_NE(out.find("a\\\"b\\\\c\\nd"), std::string::npos);
+  EXPECT_EQ(out.find('\t'), std::string::npos);
+}
+
+TEST(JsonWriterTest, NonFiniteNumbersBecomeNull) {
+  JsonWriter json("nan");
+  json.BeginRow();
+  json.Num("bad", 0.0 / 0.0);
+  EXPECT_NE(json.ToJson().find("\"bad\": null"), std::string::npos);
+}
+
+TEST(JsonWriterTest, TablePrinterMirrorsRowsByHeader) {
+  JsonWriter json("mirror");
+  TablePrinter table({"threads", "wall (s)"}, 12);
+  table.AttachJson(&json);
+  table.PrintRow({"1", "0.274"});
+  table.PrintRow({"2", "0.140", "extra"});  // beyond headers -> colN key
+
+  const std::string out = json.ToJson();
+  EXPECT_NE(out.find("\"threads\": \"1\""), std::string::npos);
+  EXPECT_NE(out.find("\"wall (s)\": \"0.274\""), std::string::npos);
+  EXPECT_NE(out.find("\"col2\": \"extra\""), std::string::npos);
+}
+
+TEST(JsonWriterTest, WriteFileHonorsJsonDirOverride) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+  setenv("DPHIST_BENCH_JSON_DIR", dir.c_str(), 1);
+  JsonWriter json("write_test");
+  json.BeginRow();
+  json.Num("x", 1);
+  EXPECT_TRUE(json.WriteFile());
+  const std::string path = dir + "/BENCH_write_test.json";
+  FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(path.c_str());
+  unsetenv("DPHIST_BENCH_JSON_DIR");
+}
+
+}  // namespace
+}  // namespace dphist::bench

@@ -1,0 +1,244 @@
+// The db-layer concurrent refresh paths (DataPathScanner batch,
+// maintenance window, resilient batch) ride on accel::ScanExecutor and
+// must install exactly the stats their serial counterparts install.
+
+#include <gtest/gtest.h>
+
+#include "accel/device.h"
+#include "db/catalog.h"
+#include "db/datapath.h"
+#include "db/maintenance.h"
+#include "db/resilient.h"
+#include "workload/tpch.h"
+
+namespace dphist::db {
+namespace {
+
+accel::AcceleratorConfig TestAccelConfig() {
+  accel::AcceleratorConfig config;
+  config.dram.capacity_bytes = 1ULL << 30;
+  return config;
+}
+
+accel::ScanRequest RequestFor(size_t column) {
+  accel::ScanRequest request;
+  request.column_index = column;
+  if (column == workload::kLQuantity) {
+    request.min_value = workload::kQuantityMin;
+    request.max_value = workload::kQuantityMax;
+  } else {
+    request.min_value = workload::kPriceScaledMin;
+    request.max_value = workload::kPriceScaledMax;
+    request.granularity = 100;
+  }
+  request.num_buckets = 32;
+  request.top_k = 16;
+  return request;
+}
+
+/// Three small lineitem tables registered under distinct names.
+void FillCatalog(Catalog* catalog) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    workload::LineitemOptions li;
+    li.scale_factor = 0.003;
+    li.row_limit = 15000;
+    li.seed = seed;
+    catalog->AddTable("lineitem" + std::to_string(seed),
+                      workload::GenerateLineitem(li));
+  }
+}
+
+std::vector<TableScanJob> BatchJobs() {
+  std::vector<TableScanJob> jobs;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (size_t column :
+         {size_t{workload::kLQuantity}, size_t{workload::kLExtendedPrice}}) {
+      TableScanJob job;
+      job.table = "lineitem" + std::to_string(seed);
+      job.column = column;
+      job.request = RequestFor(column);
+      jobs.push_back(job);
+    }
+  }
+  return jobs;
+}
+
+void ExpectSameStats(const ColumnStats& a, const ColumnStats& b) {
+  ASSERT_TRUE(a.valid);
+  ASSERT_TRUE(b.valid);
+  EXPECT_EQ(a.row_count, b.row_count);
+  EXPECT_EQ(a.ndv, b.ndv);
+  EXPECT_EQ(a.min_value, b.min_value);
+  EXPECT_EQ(a.max_value, b.max_value);
+  EXPECT_DOUBLE_EQ(a.build_seconds, b.build_seconds);
+  ASSERT_EQ(a.histogram.buckets.size(), b.histogram.buckets.size());
+  for (size_t i = 0; i < a.histogram.buckets.size(); ++i) {
+    EXPECT_EQ(a.histogram.buckets[i].lo, b.histogram.buckets[i].lo);
+    EXPECT_EQ(a.histogram.buckets[i].hi, b.histogram.buckets[i].hi);
+    EXPECT_EQ(a.histogram.buckets[i].count, b.histogram.buckets[i].count);
+  }
+  ASSERT_EQ(a.top_k.size(), b.top_k.size());
+  for (size_t i = 0; i < a.top_k.size(); ++i) {
+    EXPECT_EQ(a.top_k[i].value, b.top_k[i].value);
+    EXPECT_EQ(a.top_k[i].count, b.top_k[i].count);
+  }
+}
+
+void ExpectCatalogsMatch(const Catalog& a, const Catalog& b,
+                         const std::vector<TableScanJob>& jobs) {
+  for (const TableScanJob& job : jobs) {
+    auto stats_a = a.GetColumnStats(job.table, job.column);
+    auto stats_b = b.GetColumnStats(job.table, job.column);
+    ASSERT_TRUE(stats_a.ok());
+    ASSERT_TRUE(stats_b.ok());
+    ExpectSameStats(**stats_a, **stats_b);
+  }
+}
+
+TEST(ConcurrentRefreshTest, BatchScanInstallsSerialStats) {
+  std::vector<TableScanJob> jobs = BatchJobs();
+
+  Catalog serial_catalog;
+  FillCatalog(&serial_catalog);
+  accel::Device serial_device(TestAccelConfig());
+  DataPathScanner serial(&serial_catalog, &serial_device);
+  for (const TableScanJob& job : jobs) {
+    ASSERT_TRUE(
+        serial.ScanAndRefresh(job.table, job.column, job.request).ok());
+  }
+
+  for (uint32_t threads : {1u, 4u}) {
+    Catalog catalog;
+    FillCatalog(&catalog);
+    accel::Device device(TestAccelConfig());
+    DataPathScanner scanner(&catalog, &device);
+    auto outcomes = scanner.ScanAndRefreshTables(jobs, threads);
+    ASSERT_TRUE(outcomes.ok());
+    ASSERT_EQ(outcomes->size(), jobs.size());
+    for (const accel::ScanOutcome& outcome : *outcomes) {
+      EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    }
+    ExpectCatalogsMatch(catalog, serial_catalog, jobs);
+  }
+}
+
+TEST(ConcurrentRefreshTest, BatchScanRejectsUnknownTableUpFront) {
+  Catalog catalog;
+  FillCatalog(&catalog);
+  accel::Device device(TestAccelConfig());
+  DataPathScanner scanner(&catalog, &device);
+
+  std::vector<TableScanJob> jobs = BatchJobs();
+  TableScanJob bogus;
+  bogus.table = "no_such_table";
+  bogus.request = RequestFor(workload::kLQuantity);
+  jobs.push_back(bogus);
+
+  EXPECT_FALSE(scanner.ScanAndRefreshTables(jobs, 2).ok());
+  // Caller mistakes abort the whole batch before any scan runs.
+  EXPECT_FALSE(
+      catalog.StatsFresh("lineitem1", workload::kLQuantity));
+}
+
+TEST(ConcurrentRefreshTest, MaintenanceWindowMatchesSerialAccounting) {
+  auto request_for = [](const MaintenanceCandidate& job) {
+    return RequestFor(job.column);
+  };
+  std::vector<MaintenanceCandidate> jobs;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    for (size_t column :
+         {size_t{workload::kLQuantity}, size_t{workload::kLExtendedPrice}}) {
+      MaintenanceCandidate candidate;
+      candidate.table = "lineitem" + std::to_string(seed);
+      candidate.column = column;
+      jobs.push_back(candidate);
+    }
+  }
+
+  for (double budget : {1e9, 0.002}) {  // everything fits / window closes
+    Catalog serial_catalog;
+    FillCatalog(&serial_catalog);
+    accel::Device serial_device(TestAccelConfig());
+    auto serial = RunMaintenanceWindow(&serial_catalog, &serial_device, jobs,
+                                       budget, request_for);
+    ASSERT_TRUE(serial.ok());
+
+    Catalog catalog;
+    FillCatalog(&catalog);
+    accel::Device device(TestAccelConfig());
+    auto concurrent = RunMaintenanceWindowConcurrent(
+        &catalog, &device, jobs, budget, request_for, 4);
+    ASSERT_TRUE(concurrent.ok());
+
+    EXPECT_EQ(concurrent->executed, serial->executed) << "budget " << budget;
+    EXPECT_EQ(concurrent->deferred, serial->deferred) << "budget " << budget;
+    EXPECT_DOUBLE_EQ(concurrent->device_seconds, serial->device_seconds);
+    EXPECT_EQ(concurrent->device_failures, serial->device_failures);
+  }
+}
+
+TEST(ConcurrentRefreshTest, ResilientBatchMatchesSerialScans) {
+  std::vector<TableScanJob> jobs = BatchJobs();
+
+  Catalog serial_catalog;
+  FillCatalog(&serial_catalog);
+  accel::Device serial_device(TestAccelConfig());
+  ResilientScanner serial(&serial_catalog, &serial_device);
+  for (const TableScanJob& job : jobs) {
+    auto outcome = serial.ScanAndRefresh(job.table, job.column, job.request);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->path, ScanPath::kImplicit);
+  }
+
+  Catalog catalog;
+  FillCatalog(&catalog);
+  accel::Device device(TestAccelConfig());
+  ResilientScanner scanner(&catalog, &device);
+  auto outcomes = scanner.ScanAndRefreshMany(jobs, 4);
+  ASSERT_TRUE(outcomes.ok());
+  ASSERT_EQ(outcomes->size(), jobs.size());
+  for (const ScanOutcome& outcome : *outcomes) {
+    EXPECT_EQ(outcome.path, ScanPath::kImplicit);
+    EXPECT_TRUE(outcome.stats_installed);
+    EXPECT_EQ(outcome.attempts, 1u);
+  }
+  EXPECT_EQ(scanner.counters().scans, jobs.size());
+  EXPECT_EQ(scanner.counters().device_failures, 0u);
+  ExpectCatalogsMatch(catalog, serial_catalog, jobs);
+}
+
+TEST(ConcurrentRefreshTest, ResilientBatchShortCircuitsWhenBreakerOpen) {
+  // A device that always refuses admission (fault scenario: every scan
+  // fails) trips the breaker; the next batch never touches the device.
+  accel::AcceleratorConfig config = TestAccelConfig();
+  config.faults.enabled = true;
+  config.faults.scan_failure_probability = 1.0;
+
+  Catalog catalog;
+  FillCatalog(&catalog);
+  accel::Device device(config);
+  ResilientScannerOptions options;
+  options.breaker.trip_threshold = 2;
+  options.fallback.enabled = true;
+  ResilientScanner scanner(&catalog, &device, options);
+
+  std::vector<TableScanJob> jobs = BatchJobs();
+  auto first = scanner.ScanAndRefreshMany(jobs, 2);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(scanner.breaker_open());
+  for (const ScanOutcome& outcome : *first) {
+    EXPECT_EQ(outcome.path, ScanPath::kSamplingFallback);
+    EXPECT_TRUE(outcome.stats_installed);
+  }
+
+  auto second = scanner.ScanAndRefreshMany(jobs, 2);
+  ASSERT_TRUE(second.ok());
+  for (const ScanOutcome& outcome : *second) {
+    EXPECT_TRUE(outcome.breaker_was_open);
+    EXPECT_EQ(outcome.attempts, 0u);  // the device was never touched
+  }
+  EXPECT_EQ(scanner.counters().short_circuits, jobs.size());
+}
+
+}  // namespace
+}  // namespace dphist::db

@@ -69,12 +69,27 @@ TEST(EquiDepthDenseTest, HeavyValueStaysInOneBucket) {
 
 TEST(EquiDepthDenseTest, TrailingPartialBucketEmitted) {
   DenseCounts dense = MakeDense({10, 10, 10, 1});
-  Histogram h = EquiDepthDense(dense, 3);
-  // limit = 31/3 = 10: three full buckets, then the trailing 1.
+  Histogram h = EquiDepthDense(dense, 4);
+  // limit = ceil(31/4) = 8: three buckets close on the limit, then the
+  // trailing 1 is emitted as a partial bucket.
   ASSERT_EQ(h.buckets.size(), 4u);
   EXPECT_EQ(h.buckets.back().count, 1u);
   EXPECT_EQ(h.buckets.back().lo, 3);
   EXPECT_EQ(h.buckets.back().hi, 3);
+}
+
+TEST(EquiDepthDenseTest, CeilingLimitBoundsBucketCount) {
+  // The floor limit used to splinter under skew: total just above B gave
+  // limit 1 and one bucket per non-empty bin. The ceiling limit caps the
+  // result at B full buckets plus at most one partial tail.
+  DenseCounts dense = MakeDense({1, 1, 1, 1, 1, 1, 1, 1, 1, 1});
+  Histogram h = EquiDepthDense(dense, 3);
+  // limit = ceil(10/3) = 4: buckets of 4, 4, 2 — not ten buckets of 1.
+  EXPECT_LE(h.buckets.size(), 4u);
+  ASSERT_EQ(h.buckets.size(), 3u);
+  EXPECT_EQ(h.buckets[0].count, 4u);
+  EXPECT_EQ(h.buckets[1].count, 4u);
+  EXPECT_EQ(h.buckets[2].count, 2u);
 }
 
 TEST(EquiDepthDenseTest, TrailingZeroBinsProduceNoBucket) {
