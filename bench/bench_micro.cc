@@ -15,6 +15,7 @@
 #include "hist/builders.h"
 #include "hist/dense_reference.h"
 #include "hist/estimator.h"
+#include "hist/space_saving.h"
 #include "hist/v_optimal.h"
 #include "sim/dram.h"
 #include "workload/distributions.h"
@@ -104,6 +105,33 @@ void BM_EstimatorRange(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EstimatorRange);
+
+void BM_SpaceSavingOfferZipf(benchmark::State& state) {
+  // Realistic skewed stream: most offers hit a monitored counter, some
+  // evict.
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  hist::SpaceSaving sketch(capacity);
+  auto stream = workload::ZipfColumn(1 << 18, 1 << 20, 0.9, 17);
+  size_t i = 0;
+  for (auto _ : state) {
+    sketch.Offer(stream[i]);
+    i = (i + 1) & ((1 << 18) - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingOfferZipf)->Arg(256)->Arg(4096);
+
+void BM_SpaceSavingOfferAllDistinct(benchmark::State& state) {
+  // Worst case for victim selection: every offer past warm-up evicts.
+  // This is the case the lazy min-heap moved from O(capacity) to
+  // amortized O(log capacity) per offer.
+  const size_t capacity = static_cast<size_t>(state.range(0));
+  hist::SpaceSaving sketch(capacity);
+  int64_t next = 0;
+  for (auto _ : state) sketch.Offer(next++);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpaceSavingOfferAllDistinct)->Arg(256)->Arg(4096);
 
 void BM_AcceleratorEndToEnd(benchmark::State& state) {
   auto column = workload::ZipfColumn(

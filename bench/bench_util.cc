@@ -119,17 +119,43 @@ void JsonWriter::Str(const std::string& key, const std::string& value) {
   rows_.back().push_back({key, Value{false, 0, value}});
 }
 
+void JsonWriter::Metrics(const obs::MetricsSnapshot& snapshot) {
+  metrics_.clear();
+  for (const auto& [name, value] : snapshot.counters) {
+    metrics_.push_back(
+        {name, Value{true, static_cast<double>(value), {}}});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    metrics_.push_back(
+        {name, Value{true, static_cast<double>(value), {}}});
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    metrics_.push_back(
+        {name + ".count", Value{true, static_cast<double>(h.count), {}}});
+    metrics_.push_back(
+        {name + ".sum", Value{true, static_cast<double>(h.sum), {}}});
+    metrics_.push_back(
+        {name + ".p50", Value{true, static_cast<double>(h.p50), {}}});
+    metrics_.push_back(
+        {name + ".p99", Value{true, static_cast<double>(h.p99), {}}});
+  }
+}
+
 std::string JsonWriter::ToJson() const {
   auto append_object = [](std::string* out, const Object& object) {
     *out += "{";
     for (size_t i = 0; i < object.size(); ++i) {
       if (i > 0) *out += ", ";
-      *out += "\"" + JsonEscape(object[i].first) + "\": ";
+      *out += '"';
+      *out += JsonEscape(object[i].first);
+      *out += "\": ";
       const Value& v = object[i].second;
       if (v.is_number) {
         *out += JsonNumber(v.number);
       } else {
-        *out += "\"" + JsonEscape(v.str) + "\"";
+        *out += '"';
+        *out += JsonEscape(v.str);
+        *out += '"';
       }
     }
     *out += "}";
@@ -137,6 +163,10 @@ std::string JsonWriter::ToJson() const {
   std::string out = "{\n  \"bench\": \"" + JsonEscape(name_) + "\",\n";
   out += "  \"meta\": ";
   append_object(&out, meta_);
+  if (!metrics_.empty()) {
+    out += ",\n  \"metrics\": ";
+    append_object(&out, metrics_);
+  }
   out += ",\n  \"rows\": [\n";
   for (size_t r = 0; r < rows_.size(); ++r) {
     out += "    ";

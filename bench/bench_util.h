@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace dphist::bench {
 
 /// Global size multiplier for every benchmark, read from the
@@ -32,6 +34,7 @@ void PrintBanner(const char* binary, const char* reproduces,
 ///   {
 ///     "bench": "<name>",
 ///     "meta":  { "<key>": <string|number>, ... },
+///     "metrics": { "<metric>": <number>, ... },   // when Metrics() called
 ///     "rows":  [ { "<key>": <string|number>, ... }, ... ]
 ///   }
 /// Rows mirror the text table one-to-one when attached to a TablePrinter
@@ -51,6 +54,12 @@ class JsonWriter {
   void Num(const std::string& key, double value);
   void Str(const std::string& key, const std::string& value);
 
+  /// Records an observability snapshot (typically a DiffSnapshots delta
+  /// scoped to the benchmark's work) as the top-level "metrics" object:
+  /// counters and gauges flattened by name, histograms expanded into
+  /// .count/.sum/.p50/.p99 entries. Replaces any previous snapshot.
+  void Metrics(const obs::MetricsSnapshot& snapshot);
+
   std::string ToJson() const;
 
   /// Writes BENCH_<name>.json and prints its path; warns on stderr and
@@ -67,6 +76,7 @@ class JsonWriter {
 
   std::string name_;
   Object meta_;
+  Object metrics_;
   std::vector<Object> rows_;
 };
 

@@ -4,10 +4,15 @@
 
 #include "accel/accelerator.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace dphist::accel {
 
 namespace {
+
+obs::Counter* DeviceCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
 
 Status ValidateRequest(const ScanRequest& request) {
   if (request.min_value > request.max_value) {
@@ -74,6 +79,9 @@ Status Device::AdmitScan(const ScanRequest& request) {
   Status valid = ValidateRequest(request);
   if (!valid.ok()) {
     ++stats_.sessions_rejected;
+    static obs::Counter* rejected =
+        DeviceCounter("accel.device.admission_rejected");
+    rejected->Add();
     return valid;
   }
   // Device-level failure (bus drop, firmware wedge): the scan attempt
@@ -81,9 +89,14 @@ Status Device::AdmitScan(const ScanRequest& request) {
   // data, only the statistics side effect is lost.
   if (stream_faults_.NextScanFails()) {
     ++stats_.sessions_failed_injected;
+    static obs::Counter* failed =
+        DeviceCounter("accel.device.admission_failed_injected");
+    failed->Add();
     return Status::Internal("injected device failure: scan aborted");
   }
   ++stats_.sessions_admitted;
+  static obs::Counter* admitted = DeviceCounter("accel.device.admitted");
+  admitted->Add();
   return Status::OK();
 }
 
@@ -224,6 +237,16 @@ ScanTimeline Device::CompleteSession(uint32_t slot, SessionMode mode,
         std::max(timeline.bin_finish_seconds, chain_free_seconds_);
     stats_.chain_wait_seconds +=
         histogram_start - timeline.bin_finish_seconds;
+    static obs::LatencyHistogram* region_wait =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "accel.device.region_wait_us");
+    static obs::LatencyHistogram* chain_wait =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "accel.device.chain_wait_us");
+    region_wait->Record(static_cast<uint64_t>(
+        (timeline.bin_start_seconds - front_free_seconds_) * 1e6));
+    chain_wait->Record(static_cast<uint64_t>(
+        (histogram_start - timeline.bin_finish_seconds) * 1e6));
     timeline.histogram_finish_seconds =
         histogram_start + histogram_duration_seconds;
     front_free_seconds_ = timeline.bin_finish_seconds;

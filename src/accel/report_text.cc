@@ -74,4 +74,29 @@ std::string ReportToString(const AcceleratorReport& report) {
   return out;
 }
 
+std::string MetricsToString(const obs::MetricsSnapshot& snapshot) {
+  if (snapshot.empty()) return "(no metrics recorded)\n";
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(buf, sizeof(buf), "%-40s %llu\n", name.c_str(),
+                  (unsigned long long)value);
+    out += buf;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::snprintf(buf, sizeof(buf), "%-40s %lld\n", name.c_str(),
+                  (long long)value);
+    out += buf;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "%-40s count=%llu sum=%llu p50<=%llu p99<=%llu\n",
+                  name.c_str(), (unsigned long long)h.count,
+                  (unsigned long long)h.sum, (unsigned long long)h.p50,
+                  (unsigned long long)h.p99);
+    out += buf;
+  }
+  return out;
+}
+
 }  // namespace dphist::accel

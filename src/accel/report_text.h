@@ -4,6 +4,7 @@
 #include <string>
 
 #include "accel/accelerator.h"
+#include "obs/metrics.h"
 
 namespace dphist::accel {
 
@@ -12,6 +13,12 @@ namespace dphist::accel {
 /// timing, and cache/DRAM statistics. Used by examples and debugging
 /// sessions; not a stable machine format (see wire_format.h for that).
 std::string ReportToString(const AcceleratorReport& report);
+
+/// Renders a metrics snapshot (or a DiffSnapshots delta) as one aligned
+/// line per metric, sorted by name: counters and gauges as plain values,
+/// histograms as count/sum/p50/p99. Empty snapshot renders as a single
+/// "(no metrics recorded)" line.
+std::string MetricsToString(const obs::MetricsSnapshot& snapshot);
 
 }  // namespace dphist::accel
 

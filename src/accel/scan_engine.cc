@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <optional>
 
+#include <atomic>
+#include <string>
+
 #include "accel/binner.h"
 #include "accel/blocks.h"
 #include "accel/parser.h"
 #include "accel/preprocessor.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dphist::accel {
 
@@ -30,6 +35,53 @@ hist::Histogram ConvertBuckets(const std::vector<BinBucket>& bin_buckets,
                                      b.distinct});
   }
   return h;
+}
+
+/// Flushes one finished scan's totals into the global registry. Called
+/// once per scan at report time — never on the per-value hot path — so
+/// the simulation's inner loops carry no instrumentation cost at all.
+void FlushScanMetrics(const AcceleratorReport& report,
+                      const sim::DramStats& dram, bool parsed_pages,
+                      uint64_t pages, uint64_t streamed_bytes) {
+  if (!obs::MetricsEnabled()) return;
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* scans = reg.GetCounter("accel.scan.completed");
+  static obs::Counter* rows = reg.GetCounter("accel.parser.rows");
+  static obs::Counter* bytes = reg.GetCounter("accel.parser.bytes");
+  static obs::Counter* page_count = reg.GetCounter("accel.parser.pages");
+  static obs::Counter* corrupt = reg.GetCounter("accel.parser.corrupt_pages");
+  static obs::Counter* items = reg.GetCounter("accel.binner.items");
+  static obs::Counter* hits = reg.GetCounter("accel.binner.cache_hits");
+  static obs::Counter* misses = reg.GetCounter("accel.binner.cache_misses");
+  static obs::Counter* stalls =
+      reg.GetCounter("accel.binner.hazard_stall_cycles");
+  static obs::Counter* dropped = reg.GetCounter("accel.binner.dropped_values");
+  static obs::Counter* chain_scans = reg.GetCounter("accel.chain.scans");
+  static obs::Counter* dram_reads = reg.GetCounter("accel.dram.reads");
+  static obs::Counter* dram_writes = reg.GetCounter("accel.dram.writes");
+  static obs::Counter* dram_near = reg.GetCounter("accel.dram.near_accesses");
+  static obs::Counter* dram_random =
+      reg.GetCounter("accel.dram.random_accesses");
+  static obs::LatencyHistogram* device_us =
+      reg.GetHistogram("accel.scan.device_us");
+  scans->Add();
+  rows->Add(report.rows);
+  bytes->Add(streamed_bytes);
+  if (parsed_pages) {
+    page_count->Add(pages);
+    corrupt->Add(report.corrupt_pages);
+  }
+  items->Add(report.binner.total_items);
+  hits->Add(report.binner.cache_hits);
+  misses->Add(report.binner.cache_misses);
+  stalls->Add(report.binner.hazard_stall_cycles);
+  dropped->Add(report.binner.dropped_values);
+  chain_scans->Add(report.module.scans);
+  dram_reads->Add(dram.reads);
+  dram_writes->Add(dram.writes);
+  dram_near->Add(dram.near_accesses);
+  dram_random->Add(dram.random_accesses);
+  device_us->Record(static_cast<uint64_t>(report.total_seconds * 1e6));
 }
 
 }  // namespace
@@ -84,6 +136,18 @@ struct ScanSession::State {
   double histogram_duration_seconds = 0;
   double total_device_seconds = 0;
   bool booked = false;
+
+  /// Trace spans captured in the session's own cycle domain by
+  /// ComputeReport. They cannot be emitted there: their wall position is
+  /// only known once BookCompletion places the session in the device
+  /// schedule, which also keeps emission serial (booking always is).
+  struct PendingSpan {
+    std::string name;
+    const char* category;
+    double start_cycle;
+    double end_cycle;
+  };
+  std::vector<PendingSpan> pending_spans;
 };
 
 ScanSession::ScanSession(std::unique_ptr<State> state)
@@ -210,10 +274,23 @@ AcceleratorReport ScanSession::ComputeReport() {
                              report.binner.finish_cycle);
 
   uint64_t result_bytes = 0;
+  const bool tracing = obs::Tracer::Global().enabled();
   auto collect_timing = [&](const char* name, const StatBlock* block) {
     report.block_timings.push_back(NamedBlockTiming{name, block->timing()});
     result_bytes += block->timing().result_bytes;
+    if (tracing && block->timing().first_result_cycle >= 0) {
+      s.pending_spans.push_back(State::PendingSpan{
+          name, "block", block->timing().first_result_cycle,
+          block->timing().last_result_cycle});
+    }
   };
+  if (tracing) {
+    s.pending_spans.push_back(State::PendingSpan{
+        "parse+bin", "bin", 0.0, report.binner.finish_cycle});
+    s.pending_spans.push_back(State::PendingSpan{
+        "histogram chain", "chain", report.module.start_cycle,
+        report.module.finish_cycle});
+  }
   if (topk != nullptr) {
     collect_timing("TopK", topk);
     for (const auto& e : topk->result()) {
@@ -283,6 +360,10 @@ AcceleratorReport ScanSession::ComputeReport() {
   s.histogram_duration_seconds =
       report.histogram_finish_seconds - report.binner_finish_seconds;
   s.total_device_seconds = report.total_seconds;
+
+  FlushScanMetrics(report, report.dram_stats, s.parser.has_value(),
+                   s.parser.has_value() ? s.parser->stats().pages : 0,
+                   streamed_bytes);
   return report;
 }
 
@@ -314,6 +395,42 @@ void ScanSession::BookCompletion() {
       s.booked_slot, s.mode, s.bin_duration_seconds,
       s.histogram_duration_seconds, s.total_device_seconds);
   s.booked = true;
+
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (!tracer.enabled() || s.pending_spans.empty()) return;
+  // Booking is serial by contract (the facade's serial path, or the
+  // executor's phase 3), so the ordinal — and with it every track name —
+  // is assigned in submission order, not host-thread finish order.
+  static std::atomic<uint64_t> next_ordinal{0};
+  const uint64_t ordinal =
+      next_ordinal.fetch_add(1, std::memory_order_relaxed);
+  const std::string track = "scan/" + std::to_string(ordinal);
+  const sim::Clock& clock = s.device->config().clock;
+  const double base_us = s.timeline.bin_start_seconds * 1e6;
+  for (const State::PendingSpan& span : s.pending_spans) {
+    tracer.Span(track, span.name, span.category,
+                base_us + clock.CyclesToSeconds(span.start_cycle) * 1e6,
+                clock.CyclesToSeconds(span.end_cycle - span.start_cycle) *
+                    1e6);
+  }
+  // Device-schedule view: where this session sat on the shared front end
+  // and chain (pipelined mode only — offload sessions own private ones),
+  // and its region occupancy.
+  if (s.mode == SessionMode::kPipelined) {
+    tracer.Span("device/front", "bin", "schedule", base_us,
+                (s.timeline.bin_finish_seconds -
+                 s.timeline.bin_start_seconds) * 1e6);
+    const double chain_start_us =
+        (s.timeline.histogram_finish_seconds - s.histogram_duration_seconds) *
+        1e6;
+    tracer.Span("device/chain", "histograms", "schedule", chain_start_us,
+                s.histogram_duration_seconds * 1e6);
+  }
+  tracer.Span("device/region" + std::to_string(s.booked_slot), "lease",
+              "schedule", base_us,
+              (s.timeline.histogram_finish_seconds -
+               s.timeline.bin_start_seconds) * 1e6);
+  s.pending_spans.clear();
 }
 
 Result<ScanSession> ScanEngine::OpenSession(const ScanRequest& request,

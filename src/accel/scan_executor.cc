@@ -11,6 +11,7 @@
 #include "accel/preprocessor.h"
 #include "accel/scan_engine.h"
 #include "common/macros.h"
+#include "obs/metrics.h"
 
 namespace dphist::accel {
 
@@ -159,6 +160,12 @@ std::vector<ScanOutcome> ScanExecutor::Run(std::span<const ScanJob> jobs) {
   std::vector<std::optional<ScanSession>> sessions(jobs.size());
   std::atomic<uint32_t> next_queue{0};
   auto run_queue = [&](uint32_t slot, uint32_t worker) {
+    static obs::Counter* queue_claims = obs::MetricsRegistry::Global()
+        .GetCounter("accel.executor.queue_claims");
+    static obs::LatencyHistogram* job_wall_us =
+        obs::MetricsRegistry::Global().GetHistogram(
+            "accel.executor.job_wall_us");
+    queue_claims->Add();
     ScanEngine engine(device_);
     for (size_t i : slot_queues[slot]) {
       const ScanJob& job = jobs[i];
@@ -198,6 +205,7 @@ std::vector<ScanOutcome> ScanExecutor::Run(std::span<const ScanJob> jobs) {
                                         wall_start)
               .count();
       FillStats(out.report, wall_seconds, worker, &out.stats);
+      job_wall_us->Record(static_cast<uint64_t>(wall_seconds * 1e6));
     }
   };
   auto worker_loop = [&](uint32_t worker) {

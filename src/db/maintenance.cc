@@ -4,8 +4,28 @@
 
 #include "accel/scan_executor.h"
 #include "db/datapath.h"
+#include "obs/metrics.h"
 
 namespace dphist::db {
+
+namespace {
+
+/// One window's outcome totals, flushed once at the end of a window.
+void FlushWindowMetrics(const MaintenanceWindowReport& report) {
+  if (!obs::MetricsEnabled()) return;
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter* windows = reg.GetCounter("db.maintenance.windows");
+  static obs::Counter* executed = reg.GetCounter("db.maintenance.executed");
+  static obs::Counter* deferred = reg.GetCounter("db.maintenance.deferred");
+  static obs::Counter* failures =
+      reg.GetCounter("db.maintenance.device_failures");
+  windows->Add();
+  executed->Add(report.executed.size());
+  deferred->Add(report.deferred.size());
+  failures->Add(report.device_failures);
+}
+
+}  // namespace
 
 std::vector<MaintenanceCandidate> FindStaleColumns(
     const Catalog& catalog, double analyze_bytes_per_second) {
@@ -98,6 +118,7 @@ Result<MaintenanceWindowReport> RunMaintenanceWindow(
     report.device_seconds += scan->total_seconds;
     report.executed.push_back(job);
   }
+  FlushWindowMetrics(report);
   return report;
 }
 
@@ -155,6 +176,7 @@ Result<MaintenanceWindowReport> RunMaintenanceWindowConcurrent(
     report.device_seconds += outcome.report.total_seconds;
     report.executed.push_back(job);
   }
+  FlushWindowMetrics(report);
   return report;
 }
 

@@ -11,10 +11,22 @@
 #include "db/storage.h"
 #include "hist/builders.h"
 #include "hist/sampling.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dphist::db {
 
 namespace {
+
+obs::Counter* DbCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+/// Host-side events carry no simulated timestamp, so they are recorded
+/// as per-track ordinals: the trace shows their order, not a duration.
+void BreakerEvent(const char* name) {
+  obs::Tracer::Global().InstantSeq("db/breaker", name, "resilience");
+}
 
 /// Aggregates a sorted value vector into (value, count) pairs.
 hist::FrequencyVector AggregateSorted(const std::vector<int64_t>& sorted) {
@@ -132,8 +144,14 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
         scans_while_open_ % options_.breaker.probe_interval != 0) {
       try_device = false;
       ++counters_.short_circuits;
+      static obs::Counter* short_circuits =
+          DbCounter("db.resilient.short_circuits");
+      short_circuits->Add();
     } else {
       probing = true;
+      static obs::Counter* probes = DbCounter("db.resilient.probes");
+      probes->Add();
+      BreakerEvent("probe");
     }
   }
 
@@ -160,6 +178,10 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
               table.c_str());
           breaker_open_ = false;
           scans_while_open_ = 0;
+          static obs::Counter* closes =
+              DbCounter("db.resilient.breaker_closes");
+          closes->Add();
+          BreakerEvent("close");
         }
         outcome.quality = report->quality;
         DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
@@ -181,6 +203,9 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
       // Device failure (hard error or unusable quality).
       ++counters_.device_failures;
       ++consecutive_failures_;
+      static obs::Counter* failures =
+          DbCounter("db.resilient.device_failures");
+      failures->Add();
       if (report.ok()) {
         outcome.quality = report->quality;
         char msg[128];
@@ -202,6 +227,9 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
         scans_while_open_ = 0;
         outcome.tripped_breaker = true;
         ++counters_.breaker_trips;
+        static obs::Counter* trips = DbCounter("db.resilient.breaker_trips");
+        trips->Add();
+        BreakerEvent("trip");
         Log(LogLevel::kError,
             "resilient scan: breaker tripped after %u consecutive device "
             "failures",
@@ -212,6 +240,9 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
       if (attempt < max_attempts) {
         ++outcome.retries;
         ++counters_.retries;
+        static obs::Counter* retries = DbCounter("db.resilient.retries");
+        retries->Add();
+        obs::Tracer::Global().InstantSeq("db/scan", "retry", "resilience");
         outcome.backoff_seconds += backoff;
         backoff *= options_.retry.backoff_multiplier;
       }
@@ -228,6 +259,9 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
       outcome.path = ScanPath::kSamplingFallback;
       outcome.stats_installed = true;
       ++counters_.fallback_scans;
+      static obs::Counter* fallbacks = DbCounter("db.resilient.fallbacks");
+      fallbacks->Add();
+      obs::Tracer::Global().InstantSeq("db/scan", "fallback", "resilience");
       return outcome;
     }
     Log(LogLevel::kWarning, "resilient scan: fallback failed for '%s': %s",
@@ -285,6 +319,9 @@ Result<std::vector<ScanOutcome>> ResilientScanner::ScanAndRefreshMany(
       outcome.breaker_was_open = true;
       ++scans_while_open_;
       ++counters_.short_circuits;
+      static obs::Counter* short_circuits =
+          DbCounter("db.resilient.short_circuits");
+      short_circuits->Add();
     } else {
       const accel::ScanOutcome& device = device_outcomes[i];
       outcome.attempts = 1;
@@ -309,6 +346,9 @@ Result<std::vector<ScanOutcome>> ResilientScanner::ScanAndRefreshMany(
       }
       ++counters_.device_failures;
       ++consecutive_failures_;
+      static obs::Counter* failures =
+          DbCounter("db.resilient.device_failures");
+      failures->Add();
       if (device.status.ok()) {
         outcome.quality = device.report.quality;
         outcome.last_device_error = "scan quality below threshold";
@@ -321,6 +361,9 @@ Result<std::vector<ScanOutcome>> ResilientScanner::ScanAndRefreshMany(
         scans_while_open_ = 0;
         outcome.tripped_breaker = true;
         ++counters_.breaker_trips;
+        static obs::Counter* trips = DbCounter("db.resilient.breaker_trips");
+        trips->Add();
+        BreakerEvent("trip");
         Log(LogLevel::kError,
             "resilient batch: breaker tripped after %u consecutive device "
             "failures",
@@ -336,6 +379,9 @@ Result<std::vector<ScanOutcome>> ResilientScanner::ScanAndRefreshMany(
         outcome.path = ScanPath::kSamplingFallback;
         outcome.stats_installed = true;
         ++counters_.fallback_scans;
+        static obs::Counter* fallbacks = DbCounter("db.resilient.fallbacks");
+        fallbacks->Add();
+        obs::Tracer::Global().InstantSeq("db/scan", "fallback", "resilience");
         continue;
       }
     }

@@ -1,17 +1,30 @@
 #include "hist/estimator.h"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace dphist::hist {
+
+namespace {
+
+/// hi - lo + 1 as a double without signed overflow. A bucket spanning
+/// the full int64 domain (lo = INT64_MIN, hi = INT64_MAX) makes the
+/// naive `hi - lo` UB; unsigned subtraction wraps to the right width.
+double InclusiveWidth(int64_t lo, int64_t hi) {
+  return static_cast<double>(static_cast<uint64_t>(hi) -
+                             static_cast<uint64_t>(lo)) +
+         1.0;
+}
+
+}  // namespace
 
 double Estimator::BucketOverlap(const Bucket& b, int64_t lo,
                                 int64_t hi) const {
   int64_t overlap_lo = std::max(lo, b.lo);
   int64_t overlap_hi = std::min(hi, b.hi);
   if (overlap_lo > overlap_hi) return 0.0;
-  double bucket_width = static_cast<double>(b.hi - b.lo) + 1.0;
-  double overlap_width =
-      static_cast<double>(overlap_hi - overlap_lo) + 1.0;
+  double bucket_width = InclusiveWidth(b.lo, b.hi);
+  double overlap_width = InclusiveWidth(overlap_lo, overlap_hi);
   return static_cast<double>(b.count) * overlap_width / bucket_width;
 }
 
@@ -26,8 +39,7 @@ double Estimator::EstimateEquals(int64_t v) const {
       if (b.distinct > 0) {
         return static_cast<double>(b.count) / static_cast<double>(b.distinct);
       }
-      double width = static_cast<double>(b.hi - b.lo) + 1.0;
-      return static_cast<double>(b.count) / width;
+      return static_cast<double>(b.count) / InclusiveWidth(b.lo, b.hi);
     }
   }
   return 0.0;

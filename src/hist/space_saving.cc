@@ -16,23 +16,35 @@ void SpaceSaving::Offer(int64_t value) {
   ++items_;
   auto it = counters_.find(value);
   if (it != counters_.end()) {
+    // The heap entry goes stale here; the next eviction corrects it.
     ++it->second.count;
     return;
   }
   if (counters_.size() < capacity_) {
     counters_.emplace(value, Counter{1, 0});
+    heap_.push(HeapEntry{1, value});
     return;
   }
   // Take over the minimum counter: the newcomer inherits its count as
-  // the classic SpaceSaving overestimate.
-  auto victim = counters_.begin();
-  for (auto candidate = counters_.begin(); candidate != counters_.end();
-       ++candidate) {
-    if (candidate->second.count < victim->second.count) victim = candidate;
+  // the classic SpaceSaving overestimate. Pop-and-correct stale heap
+  // entries until the top matches its live counter — counts only grow,
+  // so an up-to-date top is a true minimum (ties: smallest value).
+  for (;;) {
+    const HeapEntry top = heap_.top();
+    const auto live = counters_.find(top.second);
+    DPHIST_CHECK(live != counters_.end());
+    if (live->second.count != top.first) {
+      heap_.pop();
+      heap_.push(HeapEntry{live->second.count, top.second});
+      continue;
+    }
+    heap_.pop();
+    Counter taken{top.first + 1, top.first};
+    counters_.erase(live);
+    counters_.emplace(value, taken);
+    heap_.push(HeapEntry{taken.count, value});
+    return;
   }
-  Counter taken{victim->second.count + 1, victim->second.count};
-  counters_.erase(victim);
-  counters_.emplace(value, taken);
 }
 
 std::vector<ValueCount> SpaceSaving::TopK(size_t k) const {

@@ -2,7 +2,9 @@
 #define DPHIST_HIST_SPACE_SAVING_H_
 
 #include <cstdint>
+#include <queue>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "hist/types.h"
@@ -43,6 +45,16 @@ class SpaceSaving {
   size_t capacity_;
   uint64_t items_ = 0;
   std::unordered_map<int64_t, Counter> counters_;
+
+  /// Lazy min-heap over (count, value): exactly one entry per monitored
+  /// value, but an increment leaves its entry stale (too low) until an
+  /// eviction pops and corrects it. Counts only grow, so an entry whose
+  /// stored count matches the live counter is a true minimum — eviction
+  /// is amortized O(log capacity) instead of the old O(capacity) scan.
+  using HeapEntry = std::pair<uint64_t, int64_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap_;
 };
 
 }  // namespace dphist::hist

@@ -1,0 +1,112 @@
+#include "obs/metrics.h"
+
+namespace dphist::obs {
+
+uint64_t LatencyHistogram::PercentileUpperBound(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  // Rank of the p-quantile sample, 1-based; walk the buckets to it.
+  const uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    seen += bucket(b);
+    if (seen > rank || seen == total) {
+      return b >= 63 ? ~0ULL : (1ULL << (b + 1)) - 1;
+    }
+  }
+  return ~0ULL;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramSummary summary;
+    summary.count = hist->count();
+    summary.sum = hist->sum();
+    summary.p50 = hist->PercentileUpperBound(0.50);
+    summary.p99 = hist->PercentileUpperBound(0.99);
+    snapshot.histograms[name] = summary;
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after) {
+  MetricsSnapshot diff;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    const uint64_t base = it == before.counters.end() ? 0 : it->second;
+    if (value != base) diff.counters[name] = value - base;
+  }
+  // Gauges are last-written values, not accumulations: report the current
+  // reading whenever it moved (or is new).
+  for (const auto& [name, value] : after.gauges) {
+    auto it = before.gauges.find(name);
+    if (it == before.gauges.end() || it->second != value) {
+      diff.gauges[name] = value;
+    }
+  }
+  for (const auto& [name, summary] : after.histograms) {
+    auto it = before.histograms.find(name);
+    MetricsSnapshot::HistogramSummary delta = summary;
+    if (it != before.histograms.end()) {
+      delta.count = summary.count - it->second.count;
+      delta.sum = summary.sum - it->second.sum;
+    }
+    if (delta.count != 0) diff.histograms[name] = delta;
+  }
+  return diff;
+}
+
+}  // namespace dphist::obs

@@ -1,0 +1,169 @@
+#ifndef DPHIST_OBS_METRICS_H_
+#define DPHIST_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dphist::obs {
+
+/// Process-wide switch for all metric recording. Disabled recording costs
+/// one relaxed atomic load + branch, so instrumentation can stay compiled
+/// into every hot path. Defaults to enabled: counters are only bumped at
+/// stage boundaries (per scan / per page batch, never per value), so the
+/// steady-state cost is noise even when on.
+inline std::atomic<bool>& MetricsEnabledFlag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+inline bool MetricsEnabled() {
+  return MetricsEnabledFlag().load(std::memory_order_relaxed);
+}
+inline void SetMetricsEnabled(bool on) {
+  MetricsEnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic named counter. Add() is lock-free (one relaxed fetch_add);
+/// registration hands out a stable pointer, so call sites cache it once
+/// (typically in a function-local static) and never touch the registry
+/// lock again.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written named value (signed, so deficits can go negative).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!MetricsEnabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!MetricsEnabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Lock-free latency/size histogram over power-of-two buckets: bucket b
+/// counts samples in [2^(b-1), 2^b) (bucket 0 counts zeros and ones).
+/// Values are whatever unit the recorder chose — simulated cycles,
+/// microseconds, bytes; the name should say which.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;
+
+  void Record(uint64_t value) {
+    if (!MetricsEnabled()) return;
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of the bucket holding the p-quantile (p in [0,1]); 0
+  /// when empty. Coarse by construction (power-of-two resolution) but
+  /// monotone and cheap, which is all a dashboard needs.
+  uint64_t PercentileUpperBound(double p) const;
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+  static size_t BucketOf(uint64_t value) {
+    size_t bits = 0;
+    while (value > 1) {
+      value >>= 1;
+      ++bits;
+    }
+    return bits;
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Point-in-time copy of every registered metric, ordered by name so two
+/// snapshots (and their renderings) are directly comparable.
+struct MetricsSnapshot {
+  struct HistogramSummary {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t p50 = 0;  ///< PercentileUpperBound(0.50)
+    uint64_t p99 = 0;  ///< PercentileUpperBound(0.99)
+
+    friend bool operator==(const HistogramSummary&,
+                           const HistogramSummary&) = default;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+/// after - before, per metric: counter deltas (entries that did not move
+/// are dropped), gauge values as-of `after`, histogram count/sum deltas.
+/// The natural shape for "what did this scan / bench phase cost".
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& before,
+                              const MetricsSnapshot& after);
+
+/// Named-metric registry. Get* registers on first use and returns a
+/// stable pointer (metrics are never deleted), so the mutex is paid once
+/// per call site, not per recording. One process-wide instance serves the
+/// whole stack; tests may build private registries.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (pointers stay valid). Benches and
+  /// tests use this to scope a snapshot to one phase.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace dphist::obs
+
+#endif  // DPHIST_OBS_METRICS_H_

@@ -1,0 +1,452 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <variant>
+
+namespace dphist::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint32_t Tracer::TrackIdLocked(std::string_view track) {
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == track) return static_cast<uint32_t>(i);
+  }
+  tracks_.emplace_back(track);
+  track_event_counts_.push_back(0);
+  return static_cast<uint32_t>(tracks_.size() - 1);
+}
+
+void Tracer::Span(std::string_view track, std::string_view name,
+                  std::string_view category, double ts_us, double dur_us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t id = TrackIdLocked(track);
+  ++track_event_counts_[id];
+  events_.push_back(TraceEvent{std::string(name), std::string(category), 'X',
+                               ts_us, dur_us, id});
+}
+
+void Tracer::Instant(std::string_view track, std::string_view name,
+                     std::string_view category, double ts_us) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t id = TrackIdLocked(track);
+  ++track_event_counts_[id];
+  events_.push_back(
+      TraceEvent{std::string(name), std::string(category), 'i', ts_us, 0, id});
+}
+
+void Tracer::InstantSeq(std::string_view track, std::string_view name,
+                        std::string_view category) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint32_t id = TrackIdLocked(track);
+  const double ts = static_cast<double>(track_event_counts_[id]);
+  ++track_event_counts_[id];
+  events_.push_back(
+      TraceEvent{std::string(name), std::string(category), 'i', ts, 0, id});
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<std::string> Tracer::track_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracks_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  tracks_.clear();
+  track_event_counts_.clear();
+}
+
+std::string Tracer::ExportChromeTrace() const {
+  std::vector<TraceEvent> events;
+  std::vector<std::string> tracks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    tracks = tracks_;
+  }
+  // Viewers want per-track timestamps in order; recording order already
+  // is per-track monotonic, so a stable sort by track keeps it.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.track != b.track) return a.track < b.track;
+                     return a.ts_us < b.ts_us;
+                   });
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (size_t i = 0; i < tracks.size(); ++i) {
+    comma();
+    out += "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+           "\"tid\": " +
+           std::to_string(i) + ", \"args\": {\"name\": \"" +
+           JsonEscape(tracks[i]) + "\"}}";
+  }
+  for (const TraceEvent& e : events) {
+    comma();
+    out += "  {\"name\": \"" + JsonEscape(e.name) + "\", \"cat\": \"" +
+           JsonEscape(e.category) + "\", \"ph\": \"" + e.phase +
+           "\", \"ts\": " + JsonNumber(e.ts_us);
+    if (e.phase == 'X') out += ", \"dur\": " + JsonNumber(e.dur_us);
+    if (e.phase == 'i') out += ", \"s\": \"t\"";
+    out += ", \"pid\": 0, \"tid\": " + std::to_string(e.track) + "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  const std::string json = ExportChromeTrace();
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("trace: cannot open " + path + " for writing");
+  }
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  if (!ok) return Status::Internal("trace: short write to " + path);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for trace validation. Supports the full JSON value
+// grammar except \uXXXX escapes beyond pass-through (the exporter never
+// emits non-ASCII); enough to independently re-parse what we (or any
+// Chrome-trace producer) wrote.
+
+namespace {
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::shared_ptr<JsonArray>, std::shared_ptr<JsonObject>>
+      value = nullptr;
+
+  bool is_object() const {
+    return std::holds_alternative<std::shared_ptr<JsonObject>>(value);
+  }
+  bool is_array() const {
+    return std::holds_alternative<std::shared_ptr<JsonArray>>(value);
+  }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(value);
+  }
+  bool is_number() const { return std::holds_alternative<double>(value); }
+  const JsonObject& object() const {
+    return *std::get<std::shared_ptr<JsonObject>>(value);
+  }
+  const JsonArray& array() const {
+    return *std::get<std::shared_ptr<JsonArray>>(value);
+  }
+  const std::string& string() const { return std::get<std::string>(value); }
+  double number() const { return std::get<double>(value); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  Status Parse(JsonValue* out) {
+    Status s = ParseValue(out);
+    if (!s.ok()) return s;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::Corruption("trace JSON invalid at byte " +
+                              std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      std::string s;
+      Status status = ParseString(&s);
+      if (!status.ok()) return status;
+      out->value = std::move(s);
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      out->value = true;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      out->value = false;
+      return Status::OK();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      out->value = nullptr;
+      return Status::OK();
+    }
+    return ParseNumber(out);
+  }
+
+  Status ParseObject(JsonValue* out) {
+    ++pos_;  // '{'
+    auto object = std::make_shared<JsonObject>();
+    SkipSpace();
+    if (Consume('}')) {
+      out->value = std::move(object);
+      return Status::OK();
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      JsonValue value;
+      s = ParseValue(&value);
+      if (!s.ok()) return s;
+      (*object)[std::move(key)] = std::move(value);
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Error("expected ',' or '}' in object");
+    }
+    out->value = std::move(object);
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out) {
+    ++pos_;  // '['
+    auto array = std::make_shared<JsonArray>();
+    SkipSpace();
+    if (Consume(']')) {
+      out->value = std::move(array);
+      return Status::OK();
+    }
+    for (;;) {
+      JsonValue value;
+      Status s = ParseValue(&value);
+      if (!s.ok()) return s;
+      array->push_back(std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Error("expected ',' or ']' in array");
+    }
+    out->value = std::move(array);
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Error("short \\u escape");
+            // Pass the escape through verbatim; validation only needs
+            // the string to terminate, not its code points.
+            out->append(text_.substr(pos_ - 2, 6));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Error("unknown escape character");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a JSON value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Error("malformed number '" + token + "'");
+    }
+    out->value = v;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateChromeTrace(std::string_view json) {
+  JsonValue root;
+  Status parsed = JsonParser(json).Parse(&root);
+  if (!parsed.ok()) return parsed;
+  if (!root.is_object()) {
+    return Status::Corruption("trace: top level is not an object");
+  }
+  auto it = root.object().find("traceEvents");
+  if (it == root.object().end() || !it->second.is_array()) {
+    return Status::Corruption("trace: missing traceEvents array");
+  }
+  std::map<double, double> last_ts_per_track;
+  size_t index = 0;
+  for (const JsonValue& event : it->second.array()) {
+    const std::string at = " (event " + std::to_string(index++) + ")";
+    if (!event.is_object()) {
+      return Status::Corruption("trace: event is not an object" + at);
+    }
+    const JsonObject& fields = event.object();
+    auto field = [&](const char* key) -> const JsonValue* {
+      auto fit = fields.find(key);
+      return fit == fields.end() ? nullptr : &fit->second;
+    };
+    const JsonValue* ph = field("ph");
+    const JsonValue* name = field("name");
+    if (ph == nullptr || !ph->is_string() || ph->string().empty()) {
+      return Status::Corruption("trace: event missing ph" + at);
+    }
+    if (name == nullptr || !name->is_string()) {
+      return Status::Corruption("trace: event missing name" + at);
+    }
+    if (ph->string() == "M") continue;  // metadata carries no timestamp
+    const JsonValue* ts = field("ts");
+    const JsonValue* tid = field("tid");
+    if (ts == nullptr || !ts->is_number()) {
+      return Status::Corruption("trace: event missing numeric ts" + at);
+    }
+    if (tid == nullptr || !tid->is_number()) {
+      return Status::Corruption("trace: event missing numeric tid" + at);
+    }
+    if (ph->string() == "X") {
+      const JsonValue* dur = field("dur");
+      if (dur == nullptr || !dur->is_number() || dur->number() < 0) {
+        return Status::Corruption(
+            "trace: span missing non-negative dur" + at);
+      }
+    }
+    auto [track_it, inserted] =
+        last_ts_per_track.try_emplace(tid->number(), ts->number());
+    if (!inserted) {
+      if (ts->number() < track_it->second) {
+        return Status::Corruption(
+            "trace: timestamps regress within track " +
+            JsonNumber(tid->number()) + at);
+      }
+      track_it->second = ts->number();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dphist::obs

@@ -1,0 +1,100 @@
+#ifndef DPHIST_OBS_TRACE_H_
+#define DPHIST_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dphist::obs {
+
+/// One recorded trace event. Timestamps are *simulated* microseconds
+/// (device seconds x 1e6), so Chrome's about://tracing and Perfetto —
+/// whose native unit is microseconds — render the device schedule
+/// directly. Tracks whose events have no simulated time (host-side db
+/// decisions) use a per-track logical sequence instead; either way
+/// timestamps are non-decreasing within a track.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';   ///< 'X' complete span, 'i' instant
+  double ts_us = 0;   ///< start timestamp
+  double dur_us = 0;  ///< span duration (phase 'X' only)
+  uint32_t track = 0; ///< index into Tracer track table (Chrome "tid")
+};
+
+/// Cycle-stamped event recorder, exported as Chrome trace-event JSON
+/// (load in chrome://tracing or https://ui.perfetto.dev). Disabled by
+/// default; when disabled, Span/Instant cost one relaxed atomic load.
+/// Recording is observational only: nothing in the datapath ever reads
+/// the tracer back, so reports are bit-identical with tracing on or off
+/// (asserted by tests/obs/determinism_test.cc).
+///
+/// Thread safety: recording takes one mutex. The instrumented layers only
+/// record from serial phases (session booking, device admission under the
+/// device lock, db-layer decisions), so the lock is uncontended in
+/// practice.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a completed span of `dur_us` starting at `ts_us` on the
+  /// named track (tracks are created on first use).
+  void Span(std::string_view track, std::string_view name,
+            std::string_view category, double ts_us, double dur_us);
+
+  /// Records an instant event at `ts_us`.
+  void Instant(std::string_view track, std::string_view name,
+               std::string_view category, double ts_us);
+
+  /// Instant stamped with the track's own event ordinal — for host-side
+  /// decision points that have no simulated clock. Monotonic per track by
+  /// construction.
+  void InstantSeq(std::string_view track, std::string_view name,
+                  std::string_view category);
+
+  size_t event_count() const;
+  std::vector<TraceEvent> events() const;
+  std::vector<std::string> track_names() const;
+  void Clear();
+
+  /// Serializes everything recorded so far as Chrome trace-event JSON:
+  /// thread_name metadata per track, then the events sorted by
+  /// (track, ts) so per-track timestamps are non-decreasing.
+  std::string ExportChromeTrace() const;
+
+  /// ExportChromeTrace to `path`; IOError on failure.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  uint32_t TrackIdLocked(std::string_view track);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<std::string> tracks_;
+  std::vector<uint64_t> track_event_counts_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Structural validator for the JSON ExportChromeTrace emits (also run in
+/// CI against examples/trace_scan output, independently, with Python):
+/// the input must parse as JSON, hold a traceEvents array of objects with
+/// the required keys, and every track's non-metadata timestamps must be
+/// non-decreasing with non-negative durations. Returns OK or a
+/// Corruption status naming the first violation.
+Status ValidateChromeTrace(std::string_view json);
+
+}  // namespace dphist::obs
+
+#endif  // DPHIST_OBS_TRACE_H_

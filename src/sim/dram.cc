@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace dphist::sim {
 
 Status Dram::AllocateBins(uint64_t bin_count) {
@@ -11,6 +13,12 @@ Status Dram::AllocateBins(uint64_t bin_count) {
         "binned representation exceeds DRAM capacity");
   }
   bins_.assign(bin_count, 0);
+  static obs::Counter* allocations =
+      obs::MetricsRegistry::Global().GetCounter("sim.dram.bin_allocations");
+  static obs::LatencyHistogram* sizes =
+      obs::MetricsRegistry::Global().GetHistogram("sim.dram.region_bins");
+  allocations->Add();
+  sizes->Record(bin_count);
   return Status::OK();
 }
 

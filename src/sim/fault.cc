@@ -1,6 +1,19 @@
 #include "sim/fault.h"
 
+#include "obs/metrics.h"
+
 namespace dphist::sim {
+
+namespace {
+
+/// Registry handles for the injection counters, resolved once. Fault
+/// events are rare by construction, so counting them inline (unlike the
+/// per-access DRAM numbers, which flush per scan) costs nothing.
+obs::Counter* InjectionCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
 
 FaultScenario FaultScenario::None() { return FaultScenario{}; }
 
@@ -56,11 +69,15 @@ double FaultyDram::MaybeSpike() {
   ++fault_stats_.latency_spikes;
   fault_stats_.latency_spike_cycles +=
       injector_.scenario().latency_spike_cycles;
+  static obs::Counter* spikes = InjectionCounter("sim.fault.latency_spikes");
+  spikes->Add();
   return injector_.scenario().latency_spike_cycles;
 }
 
 void FaultyDram::LoseLine(uint64_t line) {
   ++fault_stats_.ecc_errors;
+  static obs::Counter* ecc = InjectionCounter("sim.fault.ecc_errors");
+  ecc->Add();
   const uint64_t first = line * config().bins_per_line();
   for (uint64_t b = first;
        b < first + config().bins_per_line() && b < allocated_bins(); ++b) {
@@ -76,6 +93,8 @@ void FaultyDram::CorruptReadTarget(uint64_t bin_index) {
     // read-modify-write, so the corruption is persistent.
     bins_[bin_index] ^= 1ULL << (injector_.NextBits() % 64);
     ++fault_stats_.bit_flips;
+    static obs::Counter* flips = InjectionCounter("sim.fault.bit_flips");
+    flips->Add();
   }
   if (injector_.Roll(s.ecc_error_probability)) {
     LoseLine(LineOfBin(bin_index));
@@ -95,6 +114,9 @@ double FaultyDram::IssueWrite(double now, uint64_t bin_index) {
     if (stuck == bin_index && stuck < allocated_bins()) {
       bins_[stuck] = s.stuck_value;
       ++fault_stats_.stuck_writes;
+      static obs::Counter* stuck_writes =
+          InjectionCounter("sim.fault.stuck_writes");
+      stuck_writes->Add();
     }
   }
   return accepted + MaybeSpike();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "hist/builders.h"
 #include "hist/dense_reference.h"
 
@@ -74,6 +76,43 @@ TEST(EstimatorTest, SingletonInsideRangeCounted) {
   Estimator est(&h);
   EXPECT_DOUBLE_EQ(est.EstimateRange(20, 30), 30.0);
   EXPECT_DOUBLE_EQ(est.EstimateRange(0, 30), 230.0);
+}
+
+TEST(EstimatorTest, ExtremeRangeBucketWidthsDoNotOverflow) {
+  // Sentinel-range bucket spanning the whole int64 domain: the naive
+  // signed `hi - lo` is UB and used to poison every width computation.
+  Histogram h;
+  h.type = HistogramType::kEquiDepth;
+  h.min_value = INT64_MIN;
+  h.max_value = INT64_MAX;
+  h.total_count = 1000;
+  h.buckets.push_back(Bucket{INT64_MIN, INT64_MAX, 1000, 0});
+  Estimator est(&h);
+
+  const double full_width = 18446744073709551616.0;  // 2^64
+  EXPECT_DOUBLE_EQ(est.EstimateEquals(0), 1000.0 / full_width);
+  EXPECT_DOUBLE_EQ(est.EstimateRange(INT64_MIN, INT64_MAX), 1000.0);
+  // A half-domain slice gets ~half the mass.
+  EXPECT_NEAR(est.EstimateRange(0, INT64_MAX), 500.0, 1e-6);
+  // Overlap of a tiny probe range is proportionally tiny, not NaN or
+  // negative.
+  const double narrow = est.EstimateRange(-5, 5);
+  EXPECT_GT(narrow, 0.0);
+  EXPECT_LT(narrow, 1.0);
+}
+
+TEST(EstimatorTest, ExtremeRangeBucketLessGreaterFinite) {
+  Histogram h;
+  h.type = HistogramType::kMaxDiff;
+  h.min_value = INT64_MIN;
+  h.max_value = INT64_MAX;
+  h.total_count = 100;
+  h.buckets.push_back(Bucket{INT64_MIN, -1, 50, 0});
+  h.buckets.push_back(Bucket{0, INT64_MAX, 50, 0});
+  Estimator est(&h);
+  EXPECT_NEAR(est.EstimateLess(0), 50.0, 1e-6);
+  EXPECT_NEAR(est.EstimateGreater(-1), 50.0, 1e-6);
+  EXPECT_DOUBLE_EQ(est.EstimateRange(INT64_MIN, INT64_MAX), 100.0);
 }
 
 TEST(EstimatorTest, CompressedHistogramSpikesExactOnRealData) {

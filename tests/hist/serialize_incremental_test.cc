@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "common/random.h"
 #include "hist/dense_reference.h"
 #include "hist/incremental.h"
@@ -39,6 +41,35 @@ TEST(SerializeTest, NegativeDomainsSurvive) {
   auto decoded = DeserializeHistogram(SerializeHistogram(h));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->buckets, h.buckets);
+}
+
+TEST(SerializeTest, ExtremeDomainRoundTrip) {
+  // Negative and sentinel-extreme values cross the encoder's
+  // int64 <-> uint64 casts; they must come back bit-exact.
+  Histogram h;
+  h.type = HistogramType::kMaxDiff;
+  h.min_value = INT64_MIN;
+  h.max_value = INT64_MAX;
+  h.total_count = 10;
+  h.buckets.push_back(Bucket{INT64_MIN, -1, 4, 2});
+  h.buckets.push_back(Bucket{0, INT64_MAX, 6, 3});
+  h.singletons.push_back(ValueCount{INT64_MIN, 1});
+  h.singletons.push_back(ValueCount{-42, 4});
+  h.singletons.push_back(ValueCount{INT64_MAX, 5});
+  auto decoded = DeserializeHistogram(SerializeHistogram(h));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->min_value, INT64_MIN);
+  EXPECT_EQ(decoded->max_value, INT64_MAX);
+  EXPECT_EQ(decoded->buckets, h.buckets);
+  EXPECT_EQ(decoded->singletons, h.singletons);
+}
+
+TEST(SerializeTest, RejectsSingleTrailingByte) {
+  // The sharpest trailing-bytes edge: exactly one extra byte after a
+  // valid payload must fail the AtEnd() check, not be silently ignored.
+  auto bytes = SerializeHistogram(SampleHistogram());
+  bytes.push_back(0xAB);
+  EXPECT_FALSE(DeserializeHistogram(bytes).ok());
 }
 
 TEST(SerializeTest, EmptyHistogram) {

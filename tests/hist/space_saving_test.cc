@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "common/random.h"
 #include "hist/dense_reference.h"
 #include "workload/distributions.h"
@@ -63,6 +65,47 @@ TEST(SpaceSavingTest, ErrorBoundIsItemsOverCapacity) {
   SpaceSaving sketch(100);
   for (int64_t v : stream) sketch.Offer(v);
   EXPECT_LE(sketch.max_error(), sketch.items() / sketch.capacity() + 1);
+}
+
+TEST(SpaceSavingTest, DeterministicMinVictimOnTies) {
+  // The victim is the minimum counter, ties broken toward the smallest
+  // value — the newcomer inherits exactly that count as its error bound.
+  SpaceSaving sketch(2);
+  sketch.Offer(10);
+  sketch.Offer(20);
+  sketch.Offer(30);  // evicts 10 (count 1, smallest value of the tie)
+  auto top = sketch.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], (ValueCount{30, 2}));  // 1 inherited + 1 own
+  EXPECT_EQ(top[1], (ValueCount{20, 1}));
+}
+
+TEST(SpaceSavingTest, EvictionHeavyStreamStaysCheap) {
+  // All-distinct stream at full capacity: every Offer after warm-up
+  // evicts, the worst case for victim selection. The lazy min-heap makes
+  // this O(n log capacity); the old O(n * capacity) scan took tens of
+  // seconds at this size. The generous wall-clock bound only trips on an
+  // asymptotic regression, not on machine noise.
+  constexpr size_t kCapacity = 8192;
+  constexpr int64_t kItems = 1000000;
+  SpaceSaving sketch(kCapacity);
+  const auto start = std::chrono::steady_clock::now();
+  for (int64_t v = 0; v < kItems; ++v) sketch.Offer(v);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(seconds, 5.0) << "eviction path has regressed asymptotically";
+
+  EXPECT_EQ(sketch.items(), static_cast<uint64_t>(kItems));
+  EXPECT_LE(sketch.max_error(), sketch.items() / sketch.capacity() + 1);
+  // Monitored set is exactly capacity-sized and never undercounts: on an
+  // all-distinct stream every true count is 1.
+  auto monitored = sketch.TopK(kCapacity);
+  ASSERT_EQ(monitored.size(), kCapacity);
+  for (const auto& entry : monitored) {
+    EXPECT_GE(entry.count, 1u);
+    EXPECT_LE(entry.count, sketch.max_error() + 1);
+  }
 }
 
 TEST(SpaceSavingTest, AgreesWithExactTopKOnSkewedData) {

@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dphist::obs {
+namespace {
+
+/// Every test scopes itself to a private counter namespace and restores
+/// the global enable flag; the registry itself is process-global.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetMetricsEnabled(true); }
+};
+
+TEST_F(MetricsTest, CounterAddAndSnapshot) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.metrics.counter_a");
+  c->Reset();
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counters.at("test.metrics.counter_a"), 42u);
+}
+
+TEST_F(MetricsTest, RegistryHandsOutStablePointers) {
+  Counter* a = MetricsRegistry::Global().GetCounter("test.metrics.stable");
+  Counter* b = MetricsRegistry::Global().GetCounter("test.metrics.stable");
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsDropped) {
+  Counter* c = MetricsRegistry::Global().GetCounter("test.metrics.gated");
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.metrics.gated_gauge");
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.metrics.gated_hist");
+  c->Reset();
+  g->Reset();
+  h->Reset();
+  SetMetricsEnabled(false);
+  c->Add(100);
+  g->Set(7);
+  h->Record(1000);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  SetMetricsEnabled(true);
+  c->Add(1);
+  EXPECT_EQ(c->value(), 1u);
+}
+
+TEST_F(MetricsTest, GaugeSetAddAndNegative) {
+  Gauge* g = MetricsRegistry::Global().GetGauge("test.metrics.gauge_a");
+  g->Reset();
+  g->Set(10);
+  g->Add(-25);
+  EXPECT_EQ(g->value(), -15);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndPercentiles) {
+  EXPECT_EQ(LatencyHistogram::BucketOf(0), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1), 0u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(2), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(3), 1u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(4), 2u);
+  EXPECT_EQ(LatencyHistogram::BucketOf(1024), 10u);
+
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.metrics.hist_a");
+  h->Reset();
+  for (int i = 0; i < 99; ++i) h->Record(10);   // bucket 3: [8,16)
+  h->Record(100000);                            // bucket 16
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_EQ(h->sum(), 99u * 10 + 100000);
+  // p50 lands in the dense bucket, p99+ rides up toward the outlier.
+  EXPECT_LE(h->PercentileUpperBound(0.50), 15u);
+  EXPECT_GE(h->PercentileUpperBound(0.999), 100000u);
+  EXPECT_EQ(LatencyHistogram().PercentileUpperBound(0.5), 0u);
+}
+
+TEST_F(MetricsTest, DiffSnapshotsDropsUnmovedCounters) {
+  Counter* moved = MetricsRegistry::Global().GetCounter("test.metrics.moved");
+  Counter* still = MetricsRegistry::Global().GetCounter("test.metrics.still");
+  moved->Reset();
+  still->Reset();
+  still->Add(5);
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  moved->Add(3);
+  MetricsSnapshot after = MetricsRegistry::Global().Snapshot();
+  MetricsSnapshot diff = DiffSnapshots(before, after);
+  EXPECT_EQ(diff.counters.at("test.metrics.moved"), 3u);
+  EXPECT_EQ(diff.counters.count("test.metrics.still"), 0u);
+}
+
+TEST_F(MetricsTest, DiffSnapshotsHistogramDeltas) {
+  LatencyHistogram* h =
+      MetricsRegistry::Global().GetHistogram("test.metrics.hist_diff");
+  h->Reset();
+  h->Record(4);
+  MetricsSnapshot before = MetricsRegistry::Global().Snapshot();
+  h->Record(8);
+  h->Record(8);
+  MetricsSnapshot diff =
+      DiffSnapshots(before, MetricsRegistry::Global().Snapshot());
+  EXPECT_EQ(diff.histograms.at("test.metrics.hist_diff").count, 2u);
+  EXPECT_EQ(diff.histograms.at("test.metrics.hist_diff").sum, 16u);
+}
+
+TEST_F(MetricsTest, ConcurrentAddsDoNotLose) {
+  Counter* c =
+      MetricsRegistry::Global().GetCounter("test.metrics.concurrent");
+  c->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kAdds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (int i = 0; i < kAdds; ++i) c->Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST_F(MetricsTest, ConcurrentRegistrationIsSafe) {
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(8, nullptr);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t, &seen] {
+      seen[t] =
+          MetricsRegistry::Global().GetCounter("test.metrics.race_reg");
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < 8; ++t) EXPECT_EQ(seen[t], seen[0]);
+}
+
+}  // namespace
+}  // namespace dphist::obs

@@ -1,0 +1,190 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "accel/scan_pipeline.h"
+#include "workload/distributions.h"
+#include "workload/tpch.h"
+
+namespace dphist::obs {
+namespace {
+
+/// The tracer is process-global; every test starts from a cleared,
+/// disabled tracer and leaves it that way (the library default).
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Clear();
+  }
+  void TearDown() override {
+    Tracer::Global().SetEnabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndDropsEvents) {
+  Tracer& tracer = Tracer::Global();
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Span("t", "ignored", "cat", 0, 10);
+  tracer.Instant("t", "ignored", "cat", 5);
+  tracer.InstantSeq("t", "ignored", "cat");
+  EXPECT_EQ(tracer.event_count(), 0u);
+}
+
+TEST_F(TraceTest, RecordsSpansInstantsAndTracks) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);
+  tracer.Span("track_a", "span1", "cat", 100, 50);
+  tracer.Instant("track_b", "mark", "cat", 120);
+  tracer.InstantSeq("track_c", "seq0", "cat");
+  tracer.InstantSeq("track_c", "seq1", "cat");
+
+  EXPECT_EQ(tracer.event_count(), 4u);
+  std::vector<std::string> tracks = tracer.track_names();
+  ASSERT_EQ(tracks.size(), 3u);
+  EXPECT_EQ(tracks[0], "track_a");
+  EXPECT_EQ(tracks[1], "track_b");
+  EXPECT_EQ(tracks[2], "track_c");
+
+  std::vector<TraceEvent> events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].name, "span1");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_DOUBLE_EQ(events[0].ts_us, 100);
+  EXPECT_DOUBLE_EQ(events[0].dur_us, 50);
+  EXPECT_EQ(events[1].phase, 'i');
+  // InstantSeq stamps the track's own event ordinal: 0 then 1.
+  EXPECT_DOUBLE_EQ(events[2].ts_us, 0);
+  EXPECT_DOUBLE_EQ(events[3].ts_us, 1);
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_TRUE(tracer.track_names().empty());
+}
+
+TEST_F(TraceTest, ExportedJsonValidates) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);
+  tracer.Span("pipeline", "stage \"quoted\"\n", "cat", 0, 10);
+  tracer.Span("pipeline", "stage2", "cat", 10, 5);
+  tracer.Instant("marks", "tick", "cat", 3);
+
+  const std::string json = tracer.ExportChromeTrace();
+  EXPECT_TRUE(ValidateChromeTrace(json).ok()) << json;
+  // Chrome's loader wants the top-level traceEvents key and metadata
+  // naming each track.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("pipeline"), std::string::npos);
+}
+
+TEST_F(TraceTest, ValidatorRejectsMalformedInput) {
+  EXPECT_FALSE(ValidateChromeTrace("").ok());
+  EXPECT_FALSE(ValidateChromeTrace("not json").ok());
+  EXPECT_FALSE(ValidateChromeTrace("[]").ok());  // top level must be object
+  EXPECT_FALSE(ValidateChromeTrace("{\"foo\": 1}").ok());  // no traceEvents
+  EXPECT_FALSE(ValidateChromeTrace("{\"traceEvents\": 3}").ok());
+  // Event missing the required name.
+  EXPECT_FALSE(ValidateChromeTrace(
+                   R"({"traceEvents": [{"ph": "i", "ts": 1, "tid": 0}]})")
+                   .ok());
+  // Negative duration on a complete span.
+  EXPECT_FALSE(
+      ValidateChromeTrace(
+          R"({"traceEvents": [{"name": "a", "ph": "X", "ts": 1, "dur": -2, "tid": 0}]})")
+          .ok());
+  // Regressing timestamps within one track.
+  EXPECT_FALSE(
+      ValidateChromeTrace(
+          R"({"traceEvents": [
+               {"name": "a", "ph": "i", "ts": 10, "tid": 0},
+               {"name": "b", "ph": "i", "ts": 5, "tid": 0}]})")
+          .ok());
+  // Same timestamps on different tracks are fine.
+  EXPECT_TRUE(
+      ValidateChromeTrace(
+          R"({"traceEvents": [
+               {"name": "a", "ph": "i", "ts": 10, "tid": 0},
+               {"name": "b", "ph": "i", "ts": 5, "tid": 1}]})")
+          .ok());
+}
+
+/// The acceptance bar for the instrumentation: one traced pipelined
+/// multi-column scan must put at least one span on every instrumented
+/// stage — parse+bin, each histogram block, the chain summary, and the
+/// device front/chain/region tracks.
+TEST_F(TraceTest, TracedPipelinedScanCoversEveryStage) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(true);
+
+  workload::LineitemOptions li;
+  li.scale_factor = 0.002;
+  li.seed = 3;
+  page::TableFile table = workload::GenerateLineitem(li);
+
+  auto scan_of = [&](size_t column, int64_t min_value, int64_t max_value,
+                     int64_t granularity) {
+    accel::PipelinedScan scan;
+    scan.table = &table;
+    scan.request.column_index = column;
+    scan.request.min_value = min_value;
+    scan.request.max_value = max_value;
+    scan.request.granularity = granularity;
+    scan.request.num_buckets = 32;
+    scan.request.top_k = 8;
+    return scan;
+  };
+  std::vector<accel::PipelinedScan> scans = {
+      scan_of(workload::kLQuantity, workload::kQuantityMin,
+              workload::kQuantityMax, 1),
+      scan_of(workload::kLDiscount, 0, workload::kDiscountScaledMax, 1),
+  };
+  auto report = accel::RunScanPipeline(accel::AcceleratorConfig{}, scans,
+                                       /*num_regions=*/2);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  const std::vector<std::string> tracks = tracer.track_names();
+  const std::vector<TraceEvent> events = tracer.events();
+  std::map<std::string, int> spans_by_name;
+  std::map<std::string, int> events_by_track;
+  for (const TraceEvent& e : events) {
+    if (e.phase == 'X') ++spans_by_name[e.name];
+    ++events_by_track[tracks[e.track]];
+  }
+
+  // One span per stage per scan.
+  const int num_scans = static_cast<int>(scans.size());
+  EXPECT_EQ(spans_by_name["parse+bin"], num_scans);
+  EXPECT_EQ(spans_by_name["histogram chain"], num_scans);
+  EXPECT_EQ(spans_by_name["TopK"], num_scans);
+  EXPECT_EQ(spans_by_name["Equi-depth"], num_scans);
+  EXPECT_EQ(spans_by_name["Max-diff"], num_scans);
+  EXPECT_EQ(spans_by_name["Compressed"], num_scans);
+  // Device occupancy tracks: front end, chain, and at least one region
+  // lease per scan.
+  EXPECT_EQ(events_by_track["device/front"], num_scans);
+  EXPECT_EQ(events_by_track["device/chain"], num_scans);
+  int region_events = 0;
+  for (const auto& [name, count] : events_by_track) {
+    if (name.rfind("device/region", 0) == 0) region_events += count;
+  }
+  EXPECT_EQ(region_events, num_scans);
+  // Per-scan timeline tracks exist ("scan/<ordinal>").
+  EXPECT_GE(std::count_if(tracks.begin(), tracks.end(),
+                          [](const std::string& t) {
+                            return t.rfind("scan/", 0) == 0;
+                          }),
+            num_scans);
+
+  // And the whole recording round-trips through the exporter.
+  EXPECT_TRUE(ValidateChromeTrace(tracer.ExportChromeTrace()).ok());
+}
+
+}  // namespace
+}  // namespace dphist::obs
