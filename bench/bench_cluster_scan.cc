@@ -1,0 +1,156 @@
+// Sweeps the ClusterCoordinator over 1/2/4/8 shards on one TPC-H-style
+// lineitem table. Shard devices are independent simulated cards, so the
+// cluster's simulated makespan is the slowest shard's device time —
+// near-1/N scaling for a balanced hash partition — while the merged
+// statistics are asserted bit-identical to the 1-shard baseline at every
+// shard count (the mergeable-histogram algebra's contract). The merge
+// itself is host work and is reported separately.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cluster/coordinator.h"
+#include "obs/metrics.h"
+#include "workload/tpch.h"
+
+namespace dphist {
+namespace {
+
+/// Serialized fingerprint of everything the merge must keep invariant.
+std::string Fingerprint(const cluster::ClusterScanReport& report) {
+  std::string fp;
+  fp += "rows=" + std::to_string(report.rows);
+  fp += " ndv=" + std::to_string(report.distinct_values);
+  fp += " bins=" + std::to_string(report.num_bins);
+  for (const hist::ValueCount& e : report.histograms.top_k) {
+    fp += " tk:" + std::to_string(e.value) + "x" + std::to_string(e.count);
+  }
+  fp += "\n";
+  fp += report.histograms.equi_depth.ToString();
+  fp += "\n";
+  fp += report.histograms.max_diff.ToString();
+  fp += "\n";
+  fp += report.histograms.compressed.ToString();
+  return fp;
+}
+
+void Run() {
+  const uint64_t rows = bench::Scaled(120000);
+  workload::LineitemOptions li;
+  li.scale_factor = static_cast<double>(rows) / 6000000.0;
+  li.row_limit = rows;
+  li.seed = 13;
+  page::TableFile table = workload::GenerateLineitem(li);
+
+  accel::ScanRequest request;
+  request.column_index = workload::kLQuantity;
+  request.min_value = workload::kQuantityMin;
+  request.max_value = workload::kQuantityMax;
+  request.num_buckets = 64;
+  request.top_k = 32;
+
+  std::printf("lineitem: %llu rows, scan column l_quantity [%lld, %lld]\n\n",
+              static_cast<unsigned long long>(table.row_count()),
+              static_cast<long long>(request.min_value),
+              static_cast<long long>(request.max_value));
+
+  bench::TablePrinter printer({"shards", "wall (s)", "rows/s", "sim (s)",
+                               "sim speedup", "merge (ms)"},
+                              15);
+  bench::JsonWriter json("cluster_scan");
+  json.Meta("reproduces",
+            "sharded cluster scan: simulated makespan vs shard count at "
+            "bit-identical merged statistics");
+  json.MetaNum("rows", static_cast<double>(table.row_count()));
+  json.MetaNum("num_buckets", request.num_buckets);
+  json.MetaNum("top_k", request.top_k);
+  printer.AttachJson(&json);
+  printer.PrintHeader();
+
+  obs::MetricsRegistry::Global().ResetAll();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+
+  std::string baseline;
+  double sim_1shard = 0;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    cluster::ClusterOptions options;
+    options.num_shards = shards;
+    options.partition.key_column = workload::kLOrderKey;
+    cluster::ClusterCoordinator coordinator(options);
+
+    const auto start = std::chrono::steady_clock::now();
+    Result<cluster::ClusterScanReport> report =
+        coordinator.ScanTable(table, request);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!report.ok()) {
+      std::fprintf(stderr, "cluster scan failed at %u shards: %s\n", shards,
+                   report.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (report->shards_failed != 0 || report->coverage != 1.0) {
+      std::fprintf(stderr, "unexpected degradation at %u shards\n", shards);
+      std::exit(1);
+    }
+
+    const std::string fp = Fingerprint(*report);
+    if (shards == 1) {
+      baseline = fp;
+      sim_1shard = report->slowest_shard_seconds;
+    } else if (fp != baseline) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: merged statistics at %u shards "
+                   "differ from the 1-shard baseline\n",
+                   shards);
+      std::exit(1);
+    }
+
+    const double sim = report->slowest_shard_seconds;
+    const double sim_speedup = sim > 0 ? sim_1shard / sim : 0;
+    char speedup_text[16];
+    std::snprintf(speedup_text, sizeof(speedup_text), "%.2fx", sim_speedup);
+    printer.PrintRow(
+        {bench::TablePrinter::FmtInt(shards), bench::TablePrinter::Fmt(wall),
+         bench::TablePrinter::Fmt(static_cast<double>(table.row_count()) /
+                                  wall),
+         bench::TablePrinter::Fmt(sim), speedup_text,
+         bench::TablePrinter::Fmt(report->merge_seconds * 1e3)});
+    json.Num("num_shards", shards);
+    json.Num("wall_seconds", wall);
+    json.Num("rows_per_second",
+             static_cast<double>(table.row_count()) / wall);
+    json.Num("sim_makespan_seconds", sim);
+    json.Num("sim_speedup_vs_1shard", sim_speedup);
+    json.Num("merge_seconds", report->merge_seconds);
+  }
+
+  std::printf(
+      "\nExpected shape: merged statistics bit-identical at every shard "
+      "count (verified above); simulated makespan scales ~1/N with the "
+      "balanced hash partition; merge time stays microseconds (one "
+      "element-wise sum plus re-derivation over %u bins).\n",
+      static_cast<unsigned>(request.max_value - request.min_value + 1));
+  json.Metrics(obs::DiffSnapshots(
+      before, obs::MetricsRegistry::Global().Snapshot()));
+  json.WriteFile();
+}
+
+}  // namespace
+}  // namespace dphist
+
+int main() {
+  dphist::bench::PrintBanner(
+      "bench_cluster_scan",
+      "sharded multi-device cluster scans, 1/2/4/8 shards",
+      "merged statistics are shard-count independent; simulated makespan "
+      "is the slowest shard");
+  dphist::Run();
+  return 0;
+}

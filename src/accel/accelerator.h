@@ -13,6 +13,7 @@
 #include "accel/config.h"
 #include "accel/histogram_module.h"
 #include "common/result.h"
+#include "hist/merge.h"
 #include "hist/types.h"
 #include "page/table_file.h"
 #include "sim/dram.h"
@@ -39,6 +40,13 @@ struct ScanRequest {
   bool want_equi_depth = true;
   bool want_max_diff = true;
   bool want_compressed = true;
+
+  /// Export the raw binned representation in the report (an untimed host
+  /// readback of the region's bins, taken before the histogram chain
+  /// drains them). Off by default — serial consumers never pay for the
+  /// copy — and required by cluster scans, whose merge algebra
+  /// (hist/merge.h) recombines shards from exactly these bins.
+  bool want_bins = false;
 };
 
 /// All statistics produced by one pass, converted back to value space.
@@ -114,6 +122,10 @@ struct AcceleratorReport {
   uint64_t rows = 0;
   uint64_t num_bins = 0;
   uint64_t distinct_values = 0;  ///< non-zero bins (exact NDV per bin domain)
+  /// The binned representation itself (request.want_bins only; empty
+  /// otherwise). Snapshot taken before the histogram chain's timed drain,
+  /// so DRAM fault injection during the drain cannot corrupt it.
+  hist::BinnedCounts bins;
 
   /// Cut-through: time for the table to stream over the input link.
   double stream_seconds = 0;

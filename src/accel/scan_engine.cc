@@ -243,8 +243,16 @@ AcceleratorReport ScanSession::ComputeReport() {
   report.rows = rows;
   report.num_bins = prep.num_bins();
   report.corrupt_pages = corrupt_pages;
+  if (request.want_bins) {
+    report.bins.min_value = prep.config().min_value;
+    report.bins.max_value = prep.config().max_value;
+    report.bins.granularity = prep.config().granularity;
+    report.bins.counts.reserve(prep.num_bins());
+  }
   for (uint64_t i = 0; i < prep.num_bins(); ++i) {
-    report.distinct_values += (channel->ReadBin(i) != 0);
+    const uint64_t count = channel->ReadBin(i);
+    report.distinct_values += (count != 0);
+    if (request.want_bins) report.bins.counts.push_back(count);
   }
 
   // Histogram module: daisy chain in the paper's order.

@@ -1,0 +1,269 @@
+#include "cluster/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "accel/scan_executor.h"
+#include "common/logging.h"
+#include "common/macros.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dphist::cluster {
+
+namespace {
+
+obs::Counter* ClusterCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+db::ColumnStats StatsFromClusterReport(const ClusterScanReport& report,
+                                       const accel::ScanRequest& request) {
+  db::ColumnStats stats;
+  stats.valid = true;
+  if (!report.histograms.compressed.buckets.empty() ||
+      !report.histograms.compressed.singletons.empty()) {
+    stats.histogram = report.histograms.compressed;
+  } else {
+    stats.histogram = report.histograms.equi_depth;
+  }
+  stats.top_k = report.histograms.top_k;
+  stats.row_count = report.rows;
+  stats.ndv = report.distinct_values;
+  stats.min_value = request.min_value;
+  stats.max_value = request.max_value;
+  stats.sampling_rate = 1.0;  // every surviving shard saw every arriving row
+  stats.build_seconds = report.slowest_shard_seconds + report.merge_seconds;
+  // One Degrade call composes both cluster-level loss (dead shards) and
+  // within-shard quality: report.coverage already multiplies them per
+  // shard, and Degrade stacks it onto whatever the stats object carries
+  // (1.0 here) instead of overwriting a previous writer's value.
+  stats.Degrade(report.coverage);
+  return stats;
+}
+
+ClusterCoordinator::ClusterCoordinator(ClusterOptions options)
+    : options_(std::move(options)) {
+  DPHIST_CHECK_GT(options_.num_shards, 0u);
+  devices_.reserve(options_.num_shards);
+  for (uint32_t i = 0; i < options_.num_shards; ++i) {
+    accel::AcceleratorConfig config = options_.device_config;
+    if (i < options_.shard_faults.size()) {
+      config.faults = options_.shard_faults[i];
+    }
+    devices_.push_back(
+        std::make_unique<accel::Device>(config, options_.regions_per_shard));
+  }
+}
+
+ShardScanResult ClusterCoordinator::RunShard(
+    uint32_t shard, const page::TableFile& shard_table,
+    const accel::ScanRequest& request) {
+  static obs::Counter* shard_scans = ClusterCounter("cluster.shard_scans");
+
+  ShardScanResult result;
+  result.shard = shard;
+  result.rows_offered = shard_table.row_count();
+
+  accel::ScanJob job;
+  job.table = &shard_table;
+  job.request = request;
+  accel::ExecutorOptions exec_options;
+  exec_options.num_threads = options_.threads_per_shard;
+
+  const uint32_t max_attempts =
+      std::max<uint32_t>(1, options_.retry.max_attempts);
+  double backoff = options_.retry.initial_backoff_seconds;
+  for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++result.attempts;
+    shard_scans->Add();
+    std::vector<accel::ScanOutcome> outcomes =
+        accel::ScanExecutor(devices_[shard].get(), exec_options)
+            .Run(std::span<const accel::ScanJob>(&job, 1));
+    result.status = std::move(outcomes[0].status);
+    if (result.status.ok()) {
+      result.report = std::move(outcomes[0].report);
+      return result;
+    }
+    if (attempt < max_attempts) {
+      result.backoff_seconds += backoff;
+      backoff *= options_.retry.backoff_multiplier;
+    }
+  }
+  Log(LogLevel::kWarning,
+      "cluster scan: shard %u failed after %u attempts: %s", shard,
+      result.attempts, result.status.ToString().c_str());
+  return result;
+}
+
+Result<ClusterScanReport> ClusterCoordinator::ScanTable(
+    const page::TableFile& table, const accel::ScanRequest& request) {
+  PartitionerOptions partition = options_.partition;
+  if (partition.key_column == kPartitionByScanColumn) {
+    partition.key_column = request.column_index;
+  }
+  DPHIST_ASSIGN_OR_RETURN(
+      std::vector<page::TableFile> shard_tables,
+      Partitioner::Split(table, num_shards(), partition));
+
+  accel::ScanRequest shard_request = request;
+  shard_request.want_bins = true;  // the merge algebra's raw material
+
+  // Fan out: one host thread per shard; each touches only its own
+  // device, its own shard table, and its own result slot.
+  std::vector<ShardScanResult> results(num_shards());
+  std::vector<std::thread> workers;
+  workers.reserve(num_shards());
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    workers.emplace_back([this, i, &shard_tables, &shard_request, &results] {
+      results[i] = RunShard(i, shard_tables[i], shard_request);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  return MergeShardResults(request, std::move(results));
+}
+
+Result<ClusterScanReport> ClusterCoordinator::MergeShardResults(
+    const accel::ScanRequest& request,
+    std::vector<ShardScanResult> results) {
+  static obs::Counter* merge_ns = ClusterCounter("cluster.merge_ns");
+  static obs::Counter* partial_results =
+      ClusterCounter("cluster.partial_results");
+
+  ClusterScanReport report;
+  report.shards_total = num_shards();
+
+  // Serial accumulation in shard-id order: the merge input (and with it
+  // every derived statistic) is independent of which shard finished
+  // first.
+  uint64_t rows_offered_total = 0;
+  double weighted_coverage = 0;
+  bool all_complete = true;
+  std::vector<hist::BinnedCounts> shard_bins;
+  shard_bins.reserve(results.size());
+  for (ShardScanResult& r : results) {
+    rows_offered_total += r.rows_offered;
+    if (!r.status.ok()) {
+      ++report.shards_failed;
+      all_complete = false;
+      continue;
+    }
+    ++report.shards_ok;
+    weighted_coverage +=
+        static_cast<double>(r.rows_offered) * r.report.quality.Coverage();
+    all_complete = all_complete && r.report.quality.complete();
+    report.rows += r.report.rows;
+    report.slowest_shard_seconds =
+        std::max(report.slowest_shard_seconds, r.report.total_seconds);
+    report.quality.pages_total += r.report.quality.pages_total;
+    report.quality.pages_dropped += r.report.quality.pages_dropped;
+    report.quality.pages_corrupt += r.report.quality.pages_corrupt;
+    report.quality.rows_seen += r.report.quality.rows_seen;
+    report.quality.rows_dropped += r.report.quality.rows_dropped;
+    report.quality.bins_total += r.report.quality.bins_total;
+    report.quality.bins_lost += r.report.quality.bins_lost;
+    report.quality.bit_flips += r.report.quality.bit_flips;
+    report.quality.latency_spikes += r.report.quality.latency_spikes;
+    report.quality.faults_observed += r.report.quality.faults_observed;
+    shard_bins.push_back(std::move(r.report.bins));
+    r.report.bins = hist::BinnedCounts{};
+  }
+
+  // Coverage: each live shard describes its own row fraction at its own
+  // quality; dead shards describe nothing. Kept exactly 1.0 on the clean
+  // path so float dust never demotes a complete scan.
+  if (report.shards_failed == 0 && all_complete) {
+    report.coverage = 1.0;
+  } else if (rows_offered_total > 0) {
+    report.coverage =
+        weighted_coverage / static_cast<double>(rows_offered_total);
+  } else {
+    report.coverage = report.shards_failed == 0 ? 1.0 : 0.0;
+  }
+
+  const auto merge_start = std::chrono::steady_clock::now();
+  if (!shard_bins.empty()) {
+    DPHIST_ASSIGN_OR_RETURN(report.bins, hist::MergeBinnedCounts(shard_bins));
+    report.num_bins = report.bins.counts.size();
+    report.distinct_values = report.bins.NonZeroBins();
+    if (request.want_topk) {
+      report.histograms.top_k =
+          hist::TopKFromBinned(report.bins, request.top_k);
+    }
+    if (request.want_equi_depth) {
+      report.histograms.equi_depth = hist::EquiDepthFromBinned(
+          report.bins, request.num_buckets, report.rows);
+    }
+    if (request.want_max_diff) {
+      report.histograms.max_diff = hist::MaxDiffFromBinned(
+          report.bins, request.num_buckets, report.rows);
+    }
+    if (request.want_compressed) {
+      report.histograms.compressed = hist::CompressedFromBinned(
+          report.bins, request.num_buckets, request.top_k, report.rows);
+    }
+  }
+  report.merge_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    merge_start)
+          .count();
+  merge_ns->Add(static_cast<uint64_t>(report.merge_seconds * 1e9));
+  if (report.partial()) partial_results->Add();
+
+  // Trace: one track per shard in the device's simulated time domain
+  // (each card's origin is its own construction), plus coordinator
+  // decisions as ordinal instants. Emitted serially, after the join.
+  obs::Tracer& tracer = obs::Tracer::Global();
+  if (tracer.enabled()) {
+    for (const ShardScanResult& r : results) {
+      if (!r.status.ok()) {
+        tracer.InstantSeq("cluster/coordinator", "shard failed", "cluster");
+        continue;
+      }
+      const std::string track = "cluster/shard" + std::to_string(r.shard);
+      const std::vector<accel::ScanTimeline> timelines =
+          devices_[r.shard]->completed_timelines();
+      if (timelines.empty()) continue;
+      const accel::ScanTimeline& t = timelines.back();
+      tracer.Span(track, "bin", "cluster", t.bin_start_seconds * 1e6,
+                  (t.bin_finish_seconds - t.bin_start_seconds) * 1e6);
+      tracer.Span(track, "histogram chain", "cluster",
+                  t.bin_finish_seconds * 1e6,
+                  (t.histogram_finish_seconds - t.bin_finish_seconds) * 1e6);
+    }
+    tracer.InstantSeq("cluster/coordinator", "merge", "cluster");
+  }
+
+  report.shards = std::move(results);
+  return report;
+}
+
+Result<ClusterScanReport> ClusterCoordinator::ScanAndRefresh(
+    db::Catalog* catalog, const std::string& table_name, size_t column,
+    const accel::ScanRequest& request) {
+  DPHIST_ASSIGN_OR_RETURN(db::TableEntry * entry, catalog->Find(table_name));
+  if (column >= entry->table->schema().num_columns()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  accel::ScanRequest scan = request;
+  scan.column_index = column;
+  DPHIST_ASSIGN_OR_RETURN(ClusterScanReport report,
+                          ScanTable(*entry->table, scan));
+  if (report.shards_ok > 0) {
+    DPHIST_RETURN_NOT_OK(catalog->SetColumnStats(
+        table_name, column, StatsFromClusterReport(report, scan)));
+  } else {
+    Log(LogLevel::kError,
+        "cluster scan: every shard failed for '%s' col %zu; previous stats "
+        "retained",
+        table_name.c_str(), column);
+  }
+  return report;
+}
+
+}  // namespace dphist::cluster

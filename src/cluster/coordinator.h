@@ -1,0 +1,153 @@
+#ifndef DPHIST_CLUSTER_COORDINATOR_H_
+#define DPHIST_CLUSTER_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/config.h"
+#include "accel/device.h"
+#include "cluster/partitioner.h"
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/resilient.h"
+#include "hist/merge.h"
+#include "page/table_file.h"
+#include "sim/fault.h"
+
+namespace dphist::cluster {
+
+/// Sentinel for PartitionerOptions::key_column: partition by the column
+/// the scan request targets.
+inline constexpr size_t kPartitionByScanColumn = static_cast<size_t>(-1);
+
+struct ClusterOptions {
+  uint32_t num_shards = 4;
+  /// Row routing. key_column defaults to the scanned column; for kRange
+  /// with range_min == range_max the partitioner derives the domain from
+  /// the data.
+  PartitionerOptions partition{PartitionPolicy::kHash,
+                               kPartitionByScanColumn, 0, 0};
+  /// Base configuration every shard device is built from.
+  accel::AcceleratorConfig device_config;
+  /// Per-shard fault overrides (index = shard id; shards beyond the
+  /// vector keep device_config.faults). This is how tests and examples
+  /// take one shard down: shard_faults[2] = FaultScenario::DeviceOutage().
+  std::vector<sim::FaultScenario> shard_faults;
+  uint32_t regions_per_shard = accel::Device::kDefaultBinRegions;
+  /// Host threads of each shard's ScanExecutor. Results are bit-identical
+  /// at any value (the executor's contract); threads buy wall-clock only.
+  uint32_t threads_per_shard = 1;
+  /// Per-shard retry (same policy object the ResilientScanner uses);
+  /// backoff is modelled seconds, accumulated in the shard result.
+  db::RetryPolicy retry;
+};
+
+/// What happened on one shard, in shard-id order.
+struct ShardScanResult {
+  uint32_t shard = 0;
+  Status status = Status::OK();  ///< last attempt; OK means report is valid
+  accel::AcceleratorReport report;
+  uint64_t rows_offered = 0;  ///< rows the partitioner routed to this shard
+  uint32_t attempts = 0;
+  double backoff_seconds = 0;  ///< modelled retry backoff, summed
+};
+
+/// The merged cluster-wide result. Statistics are re-derived from the
+/// exact merged bins (hist/merge.h), so they are deterministic and
+/// independent of shard count and host threading; a single-shard cluster
+/// reproduces the serial Accelerator facade bit-for-bit.
+struct ClusterScanReport {
+  accel::HistogramSet histograms;  ///< merged, value space
+  hist::BinnedCounts bins;         ///< the merged binned representation
+  uint64_t rows = 0;               ///< parser rows summed over live shards
+  uint64_t num_bins = 0;
+  uint64_t distinct_values = 0;  ///< non-zero merged bins (exact NDV)
+  /// Fraction of the offered rows the merged statistics describe: each
+  /// live shard contributes its row fraction scaled by its own scan
+  /// quality; dead shards contribute nothing. Exactly 1.0 when every
+  /// shard completed cleanly.
+  double coverage = 1.0;
+  uint32_t shards_total = 0;
+  uint32_t shards_ok = 0;
+  uint32_t shards_failed = 0;
+  /// Simulated makespan: the slowest shard's end-to-end device time
+  /// (shards run in parallel on independent cards).
+  double slowest_shard_seconds = 0;
+  double merge_seconds = 0;  ///< host wall-clock spent merging
+  /// Scan-quality counters summed over live shards (page/row/bin losses
+  /// within shards that did report).
+  accel::ScanQuality quality;
+  std::vector<ShardScanResult> shards;
+
+  bool partial() const { return shards_failed > 0; }
+};
+
+/// Converts a merged cluster report into catalog statistics, composing
+/// the cluster coverage (shard loss x within-shard quality) through
+/// ColumnStats::Degrade rather than overwriting it.
+db::ColumnStats StatsFromClusterReport(const ClusterScanReport& report,
+                                       const accel::ScanRequest& request);
+
+/// Owns N shard devices and runs one logical scan as N device scans plus
+/// an exact merge. The paper computes statistics as a side effect of one
+/// storage->host stream; at cluster scale the table is partitioned over N
+/// data paths and each shard's device bins its own stream, so the side
+/// effect survives sharding: merged bins are exactly the bins one device
+/// would have produced (hist/merge.h), and every statistic is re-derived
+/// from them.
+///
+/// Failure model: a shard whose device rejects every retry is dropped
+/// from the merge, never aborts the scan — the report is flagged partial
+/// and its coverage discounted by the dead shard's row fraction, exactly
+/// the degraded-not-failed contract the single-device ResilientScanner
+/// implements (its RetryPolicy is reused per shard).
+///
+/// Thread safety: ScanTable fans one host thread out per shard; each
+/// thread touches only its own shard's Device/TableFile/result slot, and
+/// the merge runs serially after the join (in shard-id order, so merged
+/// results are order-independent). Serialize ScanTable calls themselves.
+class ClusterCoordinator {
+ public:
+  explicit ClusterCoordinator(ClusterOptions options = {});
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(devices_.size());
+  }
+  const ClusterOptions& options() const { return options_; }
+  accel::Device* shard_device(uint32_t shard) {
+    return devices_[shard].get();
+  }
+
+  /// Partitions `table`, scans every shard (concurrently, with per-shard
+  /// retry), and merges. Returns an error only for caller mistakes (bad
+  /// request domain, bad partition options); shard trouble degrades the
+  /// report instead.
+  Result<ClusterScanReport> ScanTable(const page::TableFile& table,
+                                      const accel::ScanRequest& request);
+
+  /// Catalog glue: ScanTable plus installation of the merged stats (with
+  /// composed coverage) for `column` of catalog table `table_name`.
+  /// Installs nothing when every shard failed — the previous stats stay,
+  /// stale-but-consistent, as the ResilientScanner's contract demands.
+  Result<ClusterScanReport> ScanAndRefresh(db::Catalog* catalog,
+                                           const std::string& table_name,
+                                           size_t column,
+                                           const accel::ScanRequest& request);
+
+ private:
+  ShardScanResult RunShard(uint32_t shard, const page::TableFile& shard_table,
+                           const accel::ScanRequest& request);
+  Result<ClusterScanReport> MergeShardResults(
+      const accel::ScanRequest& request,
+      std::vector<ShardScanResult> results);
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<accel::Device>> devices_;
+};
+
+}  // namespace dphist::cluster
+
+#endif  // DPHIST_CLUSTER_COORDINATOR_H_

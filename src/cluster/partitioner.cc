@@ -1,0 +1,98 @@
+#include "cluster/partitioner.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dphist::cluster {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche 64-bit mix, so consecutive keys
+/// (the common dense-surrogate-key case) land on unrelated shards.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint32_t RangeShard(int64_t key, uint32_t num_shards, int64_t lo, int64_t hi) {
+  if (key <= lo) return 0;
+  if (key >= hi) return num_shards - 1;
+  // Equal-width slices over the unsigned span; span/num_shards rounded up
+  // so slice * num_shards always covers the domain.
+  const uint64_t span =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  const uint64_t slice = (span + num_shards - 1) / num_shards;
+  const uint64_t offset =
+      static_cast<uint64_t>(key) - static_cast<uint64_t>(lo);
+  return static_cast<uint32_t>(offset / slice);
+}
+
+}  // namespace
+
+const char* PartitionPolicyName(PartitionPolicy policy) {
+  switch (policy) {
+    case PartitionPolicy::kHash:
+      return "hash";
+    case PartitionPolicy::kRange:
+      return "range";
+  }
+  return "?";
+}
+
+uint32_t Partitioner::ShardOf(int64_t key, uint32_t num_shards,
+                              const PartitionerOptions& options) {
+  DPHIST_CHECK_GT(num_shards, 0u);
+  if (num_shards == 1) return 0;
+  switch (options.policy) {
+    case PartitionPolicy::kHash:
+      return static_cast<uint32_t>(Mix64(static_cast<uint64_t>(key)) %
+                                   num_shards);
+    case PartitionPolicy::kRange:
+      return RangeShard(key, num_shards, options.range_min,
+                        options.range_max);
+  }
+  DPHIST_UNREACHABLE("invalid PartitionPolicy");
+}
+
+Result<std::vector<page::TableFile>> Partitioner::Split(
+    const page::TableFile& table, uint32_t num_shards,
+    const PartitionerOptions& options) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("partitioner: need at least one shard");
+  }
+  if (options.key_column >= table.schema().num_columns()) {
+    return Status::InvalidArgument("partitioner: key column out of range");
+  }
+  if (options.policy == PartitionPolicy::kRange &&
+      options.range_min > options.range_max) {
+    return Status::InvalidArgument("partitioner: range_min > range_max");
+  }
+
+  PartitionerOptions resolved = options;
+  if (resolved.policy == PartitionPolicy::kRange &&
+      resolved.range_min == resolved.range_max && table.row_count() > 0) {
+    // Derive the key domain from the data, the way a range-partitioned
+    // warehouse derives split points from its key statistics.
+    std::vector<int64_t> keys = table.ReadColumn(resolved.key_column);
+    const auto [lo, hi] = std::minmax_element(keys.begin(), keys.end());
+    resolved.range_min = *lo;
+    resolved.range_max = *hi;
+  }
+
+  std::vector<page::TableFile> shards;
+  shards.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    shards.emplace_back(table.schema());
+  }
+  table.ForEachRow([&](std::span<const int64_t> row) {
+    shards[ShardOf(row[resolved.key_column], num_shards, resolved)]
+        .AppendRow(row);
+  });
+  for (page::TableFile& shard : shards) shard.Seal();
+  return shards;
+}
+
+}  // namespace dphist::cluster

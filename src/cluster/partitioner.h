@@ -1,0 +1,58 @@
+#ifndef DPHIST_CLUSTER_PARTITIONER_H_
+#define DPHIST_CLUSTER_PARTITIONER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "page/table_file.h"
+
+namespace dphist::cluster {
+
+/// How rows are routed to shards.
+enum class PartitionPolicy {
+  /// Mixed hash of the key column, modulo the shard count. Spreads any
+  /// key distribution (including dense sequential keys) near-uniformly,
+  /// so shard loads balance; shard membership carries no value locality.
+  kHash,
+  /// The key domain [range_min, range_max] cut into equal-width slices,
+  /// one per shard; keys outside the declared domain clamp to the edge
+  /// shards. Preserves value locality (shard i owns one contiguous value
+  /// range), the layout range-partitioned warehouses actually use.
+  kRange,
+};
+
+const char* PartitionPolicyName(PartitionPolicy policy);
+
+struct PartitionerOptions {
+  PartitionPolicy policy = PartitionPolicy::kHash;
+  /// Column whose value routes the row.
+  size_t key_column = 0;
+  /// Key domain for kRange. When range_min == range_max the partitioner
+  /// derives the domain from the data (one pass over the key column).
+  int64_t range_min = 0;
+  int64_t range_max = 0;
+};
+
+/// Splits a sealed table into per-shard tables, row by row. The split is
+/// deterministic (same table, same options, same shards -> identical
+/// shard tables) and exhaustive: every row lands in exactly one shard, so
+/// the shard row counts sum to the input's and the cluster merge algebra
+/// can treat shard statistics as a partition of the population.
+class Partitioner {
+ public:
+  /// Routing function for one key. `num_shards` must be >= 1.
+  static uint32_t ShardOf(int64_t key, uint32_t num_shards,
+                          const PartitionerOptions& options);
+
+  /// Materializes the per-shard tables (sealed, same schema). Fails on an
+  /// out-of-range key column, zero shards, or an inverted range domain.
+  static Result<std::vector<page::TableFile>> Split(
+      const page::TableFile& table, uint32_t num_shards,
+      const PartitionerOptions& options);
+};
+
+}  // namespace dphist::cluster
+
+#endif  // DPHIST_CLUSTER_PARTITIONER_H_

@@ -30,7 +30,7 @@ ColumnStats StatsFromAcceleratorReport(const accel::AcceleratorReport& report,
   stats.provenance = report.quality.complete()
                          ? StatsProvenance::kImplicit
                          : StatsProvenance::kImplicitPartial;
-  stats.coverage = report.quality.Coverage();
+  stats.Degrade(report.quality.Coverage());
   return stats;
 }
 

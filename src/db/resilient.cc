@@ -117,7 +117,7 @@ Result<ColumnStats> ResilientScanner::BuildFallbackStats(
   stats.sampling_rate = rate;
   stats.build_seconds = timer.Seconds();
   stats.provenance = StatsProvenance::kSamplingFallback;
-  stats.coverage = rate;
+  stats.Degrade(rate);
   return stats;
 }
 

@@ -30,6 +30,18 @@ inline const char* StatsProvenanceName(StatsProvenance provenance) {
   return "?";
 }
 
+/// Composes two independent coverage fractions. Degradation sources are
+/// independent filters over the row population (a lost shard removes its
+/// rows, a faulty device then loses a fraction of the remainder), so they
+/// compose multiplicatively; clamped to [0, 1] so arithmetic noise can
+/// never produce an impossible fraction.
+inline double ComposeCoverage(double a, double b) {
+  double c = a * b;
+  if (c < 0.0) return 0.0;
+  if (c > 1.0) return 1.0;
+  return c;
+}
+
 /// Optimizer statistics for one column, as stored in the catalog. The
 /// paper's thesis is about the *freshness* of exactly this object:
 /// `version` records the catalog version at which the stats were built,
@@ -49,6 +61,20 @@ struct ColumnStats {
   /// data they describe. The planner discounts low-coverage estimates.
   StatsProvenance provenance = StatsProvenance::kImplicit;
   double coverage = 1.0;  ///< estimated fraction of rows described
+
+  /// Records one more independent degradation source. Every writer must
+  /// come through here rather than assigning `coverage` directly: stats
+  /// that pass through several lossy stages (device-quality loss, then a
+  /// dead shard's row fraction, then a sampling rebuild) stack their
+  /// coverages multiplicatively instead of each stage clobbering the
+  /// previous writer's value. A degraded implicit scan is re-stamped
+  /// kImplicitPartial so the planner knows to scale estimates up.
+  void Degrade(double fraction) {
+    coverage = ComposeCoverage(coverage, fraction);
+    if (coverage < 1.0 && provenance == StatsProvenance::kImplicit) {
+      provenance = StatsProvenance::kImplicitPartial;
+    }
+  }
 };
 
 }  // namespace dphist::db

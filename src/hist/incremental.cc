@@ -50,7 +50,10 @@ void IncrementalEquiDepth::Delete(int64_t value) {
     return;  // value not represented; nothing to absorb
   }
   --bucket.count;
-  --histogram_.total_count;
+  // A caller-supplied histogram may carry bucket counts that exceed its
+  // total_count (inconsistent input); decrementing past zero would wrap
+  // total_count to 2^64-1 and poison every depth/imbalance computation.
+  if (histogram_.total_count > 0) --histogram_.total_count;
   ++deletes_;
 }
 

@@ -1,0 +1,145 @@
+#include "hist/merge.h"
+
+#include <map>
+
+#include "common/macros.h"
+#include "hist/dense_reference.h"
+
+namespace dphist::hist {
+
+namespace {
+
+/// Bin-space view of the counts: ValueOfBin(i) == i, so the
+/// dense_reference algorithms run on bin indices and their bucket bounds
+/// are bin indices too.
+DenseCounts BinSpaceView(const BinnedCounts& bins) {
+  DenseCounts dense;
+  dense.min_value = 0;
+  dense.counts = bins.counts;
+  return dense;
+}
+
+/// Converts a bin-space histogram back to value space exactly as accel's
+/// ConvertBuckets does: bucket bounds through the bin mapping, histogram
+/// bounds from the request domain, total_count from the parser row count.
+Histogram ToValueSpace(Histogram bin_space, const BinnedCounts& bins,
+                       uint64_t rows) {
+  for (Bucket& b : bin_space.buckets) {
+    b.lo = bins.BinLowValue(static_cast<size_t>(b.lo));
+    b.hi = bins.BinHighValue(static_cast<size_t>(b.hi));
+  }
+  for (ValueCount& s : bin_space.singletons) {
+    s.value = bins.BinLowValue(static_cast<size_t>(s.value));
+  }
+  bin_space.min_value = bins.min_value;
+  bin_space.max_value = bins.max_value;
+  bin_space.total_count = rows;
+  return bin_space;
+}
+
+}  // namespace
+
+uint64_t BinnedCounts::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+uint64_t BinnedCounts::NonZeroBins() const {
+  uint64_t nonzero = 0;
+  for (uint64_t c : counts) nonzero += (c != 0);
+  return nonzero;
+}
+
+Result<BinnedCounts> MergeBinnedCounts(std::span<const BinnedCounts> shards) {
+  BinnedCounts merged;
+  if (shards.empty()) return merged;
+  merged = shards.front();
+  for (size_t s = 1; s < shards.size(); ++s) {
+    const BinnedCounts& shard = shards[s];
+    if (!merged.AlignedWith(shard)) {
+      return Status::InvalidArgument(
+          "cannot merge binned counts over different bin domains");
+    }
+    for (size_t i = 0; i < merged.counts.size(); ++i) {
+      merged.counts[i] += shard.counts[i];
+    }
+  }
+  return merged;
+}
+
+std::vector<ValueCount> TopKFromBinned(const BinnedCounts& bins, uint32_t k) {
+  std::vector<ValueCount> entries = TopKDense(BinSpaceView(bins), k);
+  for (ValueCount& e : entries) {
+    e.value = bins.BinLowValue(static_cast<size_t>(e.value));
+  }
+  return entries;
+}
+
+Histogram EquiDepthFromBinned(const BinnedCounts& bins, uint32_t num_buckets,
+                              uint64_t rows) {
+  return ToValueSpace(EquiDepthDense(BinSpaceView(bins), num_buckets), bins,
+                      rows);
+}
+
+Histogram MaxDiffFromBinned(const BinnedCounts& bins, uint32_t num_buckets,
+                            uint64_t rows) {
+  return ToValueSpace(MaxDiffDense(BinSpaceView(bins), num_buckets), bins,
+                      rows);
+}
+
+Histogram CompressedFromBinned(const BinnedCounts& bins, uint32_t num_buckets,
+                               uint32_t top_k, uint64_t rows) {
+  return ToValueSpace(CompressedDense(BinSpaceView(bins), num_buckets, top_k),
+                      bins, rows);
+}
+
+uint64_t EquiDepthMaxDepthError(const BinnedCounts& bins) {
+  uint64_t max_bin = 0;
+  for (uint64_t c : bins.counts) max_bin = std::max(max_bin, c);
+  return max_bin > 0 ? max_bin - 1 : 0;
+}
+
+MergedTopK MergeSpaceSavingTopK(std::span<const SpaceSaving> sketches,
+                                size_t k) {
+  MergedTopK merged;
+  // Union of monitored values; std::map keeps the accumulation order (and
+  // therefore the result) independent of sketch order.
+  std::map<int64_t, uint64_t> estimates;
+  std::vector<std::vector<ValueCount>> monitored;
+  monitored.reserve(sketches.size());
+  for (const SpaceSaving& sketch : sketches) {
+    merged.items += sketch.items();
+    merged.error_bound += sketch.max_error();
+    monitored.push_back(sketch.MonitoredEntries());
+    for (const ValueCount& e : monitored.back()) estimates[e.value] = 0;
+  }
+  // A sketch that does not monitor a value still admits up to max_error()
+  // occurrences of it; charging that bound keeps the merged estimate an
+  // overestimate, matching the single-sketch invariant.
+  for (size_t s = 0; s < monitored.size(); ++s) {
+    const std::vector<ValueCount>& entries = monitored[s];
+    size_t next = 0;
+    for (auto& [value, estimate] : estimates) {
+      while (next < entries.size() && entries[next].value < value) ++next;
+      if (next < entries.size() && entries[next].value == value) {
+        estimate += entries[next].count;
+      } else {
+        estimate += sketches[s].max_error();
+      }
+    }
+  }
+  merged.entries.reserve(estimates.size());
+  for (const auto& [value, estimate] : estimates) {
+    if (estimate > 0) merged.entries.push_back(ValueCount{value, estimate});
+  }
+  std::sort(merged.entries.begin(), merged.entries.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.value < b.value;
+            });
+  if (merged.entries.size() > k) merged.entries.resize(k);
+  return merged;
+}
+
+}  // namespace dphist::hist

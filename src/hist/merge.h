@@ -1,0 +1,108 @@
+#ifndef DPHIST_HIST_MERGE_H_
+#define DPHIST_HIST_MERGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "hist/space_saving.h"
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// The mergeable-histogram algebra for sharded cluster scans: each shard's
+/// accelerator exports its binned representation (the exact per-bin counts
+/// it materialized in DRAM), and because binned counts over one request
+/// domain are a commutative monoid under element-wise addition, N shards
+/// merge into exactly the statistics one device would have produced over
+/// the union of their streams. Top-k, equi-depth, max-diff and compressed
+/// histograms are then *re-derived* from the merged bins — not merged
+/// approximately — so cluster results are deterministic and independent of
+/// shard count (see DESIGN.md §10).
+
+/// A binned representation annotated with the Preprocessor mapping that
+/// produced it: bin i counts the values in
+/// [min_value + i*granularity, min(min_value + (i+1)*granularity - 1,
+/// max_value)]. Unlike DenseCounts (granularity fixed at 1), this carries
+/// enough to convert bin-space results back to value space exactly as
+/// accel's ConvertBuckets does, which is what makes a single-shard merge
+/// bit-identical to the serial device report.
+struct BinnedCounts {
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  int64_t granularity = 1;
+  std::vector<uint64_t> counts;
+
+  uint64_t TotalCount() const;
+  uint64_t NonZeroBins() const;
+  int64_t BinLowValue(size_t bin) const {
+    return min_value + static_cast<int64_t>(bin) * granularity;
+  }
+  int64_t BinHighValue(size_t bin) const {
+    return std::min(BinLowValue(bin) + granularity - 1, max_value);
+  }
+  /// True when `other` describes the same bin domain (same value bounds,
+  /// same granularity, same bin count) and may be merged exactly.
+  bool AlignedWith(const BinnedCounts& other) const {
+    return min_value == other.min_value && max_value == other.max_value &&
+           granularity == other.granularity &&
+           counts.size() == other.counts.size();
+  }
+};
+
+/// Exact merge: element-wise sum of aligned binned counts. Associative,
+/// commutative, and order-independent by construction; InvalidArgument
+/// when the inputs disagree on the bin domain (misaligned bins cannot be
+/// merged without loss, so we refuse rather than resample). An empty input
+/// span yields an empty BinnedCounts.
+Result<BinnedCounts> MergeBinnedCounts(std::span<const BinnedCounts> shards);
+
+/// Statistic derivations from (merged) bins, converting back to value
+/// space with the same mapping the device's ConvertBuckets applies:
+/// histogram min/max are the request domain bounds and total_count is
+/// `rows` (parser rows, including domain-dropped values), so a derivation
+/// over one shard's own bins reproduces that shard's device report
+/// bit-for-bit. All reuse the dense_reference executable specification in
+/// bin space, inheriting its deterministic tie-breaking.
+std::vector<ValueCount> TopKFromBinned(const BinnedCounts& bins, uint32_t k);
+Histogram EquiDepthFromBinned(const BinnedCounts& bins, uint32_t num_buckets,
+                              uint64_t rows);
+Histogram MaxDiffFromBinned(const BinnedCounts& bins, uint32_t num_buckets,
+                            uint64_t rows);
+Histogram CompressedFromBinned(const BinnedCounts& bins, uint32_t num_buckets,
+                               uint32_t top_k, uint64_t rows);
+
+/// Equi-depth depth-error guarantee (à la Yıldız et al., "Equi-depth
+/// Histogram Construction for Big Data with Quality Guarantees"): with
+/// N = TotalCount(), target depth t = max(1, ceil(N/B)), and m = the
+/// largest single merged bin count, EquiDepthFromBinned's never-split
+/// bucketization puts every bucket except the last at depth in
+/// [t, t + m - 1] and the last at depth in (0, t + m - 1]; the per-bucket
+/// depth error versus the target is therefore at most m - 1 rows, i.e. a
+/// relative error of (m-1)/t. Merging can only grow m additively, so the
+/// bound for a cluster merge is computable from the merged bins alone.
+/// Returns that worst-case absolute per-bucket depth error (m - 1, or 0
+/// for empty bins).
+uint64_t EquiDepthMaxDepthError(const BinnedCounts& bins);
+
+/// Merged top-k of independent SpaceSaving sketches with summed error
+/// bounds. Each sketch overestimates a monitored value by at most its own
+/// max_error() and tells nothing about unmonitored values beyond "true
+/// count <= max_error()"; the merge therefore estimates a value monitored
+/// in at least one sketch as sum(count_i if monitored else max_error_i),
+/// which never undercounts, and bounds every entry's overestimation by
+/// error_bound = sum_i max_error_i. Symmetric in its inputs, so the
+/// result is independent of sketch order.
+struct MergedTopK {
+  std::vector<ValueCount> entries;  ///< (estimate desc, value asc), size <= k
+  uint64_t error_bound = 0;         ///< summed per-sketch overestimation bounds
+  uint64_t items = 0;               ///< total stream items across sketches
+};
+MergedTopK MergeSpaceSavingTopK(std::span<const SpaceSaving> sketches,
+                                size_t k);
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_MERGE_H_

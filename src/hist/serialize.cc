@@ -6,12 +6,31 @@ namespace dphist::hist {
 
 namespace {
 
-constexpr uint8_t kFormatVersion = 1;
+constexpr uint8_t kFormatVersion = 1;         // fixed-width little-endian
+constexpr uint8_t kCompactFormatVersion = 2;  // LEB128 varints, zigzag signs
+constexpr size_t kMaxVarintBytes = 10;        // ceil(64 / 7)
 
 void Append64(uint64_t v, std::vector<uint8_t>* out) {
   uint8_t buf[8];
   std::memcpy(buf, &v, 8);
   out->insert(out->end(), buf, buf + 8);
+}
+
+void AppendVarint(uint64_t v, std::vector<uint8_t>* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
 }
 
 class Reader {
@@ -31,6 +50,30 @@ class Reader {
     return true;
   }
 
+  /// LEB128 decode. Fails on a payload that ends mid-varint (continuation
+  /// bit set on the final available byte) and on overlong encodings that
+  /// would spill past 64 bits.
+  bool ReadVarint(uint64_t* v) {
+    *v = 0;
+    for (size_t i = 0; i < kMaxVarintBytes; ++i) {
+      if (pos_ >= bytes_.size()) return false;  // truncated mid-varint
+      const uint8_t byte = bytes_[pos_++];
+      // The 10th byte may only carry the final bit of a 64-bit value.
+      if (i == kMaxVarintBytes - 1 && (byte & 0xFE) != 0) return false;
+      *v |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
+      if ((byte & 0x80) == 0) return true;
+    }
+    return false;
+  }
+
+  bool ReadZigZag(int64_t* v) {
+    uint64_t raw;
+    if (!ReadVarint(&raw)) return false;
+    *v = UnZigZag(raw);
+    return true;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
   bool AtEnd() const { return pos_ == bytes_.size(); }
 
  private:
@@ -38,46 +81,11 @@ class Reader {
   size_t pos_ = 0;
 };
 
-}  // namespace
-
-std::vector<uint8_t> SerializeHistogram(const Histogram& histogram) {
-  std::vector<uint8_t> out;
-  out.reserve(2 + 5 * 8 + histogram.buckets.size() * 32 +
-              histogram.singletons.size() * 16);
-  out.push_back(kFormatVersion);
-  out.push_back(static_cast<uint8_t>(histogram.type));
-  Append64(static_cast<uint64_t>(histogram.min_value), &out);
-  Append64(static_cast<uint64_t>(histogram.max_value), &out);
-  Append64(histogram.total_count, &out);
-  Append64(histogram.buckets.size(), &out);
-  Append64(histogram.singletons.size(), &out);
-  for (const auto& b : histogram.buckets) {
-    Append64(static_cast<uint64_t>(b.lo), &out);
-    Append64(static_cast<uint64_t>(b.hi), &out);
-    Append64(b.count, &out);
-    Append64(b.distinct, &out);
-  }
-  for (const auto& s : histogram.singletons) {
-    Append64(static_cast<uint64_t>(s.value), &out);
-    Append64(s.count, &out);
-  }
-  return out;
-}
-
-Result<Histogram> DeserializeHistogram(std::span<const uint8_t> bytes) {
-  Reader reader(bytes);
-  uint8_t version = 0;
-  uint8_t type = 0;
-  if (!reader.ReadByte(&version) || version != kFormatVersion) {
-    return Status::Corruption("unsupported histogram format version");
-  }
-  if (!reader.ReadByte(&type) ||
-      type > static_cast<uint8_t>(HistogramType::kTopK)) {
-    return Status::Corruption("invalid histogram type tag");
-  }
-
+Result<Histogram> DeserializeFixed(Reader& reader,
+                                   std::span<const uint8_t> bytes,
+                                   HistogramType type) {
   Histogram h;
-  h.type = static_cast<HistogramType>(type);
+  h.type = type;
   uint64_t min_value;
   uint64_t max_value;
   uint64_t num_buckets;
@@ -119,10 +127,117 @@ Result<Histogram> DeserializeHistogram(std::span<const uint8_t> bytes) {
     s.value = static_cast<int64_t>(value);
     h.singletons.push_back(s);
   }
+  return h;
+}
+
+Result<Histogram> DeserializeCompact(Reader& reader, HistogramType type) {
+  Histogram h;
+  h.type = type;
+  uint64_t num_buckets;
+  uint64_t num_singletons;
+  if (!reader.ReadZigZag(&h.min_value) || !reader.ReadZigZag(&h.max_value) ||
+      !reader.ReadVarint(&h.total_count) || !reader.ReadVarint(&num_buckets) ||
+      !reader.ReadVarint(&num_singletons)) {
+    return Status::Corruption("truncated compact histogram header");
+  }
+  // Every entry needs at least one byte per field on the wire, so the
+  // declared counts cannot exceed the bytes that remain.
+  if (num_buckets > reader.remaining() / 4 + 1 ||
+      num_singletons > reader.remaining() / 2 + 1) {
+    return Status::Corruption("compact histogram entry counts exceed buffer");
+  }
+  h.buckets.reserve(num_buckets);
+  for (uint64_t i = 0; i < num_buckets; ++i) {
+    Bucket b;
+    if (!reader.ReadZigZag(&b.lo) || !reader.ReadZigZag(&b.hi) ||
+        !reader.ReadVarint(&b.count) || !reader.ReadVarint(&b.distinct)) {
+      return Status::Corruption("truncated compact bucket");
+    }
+    h.buckets.push_back(b);
+  }
+  h.singletons.reserve(num_singletons);
+  for (uint64_t i = 0; i < num_singletons; ++i) {
+    ValueCount s;
+    if (!reader.ReadZigZag(&s.value) || !reader.ReadVarint(&s.count)) {
+      return Status::Corruption("truncated compact singleton");
+    }
+    h.singletons.push_back(s);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeHistogram(const Histogram& histogram) {
+  std::vector<uint8_t> out;
+  out.reserve(2 + 5 * 8 + histogram.buckets.size() * 32 +
+              histogram.singletons.size() * 16);
+  out.push_back(kFormatVersion);
+  out.push_back(static_cast<uint8_t>(histogram.type));
+  Append64(static_cast<uint64_t>(histogram.min_value), &out);
+  Append64(static_cast<uint64_t>(histogram.max_value), &out);
+  Append64(histogram.total_count, &out);
+  Append64(histogram.buckets.size(), &out);
+  Append64(histogram.singletons.size(), &out);
+  for (const auto& b : histogram.buckets) {
+    Append64(static_cast<uint64_t>(b.lo), &out);
+    Append64(static_cast<uint64_t>(b.hi), &out);
+    Append64(b.count, &out);
+    Append64(b.distinct, &out);
+  }
+  for (const auto& s : histogram.singletons) {
+    Append64(static_cast<uint64_t>(s.value), &out);
+    Append64(s.count, &out);
+  }
+  return out;
+}
+
+std::vector<uint8_t> SerializeHistogramCompact(const Histogram& histogram) {
+  std::vector<uint8_t> out;
+  out.reserve(2 + 5 * 3 + histogram.buckets.size() * 8 +
+              histogram.singletons.size() * 4);
+  out.push_back(kCompactFormatVersion);
+  out.push_back(static_cast<uint8_t>(histogram.type));
+  AppendVarint(ZigZag(histogram.min_value), &out);
+  AppendVarint(ZigZag(histogram.max_value), &out);
+  AppendVarint(histogram.total_count, &out);
+  AppendVarint(histogram.buckets.size(), &out);
+  AppendVarint(histogram.singletons.size(), &out);
+  for (const auto& b : histogram.buckets) {
+    AppendVarint(ZigZag(b.lo), &out);
+    AppendVarint(ZigZag(b.hi), &out);
+    AppendVarint(b.count, &out);
+    AppendVarint(b.distinct, &out);
+  }
+  for (const auto& s : histogram.singletons) {
+    AppendVarint(ZigZag(s.value), &out);
+    AppendVarint(s.count, &out);
+  }
+  return out;
+}
+
+Result<Histogram> DeserializeHistogram(std::span<const uint8_t> bytes) {
+  Reader reader(bytes);
+  uint8_t version = 0;
+  uint8_t type = 0;
+  if (!reader.ReadByte(&version) ||
+      (version != kFormatVersion && version != kCompactFormatVersion)) {
+    return Status::Corruption("unsupported histogram format version");
+  }
+  if (!reader.ReadByte(&type) ||
+      type > static_cast<uint8_t>(HistogramType::kTopK)) {
+    return Status::Corruption("invalid histogram type tag");
+  }
+  auto parsed = version == kFormatVersion
+                    ? DeserializeFixed(reader, bytes,
+                                       static_cast<HistogramType>(type))
+                    : DeserializeCompact(reader,
+                                         static_cast<HistogramType>(type));
+  if (!parsed.ok()) return parsed;
   if (!reader.AtEnd()) {
     return Status::Corruption("trailing bytes after histogram");
   }
-  return h;
+  return parsed;
 }
 
 }  // namespace dphist::hist

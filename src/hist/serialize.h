@@ -18,8 +18,18 @@ namespace dphist::hist {
 /// host-side durable form).
 std::vector<uint8_t> SerializeHistogram(const Histogram& histogram);
 
-/// Parses a buffer produced by SerializeHistogram. Rejects truncated or
-/// version-mismatched input with Corruption.
+/// Compact encoding (format version 2): the same fields as version 1, but
+/// every integer is a LEB128 varint (signed fields zigzag-encoded first).
+/// Typical catalog histograms shrink severalfold — counts are small, and
+/// sentinel bounds like INT64_MIN still round-trip bit-exact through the
+/// zigzag mapping. Cluster deployments ship per-shard statistics to a
+/// coordinator, where the wire size matters.
+std::vector<uint8_t> SerializeHistogramCompact(const Histogram& histogram);
+
+/// Parses a buffer produced by either serializer, dispatching on the
+/// leading version byte. Rejects truncated input (including a payload cut
+/// mid-varint), overlong varints, unknown versions, and trailing bytes
+/// with Corruption.
 Result<Histogram> DeserializeHistogram(std::span<const uint8_t> bytes);
 
 }  // namespace dphist::hist

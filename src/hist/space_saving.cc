@@ -62,6 +62,19 @@ std::vector<ValueCount> SpaceSaving::TopK(size_t k) const {
   return entries;
 }
 
+std::vector<ValueCount> SpaceSaving::MonitoredEntries() const {
+  std::vector<ValueCount> entries;
+  entries.reserve(counters_.size());
+  for (const auto& [value, counter] : counters_) {
+    entries.push_back(ValueCount{value, counter.count});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ValueCount& a, const ValueCount& b) {
+              return a.value < b.value;
+            });
+  return entries;
+}
+
 uint64_t SpaceSaving::max_error() const {
   if (counters_.size() < capacity_) return 0;
   uint64_t min_count = std::numeric_limits<uint64_t>::max();

@@ -33,6 +33,11 @@ class SpaceSaving {
   /// Upper bound on any entry's overestimation (the smallest counter).
   uint64_t max_error() const;
 
+  /// Every monitored (value, estimate) pair, sorted by value ascending —
+  /// the raw material the merge algebra (hist/merge.h) combines across
+  /// sketches.
+  std::vector<ValueCount> MonitoredEntries() const;
+
   uint64_t items() const { return items_; }
   size_t capacity() const { return capacity_; }
 

@@ -1,0 +1,325 @@
+// Cluster scan contract: merged statistics are bit-identical across
+// shard counts and executor thread counts, a single-shard cluster
+// reproduces the serial Accelerator facade exactly, and a dead shard
+// degrades the report (discounted coverage, partial flag) instead of
+// failing the scan.
+
+#include "cluster/coordinator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "cluster/partitioner.h"
+#include "db/catalog.h"
+#include "db/storage.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/fault.h"
+#include "workload/tpch.h"
+
+namespace dphist::cluster {
+namespace {
+
+page::TableFile MakeLineitem(uint64_t rows, uint64_t seed = 7) {
+  workload::LineitemOptions options;
+  options.scale_factor = static_cast<double>(rows) / 6000000.0;
+  options.row_limit = rows;
+  options.seed = seed;
+  return workload::GenerateLineitem(options);
+}
+
+accel::ScanRequest QuantityRequest() {
+  accel::ScanRequest request;
+  request.column_index = workload::kLQuantity;
+  request.min_value = workload::kQuantityMin;
+  request.max_value = workload::kQuantityMax;
+  request.num_buckets = 16;
+  request.top_k = 8;
+  return request;
+}
+
+void ExpectHistogramsEqual(const hist::Histogram& a, const hist::Histogram& b,
+                           const std::string& label) {
+  EXPECT_EQ(a.buckets, b.buckets) << label;
+  EXPECT_EQ(a.singletons, b.singletons) << label;
+  EXPECT_EQ(a.total_count, b.total_count) << label;
+  EXPECT_EQ(a.min_value, b.min_value) << label;
+  EXPECT_EQ(a.max_value, b.max_value) << label;
+}
+
+void ExpectSetsEqual(const accel::HistogramSet& a,
+                     const accel::HistogramSet& b, const std::string& label) {
+  EXPECT_EQ(a.top_k, b.top_k) << label;
+  ExpectHistogramsEqual(a.equi_depth, b.equi_depth, label + " equi_depth");
+  ExpectHistogramsEqual(a.max_diff, b.max_diff, label + " max_diff");
+  ExpectHistogramsEqual(a.compressed, b.compressed, label + " compressed");
+}
+
+TEST(PartitionerTest, SplitIsExhaustiveAndDeterministic) {
+  page::TableFile table = MakeLineitem(4000);
+  PartitionerOptions options;
+  options.key_column = workload::kLOrderKey;
+  for (uint32_t shards : {1u, 3u, 4u}) {
+    auto split_a = Partitioner::Split(table, shards, options);
+    auto split_b = Partitioner::Split(table, shards, options);
+    ASSERT_TRUE(split_a.ok());
+    ASSERT_TRUE(split_b.ok());
+    uint64_t total = 0;
+    for (uint32_t i = 0; i < shards; ++i) {
+      total += (*split_a)[i].row_count();
+      EXPECT_EQ((*split_a)[i].row_count(), (*split_b)[i].row_count());
+    }
+    EXPECT_EQ(total, table.row_count()) << shards << " shards";
+  }
+}
+
+TEST(PartitionerTest, HashSpreadsDenseKeys) {
+  page::TableFile table = MakeLineitem(8000);
+  PartitionerOptions options;
+  options.key_column = workload::kLOrderKey;  // dense 1..N
+  auto split = Partitioner::Split(table, 4, options);
+  ASSERT_TRUE(split.ok());
+  for (const page::TableFile& shard : *split) {
+    // Near-uniform: every shard within 2x of the equal share.
+    EXPECT_GT(shard.row_count(), table.row_count() / 8);
+    EXPECT_LT(shard.row_count(), table.row_count() / 2);
+  }
+}
+
+TEST(PartitionerTest, RangeClampsAndPreservesLocality) {
+  PartitionerOptions options;
+  options.policy = PartitionPolicy::kRange;
+  options.range_min = 0;
+  options.range_max = 99;
+  // 4 shards x 25-wide slices; out-of-domain keys clamp to the edges.
+  EXPECT_EQ(Partitioner::ShardOf(0, 4, options), 0u);
+  EXPECT_EQ(Partitioner::ShardOf(24, 4, options), 0u);
+  EXPECT_EQ(Partitioner::ShardOf(25, 4, options), 1u);
+  EXPECT_EQ(Partitioner::ShardOf(99, 4, options), 3u);
+  EXPECT_EQ(Partitioner::ShardOf(-50, 4, options), 0u);
+  EXPECT_EQ(Partitioner::ShardOf(1000, 4, options), 3u);
+}
+
+TEST(PartitionerTest, RejectsCallerMistakes) {
+  page::TableFile table = MakeLineitem(100);
+  PartitionerOptions options;
+  EXPECT_FALSE(Partitioner::Split(table, 0, options).ok());
+  options.key_column = 99;
+  EXPECT_FALSE(Partitioner::Split(table, 2, options).ok());
+  options.key_column = 0;
+  options.policy = PartitionPolicy::kRange;
+  options.range_min = 10;
+  options.range_max = 5;
+  EXPECT_FALSE(Partitioner::Split(table, 2, options).ok());
+}
+
+TEST(ClusterScanTest, MergedResultIdenticalAcrossShardAndThreadCounts) {
+  page::TableFile table = MakeLineitem(9000);
+  const accel::ScanRequest request = QuantityRequest();
+
+  ClusterScanReport baseline;
+  bool have_baseline = false;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    for (uint32_t threads : {1u, 3u}) {
+      ClusterOptions options;
+      options.num_shards = shards;
+      options.threads_per_shard = threads;
+      ClusterCoordinator coordinator(options);
+      auto report = coordinator.ScanTable(table, request);
+      ASSERT_TRUE(report.ok()) << shards << " shards, " << threads
+                               << " threads";
+      EXPECT_EQ(report->shards_failed, 0u);
+      EXPECT_DOUBLE_EQ(report->coverage, 1.0);
+      const std::string label = std::to_string(shards) + " shards / " +
+                                std::to_string(threads) + " threads";
+      if (!have_baseline) {
+        baseline = std::move(*report);
+        have_baseline = true;
+        continue;
+      }
+      ExpectSetsEqual(report->histograms, baseline.histograms, label);
+      EXPECT_EQ(report->bins.counts, baseline.bins.counts) << label;
+      EXPECT_EQ(report->rows, baseline.rows) << label;
+      EXPECT_EQ(report->distinct_values, baseline.distinct_values) << label;
+    }
+  }
+}
+
+TEST(ClusterScanTest, SingleShardMatchesSerialFacade) {
+  page::TableFile table = MakeLineitem(6000);
+  const accel::ScanRequest request = QuantityRequest();
+
+  accel::Accelerator facade({});
+  auto serial = facade.ProcessTable(table, request);
+  ASSERT_TRUE(serial.ok());
+
+  ClusterOptions options;
+  options.num_shards = 1;
+  ClusterCoordinator coordinator(options);
+  auto merged = coordinator.ScanTable(table, request);
+  ASSERT_TRUE(merged.ok());
+
+  ExpectSetsEqual(merged->histograms, serial->histograms, "vs facade");
+  EXPECT_EQ(merged->rows, serial->rows);
+  EXPECT_EQ(merged->distinct_values, serial->distinct_values);
+  EXPECT_EQ(merged->num_bins, serial->num_bins);
+}
+
+TEST(ClusterScanTest, HashAndRangePoliciesAgreeOnMergedStatistics) {
+  page::TableFile table = MakeLineitem(7000);
+  const accel::ScanRequest request = QuantityRequest();
+
+  ClusterOptions hash_options;
+  hash_options.num_shards = 4;
+  ClusterCoordinator hash_cluster(hash_options);
+  auto hash_report = hash_cluster.ScanTable(table, request);
+  ASSERT_TRUE(hash_report.ok());
+
+  ClusterOptions range_options;
+  range_options.num_shards = 4;
+  range_options.partition.policy = PartitionPolicy::kRange;
+  ClusterCoordinator range_cluster(range_options);
+  auto range_report = range_cluster.ScanTable(table, request);
+  ASSERT_TRUE(range_report.ok());
+
+  ExpectSetsEqual(hash_report->histograms, range_report->histograms,
+                  "hash vs range");
+  EXPECT_EQ(hash_report->bins.counts, range_report->bins.counts);
+  EXPECT_EQ(hash_report->rows, range_report->rows);
+}
+
+TEST(ClusterScanTest, ShardOutageYieldsPartialResultNotFailure) {
+  obs::Counter* partials =
+      obs::MetricsRegistry::Global().GetCounter("cluster.partial_results");
+  const uint64_t partials_before = partials->value();
+
+  page::TableFile table = MakeLineitem(8000);
+  ClusterOptions options;
+  options.num_shards = 4;
+  // Partition on the dense surrogate key so shard row fractions are
+  // near-equal and the discounted coverage is predictable.
+  options.partition.key_column = workload::kLOrderKey;
+  options.shard_faults.resize(4);
+  options.shard_faults[2] = sim::FaultScenario::DeviceOutage(1000, 99);
+  ClusterCoordinator coordinator(options);
+
+  auto report = coordinator.ScanTable(table, QuantityRequest());
+  ASSERT_TRUE(report.ok());  // degraded, never failed
+  EXPECT_TRUE(report->partial());
+  EXPECT_EQ(report->shards_failed, 1u);
+  EXPECT_EQ(report->shards_ok, 3u);
+  EXPECT_FALSE(report->shards[2].status.ok());
+  EXPECT_GT(report->shards[2].attempts, 1u);  // retried before giving up
+  // Coverage discounted by the dead shard's row fraction: ~1/4 gone.
+  EXPECT_NEAR(report->coverage, 0.75, 0.1);
+  EXPECT_LT(report->coverage, 1.0);
+  // The merged statistics still describe the three live shards.
+  EXPECT_GT(report->rows, 0u);
+  EXPECT_FALSE(report->histograms.equi_depth.buckets.empty());
+  uint64_t live_rows = 0;
+  for (uint32_t i : {0u, 1u, 3u}) {
+    live_rows += report->shards[i].report.rows;
+  }
+  EXPECT_EQ(report->rows, live_rows);
+
+  EXPECT_EQ(partials->value(), partials_before + 1);
+}
+
+TEST(ClusterScanTest, AllShardsDownStillReturnsReport) {
+  page::TableFile table = MakeLineitem(1000);
+  ClusterOptions options;
+  options.num_shards = 2;
+  options.shard_faults.assign(2, sim::FaultScenario::DeviceOutage(1000, 5));
+  ClusterCoordinator coordinator(options);
+  auto report = coordinator.ScanTable(table, QuantityRequest());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->shards_ok, 0u);
+  EXPECT_EQ(report->shards_failed, 2u);
+  EXPECT_DOUBLE_EQ(report->coverage, 0.0);
+  EXPECT_EQ(report->rows, 0u);
+}
+
+TEST(ClusterScanTest, ShardScanCounterCountsAttempts) {
+  obs::Counter* shard_scans =
+      obs::MetricsRegistry::Global().GetCounter("cluster.shard_scans");
+  const uint64_t before = shard_scans->value();
+  page::TableFile table = MakeLineitem(2000);
+  ClusterOptions options;
+  options.num_shards = 4;
+  ClusterCoordinator coordinator(options);
+  ASSERT_TRUE(coordinator.ScanTable(table, QuantityRequest()).ok());
+  EXPECT_EQ(shard_scans->value(), before + 4);
+}
+
+TEST(ClusterScanTest, ScanAndRefreshInstallsComposedCoverage) {
+  db::Catalog catalog;
+  catalog.AddTable("lineitem", MakeLineitem(6000));
+
+  ClusterOptions options;
+  options.num_shards = 4;
+  options.partition.key_column = workload::kLOrderKey;
+  options.shard_faults.resize(2);
+  options.shard_faults[1] = sim::FaultScenario::DeviceOutage(1000, 17);
+  ClusterCoordinator coordinator(options);
+
+  auto report = coordinator.ScanAndRefresh(&catalog, "lineitem",
+                                           workload::kLQuantity,
+                                           QuantityRequest());
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->partial());
+
+  auto stats = catalog.GetColumnStats("lineitem", workload::kLQuantity);
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE((*stats)->valid);
+  EXPECT_EQ((*stats)->provenance, db::StatsProvenance::kImplicitPartial);
+  EXPECT_NEAR((*stats)->coverage, report->coverage, 1e-12);
+  EXPECT_LT((*stats)->coverage, 1.0);
+  EXPECT_EQ((*stats)->row_count, report->rows);
+  EXPECT_EQ((*stats)->ndv, report->distinct_values);
+}
+
+TEST(ClusterScanTest, CleanScanInstallsExactFullCoverage) {
+  db::Catalog catalog;
+  catalog.AddTable("lineitem", MakeLineitem(3000));
+  ClusterCoordinator coordinator;
+  auto report = coordinator.ScanAndRefresh(&catalog, "lineitem",
+                                           workload::kLQuantity,
+                                           QuantityRequest());
+  ASSERT_TRUE(report.ok());
+  auto stats = catalog.GetColumnStats("lineitem", workload::kLQuantity);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ((*stats)->provenance, db::StatsProvenance::kImplicit);
+  EXPECT_DOUBLE_EQ((*stats)->coverage, 1.0);
+}
+
+TEST(ClusterScanTest, EmitsPerShardTraceSpans) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  page::TableFile table = MakeLineitem(2000);
+  ClusterOptions options;
+  options.num_shards = 2;
+  ClusterCoordinator coordinator(options);
+  ASSERT_TRUE(coordinator.ScanTable(table, QuantityRequest()).ok());
+  tracer.SetEnabled(false);
+
+  std::vector<std::string> tracks = tracer.track_names();
+  auto has_track = [&](const std::string& name) {
+    for (const std::string& t : tracks) {
+      if (t == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_track("cluster/shard0"));
+  EXPECT_TRUE(has_track("cluster/shard1"));
+  EXPECT_TRUE(has_track("cluster/coordinator"));
+  EXPECT_TRUE(obs::ValidateChromeTrace(tracer.ExportChromeTrace()).ok());
+  tracer.Clear();
+}
+
+}  // namespace
+}  // namespace dphist::cluster

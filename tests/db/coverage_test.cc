@@ -1,0 +1,62 @@
+// ColumnStats coverage provenance: stats that pass through several lossy
+// stages must compose their coverages multiplicatively through Degrade(),
+// not let the last writer clobber the previous stage's value.
+
+#include <gtest/gtest.h>
+
+#include "db/stats.h"
+
+namespace dphist::db {
+namespace {
+
+TEST(CoverageTest, ComposeIsMultiplicativeAndClamped) {
+  EXPECT_DOUBLE_EQ(ComposeCoverage(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ComposeCoverage(0.5, 0.5), 0.25);
+  EXPECT_DOUBLE_EQ(ComposeCoverage(0.75, 1.0), 0.75);
+  EXPECT_DOUBLE_EQ(ComposeCoverage(0.0, 0.9), 0.0);
+  // Arithmetic noise can never escape [0, 1].
+  EXPECT_DOUBLE_EQ(ComposeCoverage(1.0, 1.0000001), 1.0);
+  EXPECT_DOUBLE_EQ(ComposeCoverage(-0.1, 0.5), 0.0);
+}
+
+TEST(CoverageTest, TwoStackedDegradationsCompose) {
+  // Regression: the old writers assigned `coverage =` directly, so a
+  // shard-loss discount followed by a device-quality discount kept only
+  // the second. Two stacked Degrade calls must multiply.
+  ColumnStats stats;
+  stats.valid = true;
+  EXPECT_DOUBLE_EQ(stats.coverage, 1.0);
+  EXPECT_EQ(stats.provenance, StatsProvenance::kImplicit);
+
+  stats.Degrade(0.75);  // e.g., one of four shards lost
+  EXPECT_DOUBLE_EQ(stats.coverage, 0.75);
+  EXPECT_EQ(stats.provenance, StatsProvenance::kImplicitPartial);
+
+  stats.Degrade(0.9);  // e.g., a surviving shard dropped pages
+  EXPECT_DOUBLE_EQ(stats.coverage, 0.675);
+  EXPECT_EQ(stats.provenance, StatsProvenance::kImplicitPartial);
+}
+
+TEST(CoverageTest, CleanDegradeKeepsImplicitProvenance) {
+  // Degrade(1.0) records "nothing lost": coverage stays exactly 1.0 and
+  // the stats remain full-quality implicit.
+  ColumnStats stats;
+  stats.valid = true;
+  stats.Degrade(1.0);
+  EXPECT_DOUBLE_EQ(stats.coverage, 1.0);
+  EXPECT_EQ(stats.provenance, StatsProvenance::kImplicit);
+}
+
+TEST(CoverageTest, FallbackProvenanceSurvivesDegrade) {
+  // Degrade only promotes kImplicit to kImplicitPartial; a sampling
+  // fallback stamp must not be rewritten by a later coverage discount.
+  ColumnStats stats;
+  stats.valid = true;
+  stats.provenance = StatsProvenance::kSamplingFallback;
+  stats.Degrade(0.5);
+  EXPECT_DOUBLE_EQ(stats.coverage, 0.5);
+  EXPECT_EQ(stats.provenance, StatsProvenance::kSamplingFallback);
+}
+
+}  // namespace
+}  // namespace dphist::db

@@ -1,0 +1,243 @@
+// The mergeable-histogram algebra (hist/merge.h): exact merges must be
+// order-independent and lossless — statistics derived from merged shard
+// bins equal statistics derived from the unsharded column — and the
+// SpaceSaving merge must keep the never-undercount invariant with a
+// summed error bound.
+
+#include "hist/merge.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hist/dense_reference.h"
+#include "hist/space_saving.h"
+#include "hist/types.h"
+#include "workload/distributions.h"
+
+namespace dphist::hist {
+namespace {
+
+/// Builds a BinnedCounts over [min, max] with the given granularity,
+/// mirroring the Preprocessor's mapping: bin = (v - min) / granularity.
+BinnedCounts BuildBinned(std::span<const int64_t> values, int64_t min_value,
+                         int64_t max_value, int64_t granularity) {
+  BinnedCounts bins;
+  bins.min_value = min_value;
+  bins.max_value = max_value;
+  bins.granularity = granularity;
+  const uint64_t span = static_cast<uint64_t>(max_value) -
+                        static_cast<uint64_t>(min_value);
+  bins.counts.assign(span / static_cast<uint64_t>(granularity) + 1, 0);
+  for (int64_t v : values) {
+    if (v < min_value || v > max_value) continue;
+    const uint64_t offset =
+        static_cast<uint64_t>(v) - static_cast<uint64_t>(min_value);
+    ++bins.counts[offset / static_cast<uint64_t>(granularity)];
+  }
+  return bins;
+}
+
+/// Splits values into `shards` partitions by a deterministic hash.
+std::vector<std::vector<int64_t>> SplitValues(std::span<const int64_t> values,
+                                              size_t shards) {
+  std::vector<std::vector<int64_t>> parts(shards);
+  for (size_t i = 0; i < values.size(); ++i) {
+    parts[(i * 2654435761u) % shards].push_back(values[i]);
+  }
+  return parts;
+}
+
+TEST(MergeBinnedTest, EmptyInputYieldsEmpty) {
+  auto merged = MergeBinnedCounts({});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->counts.empty());
+  EXPECT_EQ(merged->TotalCount(), 0u);
+}
+
+TEST(MergeBinnedTest, SingleShardIsIdentity) {
+  std::vector<int64_t> values = {1, 2, 2, 3, 5, 5, 5};
+  BinnedCounts bins = BuildBinned(values, 1, 5, 1);
+  auto merged = MergeBinnedCounts(std::span(&bins, 1));
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->counts, bins.counts);
+  EXPECT_EQ(merged->min_value, bins.min_value);
+  EXPECT_EQ(merged->max_value, bins.max_value);
+  EXPECT_EQ(merged->granularity, bins.granularity);
+}
+
+TEST(MergeBinnedTest, MergeIsElementwiseSum) {
+  std::vector<int64_t> a_vals = {1, 1, 3};
+  std::vector<int64_t> b_vals = {1, 2, 5, 5};
+  BinnedCounts a = BuildBinned(a_vals, 1, 5, 1);
+  BinnedCounts b = BuildBinned(b_vals, 1, 5, 1);
+  std::vector<BinnedCounts> shards = {a, b};
+  auto merged = MergeBinnedCounts(shards);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->counts, (std::vector<uint64_t>{3, 1, 1, 0, 2}));
+  EXPECT_EQ(merged->TotalCount(), 7u);
+  EXPECT_EQ(merged->NonZeroBins(), 4u);
+}
+
+TEST(MergeBinnedTest, RejectsMisalignedDomains) {
+  std::vector<int64_t> values = {1, 2, 3};
+  BinnedCounts base = BuildBinned(values, 1, 10, 1);
+  BinnedCounts shifted = BuildBinned(values, 0, 10, 1);
+  BinnedCounts coarse = BuildBinned(values, 1, 10, 2);
+  std::vector<BinnedCounts> bad_min = {base, shifted};
+  std::vector<BinnedCounts> bad_gran = {base, coarse};
+  EXPECT_FALSE(MergeBinnedCounts(bad_min).ok());
+  EXPECT_FALSE(MergeBinnedCounts(bad_gran).ok());
+}
+
+TEST(MergeBinnedTest, OrderIndependent) {
+  auto column = workload::ZipfColumn(5000, 256, 0.8, 17);
+  auto parts = SplitValues(column, 4);
+  std::vector<BinnedCounts> shards;
+  for (const auto& part : parts) {
+    shards.push_back(BuildBinned(part, 1, 256, 1));
+  }
+  auto forward = MergeBinnedCounts(shards);
+  std::reverse(shards.begin(), shards.end());
+  auto reversed = MergeBinnedCounts(shards);
+  ASSERT_TRUE(forward.ok());
+  ASSERT_TRUE(reversed.ok());
+  EXPECT_EQ(forward->counts, reversed->counts);
+}
+
+TEST(MergeBinnedTest, DerivationsFromMergeEqualUnshardedDerivations) {
+  // The load-bearing property: shard the column, bin each shard, merge,
+  // derive — and get bit-identical statistics to binning the whole
+  // column on one device. Exercised with granularity > 1 so the
+  // bin <-> value mapping is non-trivial.
+  auto column = workload::ZipfColumn(20000, 999, 0.9, 23);
+  const int64_t kMin = 1, kMax = 1000, kGran = 4;
+  BinnedCounts whole = BuildBinned(column, kMin, kMax, kGran);
+  for (size_t num_shards : {1u, 2u, 5u}) {
+    auto parts = SplitValues(column, num_shards);
+    std::vector<BinnedCounts> shards;
+    for (const auto& part : parts) {
+      shards.push_back(BuildBinned(part, kMin, kMax, kGran));
+    }
+    auto merged = MergeBinnedCounts(shards);
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(merged->counts, whole.counts) << num_shards << " shards";
+
+    const uint64_t rows = column.size();
+    EXPECT_EQ(TopKFromBinned(*merged, 16), TopKFromBinned(whole, 16));
+    Histogram ed_m = EquiDepthFromBinned(*merged, 16, rows);
+    Histogram ed_w = EquiDepthFromBinned(whole, 16, rows);
+    EXPECT_EQ(ed_m.buckets, ed_w.buckets);
+    EXPECT_EQ(ed_m.total_count, ed_w.total_count);
+    Histogram md_m = MaxDiffFromBinned(*merged, 16, rows);
+    Histogram md_w = MaxDiffFromBinned(whole, 16, rows);
+    EXPECT_EQ(md_m.buckets, md_w.buckets);
+    Histogram c_m = CompressedFromBinned(*merged, 16, 8, rows);
+    Histogram c_w = CompressedFromBinned(whole, 16, 8, rows);
+    EXPECT_EQ(c_m.buckets, c_w.buckets);
+    EXPECT_EQ(c_m.singletons, c_w.singletons);
+  }
+}
+
+TEST(MergeBinnedTest, ValueSpaceConversionMatchesBinMapping) {
+  // granularity 10 over [0, 95]: bin 9 covers [90, 95] (clipped hi).
+  std::vector<int64_t> values = {0, 9, 90, 95};
+  BinnedCounts bins = BuildBinned(values, 0, 95, 10);
+  EXPECT_EQ(bins.counts.size(), 10u);
+  EXPECT_EQ(bins.BinLowValue(9), 90);
+  EXPECT_EQ(bins.BinHighValue(9), 95);  // clipped to max_value
+  Histogram ed = EquiDepthFromBinned(bins, 4, values.size());
+  EXPECT_EQ(ed.min_value, 0);
+  EXPECT_EQ(ed.max_value, 95);
+  ASSERT_FALSE(ed.buckets.empty());
+  EXPECT_EQ(ed.buckets.front().lo, 0);
+  EXPECT_EQ(ed.buckets.back().hi, 95);
+}
+
+TEST(MergeBinnedTest, EquiDepthDepthErrorBound) {
+  // The documented guarantee: with t = max(1, ceil(N/B)) and m the
+  // largest merged bin, every non-final bucket's depth lies in
+  // [t, t + m - 1], i.e. per-bucket depth error <= m - 1.
+  Rng rng(31);
+  for (int round = 0; round < 20; ++round) {
+    BinnedCounts bins;
+    bins.min_value = 0;
+    bins.granularity = 1;
+    bins.counts.resize(64 + rng.NextBounded(192));
+    bins.max_value = static_cast<int64_t>(bins.counts.size()) - 1;
+    for (auto& c : bins.counts) c = rng.NextBounded(200);
+    const uint64_t total = bins.TotalCount();
+    if (total == 0) continue;
+    const uint32_t num_buckets = 4 + static_cast<uint32_t>(rng.NextBounded(28));
+    const uint64_t t = std::max<uint64_t>(
+        1, (total + num_buckets - 1) / num_buckets);
+    const uint64_t max_error = EquiDepthMaxDepthError(bins);
+    Histogram ed = EquiDepthFromBinned(bins, num_buckets, total);
+    ASSERT_FALSE(ed.buckets.empty());
+    for (size_t i = 0; i + 1 < ed.buckets.size(); ++i) {
+      EXPECT_GE(ed.buckets[i].count, t);
+      EXPECT_LE(ed.buckets[i].count, t + max_error);
+    }
+    EXPECT_GT(ed.buckets.back().count, 0u);
+    EXPECT_LE(ed.buckets.back().count, t + max_error);
+  }
+}
+
+TEST(MergeSpaceSavingTest, NeverUndercountsWithSummedErrorBound) {
+  auto column = workload::ZipfColumn(30000, 2000, 1.0, 41);
+  auto parts = SplitValues(column, 3);
+  std::vector<SpaceSaving> sketches;
+  for (const auto& part : parts) {
+    SpaceSaving sketch(64);
+    for (int64_t v : part) sketch.Offer(v);
+    sketches.push_back(std::move(sketch));
+  }
+  std::map<int64_t, uint64_t> truth;
+  for (int64_t v : column) ++truth[v];
+
+  MergedTopK merged = MergeSpaceSavingTopK(sketches, 16);
+  EXPECT_EQ(merged.items, column.size());
+  uint64_t summed_bound = 0;
+  for (const SpaceSaving& s : sketches) summed_bound += s.max_error();
+  EXPECT_EQ(merged.error_bound, summed_bound);
+  ASSERT_FALSE(merged.entries.empty());
+  EXPECT_LE(merged.entries.size(), 16u);
+  for (const ValueCount& e : merged.entries) {
+    const uint64_t true_count = truth.count(e.value) ? truth[e.value] : 0;
+    EXPECT_GE(e.count, true_count) << "undercounted value " << e.value;
+    EXPECT_LE(e.count, true_count + merged.error_bound)
+        << "overestimate beyond the summed bound for value " << e.value;
+  }
+  // The stream's heaviest hitter must survive the merge at the top.
+  auto heaviest = std::max_element(
+      truth.begin(), truth.end(),
+      [](const auto& a, const auto& b) { return a.second < b.second; });
+  EXPECT_EQ(merged.entries.front().value, heaviest->first);
+}
+
+TEST(MergeSpaceSavingTest, OrderIndependent) {
+  auto column = workload::ZipfColumn(9000, 500, 0.7, 53);
+  auto parts = SplitValues(column, 3);
+  std::vector<SpaceSaving> sketches;
+  for (const auto& part : parts) {
+    SpaceSaving sketch(32);
+    for (int64_t v : part) sketch.Offer(v);
+    sketches.push_back(std::move(sketch));
+  }
+  MergedTopK forward = MergeSpaceSavingTopK(sketches, 10);
+  std::vector<SpaceSaving> reversed;
+  for (auto it = sketches.rbegin(); it != sketches.rend(); ++it) {
+    reversed.push_back(*it);
+  }
+  MergedTopK backward = MergeSpaceSavingTopK(reversed, 10);
+  EXPECT_EQ(forward.entries, backward.entries);
+  EXPECT_EQ(forward.error_bound, backward.error_bound);
+  EXPECT_EQ(forward.items, backward.items);
+}
+
+}  // namespace
+}  // namespace dphist::hist

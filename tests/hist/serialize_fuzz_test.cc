@@ -1,0 +1,158 @@
+// Randomized round-trip coverage for hist/serialize: both wire formats
+// must reproduce arbitrary histograms bit-exactly (including sentinel
+// bounds and zero-depth buckets), and the compact varint decoder must
+// reject every truncation — in particular cuts landing mid-varint — and
+// overlong encodings.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hist/serialize.h"
+#include "hist/types.h"
+
+namespace dphist::hist {
+namespace {
+
+int64_t FuzzValue(Rng* rng) {
+  // Mix ordinary magnitudes with the values that stress the
+  // int64 <-> uint64 casts and the zigzag transform.
+  switch (rng->NextBounded(6)) {
+    case 0:
+      return INT64_MIN;
+    case 1:
+      return INT64_MAX;
+    case 2:
+      return 0;
+    case 3:
+      return -static_cast<int64_t>(rng->NextBounded(1u << 20));
+    default:
+      return static_cast<int64_t>(rng->Next());
+  }
+}
+
+Histogram FuzzHistogram(Rng* rng) {
+  Histogram h;
+  h.type = static_cast<HistogramType>(rng->NextBounded(6));
+  h.min_value = FuzzValue(rng);
+  h.max_value = FuzzValue(rng);
+  h.total_count = rng->Next();
+  const size_t num_buckets = rng->NextBounded(20);
+  for (size_t i = 0; i < num_buckets; ++i) {
+    Bucket b;
+    b.lo = FuzzValue(rng);
+    b.hi = FuzzValue(rng);
+    // Zero-depth buckets are legal on the wire (a drained equi-depth
+    // bucket); make them common.
+    b.count = rng->NextBounded(3) == 0 ? 0 : rng->Next();
+    b.distinct = rng->NextBounded(1u << 16);
+    h.buckets.push_back(b);
+  }
+  const size_t num_singletons = rng->NextBounded(12);
+  for (size_t i = 0; i < num_singletons; ++i) {
+    h.singletons.push_back(
+        ValueCount{FuzzValue(rng), rng->NextBounded(3) == 0 ? 0 : rng->Next()});
+  }
+  return h;
+}
+
+void ExpectRoundTrip(const Histogram& h, const std::vector<uint8_t>& bytes) {
+  auto decoded = DeserializeHistogram(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->type, h.type);
+  EXPECT_EQ(decoded->min_value, h.min_value);
+  EXPECT_EQ(decoded->max_value, h.max_value);
+  EXPECT_EQ(decoded->total_count, h.total_count);
+  EXPECT_EQ(decoded->buckets, h.buckets);
+  EXPECT_EQ(decoded->singletons, h.singletons);
+}
+
+TEST(SerializeFuzzTest, RoundTripBothFormats) {
+  Rng rng(0xF0220);
+  for (int round = 0; round < 300; ++round) {
+    Histogram h = FuzzHistogram(&rng);
+    ExpectRoundTrip(h, SerializeHistogram(h));
+    ExpectRoundTrip(h, SerializeHistogramCompact(h));
+  }
+}
+
+TEST(SerializeFuzzTest, CompactRejectsEveryTruncation) {
+  // Chopping a compact payload at any length must fail cleanly: most
+  // cuts land mid-varint (continuation bit set on the last byte), the
+  // rest land between fields or inside the declared entry list.
+  Rng rng(0xF0221);
+  for (int round = 0; round < 20; ++round) {
+    Histogram h = FuzzHistogram(&rng);
+    auto bytes = SerializeHistogramCompact(h);
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_FALSE(DeserializeHistogram(std::span(bytes.data(), len)).ok())
+          << "prefix of length " << len << " of " << bytes.size()
+          << " decoded successfully";
+    }
+  }
+}
+
+TEST(SerializeFuzzTest, FixedRejectsEveryTruncation) {
+  Rng rng(0xF0222);
+  Histogram h = FuzzHistogram(&rng);
+  auto bytes = SerializeHistogram(h);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_FALSE(DeserializeHistogram(std::span(bytes.data(), len)).ok());
+  }
+}
+
+TEST(SerializeFuzzTest, CompactRejectsTrailingGarbage) {
+  Rng rng(0xF0223);
+  Histogram h = FuzzHistogram(&rng);
+  auto bytes = SerializeHistogramCompact(h);
+  bytes.push_back(0x00);
+  EXPECT_FALSE(DeserializeHistogram(bytes).ok());
+}
+
+TEST(SerializeFuzzTest, CompactRejectsOverlongVarint) {
+  // version 2, type 0, then a varint that keeps its continuation bit set
+  // through all ten bytes (would spill past 64 bits).
+  std::vector<uint8_t> bytes = {2, 0};
+  for (int i = 0; i < 9; ++i) bytes.push_back(0xFF);
+  bytes.push_back(0x7F);  // 10th byte with payload bits beyond bit 63
+  EXPECT_FALSE(DeserializeHistogram(bytes).ok());
+}
+
+TEST(SerializeFuzzTest, CompactRejectsMidVarintContinuation) {
+  // A payload whose final byte still has the continuation bit set: the
+  // decoder is mid-varint when the bytes run out.
+  std::vector<uint8_t> bytes = {2, 0, 0x80};
+  EXPECT_FALSE(DeserializeHistogram(bytes).ok());
+}
+
+TEST(SerializeFuzzTest, CompactIsSmallerOnTypicalHistograms) {
+  // The point of the varint format: ordinary bucket values occupy a few
+  // bytes, not eight.
+  Histogram h;
+  h.min_value = 1;
+  h.max_value = 1000;
+  h.total_count = 60000;
+  for (int i = 0; i < 16; ++i) {
+    h.buckets.push_back(
+        Bucket{i * 60 + 1, (i + 1) * 60, 3750, 60});
+  }
+  EXPECT_LT(SerializeHistogramCompact(h).size(), SerializeHistogram(h).size());
+}
+
+TEST(SerializeFuzzTest, CompactRejectsInflatedEntryCounts) {
+  // Header declaring absurdly many buckets over a tiny payload must be
+  // refused before any allocation in their name.
+  Histogram h;
+  auto bytes = SerializeHistogramCompact(h);  // 2 header + 5 zero varints
+  ASSERT_EQ(bytes.size(), 7u);
+  auto inflated = bytes;
+  // Replace num_buckets (6th byte) with a 5-byte varint ~ 2^34.
+  inflated[5] = 0xFF;
+  inflated.insert(inflated.begin() + 6, {0xFF, 0xFF, 0xFF, 0x3F});
+  EXPECT_FALSE(DeserializeHistogram(inflated).ok());
+}
+
+}  // namespace
+}  // namespace dphist::hist

@@ -153,6 +153,66 @@ TEST(IncrementalTest, DeletesAbsorbed) {
   EXPECT_EQ(inc.deletes_absorbed(), 1u);
 }
 
+TEST(IncrementalTest, DeleteAtGlobalExtremes) {
+  // Deleting the global min and max hits the first and last bucket's
+  // boundary values — the clamp path in BucketFor — and must decrement
+  // exactly the edge buckets.
+  Histogram h;
+  h.min_value = 0;
+  h.max_value = 29;
+  h.total_count = 30;
+  h.buckets = {Bucket{0, 9, 10, 10}, Bucket{10, 19, 10, 10},
+               Bucket{20, 29, 10, 10}};
+  IncrementalEquiDepth inc(h);
+  inc.Delete(0);   // global min
+  inc.Delete(29);  // global max
+  EXPECT_EQ(inc.histogram().buckets.front().count, 9u);
+  EXPECT_EQ(inc.histogram().buckets.back().count, 9u);
+  EXPECT_EQ(inc.histogram().total_count, 28u);
+  EXPECT_EQ(inc.deletes_absorbed(), 2u);
+}
+
+TEST(IncrementalTest, DeleteOnEmptyEdgeBucketIsIgnored) {
+  // Draining an edge bucket to zero and deleting again must neither wrap
+  // the bucket count nor touch total_count.
+  Histogram h;
+  h.min_value = 0;
+  h.max_value = 19;
+  h.total_count = 12;
+  h.buckets = {Bucket{0, 9, 2, 2}, Bucket{10, 19, 10, 10}};
+  IncrementalEquiDepth inc(h);
+  inc.Delete(0);
+  inc.Delete(5);
+  EXPECT_EQ(inc.histogram().buckets.front().count, 0u);
+  EXPECT_EQ(inc.histogram().total_count, 10u);
+  inc.Delete(3);  // bucket already empty: ignored
+  EXPECT_EQ(inc.histogram().buckets.front().count, 0u);
+  EXPECT_EQ(inc.histogram().total_count, 10u);
+  EXPECT_EQ(inc.deletes_absorbed(), 2u);
+  // The imbalance signal stays finite and sane after the drain.
+  EXPECT_GE(inc.ImbalanceRatio(), 1.0);
+  EXPECT_LT(inc.ImbalanceRatio(), 10.0);
+}
+
+TEST(IncrementalTest, DeleteNeverUnderflowsTotalCount) {
+  // Inconsistent input: a bucket claims more rows than total_count. The
+  // absorbed deletes must clamp total_count at zero instead of wrapping
+  // to 2^64-1 (which would poison ImbalanceRatio and NeedsRebuild).
+  Histogram h;
+  h.min_value = 0;
+  h.max_value = 9;
+  h.total_count = 1;
+  h.buckets = {Bucket{0, 9, 3, 3}};
+  IncrementalEquiDepth inc(h);
+  inc.Delete(4);
+  inc.Delete(4);
+  inc.Delete(4);
+  EXPECT_EQ(inc.histogram().buckets.front().count, 0u);
+  EXPECT_EQ(inc.histogram().total_count, 0u);
+  EXPECT_EQ(inc.deletes_absorbed(), 3u);
+  EXPECT_FALSE(inc.NeedsRebuild());
+}
+
 TEST(IncrementalTest, DriftTriggersRebuildSignal) {
   // Start balanced; flood one bucket's range (the paper's update
   // scenario) and watch the imbalance grow past the rebuild threshold.
