@@ -1,0 +1,247 @@
+// Overload benchmark for the always-on stats service: a Zipf-skewed
+// open/closed-loop client population pushes svc::StatsService far past
+// its saturation throughput and the bench reports how it degrades —
+// latency percentiles (p50/p99/p999), shed/coalesce/cache-hit counts,
+// and how often each rung of the load-shedding ladder was occupied.
+//
+// The robustness claim under test: at ~10x saturation every request is
+// either served (possibly degraded, with a certified accuracy contract),
+// shed with ResourceExhausted at admission, or answered
+// DeadlineExceeded — the service never aborts, deadlocks, or buffers
+// without bound.
+//
+//   ./build/bench/bench_service_load
+//
+// Emits BENCH_service_load.json (see README "Service" section).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/device.h"
+#include "bench/bench_util.h"
+#include "db/storage.h"
+#include "svc/service.h"
+#include "workload/distributions.h"
+#include "workload/driver.h"
+
+using namespace dphist;
+
+namespace {
+
+constexpr uint64_t kCardinality = 512;
+constexpr uint32_t kNumBuckets = 16;
+
+svc::StatsRequest MakeRequest(const workload::DriverTarget& target,
+                              bool refresh) {
+  svc::StatsRequest request;
+  request.table = target.table;
+  request.column = target.column;
+  request.params.min_value = 1;
+  request.params.max_value = static_cast<int64_t>(kCardinality);
+  request.params.num_buckets = kNumBuckets;
+  request.params.top_k = 8;
+  request.kind =
+      refresh ? svc::RequestKind::kRefresh : svc::RequestKind::kRead;
+  return request;
+}
+
+double Percentile(std::vector<double>* sorted_seconds, double p) {
+  if (sorted_seconds->empty()) return 0;
+  std::sort(sorted_seconds->begin(), sorted_seconds->end());
+  const size_t index = std::min(
+      sorted_seconds->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_seconds->size())));
+  return (*sorted_seconds)[index];
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "bench_service_load",
+      "service-level overload behavior (no single paper figure)",
+      "closed-loop client fleet at ~10x saturation against the always-on "
+      "stats service");
+
+  const uint64_t rows = bench::Scaled(60000);
+  const size_t total_ops = static_cast<size_t>(bench::Scaled(300));
+
+  // Four tables, two scannable columns each (column 0 carries the data;
+  // a second target on the same column with different identity comes
+  // from distinct tables). All Zipf-skewed columns.
+  db::Catalog catalog;
+  std::vector<workload::DriverTarget> targets;
+  for (int t = 0; t < 4; ++t) {
+    const std::string name = "t" + std::to_string(t);
+    auto column = workload::ZipfColumn(rows, kCardinality, /*s=*/0.75,
+                                       /*seed=*/100 + t);
+    catalog.AddTable(name,
+                     workload::ColumnToTable(column, /*num_columns=*/4,
+                                             /*seed=*/100 + t));
+    targets.push_back({name, 0});
+  }
+
+  accel::AcceleratorConfig config;
+  accel::Device device(config);
+
+  svc::ServiceOptions options;
+  options.num_workers = 2;
+  options.queue_high_water = 16;
+  options.default_deadline_nanos = 2'000'000'000;  // 2 s
+  svc::StatsService service(&catalog, &device, options);
+  if (!service.Start().ok()) {
+    std::fprintf(stderr, "service failed to start\n");
+    return 1;
+  }
+
+  // Saturation estimate: serial refreshes of every target, timed.
+  double warm_seconds = 0;
+  for (const auto& target : targets) {
+    db::WallTimer timer;
+    auto response = service.SubmitAndWait(MakeRequest(target, true));
+    warm_seconds += timer.Seconds();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "warmup failed: %s\n",
+                   response.status.ToString().c_str());
+      return 1;
+    }
+  }
+  const double mean_service_seconds =
+      warm_seconds / static_cast<double>(targets.size());
+  const double saturation_rps =
+      static_cast<double>(options.num_workers) / mean_service_seconds;
+
+  // Closed-loop overload: 8 clients (4x the worker pool) issuing
+  // back-to-back with zero think time — an offered load well past 10x
+  // what two workers can serve once sheds and cache hits are excluded.
+  workload::DriverOptions driver_options;
+  driver_options.seed = 7;
+  driver_options.zipf_s = 1.0;
+  driver_options.refresh_fraction = 0.25;
+  workload::Driver driver(targets, driver_options);
+  const auto schedule = driver.Generate(total_ops);
+
+  constexpr int kClients = 8;
+  std::atomic<size_t> next_op{0};
+  std::mutex record_mu;
+  std::vector<double> latencies_seconds;
+  uint64_t ok_count = 0, shed_count = 0, deadline_count = 0, error_count = 0;
+
+  db::WallTimer load_timer;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (;;) {
+        const size_t i = next_op.fetch_add(1);
+        if (i >= schedule.size()) return;
+        const workload::DriverOp& op = schedule[i];
+        auto request = MakeRequest(targets[op.target], op.refresh);
+        request.deadline_nanos = 0;  // service default (2 s)
+        db::WallTimer timer;
+        auto response = service.SubmitAndWait(request);
+        const double seconds = timer.Seconds();
+        std::lock_guard<std::mutex> lock(record_mu);
+        latencies_seconds.push_back(seconds);
+        if (response.status.ok()) {
+          ++ok_count;
+        } else if (response.status.code() ==
+                   StatusCode::kResourceExhausted) {
+          ++shed_count;
+        } else if (response.status.code() ==
+                   StatusCode::kDeadlineExceeded) {
+          ++deadline_count;
+        } else {
+          ++error_count;
+        }
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double load_seconds = load_timer.Seconds();
+
+  // Admission burst: fire-hose 3x the high-water mark of distinct
+  // refresh requests without waiting, so admission control and the top
+  // ladder rungs are exercised even if the closed-loop phase drained
+  // well. Distinct bucket counts defeat coalescing on purpose.
+  size_t burst_submitted = 0, burst_shed = 0;
+  std::vector<svc::Ticket> burst_tickets;
+  for (size_t b = 0; b < 3 * options.queue_high_water; ++b) {
+    auto request = MakeRequest(targets[b % targets.size()], true);
+    request.params.num_buckets = static_cast<uint32_t>(8 + b);
+    ++burst_submitted;
+    auto ticket = service.Submit(request);
+    if (ticket.ok()) {
+      burst_tickets.push_back(std::move(*ticket));
+    } else {
+      ++burst_shed;
+    }
+  }
+  for (auto& ticket : burst_tickets) (void)ticket.Wait();
+
+  service.Stop();
+  const svc::ServiceCounters counters = service.counters();
+
+  const double p50 = Percentile(&latencies_seconds, 0.50);
+  const double p99 = Percentile(&latencies_seconds, 0.99);
+  const double p999 = Percentile(&latencies_seconds, 0.999);
+  const double completed_rps =
+      static_cast<double>(latencies_seconds.size()) / load_seconds;
+
+  bench::JsonWriter json("service_load");
+  json.MetaNum("rows_per_table", static_cast<double>(rows));
+  json.MetaNum("tables", static_cast<double>(targets.size()));
+  json.MetaNum("workers", options.num_workers);
+  json.MetaNum("queue_high_water",
+               static_cast<double>(options.queue_high_water));
+  json.MetaNum("clients", kClients);
+  json.MetaNum("ops", static_cast<double>(total_ops));
+  json.MetaNum("saturation_rps", saturation_rps);
+  json.MetaNum("offered_over_saturation",
+               completed_rps > 0 ? completed_rps / saturation_rps : 0);
+
+  bench::TablePrinter table({"metric", "value"});
+  table.AttachJson(&json);
+  table.PrintHeader();
+  auto row = [&](const char* metric, double value, const char* unit) {
+    table.PrintRow({metric, bench::TablePrinter::Fmt(value, unit)});
+  };
+  row("p50 latency", p50 * 1e3, " ms");
+  row("p99 latency", p99 * 1e3, " ms");
+  row("p999 latency", p999 * 1e3, " ms");
+  row("completed throughput", completed_rps, " rps");
+  row("saturation estimate", saturation_rps, " rps");
+  row("ok", static_cast<double>(ok_count), "");
+  row("shed (client-visible)", static_cast<double>(shed_count), "");
+  row("deadline exceeded", static_cast<double>(deadline_count), "");
+  row("errors", static_cast<double>(error_count), "");
+  row("submitted", static_cast<double>(counters.submitted), "");
+  row("sheds", static_cast<double>(counters.shed), "");
+  row("coalesced", static_cast<double>(counters.coalesced), "");
+  row("cache hits", static_cast<double>(counters.cache_hits), "");
+  row("served", static_cast<double>(counters.served), "");
+  row("degraded", static_cast<double>(counters.degraded), "");
+  row("fallbacks", static_cast<double>(counters.fallbacks), "");
+  for (size_t level = 0; level < counters.ladder_occupancy.size(); ++level) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "ladder level %zu", level);
+    row(name, static_cast<double>(counters.ladder_occupancy[level]), "");
+  }
+  row("burst submitted", static_cast<double>(burst_submitted), "");
+  row("burst shed", static_cast<double>(burst_shed), "");
+
+  if (error_count != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu responses were neither served, shed, nor "
+                 "deadline-bounded\n",
+                 static_cast<unsigned long long>(error_count));
+    return 1;
+  }
+  json.WriteFile();
+  return 0;
+}

@@ -78,6 +78,9 @@ ShardScanResult ClusterCoordinator::RunShard(
   const uint32_t max_attempts =
       std::max<uint32_t>(1, options_.retry.max_attempts);
   double backoff = options_.retry.initial_backoff_seconds;
+  // Each shard jitters from its own seeded stream: deterministic given
+  // the options, yet decorrelated across shards retrying the same blip.
+  Rng jitter_rng(options_.retry_jitter_seed ^ shard);
   for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
     ++result.attempts;
     shard_scans->Add();
@@ -90,7 +93,8 @@ ShardScanResult ClusterCoordinator::RunShard(
       return result;
     }
     if (attempt < max_attempts) {
-      result.backoff_seconds += backoff;
+      result.backoff_seconds += db::JitterBackoff(
+          backoff, options_.retry.jitter_fraction, &jitter_rng);
       backoff *= options_.retry.backoff_multiplier;
     }
   }

@@ -43,6 +43,10 @@ struct ClusterOptions {
   /// Per-shard retry (same policy object the ResilientScanner uses);
   /// backoff is modelled seconds, accumulated in the shard result.
   db::RetryPolicy retry;
+  /// Base seed of the per-shard jitter RNGs (shard i draws from
+  /// retry_jitter_seed ^ i); consumed only when retry.jitter_fraction > 0,
+  /// so shard results stay reproducible under jittered retry storms.
+  uint64_t retry_jitter_seed = 0xC1E5u;
 };
 
 /// What happened on one shard, in shard-id order.

@@ -15,6 +15,7 @@ enum class StatusCode {
   kNotFound,
   kAlreadyExists,
   kResourceExhausted,
+  kDeadlineExceeded,
   kCorruption,
   kUnimplemented,
   kInternal,
@@ -53,6 +54,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));

@@ -91,10 +91,13 @@ Result<MaintenanceWindowReport> RunMaintenanceWindow(
     Catalog* catalog, accel::Device* device,
     std::span<const MaintenanceCandidate> jobs, double budget_seconds,
     const std::function<accel::ScanRequest(const MaintenanceCandidate&)>&
-        request_for) {
+        request_for,
+    const svc::Clock* clock) {
   if (device == nullptr || catalog == nullptr) {
     return Status::InvalidArgument("maintenance window: null catalog/device");
   }
+  if (clock == nullptr) clock = svc::MonotonicClock::Global();
+  const uint64_t window_start = clock->NowNanos();
   MaintenanceWindowReport report;
   DataPathScanner scanner(catalog, device);
   for (const MaintenanceCandidate& job : jobs) {
@@ -118,6 +121,8 @@ Result<MaintenanceWindowReport> RunMaintenanceWindow(
     report.device_seconds += scan->total_seconds;
     report.executed.push_back(job);
   }
+  report.wall_seconds =
+      static_cast<double>(clock->NowNanos() - window_start) * 1e-9;
   FlushWindowMetrics(report);
   return report;
 }
@@ -127,10 +132,12 @@ Result<MaintenanceWindowReport> RunMaintenanceWindowConcurrent(
     std::span<const MaintenanceCandidate> jobs, double budget_seconds,
     const std::function<accel::ScanRequest(const MaintenanceCandidate&)>&
         request_for,
-    uint32_t num_threads) {
+    uint32_t num_threads, const svc::Clock* clock) {
   if (device == nullptr || catalog == nullptr) {
     return Status::InvalidArgument("maintenance window: null catalog/device");
   }
+  if (clock == nullptr) clock = svc::MonotonicClock::Global();
+  const uint64_t window_start = clock->NowNanos();
   // Run everything in one executor pass...
   std::vector<accel::ScanJob> scan_jobs;
   scan_jobs.reserve(jobs.size());
@@ -176,6 +183,8 @@ Result<MaintenanceWindowReport> RunMaintenanceWindowConcurrent(
     report.device_seconds += outcome.report.total_seconds;
     report.executed.push_back(job);
   }
+  report.wall_seconds =
+      static_cast<double>(clock->NowNanos() - window_start) * 1e-9;
   FlushWindowMetrics(report);
   return report;
 }

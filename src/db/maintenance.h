@@ -11,6 +11,7 @@
 #include "accel/device.h"
 #include "common/result.h"
 #include "db/catalog.h"
+#include "svc/clock.h"
 
 namespace dphist::db {
 
@@ -56,6 +57,7 @@ struct MaintenanceWindowReport {
   /// budget (or at all) — the freshness debt the estimates hid.
   std::vector<MaintenanceCandidate> deferred;
   double device_seconds = 0;    ///< simulated device time consumed
+  double wall_seconds = 0;      ///< host time the window took (monotonic)
   uint64_t device_failures = 0; ///< jobs the device refused or failed
 };
 
@@ -66,11 +68,15 @@ struct MaintenanceWindowReport {
 /// job, typically from catalog knowledge. Device failures defer the job
 /// instead of aborting the window — the window scheduler, like the
 /// device, must not abort the wire.
+/// `clock` (optional) is the monotonic source for the report's
+/// wall_seconds; nullptr means svc::MonotonicClock::Global(). Tests
+/// inject a FakeClock to make window timing deterministic.
 Result<MaintenanceWindowReport> RunMaintenanceWindow(
     Catalog* catalog, accel::Device* device,
     std::span<const MaintenanceCandidate> jobs, double budget_seconds,
     const std::function<accel::ScanRequest(const MaintenanceCandidate&)>&
-        request_for);
+        request_for,
+    const svc::Clock* clock = nullptr);
 
 /// Executor-backed window: all jobs run concurrently on `num_threads`
 /// host workers (simulated device time is unaffected — the executor's
@@ -85,7 +91,7 @@ Result<MaintenanceWindowReport> RunMaintenanceWindowConcurrent(
     std::span<const MaintenanceCandidate> jobs, double budget_seconds,
     const std::function<accel::ScanRequest(const MaintenanceCandidate&)>&
         request_for,
-    uint32_t num_threads);
+    uint32_t num_threads, const svc::Clock* clock = nullptr);
 
 }  // namespace dphist::db
 

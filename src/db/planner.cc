@@ -21,10 +21,18 @@ double Log2Safe(double x) { return std::log2(std::max(2.0, x)); }
 /// full population. A partial scan saw only `coverage` of the rows, so
 /// its histogram undercounts everything by roughly that factor; full-
 /// quality and sampling-fallback stats are already population-scaled.
+/// When the stats carry a certified per-bucket error bound (the service's
+/// accuracy contract), the estimate is additionally widened by exactly
+/// that bound — a contract, not a coverage guess — so a certified
+/// degraded scan yields a principled conservative estimate instead of a
+/// hopeful one.
 double DiscountForCoverage(double estimate, const ColumnStats& stats) {
   if (stats.provenance == StatsProvenance::kImplicitPartial &&
       stats.coverage > 0 && stats.coverage < 1.0) {
-    return estimate / stats.coverage;
+    estimate /= stats.coverage;
+    if (stats.certified_rel_error >= 0) {
+      estimate *= 1.0 + stats.certified_rel_error;
+    }
   }
   return estimate;
 }

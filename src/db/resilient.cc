@@ -42,6 +42,12 @@ hist::FrequencyVector AggregateSorted(const std::vector<int64_t>& sorted) {
 
 }  // namespace
 
+double JitterBackoff(double backoff, double jitter_fraction, Rng* rng) {
+  if (jitter_fraction <= 0.0) return backoff;
+  const double lo = 1.0 - jitter_fraction;
+  return backoff * (lo + 2.0 * jitter_fraction * rng->NextDouble());
+}
+
 const char* ScanPathName(ScanPath path) {
   switch (path) {
     case ScanPath::kImplicit:
@@ -121,6 +127,15 @@ Result<ColumnStats> ResilientScanner::BuildFallbackStats(
   return stats;
 }
 
+Result<ColumnStats> ResilientScanner::BuildSamplingStats(
+    const std::string& table, size_t column) const {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Find(table));
+  if (column >= entry->table->schema().num_columns()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  return BuildFallbackStats(*entry->table, column);
+}
+
 Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
     const std::string& table, size_t column,
     const accel::ScanRequest& request) {
@@ -140,8 +155,19 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
   if (breaker_open_) {
     outcome.breaker_was_open = true;
     ++scans_while_open_;
-    if (options_.breaker.probe_interval == 0 ||
-        scans_while_open_ % options_.breaker.probe_interval != 0) {
+    // Two probe schedules: time-based (first scan after the cooldown has
+    // elapsed on the monotonic clock) or, with no cooldown configured,
+    // the legacy count-based every-Nth-scan schedule.
+    bool probe_due;
+    if (options_.breaker.cooldown_seconds > 0) {
+      probe_due = clock_->NowNanos() - breaker_opened_nanos_ >=
+                  static_cast<uint64_t>(options_.breaker.cooldown_seconds *
+                                        1e9);
+    } else {
+      probe_due = options_.breaker.probe_interval != 0 &&
+                  scans_while_open_ % options_.breaker.probe_interval == 0;
+    }
+    if (!probe_due) {
       try_device = false;
       ++counters_.short_circuits;
       static obs::Counter* short_circuits =
@@ -225,6 +251,7 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
           consecutive_failures_ >= options_.breaker.trip_threshold) {
         breaker_open_ = true;
         scans_while_open_ = 0;
+        breaker_opened_nanos_ = clock_->NowNanos();
         outcome.tripped_breaker = true;
         ++counters_.breaker_trips;
         static obs::Counter* trips = DbCounter("db.resilient.breaker_trips");
@@ -236,14 +263,20 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
             consecutive_failures_);
         break;  // no point retrying a device we just declared down
       }
-      if (probing) break;  // a failed probe keeps the breaker open
+      if (probing) {
+        // A failed probe keeps the breaker open; under a time-based
+        // schedule the cooldown starts over from this failure.
+        breaker_opened_nanos_ = clock_->NowNanos();
+        break;
+      }
       if (attempt < max_attempts) {
         ++outcome.retries;
         ++counters_.retries;
         static obs::Counter* retries = DbCounter("db.resilient.retries");
         retries->Add();
         obs::Tracer::Global().InstantSeq("db/scan", "retry", "resilience");
-        outcome.backoff_seconds += backoff;
+        outcome.backoff_seconds += JitterBackoff(
+            backoff, options_.retry.jitter_fraction, &jitter_rng_);
         backoff *= options_.retry.backoff_multiplier;
       }
     }
@@ -359,6 +392,7 @@ Result<std::vector<ScanOutcome>> ResilientScanner::ScanAndRefreshMany(
           consecutive_failures_ >= options_.breaker.trip_threshold) {
         breaker_open_ = true;
         scans_while_open_ = 0;
+        breaker_opened_nanos_ = clock_->NowNanos();
         outcome.tripped_breaker = true;
         ++counters_.breaker_trips;
         static obs::Counter* trips = DbCounter("db.resilient.breaker_trips");

@@ -8,9 +8,11 @@
 
 #include "accel/accelerator.h"
 #include "accel/device.h"
+#include "common/random.h"
 #include "common/result.h"
 #include "db/catalog.h"
 #include "db/datapath.h"
+#include "svc/clock.h"
 
 namespace dphist::db {
 
@@ -22,16 +24,32 @@ struct RetryPolicy {
   uint32_t max_attempts = 3;  ///< total attempts per scan (1 = no retry)
   double initial_backoff_seconds = 0.001;
   double backoff_multiplier = 2.0;
+  /// Symmetric jitter applied to each backoff step: the modelled step is
+  /// multiplied by a uniform draw from [1 - j, 1 + j]. Jitter decorrelates
+  /// retry storms when many scanners share one device; 0 keeps the exact
+  /// deterministic ladder. Draws come from a seeded RNG injected at
+  /// scanner construction (never ::rand() or the wall clock), so overload
+  /// tests replay bit-identically.
+  double jitter_fraction = 0.0;
 };
+
+/// Applies one backoff step's jitter: backoff * U[1 - j, 1 + j], drawn
+/// from `rng`. With j == 0 the value passes through untouched and no
+/// draw is consumed, so existing no-jitter schedules stay bit-identical.
+double JitterBackoff(double backoff, double jitter_fraction, Rng* rng);
 
 /// Circuit breaker over the implicit path: after `trip_threshold`
 /// consecutive device failures the breaker opens and scans stop touching
 /// the device (straight to fallback). Every `probe_interval`-th scan
 /// while open sends a single half-open probe; a successful probe closes
-/// the breaker.
+/// the breaker. When `cooldown_seconds` > 0 the probe schedule is
+/// time-based instead: the first scan after the cooldown has elapsed on
+/// the scanner's monotonic clock probes, and a failed probe restarts the
+/// cooldown.
 struct BreakerPolicy {
   uint32_t trip_threshold = 3;
   uint32_t probe_interval = 4;
+  double cooldown_seconds = 0;
 };
 
 /// Software fallback: when the device is down or its output unusable,
@@ -53,6 +71,12 @@ struct ResilientScannerOptions {
   /// Minimum ScanQuality coverage for a partial device report to be
   /// installed; below this the scan counts as a device failure.
   double min_coverage = 0.5;
+  /// Seed of the scanner's private jitter RNG (consumed only when
+  /// retry.jitter_fraction > 0).
+  uint64_t jitter_seed = 0xB0FFu;
+  /// Monotonic time source for the breaker cooldown; nullptr means
+  /// svc::MonotonicClock::Global(). Tests inject a FakeClock.
+  const svc::Clock* clock = nullptr;
 };
 
 /// Which path ultimately refreshed (or preserved) the column's stats.
@@ -111,7 +135,12 @@ class ResilientScanner {
   /// hold every region.
   ResilientScanner(Catalog* catalog, accel::Device* device,
                    ResilientScannerOptions options = {})
-      : catalog_(catalog), device_(device), options_(std::move(options)) {}
+      : catalog_(catalog),
+        device_(device),
+        options_(std::move(options)),
+        jitter_rng_(options_.jitter_seed),
+        clock_(options_.clock != nullptr ? options_.clock
+                                         : svc::MonotonicClock::Global()) {}
 
   /// Compatibility: scans through an Accelerator facade's device.
   ResilientScanner(Catalog* catalog, accel::Accelerator* accelerator,
@@ -136,6 +165,12 @@ class ResilientScanner {
   Result<std::vector<ScanOutcome>> ScanAndRefreshMany(
       std::span<const TableScanJob> jobs, uint32_t num_threads = 1);
 
+  /// Host-side sampling rebuild of a column's stats, public so service
+  /// front ends can degrade to the same fallback without a device scan.
+  /// Builds and returns the stats; does not install them.
+  Result<ColumnStats> BuildSamplingStats(const std::string& table,
+                                         size_t column) const;
+
   const ScanCounters& counters() const { return counters_; }
   bool breaker_open() const { return breaker_open_; }
   uint32_t consecutive_failures() const { return consecutive_failures_; }
@@ -159,6 +194,9 @@ class ResilientScanner {
   uint32_t consecutive_failures_ = 0;
   bool breaker_open_ = false;
   uint64_t scans_while_open_ = 0;
+  Rng jitter_rng_;            ///< seeded at construction; retry jitter only
+  const svc::Clock* clock_;   ///< monotonic; drives the breaker cooldown
+  uint64_t breaker_opened_nanos_ = 0;
 };
 
 }  // namespace dphist::db

@@ -61,6 +61,14 @@ struct ColumnStats {
   /// data they describe. The planner discounts low-coverage estimates.
   StatsProvenance provenance = StatsProvenance::kImplicit;
   double coverage = 1.0;  ///< estimated fraction of rows described
+  /// Certified per-bucket relative depth error of the equi-depth body
+  /// (hist::EquiDepthMaxDepthError over the bins the stats were derived
+  /// from, divided by the target depth). Negative means uncertified —
+  /// coverage is then the planner's only quality signal. A certified
+  /// bound turns degradation into a contract: the planner widens
+  /// estimates by exactly this factor instead of guessing from raw
+  /// coverage alone.
+  double certified_rel_error = -1.0;
 
   /// Records one more independent degradation source. Every writer must
   /// come through here rather than assigning `coverage` directly: stats

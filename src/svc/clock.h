@@ -1,0 +1,82 @@
+#ifndef DPHIST_SVC_CLOCK_H_
+#define DPHIST_SVC_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace dphist::svc {
+
+/// Monotonic time source for everything that reasons about *elapsed host
+/// time*: service deadlines, breaker cooldowns, window budgets. Wall
+/// clocks (std::chrono::system_clock) jump under NTP slews and make
+/// deadline math untestable; this abstraction is monotonic by contract
+/// and fake-able in tests. Header-only so layers below svc (db's circuit
+/// breaker, the maintenance window) can share it without a library
+/// dependency.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary fixed origin; never decreases.
+  virtual uint64_t NowNanos() const = 0;
+
+  double NowSeconds() const {
+    return static_cast<double>(NowNanos()) * 1e-9;
+  }
+};
+
+/// Production clock: std::chrono::steady_clock, the only standard clock
+/// guaranteed monotonic.
+class MonotonicClock : public Clock {
+ public:
+  uint64_t NowNanos() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  /// Process-wide instance for call sites that take a `const Clock*`
+  /// defaulting to real time.
+  static const MonotonicClock* Global() {
+    static const MonotonicClock clock;
+    return &clock;
+  }
+};
+
+/// Test clock: time advances only when the test says so. Thread-safe
+/// (atomic), so a test may advance time while service workers read it.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_nanos = 0) : now_(start_nanos) {}
+
+  uint64_t NowNanos() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void AdvanceNanos(uint64_t delta) {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  void AdvanceSeconds(double seconds) {
+    AdvanceNanos(static_cast<uint64_t>(seconds * 1e9));
+  }
+
+  /// Monotonicity is the class contract: setting time backwards is a
+  /// test bug, so Set clamps to never rewind.
+  void Set(uint64_t nanos) {
+    uint64_t current = now_.load(std::memory_order_acquire);
+    while (nanos > current &&
+           !now_.compare_exchange_weak(current, nanos,
+                                       std::memory_order_acq_rel)) {
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+}  // namespace dphist::svc
+
+#endif  // DPHIST_SVC_CLOCK_H_

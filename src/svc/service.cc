@@ -1,0 +1,607 @@
+#include "svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "accel/scan_engine.h"
+#include "common/logging.h"
+#include "db/datapath.h"
+#include "hist/merge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dphist::svc {
+
+namespace internal {
+
+/// Shared state between the submitting client(s) and the worker that
+/// serves the request. Coalesced waiters share one Flight; each Ticket
+/// applies its own deadline on top.
+struct Flight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  StatsResponse response;
+
+  StatsRequest request;
+  std::string key;
+  uint64_t enqueue_nanos = 0;
+  /// Latest deadline across the leader and every coalesced waiter: the
+  /// scan is still worth running while *any* waiter can use it.
+  uint64_t latest_deadline_nanos = 0;
+};
+
+}  // namespace internal
+
+using internal::Flight;
+
+namespace {
+
+obs::Counter* SvcCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+/// Coalescing/cache key: every parameter that changes the scan's result.
+std::string RequestKey(const StatsRequest& request) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "|%zu|%d|%lld|%lld|%lld|%u|%u",
+                request.column, static_cast<int>(request.kind),
+                static_cast<long long>(request.params.min_value),
+                static_cast<long long>(request.params.max_value),
+                static_cast<long long>(request.params.granularity),
+                request.params.num_buckets, request.params.top_k);
+  return request.table + buf;
+}
+
+/// The certified contract from a report's exported bins (hist/merge.h's
+/// equi-depth depth-error guarantee over the rows actually scanned).
+AccuracyContract ContractFromBins(const hist::BinnedCounts& bins,
+                                  uint32_t num_buckets,
+                                  double scan_fraction) {
+  AccuracyContract contract;
+  contract.scan_fraction = scan_fraction;
+  if (bins.counts.empty()) return contract;
+  contract.certified = true;
+  contract.rows_described = bins.TotalCount();
+  const uint64_t buckets = std::max<uint32_t>(1, num_buckets);
+  contract.target_depth =
+      std::max<uint64_t>(1, (contract.rows_described + buckets - 1) / buckets);
+  contract.max_depth_error = hist::EquiDepthMaxDepthError(bins);
+  contract.relative_error =
+      static_cast<double>(contract.max_depth_error) /
+      static_cast<double>(contract.target_depth);
+  return contract;
+}
+
+}  // namespace
+
+const char* ServePathName(ServePath path) {
+  switch (path) {
+    case ServePath::kScan:
+      return "scan";
+    case ServePath::kDegraded:
+      return "degraded-scan";
+    case ServePath::kCache:
+      return "cache";
+    case ServePath::kFallback:
+      return "fallback";
+    case ServePath::kShed:
+      return "shed";
+    case ServePath::kDeadline:
+      return "deadline";
+    case ServePath::kError:
+      return "error";
+  }
+  return "?";
+}
+
+Ticket::Ticket() = default;
+Ticket::~Ticket() = default;
+Ticket::Ticket(Ticket&&) noexcept = default;
+Ticket& Ticket::operator=(Ticket&&) noexcept = default;
+
+StatsResponse Ticket::Wait() {
+  if (has_ready_ || flight_ == nullptr) {
+    return ready_;
+  }
+  std::unique_lock<std::mutex> lock(flight_->mu);
+  for (;;) {
+    if (flight_->done) {
+      StatsResponse response = flight_->response;
+      response.coalesced = coalesced_;
+      response.total_nanos = clock_->NowNanos() - submit_nanos_;
+      return response;
+    }
+    if (clock_->NowNanos() >= deadline_nanos_) {
+      // The scan may still complete server-side and warm the cache, but
+      // this client is done waiting: deadlines bound every wait, so a
+      // wedged device can never block a caller indefinitely.
+      StatsResponse response;
+      response.status =
+          Status::DeadlineExceeded("deadline passed while waiting");
+      response.path = ServePath::kDeadline;
+      response.coalesced = coalesced_;
+      response.total_nanos = clock_->NowNanos() - submit_nanos_;
+      return response;
+    }
+    // Bounded waits so fake clocks (which never fire a real timer) still
+    // get their deadline observed promptly.
+    flight_->cv.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+StatsService::StatsService(db::Catalog* catalog, accel::Device* device,
+                           ServiceOptions options)
+    : catalog_(catalog),
+      device_(device),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : MonotonicClock::Global()),
+      fallback_scanner_(catalog, device, options_.resilient),
+      jitter_rng_(options_.resilient.jitter_seed ^ 0x5EC1CEu) {
+  counters_.ladder_occupancy.assign(options_.ladder.size() + 1, 0);
+}
+
+StatsService::~StatsService() { Stop(); }
+
+Status StatsService::Start() {
+  if (options_.queue_high_water == 0) {
+    return Status::InvalidArgument("service: queue_high_water must be > 0");
+  }
+  if (options_.num_workers == 0) {
+    return Status::InvalidArgument("service: num_workers must be > 0");
+  }
+  double last_occupancy = 0.0;
+  double last_fraction = 1.0;
+  for (const DegradeStep& step : options_.ladder) {
+    if (step.occupancy <= last_occupancy || step.occupancy > 1.0) {
+      return Status::InvalidArgument(
+          "service: ladder occupancies must be ascending in (0, 1]");
+    }
+    if (step.scan_fraction <= 0.0 || step.scan_fraction > last_fraction) {
+      return Status::InvalidArgument(
+          "service: ladder fractions must be non-increasing in (0, 1]");
+    }
+    last_occupancy = step.occupancy;
+    last_fraction = step.scan_fraction;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return Status::AlreadyExists("service already running");
+    running_ = true;
+    stopping_ = false;
+  }
+  workers_.reserve(options_.num_workers);
+  for (uint32_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  Log(LogLevel::kInfo, "stats service started: %u workers, high water %zu",
+      options_.num_workers, options_.queue_high_water);
+  return Status::OK();
+}
+
+void StatsService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool StatsService::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+size_t StatsService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+ServiceCounters StatsService::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void StatsService::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    // Keys are "<table>|..."; match on the exact table prefix.
+    const std::string& key = it->first;
+    if (key.size() > table.size() && key.compare(0, table.size(), table) == 0 &&
+        key[table.size()] == '|') {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<Ticket> StatsService::Submit(const StatsRequest& request) {
+  const uint64_t now = clock_->NowNanos();
+  uint64_t deadline = request.deadline_nanos;
+  if (deadline == 0) {
+    deadline = options_.default_deadline_nanos == 0
+                   ? UINT64_MAX
+                   : now + options_.default_deadline_nanos;
+  }
+  const std::string key = RequestKey(request);
+
+  Ticket ticket;
+  ticket.clock_ = clock_;
+  ticket.submit_nanos_ = now;
+  ticket.deadline_nanos_ = deadline;
+
+  // Current data version for the freshness check (kRead only). Catalog
+  // reads are serialized against worker installs.
+  uint64_t data_version = 0;
+  if (request.kind == RequestKind::kRead) {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto entry = catalog_->Find(request.table);
+    if (entry.ok()) data_version = (*entry)->data_version;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.submitted;
+  static obs::Counter* submitted = SvcCounter("svc.submitted");
+  submitted->Add();
+
+  // 1. Fresh cache hit: answered inline, no queue slot consumed.
+  if (request.kind == RequestKind::kRead) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      const CacheEntry& entry = it->second;
+      const bool version_fresh = entry.data_version == data_version;
+      const bool age_fresh =
+          options_.cache_ttl_nanos == 0 ||
+          now - entry.stamp_nanos <= options_.cache_ttl_nanos;
+      if (version_fresh && age_fresh) {
+        ++counters_.cache_hits;
+        static obs::Counter* hits = SvcCounter("svc.cache_hits");
+        hits->Add();
+        ticket.ready_ = entry.response;
+        ticket.ready_.from_cache = true;
+        ticket.ready_.path = ServePath::kCache;
+        ticket.ready_.queue_nanos = 0;
+        ticket.ready_.total_nanos = 0;
+        ticket.has_ready_ = true;
+        ++counters_.accepted;
+        return ticket;
+      }
+      cache_.erase(it);  // stale: drop eagerly
+    }
+  }
+
+  // 2. Coalesce onto an identical in-flight request: one scan, N waiters.
+  auto in_flight = in_flight_.find(key);
+  if (in_flight != in_flight_.end()) {
+    if (std::shared_ptr<Flight> flight = in_flight->second.lock()) {
+      std::lock_guard<std::mutex> flight_lock(flight->mu);
+      if (!flight->done) {
+        flight->latest_deadline_nanos =
+            std::max(flight->latest_deadline_nanos, deadline);
+        ++counters_.coalesced;
+        ++counters_.accepted;
+        static obs::Counter* coalesced = SvcCounter("svc.coalesced");
+        coalesced->Add();
+        ticket.flight_ = flight;
+        ticket.coalesced_ = true;
+        return ticket;
+      }
+    }
+  }
+
+  // 3. Admission control: past high water the request is shed, never
+  // buffered — bounded memory is the overload contract.
+  if (queue_.size() >= options_.queue_high_water) {
+    ++counters_.shed;
+    static obs::Counter* shed = SvcCounter("svc.shed");
+    shed->Add();
+    return Status::ResourceExhausted("stats service queue at high water");
+  }
+
+  auto flight = std::make_shared<Flight>();
+  flight->request = request;
+  flight->request.params.column_index = request.column;
+  flight->key = key;
+  flight->enqueue_nanos = now;
+  flight->latest_deadline_nanos = deadline;
+  queue_.push_back(flight);
+  in_flight_[key] = flight;
+  ++counters_.accepted;
+  static obs::Counter* accepted = SvcCounter("svc.accepted");
+  accepted->Add();
+  static obs::Gauge* depth_gauge =
+      obs::MetricsRegistry::Global().GetGauge("svc.queue_depth");
+  depth_gauge->Set(static_cast<int64_t>(queue_.size()));
+  queue_cv_.notify_one();
+  ticket.flight_ = std::move(flight);
+  return ticket;
+}
+
+StatsResponse StatsService::SubmitAndWait(const StatsRequest& request) {
+  auto ticket = Submit(request);
+  if (!ticket.ok()) {
+    StatsResponse response;
+    response.status = ticket.status();
+    response.path = ServePath::kShed;
+    return response;
+  }
+  return ticket->Wait();
+}
+
+uint32_t StatsService::LevelFor(double occupancy) const {
+  uint32_t level = 0;
+  for (const DegradeStep& step : options_.ladder) {
+    if (occupancy >= step.occupancy) ++level;
+  }
+  return level;
+}
+
+void StatsService::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Flight> flight;
+    uint32_t level = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Occupancy sampled while this request still holds its slot: at
+      // saturation the dequeue that empties a full queue still runs at
+      // the top rung.
+      const double occupancy =
+          static_cast<double>(queue_.size()) /
+          static_cast<double>(options_.queue_high_water);
+      level = LevelFor(occupancy);
+      flight = std::move(queue_.front());
+      queue_.pop_front();
+      ++counters_.ladder_occupancy[level];
+    }
+    Serve(flight, level);
+  }
+}
+
+Result<accel::AcceleratorReport> StatsService::RunScan(
+    const StatsRequest& request, double fraction, uint32_t* attempts) {
+  if (options_.scan_hook) {
+    ++*attempts;
+    return options_.scan_hook(request, fraction);
+  }
+
+  const page::TableFile* table = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    auto entry = catalog_->Find(request.table);
+    if (!entry.ok()) return entry.status();
+    if (request.column >= (*entry)->table->schema().num_columns()) {
+      return Status::InvalidArgument("column index out of range");
+    }
+    table = (*entry)->table.get();
+  }
+  // Sealed tables are immutable; page spans stay valid outside the lock.
+  const size_t total_pages = table->page_count();
+  if (total_pages == 0) {
+    return Status::NotFound("table has no pages to scan");
+  }
+  const size_t scan_pages = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(fraction * static_cast<double>(total_pages))));
+  std::vector<std::span<const uint8_t>> pages;
+  pages.reserve(scan_pages);
+  for (size_t p = 0; p < scan_pages; ++p) {
+    pages.push_back(table->PageBytes(p));
+  }
+
+  accel::ScanRequest scan = request.params;
+  scan.column_index = request.column;
+  scan.want_bins = true;       // the contract's raw material
+  scan.want_equi_depth = true; // the contract is about this histogram
+
+  const db::RetryPolicy& retry = options_.resilient.retry;
+  const uint32_t max_attempts = std::max<uint32_t>(1, retry.max_attempts);
+  double backoff = retry.initial_backoff_seconds;
+  Status last_error = Status::Internal("scan never attempted");
+  for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++*attempts;
+    Result<accel::AcceleratorReport> report = [&] {
+      // One physical card: scans serialize on the device mutex. The
+      // queue, not the device, is the concurrency point of the service.
+      std::lock_guard<std::mutex> lock(device_mu_);
+      return accel::ScanEngine(device_).ScanPages(pages, table->schema(),
+                                                  scan);
+    }();
+    if (report.ok() &&
+        report->quality.Coverage() >= options_.resilient.min_coverage) {
+      return report;
+    }
+    last_error = report.ok()
+                     ? Status::Internal("scan quality below threshold")
+                     : report.status();
+    if (attempt < max_attempts) {
+      std::lock_guard<std::mutex> lock(device_mu_);
+      // Modelled, jittered backoff — accounted, not slept (the simulator
+      // treats time as data; sleeping would stall the drain).
+      (void)db::JitterBackoff(backoff, retry.jitter_fraction, &jitter_rng_);
+      backoff *= retry.backoff_multiplier;
+    }
+  }
+  return last_error;
+}
+
+void StatsService::Serve(const std::shared_ptr<Flight>& flight,
+                         uint32_t level) {
+  const StatsRequest& request = flight->request;
+  const uint64_t dequeue_nanos = clock_->NowNanos();
+
+  StatsResponse response;
+  response.degrade_level = level;
+  response.queue_nanos = dequeue_nanos - flight->enqueue_nanos;
+
+  // Deadline gate: an expired request is answered, not scanned — the
+  // device's time belongs to requests that can still use it, and the
+  // queue keeps draining no matter how wedged the scan path is.
+  uint64_t latest_deadline;
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    latest_deadline = flight->latest_deadline_nanos;
+  }
+  if (dequeue_nanos >= latest_deadline) {
+    response.status =
+        Status::DeadlineExceeded("deadline passed before service");
+    response.path = ServePath::kDeadline;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.deadline_expired;
+    }
+    static obs::Counter* expired = SvcCounter("svc.deadline_exceeded");
+    expired->Add();
+    Fulfill(flight, std::move(response));
+    return;
+  }
+
+  const double fraction =
+      level == 0 ? 1.0 : options_.ladder[level - 1].scan_fraction;
+  uint32_t attempts = 0;
+  Result<accel::AcceleratorReport> report =
+      RunScan(request, fraction, &attempts);
+
+  if (report.ok()) {
+    db::ColumnStats stats =
+        db::StatsFromAcceleratorReport(*report, flight->request.params);
+    response.contract = ContractFromBins(
+        report->bins, flight->request.params.num_buckets, fraction);
+    if (fraction < 1.0) {
+      // The prefix fraction is one more independent degradation source
+      // on top of any within-scan quality loss.
+      stats.Degrade(fraction);
+    }
+    if (response.contract.certified) {
+      stats.certified_rel_error = response.contract.relative_error;
+    }
+    {
+      std::lock_guard<std::mutex> lock(catalog_mu_);
+      Status install =
+          catalog_->SetColumnStats(request.table, request.column, stats);
+      if (!install.ok()) {
+        response.status = install;
+        response.path = ServePath::kError;
+        std::lock_guard<std::mutex> counters_lock(mu_);
+        ++counters_.errors;
+        Fulfill(flight, std::move(response));
+        return;
+      }
+      auto entry = catalog_->Find(request.table);
+      if (entry.ok()) {
+        // SetColumnStats stamped the current version; mirror it so the
+        // cache entry's freshness matches the catalog's.
+        stats.version = (*entry)->data_version;
+      }
+    }
+    response.status = Status::OK();
+    response.path = level == 0 ? ServePath::kScan : ServePath::kDegraded;
+    response.stats = stats;
+    response.equi_depth = report->histograms.equi_depth;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.served;
+      if (level > 0) ++counters_.degraded;
+      CacheEntry cached;
+      cached.response = response;
+      cached.response.queue_nanos = 0;
+      cached.response.total_nanos = 0;
+      cached.data_version = stats.version;
+      cached.stamp_nanos = clock_->NowNanos();
+      cache_[flight->key] = std::move(cached);
+    }
+    static obs::Counter* served = SvcCounter("svc.served");
+    served->Add();
+    if (level > 0) {
+      static obs::Counter* degraded = SvcCounter("svc.degraded");
+      degraded->Add();
+      static obs::Gauge* level_gauge =
+          obs::MetricsRegistry::Global().GetGauge("svc.degrade_level");
+      level_gauge->Set(level);
+    }
+    Fulfill(flight, std::move(response));
+    return;
+  }
+
+  // Device unusable after retries: degrade to the host-side sampling
+  // rebuild. Uncertified (no exact bins), but still stamped — the
+  // service never publishes an unstamped result.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.scan_failures;
+  }
+  static obs::Counter* failures = SvcCounter("svc.scan_failures");
+  failures->Add();
+  if (options_.resilient.fallback.enabled) {
+    Result<db::ColumnStats> fallback = [&] {
+      std::lock_guard<std::mutex> lock(catalog_mu_);
+      return fallback_scanner_.BuildSamplingStats(request.table,
+                                                  request.column);
+    }();
+    if (fallback.ok()) {
+      std::lock_guard<std::mutex> lock(catalog_mu_);
+      Status install = catalog_->SetColumnStats(request.table, request.column,
+                                                *fallback);
+      if (install.ok()) {
+        response.status = Status::OK();
+        response.path = ServePath::kFallback;
+        response.stats = *fallback;
+        response.contract.certified = false;
+        response.contract.scan_fraction = fallback->sampling_rate;
+        {
+          std::lock_guard<std::mutex> counters_lock(mu_);
+          ++counters_.fallbacks;
+        }
+        static obs::Counter* fallbacks = SvcCounter("svc.fallbacks");
+        fallbacks->Add();
+        Fulfill(flight, std::move(response));
+        return;
+      }
+    }
+  }
+
+  response.status = report.status();
+  response.path = ServePath::kError;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.errors;
+  }
+  Fulfill(flight, std::move(response));
+}
+
+void StatsService::Fulfill(const std::shared_ptr<Flight>& flight,
+                           StatsResponse response) {
+  response.total_nanos = clock_->NowNanos() - flight->enqueue_nanos;
+  static obs::LatencyHistogram* latency =
+      obs::MetricsRegistry::Global().GetHistogram("svc.latency_us");
+  latency->Record(response.total_nanos / 1000);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = in_flight_.find(flight->key);
+    if (it != in_flight_.end() &&
+        it->second.lock().get() == flight.get()) {
+      in_flight_.erase(it);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->response = std::move(response);
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+}
+
+}  // namespace dphist::svc

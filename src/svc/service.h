@@ -1,0 +1,287 @@
+#ifndef DPHIST_SVC_SERVICE_H_
+#define DPHIST_SVC_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/device.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/resilient.h"
+#include "hist/types.h"
+#include "svc/clock.h"
+
+namespace dphist::svc {
+
+/// Always-on statistics service: the paper's "histograms as a side
+/// effect" machinery behind a long-running front end that survives
+/// sustained, bursty demand from many concurrent clients. Overload is a
+/// designed-for state, not an error path:
+///
+///   - a bounded request queue with admission control — past the
+///     high-water mark requests are shed with kResourceExhausted,
+///     never buffered without bound;
+///   - per-request deadlines on a monotonic Clock — an expired request
+///     is answered kDeadlineExceeded instead of occupying the device;
+///   - coalescing of duplicate in-flight requests for the same
+///     (table, column, params) key — one scan serves every waiter;
+///   - a freshness-aware result cache invalidated by data-version bumps
+///     (ingest) and explicit invalidation;
+///   - a load-shedding ladder that degrades under pressure by shrinking
+///     the scan fraction, publishing stats stamped with a *certified*
+///     per-bucket depth-error bound (hist::EquiDepthMaxDepthError) — the
+///     accuracy contract the planner discounts by.
+///
+/// The robustness headline: under any overload the service sheds and
+/// degrades but never aborts, deadlocks, or returns an unstamped result.
+
+enum class RequestKind {
+  kRead,     ///< serve stats; cache/catalog allowed when fresh
+  kRefresh,  ///< force a scan and install fresh stats
+};
+
+struct StatsRequest {
+  std::string table;
+  size_t column = 0;
+  /// Domain metadata (min/max/granularity/buckets); column_index is
+  /// overwritten with `column`.
+  accel::ScanRequest params;
+  RequestKind kind = RequestKind::kRead;
+  /// Absolute deadline in service-clock nanoseconds; 0 means "now +
+  /// ServiceOptions::default_deadline_nanos" (unlimited when that is 0
+  /// too).
+  uint64_t deadline_nanos = 0;
+};
+
+/// The certified accuracy contract stamped on every scan-built response:
+/// what fraction of the table the scan described and how far, at worst,
+/// any equi-depth bucket's depth sits from the ideal target depth over
+/// the rows actually scanned. The bound is computed from the exact
+/// binned counts (hist/merge.h's depth-error guarantee), so it is a
+/// certificate, not an estimate — a property test can recompute it.
+struct AccuracyContract {
+  bool certified = false;
+  double scan_fraction = 1.0;   ///< fraction of the table's pages scanned
+  uint64_t rows_described = 0;  ///< rows in the scanned bins
+  uint64_t target_depth = 0;    ///< t = max(1, ceil(rows_described / B))
+  uint64_t max_depth_error = 0; ///< certified |depth - t| bound (m - 1)
+  double relative_error = 0.0;  ///< max_depth_error / target_depth
+};
+
+/// How a response was produced (observability; the status is the
+/// contract-relevant part).
+enum class ServePath {
+  kScan,       ///< full-fraction device scan
+  kDegraded,   ///< ladder-shrunken device scan, certified contract
+  kCache,      ///< fresh cached result
+  kFallback,   ///< host-side sampling rebuild (device unusable)
+  kShed,       ///< admission control rejected (kResourceExhausted)
+  kDeadline,   ///< deadline passed before service (kDeadlineExceeded)
+  kError,      ///< caller error (unknown table, empty table, ...)
+};
+
+const char* ServePathName(ServePath path);
+
+struct StatsResponse {
+  Status status;  ///< OK, kResourceExhausted, kDeadlineExceeded, or error
+  ServePath path = ServePath::kError;
+  /// Stats as installed in the catalog (valid iff status.ok()); always
+  /// stamped with provenance, coverage, and — when certified — the
+  /// contract's relative error.
+  db::ColumnStats stats;
+  /// The equi-depth histogram over the scanned rows, for contract
+  /// verification (empty for cache/fallback-served responses built
+  /// without exported bins).
+  hist::Histogram equi_depth;
+  AccuracyContract contract;
+  uint32_t degrade_level = 0;  ///< ladder level the scan ran at
+  bool from_cache = false;
+  bool coalesced = false;      ///< rode another request's scan
+  uint64_t queue_nanos = 0;    ///< submit -> dequeue
+  uint64_t total_nanos = 0;    ///< submit -> response
+};
+
+/// One rung of the load-shedding ladder: at or above `occupancy`
+/// (queue depth / high-water, in [0,1]) the service scans only
+/// `scan_fraction` of the table's pages. Rungs must be sorted by
+/// occupancy ascending with non-increasing fractions; level 0 (below the
+/// first rung) always scans the full table.
+struct DegradeStep {
+  double occupancy = 1.0;
+  double scan_fraction = 1.0;
+};
+
+struct ServiceOptions {
+  uint32_t num_workers = 2;
+  /// Admission high-water mark: a Submit that finds this many requests
+  /// queued is shed with kResourceExhausted.
+  size_t queue_high_water = 64;
+  /// Applied when a request carries no deadline; 0 = unlimited.
+  uint64_t default_deadline_nanos = 0;
+  /// Cached results older than this are stale even at an unchanged data
+  /// version; 0 disables the age check (version-only freshness).
+  uint64_t cache_ttl_nanos = 0;
+  /// Defaults shed to 1/2, 1/4, 1/8 of the table as the queue passes
+  /// 50%, 75%, 90% of the high-water mark.
+  std::vector<DegradeStep> ladder = {
+      {0.50, 0.5}, {0.75, 0.25}, {0.90, 0.125}};
+  /// Retry/jitter/fallback/min-coverage policy for the service's device
+  /// scans (the breaker is owned by the scanner the service embeds).
+  db::ResilientScannerOptions resilient;
+  /// Monotonic time source; nullptr = MonotonicClock::Global().
+  const Clock* clock = nullptr;
+  /// Test hook: replaces the device-scan step entirely (deadlines,
+  /// coalescing, ladder, and fallback still apply). Receives the request
+  /// (column_index already set) and the ladder's scan fraction.
+  std::function<Result<accel::AcceleratorReport>(const StatsRequest&,
+                                                 double scan_fraction)>
+      scan_hook;
+};
+
+/// Cumulative counters; ladder_occupancy[i] counts dequeues that ran at
+/// ladder level i (index 0 = full-fraction level).
+struct ServiceCounters {
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t shed = 0;
+  uint64_t coalesced = 0;
+  uint64_t cache_hits = 0;
+  uint64_t served = 0;
+  uint64_t degraded = 0;
+  uint64_t fallbacks = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t scan_failures = 0;
+  uint64_t errors = 0;
+  std::vector<uint64_t> ladder_occupancy;
+};
+
+namespace internal {
+struct Flight;
+}
+
+/// Handle to an accepted request. Wait() blocks until the response is
+/// ready or the request's deadline passes on the service clock; a passed
+/// deadline yields a synthesized kDeadlineExceeded response while the
+/// scan may still complete server-side (and warm the cache). Waiting is
+/// therefore always bounded: a wedged device cannot block a client past
+/// its deadline.
+class Ticket {
+ public:
+  Ticket();
+  ~Ticket();
+  Ticket(Ticket&&) noexcept;
+  Ticket& operator=(Ticket&&) noexcept;
+  Ticket(const Ticket&) = delete;
+  Ticket& operator=(const Ticket&) = delete;
+
+  StatsResponse Wait();
+
+  /// True when the response was ready at submit time (cache hit).
+  bool immediate() const { return has_ready_; }
+  bool coalesced() const { return coalesced_; }
+
+ private:
+  friend class StatsService;
+  std::shared_ptr<internal::Flight> flight_;
+  StatsResponse ready_;
+  bool has_ready_ = false;
+  bool coalesced_ = false;
+  uint64_t submit_nanos_ = 0;
+  uint64_t deadline_nanos_ = 0;
+  const Clock* clock_ = nullptr;
+};
+
+class StatsService {
+ public:
+  /// Neither pointer is owned; both must outlive the service. Tables
+  /// must be registered in the catalog before Start() — the service
+  /// reads the catalog from worker threads and serializes stats
+  /// installation internally, but table registration is not guarded.
+  StatsService(db::Catalog* catalog, accel::Device* device,
+               ServiceOptions options = {});
+  ~StatsService();
+
+  StatsService(const StatsService&) = delete;
+  StatsService& operator=(const StatsService&) = delete;
+
+  /// Validates options and spawns the worker pool. InvalidArgument for a
+  /// malformed ladder (unsorted, fraction outside (0,1], increasing).
+  Status Start();
+
+  /// Drains the queue (expired requests answered kDeadlineExceeded, the
+  /// rest served) and joins the workers. Idempotent.
+  void Stop();
+
+  /// Admission-controlled enqueue. Returns kResourceExhausted when the
+  /// queue is at high-water (the request was shed — this is the
+  /// designed-for overload response, not a failure of the service), or
+  /// a Ticket whose Wait() yields the response.
+  Result<Ticket> Submit(const StatsRequest& request);
+
+  /// Submit + Wait, folding a shed into the response status.
+  StatsResponse SubmitAndWait(const StatsRequest& request);
+
+  /// Drops every cached result for `table` (call after ingest; version
+  /// bumps also invalidate lazily at lookup time).
+  void InvalidateTable(const std::string& table);
+
+  ServiceCounters counters() const;
+  size_t queue_depth() const;
+  const ServiceOptions& options() const { return options_; }
+  bool running() const;
+
+ private:
+  struct CacheEntry {
+    StatsResponse response;      ///< timing zeroed; re-stamped on hits
+    uint64_t data_version = 0;   ///< catalog version the result was built at
+    uint64_t stamp_nanos = 0;    ///< insertion time on the service clock
+  };
+
+  void WorkerLoop();
+  /// Ladder level for a queue occupancy fraction.
+  uint32_t LevelFor(double occupancy) const;
+  /// Runs the scan for one dequeued flight and fulfills it.
+  void Serve(const std::shared_ptr<internal::Flight>& flight, uint32_t level);
+  /// The device-scan step: prefix-fraction ScanPages with retry+jitter,
+  /// serialized on the device mutex. Respects options_.scan_hook.
+  Result<accel::AcceleratorReport> RunScan(const StatsRequest& request,
+                                           double fraction,
+                                           uint32_t* attempts);
+  void Fulfill(const std::shared_ptr<internal::Flight>& flight,
+               StatsResponse response);
+
+  db::Catalog* catalog_;
+  accel::Device* device_;
+  ServiceOptions options_;
+  const Clock* clock_;
+  db::ResilientScanner fallback_scanner_;
+
+  mutable std::mutex mu_;  ///< queue, coalescing map, cache, counters
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<internal::Flight>> queue_;
+  std::unordered_map<std::string, std::weak_ptr<internal::Flight>> in_flight_;
+  std::unordered_map<std::string, CacheEntry> cache_;
+  ServiceCounters counters_;
+  bool running_ = false;
+  bool stopping_ = false;
+
+  std::mutex device_mu_;   ///< one physical card: scans serialize here
+  std::mutex catalog_mu_;  ///< guards catalog reads/installs from workers
+  Rng jitter_rng_;         ///< guarded by device_mu_ (used only in RunScan)
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dphist::svc
+
+#endif  // DPHIST_SVC_SERVICE_H_

@@ -1,0 +1,55 @@
+#include "workload/driver.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace dphist::workload {
+
+Driver::Driver(std::vector<DriverTarget> targets, DriverOptions options)
+    : targets_(std::move(targets)),
+      options_(options),
+      rng_(options.seed),
+      popularity_(targets_.empty() ? 1 : targets_.size(),
+                  options.zipf_s < 0 ? 0 : options.zipf_s) {
+  assert(!targets_.empty());
+  // Fisher-Yates over the rank assignment so "hot" isn't always target 0;
+  // which column is hot should depend on the seed, not the registration
+  // order.
+  by_rank_.resize(targets_.size());
+  for (size_t i = 0; i < by_rank_.size(); ++i) by_rank_[i] = i;
+  for (size_t i = by_rank_.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(
+        rng_.NextDouble() * static_cast<double>(i));
+    std::swap(by_rank_[i - 1], by_rank_[j < i ? j : i - 1]);
+  }
+  rank_of_.resize(targets_.size());
+  for (size_t rank = 0; rank < by_rank_.size(); ++rank) {
+    rank_of_[by_rank_[rank]] = rank;
+  }
+}
+
+DriverOp Driver::Next() {
+  DriverOp op;
+  if (options_.arrival_rate_per_sec > 0) {
+    // Poisson arrivals: exponential inter-arrival gaps at the configured
+    // rate. Clamp the uniform draw away from 0 so the log stays finite.
+    double u = rng_.NextDouble();
+    if (u < 1e-12) u = 1e-12;
+    const double gap_seconds = -std::log(u) / options_.arrival_rate_per_sec;
+    clock_nanos_ += static_cast<uint64_t>(gap_seconds * 1e9);
+    op.arrival_nanos = clock_nanos_;
+  }
+  const uint64_t rank = popularity_.Sample(&rng_) - 1;  // Sample() is 1-based
+  op.target = by_rank_[rank];
+  op.refresh = rng_.NextDouble() < options_.refresh_fraction;
+  return op;
+}
+
+std::vector<DriverOp> Driver::Generate(size_t n) {
+  std::vector<DriverOp> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) ops.push_back(Next());
+  return ops;
+}
+
+}  // namespace dphist::workload

@@ -1,0 +1,85 @@
+#ifndef DPHIST_WORKLOAD_DRIVER_H_
+#define DPHIST_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dphist::workload {
+
+/// Generates the request stream for service-load experiments: which
+/// (table, column) each request targets, whether it is a read or a
+/// forced refresh, and — in open-loop mode — when it arrives. The
+/// driver is deliberately independent of the service it drives: it emits
+/// a schedule, the harness maps schedule entries onto svc::StatsRequests
+/// and enforces the pacing. Everything is drawn from one seeded RNG, so
+/// a load experiment replays bit-identically.
+
+/// One scannable target. The driver only needs identity; domain
+/// parameters (min/max/buckets) live with the harness that owns the
+/// tables.
+struct DriverTarget {
+  std::string table;
+  size_t column = 0;
+};
+
+/// One generated request.
+struct DriverOp {
+  /// Arrival offset from the experiment start (0 for every op in
+  /// closed-loop mode, where the harness issues the next op as soon as a
+  /// slot frees up).
+  uint64_t arrival_nanos = 0;
+  size_t target = 0;     ///< index into the driver's target list
+  bool refresh = false;  ///< forced refresh instead of a cached read
+};
+
+struct DriverOptions {
+  uint64_t seed = 42;
+  /// Open-loop Poisson arrival rate (requests/second). 0 selects
+  /// closed-loop mode: ops carry no arrival times and the harness paces
+  /// by completion.
+  double arrival_rate_per_sec = 0.0;
+  /// Zipf exponent for target popularity: requests concentrate on a few
+  /// hot columns, exercising the service's coalescing and cache
+  /// (s = 0 spreads load uniformly).
+  double zipf_s = 1.0;
+  /// Probability that an op is a refresh (cache-busting write-side
+  /// traffic); the rest are reads.
+  double refresh_fraction = 0.1;
+};
+
+class Driver {
+ public:
+  /// `targets` must be non-empty.
+  Driver(std::vector<DriverTarget> targets, DriverOptions options);
+
+  /// Draws the next op, advancing the arrival clock in open-loop mode.
+  DriverOp Next();
+
+  /// Draws a whole schedule (n calls to Next()).
+  std::vector<DriverOp> Generate(size_t n);
+
+  const std::vector<DriverTarget>& targets() const { return targets_; }
+  const DriverOptions& options() const { return options_; }
+
+  /// Popularity rank of each target after shuffling: rank_of(i) is the
+  /// Zipf rank (0 = hottest) assigned to target i. Exposed so harnesses
+  /// can report which columns were hot.
+  size_t rank_of(size_t target) const { return rank_of_[target]; }
+
+ private:
+  std::vector<DriverTarget> targets_;
+  DriverOptions options_;
+  Rng rng_;
+  ZipfGenerator popularity_;
+  /// targets_ index by popularity rank, and its inverse.
+  std::vector<size_t> by_rank_;
+  std::vector<size_t> rank_of_;
+  uint64_t clock_nanos_ = 0;
+};
+
+}  // namespace dphist::workload
+
+#endif  // DPHIST_WORKLOAD_DRIVER_H_

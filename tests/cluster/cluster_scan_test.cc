@@ -321,5 +321,87 @@ TEST(ClusterScanTest, EmitsPerShardTraceSpans) {
   tracer.Clear();
 }
 
+/// Total outage through the catalog path: every shard dead. The refresh
+/// must terminate (no hang, no abort), report zero coverage with every
+/// shard's failure recorded, and leave the previously-installed stats
+/// untouched — stale-but-consistent beats empty.
+TEST(ClusterScanTest, TotalOutageRetainsPreviousStatsAndTerminates) {
+  db::Catalog catalog;
+  catalog.AddTable("lineitem", MakeLineitem(3000));
+
+  // Healthy pass installs good stats first.
+  {
+    ClusterCoordinator healthy;
+    ASSERT_TRUE(healthy
+                    .ScanAndRefresh(&catalog, "lineitem",
+                                    workload::kLQuantity, QuantityRequest())
+                    .ok());
+  }
+  auto before = catalog.GetColumnStats("lineitem", workload::kLQuantity);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE((*before)->valid);
+  const uint64_t version_before = (*before)->version;
+  const uint64_t rows_before = (*before)->row_count;
+
+  ClusterOptions options;
+  options.num_shards = 3;
+  options.shard_faults.assign(3, sim::FaultScenario::DeviceOutage(1000, 31));
+  ClusterCoordinator coordinator(options);
+  auto report = coordinator.ScanAndRefresh(
+      &catalog, "lineitem", workload::kLQuantity, QuantityRequest());
+
+  // Degraded, never failed: a report comes back and says exactly how bad
+  // things are.
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->shards_ok, 0u);
+  EXPECT_EQ(report->shards_failed, 3u);
+  EXPECT_DOUBLE_EQ(report->coverage, 0.0);
+  EXPECT_EQ(report->rows, 0u);
+  for (const auto& shard : report->shards) {
+    EXPECT_FALSE(shard.status.ok());
+    EXPECT_GT(shard.attempts, 0u);
+  }
+
+  // The catalog kept the last good stats, provenance intact.
+  auto after = catalog.GetColumnStats("lineitem", workload::kLQuantity);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE((*after)->valid);
+  EXPECT_EQ((*after)->version, version_before);
+  EXPECT_EQ((*after)->row_count, rows_before);
+  EXPECT_EQ((*after)->provenance, db::StatsProvenance::kImplicit);
+}
+
+/// Shard retries draw jitter from per-shard seeded RNGs
+/// (retry_jitter_seed ^ shard), so a faulty cluster's modelled backoff
+/// replays bit-identically run over run.
+TEST(ClusterScanTest, ShardRetryJitterReplaysBitIdentically) {
+  auto run = [] {
+    page::TableFile table = MakeLineitem(4000);
+    ClusterOptions options;
+    options.num_shards = 4;
+    options.retry.max_attempts = 3;
+    options.retry.jitter_fraction = 0.4;
+    options.shard_faults.resize(4);
+    options.shard_faults[1] = sim::FaultScenario::DeviceOutage(1000, 41);
+    ClusterCoordinator coordinator(options);
+    auto report = coordinator.ScanTable(table, QuantityRequest());
+    EXPECT_TRUE(report.ok());
+    std::vector<double> backoffs;
+    for (const auto& shard : report->shards) {
+      backoffs.push_back(shard.backoff_seconds);
+    }
+    return backoffs;
+  };
+  const auto first = run();
+  const auto second = run();
+  ASSERT_EQ(first.size(), second.size());
+  double total = 0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(first[i], second[i]) << "shard " << i;
+    total += first[i];
+  }
+  EXPECT_GT(total, 0.0);  // the dead shard really did retry with backoff
+}
+
 }  // namespace
 }  // namespace dphist::cluster

@@ -112,6 +112,43 @@ TEST(PlannerTest, MissingStatsFallBackToDefaults) {
   EXPECT_GT(plan->estimated_somelines, 0.0);
 }
 
+TEST(PlannerTest, CertifiedErrorBoundWidensDiscountedEstimates) {
+  // Partial-coverage stats with a certified per-bucket error bound (the
+  // service's accuracy contract) must widen the rescaled estimate by
+  // exactly 1 + bound; uncertified partial stats get coverage rescaling
+  // only.
+  Q1Rig rig(0, false);
+  Q1Query query;
+  query.custkey_limit = 5000;
+
+  auto entry = rig.catalog.Find("customer");
+  ASSERT_TRUE(entry.ok());
+  ColumnStats& stats = (*entry)->column_stats[workload::kCCustKey];
+  ASSERT_TRUE(stats.valid);
+  stats.provenance = StatsProvenance::kImplicitPartial;
+  stats.coverage = 0.5;
+  stats.certified_rel_error = -1.0;  // uncertified
+
+  auto uncertified = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(uncertified.ok());
+
+  stats.certified_rel_error = 0.2;
+  auto certified = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(certified.ok());
+  EXPECT_NEAR(certified->estimated_customers,
+              uncertified->estimated_customers * 1.2,
+              uncertified->estimated_customers * 1e-9);
+
+  // Full-coverage stats ignore the bound: nothing to rescale.
+  stats.provenance = StatsProvenance::kImplicit;
+  stats.coverage = 1.0;
+  auto full = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(full.ok());
+  EXPECT_NEAR(full->estimated_customers,
+              uncertified->estimated_customers * 0.5,
+              uncertified->estimated_customers * 1e-9);
+}
+
 TEST(PlannerTest, ExplanationMentionsAlgorithm) {
   Q1Rig rig(0, false);
   auto plan = PlanQ1(rig.catalog, "lineitem", "customer", Q1Query{});

@@ -1,0 +1,70 @@
+#include "svc/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace dphist::svc {
+namespace {
+
+TEST(ClockTest, MonotonicClockNeverRewinds) {
+  const MonotonicClock* clock = MonotonicClock::Global();
+  uint64_t last = clock->NowNanos();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = clock->NowNanos();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST(ClockTest, GlobalIsASingleton) {
+  EXPECT_EQ(MonotonicClock::Global(), MonotonicClock::Global());
+}
+
+TEST(ClockTest, FakeClockAdvances) {
+  FakeClock clock;
+  EXPECT_EQ(clock.NowNanos(), 0u);
+  clock.AdvanceNanos(250);
+  EXPECT_EQ(clock.NowNanos(), 250u);
+  clock.AdvanceSeconds(1.5);
+  EXPECT_EQ(clock.NowNanos(), 250u + 1'500'000'000u);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), (250.0 + 1.5e9) * 1e-9);
+}
+
+TEST(ClockTest, FakeClockSetClampsToMonotone) {
+  FakeClock clock;
+  clock.Set(1000);
+  EXPECT_EQ(clock.NowNanos(), 1000u);
+  clock.Set(500);  // attempts to rewind: ignored
+  EXPECT_EQ(clock.NowNanos(), 1000u);
+  clock.Set(2000);
+  EXPECT_EQ(clock.NowNanos(), 2000u);
+}
+
+TEST(ClockTest, FakeClockIsMonotoneUnderConcurrentAdvance) {
+  FakeClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 10000; ++i) clock.AdvanceNanos(1);
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&clock] {
+      uint64_t last = 0;
+      for (int i = 0; i < 10000; ++i) {
+        const uint64_t now = clock.NowNanos();
+        EXPECT_GE(now, last);
+        last = now;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(clock.NowNanos(), 40000u);
+}
+
+}  // namespace
+}  // namespace dphist::svc

@@ -1,0 +1,527 @@
+#include "svc/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "accel/device.h"
+#include "accel/scan_engine.h"
+#include "db/storage.h"
+#include "workload/distributions.h"
+
+namespace dphist::svc {
+namespace {
+
+constexpr uint64_t kRows = 20000;
+constexpr uint64_t kCardinality = 512;
+constexpr uint32_t kBuckets = 16;
+
+StatsRequest TestRequest(const char* table = "t",
+                         RequestKind kind = RequestKind::kRead) {
+  StatsRequest request;
+  request.table = table;
+  request.column = 0;
+  request.params.min_value = 1;
+  request.params.max_value = kCardinality;
+  request.params.num_buckets = kBuckets;
+  request.params.top_k = 8;
+  request.kind = kind;
+  return request;
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : device_(accel::AcceleratorConfig{}) {
+    auto column = workload::ZipfColumn(kRows, kCardinality, 0.75, 3);
+    catalog_.AddTable("t", workload::ColumnToTable(column, 2, 3));
+  }
+
+  /// A genuine full-scan report for scan_hook-based tests, so the
+  /// service's stats-installation path operates on real data.
+  accel::AcceleratorReport TemplateReport() {
+    auto entry = catalog_.Find("t");
+    accel::ScanRequest request = TestRequest().params;
+    request.want_bins = true;
+    auto report =
+        accel::ScanEngine(&device_).ScanTable(*(*entry)->table, request);
+    EXPECT_TRUE(report.ok());
+    return *report;
+  }
+
+  db::Catalog catalog_;
+  accel::Device device_;
+};
+
+/// A scan hook whose first call blocks until Release(): the injectable
+/// "wedged device".
+class BlockingHook {
+ public:
+  explicit BlockingHook(accel::AcceleratorReport report)
+      : report_(std::move(report)) {}
+
+  Result<accel::AcceleratorReport> operator()(const StatsRequest&, double) {
+    const int call = calls_.fetch_add(1);
+    if (call == 0) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return released_; });
+    }
+    return report_;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  int calls() const { return calls_.load(); }
+
+ private:
+  accel::AcceleratorReport report_;
+  std::atomic<int> calls_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+TEST_F(ServiceTest, StartRejectsMalformedLadders) {
+  {
+    ServiceOptions options;
+    options.ladder = {{0.9, 0.5}, {0.5, 0.25}};  // unsorted
+    StatsService service(&catalog_, &device_, options);
+    EXPECT_FALSE(service.Start().ok());
+  }
+  {
+    ServiceOptions options;
+    options.ladder = {{0.5, 0.25}, {0.9, 0.5}};  // fraction increases
+    StatsService service(&catalog_, &device_, options);
+    EXPECT_FALSE(service.Start().ok());
+  }
+  {
+    ServiceOptions options;
+    options.ladder = {{0.5, 0.0}};  // zero fraction
+    StatsService service(&catalog_, &device_, options);
+    EXPECT_FALSE(service.Start().ok());
+  }
+  {
+    ServiceOptions options;
+    options.queue_high_water = 0;
+    StatsService service(&catalog_, &device_, options);
+    EXPECT_FALSE(service.Start().ok());
+  }
+}
+
+TEST_F(ServiceTest, ColdReadScansInstallsAndCertifies) {
+  StatsService service(&catalog_, &device_);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto response = service.SubmitAndWait(TestRequest());
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.path, ServePath::kScan);
+  EXPECT_FALSE(response.from_cache);
+  EXPECT_TRUE(response.contract.certified);
+  EXPECT_EQ(response.contract.rows_described, kRows);
+  EXPECT_DOUBLE_EQ(response.contract.scan_fraction, 1.0);
+  EXPECT_GE(response.stats.certified_rel_error, 0.0);
+
+  auto stats = catalog_.GetColumnStats("t", 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE((*stats)->valid);
+  EXPECT_EQ((*stats)->provenance, db::StatsProvenance::kImplicit);
+  service.Stop();
+}
+
+TEST_F(ServiceTest, SecondReadHitsCacheUntilInvalidated) {
+  StatsService service(&catalog_, &device_);
+  ASSERT_TRUE(service.Start().ok());
+
+  ASSERT_TRUE(service.SubmitAndWait(TestRequest()).status.ok());
+  auto warm = service.SubmitAndWait(TestRequest());
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_EQ(warm.path, ServePath::kCache);
+  EXPECT_TRUE(warm.from_cache);
+  EXPECT_EQ(service.counters().cache_hits, 1u);
+
+  service.InvalidateTable("t");
+  auto cold = service.SubmitAndWait(TestRequest());
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_EQ(cold.path, ServePath::kScan);
+  service.Stop();
+}
+
+TEST_F(ServiceTest, DataVersionBumpInvalidatesCache) {
+  StatsService service(&catalog_, &device_);
+  ASSERT_TRUE(service.Start().ok());
+
+  ASSERT_TRUE(service.SubmitAndWait(TestRequest()).status.ok());
+  // Simulated ingest: the catalog's data version moves, so the cached
+  // result no longer describes the current data.
+  (*catalog_.Find("t"))->data_version++;
+  auto response = service.SubmitAndWait(TestRequest());
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_EQ(response.path, ServePath::kScan);
+  EXPECT_FALSE(response.from_cache);
+  service.Stop();
+}
+
+TEST_F(ServiceTest, RefreshBypassesCache) {
+  StatsService service(&catalog_, &device_);
+  ASSERT_TRUE(service.Start().ok());
+
+  ASSERT_TRUE(service.SubmitAndWait(TestRequest()).status.ok());
+  auto refresh =
+      service.SubmitAndWait(TestRequest("t", RequestKind::kRefresh));
+  ASSERT_TRUE(refresh.status.ok());
+  EXPECT_EQ(refresh.path, ServePath::kScan);
+  EXPECT_FALSE(refresh.from_cache);
+  service.Stop();
+}
+
+TEST_F(ServiceTest, UnknownTableIsAnErrorResponseNotACrash) {
+  StatsService service(&catalog_, &device_);
+  ASSERT_TRUE(service.Start().ok());
+  auto response = service.SubmitAndWait(TestRequest("nope"));
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.path, ServePath::kError);
+  service.Stop();
+}
+
+TEST_F(ServiceTest, IdenticalInFlightRequestsCoalesceOntoOneScan) {
+  BlockingHook hook(TemplateReport());
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.scan_hook = [&hook](const StatsRequest& request, double fraction) {
+    return hook(request, fraction);
+  };
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // Leader wedges in the hook; identical followers must attach to its
+  // flight instead of queueing their own scans.
+  auto leader = service.Submit(TestRequest("t", RequestKind::kRefresh));
+  ASSERT_TRUE(leader.ok());
+  while (service.counters().ladder_occupancy[0] == 0) {
+    std::this_thread::yield();  // wait until the leader is being served
+  }
+  auto follower1 = service.Submit(TestRequest("t", RequestKind::kRefresh));
+  auto follower2 = service.Submit(TestRequest("t", RequestKind::kRefresh));
+  ASSERT_TRUE(follower1.ok());
+  ASSERT_TRUE(follower2.ok());
+  EXPECT_TRUE(follower1->coalesced());
+  EXPECT_TRUE(follower2->coalesced());
+
+  hook.Release();
+  auto lead_response = leader->Wait();
+  auto follow_response = follower1->Wait();
+  ASSERT_TRUE(lead_response.status.ok());
+  ASSERT_TRUE(follow_response.status.ok());
+  EXPECT_FALSE(lead_response.coalesced);
+  EXPECT_TRUE(follow_response.coalesced);
+  EXPECT_EQ(lead_response.stats.row_count, follow_response.stats.row_count);
+  ASSERT_TRUE(follower2->Wait().status.ok());
+
+  EXPECT_EQ(hook.calls(), 1);
+  EXPECT_EQ(service.counters().coalesced, 2u);
+  service.Stop();
+}
+
+TEST_F(ServiceTest, AdmissionShedsAtHighWaterAndRecovers) {
+  BlockingHook hook(TemplateReport());
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_high_water = 4;
+  options.scan_hook = [&hook](const StatsRequest& request, double fraction) {
+    return hook(request, fraction);
+  };
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // Wedge the worker, then fill the queue with distinct keys (different
+  // bucket counts defeat coalescing).
+  auto wedged = service.Submit(TestRequest("t", RequestKind::kRefresh));
+  ASSERT_TRUE(wedged.ok());
+  while (service.counters().ladder_occupancy[0] == 0) {
+    std::this_thread::yield();
+  }
+  std::vector<Ticket> queued;
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto request = TestRequest("t", RequestKind::kRefresh);
+    request.params.num_buckets = 8 + i;
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok()) << "request " << i << " should be admitted";
+    queued.push_back(std::move(*ticket));
+  }
+
+  auto overflow_request = TestRequest("t", RequestKind::kRefresh);
+  overflow_request.params.num_buckets = 99;
+  auto overflow = service.Submit(overflow_request);
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(service.counters().shed, 1u);
+  EXPECT_EQ(service.queue_depth(), 4u);  // bounded: the shed buffered nothing
+
+  // Load clears -> the same request is admitted again.
+  hook.Release();
+  ASSERT_TRUE(wedged->Wait().status.ok());
+  for (auto& ticket : queued) ASSERT_TRUE(ticket.Wait().status.ok());
+  auto retry = service.Submit(overflow_request);
+  EXPECT_TRUE(retry.ok());
+  ASSERT_TRUE(retry->Wait().status.ok());
+  service.Stop();
+}
+
+TEST_F(ServiceTest, WedgedDeviceCannotBlockWaitersPastTheirDeadline) {
+  FakeClock clock;
+  BlockingHook hook(TemplateReport());
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.clock = &clock;
+  options.scan_hook = [&hook](const StatsRequest& request, double fraction) {
+    return hook(request, fraction);
+  };
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // Request A wedges the only worker. Request B sits behind it with a
+  // 100us deadline.
+  auto wedged = service.Submit(TestRequest("t", RequestKind::kRefresh));
+  ASSERT_TRUE(wedged.ok());
+  while (service.counters().ladder_occupancy[0] == 0) {
+    std::this_thread::yield();
+  }
+  auto blocked_request = TestRequest("t", RequestKind::kRefresh);
+  blocked_request.params.num_buckets = 32;  // distinct key: no coalescing
+  blocked_request.deadline_nanos = clock.NowNanos() + 100'000;
+  auto blocked = service.Submit(blocked_request);
+  ASSERT_TRUE(blocked.ok());
+
+  clock.AdvanceNanos(1'000'000);  // deadline passes; device still wedged
+
+  // The waiter must come back promptly (bounded in real time even though
+  // the service clock is fake) with kDeadlineExceeded.
+  db::WallTimer timer;
+  auto response = blocked->Wait();
+  EXPECT_LT(timer.Seconds(), 5.0);
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(response.path, ServePath::kDeadline);
+
+  // Once the device un-wedges, the expired request drains without being
+  // scanned: the worker answers it at dequeue and moves on.
+  hook.Release();
+  ASSERT_TRUE(wedged->Wait().status.ok());
+  service.Stop();
+  EXPECT_EQ(service.counters().deadline_expired, 1u);
+  EXPECT_EQ(hook.calls(), 1);  // the expired request never reached the hook
+}
+
+TEST_F(ServiceTest, LadderShrinksScanFractionAsQueueFills) {
+  std::mutex fractions_mu;
+  std::vector<double> fractions;
+  accel::AcceleratorReport report = TemplateReport();
+  BlockingHook gate(report);
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_high_water = 8;
+  options.scan_hook = [&](const StatsRequest& request, double fraction) {
+    {
+      std::lock_guard<std::mutex> lock(fractions_mu);
+      fractions.push_back(fraction);
+    }
+    return gate(request, fraction);
+  };
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto wedged = service.Submit(TestRequest("t", RequestKind::kRefresh));
+  ASSERT_TRUE(wedged.ok());
+  while (service.counters().ladder_occupancy[0] == 0) {
+    std::this_thread::yield();
+  }
+  std::vector<Ticket> queued;
+  for (uint32_t i = 0; i < 7; ++i) {
+    auto request = TestRequest("t", RequestKind::kRefresh);
+    request.params.num_buckets = 8 + i;
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok());
+    queued.push_back(std::move(*ticket));
+  }
+
+  gate.Release();
+  std::vector<StatsResponse> responses;
+  for (auto& ticket : queued) responses.push_back(ticket.Wait());
+  ASSERT_TRUE(wedged->Wait().status.ok());
+  service.Stop();
+
+  // The first dequeue after the wedge saw a 7/8-full queue (above the
+  // 0.75 rung -> fraction 0.25 or lower); as the queue drained the
+  // fraction climbed back to 1.0. Monotone non-decreasing overall.
+  ASSERT_EQ(fractions.size(), 8u);  // wedged + 7 queued
+  EXPECT_LT(fractions[1], 1.0);
+  EXPECT_DOUBLE_EQ(fractions.back(), 1.0);
+  for (size_t i = 2; i < fractions.size(); ++i) {
+    EXPECT_GE(fractions[i], fractions[i - 1]);
+  }
+
+  // Degraded responses say so, and the installed stats are re-stamped.
+  bool saw_degraded = false;
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.status.ok());
+    if (response.degrade_level > 0) {
+      saw_degraded = true;
+      EXPECT_EQ(response.path, ServePath::kDegraded);
+      EXPECT_LT(response.stats.coverage, 1.0);
+      EXPECT_EQ(response.stats.provenance,
+                db::StatsProvenance::kImplicitPartial);
+    }
+  }
+  EXPECT_TRUE(saw_degraded);
+  const auto counters = service.counters();
+  uint64_t upper_rungs = 0;
+  for (size_t level = 1; level < counters.ladder_occupancy.size(); ++level) {
+    upper_rungs += counters.ladder_occupancy[level];
+  }
+  EXPECT_GT(upper_rungs, 0u);
+}
+
+/// The accuracy contract is a certificate, not an estimate: on a real
+/// (device-scanned, possibly degraded) response, every equi-depth bucket
+/// must satisfy the stamped per-bucket depth bound.
+TEST_F(ServiceTest, CertifiedContractHoldsOnRealScansIncludingDegraded) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_high_water = 8;
+  options.ladder = {{0.1, 0.5}, {0.5, 0.25}};
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // A burst of distinct refreshes: with one worker, later submissions
+  // find a non-empty queue and run degraded.
+  std::vector<Ticket> tickets;
+  for (uint32_t i = 0; i < 10; ++i) {
+    auto request = TestRequest("t", RequestKind::kRefresh);
+    request.params.num_buckets = 8 + i;
+    auto ticket = service.Submit(request);
+    if (ticket.ok()) tickets.push_back(std::move(*ticket));
+  }
+  size_t certified = 0, degraded = 0;
+  for (auto& ticket : tickets) {
+    auto response = ticket.Wait();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    if (!response.contract.certified) continue;
+    ++certified;
+    if (response.degrade_level > 0) ++degraded;
+
+    const auto& contract = response.contract;
+    const auto& buckets = response.equi_depth.buckets;
+    ASSERT_FALSE(buckets.empty());
+    // Bucket depths must sum to exactly the rows the contract claims to
+    // describe...
+    uint64_t total = 0;
+    for (const auto& bucket : buckets) total += bucket.count;
+    EXPECT_EQ(total, contract.rows_described);
+    // ...and every bucket must sit within the certified bound: at least
+    // the target and at most target + error for all but the last, and
+    // (0, target + error] for the remainder bucket.
+    const uint64_t upper = contract.target_depth + contract.max_depth_error;
+    for (size_t b = 0; b + 1 < buckets.size(); ++b) {
+      EXPECT_GE(buckets[b].count, contract.target_depth);
+      EXPECT_LE(buckets[b].count, upper);
+    }
+    EXPECT_GT(buckets.back().count, 0u);
+    EXPECT_LE(buckets.back().count, upper);
+    EXPECT_DOUBLE_EQ(
+        contract.relative_error,
+        static_cast<double>(contract.max_depth_error) /
+            static_cast<double>(contract.target_depth));
+  }
+  service.Stop();
+  EXPECT_GT(certified, 0u);
+  EXPECT_GT(degraded, 0u);  // the ladder actually engaged
+}
+
+TEST_F(ServiceTest, DegradedScanDescribesOnlyTheScannedPrefix) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_high_water = 4;
+  options.ladder = {{0.25, 0.25}};
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<Ticket> tickets;
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto request = TestRequest("t", RequestKind::kRefresh);
+    request.params.num_buckets = 8 + i;
+    auto ticket = service.Submit(request);
+    if (ticket.ok()) tickets.push_back(std::move(*ticket));
+  }
+  bool checked = false;
+  for (auto& ticket : tickets) {
+    auto response = ticket.Wait();
+    ASSERT_TRUE(response.status.ok());
+    if (response.degrade_level == 0) continue;
+    checked = true;
+    // A quarter-fraction scan saw roughly a quarter of the rows (page
+    // rounding allows slack) and said so in both the contract and the
+    // coverage stamp.
+    EXPECT_LT(response.contract.rows_described, kRows);
+    EXPECT_LE(response.stats.coverage, 0.5);
+    EXPECT_DOUBLE_EQ(response.contract.scan_fraction, 0.25);
+  }
+  service.Stop();
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(ServiceTest, StopDrainsOutstandingRequests) {
+  ServiceOptions options;
+  options.num_workers = 2;
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<Ticket> tickets;
+  for (uint32_t i = 0; i < 6; ++i) {
+    auto request = TestRequest("t", RequestKind::kRefresh);
+    request.params.num_buckets = 8 + i;
+    auto ticket = service.Submit(request);
+    ASSERT_TRUE(ticket.ok());
+    tickets.push_back(std::move(*ticket));
+  }
+  service.Stop();  // must serve everything already admitted
+  for (auto& ticket : tickets) {
+    EXPECT_TRUE(ticket.Wait().status.ok());
+  }
+  EXPECT_FALSE(service.running());
+  service.Stop();  // idempotent
+}
+
+TEST_F(ServiceTest, ScanFailureFallsBackToSamplingStats) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.resilient.retry.max_attempts = 2;
+  options.scan_hook = [](const StatsRequest&, double) {
+    return Result<accel::AcceleratorReport>(
+        Status::Internal("device on fire"));
+  };
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto response = service.SubmitAndWait(TestRequest());
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.path, ServePath::kFallback);
+  EXPECT_FALSE(response.contract.certified);
+  EXPECT_EQ(response.stats.provenance,
+            db::StatsProvenance::kSamplingFallback);
+  auto stats = catalog_.GetColumnStats("t", 0);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE((*stats)->valid);
+  EXPECT_GE(service.counters().scan_failures, 1u);
+  EXPECT_GE(service.counters().fallbacks, 1u);
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace dphist::svc

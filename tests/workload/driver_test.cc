@@ -1,0 +1,133 @@
+#include "workload/driver.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dphist::workload {
+namespace {
+
+std::vector<DriverTarget> Targets(size_t n) {
+  std::vector<DriverTarget> targets;
+  for (size_t i = 0; i < n; ++i) {
+    targets.push_back({"t" + std::to_string(i), 0});
+  }
+  return targets;
+}
+
+TEST(DriverTest, SameSeedReplaysBitIdentically) {
+  DriverOptions options;
+  options.seed = 77;
+  options.arrival_rate_per_sec = 500;
+  options.zipf_s = 1.0;
+  options.refresh_fraction = 0.2;
+  Driver a(Targets(4), options);
+  Driver b(Targets(4), options);
+  const auto ops_a = a.Generate(200);
+  const auto ops_b = b.Generate(200);
+  ASSERT_EQ(ops_a.size(), ops_b.size());
+  for (size_t i = 0; i < ops_a.size(); ++i) {
+    EXPECT_EQ(ops_a[i].arrival_nanos, ops_b[i].arrival_nanos);
+    EXPECT_EQ(ops_a[i].target, ops_b[i].target);
+    EXPECT_EQ(ops_a[i].refresh, ops_b[i].refresh);
+  }
+}
+
+TEST(DriverTest, ClosedLoopCarriesNoArrivalTimes) {
+  DriverOptions options;
+  options.arrival_rate_per_sec = 0;
+  Driver driver(Targets(2), options);
+  for (const auto& op : driver.Generate(50)) {
+    EXPECT_EQ(op.arrival_nanos, 0u);
+  }
+}
+
+TEST(DriverTest, OpenLoopArrivalsAreMonotoneAtRoughlyTheConfiguredRate) {
+  DriverOptions options;
+  options.seed = 5;
+  options.arrival_rate_per_sec = 1000;  // ~1ms gaps
+  Driver driver(Targets(2), options);
+  const auto ops = driver.Generate(2000);
+  uint64_t last = 0;
+  for (const auto& op : ops) {
+    EXPECT_GE(op.arrival_nanos, last);
+    last = op.arrival_nanos;
+  }
+  // 2000 arrivals at 1000/s span ~2s; Poisson noise at n=2000 stays
+  // well within 20%.
+  const double span_seconds = static_cast<double>(last) * 1e-9;
+  EXPECT_GT(span_seconds, 1.6);
+  EXPECT_LT(span_seconds, 2.4);
+}
+
+TEST(DriverTest, RefreshFractionIsRespected) {
+  DriverOptions options;
+  options.seed = 9;
+  options.refresh_fraction = 0.25;
+  Driver driver(Targets(3), options);
+  size_t refreshes = 0;
+  constexpr size_t kOps = 4000;
+  for (const auto& op : driver.Generate(kOps)) {
+    if (op.refresh) ++refreshes;
+  }
+  const double fraction =
+      static_cast<double>(refreshes) / static_cast<double>(kOps);
+  EXPECT_NEAR(fraction, 0.25, 0.03);
+}
+
+TEST(DriverTest, ZipfPopularityConcentratesOnTheHotTarget) {
+  DriverOptions options;
+  options.seed = 13;
+  options.zipf_s = 1.0;
+  Driver driver(Targets(8), options);
+  std::map<size_t, size_t> hits;
+  constexpr size_t kOps = 4000;
+  for (const auto& op : driver.Generate(kOps)) {
+    ASSERT_LT(op.target, 8u);
+    ++hits[op.target];
+  }
+  // The rank-0 target should dominate: Zipf(s=1, n=8) gives rank 0
+  // about 37% of the mass, rank 7 under 5%.
+  size_t hottest_target = 0;
+  size_t hottest_hits = 0;
+  for (const auto& [target, count] : hits) {
+    if (count > hottest_hits) {
+      hottest_hits = count;
+      hottest_target = target;
+    }
+  }
+  EXPECT_EQ(driver.rank_of(hottest_target), 0u);
+  EXPECT_GT(hottest_hits, kOps / 4);
+}
+
+TEST(DriverTest, UniformWhenSkewIsZero) {
+  DriverOptions options;
+  options.seed = 21;
+  options.zipf_s = 0.0;
+  Driver driver(Targets(4), options);
+  std::map<size_t, size_t> hits;
+  constexpr size_t kOps = 4000;
+  for (const auto& op : driver.Generate(kOps)) ++hits[op.target];
+  for (const auto& [target, count] : hits) {
+    EXPECT_NEAR(static_cast<double>(count), kOps / 4.0, kOps * 0.05)
+        << "target " << target;
+  }
+}
+
+TEST(DriverTest, HotTargetDependsOnSeedNotRegistrationOrder) {
+  // With enough seeds, rank 0 should land on more than one distinct
+  // target index — the driver shuffles popularity, not the caller.
+  std::map<size_t, int> rank0_targets;
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    Driver driver(Targets(6), options);
+    for (size_t i = 0; i < 6; ++i) {
+      if (driver.rank_of(i) == 0) ++rank0_targets[i];
+    }
+  }
+  EXPECT_GT(rank0_targets.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dphist::workload
