@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 
 #include "accel/scan_engine.h"
 #include "common/logging.h"
@@ -191,8 +192,24 @@ void StatsService::Stop() {
   queue_cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
-  std::lock_guard<std::mutex> lock(mu_);
-  running_ = false;
+  // Workers exit only on an empty queue and Submit sheds once stopping_
+  // is set, so the queue is expected to be empty here; drain it anyway
+  // so no admitted flight can ever be left waiting forever.
+  std::deque<std::shared_ptr<Flight>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftover.swap(queue_);
+    counters_.stop_drained += leftover.size();
+    running_ = false;
+  }
+  for (const std::shared_ptr<Flight>& flight : leftover) {
+    StatsResponse response;
+    response.status =
+        Status::ResourceExhausted("stats service stopped before service");
+    response.path = ServePath::kShed;
+    response.queue_nanos = clock_->NowNanos() - flight->enqueue_nanos;
+    Fulfill(flight, std::move(response));
+  }
 }
 
 bool StatsService::running() const {
@@ -203,6 +220,11 @@ bool StatsService::running() const {
 size_t StatsService::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queue_.size();
+}
+
+size_t StatsService::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
 }
 
 ServiceCounters StatsService::counters() const {
@@ -252,6 +274,17 @@ Result<Ticket> StatsService::Submit(const StatsRequest& request) {
   ++counters_.submitted;
   static obs::Counter* submitted = SvcCounter("svc.submitted");
   submitted->Add();
+
+  // 0. A service that is not running (never started, stopping, or
+  // stopped) cannot drain the queue: admitting here would park the
+  // caller on a flight no worker will ever serve. Shed instead — the
+  // same told-immediately contract as high-water.
+  if (!running_ || stopping_) {
+    ++counters_.shed;
+    static obs::Counter* shed = SvcCounter("svc.shed");
+    shed->Add();
+    return Status::ResourceExhausted("stats service is not running");
+  }
 
   // 1. Fresh cache hit: answered inline, no queue slot consumed.
   if (request.kind == RequestKind::kRead) {
@@ -449,23 +482,39 @@ void StatsService::Serve(const std::shared_ptr<Flight>& flight,
 
   // Deadline gate: an expired request is answered, not scanned — the
   // device's time belongs to requests that can still use it, and the
-  // queue keeps draining no matter how wedged the scan path is.
-  uint64_t latest_deadline;
+  // queue keeps draining no matter how wedged the scan path is. The
+  // verdict and the fulfillment are one critical section under
+  // flight->mu: a waiter with a later deadline either coalesces before
+  // it (and its deadline is part of the max read here) or finds the
+  // flight done and enqueues a fresh one — it can never inherit a
+  // DeadlineExceeded verdict its own deadline does not share.
+  uint64_t expired_total_nanos = 0;
+  bool expired = false;
   {
     std::lock_guard<std::mutex> lock(flight->mu);
-    latest_deadline = flight->latest_deadline_nanos;
+    if (dequeue_nanos >= flight->latest_deadline_nanos) {
+      expired = true;
+      response.status =
+          Status::DeadlineExceeded("deadline passed before service");
+      response.path = ServePath::kDeadline;
+      expired_total_nanos = clock_->NowNanos() - flight->enqueue_nanos;
+      response.total_nanos = expired_total_nanos;
+      flight->response = std::move(response);
+      flight->done = true;
+    }
   }
-  if (dequeue_nanos >= latest_deadline) {
-    response.status =
-        Status::DeadlineExceeded("deadline passed before service");
-    response.path = ServePath::kDeadline;
+  if (expired) {
+    flight->cv.notify_all();
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++counters_.deadline_expired;
+      EraseInFlightLocked(flight);
     }
-    static obs::Counter* expired = SvcCounter("svc.deadline_exceeded");
-    expired->Add();
-    Fulfill(flight, std::move(response));
+    static obs::Counter* expired_counter = SvcCounter("svc.deadline_exceeded");
+    expired_counter->Add();
+    static obs::LatencyHistogram* latency =
+        obs::MetricsRegistry::Global().GetHistogram("svc.latency_us");
+    latency->Record(expired_total_nanos / 1000);
     return;
   }
 
@@ -488,24 +537,31 @@ void StatsService::Serve(const std::shared_ptr<Flight>& flight,
     if (response.contract.certified) {
       stats.certified_rel_error = response.contract.relative_error;
     }
+    Status install = Status::OK();
     {
       std::lock_guard<std::mutex> lock(catalog_mu_);
-      Status install =
-          catalog_->SetColumnStats(request.table, request.column, stats);
-      if (!install.ok()) {
-        response.status = install;
-        response.path = ServePath::kError;
-        std::lock_guard<std::mutex> counters_lock(mu_);
+      install = catalog_->SetColumnStats(request.table, request.column, stats);
+      if (install.ok()) {
+        auto entry = catalog_->Find(request.table);
+        if (entry.ok()) {
+          // SetColumnStats stamped the current version; mirror it so the
+          // cache entry's freshness matches the catalog's.
+          stats.version = (*entry)->data_version;
+        }
+      }
+    }
+    // catalog_mu_ is released before mu_ or flight->mu: no Serve path
+    // holds two service locks, and Fulfill (which takes both of the
+    // latter) is never reached with any other lock held.
+    if (!install.ok()) {
+      response.status = install;
+      response.path = ServePath::kError;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
         ++counters_.errors;
-        Fulfill(flight, std::move(response));
-        return;
       }
-      auto entry = catalog_->Find(request.table);
-      if (entry.ok()) {
-        // SetColumnStats stamped the current version; mirror it so the
-        // cache entry's freshness matches the catalog's.
-        stats.version = (*entry)->data_version;
-      }
+      Fulfill(flight, std::move(response));
+      return;
     }
     response.status = Status::OK();
     response.path = level == 0 ? ServePath::kScan : ServePath::kDegraded;
@@ -521,7 +577,7 @@ void StatsService::Serve(const std::shared_ptr<Flight>& flight,
       cached.response.total_nanos = 0;
       cached.data_version = stats.version;
       cached.stamp_nanos = clock_->NowNanos();
-      cache_[flight->key] = std::move(cached);
+      InsertCacheLocked(flight->key, std::move(cached));
     }
     static obs::Counter* served = SvcCounter("svc.served");
     served->Add();
@@ -546,30 +602,32 @@ void StatsService::Serve(const std::shared_ptr<Flight>& flight,
   static obs::Counter* failures = SvcCounter("svc.scan_failures");
   failures->Add();
   if (options_.resilient.fallback.enabled) {
-    Result<db::ColumnStats> fallback = [&] {
+    Result<db::ColumnStats> fallback = Status::Internal("fallback not built");
+    Status install = Status::Internal("fallback not installed");
+    {
       std::lock_guard<std::mutex> lock(catalog_mu_);
-      return fallback_scanner_.BuildSamplingStats(request.table,
-                                                  request.column);
-    }();
-    if (fallback.ok()) {
-      std::lock_guard<std::mutex> lock(catalog_mu_);
-      Status install = catalog_->SetColumnStats(request.table, request.column,
-                                                *fallback);
-      if (install.ok()) {
-        response.status = Status::OK();
-        response.path = ServePath::kFallback;
-        response.stats = *fallback;
-        response.contract.certified = false;
-        response.contract.scan_fraction = fallback->sampling_rate;
-        {
-          std::lock_guard<std::mutex> counters_lock(mu_);
-          ++counters_.fallbacks;
-        }
-        static obs::Counter* fallbacks = SvcCounter("svc.fallbacks");
-        fallbacks->Add();
-        Fulfill(flight, std::move(response));
-        return;
+      fallback = fallback_scanner_.BuildSamplingStats(request.table,
+                                                      request.column);
+      if (fallback.ok()) {
+        install = catalog_->SetColumnStats(request.table, request.column,
+                                           *fallback);
       }
+    }
+    // As on the scan path: catalog_mu_ released before counters/Fulfill.
+    if (fallback.ok() && install.ok()) {
+      response.status = Status::OK();
+      response.path = ServePath::kFallback;
+      response.stats = *fallback;
+      response.contract.certified = false;
+      response.contract.scan_fraction = fallback->sampling_rate;
+      {
+        std::lock_guard<std::mutex> counters_lock(mu_);
+        ++counters_.fallbacks;
+      }
+      static obs::Counter* fallbacks = SvcCounter("svc.fallbacks");
+      fallbacks->Add();
+      Fulfill(flight, std::move(response));
+      return;
     }
   }
 
@@ -590,11 +648,7 @@ void StatsService::Fulfill(const std::shared_ptr<Flight>& flight,
   latency->Record(response.total_nanos / 1000);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = in_flight_.find(flight->key);
-    if (it != in_flight_.end() &&
-        it->second.lock().get() == flight.get()) {
-      in_flight_.erase(it);
-    }
+    EraseInFlightLocked(flight);
   }
   {
     std::lock_guard<std::mutex> lock(flight->mu);
@@ -602,6 +656,44 @@ void StatsService::Fulfill(const std::shared_ptr<Flight>& flight,
     flight->done = true;
   }
   flight->cv.notify_all();
+}
+
+void StatsService::EraseInFlightLocked(
+    const std::shared_ptr<Flight>& flight) {
+  auto it = in_flight_.find(flight->key);
+  if (it != in_flight_.end() && it->second.lock().get() == flight.get()) {
+    in_flight_.erase(it);
+  }
+}
+
+void StatsService::InsertCacheLocked(const std::string& key,
+                                     CacheEntry entry) {
+  const size_t cap = options_.cache_max_entries;
+  if (cap > 0 && cache_.size() >= cap && cache_.find(key) == cache_.end()) {
+    // TTL-expired entries are dead weight: sweep them before evicting
+    // anything still fresh.
+    if (options_.cache_ttl_nanos != 0) {
+      const uint64_t now = entry.stamp_nanos;
+      for (auto it = cache_.begin();
+           it != cache_.end() && cache_.size() >= cap;) {
+        if (now - it->second.stamp_nanos > options_.cache_ttl_nanos) {
+          it = cache_.erase(it);
+          ++counters_.cache_evictions;
+        } else {
+          ++it;
+        }
+      }
+    }
+    while (cache_.size() >= cap) {
+      auto oldest = cache_.begin();
+      for (auto it = std::next(cache_.begin()); it != cache_.end(); ++it) {
+        if (it->second.stamp_nanos < oldest->second.stamp_nanos) oldest = it;
+      }
+      cache_.erase(oldest);
+      ++counters_.cache_evictions;
+    }
+  }
+  cache_[key] = std::move(entry);
 }
 
 }  // namespace dphist::svc

@@ -131,6 +131,11 @@ struct ServiceOptions {
   /// Cached results older than this are stale even at an unchanged data
   /// version; 0 disables the age check (version-only freshness).
   uint64_t cache_ttl_nanos = 0;
+  /// Bound on distinct cached results. At capacity an insert first
+  /// sweeps TTL-expired entries, then evicts the oldest — the cache is
+  /// bounded by design, like the queue. 0 disables the bound (opt-out;
+  /// memory then grows with the number of distinct request keys).
+  size_t cache_max_entries = 1024;
   /// Defaults shed to 1/2, 1/4, 1/8 of the table as the queue passes
   /// 50%, 75%, 90% of the high-water mark.
   std::vector<DegradeStep> ladder = {
@@ -162,6 +167,8 @@ struct ServiceCounters {
   uint64_t deadline_expired = 0;
   uint64_t scan_failures = 0;
   uint64_t errors = 0;
+  uint64_t cache_evictions = 0;  ///< entries dropped by the capacity bound
+  uint64_t stop_drained = 0;     ///< flights fulfilled by Stop()'s drain
   std::vector<uint64_t> ladder_occupancy;
 };
 
@@ -219,13 +226,16 @@ class StatsService {
   Status Start();
 
   /// Drains the queue (expired requests answered kDeadlineExceeded, the
-  /// rest served) and joins the workers. Idempotent.
+  /// rest served) and joins the workers; any flight still queued after
+  /// the workers exit is fulfilled kResourceExhausted, so no admitted
+  /// request is ever left waiting. Idempotent.
   void Stop();
 
   /// Admission-controlled enqueue. Returns kResourceExhausted when the
-  /// queue is at high-water (the request was shed — this is the
-  /// designed-for overload response, not a failure of the service), or
-  /// a Ticket whose Wait() yields the response.
+  /// queue is at high-water or the service is not running (the request
+  /// was shed — this is the designed-for overload response, not a
+  /// failure of the service), or a Ticket whose Wait() yields the
+  /// response.
   Result<Ticket> Submit(const StatsRequest& request);
 
   /// Submit + Wait, folding a shed into the response status.
@@ -237,6 +247,7 @@ class StatsService {
 
   ServiceCounters counters() const;
   size_t queue_depth() const;
+  size_t cache_size() const;
   const ServiceOptions& options() const { return options_; }
   bool running() const;
 
@@ -259,6 +270,12 @@ class StatsService {
                                            uint32_t* attempts);
   void Fulfill(const std::shared_ptr<internal::Flight>& flight,
                StatsResponse response);
+  /// Drops `flight`'s coalescing-map entry if it is still the one
+  /// registered under its key. Caller holds mu_.
+  void EraseInFlightLocked(const std::shared_ptr<internal::Flight>& flight);
+  /// Inserts a cache entry, enforcing cache_max_entries (TTL-expired
+  /// entries evicted first, then the oldest). Caller holds mu_.
+  void InsertCacheLocked(const std::string& key, CacheEntry entry);
 
   db::Catalog* catalog_;
   accel::Device* device_;

@@ -498,6 +498,87 @@ TEST_F(ServiceTest, StopDrainsOutstandingRequests) {
   service.Stop();  // idempotent
 }
 
+/// Regression: the scan hook bypasses RunScan's catalog check, so the
+/// stats install can fail for an unknown table. That path used to call
+/// Fulfill while holding both catalog_mu_ and mu_ — a self-deadlock
+/// when Fulfill re-locked mu_. It must now answer kError and keep
+/// serving.
+TEST_F(ServiceTest, StatsInstallFailureAnswersErrorWithoutDeadlock) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.resilient.fallback.enabled = false;
+  accel::AcceleratorReport report = TemplateReport();
+  options.scan_hook = [report](const StatsRequest&, double) {
+    return Result<accel::AcceleratorReport>(report);
+  };
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // "ghost" is not in the catalog; the hook still hands back a report,
+  // so Serve reaches SetColumnStats and the install fails.
+  auto response = service.SubmitAndWait(TestRequest("ghost"));
+  EXPECT_FALSE(response.status.ok());
+  EXPECT_EQ(response.path, ServePath::kError);
+  EXPECT_EQ(service.counters().errors, 1u);
+
+  // The worker survived: a valid request is still served.
+  ASSERT_TRUE(service.SubmitAndWait(TestRequest()).status.ok());
+  service.Stop();
+}
+
+/// Regression: a Submit racing past Stop used to be enqueued but never
+/// served, spinning its waiter forever on an unlimited deadline. It
+/// must be shed immediately, and the ledger must still balance.
+TEST_F(ServiceTest, SubmitAfterStopIsShedNotHung) {
+  StatsService service(&catalog_, &device_);
+  {
+    // Never-started service: same contract.
+    auto ticket = service.Submit(TestRequest());
+    ASSERT_FALSE(ticket.ok());
+    EXPECT_EQ(ticket.status().code(), StatusCode::kResourceExhausted);
+  }
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.SubmitAndWait(TestRequest()).status.ok());
+  service.Stop();
+
+  auto ticket = service.Submit(TestRequest());
+  ASSERT_FALSE(ticket.ok());
+  EXPECT_EQ(ticket.status().code(), StatusCode::kResourceExhausted);
+  auto response = service.SubmitAndWait(TestRequest());
+  EXPECT_EQ(response.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(response.path, ServePath::kShed);
+
+  const auto counters = service.counters();
+  EXPECT_EQ(counters.accepted + counters.shed, counters.submitted);
+  EXPECT_EQ(counters.shed, 3u);
+}
+
+/// Regression: the result cache used to grow without bound under a
+/// workload with varying params. It is now capped at cache_max_entries
+/// with oldest-first eviction.
+TEST_F(ServiceTest, ResultCacheIsBoundedUnderVaryingParams) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_max_entries = 4;
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  for (uint32_t i = 0; i < 12; ++i) {
+    auto request = TestRequest();
+    request.params.num_buckets = 4 + i;  // distinct key every time
+    ASSERT_TRUE(service.SubmitAndWait(request).status.ok());
+    EXPECT_LE(service.cache_size(), 4u);
+  }
+  EXPECT_EQ(service.cache_size(), 4u);
+  EXPECT_EQ(service.counters().cache_evictions, 8u);
+
+  // The newest keys survived the evictions and still hit.
+  auto warm = TestRequest();
+  warm.params.num_buckets = 15;
+  EXPECT_EQ(service.SubmitAndWait(warm).path, ServePath::kCache);
+  service.Stop();
+}
+
 TEST_F(ServiceTest, ScanFailureFallsBackToSamplingStats) {
   ServiceOptions options;
   options.num_workers = 1;
