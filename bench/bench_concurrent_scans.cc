@@ -1,10 +1,14 @@
-// Sweeps the host-side ScanExecutor over 1/2/4/8 worker threads on a
+// Sweeps the host-side ScanExecutor over 1/2/4/8 worker threads and both
+// execution engines (cycle-accurate and functional; DESIGN.md §12) on a
 // multi-table TPC-H-style workload against one shared 8-region Device.
 // The device's simulated-cycle accounting is deterministic, so every
-// thread count must produce bit-identical reports (asserted here by
-// comparing serialized reports against the 1-thread baseline); threads
-// only buy host wall-clock. Expected shape: near-linear wall-clock
-// speedup up to the region count, identical simulated makespan.
+// thread count must produce bit-identical reports (asserted here against
+// each engine's 1-thread baseline), and the functional engine must
+// produce functional results bit-identical to the cycle-accurate serial
+// facade (asserted via the functional projection). Any mismatch exits
+// nonzero. Expected shape: near-linear wall-clock speedup up to
+// min(threads, host cores, region count) within one engine, plus a large
+// engine-level speedup from skipping the cycle simulation entirely.
 
 #include <chrono>
 #include <cstdio>
@@ -15,6 +19,7 @@
 
 #include "accel/device.h"
 #include "accel/report_text.h"
+#include "accel/scan_engine.h"
 #include "accel/scan_executor.h"
 #include "bench/bench_util.h"
 #include "obs/metrics.h"
@@ -93,12 +98,13 @@ void Run() {
         host_cores);
   }
 
-  bench::TablePrinter table(
-      {"threads", "wall (s)", "speedup", "scans/s", "sim makespan (s)"}, 17);
+  bench::TablePrinter table({"engine", "threads", "wall (s)", "speedup",
+                             "scans/s", "sim makespan (s)"},
+                            15);
   bench::JsonWriter json("concurrent_scans");
   json.Meta("reproduces",
-            "ScanExecutor thread sweep: wall-clock scaling at identical "
-            "simulated results");
+            "ScanExecutor thread x engine sweep: wall-clock scaling at "
+            "identical functional results");
   json.MetaNum("jobs", static_cast<double>(w.jobs.size()));
   json.MetaNum("rows_per_table", static_cast<double>(rows));
   json.MetaNum("regions", kRegions);
@@ -111,76 +117,138 @@ void Run() {
   obs::MetricsRegistry::Global().ResetAll();
   const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
 
-  std::vector<std::string> baseline;  // serialized 1-thread reports
-  double wall_1thread = 0;
-  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
-    // A fresh device per sweep so admission draws, channel fault streams,
-    // and the booking timeline start from the same state every time.
+  // Ground truth: the cycle-accurate serial facade, one session at a
+  // time on a fresh device. Every executor run below must reproduce it —
+  // bit-for-bit on the full report for the cycle engine, bit-for-bit on
+  // the functional projection for the functional engine.
+  std::vector<std::string> serial_text;
+  std::vector<std::string> serial_projection;
+  {
     accel::AcceleratorConfig config;
     accel::Device device(config, kRegions);
-    accel::ExecutorOptions options;
-    options.num_threads = threads;
-
-    const auto start = std::chrono::steady_clock::now();
-    std::vector<accel::ScanOutcome> outcomes =
-        accel::ScanExecutor(&device, options).Run(w.jobs);
-    const double wall =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-
-    double makespan = 0;
-    for (const accel::ScanTimeline& t : device.completed_timelines()) {
-      makespan = std::max(makespan, t.histogram_finish_seconds);
-    }
-    for (size_t i = 0; i < outcomes.size(); ++i) {
-      if (!outcomes[i].status.ok()) {
-        std::fprintf(stderr, "scan %zu failed: %s\n", i,
-                     outcomes[i].status.ToString().c_str());
+    accel::ScanEngine engine(&device);
+    for (size_t i = 0; i < w.jobs.size(); ++i) {
+      auto report = engine.ScanTable(*w.jobs[i].table, w.jobs[i].request);
+      if (!report.ok()) {
+        std::fprintf(stderr, "serial facade scan %zu failed: %s\n", i,
+                     report.status().ToString().c_str());
         std::exit(1);
       }
-      std::string text = accel::ReportToString(outcomes[i].report);
+      serial_text.push_back(accel::ReportToString(*report));
+      serial_projection.push_back(accel::FunctionalReportToString(*report));
+    }
+  }
+
+  std::vector<std::string> baseline;  // 1-thread reports, current engine
+  double wall_1thread_cycle = 0;
+  double wall_1thread = 0;
+  for (accel::EngineMode mode :
+       {accel::EngineMode::kCycleAccurate, accel::EngineMode::kFunctional}) {
+    baseline.clear();
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      // A fresh device per sweep so admission draws, channel fault
+      // streams, and the booking timeline start from the same state
+      // every time.
+      accel::AcceleratorConfig config;
+      accel::Device device(config, kRegions);
+      accel::ExecutorOptions options;
+      options.num_threads = threads;
+      options.engine = mode;
+
+      const auto start = std::chrono::steady_clock::now();
+      std::vector<accel::ScanOutcome> outcomes =
+          accel::ScanExecutor(&device, options).Run(w.jobs);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+
+      double makespan = 0;
+      for (const accel::ScanTimeline& t : device.completed_timelines()) {
+        makespan = std::max(makespan, t.histogram_finish_seconds);
+      }
+      for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].status.ok()) {
+          std::fprintf(stderr, "scan %zu failed: %s\n", i,
+                       outcomes[i].status.ToString().c_str());
+          std::exit(1);
+        }
+        std::string text = accel::ReportToString(outcomes[i].report);
+        if (threads == 1) {
+          // The 1-thread run anchors this engine's determinism check and
+          // must itself match the serial facade: the full report for the
+          // cycle engine, the functional projection for the functional
+          // engine (whose cycle-domain fields are intentionally absent).
+          if (mode == accel::EngineMode::kCycleAccurate &&
+              text != serial_text[i]) {
+            std::fprintf(stderr,
+                         "FACADE MISMATCH: executor scan %zu differs from "
+                         "the serial facade\n",
+                         i);
+            std::exit(1);
+          }
+          baseline.push_back(std::move(text));
+        } else if (text != baseline[i]) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: %s scan %zu differs at %u "
+                       "threads from the 1-thread baseline\n",
+                       accel::EngineModeName(mode), i, threads);
+          std::exit(1);
+        }
+        if (accel::FunctionalReportToString(outcomes[i].report) !=
+            serial_projection[i]) {
+          std::fprintf(stderr,
+                       "TWO-ENGINE MISMATCH: %s scan %zu (%u threads) "
+                       "functional results differ from the cycle-accurate "
+                       "serial facade\n",
+                       accel::EngineModeName(mode), i, threads);
+          std::exit(1);
+        }
+      }
       if (threads == 1) {
-        baseline.push_back(std::move(text));
-      } else if (text != baseline[i]) {
-        std::fprintf(stderr,
-                     "DETERMINISM VIOLATION: scan %zu differs at %u "
-                     "threads from the 1-thread baseline\n",
-                     i, threads);
-        std::exit(1);
+        wall_1thread = wall;
+        if (mode == accel::EngineMode::kCycleAccurate) {
+          wall_1thread_cycle = wall;
+        }
       }
-    }
-    if (threads == 1) wall_1thread = wall;
 
-    const double speedup = wall_1thread / wall;
-    char speedup_text[16];
-    std::snprintf(speedup_text, sizeof(speedup_text), "%.2fx", speedup);
-    table.PrintRow({bench::TablePrinter::FmtInt(threads),
-                    bench::TablePrinter::Fmt(wall), speedup_text,
-                    bench::TablePrinter::Fmt(w.jobs.size() / wall),
-                    bench::TablePrinter::Fmt(makespan)});
-    // Raw numbers alongside the mirrored text cells, for CI consumers.
-    json.Num("num_threads", threads);
-    json.Num("wall_seconds", wall);
-    json.Num("speedup_vs_1thread", speedup);
-    json.Num("sim_makespan_seconds", makespan);
+      const double speedup = wall_1thread / wall;
+      char speedup_text[16];
+      std::snprintf(speedup_text, sizeof(speedup_text), "%.2fx", speedup);
+      table.PrintRow({accel::EngineModeName(mode),
+                      bench::TablePrinter::FmtInt(threads),
+                      bench::TablePrinter::Fmt(wall), speedup_text,
+                      bench::TablePrinter::Fmt(w.jobs.size() / wall),
+                      bench::TablePrinter::Fmt(makespan)});
+      // Raw numbers alongside the mirrored text cells, for CI consumers.
+      json.Str("engine_mode", accel::EngineModeName(mode));
+      json.Num("num_threads", threads);
+      json.Num("host_cores", host_cores);
+      json.Num("wall_seconds", wall);
+      json.Num("speedup", speedup);
+      json.Num("speedup_vs_1thread", speedup);
+      json.Num("speedup_vs_cycle_1thread",
+               wall > 0 ? wall_1thread_cycle / wall : 0.0);
+      json.Num("sim_makespan_seconds", makespan);
+    }
   }
   std::printf(
-      "\nExpected shape: every thread count reproduces the 1-thread "
-      "reports bit-for-bit (verified above); wall-clock scales with "
-      "threads until the %u per-slot queues are each owned by one "
-      "worker.\n",
+      "\nExpected shape: every (engine, threads) cell reproduces the "
+      "serial facade's functional results bit-for-bit (verified above); "
+      "within an engine, wall-clock scales with threads until the %u "
+      "per-slot queues are each owned by one worker; the functional "
+      "engine removes the cycle simulation entirely.\n",
       kRegions);
   json.Metrics(obs::DiffSnapshots(
       before, obs::MetricsRegistry::Global().Snapshot()));
 
-  // Observability overhead check: rerun the 1-thread workload twice
-  // back-to-back (both warm, so the comparison is not biased by the
-  // sweep's cold first run) — once with metrics enabled, once disabled.
-  // Metrics are flushed per scan, never per value, and are purely
-  // observational: the simulated makespan must be identical (<= 2%
-  // simulated-throughput overhead is the acceptance bar; here it is
-  // exactly zero, proven by the bit-identical reports) and the
+  // Observability overhead check: rerun the 1-thread cycle workload
+  // twice back-to-back (both warm, so the comparison is not biased by
+  // the sweep's cold first run) — once with metrics enabled, once
+  // disabled. Metrics are flushed per scan, never per value, and are
+  // purely observational: the simulated makespan must be identical
+  // (<= 2% simulated-throughput overhead is the acceptance bar; here it
+  // is exactly zero, proven by the bit-identical reports) and the
   // wall-clock delta stays within noise.
   {
     auto timed_run = [&](bool metrics_on, double* makespan) {
@@ -203,7 +271,7 @@ void Run() {
       }
       for (size_t i = 0; i < outcomes.size(); ++i) {
         if (!outcomes[i].status.ok() ||
-            accel::ReportToString(outcomes[i].report) != baseline[i]) {
+            accel::ReportToString(outcomes[i].report) != serial_text[i]) {
           std::fprintf(stderr,
                        "OVERHEAD CHECK VIOLATION: scan %zu differs with "
                        "metrics %s\n",
@@ -241,8 +309,8 @@ void Run() {
 int main() {
   dphist::bench::PrintBanner(
       "bench_concurrent_scans",
-      "ScanExecutor wall-clock scaling, 1/2/4/8 host threads",
-      "simulated device results are thread-count independent; only host "
+      "ScanExecutor wall-clock scaling, 1/2/4/8 host threads x 2 engines",
+      "functional results are thread- and engine-independent; only host "
       "wall-clock varies");
   dphist::Run();
   return 0;

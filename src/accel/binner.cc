@@ -13,6 +13,10 @@ Binner::Binner(const BinnerConfig& config, const Preprocessor* prep,
       dram_(dram),
       cache_(config.cache_bytes, dram->config().line_bytes) {
   DPHIST_CHECK_GE(dram->allocated_bins(), prep->num_bins());
+  // Ring capacities are the architectural FIFO bound plus the one slot a
+  // push can transiently need before the bound is re-established.
+  in_flight_.Reserve(config.address_fifo_capacity + 1);
+  pending_writes_.Reserve(config.address_fifo_capacity + 1);
 }
 
 void Binner::DrainWritesUpTo(double now) {
@@ -24,7 +28,38 @@ void Binner::DrainWritesUpTo(double now) {
   }
 }
 
+void Binner::ProcessValueFunctional(int64_t value) {
+  ++arrived_items_;
+  if (!prep_->InRange(value)) {
+    ++dropped_values_;
+    return;
+  }
+  const uint64_t bin = prep_->BinOf(value);
+  // The cache simulation is purely functional (its hit/miss sequence
+  // depends only on the value stream), so it determines the exact read
+  // sequence — and therefore the exact fault-draw sequence — the cycle
+  // engine would issue. Reads happen before the increment, as in the
+  // hardware's READ -> UPDATE -> WRITE order, so a bit flip lands on the
+  // pre-increment count exactly as it does on the timed path.
+  if (config_.cache_enabled) {
+    const uint64_t line = dram_->LineOfBin(bin);
+    if (!cache_.LookupAndTouch(line)) {
+      dram_->FunctionalRead(bin);
+      cache_.Insert(line);
+    }
+  } else {
+    dram_->FunctionalRead(bin);
+  }
+  dram_->WriteBin(bin, dram_->ReadBin(bin) + 1);
+  dram_->FunctionalWrite(bin);
+  ++total_items_;
+}
+
 void Binner::ProcessValue(int64_t value) {
+  if (functional_) {
+    ProcessValueFunctional(value);
+    return;
+  }
   // Arrival: the value cannot issue before the link delivers its row.
   // Dropped values still consume their link slot.
   double arrival =

@@ -2,12 +2,12 @@
 #define DPHIST_ACCEL_BINNER_H_
 
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 
 #include "accel/bin_cache.h"
 #include "accel/config.h"
 #include "accel/preprocessor.h"
+#include "common/ring_buffer.h"
 #include "sim/clock.h"
 #include "sim/dram.h"
 
@@ -73,6 +73,14 @@ class Binner {
     input_interval_cycles_ = cycles;
   }
 
+  /// Switches this Binner to the fast functional engine: identical
+  /// functional effects — domain filtering, the cache-determined read
+  /// stream (with its fault hooks), increments, and write fault hooks —
+  /// with zero timing simulation. The resulting bins, drop counts, and
+  /// cache hit/miss tallies are bit-identical to the cycle engine; the
+  /// report's finish_cycle is 0. Set before the first value.
+  void set_functional(bool functional) { functional_ = functional; }
+
   /// Consumes one raw column field (Parser output).
   void ProcessRaw(uint64_t raw) { ProcessValue(prep_->DecodeRaw(raw)); }
 
@@ -96,6 +104,11 @@ class Binner {
   /// Issues buffered writes whose request time is at or before `now`.
   void DrainWritesUpTo(double now);
 
+  /// The functional-engine per-value path (see set_functional).
+  void ProcessValueFunctional(int64_t value);
+
+  bool functional_ = false;
+
   BinnerConfig config_;
   const Preprocessor* prep_;
   sim::Dram* dram_;
@@ -113,12 +126,14 @@ class Binner {
 
   /// In-order retirement times (running max of update completions) of
   /// in-flight items; bounds occupancy by the address FIFO capacity.
-  std::deque<double> in_flight_;
+  /// Preallocated rings (the FIFO bound is the capacity) so the
+  /// per-value hot loop never allocates.
+  RingBuffer<double> in_flight_;
 
   /// Write-through writes awaiting a port slot (bounded by
   /// config_.address_fifo_capacity as well — one buffered write per
   /// in-flight item in hardware).
-  std::deque<PendingWrite> pending_writes_;
+  RingBuffer<PendingWrite> pending_writes_;
 
   /// Estimated write-retirement time per line; used for hazard detection
   /// when the cache is disabled.

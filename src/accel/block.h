@@ -1,6 +1,7 @@
 #ifndef DPHIST_ACCEL_BLOCK_H_
 #define DPHIST_ACCEL_BLOCK_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace dphist::accel {
@@ -60,6 +61,39 @@ class StatBlock {
   /// item occupies this block (the chain advances at the maximum over
   /// blocks, modelling lockstep backpressure).
   virtual uint32_t ProcessBin(const BinStreamItem& item, double now) = 0;
+
+  /// Batch variant for single-block chains: processes `count` consecutive
+  /// items starting at time `now`, advancing the local clock by each
+  /// item's cost (floored at 1 cycle, exactly as the module's lockstep
+  /// loop does), and returns the total cycles consumed. The default
+  /// loops ProcessBin; blocks override it with allocation-free tight
+  /// loops to amortize the virtual dispatch.
+  virtual double ProcessBins(const BinStreamItem* items, size_t count,
+                             double now) {
+    double t = now;
+    for (size_t i = 0; i < count; ++i) {
+      uint32_t cost = ProcessBin(items[i], t);
+      t += cost < 1 ? 1.0 : static_cast<double>(cost);
+    }
+    return t - now;
+  }
+
+  /// Event-driven fast-forward support. A "zero run" is a maximal range
+  /// of consecutive bins whose stored count is 0. ZeroRunHorizon(from)
+  /// returns the first bin index >= `from` at which a zero-count bin
+  /// would do more than cost one quiescent cycle (emit a result, mutate
+  /// accumulation state beyond bookkeeping, or cost 2 cycles);
+  /// kNoHorizon when no zero bin can ever do so in the block's current
+  /// state. The Scanner may replace per-bin stepping of zero bins in
+  /// [from, min(horizon, run_end)) with one SkipZeroBins call, which
+  /// must leave the block in the exact state the per-bin path would
+  /// have. The conservative default forbids skipping.
+  static constexpr uint64_t kNoHorizon = ~0ULL;
+  virtual uint64_t ZeroRunHorizon(uint64_t from) const { return from; }
+  virtual void SkipZeroBins(uint64_t from, uint64_t to) {
+    (void)from;
+    (void)to;
+  }
 
   /// Called after the last bin of a scan at time `now`; returns extra
   /// drain cycles the block needs (e.g., shifting out the TopK list).

@@ -63,6 +63,22 @@ uint32_t TopKBlock::ProcessBin(const BinStreamItem& item, double /*now*/) {
   return 2;
 }
 
+double TopKBlock::ProcessBins(const BinStreamItem* items, size_t count,
+                              double now) {
+  if (!active_) return static_cast<double>(count);
+  double cycles = 0.0;
+  for (size_t i = 0; i < count; ++i) {
+    if (items[i].count == 0) {
+      cycles += 1.0;
+    } else {
+      list_.Offer(items[i].count, items[i].bin);
+      cycles += 2.0;
+    }
+  }
+  (void)now;
+  return cycles;
+}
+
 double TopKBlock::EndScan(double now) {
   if (!active_) return 0.0;
   active_ = false;
@@ -113,6 +129,33 @@ uint32_t EquiDepthBlock::ProcessBin(const BinStreamItem& item, double now) {
   return 1;
 }
 
+double EquiDepthBlock::ProcessBins(const BinStreamItem* items, size_t count,
+                                   double now) {
+  if (!active_) return static_cast<double>(count);
+  double t = now;
+  for (size_t i = 0; i < count; ++i) {
+    const BinStreamItem& item = items[i];
+    sum_ += item.count;
+    distinct_ += (item.count != 0);
+    last_bin_ = item.bin;
+    if (sum_ >= limit_) {
+      result_.push_back(BinBucket{start_bin_, item.bin, sum_, distinct_});
+      RecordResult(t, 8);
+      sum_ = 0;
+      distinct_ = 0;
+      start_bin_ = item.bin + 1;
+    }
+    t += 1.0;
+  }
+  return t - now;
+}
+
+void EquiDepthBlock::SkipZeroBins(uint64_t from, uint64_t to) {
+  (void)from;
+  if (!active_) return;
+  last_bin_ = to - 1;
+}
+
 double EquiDepthBlock::EndScan(double now) {
   if (!active_) return 0.0;
   active_ = false;
@@ -143,12 +186,41 @@ void MaxDiffBlock::StartScan(const ScanContext& context) {
     for (const auto& entry : diff_list_.Sorted()) {
       boundaries_.insert(entry.payload);
     }
+    sorted_boundaries_.assign(boundaries_.begin(), boundaries_.end());
+    std::sort(sorted_boundaries_.begin(), sorted_boundaries_.end());
     sum_ = 0;
     distinct_ = 0;
     open_ = false;
   } else {
     active_ = false;
   }
+}
+
+uint64_t MaxDiffBlock::ZeroRunHorizon(uint64_t from) const {
+  if (!active_) return kNoHorizon;
+  if (current_scan_ == 0) {
+    // The first zero after a non-zero bin is a real (cost-2) difference;
+    // once prev is zero, further zeros are quiescent.
+    return (have_prev_ && prev_count_ != 0) ? from : kNoHorizon;
+  }
+  // Scan 2: a flagged bin re-cuts the bucket even at count 0.
+  auto it = std::lower_bound(sorted_boundaries_.begin(),
+                             sorted_boundaries_.end(), from);
+  return it == sorted_boundaries_.end() ? kNoHorizon : *it;
+}
+
+void MaxDiffBlock::SkipZeroBins(uint64_t from, uint64_t to) {
+  if (!active_) return;
+  if (current_scan_ == 0) {
+    prev_count_ = 0;
+    have_prev_ = true;
+    return;
+  }
+  if (!open_) {
+    start_bin_ = from;
+    open_ = true;
+  }
+  last_bin_ = to - 1;
 }
 
 void MaxDiffBlock::EmitSegment(double now) {
@@ -264,6 +336,16 @@ uint32_t CompressedBlock::ProcessBin(const BinStreamItem& item, double now) {
     open_ = false;
   }
   return 1;
+}
+
+void CompressedBlock::SkipZeroBins(uint64_t from, uint64_t to) {
+  if (!active_ || current_scan_ == 0) return;
+  if (limit_ == 0) return;  // the per-bin path bails before any state
+  if (!open_) {
+    start_bin_ = from;
+    open_ = true;
+  }
+  last_bin_ = to - 1;
 }
 
 double CompressedBlock::EndScan(double now) {

@@ -49,6 +49,12 @@ class TopKBlock : public StatBlock {
   const char* name() const override { return "TopK"; }
   void StartScan(const ScanContext& context) override;
   uint32_t ProcessBin(const BinStreamItem& item, double now) override;
+  double ProcessBins(const BinStreamItem* items, size_t count,
+                     double now) override;
+  /// Zero-count items never touch the list: always skippable.
+  uint64_t ZeroRunHorizon(uint64_t /*from*/) const override {
+    return kNoHorizon;
+  }
   double EndScan(double now) override;
   bool NeedsAnotherScan() const override { return false; }
 
@@ -72,6 +78,14 @@ class EquiDepthBlock : public StatBlock {
   const char* name() const override { return "Equi-depth"; }
   void StartScan(const ScanContext& context) override;
   uint32_t ProcessBin(const BinStreamItem& item, double now) override;
+  double ProcessBins(const BinStreamItem* items, size_t count,
+                     double now) override;
+  /// Zero-count bins only move last_bin_ (sum_ < limit_ holds between
+  /// bins, so they can never close a bucket): always skippable.
+  uint64_t ZeroRunHorizon(uint64_t /*from*/) const override {
+    return kNoHorizon;
+  }
+  void SkipZeroBins(uint64_t from, uint64_t to) override;
   double EndScan(double now) override;
   bool NeedsAnotherScan() const override { return false; }
 
@@ -100,6 +114,12 @@ class MaxDiffBlock : public StatBlock {
   const char* name() const override { return "Max-diff"; }
   void StartScan(const ScanContext& context) override;
   uint32_t ProcessBin(const BinStreamItem& item, double now) override;
+  /// Scan 1: a zero bin after a non-zero one feeds the diff list (cost
+  /// 2), so the horizon closes there; once prev is zero the run is
+  /// quiescent. Scan 2: the horizon is the next flagged boundary, which
+  /// re-cuts buckets even at count 0.
+  uint64_t ZeroRunHorizon(uint64_t from) const override;
+  void SkipZeroBins(uint64_t from, uint64_t to) override;
   double EndScan(double now) override;
   bool NeedsAnotherScan() const override { return scans_done_ == 1; }
 
@@ -120,6 +140,8 @@ class MaxDiffBlock : public StatBlock {
 
   // Scan-2 state.
   std::unordered_set<uint64_t> boundaries_;
+  /// The same boundaries, sorted, for the scan-2 zero-run horizon.
+  std::vector<uint64_t> sorted_boundaries_;
   uint64_t sum_ = 0;
   uint64_t distinct_ = 0;
   uint64_t start_bin_ = 0;
@@ -139,6 +161,12 @@ class CompressedBlock : public StatBlock {
   const char* name() const override { return "Compressed"; }
   void StartScan(const ScanContext& context) override;
   uint32_t ProcessBin(const BinStreamItem& item, double now) override;
+  /// Zero bins never touch the top list (scan 1) and can never close an
+  /// equi-depth bucket (scan 2): always skippable.
+  uint64_t ZeroRunHorizon(uint64_t /*from*/) const override {
+    return kNoHorizon;
+  }
+  void SkipZeroBins(uint64_t from, uint64_t to) override;
   double EndScan(double now) override;
   bool NeedsAnotherScan() const override { return scans_done_ == 1; }
 

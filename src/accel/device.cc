@@ -8,6 +8,16 @@
 
 namespace dphist::accel {
 
+const char* EngineModeName(EngineMode mode) {
+  switch (mode) {
+    case EngineMode::kCycleAccurate:
+      return "cycle";
+    case EngineMode::kFunctional:
+      return "functional";
+  }
+  return "?";
+}
+
 namespace {
 
 obs::Counter* DeviceCounter(const char* name) {

@@ -30,6 +30,20 @@ enum class SessionMode {
   kReplicated,
 };
 
+/// Which execution engine a scan session runs on (DESIGN.md §12).
+enum class EngineMode {
+  /// The event-driven cycle simulation: exact BlockTiming, makespan, and
+  /// DRAM timing statistics. The reference engine.
+  kCycleAccurate,
+  /// The fast functional kernel: one allocation-free pass producing
+  /// BinnedCounts, top-k, and all four histogram types bit-identically
+  /// to the cycle engine (fault draws replayed on the same deterministic
+  /// row/bin stream), with all cycle-domain timing fields zeroed.
+  kFunctional,
+};
+
+const char* EngineModeName(EngineMode mode);
+
 /// Where one scan sat in the device schedule. All times are simulated
 /// seconds on the device's clock, measured from the device's own time
 /// origin (construction = 0).

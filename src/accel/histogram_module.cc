@@ -19,6 +19,9 @@ ModuleReport HistogramModule::Run(uint64_t num_bins, uint64_t total_count,
   const uint64_t bins_per_line = dram_->config().bins_per_line();
   double t = start_cycle;
   bool more = !blocks_.empty();
+  const bool single_block = blocks_.size() == 1;
+  // One line of the bin stream, staged so blocks can batch-consume it.
+  std::vector<BinStreamItem> line(bins_per_line);
   while (more) {
     ScanContext context{num_bins, total_count, report.scans};
     for (auto& block : blocks_) block->StartScan(context);
@@ -30,16 +33,44 @@ ModuleReport HistogramModule::Run(uint64_t num_bins, uint64_t total_count,
              static_cast<double>(blocks_.size());
     if (report.scans == 0) report.first_bin_cycle = t;
 
-    for (uint64_t i = 0; i < num_bins; ++i) {
-      if (i % bins_per_line == 0) {
-        dram_->IssueSequentialLineRead(t, i / bins_per_line);
+    // Event-driven scan: line reads issue at exactly the cycle the
+    // per-bin loop would (the line's first bin always starts a chain
+    // slot), so DRAM timing, stats, and fault draws are bit-identical to
+    // per-cycle stepping. All-zero lines inside every block's quiescent
+    // horizon fast-forward in O(1): each zero bin costs exactly one
+    // lockstep cycle and SkipZeroBins reproduces the state updates.
+    for (uint64_t i = 0; i < num_bins; i += bins_per_line) {
+      dram_->IssueSequentialLineRead(t, i / bins_per_line);
+      const uint64_t end = std::min(num_bins, i + bins_per_line);
+      const size_t n = static_cast<size_t>(end - i);
+      bool all_zero = true;
+      for (size_t j = 0; j < n; ++j) {
+        const uint64_t count = dram_->ReadBin(i + j);
+        line[j] = BinStreamItem{i + j, count};
+        all_zero = all_zero && count == 0;
       }
-      BinStreamItem item{i, dram_->ReadBin(i)};
-      uint32_t cost = 1;
-      for (auto& block : blocks_) {
-        cost = std::max(cost, block->ProcessBin(item, t));
+      if (all_zero) {
+        uint64_t horizon = StatBlock::kNoHorizon;
+        for (auto& block : blocks_) {
+          horizon = std::min(horizon, block->ZeroRunHorizon(i));
+        }
+        if (horizon >= end) {
+          for (auto& block : blocks_) block->SkipZeroBins(i, end);
+          t += static_cast<double>(n);
+          continue;
+        }
       }
-      t += static_cast<double>(cost);
+      if (single_block) {
+        t += blocks_[0]->ProcessBins(line.data(), n, t);
+        continue;
+      }
+      for (size_t j = 0; j < n; ++j) {
+        uint32_t cost = 1;
+        for (auto& block : blocks_) {
+          cost = std::max(cost, block->ProcessBin(line[j], t));
+        }
+        t += static_cast<double>(cost);
+      }
     }
 
     double drain = 0.0;
@@ -51,6 +82,54 @@ ModuleReport HistogramModule::Run(uint64_t num_bins, uint64_t total_count,
     for (auto& block : blocks_) more = more || block->NeedsAnotherScan();
   }
   report.finish_cycle = t;
+  return report;
+}
+
+ModuleReport HistogramModule::RunFunctional(uint64_t num_bins,
+                                            uint64_t total_count) {
+  DPHIST_CHECK_LE(num_bins, dram_->allocated_bins());
+  ModuleReport report;
+
+  const uint64_t bins_per_line = dram_->config().bins_per_line();
+  std::vector<BinStreamItem> line(bins_per_line);
+  bool more = !blocks_.empty();
+  while (more) {
+    ScanContext context{num_bins, total_count, report.scans};
+    for (auto& block : blocks_) block->StartScan(context);
+
+    for (uint64_t i = 0; i < num_bins; i += bins_per_line) {
+      // The fault hook replaces the timed line read: same per-line ECC
+      // and spike draws, applied before the line's bins are examined.
+      dram_->FunctionalLineRead(i / bins_per_line);
+      const uint64_t end = std::min(num_bins, i + bins_per_line);
+      const size_t n = static_cast<size_t>(end - i);
+      bool all_zero = true;
+      for (size_t j = 0; j < n; ++j) {
+        const uint64_t count = dram_->ReadBin(i + j);
+        line[j] = BinStreamItem{i + j, count};
+        all_zero = all_zero && count == 0;
+      }
+      if (all_zero) {
+        uint64_t horizon = StatBlock::kNoHorizon;
+        for (auto& block : blocks_) {
+          horizon = std::min(horizon, block->ZeroRunHorizon(i));
+        }
+        if (horizon >= end) {
+          for (auto& block : blocks_) block->SkipZeroBins(i, end);
+          continue;
+        }
+      }
+      for (auto& block : blocks_) {
+        (void)block->ProcessBins(line.data(), n, 0.0);
+      }
+    }
+
+    for (auto& block : blocks_) (void)block->EndScan(0.0);
+
+    ++report.scans;
+    more = false;
+    for (auto& block : blocks_) more = more || block->NeedsAnotherScan();
+  }
   return report;
 }
 

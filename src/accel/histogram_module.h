@@ -53,6 +53,14 @@ class HistogramModule {
   ModuleReport Run(uint64_t num_bins, uint64_t total_count,
                    double start_cycle);
 
+  /// Functional-engine variant: runs the same passes over the same bin
+  /// stream through the same blocks — per-line fault hooks
+  /// (Dram::FunctionalLineRead) consume the identical ECC/spike draws
+  /// the timed Scanner would, so multi-pass content effects (a pass-1
+  /// line loss changing pass 2's input) reproduce exactly — but with no
+  /// clock: every cycle field of the report is 0; only `scans` counts.
+  ModuleReport RunFunctional(uint64_t num_bins, uint64_t total_count);
+
  private:
   HistogramModuleConfig config_;
   sim::Dram* dram_;

@@ -74,6 +74,103 @@ std::string ReportToString(const AcceleratorReport& report) {
   return out;
 }
 
+namespace {
+
+void AppendHistogram(const char* label, const hist::Histogram& h,
+                     std::string* out) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s: total=%llu min=%lld max=%lld\n",
+                label, (unsigned long long)h.total_count,
+                (long long)h.min_value, (long long)h.max_value);
+  *out += buf;
+  for (const hist::Bucket& b : h.buckets) {
+    std::snprintf(buf, sizeof(buf),
+                  "  [%lld, %lld] count=%llu distinct=%llu\n",
+                  (long long)b.lo, (long long)b.hi,
+                  (unsigned long long)b.count,
+                  (unsigned long long)b.distinct);
+    *out += buf;
+  }
+  for (const hist::ValueCount& s : h.singletons) {
+    std::snprintf(buf, sizeof(buf), "  singleton %lld x%llu\n",
+                  (long long)s.value, (unsigned long long)s.count);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+std::string FunctionalReportToString(const AcceleratorReport& report) {
+  std::string out;
+  char buf[256];
+
+  std::snprintf(buf, sizeof(buf),
+                "rows=%llu bins=%llu distinct=%llu corrupt_pages=%llu\n",
+                (unsigned long long)report.rows,
+                (unsigned long long)report.num_bins,
+                (unsigned long long)report.distinct_values,
+                (unsigned long long)report.corrupt_pages);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "binner: %llu binned, %llu dropped, cache %llu hits / "
+                "%llu misses\n",
+                (unsigned long long)report.binner.total_items,
+                (unsigned long long)report.binner.dropped_values,
+                (unsigned long long)report.binner.cache_hits,
+                (unsigned long long)report.binner.cache_misses);
+  out += buf;
+  const ScanQuality& q = report.quality;
+  std::snprintf(buf, sizeof(buf),
+                "quality: pages %llu total, %llu dropped, %llu corrupt; "
+                "rows %llu seen, %llu dropped; bins %llu total, %llu "
+                "lost; flips %llu, spikes %llu, faults %llu\n",
+                (unsigned long long)q.pages_total,
+                (unsigned long long)q.pages_dropped,
+                (unsigned long long)q.pages_corrupt,
+                (unsigned long long)q.rows_seen,
+                (unsigned long long)q.rows_dropped,
+                (unsigned long long)q.bins_total,
+                (unsigned long long)q.bins_lost,
+                (unsigned long long)q.bit_flips,
+                (unsigned long long)q.latency_spikes,
+                (unsigned long long)q.faults_observed);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "chain: %u scan(s)\n", report.module.scans);
+  out += buf;
+  for (const auto& block : report.block_timings) {
+    std::snprintf(buf, sizeof(buf), "  %-11s %llu result bytes\n",
+                  block.name.c_str(),
+                  (unsigned long long)block.timing.result_bytes);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "top_k: %zu entries\n",
+                report.histograms.top_k.size());
+  out += buf;
+  for (const hist::ValueCount& entry : report.histograms.top_k) {
+    std::snprintf(buf, sizeof(buf), "  %lld x%llu\n", (long long)entry.value,
+                  (unsigned long long)entry.count);
+    out += buf;
+  }
+  AppendHistogram("equi_depth", report.histograms.equi_depth, &out);
+  AppendHistogram("max_diff", report.histograms.max_diff, &out);
+  AppendHistogram("compressed", report.histograms.compressed, &out);
+  if (!report.bins.counts.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "exported bins: %zu (min=%lld max=%lld gran=%lld)\n",
+                  report.bins.counts.size(), (long long)report.bins.min_value,
+                  (long long)report.bins.max_value,
+                  (long long)report.bins.granularity);
+    out += buf;
+    for (size_t i = 0; i < report.bins.counts.size(); ++i) {
+      if (report.bins.counts[i] == 0) continue;
+      std::snprintf(buf, sizeof(buf), "  bin %zu = %llu\n", i,
+                    (unsigned long long)report.bins.counts[i]);
+      out += buf;
+    }
+  }
+  return out;
+}
+
 std::string MetricsToString(const obs::MetricsSnapshot& snapshot) {
   if (snapshot.empty()) return "(no metrics recorded)\n";
   std::string out;

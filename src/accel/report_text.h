@@ -14,6 +14,16 @@ namespace dphist::accel {
 /// sessions; not a stable machine format (see wire_format.h for that).
 std::string ReportToString(const AcceleratorReport& report);
 
+/// Renders only the *functional* fields of a report — rows, bins, NDV,
+/// every histogram bucket/singleton, the exported binned counts, quality
+/// counters, and per-block result bytes — omitting everything in the
+/// cycle/time domain (stream/binner/chain seconds, per-cycle DRAM stats,
+/// stall counts, result-port cycles). Two reports with equal projections
+/// carry bit-identical statistics; this is the equality the two-engine
+/// contract (DESIGN.md §12) promises, and what the concurrency bench and
+/// the fault-matrix property test compare across engines.
+std::string FunctionalReportToString(const AcceleratorReport& report);
+
 /// Renders a metrics snapshot (or a DiffSnapshots delta) as one aligned
 /// line per metric, sorted by name: counters and gauges as plain values,
 /// histograms as count/sum/p50/p99. Empty snapshot renders as a single

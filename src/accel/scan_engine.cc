@@ -107,6 +107,7 @@ struct ScanSession::State {
   Device* device = nullptr;
   ScanRequest request;
   SessionMode mode = SessionMode::kPipelined;
+  EngineMode engine = EngineMode::kCycleAccurate;
   uint64_t bytes_per_value = 8;
   double parser_latency_cycles = 0;
   /// The Binner holds pointers into this state (prep, channel), which is
@@ -278,19 +279,31 @@ AcceleratorReport ScanSession::ComputeReport() {
   }
   // The module sees the binned population (rows minus dropped values),
   // which is what the bins actually sum to.
-  report.module = module.Run(prep.num_bins(), report.binner.total_items,
-                             report.binner.finish_cycle);
+  const bool functional = s.engine == EngineMode::kFunctional;
+  report.module =
+      functional
+          ? module.RunFunctional(prep.num_bins(), report.binner.total_items)
+          : module.Run(prep.num_bins(), report.binner.total_items,
+                       report.binner.finish_cycle);
 
   uint64_t result_bytes = 0;
-  const bool tracing = obs::Tracer::Global().enabled();
+  const bool tracing =
+      obs::Tracer::Global().enabled() && !functional;
   auto collect_timing = [&](const char* name, const StatBlock* block) {
-    report.block_timings.push_back(NamedBlockTiming{name, block->timing()});
-    result_bytes += block->timing().result_bytes;
-    if (tracing && block->timing().first_result_cycle >= 0) {
+    BlockTiming timing = block->timing();
+    result_bytes += timing.result_bytes;
+    if (functional) {
+      // No cycle domain: keep the functional facts (result bytes, scans
+      // used), clear the cycle positions so they cannot be mistaken for
+      // simulated times.
+      timing.first_result_cycle = -1.0;
+      timing.last_result_cycle = -1.0;
+    } else if (tracing && timing.first_result_cycle >= 0) {
       s.pending_spans.push_back(State::PendingSpan{
-          name, "block", block->timing().first_result_cycle,
-          block->timing().last_result_cycle});
+          name, "block", timing.first_result_cycle,
+          timing.last_result_cycle});
     }
+    report.block_timings.push_back(NamedBlockTiming{name, timing});
   };
   if (tracing) {
     s.pending_spans.push_back(State::PendingSpan{
@@ -327,13 +340,17 @@ AcceleratorReport ScanSession::ComputeReport() {
   }
 
   // Device-time accounting (paper Section 6.2: first byte sent until last
-  // result byte received).
+  // result byte received). The functional engine has no cycle domain:
+  // only the link-derived times (exact closed-form functions of the byte
+  // counts) are populated, and the cycle-derived fields stay 0.
   const sim::Clock& clock = config.clock;
   report.stream_seconds = config.input_link.TransferSeconds(streamed_bytes);
-  report.binner_finish_seconds = clock.CyclesToSeconds(
-      report.binner.finish_cycle + s.parser_latency_cycles);
-  report.histogram_finish_seconds = clock.CyclesToSeconds(
-      report.module.finish_cycle + s.parser_latency_cycles);
+  if (!functional) {
+    report.binner_finish_seconds = clock.CyclesToSeconds(
+        report.binner.finish_cycle + s.parser_latency_cycles);
+    report.histogram_finish_seconds = clock.CyclesToSeconds(
+        report.module.finish_cycle + s.parser_latency_cycles);
+  }
   const double result_transfer =
       config.input_link.TransferSeconds(result_bytes);
   report.total_seconds =
@@ -472,6 +489,7 @@ Result<ScanSession> ScanEngine::OpenSessionWithOptions(
   state->device = device_;
   state->request = request;
   state->mode = options.mode;
+  state->engine = options.engine;
   state->bytes_per_value = bytes_per_value;
   state->prep.emplace(std::move(prep));
   state->use_fault_plan = options.use_fault_plan;
@@ -495,6 +513,7 @@ Result<ScanSession> ScanEngine::OpenSessionWithOptions(
   state->binner.emplace(config.binner, &*state->prep,
                         state->lease.channel());
   state->binner->set_input_interval_cycles(value_interval_cycles);
+  state->binner->set_functional(options.engine == EngineMode::kFunctional);
 
   if (schema != nullptr) {
     state->parser_latency_cycles = config.parser_latency_cycles;
@@ -507,35 +526,44 @@ Result<ScanSession> ScanEngine::OpenSessionWithOptions(
 
 Result<AcceleratorReport> ScanEngine::ScanTable(const page::TableFile& table,
                                                 const ScanRequest& request,
-                                                SessionMode mode) {
+                                                SessionMode mode,
+                                                EngineMode engine) {
   std::vector<std::span<const uint8_t>> pages;
   pages.reserve(table.page_count());
   for (size_t p = 0; p < table.page_count(); ++p) {
     pages.push_back(table.PageBytes(p));
   }
-  return ScanPages(pages, table.schema(), request, mode);
+  return ScanPages(pages, table.schema(), request, mode, engine);
 }
 
 Result<AcceleratorReport> ScanEngine::ScanPages(
     std::span<const std::span<const uint8_t>> pages,
     const page::Schema& schema, const ScanRequest& request,
-    SessionMode mode) {
+    SessionMode mode, EngineMode engine) {
   if (request.column_index >= schema.num_columns()) {
     return Status::InvalidArgument("scan request: column index out of range");
   }
+  SessionOptions options;
+  options.mode = mode;
+  options.engine = engine;
   DPHIST_ASSIGN_OR_RETURN(
       ScanSession session,
-      OpenSession(request, &schema, schema.row_width(), mode));
+      OpenSessionWithOptions(request, &schema, schema.row_width(),
+                             std::move(options)));
   for (const auto& page_bytes : pages) session.FeedPage(page_bytes);
   return session.Finish();
 }
 
 Result<AcceleratorReport> ScanEngine::ScanValues(
     std::span<const int64_t> values, const ScanRequest& request,
-    uint64_t bytes_per_value, SessionMode mode) {
+    uint64_t bytes_per_value, SessionMode mode, EngineMode engine) {
+  SessionOptions options;
+  options.mode = mode;
+  options.engine = engine;
   DPHIST_ASSIGN_OR_RETURN(
       ScanSession session,
-      OpenSession(request, nullptr, bytes_per_value, mode));
+      OpenSessionWithOptions(request, nullptr, bytes_per_value,
+                             std::move(options)));
   for (int64_t v : values) session.FeedValue(v);
   return session.Finish();
 }

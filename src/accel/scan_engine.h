@@ -39,6 +39,12 @@ PageFaultDecision DrawPageFaultDecision(sim::FaultInjector& faults,
 /// defaults reproduce OpenSession's behaviour exactly.
 struct SessionOptions {
   SessionMode mode = SessionMode::kPipelined;
+  /// Which engine executes the session (DESIGN.md §12). Functional
+  /// sessions produce bit-identical functional results (bins, NDV,
+  /// histograms, quality) with zero cycle simulation; their cycle-domain
+  /// timing fields are 0, so they book only the link stream time on the
+  /// device's front-end schedule and no chain time.
+  EngineMode engine = EngineMode::kCycleAccurate;
   /// Lease this specific region slot instead of the earliest-free one
   /// (negative: let the allocator choose). Executor-planned sessions get
   /// pre-assigned slots so region placement is schedule-independent.
@@ -148,19 +154,22 @@ class ScanEngine {
   /// its pages.
   Result<AcceleratorReport> ScanTable(
       const page::TableFile& table, const ScanRequest& request,
-      SessionMode mode = SessionMode::kPipelined);
+      SessionMode mode = SessionMode::kPipelined,
+      EngineMode engine = EngineMode::kCycleAccurate);
 
   /// Scans an arbitrary page stream (what the Splitter taps off the
   /// wire).
   Result<AcceleratorReport> ScanPages(
       std::span<const std::span<const uint8_t>> pages,
       const page::Schema& schema, const ScanRequest& request,
-      SessionMode mode = SessionMode::kPipelined);
+      SessionMode mode = SessionMode::kPipelined,
+      EngineMode engine = EngineMode::kCycleAccurate);
 
   /// Scans pre-decoded values, bypassing the Parser.
   Result<AcceleratorReport> ScanValues(
       std::span<const int64_t> values, const ScanRequest& request,
-      uint64_t bytes_per_value, SessionMode mode = SessionMode::kPipelined);
+      uint64_t bytes_per_value, SessionMode mode = SessionMode::kPipelined,
+      EngineMode engine = EngineMode::kCycleAccurate);
 
  private:
   Device* device_;

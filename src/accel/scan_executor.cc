@@ -81,19 +81,67 @@ std::vector<ScanOutcome> ScanExecutor::Run(std::span<const ScanJob> jobs) {
                             device_->region_free_seconds(b);
                    });
 
-  // Phase 1 — serial planning in submission order. Every draw from the
-  // shared stream-fault injector happens here, in exactly the order the
-  // serial facade would consume it: admission for job i, then job i's
-  // page decisions, then admission for job i+1.
+  // Phase 1a — parallel per-job pre-validation. Everything about a job
+  // that touches no shared state and consumes no draws (column bounds,
+  // preprocessor construction, the bin count) is sharded across the
+  // worker pool, so the serial section below shrinks to just the
+  // draw-consuming steps and no longer serializes the sweep.
+  struct PreCheck {
+    Status status = Status::OK();
+    uint64_t bins = 0;
+    bool column_invalid = false;
+  };
+  std::vector<PreCheck> prechecks(jobs.size());
+  auto precheck_job = [&](size_t i) {
+    const ScanJob& job = jobs[i];
+    PreCheck& pre = prechecks[i];
+    if (job.table != nullptr &&
+        job.request.column_index >= job.table->schema().num_columns()) {
+      pre.status =
+          Status::InvalidArgument("scan request: column index out of range");
+      pre.column_invalid = true;
+      return;
+    }
+    Result<Preprocessor> prep = Preprocessor::Create(PrepConfigFor(job));
+    if (!prep.ok()) {
+      pre.status = prep.status();
+      return;
+    }
+    pre.bins = prep->num_bins();
+  };
+  const uint32_t plan_threads = std::min<uint32_t>(
+      std::max<uint32_t>(1, options_.num_threads),
+      static_cast<uint32_t>(std::max<size_t>(1, jobs.size())));
+  if (plan_threads == 1 || jobs.size() < 2) {
+    for (size_t i = 0; i < jobs.size(); ++i) precheck_job(i);
+  } else {
+    std::atomic<size_t> next_job{0};
+    auto precheck_loop = [&] {
+      for (;;) {
+        size_t i = next_job.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs.size()) return;
+        precheck_job(i);
+      }
+    };
+    std::vector<std::thread> checkers;
+    checkers.reserve(plan_threads);
+    for (uint32_t w = 0; w < plan_threads; ++w) {
+      checkers.emplace_back(precheck_loop);
+    }
+    for (auto& w : checkers) w.join();
+  }
+
+  // Phase 1b — serial draw section in submission order. Every draw from
+  // the shared stream-fault injector happens here, in exactly the order
+  // the serial facade would consume it: admission for job i, then job
+  // i's page decisions, then admission for job i+1.
   std::vector<uint64_t> slot_max_bins(num_slots, 0);
   size_t next_slot_index = 0;
   for (size_t i = 0; i < jobs.size(); ++i) {
     const ScanJob& job = jobs[i];
-    if (job.table != nullptr &&
-        job.request.column_index >= job.table->schema().num_columns()) {
+    if (prechecks[i].column_invalid) {
       // Same pre-admission check ScanPages makes: no draws consumed.
-      outcomes[i].status =
-          Status::InvalidArgument("scan request: column index out of range");
+      outcomes[i].status = prechecks[i].status;
       continue;
     }
     Status admitted = device_->AdmitScan(job.request);
@@ -101,12 +149,13 @@ std::vector<ScanOutcome> ScanExecutor::Run(std::span<const ScanJob> jobs) {
       outcomes[i].status = admitted;
       continue;
     }
-    Result<Preprocessor> prep = Preprocessor::Create(PrepConfigFor(job));
-    if (!prep.ok()) {
-      outcomes[i].status = prep.status();
+    if (!prechecks[i].status.ok()) {
+      // Preprocessor rejection: surfaces after the admission draw, as in
+      // the serial facade's OpenSession order.
+      outcomes[i].status = prechecks[i].status;
       continue;
     }
-    const uint64_t bins = prep->num_bins();
+    const uint64_t bins = prechecks[i].bins;
     if (bins > capacity_bins) {
       outcomes[i].status = Status::ResourceExhausted(
           "binned representation exceeds DRAM capacity");
@@ -135,6 +184,7 @@ std::vector<ScanOutcome> ScanExecutor::Run(std::span<const ScanJob> jobs) {
     plan.runnable = true;
     plan.slot = slot;
     plan.session.mode = SessionMode::kPipelined;
+    plan.session.engine = options_.engine;
     plan.session.region_slot = static_cast<int32_t>(slot);
     plan.session.skip_admission = true;
     if (job.table != nullptr && config.faults.any_page_faults()) {

@@ -49,6 +49,12 @@ struct ExecutorOptions {
   /// Host worker threads. Results are byte-identical for every value;
   /// more threads only change wall-clock time.
   uint32_t num_threads = 1;
+  /// Engine every planned session runs on. Functional jobs produce
+  /// bit-identical functional results with zero cycle simulation (the
+  /// fast servable path); cycle-accurate jobs additionally carry exact
+  /// timing. One Run() uses one engine for all jobs, keeping the
+  /// device-schedule evolution a pure function of the job list.
+  EngineMode engine = EngineMode::kCycleAccurate;
 };
 
 /// Runs many scans concurrently against one shared Device without

@@ -74,6 +74,7 @@ ShardScanResult ClusterCoordinator::RunShard(
   job.request = request;
   accel::ExecutorOptions exec_options;
   exec_options.num_threads = options_.threads_per_shard;
+  exec_options.engine = options_.engine_mode;
 
   const uint32_t max_attempts =
       std::max<uint32_t>(1, options_.retry.max_attempts);

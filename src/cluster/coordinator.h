@@ -40,6 +40,12 @@ struct ClusterOptions {
   /// Host threads of each shard's ScanExecutor. Results are bit-identical
   /// at any value (the executor's contract); threads buy wall-clock only.
   uint32_t threads_per_shard = 1;
+  /// Execution engine every shard scan runs on (DESIGN.md §12). The
+  /// functional engine produces per-shard bins bit-identical to the
+  /// cycle-accurate engine, so the exact merge — and every statistic
+  /// re-derived from it — is unchanged; only the cycle-domain timing
+  /// (slowest_shard_seconds) loses its simulated chain components.
+  accel::EngineMode engine_mode = accel::EngineMode::kCycleAccurate;
   /// Per-shard retry (same policy object the ResilientScanner uses);
   /// backoff is modelled seconds, accumulated in the shard result.
   db::RetryPolicy retry;

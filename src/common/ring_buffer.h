@@ -1,0 +1,69 @@
+#ifndef DPHIST_COMMON_RING_BUFFER_H_
+#define DPHIST_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace dphist {
+
+/// Fixed-capacity single-threaded FIFO over one contiguous allocation.
+/// Replaces std::deque in simulation hot loops: a deque allocates and
+/// frees blocks as it churns, while this ring touches one cache-resident
+/// array and never allocates after Reserve(). Capacity is rounded up to
+/// a power of two so the index wrap is a mask, not a modulo.
+template <typename T>
+class RingBuffer {
+ public:
+  RingBuffer() = default;
+  explicit RingBuffer(size_t capacity) { Reserve(capacity); }
+
+  /// Preallocates room for at least `capacity` elements. Only valid on
+  /// an empty ring (callers size it once, before the hot loop).
+  void Reserve(size_t capacity) {
+    DPHIST_CHECK_EQ(size_, 0u);
+    size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    slots_.resize(rounded);
+    mask_ = rounded - 1;
+    head_ = 0;
+    size_ = 0;
+  }
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return slots_.size(); }
+
+  const T& front() const {
+    DPHIST_CHECK_GT(size_, 0u);
+    return slots_[head_];
+  }
+
+  void push_back(const T& value) {
+    DPHIST_CHECK_LT(size_, slots_.size());
+    slots_[(head_ + size_) & mask_] = value;
+    ++size_;
+  }
+
+  void pop_front() {
+    DPHIST_CHECK_GT(size_, 0u);
+    head_ = (head_ + 1) & mask_;
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  size_t head_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace dphist
+
+#endif  // DPHIST_COMMON_RING_BUFFER_H_

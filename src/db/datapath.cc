@@ -36,20 +36,23 @@ ColumnStats StatsFromAcceleratorReport(const accel::AcceleratorReport& report,
 
 Result<accel::AcceleratorReport> DataPathScanner::ScanAndRefresh(
     const std::string& table, size_t column,
-    const accel::ScanRequest& request) {
+    const accel::ScanRequest& request, accel::EngineMode engine) {
   DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, catalog_->Find(table));
   accel::ScanRequest scan = request;
   scan.column_index = column;
   DPHIST_ASSIGN_OR_RETURN(
       accel::AcceleratorReport report,
-      accel::ScanEngine(device_).ScanTable(*entry->table, scan));
+      accel::ScanEngine(device_).ScanTable(*entry->table, scan,
+                                           accel::SessionMode::kPipelined,
+                                           engine));
   DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
       table, column, StatsFromAcceleratorReport(report, scan)));
   return report;
 }
 
 Result<std::vector<accel::ScanOutcome>> DataPathScanner::ScanAndRefreshTables(
-    std::span<const TableScanJob> jobs, uint32_t num_threads) {
+    std::span<const TableScanJob> jobs, uint32_t num_threads,
+    accel::EngineMode engine) {
   // Resolve every job first: a planner handing us an unknown table or a
   // bad column is a caller bug and must not half-run the batch.
   std::vector<accel::ScanJob> scan_jobs;
@@ -68,6 +71,7 @@ Result<std::vector<accel::ScanOutcome>> DataPathScanner::ScanAndRefreshTables(
   }
   accel::ExecutorOptions options;
   options.num_threads = num_threads;
+  options.engine = engine;
   std::vector<accel::ScanOutcome> outcomes =
       accel::ScanExecutor(device_, options).Run(scan_jobs);
   for (size_t i = 0; i < jobs.size(); ++i) {

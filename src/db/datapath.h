@@ -47,9 +47,14 @@ class DataPathScanner {
   /// stats of `column`. Domain metadata (min/max) comes from `request`;
   /// callers typically take it from prior stats or schema knowledge, as
   /// the host does when it parameterizes the accelerator's preprocessor.
+  /// `engine` selects the execution engine (DESIGN.md §12): the
+  /// functional engine yields bit-identical stats with zero cycle
+  /// simulation (build_seconds then reflects only the modelled stream
+  /// time), the cycle-accurate engine adds exact device timing.
   Result<accel::AcceleratorReport> ScanAndRefresh(
       const std::string& table, size_t column,
-      const accel::ScanRequest& request);
+      const accel::ScanRequest& request,
+      accel::EngineMode engine = accel::EngineMode::kCycleAccurate);
 
   /// Refreshes several columns from a single pass of the table stream
   /// (replicated statistic circuits; see accel::ProcessTableMultiColumn).
@@ -67,7 +72,8 @@ class DataPathScanner {
   /// the whole call before anything runs; per-job device trouble is
   /// reported in that job's outcome instead.
   Result<std::vector<accel::ScanOutcome>> ScanAndRefreshTables(
-      std::span<const TableScanJob> jobs, uint32_t num_threads = 1);
+      std::span<const TableScanJob> jobs, uint32_t num_threads = 1,
+      accel::EngineMode engine = accel::EngineMode::kCycleAccurate);
 
  private:
   Catalog* catalog_;

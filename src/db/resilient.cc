@@ -193,7 +193,9 @@ Result<ScanOutcome> ResilientScanner::ScanAndRefresh(
     for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
       ++outcome.attempts;
       ++counters_.attempts;
-      auto report = accel::ScanEngine(device_).ScanTable(*entry->table, scan);
+      auto report = accel::ScanEngine(device_).ScanTable(
+          *entry->table, scan, accel::SessionMode::kPipelined,
+          options_.engine);
       const bool usable =
           report.ok() && report->quality.Coverage() >= options_.min_coverage;
       if (usable) {
@@ -340,6 +342,7 @@ Result<std::vector<ScanOutcome>> ResilientScanner::ScanAndRefreshMany(
     }
     accel::ExecutorOptions exec_options;
     exec_options.num_threads = num_threads;
+    exec_options.engine = options_.engine;
     device_outcomes = accel::ScanExecutor(device_, exec_options).Run(scan_jobs);
   }
 

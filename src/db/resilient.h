@@ -71,6 +71,11 @@ struct ResilientScannerOptions {
   /// Minimum ScanQuality coverage for a partial device report to be
   /// installed; below this the scan counts as a device failure.
   double min_coverage = 0.5;
+  /// Execution engine for device scans (DESIGN.md §12). The functional
+  /// engine produces bit-identical stats and quality with zero cycle
+  /// simulation, so retries, coverage gating, and the breaker behave
+  /// identically — only build_seconds loses its cycle-domain components.
+  accel::EngineMode engine = accel::EngineMode::kCycleAccurate;
   /// Seed of the scanner's private jitter RNG (consumed only when
   /// retry.jitter_fraction > 0).
   uint64_t jitter_seed = 0xB0FFu;

@@ -96,6 +96,16 @@ class Dram {
   /// pipeline back-to-back at the near interval per line.
   virtual double IssueSequentialLineRead(double now, uint64_t line_index);
 
+  /// Untimed counterparts of the Issue* methods for the fast functional
+  /// engine. They advance no clock and keep no port state, but fault
+  /// decorators override them to consume *exactly* the same injector
+  /// draws (in the same order) as the timed path, so a functional scan
+  /// replays the identical fault pattern as a cycle-accurate scan over
+  /// the same access sequence. Base model: pure no-ops.
+  virtual void FunctionalRead(uint64_t bin_index) { (void)bin_index; }
+  virtual void FunctionalWrite(uint64_t bin_index) { (void)bin_index; }
+  virtual void FunctionalLineRead(uint64_t line_index) { (void)line_index; }
+
   /// Earliest time the port can accept a new command.
   double port_free_at() const { return port_free_at_; }
 

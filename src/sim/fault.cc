@@ -107,8 +107,7 @@ double FaultyDram::IssueRead(double now, uint64_t bin_index) {
   return ready + MaybeSpike();
 }
 
-double FaultyDram::IssueWrite(double now, uint64_t bin_index) {
-  double accepted = Dram::IssueWrite(now, bin_index);
+void FaultyDram::ApplyStuck(uint64_t bin_index) {
   const FaultScenario& s = injector_.scenario();
   for (uint64_t stuck : s.stuck_bins) {
     if (stuck == bin_index && stuck < allocated_bins()) {
@@ -119,7 +118,34 @@ double FaultyDram::IssueWrite(double now, uint64_t bin_index) {
       stuck_writes->Add();
     }
   }
+}
+
+double FaultyDram::IssueWrite(double now, uint64_t bin_index) {
+  double accepted = Dram::IssueWrite(now, bin_index);
+  ApplyStuck(bin_index);
   return accepted + MaybeSpike();
+}
+
+void FaultyDram::FunctionalRead(uint64_t bin_index) {
+  // Mirrors IssueRead's draw order exactly: [flip roll, flip bits?],
+  // [ecc roll], [spike roll].
+  CorruptReadTarget(bin_index);
+  (void)MaybeSpike();
+}
+
+void FaultyDram::FunctionalWrite(uint64_t bin_index) {
+  // Mirrors IssueWrite: the stuck-cell override is deterministic (no
+  // draw); only the spike roll consumes randomness.
+  ApplyStuck(bin_index);
+  (void)MaybeSpike();
+}
+
+void FaultyDram::FunctionalLineRead(uint64_t line_index) {
+  // Mirrors IssueSequentialLineRead: [ecc roll], [spike roll].
+  if (injector_.Roll(injector_.scenario().ecc_error_probability)) {
+    LoseLine(line_index);
+  }
+  (void)MaybeSpike();
 }
 
 double FaultyDram::IssueSequentialLineRead(double now, uint64_t line_index) {

@@ -144,6 +144,17 @@ class FaultyDram : public Dram {
   double IssueRead(double now, uint64_t bin_index) override;
   double IssueWrite(double now, uint64_t bin_index) override;
   double IssueSequentialLineRead(double now, uint64_t line_index) override;
+
+  /// Functional-engine hooks: apply the same corruption effects and
+  /// consume the same injector draws (flip, ECC, stuck, spike — in the
+  /// timed path's order) without advancing any clock. Spike draws are
+  /// consumed and counted but their cycles affect nothing: the
+  /// functional engine has no timeline. See DESIGN.md §12 for the
+  /// draw-alignment contract.
+  void FunctionalRead(uint64_t bin_index) override;
+  void FunctionalWrite(uint64_t bin_index) override;
+  void FunctionalLineRead(uint64_t line_index) override;
+
   void ResetTiming() override;
 
  private:
@@ -151,6 +162,8 @@ class FaultyDram : public Dram {
   double MaybeSpike();
   /// Applies bit-flip / ECC / stuck effects for a read of `bin_index`.
   void CorruptReadTarget(uint64_t bin_index);
+  /// Applies the deterministic stuck-cell override for a write.
+  void ApplyStuck(uint64_t bin_index);
   /// Zeroes every allocated bin of `line` (uncorrectable ECC).
   void LoseLine(uint64_t line);
 

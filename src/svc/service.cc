@@ -78,6 +78,16 @@ AccuracyContract ContractFromBins(const hist::BinnedCounts& bins,
 
 }  // namespace
 
+const char* RequestPriorityName(RequestPriority priority) {
+  switch (priority) {
+    case RequestPriority::kNormal:
+      return "normal";
+    case RequestPriority::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
 const char* ServePathName(ServePath path) {
   switch (path) {
     case ServePath::kScan:
@@ -198,7 +208,11 @@ void StatsService::Stop() {
   std::deque<std::shared_ptr<Flight>> leftover;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    leftover.swap(queue_);
+    leftover.swap(queue_high_);
+    leftover.insert(leftover.end(),
+                    std::make_move_iterator(queue_normal_.begin()),
+                    std::make_move_iterator(queue_normal_.end()));
+    queue_normal_.clear();
     counters_.stop_drained += leftover.size();
     running_ = false;
   }
@@ -219,7 +233,7 @@ bool StatsService::running() const {
 
 size_t StatsService::queue_depth() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return queue_high_.size() + queue_normal_.size();
 }
 
 size_t StatsService::cache_size() const {
@@ -270,7 +284,7 @@ Result<Ticket> StatsService::Submit(const StatsRequest& request) {
     if (entry.ok()) data_version = (*entry)->data_version;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   ++counters_.submitted;
   static obs::Counter* submitted = SvcCounter("svc.submitted");
   submitted->Add();
@@ -332,12 +346,28 @@ Result<Ticket> StatsService::Submit(const StatsRequest& request) {
   }
 
   // 3. Admission control: past high water the request is shed, never
-  // buffered — bounded memory is the overload contract.
-  if (queue_.size() >= options_.queue_high_water) {
-    ++counters_.shed;
-    static obs::Counter* shed = SvcCounter("svc.shed");
-    shed->Add();
-    return Status::ResourceExhausted("stats service queue at high water");
+  // buffered — bounded memory is the overload contract. Shedding takes
+  // normal first: a high-priority arrival displaces the newest queued
+  // normal flight (the one that has waited least) instead of being shed
+  // itself; only when no normal flight is queued does a high arrival
+  // bounce.
+  std::shared_ptr<Flight> displaced;
+  if (queue_high_.size() + queue_normal_.size() >=
+      options_.queue_high_water) {
+    if (request.priority == RequestPriority::kHigh &&
+        !queue_normal_.empty()) {
+      displaced = std::move(queue_normal_.back());
+      queue_normal_.pop_back();
+      ++counters_.shed;
+      ++counters_.displaced;
+      static obs::Counter* displaced_counter = SvcCounter("svc.displaced");
+      displaced_counter->Add();
+    } else {
+      ++counters_.shed;
+      static obs::Counter* shed = SvcCounter("svc.shed");
+      shed->Add();
+      return Status::ResourceExhausted("stats service queue at high water");
+    }
   }
 
   auto flight = std::make_shared<Flight>();
@@ -346,16 +376,32 @@ Result<Ticket> StatsService::Submit(const StatsRequest& request) {
   flight->key = key;
   flight->enqueue_nanos = now;
   flight->latest_deadline_nanos = deadline;
-  queue_.push_back(flight);
+  if (request.priority == RequestPriority::kHigh) {
+    queue_high_.push_back(flight);
+  } else {
+    queue_normal_.push_back(flight);
+  }
   in_flight_[key] = flight;
   ++counters_.accepted;
   static obs::Counter* accepted = SvcCounter("svc.accepted");
   accepted->Add();
   static obs::Gauge* depth_gauge =
       obs::MetricsRegistry::Global().GetGauge("svc.queue_depth");
-  depth_gauge->Set(static_cast<int64_t>(queue_.size()));
+  depth_gauge->Set(
+      static_cast<int64_t>(queue_high_.size() + queue_normal_.size()));
   queue_cv_.notify_one();
   ticket.flight_ = std::move(flight);
+  lock.unlock();
+  if (displaced != nullptr) {
+    // Fulfilled outside mu_ (Fulfill re-takes it to drop the coalescing
+    // entry). The displaced client sees the same designed-for overload
+    // answer a front-door shed produces.
+    StatsResponse shed_response;
+    shed_response.status = Status::ResourceExhausted(
+        "displaced from queue by a high-priority request");
+    shed_response.path = ServePath::kShed;
+    Fulfill(displaced, std::move(shed_response));
+  }
   return ticket;
 }
 
@@ -384,8 +430,10 @@ void StatsService::WorkerLoop() {
     uint32_t level = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) {
+      queue_cv_.wait(lock, [this] {
+        return stopping_ || !queue_high_.empty() || !queue_normal_.empty();
+      });
+      if (queue_high_.empty() && queue_normal_.empty()) {
         if (stopping_) return;
         continue;
       }
@@ -393,11 +441,36 @@ void StatsService::WorkerLoop() {
       // saturation the dequeue that empties a full queue still runs at
       // the top rung.
       const double occupancy =
-          static_cast<double>(queue_.size()) /
+          static_cast<double>(queue_high_.size() + queue_normal_.size()) /
           static_cast<double>(options_.queue_high_water);
       level = LevelFor(occupancy);
-      flight = std::move(queue_.front());
-      queue_.pop_front();
+      // High drains first, but never unboundedly: once
+      // priority_yield_every - 1 consecutive dequeues have bypassed a
+      // waiting normal flight, the next dequeue must serve the normal
+      // queue. That bounds any normal request's wait by a constant
+      // factor of the high-priority arrival rate — starvation-free by
+      // construction.
+      bool take_normal;
+      if (queue_high_.empty()) {
+        take_normal = true;
+      } else if (queue_normal_.empty()) {
+        take_normal = false;
+      } else {
+        take_normal = options_.priority_yield_every != 0 &&
+                      bypassed_dequeues_ + 1 >= options_.priority_yield_every;
+        if (take_normal) ++counters_.priority_yields;
+      }
+      if (take_normal) {
+        flight = std::move(queue_normal_.front());
+        queue_normal_.pop_front();
+        bypassed_dequeues_ = 0;
+        ++counters_.normal_served;
+      } else {
+        flight = std::move(queue_high_.front());
+        queue_high_.pop_front();
+        if (!queue_normal_.empty()) ++bypassed_dequeues_;
+        ++counters_.high_served;
+      }
       ++counters_.ladder_occupancy[level];
     }
     Serve(flight, level);
@@ -405,7 +478,8 @@ void StatsService::WorkerLoop() {
 }
 
 Result<accel::AcceleratorReport> StatsService::RunScan(
-    const StatsRequest& request, double fraction, uint32_t* attempts) {
+    const StatsRequest& request, double fraction, accel::EngineMode engine,
+    uint32_t* attempts) {
   if (options_.scan_hook) {
     ++*attempts;
     return options_.scan_hook(request, fraction);
@@ -450,8 +524,9 @@ Result<accel::AcceleratorReport> StatsService::RunScan(
       // One physical card: scans serialize on the device mutex. The
       // queue, not the device, is the concurrency point of the service.
       std::lock_guard<std::mutex> lock(device_mu_);
-      return accel::ScanEngine(device_).ScanPages(pages, table->schema(),
-                                                  scan);
+      return accel::ScanEngine(device_).ScanPages(
+          pages, table->schema(), scan, accel::SessionMode::kPipelined,
+          engine);
     }();
     if (report.ok() &&
         report->quality.Coverage() >= options_.resilient.min_coverage) {
@@ -520,9 +595,17 @@ void StatsService::Serve(const std::shared_ptr<Flight>& flight,
 
   const double fraction =
       level == 0 ? 1.0 : options_.ladder[level - 1].scan_fraction;
+  // Under pressure the cycle simulation is pure overhead: a degraded scan
+  // publishes the same bits either way (DESIGN.md §12), so the ladder
+  // switches to the functional engine and spends the saved host time on
+  // draining the queue.
+  const accel::EngineMode engine =
+      level > 0 && options_.functional_when_degraded
+          ? accel::EngineMode::kFunctional
+          : options_.engine;
   uint32_t attempts = 0;
   Result<accel::AcceleratorReport> report =
-      RunScan(request, fraction, &attempts);
+      RunScan(request, fraction, engine, &attempts);
 
   if (report.ok()) {
     db::ColumnStats stats =

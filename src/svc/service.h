@@ -50,6 +50,19 @@ enum class RequestKind {
   kRefresh,  ///< force a scan and install fresh stats
 };
 
+/// Two-level admission priority. High-priority requests (planner-blocking
+/// lookups) drain before normal ones (background refreshes), and when the
+/// queue is at high water an arriving high-priority request displaces the
+/// newest queued normal request instead of being shed itself. Normal
+/// traffic cannot starve: ServiceOptions::priority_yield_every bounds how
+/// many consecutive dequeues may bypass a waiting normal request.
+enum class RequestPriority {
+  kNormal,
+  kHigh,
+};
+
+const char* RequestPriorityName(RequestPriority priority);
+
 struct StatsRequest {
   std::string table;
   size_t column = 0;
@@ -57,6 +70,7 @@ struct StatsRequest {
   /// overwritten with `column`.
   accel::ScanRequest params;
   RequestKind kind = RequestKind::kRead;
+  RequestPriority priority = RequestPriority::kNormal;
   /// Absolute deadline in service-clock nanoseconds; 0 means "now +
   /// ServiceOptions::default_deadline_nanos" (unlimited when that is 0
   /// too).
@@ -140,6 +154,20 @@ struct ServiceOptions {
   /// 50%, 75%, 90% of the high-water mark.
   std::vector<DegradeStep> ladder = {
       {0.50, 0.5}, {0.75, 0.25}, {0.90, 0.125}};
+  /// Starvation bound for the two-level queue: while normal requests
+  /// wait, at most `priority_yield_every - 1` consecutive dequeues may
+  /// serve the high queue before one must serve the normal queue. 0
+  /// disables the yield (pure priority; normal traffic can then starve
+  /// under sustained high-priority load).
+  uint32_t priority_yield_every = 4;
+  /// Engine for full-fraction (level-0) scans (DESIGN.md §12).
+  accel::EngineMode engine = accel::EngineMode::kCycleAccurate;
+  /// When true, ladder-degraded (level > 0) scans run on the functional
+  /// engine: under pressure the service spends no host time on cycle
+  /// simulation, and the published stats, bins, and certified contract
+  /// are bit-identical anyway — only build_seconds loses its simulated
+  /// chain components.
+  bool functional_when_degraded = true;
   /// Retry/jitter/fallback/min-coverage policy for the service's device
   /// scans (the breaker is owned by the scanner the service embeds).
   db::ResilientScannerOptions resilient;
@@ -169,6 +197,10 @@ struct ServiceCounters {
   uint64_t errors = 0;
   uint64_t cache_evictions = 0;  ///< entries dropped by the capacity bound
   uint64_t stop_drained = 0;     ///< flights fulfilled by Stop()'s drain
+  uint64_t displaced = 0;        ///< normal flights shed for high arrivals
+  uint64_t high_served = 0;      ///< dequeues from the high queue
+  uint64_t normal_served = 0;    ///< dequeues from the normal queue
+  uint64_t priority_yields = 0;  ///< normal dequeues forced by the yield
   std::vector<uint64_t> ladder_occupancy;
 };
 
@@ -267,6 +299,7 @@ class StatsService {
   /// serialized on the device mutex. Respects options_.scan_hook.
   Result<accel::AcceleratorReport> RunScan(const StatsRequest& request,
                                            double fraction,
+                                           accel::EngineMode engine,
                                            uint32_t* attempts);
   void Fulfill(const std::shared_ptr<internal::Flight>& flight,
                StatsResponse response);
@@ -283,9 +316,16 @@ class StatsService {
   const Clock* clock_;
   db::ResilientScanner fallback_scanner_;
 
-  mutable std::mutex mu_;  ///< queue, coalescing map, cache, counters
+  mutable std::mutex mu_;  ///< queues, coalescing map, cache, counters
   std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<internal::Flight>> queue_;
+  /// Two-level admission queue: high drains first (subject to the
+  /// starvation yield), shedding takes normal first.
+  std::deque<std::shared_ptr<internal::Flight>> queue_high_;
+  std::deque<std::shared_ptr<internal::Flight>> queue_normal_;
+  /// Consecutive high-queue dequeues made while normal work waited;
+  /// reaching priority_yield_every forces a normal dequeue. Guarded by
+  /// mu_.
+  uint32_t bypassed_dequeues_ = 0;
   std::unordered_map<std::string, std::weak_ptr<internal::Flight>> in_flight_;
   std::unordered_map<std::string, CacheEntry> cache_;
   ServiceCounters counters_;

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "accel/device.h"
+#include "accel/report_text.h"
+#include "accel/scan_engine.h"
+#include "sim/fault.h"
+#include "workload/distributions.h"
+
+namespace dphist::accel {
+namespace {
+
+/// The two-engine contract (DESIGN.md §12): for any scan the functional
+/// engine must produce bit-identical statistics to the cycle-accurate
+/// engine — rows, bins, NDV, all four histogram types, quality counters
+/// — under every fault scenario whose draws are content-ordered (spike
+/// mixes are the documented exception). Equality is checked on the
+/// functional projection of the report, which serializes exactly the
+/// fields the contract covers.
+
+ScanRequest TestRequest() {
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = 512;
+  request.num_buckets = 16;
+  request.top_k = 8;
+  request.want_bins = true;
+  return request;
+}
+
+page::TableFile TestTable(uint64_t seed) {
+  auto column = workload::ZipfColumn(20000, 512, 0.7, seed);
+  return workload::ColumnToTable(column, 2, 2);
+}
+
+Result<AcceleratorReport> RunWithEngine(const sim::FaultScenario& faults,
+                                        EngineMode mode,
+                                        const page::TableFile& table,
+                                        const ScanRequest& request) {
+  AcceleratorConfig config;
+  config.faults = faults;
+  Device device(config);
+  return ScanEngine(&device).ScanTable(table, request,
+                                       SessionMode::kPipelined, mode);
+}
+
+struct NamedScenario {
+  const char* name;
+  sim::FaultScenario scenario;
+};
+
+std::vector<NamedScenario> ContentFaultMatrix() {
+  std::vector<NamedScenario> matrix;
+  matrix.push_back({"none", sim::FaultScenario::None()});
+
+  sim::FaultScenario flips;
+  flips.enabled = true;
+  flips.seed = 7;
+  flips.bit_flip_probability = 0.02;
+  matrix.push_back({"bit_flips", flips});
+
+  sim::FaultScenario stuck;
+  stuck.enabled = true;
+  stuck.seed = 11;
+  stuck.stuck_bins = {3, 17, 128, 511};
+  stuck.stuck_value = 6;
+  matrix.push_back({"stuck_bins", stuck});
+
+  matrix.push_back({"ecc", sim::FaultScenario::DramEcc(0.01, 13)});
+  matrix.push_back(
+      {"page_truncation", sim::FaultScenario::PageTruncation(0.1, 17)});
+  matrix.push_back(
+      {"page_corruption", sim::FaultScenario::PageCorruption(0.1, 19)});
+
+  sim::FaultScenario drops;
+  drops.enabled = true;
+  drops.seed = 23;
+  drops.page_drop_probability = 0.15;
+  matrix.push_back({"page_drops", drops});
+
+  sim::FaultScenario combined;
+  combined.enabled = true;
+  combined.seed = 29;
+  combined.bit_flip_probability = 0.01;
+  combined.ecc_error_probability = 0.005;
+  combined.stuck_bins = {42, 300};
+  combined.stuck_value = 2;
+  combined.page_truncate_probability = 0.05;
+  combined.page_drop_probability = 0.05;
+  matrix.push_back({"combined_content_faults", combined});
+
+  return matrix;
+}
+
+TEST(EngineEquivalenceTest, FaultMatrixProjectionsAreBitIdentical) {
+  const page::TableFile table = TestTable(1);
+  const ScanRequest request = TestRequest();
+  for (const NamedScenario& entry : ContentFaultMatrix()) {
+    SCOPED_TRACE(entry.name);
+    auto cycle =
+        RunWithEngine(entry.scenario, EngineMode::kCycleAccurate, table,
+                      request);
+    auto functional =
+        RunWithEngine(entry.scenario, EngineMode::kFunctional, table,
+                      request);
+    ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+    ASSERT_TRUE(functional.ok()) << functional.status().ToString();
+    EXPECT_EQ(FunctionalReportToString(*functional),
+              FunctionalReportToString(*cycle));
+    // The exported BinnedCounts back every downstream db::ColumnStats;
+    // spell the vector comparison out so a mismatch names the bin.
+    ASSERT_EQ(functional->bins.counts.size(), cycle->bins.counts.size());
+    for (size_t i = 0; i < cycle->bins.counts.size(); ++i) {
+      ASSERT_EQ(functional->bins.counts[i], cycle->bins.counts[i])
+          << "bin " << i;
+    }
+  }
+}
+
+TEST(EngineEquivalenceTest, DegradedPartialScansMatch) {
+  // The svc degradation ladder scans a prefix of the pages; the
+  // functional engine must agree bin-for-bin on partial coverage too,
+  // including the quality counters that certify the degradation.
+  const page::TableFile table = TestTable(2);
+  const ScanRequest request = TestRequest();
+  std::vector<std::span<const uint8_t>> pages;
+  for (size_t p = 0; p < table.page_count() / 2; ++p) {
+    pages.push_back(table.PageBytes(p));
+  }
+  ASSERT_FALSE(pages.empty());
+
+  for (const NamedScenario& entry : ContentFaultMatrix()) {
+    SCOPED_TRACE(entry.name);
+    auto run = [&](EngineMode mode) {
+      AcceleratorConfig config;
+      config.faults = entry.scenario;
+      Device device(config);
+      return ScanEngine(&device).ScanPages(pages, table.schema(), request,
+                                           SessionMode::kPipelined, mode);
+    };
+    auto cycle = run(EngineMode::kCycleAccurate);
+    auto functional = run(EngineMode::kFunctional);
+    ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+    ASSERT_TRUE(functional.ok()) << functional.status().ToString();
+    // Coverage is relative to the offered pages; the partial scan shows
+    // up as fewer rows than the full table holds.
+    EXPECT_LT(cycle->rows, 20000u);
+    EXPECT_GT(cycle->rows, 0u);
+    EXPECT_EQ(FunctionalReportToString(*functional),
+              FunctionalReportToString(*cycle));
+  }
+}
+
+TEST(EngineEquivalenceTest, DeviceOutageFailsIdenticallyThenRecovers) {
+  // Scan-level faults draw from the same injector in both engines: the
+  // outage consumes the first attempt, the retry succeeds and matches.
+  const page::TableFile table = TestTable(3);
+  const ScanRequest request = TestRequest();
+  auto run = [&](EngineMode mode) {
+    AcceleratorConfig config;
+    config.faults = sim::FaultScenario::DeviceOutage(1, 31);
+    Device device(config);
+    ScanEngine engine(&device);
+    auto first = engine.ScanTable(table, request, SessionMode::kPipelined,
+                                  mode);
+    EXPECT_FALSE(first.ok());
+    return engine.ScanTable(table, request, SessionMode::kPipelined, mode);
+  };
+  auto cycle = run(EngineMode::kCycleAccurate);
+  auto functional = run(EngineMode::kFunctional);
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_TRUE(functional.ok()) << functional.status().ToString();
+  EXPECT_EQ(FunctionalReportToString(*functional),
+            FunctionalReportToString(*cycle));
+}
+
+TEST(EngineEquivalenceTest, FunctionalModeSkipsTheCycleDomain) {
+  // The functional report must not fabricate simulated cycles: the
+  // binner/chain cycle fields are zero while the statistics are
+  // complete. Wire-transfer time (stream_seconds) is kept — it is a
+  // closed-form link computation, not a simulation.
+  const page::TableFile table = TestTable(4);
+  auto functional = RunWithEngine(sim::FaultScenario::None(),
+                                  EngineMode::kFunctional, table,
+                                  TestRequest());
+  ASSERT_TRUE(functional.ok());
+  EXPECT_EQ(functional->rows, 20000u);
+  EXPECT_DOUBLE_EQ(functional->binner_finish_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(functional->histogram_finish_seconds, 0.0);
+  EXPECT_GT(functional->stream_seconds, 0.0);
+  auto cycle = RunWithEngine(sim::FaultScenario::None(),
+                             EngineMode::kCycleAccurate, table,
+                             TestRequest());
+  ASSERT_TRUE(cycle.ok());
+  EXPECT_GT(cycle->histogram_finish_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(functional->stream_seconds, cycle->stream_seconds);
+}
+
+}  // namespace
+}  // namespace dphist::accel

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "accel/blocks.h"
+#include "accel/histogram_module.h"
+#include "sim/dram.h"
+
+namespace dphist::accel {
+namespace {
+
+/// The event-driven chain scan (DESIGN.md §12) fast-forwards all-zero
+/// lines inside every block's quiescent horizon, but each skipped zero
+/// bin must still cost exactly one lockstep cycle so the timing model is
+/// unchanged. These tests pin the closed-form cycle counts; any drift in
+/// the fast-forward path breaks them.
+
+std::unique_ptr<sim::Dram> EmptyDram(uint64_t bins) {
+  sim::DramConfig config;
+  config.capacity_bytes = 1ULL << 30;
+  auto dram = std::make_unique<sim::Dram>(config);
+  dram->AllocateBins(bins);
+  for (uint64_t i = 0; i < bins; ++i) dram->WriteBin(i, 0);
+  return dram;
+}
+
+TEST(EventDrivenTimingTest, TopKClosedFormOnSparseBins) {
+  // Single TopK block: scanner pays the DRAM read latency once, the
+  // block adds its pass-through, then every zero bin costs 1 cycle and
+  // every non-zero bin 2 (list interaction), and EndScan drains the list
+  // at 2 cycles per entry. Three non-zero bins spread across the range
+  // so the zero runs cross many DRAM lines.
+  constexpr uint64_t kBins = 1000;
+  auto dram = EmptyDram(kBins);
+  dram->WriteBin(0, 5);
+  dram->WriteBin(500, 3);
+  dram->WriteBin(999, 2);
+
+  HistogramModule module(HistogramModuleConfig{}, dram.get());
+  module.AddBlock(std::make_unique<TopKBlock>(8));
+  ModuleReport report = module.Run(kBins, 10, 0.0);
+
+  const double latency = dram->config().latency_cycles;      // 60
+  const double passthrough = 2.0;                            // one block
+  const double scan = (kBins - 3) * 1.0 + 3 * 2.0;           // bin costs
+  const double drain = 2.0 * 3;                              // 3 entries
+  EXPECT_EQ(report.scans, 1u);
+  EXPECT_DOUBLE_EQ(report.first_bin_cycle, latency + passthrough);
+  EXPECT_DOUBLE_EQ(report.finish_cycle,
+                   latency + passthrough + scan + drain);
+}
+
+TEST(EventDrivenTimingTest, EquiDepthClosedFormIsLatencyPlusBins) {
+  // Equi-depth costs exactly one cycle per bin and drains nothing: the
+  // whole scan is latency + pass-through + num_bins, independent of the
+  // bin contents (Figure 22's linear creation time, pinned exactly).
+  constexpr uint64_t kBins = 1000;
+  auto run = [](std::unique_ptr<sim::Dram> dram, uint64_t total) {
+    HistogramModule module(HistogramModuleConfig{}, dram.get());
+    module.AddBlock(std::make_unique<EquiDepthBlock>(16));
+    return module.Run(kBins, total, 0.0).finish_cycle;
+  };
+  auto dense = EmptyDram(kBins);
+  for (uint64_t i = 0; i < kBins; ++i) dense->WriteBin(i, 3);
+  auto sparse = EmptyDram(kBins);
+  sparse->WriteBin(kBins / 2, 7);
+
+  const double expected = 60.0 + 2.0 + static_cast<double>(kBins);
+  EXPECT_DOUBLE_EQ(run(std::move(dense), kBins * 3), expected);
+  EXPECT_DOUBLE_EQ(run(std::move(sparse), 7), expected);
+}
+
+TEST(EventDrivenTimingTest, LongZeroRunsCostOneCyclePerSkippedBin) {
+  // A hundred thousand zero bins with one value at the end: the skip
+  // path fast-forwards line by line, yet the finish cycle must read as
+  // if every bin were stepped individually.
+  constexpr uint64_t kBins = 100000;
+  auto dram = EmptyDram(kBins);
+  dram->WriteBin(kBins - 1, 9);
+
+  HistogramModule module(HistogramModuleConfig{}, dram.get());
+  module.AddBlock(std::make_unique<TopKBlock>(8));
+  ModuleReport report = module.Run(kBins, 9, 0.0);
+  EXPECT_DOUBLE_EQ(report.finish_cycle,
+                   60.0 + 2.0 + (kBins - 1) * 1.0 + 2.0 + 2.0 * 1);
+}
+
+TEST(EventDrivenTimingTest, StartCycleShiftsTimingRigidly) {
+  // The module is agnostic to when the Binner hands over: a later start
+  // translates every cycle field without changing the scan cost.
+  constexpr uint64_t kBins = 512;
+  auto run_at = [&](double start) {
+    auto dram = EmptyDram(kBins);
+    for (uint64_t i = 0; i < kBins; i += 7) dram->WriteBin(i, 2);
+    HistogramModule module(HistogramModuleConfig{}, dram.get());
+    module.AddBlock(std::make_unique<TopKBlock>(16));
+    module.AddBlock(std::make_unique<EquiDepthBlock>(16));
+    return module.Run(kBins, 2 * ((kBins + 6) / 7), start);
+  };
+  ModuleReport base = run_at(0.0);
+  ModuleReport shifted = run_at(12345.0);
+  EXPECT_DOUBLE_EQ(shifted.finish_cycle - shifted.start_cycle,
+                   base.finish_cycle - base.start_cycle);
+  EXPECT_DOUBLE_EQ(shifted.first_bin_cycle - shifted.start_cycle,
+                   base.first_bin_cycle - base.start_cycle);
+}
+
+TEST(EventDrivenTimingTest, FunctionalRunMatchesResultsWithZeroCycles) {
+  // RunFunctional executes the same scans (Max-diff needs two) and
+  // produces bit-identical block results, but lives outside the cycle
+  // domain entirely.
+  constexpr uint64_t kBins = 4096;
+  auto load = [] {
+    auto dram = EmptyDram(kBins);
+    for (uint64_t i = 0; i < kBins; ++i) {
+      dram->WriteBin(i, (i * i) % 5 == 0 ? (i % 11) : 0);
+    }
+    return dram;
+  };
+
+  auto dram_cycle = load();
+  HistogramModule cycle(HistogramModuleConfig{}, dram_cycle.get());
+  auto* topk_c = new TopKBlock(8);
+  auto* maxdiff_c = new MaxDiffBlock(16);
+  cycle.AddBlock(std::unique_ptr<StatBlock>(topk_c));
+  cycle.AddBlock(std::unique_ptr<StatBlock>(maxdiff_c));
+  ModuleReport timed = cycle.Run(kBins, 1, 0.0);
+
+  auto dram_func = load();
+  HistogramModule functional(HistogramModuleConfig{}, dram_func.get());
+  auto* topk_f = new TopKBlock(8);
+  auto* maxdiff_f = new MaxDiffBlock(16);
+  functional.AddBlock(std::unique_ptr<StatBlock>(topk_f));
+  functional.AddBlock(std::unique_ptr<StatBlock>(maxdiff_f));
+  ModuleReport untimed = functional.RunFunctional(kBins, 1);
+
+  EXPECT_EQ(timed.scans, 2u);
+  EXPECT_EQ(untimed.scans, timed.scans);
+  EXPECT_DOUBLE_EQ(untimed.finish_cycle, 0.0);
+  ASSERT_EQ(topk_f->result().size(), topk_c->result().size());
+  for (size_t i = 0; i < topk_c->result().size(); ++i) {
+    EXPECT_EQ(topk_f->result()[i].key, topk_c->result()[i].key);
+    EXPECT_EQ(topk_f->result()[i].payload, topk_c->result()[i].payload);
+  }
+  EXPECT_EQ(maxdiff_f->result(), maxdiff_c->result());
+}
+
+}  // namespace
+}  // namespace dphist::accel

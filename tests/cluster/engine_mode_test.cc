@@ -1,0 +1,123 @@
+// Two-engine contract at the cluster layer (DESIGN.md §12): a cluster
+// running every shard on the functional engine merges to bit-identical
+// statistics — histograms, bins, rows, NDV, coverage — as the same
+// cluster on the cycle-accurate engine, across shard counts and under
+// per-shard faults. Only the timing fields differ.
+
+#include "cluster/coordinator.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sim/fault.h"
+#include "workload/tpch.h"
+
+namespace dphist::cluster {
+namespace {
+
+page::TableFile MakeLineitem(uint64_t rows, uint64_t seed = 7) {
+  workload::LineitemOptions options;
+  options.scale_factor = static_cast<double>(rows) / 6000000.0;
+  options.row_limit = rows;
+  options.seed = seed;
+  return workload::GenerateLineitem(options);
+}
+
+accel::ScanRequest QuantityRequest() {
+  accel::ScanRequest request;
+  request.column_index = workload::kLQuantity;
+  request.min_value = workload::kQuantityMin;
+  request.max_value = workload::kQuantityMax;
+  request.num_buckets = 16;
+  request.top_k = 8;
+  return request;
+}
+
+void ExpectHistogramsEqual(const hist::Histogram& a, const hist::Histogram& b,
+                           const std::string& label) {
+  EXPECT_EQ(a.buckets, b.buckets) << label;
+  EXPECT_EQ(a.singletons, b.singletons) << label;
+  EXPECT_EQ(a.total_count, b.total_count) << label;
+  EXPECT_EQ(a.min_value, b.min_value) << label;
+  EXPECT_EQ(a.max_value, b.max_value) << label;
+}
+
+void ExpectStatisticsEqual(const ClusterScanReport& functional,
+                           const ClusterScanReport& cycle,
+                           const std::string& label) {
+  EXPECT_EQ(functional.bins.counts, cycle.bins.counts) << label;
+  EXPECT_EQ(functional.rows, cycle.rows) << label;
+  EXPECT_EQ(functional.distinct_values, cycle.distinct_values) << label;
+  EXPECT_DOUBLE_EQ(functional.coverage, cycle.coverage) << label;
+  EXPECT_EQ(functional.shards_ok, cycle.shards_ok) << label;
+  EXPECT_EQ(functional.histograms.top_k, cycle.histograms.top_k) << label;
+  ExpectHistogramsEqual(functional.histograms.equi_depth,
+                        cycle.histograms.equi_depth, label + " equi_depth");
+  ExpectHistogramsEqual(functional.histograms.max_diff,
+                        cycle.histograms.max_diff, label + " max_diff");
+  ExpectHistogramsEqual(functional.histograms.compressed,
+                        cycle.histograms.compressed, label + " compressed");
+}
+
+TEST(ClusterEngineModeTest, FunctionalMatchesCycleAcrossShardCounts) {
+  page::TableFile table = MakeLineitem(9000);
+  const accel::ScanRequest request = QuantityRequest();
+
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    ClusterOptions cycle_options;
+    cycle_options.num_shards = shards;
+    ClusterCoordinator cycle_cluster(cycle_options);
+    auto cycle = cycle_cluster.ScanTable(table, request);
+    ASSERT_TRUE(cycle.ok()) << shards << " shards";
+
+    ClusterOptions functional_options;
+    functional_options.num_shards = shards;
+    functional_options.engine_mode = accel::EngineMode::kFunctional;
+    ClusterCoordinator functional_cluster(functional_options);
+    auto functional = functional_cluster.ScanTable(table, request);
+    ASSERT_TRUE(functional.ok()) << shards << " shards";
+
+    ExpectStatisticsEqual(*functional, *cycle,
+                          std::to_string(shards) + " shards");
+  }
+}
+
+TEST(ClusterEngineModeTest, FunctionalMatchesCycleUnderShardFaults) {
+  page::TableFile table = MakeLineitem(6000);
+  const accel::ScanRequest request = QuantityRequest();
+
+  auto run = [&](accel::EngineMode mode) {
+    ClusterOptions options;
+    options.num_shards = 4;
+    options.engine_mode = mode;
+    options.device_config.faults =
+        sim::FaultScenario::PageTruncation(0.1, 41);
+    return ClusterCoordinator(options).ScanTable(table, request);
+  };
+  auto cycle = run(accel::EngineMode::kCycleAccurate);
+  auto functional = run(accel::EngineMode::kFunctional);
+  ASSERT_TRUE(cycle.ok());
+  ASSERT_TRUE(functional.ok());
+  EXPECT_LT(cycle->coverage, 1.0);
+  ExpectStatisticsEqual(*functional, *cycle, "faulted shards");
+}
+
+TEST(ClusterEngineModeTest, FunctionalShardsReportNoChainTiming) {
+  page::TableFile table = MakeLineitem(4000);
+  ClusterOptions options;
+  options.num_shards = 2;
+  options.engine_mode = accel::EngineMode::kFunctional;
+  auto report = ClusterCoordinator(options).ScanTable(table,
+                                                      QuantityRequest());
+  ASSERT_TRUE(report.ok());
+  for (const ShardScanResult& shard : report->shards) {
+    ASSERT_TRUE(shard.status.ok());
+    EXPECT_DOUBLE_EQ(shard.report.binner_finish_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(shard.report.histogram_finish_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace dphist::cluster

@@ -1,0 +1,93 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+
+#include "common/random.h"
+
+namespace dphist {
+namespace {
+
+TEST(RingBufferTest, StartsEmpty) {
+  RingBuffer<int> ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 0u);
+}
+
+TEST(RingBufferTest, ReserveRoundsUpToPowerOfTwo) {
+  RingBuffer<int> ring;
+  ring.Reserve(5);
+  EXPECT_GE(ring.capacity(), 5u);
+  EXPECT_EQ(ring.capacity() & (ring.capacity() - 1), 0u);
+}
+
+TEST(RingBufferTest, FifoOrderSurvivesWrap) {
+  RingBuffer<int> ring;
+  ring.Reserve(4);
+  // Push/pop enough to wrap the mask several times.
+  int next_in = 0;
+  int next_out = 0;
+  for (int round = 0; round < 10; ++round) {
+    while (ring.size() < 3) ring.push_back(next_in++);
+    while (!ring.empty()) {
+      EXPECT_EQ(ring.front(), next_out);
+      ring.pop_front();
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBufferTest, FillsToExactCapacityAndDrains) {
+  RingBuffer<int> ring;
+  ring.Reserve(100);
+  const size_t cap = ring.capacity();
+  for (size_t i = 0; i < cap; ++i) ring.push_back(static_cast<int>(i));
+  EXPECT_EQ(ring.size(), cap);
+  for (size_t i = 0; i < cap; ++i) {
+    EXPECT_EQ(ring.front(), static_cast<int>(i));
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBufferTest, ClearKeepsCapacity) {
+  RingBuffer<std::string> ring;
+  ring.Reserve(8);
+  const size_t cap = ring.capacity();
+  for (int i = 0; i < 5; ++i) ring.push_back(std::to_string(i));
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.capacity(), cap);
+  ring.push_back("after");
+  EXPECT_EQ(ring.front(), "after");
+}
+
+TEST(RingBufferTest, MatchesDequeUnderRandomOps) {
+  RingBuffer<uint64_t> ring;
+  ring.Reserve(8);
+  std::deque<uint64_t> reference;
+  Rng rng(0xB1FF);
+  for (int op = 0; op < 20000; ++op) {
+    const bool full = ring.size() == ring.capacity();
+    if (!full && (reference.empty() || rng.Next() % 3 != 0)) {
+      const uint64_t v = rng.Next();
+      ring.push_back(v);
+      reference.push_back(v);
+    } else {
+      ASSERT_EQ(ring.front(), reference.front());
+      ring.pop_front();
+      reference.pop_front();
+    }
+    ASSERT_EQ(ring.size(), reference.size());
+    if (!reference.empty()) {
+      ASSERT_EQ(ring.front(), reference.front());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dphist

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <string>
+#include <vector>
+
+#include "accel/device.h"
+#include "accel/scan_engine.h"
+#include "db/storage.h"
+#include "svc/service.h"
+#include "workload/distributions.h"
+
+namespace dphist::svc {
+namespace {
+
+/// Two-level priority queue: high drains before normal, a high arrival
+/// at the high-water mark displaces the newest queued normal request,
+/// and the yield bound keeps sustained high-priority load from starving
+/// normal traffic. Each test wedges the single worker on a blocking scan
+/// hook, shapes the queue while it is blocked, then releases and reads
+/// the serve order back out of the hook.
+
+constexpr uint64_t kCardinality = 64;
+
+StatsRequest RequestFor(const std::string& table, RequestPriority priority) {
+  StatsRequest request;
+  request.table = table;
+  request.column = 0;
+  request.params.min_value = 1;
+  request.params.max_value = kCardinality;
+  request.params.num_buckets = 8;
+  request.params.top_k = 4;
+  request.priority = priority;
+  return request;
+}
+
+class PriorityTest : public ::testing::Test {
+ protected:
+  static constexpr int kTables = 12;
+
+  PriorityTest() : device_(accel::AcceleratorConfig{}) {
+    for (int i = 0; i < kTables; ++i) {
+      auto column = workload::ZipfColumn(2000, kCardinality, 0.5, 100 + i);
+      catalog_.AddTable(TableName(i), workload::ColumnToTable(column, 2, 2));
+    }
+    auto entry = catalog_.Find(TableName(0));
+    accel::ScanRequest request = RequestFor(TableName(0),
+                                            RequestPriority::kNormal)
+                                     .params;
+    request.want_bins = true;
+    auto report =
+        accel::ScanEngine(&device_).ScanTable(*(*entry)->table, request);
+    EXPECT_TRUE(report.ok());
+    template_report_ = *report;
+  }
+
+  static std::string TableName(int i) {
+    std::string name = "t";
+    name += std::to_string(i);
+    return name;
+  }
+
+  /// Hook that blocks its first call until Release() and records the
+  /// table of every call: served_order() is the dequeue order.
+  ServiceOptions BlockingOptions() {
+    ServiceOptions options;
+    options.num_workers = 1;
+    options.scan_hook = [this](const StatsRequest& request, double) {
+      bool first;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        first = served_.empty();
+        served_.push_back(request.table);
+      }
+      if (first) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return released_; });
+      }
+      return Result<accel::AcceleratorReport>(template_report_);
+    };
+    return options;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::vector<std::string> served_order() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return served_;
+  }
+
+  /// Waits (bounded) for the wedged worker to pick up the filler so the
+  /// queue shaped afterwards is entirely behind it.
+  void AwaitWorkerWedged() {
+    for (int i = 0; i < 1000; ++i) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!served_.empty()) return;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "worker never dequeued the filler request";
+  }
+
+  db::Catalog catalog_;
+  accel::Device device_;
+  accel::AcceleratorReport template_report_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+  std::vector<std::string> served_;
+};
+
+TEST_F(PriorityTest, HighPriorityDrainsBeforeNormal) {
+  ServiceOptions options = BlockingOptions();
+  options.priority_yield_every = 0;  // pure priority for this test
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto filler = service.Submit(RequestFor(TableName(0),
+                                          RequestPriority::kNormal));
+  ASSERT_TRUE(filler.ok());
+  AwaitWorkerWedged();
+
+  std::vector<Ticket> tickets;
+  for (int i = 1; i <= 3; ++i) {
+    auto t = service.Submit(RequestFor(TableName(i),
+                                       RequestPriority::kNormal));
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(std::move(*t));
+  }
+  for (int i = 4; i <= 6; ++i) {
+    auto t = service.Submit(RequestFor(TableName(i),
+                                       RequestPriority::kHigh));
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(std::move(*t));
+  }
+
+  Release();
+  for (auto& t : tickets) EXPECT_TRUE(t.Wait().status.ok());
+  service.Stop();
+
+  // Filler first (it wedged the worker), then the high queue in FIFO
+  // order, then the normals in FIFO order.
+  const std::vector<std::string> expected = {
+      TableName(0), TableName(4), TableName(5), TableName(6),
+      TableName(1), TableName(2), TableName(3)};
+  EXPECT_EQ(served_order(), expected);
+
+  ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.high_served, 3u);
+  EXPECT_EQ(counters.normal_served, 4u);
+  EXPECT_EQ(counters.priority_yields, 0u);
+}
+
+TEST_F(PriorityTest, HighArrivalDisplacesNewestQueuedNormal) {
+  ServiceOptions options = BlockingOptions();
+  options.queue_high_water = 3;
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto filler = service.Submit(RequestFor(TableName(0),
+                                          RequestPriority::kNormal));
+  ASSERT_TRUE(filler.ok());
+  AwaitWorkerWedged();
+
+  std::vector<Ticket> normals;
+  for (int i = 1; i <= 3; ++i) {
+    auto t = service.Submit(RequestFor(TableName(i),
+                                       RequestPriority::kNormal));
+    ASSERT_TRUE(t.ok());
+    normals.push_back(std::move(*t));
+  }
+
+  // The queue is at high water: a fourth normal is shed outright...
+  auto rejected = service.Submit(RequestFor(TableName(4),
+                                            RequestPriority::kNormal));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  // ...but a high request is admitted by displacing the newest normal.
+  auto high = service.Submit(RequestFor(TableName(5),
+                                        RequestPriority::kHigh));
+  ASSERT_TRUE(high.ok());
+
+  StatsResponse displaced = normals.back().Wait();
+  EXPECT_EQ(displaced.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(displaced.path, ServePath::kShed);
+
+  Release();
+  EXPECT_TRUE(high->Wait().status.ok());
+  EXPECT_TRUE(normals[0].Wait().status.ok());
+  EXPECT_TRUE(normals[1].Wait().status.ok());
+  service.Stop();
+
+  ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.displaced, 1u);
+  EXPECT_EQ(counters.shed, 2u);  // the outright shed + the displacement
+  std::vector<std::string> order = served_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[1], TableName(5));  // high jumped the surviving normals
+}
+
+TEST_F(PriorityTest, YieldBoundPreventsNormalStarvation) {
+  ServiceOptions options = BlockingOptions();
+  options.priority_yield_every = 2;
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto filler = service.Submit(RequestFor(TableName(0),
+                                          RequestPriority::kNormal));
+  ASSERT_TRUE(filler.ok());
+  AwaitWorkerWedged();
+
+  std::vector<Ticket> tickets;
+  for (int i = 1; i <= 2; ++i) {
+    auto t = service.Submit(RequestFor(TableName(i),
+                                       RequestPriority::kNormal));
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(std::move(*t));
+  }
+  for (int i = 3; i <= 8; ++i) {
+    auto t = service.Submit(RequestFor(TableName(i),
+                                       RequestPriority::kHigh));
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(std::move(*t));
+  }
+
+  Release();
+  for (auto& t : tickets) EXPECT_TRUE(t.Wait().status.ok());
+  service.Stop();
+
+  // With yield_every = 2, at most one consecutive high dequeue may run
+  // while a normal request waits: t1 must be served second, t2 fourth.
+  const std::vector<std::string> expected = {
+      TableName(0), TableName(3), TableName(1), TableName(4), TableName(2),
+      TableName(5), TableName(6), TableName(7), TableName(8)};
+  EXPECT_EQ(served_order(), expected);
+
+  ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.priority_yields, 2u);
+  EXPECT_EQ(counters.high_served, 6u);
+  EXPECT_EQ(counters.normal_served, 3u);
+}
+
+}  // namespace
+}  // namespace dphist::svc
