@@ -1,0 +1,180 @@
+// Measures the NDV daisy-chain members (HLL sketch + bitmap index) on
+// one Zipf-skewed column: sketch accuracy against the exact value-level
+// NDV across precisions, and the host-side overhead of carrying the
+// chain versus a plain binned scan, per engine. Exits nonzero if the
+// sketch misses its certified error bound (4 sigma) or if the two
+// engines disagree on a single register — the bit-identity contract is
+// a gate here, exactly as in bench_concurrent_scans.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "accel/device.h"
+#include "accel/scan_engine.h"
+#include "bench/bench_util.h"
+#include "obs/metrics.h"
+#include "workload/distributions.h"
+
+namespace dphist {
+namespace {
+
+accel::ScanRequest BaseRequest(int64_t max_value) {
+  accel::ScanRequest request;
+  request.min_value = 1;
+  request.max_value = max_value;
+  request.num_buckets = 16;
+  request.top_k = 8;
+  request.want_bins = true;
+  return request;
+}
+
+Result<accel::AcceleratorReport> RunScan(const page::TableFile& table,
+                                         const accel::ScanRequest& request,
+                                         accel::EngineMode mode,
+                                         double* wall_seconds) {
+  accel::AcceleratorConfig config;
+  accel::Device device(config);
+  const auto start = std::chrono::steady_clock::now();
+  auto report = accel::ScanEngine(&device).ScanTable(
+      table, request, accel::SessionMode::kPipelined, mode);
+  *wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+const char* ModeName(accel::EngineMode mode) {
+  return mode == accel::EngineMode::kFunctional ? "functional" : "cycle";
+}
+
+void Run() {
+  const uint64_t rows = bench::Scaled(200000);
+  const uint64_t cardinality = 8192;
+  std::vector<int64_t> column =
+      workload::ZipfColumn(rows, cardinality, 0.8, 42);
+  const page::TableFile table = workload::ColumnToTable(column, 2, 2);
+  const double exact_ndv = static_cast<double>(
+      std::unordered_set<int64_t>(column.begin(), column.end()).size());
+
+  std::printf("zipf column: %llu rows, %llu value domain, exact NDV %.0f\n\n",
+              static_cast<unsigned long long>(table.row_count()),
+              static_cast<unsigned long long>(cardinality), exact_ndv);
+
+  bench::TablePrinter printer({"engine", "p", "wall (s)", "overhead",
+                               "sketch NDV", "rel err", "cert err"},
+                              12);
+  bench::JsonWriter json("ndv_chain");
+  json.Meta("reproduces",
+            "NDV chain members: HLL accuracy vs exact NDV and chain "
+            "overhead vs a plain binned scan, per engine");
+  json.MetaNum("rows", static_cast<double>(table.row_count()));
+  json.MetaNum("exact_ndv", exact_ndv);
+  printer.AttachJson(&json);
+  printer.PrintHeader();
+
+  obs::MetricsRegistry::Global().ResetAll();
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+
+  for (accel::EngineMode mode :
+       {accel::EngineMode::kCycleAccurate, accel::EngineMode::kFunctional}) {
+    double plain_wall = 0;
+    auto plain = RunScan(table, BaseRequest(cardinality), mode, &plain_wall);
+    if (!plain.ok()) {
+      std::fprintf(stderr, "plain scan failed: %s\n",
+                   plain.status().ToString().c_str());
+      std::exit(1);
+    }
+
+    for (uint32_t precision : {10u, 12u, 14u}) {
+      accel::ScanRequest request = BaseRequest(cardinality);
+      request.want_ndv_sketch = true;
+      request.ndv_precision = precision;
+      request.want_bitmap_index = true;
+
+      double wall = 0;
+      auto report = RunScan(table, request, mode, &wall);
+      if (!report.ok()) {
+        std::fprintf(stderr, "NDV scan failed: %s\n",
+                     report.status().ToString().c_str());
+        std::exit(1);
+      }
+      double other_wall = 0;
+      auto other = RunScan(table, request,
+                           mode == accel::EngineMode::kFunctional
+                               ? accel::EngineMode::kCycleAccurate
+                               : accel::EngineMode::kFunctional,
+                           &other_wall);
+      if (!other.ok() ||
+          !other->ndv_sketch.IdenticalTo(report->ndv_sketch)) {
+        std::fprintf(stderr,
+                     "BIT-IDENTITY VIOLATION: engines disagree on HLL "
+                     "registers at p=%u\n",
+                     precision);
+        std::exit(1);
+      }
+
+      const double certified = report->ndv_sketch.StandardError();
+      const double rel_error =
+          std::abs(report->ndv_estimate - exact_ndv) / exact_ndv;
+      if (rel_error > 4.0 * certified) {
+        std::fprintf(stderr,
+                     "ACCURACY VIOLATION: rel error %.4f exceeds 4x the "
+                     "certified %.4f at p=%u\n",
+                     rel_error, certified, precision);
+        std::exit(1);
+      }
+
+      const double overhead = plain_wall > 0 ? wall / plain_wall - 1.0 : 0;
+      char overhead_text[16];
+      std::snprintf(overhead_text, sizeof(overhead_text), "%+.1f%%",
+                    overhead * 100.0);
+      char rel_text[16], cert_text[16];
+      std::snprintf(rel_text, sizeof(rel_text), "%.2f%%", rel_error * 100.0);
+      std::snprintf(cert_text, sizeof(cert_text), "%.2f%%",
+                    certified * 100.0);
+      printer.PrintRow({ModeName(mode), bench::TablePrinter::FmtInt(precision),
+                        bench::TablePrinter::Fmt(wall), overhead_text,
+                        bench::TablePrinter::Fmt(report->ndv_estimate),
+                        rel_text, cert_text});
+      json.Str("engine_mode", ModeName(mode));
+      json.Num("precision", precision);
+      json.Num("wall_seconds", wall);
+      json.Num("plain_wall_seconds", plain_wall);
+      json.Num("chain_overhead_fraction", overhead);
+      json.Num("sketch_ndv", report->ndv_estimate);
+      json.Num("rel_error", rel_error);
+      json.Num("certified_rel_error", certified);
+      json.Num("bitmap_words", static_cast<double>(
+                                   report->bitmap_index.SizeWords()));
+      json.Num("bitmap_cardinality",
+               static_cast<double>(report->bitmap_index.TotalCardinality()));
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: relative error tracks the certified 1.04/sqrt(2^p) "
+      "bound (halving per +2 precision); the chain rides the existing "
+      "decode pass, so overhead stays a small constant fraction; engines "
+      "agree register-for-register (gated above).\n");
+  json.Metrics(
+      obs::DiffSnapshots(before, obs::MetricsRegistry::Global().Snapshot()));
+  json.WriteFile();
+}
+
+}  // namespace
+}  // namespace dphist
+
+int main() {
+  dphist::bench::PrintBanner(
+      "bench_ndv_chain",
+      "HLL + bitmap-index daisy-chain members: accuracy and overhead",
+      "sketch error vs certified bound; chain overhead vs plain scan; "
+      "engine bit-identity gated");
+  dphist::Run();
+  return 0;
+}

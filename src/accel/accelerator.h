@@ -47,6 +47,25 @@ struct ScanRequest {
   /// copy — and required by cluster scans, whose merge algebra
   /// (hist/merge.h) recombines shards from exactly these bins.
   bool want_bins = false;
+
+  /// Lease a 2^ndv_precision-register HyperLogLog sketch beside the
+  /// Binner, fed from the decoded value stream (value-level NDV even when
+  /// granularity > 1). Off by default — the registers cost device DRAM
+  /// capacity and result-transfer bytes only when asked for.
+  bool want_ndv_sketch = false;
+  /// Register-count exponent for the NDV sketch; must lie in
+  /// [HllSketch::kMinPrecision, kMaxPrecision]. 2^12 registers give a
+  /// ~1.6% standard error for one DRAM line's worth of capacity.
+  uint32_t ndv_precision = 12;
+
+  /// Build per-bucket RLE row bitmaps as a scan side effect and surface
+  /// them in the report (catalog artifact). Off by default.
+  bool want_bitmap_index = false;
+  /// Encoded-size budget in 8-byte run words, charged against the
+  /// device's bin-region capacity; bits that would exceed it are dropped
+  /// deterministically and stamped as overflow. Must be > 0 when
+  /// want_bitmap_index is set.
+  uint64_t bitmap_words_budget = uint64_t{1} << 16;
 };
 
 /// All statistics produced by one pass, converted back to value space.
@@ -126,6 +145,18 @@ struct AcceleratorReport {
   /// otherwise). Snapshot taken before the histogram chain's timed drain,
   /// so DRAM fault injection during the drain cannot corrupt it.
   hist::BinnedCounts bins;
+
+  /// NDV sketch (request.want_ndv_sketch only; invalid otherwise). Built
+  /// from the decoded value stream, so it counts distinct *values* where
+  /// distinct_values above counts non-zero *bins*; the two coincide only
+  /// at granularity 1. Registers are engine- and shard-independent.
+  hist::HllSketch ndv_sketch;
+  /// ndv_sketch.Estimate(), cached so consumers need not recompute; 0
+  /// when no sketch was requested.
+  double ndv_estimate = 0;
+  /// Per-bucket row bitmaps (request.want_bitmap_index only; invalid
+  /// otherwise).
+  hist::BitmapIndex bitmap_index;
 
   /// Cut-through: time for the table to stream over the input link.
   double stream_seconds = 0;

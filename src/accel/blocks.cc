@@ -369,4 +369,43 @@ double CompressedBlock::EndScan(double now) {
   return 0.0;
 }
 
+// ---------------------------------------------------------------------------
+// Value-domain blocks
+
+BitmapIndexBlock::BitmapIndexBlock(int64_t min_value, int64_t max_value,
+                                   int64_t granularity, uint64_t num_bins,
+                                   uint32_t num_buckets, uint64_t words_budget)
+    : words_budget_(words_budget) {
+  index_.min_value = min_value;
+  index_.max_value = max_value;
+  index_.granularity = granularity;
+  index_.num_bins = num_bins;
+  index_.buckets.resize(num_buckets);
+}
+
+void BitmapIndexBlock::AddRow(uint64_t ordinal, uint64_t bin) {
+  if (index_.num_bins == 0 || index_.buckets.empty()) return;
+  const uint64_t bucket_count = index_.buckets.size();
+  uint64_t bucket = bin * bucket_count / index_.num_bins;
+  if (bucket >= bucket_count) bucket = bucket_count - 1;
+  hist::RleBitmap& bitmap = index_.buckets[bucket];
+  const bool extends = bitmap.CanExtend(ordinal);
+  if (!extends && words_ >= words_budget_) {
+    // Budget exhausted and this bit needs a fresh run word: drop it
+    // deterministically and stamp the overflow so consumers know the
+    // index is a subset, never a superset.
+    index_.overflowed = true;
+    ++index_.bits_dropped;
+    return;
+  }
+  if (!bitmap.Append(ordinal)) return;  // out-of-order ordinal: ignore
+  if (!extends) ++words_;
+  ++index_.bits_set;
+}
+
+hist::BitmapIndex BitmapIndexBlock::Finish(uint64_t rows) && {
+  index_.rows = rows;
+  return std::move(index_);
+}
+
 }  // namespace dphist::accel

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "accel/block.h"
+#include "hist/bitmap.h"
+#include "hist/hll.h"
 #include "hist/types.h"
 
 namespace dphist::accel {
@@ -192,6 +194,68 @@ class CompressedBlock : public StatBlock {
   uint64_t last_bin_ = 0;
   bool open_ = false;
   std::vector<BinBucket> result_;
+};
+
+/// Value-domain chain members. Unlike the bin-stream StatBlocks above,
+/// the HLL and bitmap-index blocks tap the Preprocessor output port —
+/// the decoded value stream, before binning — because their statistics
+/// need the value multiset (register-max merge identity) and the row
+/// ordinal (bitmap positions), neither of which survives binning once
+/// granularity > 1. They are fully pipelined beside the Binner at one
+/// value per cycle and add zero latency to the scan; their DRAM footprint
+/// (registers / encoded bitmap words) is leased from the Device's
+/// bin-region capacity pool (Device::AcquireSideCapacity), and their
+/// results ride the same result-transfer window as the bin-stream blocks.
+
+/// HyperLogLog distinct-count block: wraps hist::HllSketch with the
+/// chain's observation accounting. Consumes no fault-injector draws — the
+/// sketch is a pure function of the decoded value stream, so both engine
+/// modes produce bit-identical registers by construction (enforced in
+/// engine_equivalence/ndv tests).
+class HllBlock {
+ public:
+  explicit HllBlock(uint32_t precision) : sketch_(precision) {}
+
+  const char* name() const { return "HLL"; }
+  void AddValue(int64_t value) {
+    sketch_.Add(value);
+    ++values_;
+  }
+  const hist::HllSketch& sketch() const { return sketch_; }
+  uint64_t values() const { return values_; }
+  /// Registers transferred back to the host with the other results.
+  uint64_t result_bytes() const { return sketch_.num_registers(); }
+
+ private:
+  hist::HllSketch sketch_;
+  uint64_t values_ = 0;
+};
+
+/// Bitmap-index block: per-bucket RLE row bitmaps as a scan side effect.
+/// Row ordinals are decoded-value positions (the session advances the
+/// ordinal for every parsed value; only in-domain values reach AddRow),
+/// and bucket = bin * num_buckets / num_bins. The words budget bounds the
+/// encoded size deterministically: a bit whose append would open a new
+/// run past the budget is dropped and counted, never silently lost.
+class BitmapIndexBlock {
+ public:
+  BitmapIndexBlock(int64_t min_value, int64_t max_value, int64_t granularity,
+                   uint64_t num_bins, uint32_t num_buckets,
+                   uint64_t words_budget);
+
+  const char* name() const { return "BitmapIndex"; }
+  void AddRow(uint64_t ordinal, uint64_t bin);
+  /// Stamps the final ordinal-space size (parser rows) and returns the
+  /// finished index.
+  hist::BitmapIndex Finish(uint64_t rows) &&;
+  const hist::BitmapIndex& index() const { return index_; }
+  /// Encoded words transferred back to the host (8 bytes per run word).
+  uint64_t result_bytes() const { return words_ * 8; }
+
+ private:
+  hist::BitmapIndex index_;
+  uint64_t words_budget_;
+  uint64_t words_ = 0;
 };
 
 }  // namespace dphist::accel

@@ -38,8 +38,19 @@ Status ValidateRequest(const ScanRequest& request) {
     return Status::InvalidArgument("scan request: top_k == 0");
   }
   if (!request.want_topk && !request.want_equi_depth &&
-      !request.want_max_diff && !request.want_compressed) {
+      !request.want_max_diff && !request.want_compressed &&
+      !request.want_ndv_sketch && !request.want_bitmap_index) {
     return Status::InvalidArgument("scan request: no statistics requested");
+  }
+  if (request.want_ndv_sketch &&
+      (request.ndv_precision < hist::HllSketch::kMinPrecision ||
+       request.ndv_precision > hist::HllSketch::kMaxPrecision)) {
+    return Status::InvalidArgument(
+        "scan request: ndv_precision outside [4, 16]");
+  }
+  if (request.want_bitmap_index && request.bitmap_words_budget == 0) {
+    return Status::InvalidArgument(
+        "scan request: bitmap_words_budget == 0");
   }
   return Status::OK();
 }
@@ -64,6 +75,23 @@ void RegionLease::Release() {
     device_->ReleaseRegion(slot_);
     device_ = nullptr;
     channel_ = nullptr;
+  }
+}
+
+SideLease& SideLease::operator=(SideLease&& other) noexcept {
+  if (this != &other) {
+    Release();
+    device_ = other.device_;
+    bin_equivalents_ = other.bin_equivalents_;
+    other.device_ = nullptr;
+  }
+  return *this;
+}
+
+void SideLease::Release() {
+  if (device_ != nullptr) {
+    device_->ReleaseSideCapacity(bin_equivalents_);
+    device_ = nullptr;
   }
 }
 
@@ -157,11 +185,13 @@ Result<RegionLease> Device::LeaseSlotLocked(size_t slot, uint64_t bin_count) {
     }
   }
   region.channel->ResetTiming();
-  // Aggregate capacity: every live region carves its bins out of the one
+  // Aggregate capacity: every live region — and every side-effect lease
+  // (HLL registers, bitmap words) — carves its bins out of the one
   // physical DRAM.
-  if (bin_count > config_.dram.capacity_bytes / config_.dram.bin_bytes ||
-      active_bins_ + bin_count >
-          config_.dram.capacity_bytes / config_.dram.bin_bytes) {
+  const uint64_t capacity_bins =
+      config_.dram.capacity_bytes / config_.dram.bin_bytes;
+  if (bin_count > capacity_bins ||
+      active_bins_ + side_bins_ + bin_count > capacity_bins) {
     return Status::ResourceExhausted(
         "binned representation exceeds DRAM capacity");
   }
@@ -171,6 +201,27 @@ Result<RegionLease> Device::LeaseSlotLocked(size_t slot, uint64_t bin_count) {
   ++stats_.regions_granted;
   return RegionLease(this, static_cast<uint32_t>(slot), bin_count,
                      region.channel.get());
+}
+
+Result<SideLease> Device::AcquireSideCapacity(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t bin_equivalents =
+      (bytes + config_.dram.bin_bytes - 1) / config_.dram.bin_bytes;
+  const uint64_t capacity_bins =
+      config_.dram.capacity_bytes / config_.dram.bin_bytes;
+  if (bin_equivalents > capacity_bins ||
+      active_bins_ + side_bins_ + bin_equivalents > capacity_bins) {
+    return Status::ResourceExhausted(
+        "side-effect storage exceeds DRAM capacity");
+  }
+  side_bins_ += bin_equivalents;
+  return SideLease(this, bin_equivalents);
+}
+
+void Device::ReleaseSideCapacity(uint64_t bin_equivalents) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DPHIST_CHECK_GE(side_bins_, bin_equivalents);
+  side_bins_ -= bin_equivalents;
 }
 
 void Device::ReleaseRegion(uint32_t slot) {

@@ -105,6 +105,34 @@ class RegionLease {
   sim::Dram* channel_ = nullptr;
 };
 
+/// RAII lease of side-effect DRAM capacity (HLL registers, bitmap-index
+/// words): value-domain chain members do not occupy a bin-region slot,
+/// but their storage is carved from the same DRAM capacity pool as the
+/// binned representations, so admission accounts for both together.
+/// Movable, not copyable.
+class SideLease {
+ public:
+  SideLease() = default;
+  SideLease(const SideLease&) = delete;
+  SideLease& operator=(const SideLease&) = delete;
+  SideLease(SideLease&& other) noexcept { *this = std::move(other); }
+  SideLease& operator=(SideLease&& other) noexcept;
+  ~SideLease() { Release(); }
+
+  bool active() const { return device_ != nullptr; }
+  uint64_t bin_equivalents() const { return bin_equivalents_; }
+
+  void Release();
+
+ private:
+  friend class Device;
+  SideLease(Device* device, uint64_t bin_equivalents)
+      : device_(device), bin_equivalents_(bin_equivalents) {}
+
+  Device* device_ = nullptr;
+  uint64_t bin_equivalents_ = 0;
+};
+
 /// The one physical device (paper Figure 9) that every scan shares. It
 /// owns what the hardware owns once: the DRAM (as a bin-region
 /// allocator handing out leased regions with private memory channels),
@@ -157,6 +185,13 @@ class Device {
   /// ResourceExhausted when that slot is already leased out.
   Result<RegionLease> AcquireRegionAt(uint32_t slot, uint64_t bin_count);
 
+  /// Leases `bytes` of side-effect storage (HLL registers, bitmap words)
+  /// from the shared DRAM capacity pool, rounded up to whole bin
+  /// equivalents (config.dram.bin_bytes). No region slot is consumed.
+  /// Fails with ResourceExhausted when the aggregate of binned
+  /// representations plus side leases would exceed the DRAM capacity.
+  Result<SideLease> AcquireSideCapacity(uint64_t bytes);
+
   /// Deterministic oracle for scan-level and page-stream faults, shared
   /// by every session on this device (the memory channels keep their
   /// own, salted differently). NOT guarded by the device lock: consume it
@@ -187,6 +222,7 @@ class Device {
 
  private:
   friend class RegionLease;
+  friend class SideLease;
   friend class ScanSession;
 
   struct Region {
@@ -200,6 +236,7 @@ class Device {
   };
 
   void ReleaseRegion(uint32_t slot);
+  void ReleaseSideCapacity(uint64_t bin_equivalents);
 
   /// Books a finished session into the shared schedule and returns its
   /// timeline. `bin_duration` is front-end occupancy (stream + binning),
@@ -221,7 +258,8 @@ class Device {
   /// session may use its own slot's channel without the lock.
   mutable std::mutex mu_;
   std::vector<Region> regions_;
-  uint64_t active_bins_ = 0;  ///< bins held by live leases, summed
+  uint64_t active_bins_ = 0;  ///< bins held by live region leases, summed
+  uint64_t side_bins_ = 0;    ///< bin equivalents held by side leases
   sim::FaultInjector stream_faults_;
   double front_free_seconds_ = 0;
   double chain_free_seconds_ = 0;

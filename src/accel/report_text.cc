@@ -71,6 +71,24 @@ std::string ReportToString(const AcceleratorReport& report) {
                   (unsigned long long)block.timing.result_bytes);
     line();
   }
+  if (report.ndv_sketch.valid()) {
+    std::snprintf(buf, sizeof(buf),
+                  "ndv: sketch p=%u estimate=%.0f (exact bins %llu)\n",
+                  report.ndv_sketch.precision(), report.ndv_estimate,
+                  (unsigned long long)report.distinct_values);
+    line();
+  }
+  if (report.bitmap_index.valid()) {
+    std::snprintf(buf, sizeof(buf),
+                  "bitmap: %u buckets, %llu bits over %llu rows, %llu "
+                  "words%s\n",
+                  report.bitmap_index.num_buckets(),
+                  (unsigned long long)report.bitmap_index.bits_set,
+                  (unsigned long long)report.bitmap_index.rows,
+                  (unsigned long long)report.bitmap_index.SizeWords(),
+                  report.bitmap_index.overflowed ? " (OVERFLOWED)" : "");
+    line();
+  }
   return out;
 }
 
@@ -165,6 +183,36 @@ std::string FunctionalReportToString(const AcceleratorReport& report) {
       if (report.bins.counts[i] == 0) continue;
       std::snprintf(buf, sizeof(buf), "  bin %zu = %llu\n", i,
                     (unsigned long long)report.bins.counts[i]);
+      out += buf;
+    }
+  }
+  // NDV/bitmap projections are all-integer (register fingerprint, run
+  // words, per-bucket cardinalities) so the engine bit-identity contract
+  // covers them without floating-point formatting hazards.
+  if (report.ndv_sketch.valid()) {
+    std::snprintf(buf, sizeof(buf),
+                  "ndv_sketch: p=%u registers_fnv=%llu\n",
+                  report.ndv_sketch.precision(),
+                  (unsigned long long)report.ndv_sketch.RegisterFingerprint());
+    out += buf;
+  }
+  if (report.bitmap_index.valid()) {
+    std::snprintf(buf, sizeof(buf),
+                  "bitmap_index: buckets=%u rows=%llu bits=%llu words=%llu "
+                  "dropped=%llu\n",
+                  report.bitmap_index.num_buckets(),
+                  (unsigned long long)report.bitmap_index.rows,
+                  (unsigned long long)report.bitmap_index.bits_set,
+                  (unsigned long long)report.bitmap_index.SizeWords(),
+                  (unsigned long long)report.bitmap_index.bits_dropped);
+    out += buf;
+    for (uint32_t b = 0; b < report.bitmap_index.num_buckets(); ++b) {
+      const uint64_t cardinality = report.bitmap_index.Cardinality(b);
+      if (cardinality == 0) continue;
+      std::snprintf(buf, sizeof(buf), "  bucket %u = %llu rows (%llu runs)\n",
+                    b, (unsigned long long)cardinality,
+                    (unsigned long long)report.bitmap_index.buckets[b]
+                        .NumRuns());
       out += buf;
     }
   }

@@ -64,7 +64,32 @@ void FlushScanMetrics(const AcceleratorReport& report,
       reg.GetCounter("accel.dram.random_accesses");
   static obs::LatencyHistogram* device_us =
       reg.GetHistogram("accel.scan.device_us");
+  static obs::Counter* hll_sketches = reg.GetCounter("accel.hll.sketches");
+  static obs::Counter* hll_values = reg.GetCounter("accel.hll.values");
+  static obs::Counter* hll_register_bytes =
+      reg.GetCounter("accel.hll.register_bytes");
+  static obs::Counter* bitmap_indexes =
+      reg.GetCounter("accel.bitmap.indexes");
+  static obs::Counter* bitmap_words = reg.GetCounter("accel.bitmap.words");
+  static obs::Counter* bitmap_bits_set =
+      reg.GetCounter("accel.bitmap.bits_set");
+  static obs::Counter* bitmap_bits_dropped =
+      reg.GetCounter("accel.bitmap.bits_dropped");
+  static obs::Counter* bitmap_overflows =
+      reg.GetCounter("accel.bitmap.overflows");
   scans->Add();
+  if (report.ndv_sketch.valid()) {
+    hll_sketches->Add();
+    hll_values->Add(report.binner.total_items);
+    hll_register_bytes->Add(report.ndv_sketch.num_registers());
+  }
+  if (report.bitmap_index.valid()) {
+    bitmap_indexes->Add();
+    bitmap_words->Add(report.bitmap_index.SizeWords());
+    bitmap_bits_set->Add(report.bitmap_index.bits_set);
+    bitmap_bits_dropped->Add(report.bitmap_index.bits_dropped);
+    if (report.bitmap_index.overflowed) bitmap_overflows->Add();
+  }
   rows->Add(report.rows);
   bytes->Add(streamed_bytes);
   if (parsed_pages) {
@@ -117,6 +142,26 @@ struct ScanSession::State {
   RegionLease lease;
   std::optional<Parser> parser;
   std::optional<Binner> binner;
+
+  /// Value-domain chain members (request.want_ndv_sketch /
+  /// want_bitmap_index): they tap the decoded value stream beside the
+  /// Binner and hold their DRAM footprint through side_lease. Pure
+  /// functions of the value stream — no injector draws — so enabling
+  /// them never shifts any fault decision of the scan.
+  std::optional<HllBlock> hll;
+  std::optional<BitmapIndexBlock> bitmap;
+  SideLease side_lease;
+  uint64_t row_ordinal = 0;  ///< decoded-value position (bitmap rows)
+
+  /// Feeds one decoded value to the value-domain blocks. Every decoded
+  /// value advances the ordinal; only in-domain values are recorded, so
+  /// bitmap positions line up with parser rows across engines and shards.
+  void TapValue(int64_t value) {
+    const uint64_t ordinal = row_ordinal++;
+    if (!prep->InRange(value)) return;
+    if (hll) hll->AddValue(value);
+    if (bitmap) bitmap->AddRow(ordinal, prep->BinOf(value));
+  }
   bool inject_pages = false;
   std::vector<uint64_t> raw_values;
   std::vector<uint8_t> mutated;
@@ -201,13 +246,25 @@ void ScanSession::FeedPage(std::span<const uint8_t> original_bytes) {
   // statistics side merely skips them.
   Status parsed = s.parser->ParsePage(page_bytes, &s.raw_values);
   if (!parsed.ok()) return;
-  for (uint64_t raw : s.raw_values) s.binner->ProcessRaw(raw);
+  if (s.hll || s.bitmap) {
+    // ProcessRaw is exactly ProcessValue(DecodeRaw(raw)); decoding here
+    // lets the value-domain blocks tap the same stream without changing
+    // what the Binner sees.
+    for (uint64_t raw : s.raw_values) {
+      const int64_t value = s.prep->DecodeRaw(raw);
+      s.TapValue(value);
+      s.binner->ProcessValue(value);
+    }
+  } else {
+    for (uint64_t raw : s.raw_values) s.binner->ProcessRaw(raw);
+  }
 }
 
 void ScanSession::FeedValue(int64_t value) {
   State& s = *state_;
   DPHIST_CHECK(!s.parser.has_value());
   DPHIST_CHECK(!s.finished);
+  if (s.hll || s.bitmap) s.TapValue(value);
   s.binner->ProcessValue(value);
   ++s.direct_rows;
 }
@@ -339,6 +396,38 @@ AcceleratorReport ScanSession::ComputeReport() {
     }
   }
 
+  // Value-domain chain members: fully pipelined beside the Binner (zero
+  // added cycles in either engine — cycle positions stay at their -1
+  // "no result port event" defaults), but their results ride the same
+  // result-transfer window as the bin-stream blocks, so requesting them
+  // is visible in total_seconds.
+  if (s.hll) {
+    report.ndv_sketch = s.hll->sketch();
+    report.ndv_estimate = report.ndv_sketch.Estimate();
+    BlockTiming timing;
+    timing.result_bytes = s.hll->result_bytes();
+    timing.scans_used = 1;
+    result_bytes += timing.result_bytes;
+    report.block_timings.push_back(NamedBlockTiming{"HLL", timing});
+    if (tracing) {
+      s.pending_spans.push_back(State::PendingSpan{
+          "hll sketch", "side", 0.0, report.binner.finish_cycle});
+    }
+  }
+  if (s.bitmap) {
+    BlockTiming timing;
+    timing.result_bytes = s.bitmap->result_bytes();
+    timing.scans_used = 1;
+    result_bytes += timing.result_bytes;
+    report.block_timings.push_back(NamedBlockTiming{"BitmapIndex", timing});
+    if (tracing) {
+      s.pending_spans.push_back(State::PendingSpan{
+          "bitmap index", "side", 0.0, report.binner.finish_cycle});
+    }
+    report.bitmap_index = std::move(*s.bitmap).Finish(rows);
+    s.bitmap.reset();
+  }
+
   // Device-time accounting (paper Section 6.2: first byte sent until last
   // result byte received). The functional engine has no cycle domain:
   // only the link-derived times (exact closed-form functions of the byte
@@ -397,6 +486,7 @@ Result<AcceleratorReport> ScanSession::Finish() {
   State& s = *state_;
   BookCompletion();
   s.lease.Release();
+  s.side_lease.Release();
   s.finished = true;
   return report;
 }
@@ -409,6 +499,7 @@ Result<AcceleratorReport> ScanSession::FinishDeferred() {
   // report above never depends on the booking, so deferring it cannot
   // change any result.
   s.lease.Release();
+  s.side_lease.Release();
   s.finished = true;
   return report;
 }
@@ -502,6 +593,29 @@ Result<ScanSession> ScanEngine::OpenSessionWithOptions(
   } else {
     DPHIST_ASSIGN_OR_RETURN(state->lease,
                             device_->AcquireRegion(state->prep->num_bins()));
+  }
+
+  // Side-effect storage for the value-domain chain members comes from
+  // the same DRAM capacity pool as the binned representation.
+  if (request.want_ndv_sketch || request.want_bitmap_index) {
+    uint64_t side_bytes = 0;
+    if (request.want_ndv_sketch) {
+      side_bytes += uint64_t{1} << request.ndv_precision;  // 1B/register
+    }
+    if (request.want_bitmap_index) {
+      side_bytes += request.bitmap_words_budget * 8;
+    }
+    DPHIST_ASSIGN_OR_RETURN(state->side_lease,
+                            device_->AcquireSideCapacity(side_bytes));
+    if (request.want_ndv_sketch) {
+      state->hll.emplace(request.ndv_precision);
+    }
+    if (request.want_bitmap_index) {
+      state->bitmap.emplace(request.min_value, request.max_value,
+                            request.granularity, state->prep->num_bins(),
+                            request.num_buckets,
+                            request.bitmap_words_budget);
+    }
   }
 
   const AcceleratorConfig& config = device_->config();

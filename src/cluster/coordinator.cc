@@ -33,7 +33,16 @@ db::ColumnStats StatsFromClusterReport(const ClusterScanReport& report,
   }
   stats.top_k = report.histograms.top_k;
   stats.row_count = report.rows;
-  stats.ndv = report.distinct_values;
+  if (report.ndv_sketch.valid()) {
+    // The merged registers are exactly a single device's registers, so
+    // the estimate carries only the sketch's own standard error here;
+    // Degrade below widens it by the coverage the cluster lost.
+    stats.ndv = static_cast<uint64_t>(report.ndv_estimate + 0.5);
+    stats.ndv_from_sketch = true;
+    stats.ndv_rel_error = report.ndv_sketch.StandardError();
+  } else {
+    stats.ndv = report.distinct_values;
+  }
   stats.min_value = request.min_value;
   stats.max_value = request.max_value;
   stats.sampling_rate = 1.0;  // every surviving shard saw every arriving row
@@ -150,6 +159,9 @@ Result<ClusterScanReport> ClusterCoordinator::MergeShardResults(
   double weighted_coverage = 0;
   bool all_complete = true;
   std::vector<hist::BinnedCounts> shard_bins;
+  std::vector<hist::HllSketch> shard_sketches;
+  std::vector<hist::BitmapIndex> shard_bitmaps;
+  std::vector<uint64_t> bitmap_offsets;
   shard_bins.reserve(results.size());
   for (ShardScanResult& r : results) {
     rows_offered_total += r.rows_offered;
@@ -162,6 +174,17 @@ Result<ClusterScanReport> ClusterCoordinator::MergeShardResults(
     weighted_coverage +=
         static_cast<double>(r.rows_offered) * r.report.quality.Coverage();
     all_complete = all_complete && r.report.quality.complete();
+    if (r.report.ndv_sketch.valid()) {
+      shard_sketches.push_back(r.report.ndv_sketch);
+    }
+    if (r.report.bitmap_index.valid()) {
+      // Rebase shard s's row ordinals past every prior live shard's rows:
+      // report.rows has not been advanced for this shard yet, so it is
+      // exactly the cumulative offset.
+      bitmap_offsets.push_back(report.rows);
+      shard_bitmaps.push_back(std::move(r.report.bitmap_index));
+      r.report.bitmap_index = hist::BitmapIndex{};
+    }
     report.rows += r.report.rows;
     report.slowest_shard_seconds =
         std::max(report.slowest_shard_seconds, r.report.total_seconds);
@@ -213,6 +236,18 @@ Result<ClusterScanReport> ClusterCoordinator::MergeShardResults(
           report.bins, request.num_buckets, request.top_k, report.rows);
     }
   }
+  if (!shard_sketches.empty()) {
+    DPHIST_ASSIGN_OR_RETURN(report.ndv_sketch,
+                            hist::MergeHllSketches(shard_sketches));
+    report.ndv_estimate = report.ndv_sketch.Estimate();
+    report.ndv_rel_error =
+        report.ndv_sketch.StandardError() + (1.0 - report.coverage);
+  }
+  if (!shard_bitmaps.empty()) {
+    DPHIST_ASSIGN_OR_RETURN(
+        report.bitmap_index,
+        hist::MergeBitmapIndexes(shard_bitmaps, bitmap_offsets));
+  }
   report.merge_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     merge_start)
@@ -262,6 +297,17 @@ Result<ClusterScanReport> ClusterCoordinator::ScanAndRefresh(
   if (report.shards_ok > 0) {
     DPHIST_RETURN_NOT_OK(catalog->SetColumnStats(
         table_name, column, StatsFromClusterReport(report, scan)));
+    if (report.bitmap_index.valid()) {
+      db::BitmapIndexArtifact artifact;
+      artifact.valid = true;
+      artifact.index = report.bitmap_index;
+      artifact.provenance = report.coverage >= 1.0
+                                ? db::StatsProvenance::kImplicit
+                                : db::StatsProvenance::kImplicitPartial;
+      artifact.coverage = report.coverage;
+      DPHIST_RETURN_NOT_OK(
+          catalog->SetBitmapIndex(table_name, column, std::move(artifact)));
+    }
   } else {
     Log(LogLevel::kError,
         "cluster scan: every shard failed for '%s' col %zu; previous stats "

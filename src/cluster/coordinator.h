@@ -75,6 +75,18 @@ struct ClusterScanReport {
   uint64_t rows = 0;               ///< parser rows summed over live shards
   uint64_t num_bins = 0;
   uint64_t distinct_values = 0;  ///< non-zero merged bins (exact NDV)
+  /// Register-max merge of the shard HLL sketches (request.want_ndv_sketch
+  /// only; invalid otherwise). Exact merge: bit-identical to the sketch a
+  /// single device would build, at any shard count, in either engine.
+  hist::HllSketch ndv_sketch;
+  double ndv_estimate = 0;  ///< ndv_sketch.Estimate(); 0 without a sketch
+  /// Certified relative NDV error: the sketch's standard error plus the
+  /// row fraction lost to dead shards and in-shard degradation. Negative
+  /// when no sketch was requested.
+  double ndv_rel_error = -1.0;
+  /// Bucket-wise OR of the shard bitmap indexes, shard ordinals rebased
+  /// into one concatenated row space (request.want_bitmap_index only).
+  hist::BitmapIndex bitmap_index;
   /// Fraction of the offered rows the merged statistics describe: each
   /// live shard contributes its row fraction scaled by its own scan
   /// quality; dead shards contribute nothing. Exactly 1.0 when every

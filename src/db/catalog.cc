@@ -50,6 +50,27 @@ Result<const ColumnStats*> Catalog::GetColumnStats(const std::string& table,
   return &entry->column_stats[column];
 }
 
+Status Catalog::SetBitmapIndex(const std::string& table, size_t column,
+                               BitmapIndexArtifact artifact) {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, Find(table));
+  if (column >= entry->table->schema().num_columns()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  artifact.version = entry->data_version;
+  entry->bitmap_indexes[column] = std::move(artifact);
+  return Status::OK();
+}
+
+Result<const BitmapIndexArtifact*> Catalog::GetBitmapIndex(
+    const std::string& table, size_t column) const {
+  DPHIST_ASSIGN_OR_RETURN(const TableEntry* entry, Find(table));
+  auto it = entry->bitmap_indexes.find(column);
+  if (it == entry->bitmap_indexes.end()) {
+    return Status::NotFound("no bitmap index for column");
+  }
+  return &it->second;
+}
+
 bool Catalog::StatsFresh(const std::string& table, size_t column) const {
   auto entry = Find(table);
   if (!entry.ok()) return false;

@@ -10,9 +10,21 @@
 #include "db/index.h"
 #include "db/stats.h"
 #include "db/storage.h"
+#include "hist/bitmap.h"
 #include "page/table_file.h"
 
 namespace dphist::db {
+
+/// A bitmap index produced as a scan side effect (accel::BitmapIndexBlock),
+/// stamped with the same quality vocabulary as ColumnStats so consumers
+/// can judge it: provenance, coverage, and the data version it describes.
+struct BitmapIndexArtifact {
+  bool valid = false;
+  hist::BitmapIndex index;
+  StatsProvenance provenance = StatsProvenance::kImplicit;
+  double coverage = 1.0;  ///< fraction of rows the bitmaps describe
+  uint64_t version = 0;   ///< catalog data version when built
+};
 
 /// A registered table with its statistics and indexes.
 struct TableEntry {
@@ -21,6 +33,8 @@ struct TableEntry {
   Residency residency = Residency::kMemory;
   std::vector<ColumnStats> column_stats;  ///< one slot per column
   std::map<size_t, Index> indexes;        ///< keyed by column index
+  /// Side-effect bitmap indexes, keyed by column index.
+  std::map<size_t, BitmapIndexArtifact> bitmap_indexes;
   /// Monotonic data version; bumped on logical updates so stats built
   /// against an older version are observably stale.
   uint64_t data_version = 1;
@@ -52,6 +66,15 @@ class Catalog {
 
   Result<const ColumnStats*> GetColumnStats(const std::string& table,
                                             size_t column) const;
+
+  /// Installs a scan-side-effect bitmap index for a column, stamping the
+  /// current data version.
+  Status SetBitmapIndex(const std::string& table, size_t column,
+                        BitmapIndexArtifact artifact);
+
+  /// NotFound when the column has no bitmap artifact installed.
+  Result<const BitmapIndexArtifact*> GetBitmapIndex(const std::string& table,
+                                                    size_t column) const;
 
   /// True if the column's stats were built against the current data.
   bool StatsFresh(const std::string& table, size_t column) const;

@@ -20,7 +20,17 @@ ColumnStats StatsFromAcceleratorReport(const accel::AcceleratorReport& report,
   }
   stats.top_k = report.histograms.top_k;
   stats.row_count = report.rows;
-  stats.ndv = report.distinct_values;
+  if (report.ndv_sketch.valid()) {
+    // Real value-level distinct count from the HLL side effect; the
+    // non-zero-bin tally undercounts whenever granularity > 1. The
+    // sketch's standard error seeds the certified bound, and Degrade
+    // below widens it by any coverage the scan lost.
+    stats.ndv = static_cast<uint64_t>(report.ndv_estimate + 0.5);
+    stats.ndv_from_sketch = true;
+    stats.ndv_rel_error = report.ndv_sketch.StandardError();
+  } else {
+    stats.ndv = report.distinct_values;
+  }
   stats.min_value = request.min_value;
   stats.max_value = request.max_value;
   stats.sampling_rate = 1.0;  // the accelerator sees every arriving row
@@ -47,6 +57,17 @@ Result<accel::AcceleratorReport> DataPathScanner::ScanAndRefresh(
                                            engine));
   DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
       table, column, StatsFromAcceleratorReport(report, scan)));
+  if (report.bitmap_index.valid()) {
+    BitmapIndexArtifact artifact;
+    artifact.valid = true;
+    artifact.index = report.bitmap_index;
+    artifact.provenance = report.quality.complete()
+                              ? StatsProvenance::kImplicit
+                              : StatsProvenance::kImplicitPartial;
+    artifact.coverage = report.quality.Coverage();
+    DPHIST_RETURN_NOT_OK(
+        catalog_->SetBitmapIndex(table, column, std::move(artifact)));
+  }
   return report;
 }
 

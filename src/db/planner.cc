@@ -89,6 +89,12 @@ Result<PlanChoice> PlanQ1(const Catalog& catalog,
             remaining_rows /
             static_cast<double>(price_stats.ndv -
                                 price_stats.top_k.size());
+        // Sketch-backed NDV carries a certified relative error (standard
+        // error plus unseen-row fraction); widen the estimate by it so an
+        // under-counted NDV cannot silently shrink the join input.
+        if (price_stats.ndv_from_sketch && price_stats.ndv_rel_error > 0) {
+          plan.estimated_somelines *= 1.0 + price_stats.ndv_rel_error;
+        }
       } else {
         hist::Estimator estimator(&price_stats.histogram);
         plan.estimated_somelines =
@@ -139,7 +145,9 @@ Result<PlanChoice> PlanQ1(const Catalog& catalog,
     std::snprintf(stats_desc, sizeof(stats_desc), "default");
   } else if (price_stats.provenance == StatsProvenance::kImplicit &&
              custkey_stats.provenance == StatsProvenance::kImplicit) {
-    std::snprintf(stats_desc, sizeof(stats_desc), "histogram");
+    std::snprintf(stats_desc, sizeof(stats_desc), "%s",
+                  price_stats.ndv_from_sketch ? "histogram+sketch-ndv"
+                                              : "histogram");
   } else {
     std::snprintf(stats_desc, sizeof(stats_desc), "histogram[%s/%s]",
                   StatsProvenanceName(price_stats.provenance),

@@ -52,6 +52,15 @@ struct ColumnStats {
   std::vector<hist::ValueCount> top_k;
   uint64_t row_count = 0;
   uint64_t ndv = 0;  ///< (estimated) number of distinct values
+  /// True when ndv came from the scan's HyperLogLog side effect (real
+  /// value-level distinct count, granularity-independent) rather than
+  /// the non-zero-bin tally; the planner prefers sketch NDV and widens
+  /// by ndv_rel_error.
+  bool ndv_from_sketch = false;
+  /// Certified relative error of ndv: the sketch's standard error plus
+  /// the row fraction the scan never saw (an unseen row can only hide
+  /// distincts). Negative means uncertified.
+  double ndv_rel_error = -1.0;
   int64_t min_value = 0;
   int64_t max_value = 0;
   double sampling_rate = 1.0;  ///< fraction of rows examined when built
@@ -79,6 +88,11 @@ struct ColumnStats {
   /// kImplicitPartial so the planner knows to scale estimates up.
   void Degrade(double fraction) {
     coverage = ComposeCoverage(coverage, fraction);
+    if (ndv_from_sketch && ndv_rel_error >= 0.0 && fraction < 1.0) {
+      // Additive widening: each lost fraction of rows bounds the NDV the
+      // sketch could not have observed.
+      ndv_rel_error += 1.0 - ComposeCoverage(1.0, fraction);
+    }
     if (coverage < 1.0 && provenance == StatsProvenance::kImplicit) {
       provenance = StatsProvenance::kImplicitPartial;
     }

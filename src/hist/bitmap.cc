@@ -1,0 +1,93 @@
+#include "hist/bitmap.h"
+
+#include <algorithm>
+
+namespace dphist::hist {
+
+bool RleBitmap::Append(uint64_t pos) {
+  if (!runs_.empty()) {
+    const Run& tail = runs_.back();
+    if (pos < tail.start + tail.length) return false;  // out of order / dup
+    if (pos == tail.start + tail.length) {
+      ++runs_.back().length;
+      ++cardinality_;
+      return true;
+    }
+  }
+  runs_.push_back(Run{pos, 1});
+  ++cardinality_;
+  return true;
+}
+
+bool RleBitmap::Test(uint64_t pos) const {
+  // Binary search for the last run starting at or before pos.
+  auto it = std::upper_bound(
+      runs_.begin(), runs_.end(), pos,
+      [](uint64_t p, const Run& run) { return p < run.start; });
+  if (it == runs_.begin()) return false;
+  --it;
+  return pos < it->start + it->length;
+}
+
+void RleBitmap::OrWith(const RleBitmap& other, uint64_t offset) {
+  if (other.runs_.empty()) return;
+  // Merge the two sorted run lists, coalescing overlap and adjacency.
+  std::vector<Run> merged;
+  merged.reserve(runs_.size() + other.runs_.size());
+  size_t a = 0;
+  size_t b = 0;
+  auto next = [&]() {
+    if (a < runs_.size() &&
+        (b >= other.runs_.size() ||
+         runs_[a].start <= other.runs_[b].start + offset)) {
+      return runs_[a++];
+    }
+    Run run = other.runs_[b++];
+    run.start += offset;
+    return run;
+  };
+  while (a < runs_.size() || b < other.runs_.size()) {
+    Run run = next();
+    if (!merged.empty() &&
+        run.start <= merged.back().start + merged.back().length) {
+      const uint64_t end =
+          std::max(merged.back().start + merged.back().length,
+                   run.start + run.length);
+      merged.back().length = end - merged.back().start;
+    } else {
+      merged.push_back(run);
+    }
+  }
+  runs_ = std::move(merged);
+  cardinality_ = 0;
+  for (const Run& run : runs_) cardinality_ += run.length;
+}
+
+uint64_t BitmapIndex::SizeWords() const {
+  uint64_t words = 0;
+  for (const RleBitmap& bucket : buckets) words += bucket.SizeWords();
+  return words;
+}
+
+uint64_t BitmapIndex::TotalCardinality() const {
+  uint64_t total = 0;
+  for (const RleBitmap& bucket : buckets) total += bucket.Cardinality();
+  return total;
+}
+
+Status BitmapIndex::MergeFrom(const BitmapIndex& shard, uint64_t row_offset) {
+  if (!AlignedWith(shard)) {
+    return Status::InvalidArgument(
+        "bitmap merge: bucket domains are misaligned");
+  }
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    buckets[b].OrWith(shard.buckets[b], row_offset);
+  }
+  rows = std::max(rows, row_offset + shard.rows);
+  bits_set += shard.bits_set;
+  overflowed = overflowed || shard.overflowed;
+  bits_dropped += shard.bits_dropped;
+  return Status();
+}
+
+}  // namespace dphist::hist

@@ -1,0 +1,97 @@
+#ifndef DPHIST_HIST_BITMAP_H_
+#define DPHIST_HIST_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dphist::hist {
+
+/// Run-length-encoded row bitmap (WAH/roaring-lite): the set positions
+/// are stored as sorted, non-overlapping, non-adjacent [start, start+len)
+/// runs. Scan-order appends (strictly increasing positions) extend the
+/// tail run in O(1); OR composes two bitmaps by merging their sorted run
+/// lists. One run costs one encoded word, which is the unit the device
+/// budget (ScanRequest::bitmap_words_budget) is charged in.
+class RleBitmap {
+ public:
+  struct Run {
+    uint64_t start = 0;
+    uint64_t length = 0;
+
+    friend bool operator==(const Run&, const Run&) = default;
+  };
+
+  /// True when `pos` extends the tail run by one (append without a new
+  /// word). False on an empty bitmap or a gap.
+  bool CanExtend(uint64_t pos) const {
+    return !runs_.empty() && pos == runs_.back().start + runs_.back().length;
+  }
+
+  /// Appends one set bit. Positions must be strictly increasing across
+  /// calls (scan order); out-of-order appends are dropped and reported by
+  /// the false return so callers can surface the corruption.
+  bool Append(uint64_t pos);
+
+  bool Test(uint64_t pos) const;
+  uint64_t Cardinality() const { return cardinality_; }
+  uint64_t NumRuns() const { return runs_.size(); }
+  /// Encoded size in budget words (one per run).
+  uint64_t SizeWords() const { return runs_.size(); }
+  const std::vector<Run>& runs() const { return runs_; }
+
+  /// Bucket-wise OR: unions `other` shifted right by `offset` positions
+  /// into this bitmap. The shard merge uses disjoint offset windows, but
+  /// the implementation handles arbitrary overlap (true set union).
+  void OrWith(const RleBitmap& other, uint64_t offset);
+
+  friend bool operator==(const RleBitmap&, const RleBitmap&) = default;
+
+ private:
+  std::vector<Run> runs_;
+  uint64_t cardinality_ = 0;
+};
+
+/// Per-bucket row bitmaps built as a scan side effect: bucket b holds the
+/// row ordinals whose value binned into bucket b of the request domain.
+/// Row ordinals are positions in the decoded value stream (every parsed
+/// value advances the ordinal; only in-domain values set a bit), so a
+/// shard merge that offsets shard s by the rows of shards 0..s-1 produces
+/// disjoint, concatenated ordinal spaces whose bucket-wise OR preserves
+/// every per-bucket cardinality a single-device scan would report.
+struct BitmapIndex {
+  // Bin-domain provenance (mirrors BinnedCounts) so misaligned indexes
+  // refuse to merge instead of silently mixing bucket meanings.
+  int64_t min_value = 0;
+  int64_t max_value = 0;
+  int64_t granularity = 1;
+  uint64_t num_bins = 0;
+
+  uint64_t rows = 0;       ///< ordinal-space size (all decoded rows)
+  uint64_t bits_set = 0;   ///< in-domain rows actually recorded
+  bool overflowed = false; ///< word budget hit: some bits were dropped
+  uint64_t bits_dropped = 0;
+  std::vector<RleBitmap> buckets;
+
+  bool valid() const { return !buckets.empty(); }
+  uint32_t num_buckets() const { return static_cast<uint32_t>(buckets.size()); }
+  bool AlignedWith(const BitmapIndex& other) const {
+    return min_value == other.min_value && max_value == other.max_value &&
+           granularity == other.granularity && num_bins == other.num_bins &&
+           buckets.size() == other.buckets.size();
+  }
+  uint64_t SizeWords() const;
+  uint64_t Cardinality(uint32_t bucket) const {
+    return bucket < buckets.size() ? buckets[bucket].Cardinality() : 0;
+  }
+  uint64_t TotalCardinality() const;
+
+  /// Bucket-wise OR of `shard` with its ordinals rebased by `row_offset`.
+  /// InvalidArgument when the bucket domains are misaligned.
+  Status MergeFrom(const BitmapIndex& shard, uint64_t row_offset);
+};
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_BITMAP_H_

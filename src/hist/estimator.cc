@@ -34,10 +34,15 @@ double Estimator::EstimateEquals(int64_t v) const {
   }
   for (const auto& b : h_->buckets) {
     if (v >= b.lo && v <= b.hi) {
-      // Uniformity over the distinct values when known, otherwise over
-      // the full value range.
-      if (b.distinct > 0) {
-        return static_cast<double>(b.count) / static_cast<double>(b.distinct);
+      // Uniformity over the distinct values when known. A merge or a
+      // degraded scan can leave distinct > count (distincts survive a
+      // coverage discount that the counts did not); an unclamped divide
+      // would then claim < 1 row per present value, so cap distinct at
+      // count. distinct == 0 means "unknown", not "empty": fall back to
+      // uniformity over the full value range.
+      if (b.distinct > 0 && b.count > 0) {
+        const uint64_t distinct = std::min(b.distinct, b.count);
+        return static_cast<double>(b.count) / static_cast<double>(distinct);
       }
       return static_cast<double>(b.count) / InclusiveWidth(b.lo, b.hi);
     }

@@ -1,0 +1,93 @@
+#include "hist/hll.h"
+
+#include <bit>
+#include <cmath>
+
+namespace dphist::hist {
+
+HllSketch::HllSketch(uint32_t precision) {
+  if (precision < kMinPrecision || precision > kMaxPrecision) return;
+  precision_ = precision;
+  registers_.assign(uint64_t{1} << precision, 0);
+}
+
+uint64_t HllSketch::HashValue(int64_t value) {
+  // splitmix64 finalizer: a fixed, well-mixed 64-bit permutation.
+  uint64_t x = static_cast<uint64_t>(value);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void HllSketch::AddHash(uint64_t hash) {
+  if (!valid()) return;
+  const uint64_t index = hash >> (64 - precision_);
+  const uint64_t suffix = hash << precision_;
+  // Rank = leading zeros of the remaining 64-p bits, plus one; an
+  // all-zero suffix saturates at 64-p+1.
+  const uint32_t max_rank = 64 - precision_ + 1;
+  uint32_t rank =
+      suffix == 0 ? max_rank
+                  : static_cast<uint32_t>(std::countl_zero(suffix)) + 1;
+  if (rank > max_rank) rank = max_rank;
+  if (rank > registers_[index]) registers_[index] = static_cast<uint8_t>(rank);
+}
+
+Status HllSketch::Merge(const HllSketch& other) {
+  if (!valid() || !other.valid()) {
+    return Status::InvalidArgument("hll merge: invalid sketch");
+  }
+  if (precision_ != other.precision_) {
+    return Status::InvalidArgument("hll merge: precision mismatch");
+  }
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+  return Status();
+}
+
+double HllSketch::Estimate() const {
+  if (!valid()) return 0.0;
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double inverse_sum = 0.0;
+  uint64_t zero_registers = 0;
+  for (uint8_t reg : registers_) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zero_registers;
+  }
+  const double raw = alpha * m * m / inverse_sum;
+  // Small-range correction: linear counting while registers are sparse.
+  if (raw <= 2.5 * m && zero_registers > 0) {
+    return m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return raw;
+}
+
+double HllSketch::StandardError() const {
+  if (!valid()) return 0.0;
+  return 1.04 / std::sqrt(static_cast<double>(registers_.size()));
+}
+
+uint64_t HllSketch::RegisterFingerprint() const {
+  uint64_t hash = 14695981039346656037ULL;
+  for (uint8_t reg : registers_) {
+    hash ^= reg;
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace dphist::hist

@@ -1,0 +1,81 @@
+#ifndef DPHIST_HIST_HLL_H_
+#define DPHIST_HIST_HLL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dphist::hist {
+
+/// Streaming HyperLogLog sketch (Flajolet et al. 2007): 2^precision
+/// one-byte registers, each holding the maximum observed rank (leading
+/// zeros + 1) of the hashed suffix routed to it. The sketch is the
+/// distinct-count member of the daisy-chain merge algebra: register-wise
+/// max is an exact merge — associative, commutative, idempotent — so any
+/// sharding of a value stream merges back to bit-identical registers, and
+/// therefore to the identical NDV estimate, regardless of shard count or
+/// engine mode (DESIGN.md §13).
+///
+/// Determinism: Add() consumes only the value (fixed splitmix64-finalizer
+/// hash, no RNG, no clock), so two scans over the same decoded value
+/// multiset produce the same registers on every platform.
+class HllSketch {
+ public:
+  static constexpr uint32_t kMinPrecision = 4;
+  static constexpr uint32_t kMaxPrecision = 16;
+
+  /// Default-constructed sketch is invalid (no registers); used as the
+  /// "not requested" sentinel in reports.
+  HllSketch() = default;
+  /// Allocates 2^precision zeroed registers. Precision outside
+  /// [kMinPrecision, kMaxPrecision] yields an invalid sketch; callers
+  /// that accept untrusted precisions validate before constructing.
+  explicit HllSketch(uint32_t precision);
+
+  bool valid() const { return !registers_.empty(); }
+  uint32_t precision() const { return precision_; }
+  uint64_t num_registers() const { return registers_.size(); }
+  const std::vector<uint8_t>& registers() const { return registers_; }
+
+  /// Observes one value (multiplicity beyond the first is a no-op by
+  /// construction — the sketch is idempotent per distinct hash).
+  void Add(int64_t value) { AddHash(HashValue(value)); }
+  /// Observes a pre-computed 64-bit hash; exposed so tests can probe
+  /// register routing directly.
+  void AddHash(uint64_t hash);
+
+  /// Register-wise max merge. InvalidArgument when precisions differ
+  /// (registers of different widths route hashes differently and cannot
+  /// be combined exactly).
+  Status Merge(const HllSketch& other);
+
+  /// NDV estimate: harmonic-mean raw estimate with the standard small-
+  /// range linear-counting correction. Zero for an invalid sketch.
+  double Estimate() const;
+  /// Relative standard error of Estimate(): 1.04 / sqrt(2^precision).
+  double StandardError() const;
+
+  /// Exact register equality — the bit-identity predicate the shard and
+  /// engine-equivalence tests assert.
+  bool IdenticalTo(const HllSketch& other) const {
+    return precision_ == other.precision_ && registers_ == other.registers_;
+  }
+
+  /// FNV-1a over the register array: a stable integer fingerprint used by
+  /// the functional report projection (doubles are excluded from
+  /// projections; registers are not).
+  uint64_t RegisterFingerprint() const;
+
+  /// The fixed value hash (splitmix64 finalizer over the two's-complement
+  /// bit pattern). Public so exact-NDV test oracles can reuse it.
+  static uint64_t HashValue(int64_t value);
+
+ private:
+  uint32_t precision_ = 0;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_HLL_H_

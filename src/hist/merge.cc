@@ -142,4 +142,41 @@ MergedTopK MergeSpaceSavingTopK(std::span<const SpaceSaving> sketches,
   return merged;
 }
 
+Result<HllSketch> MergeHllSketches(std::span<const HllSketch> shards) {
+  if (shards.empty()) return HllSketch();
+  HllSketch merged = shards.front();
+  for (size_t s = 1; s < shards.size(); ++s) {
+    Status status = merged.Merge(shards[s]);
+    if (!status.ok()) return status;
+  }
+  return merged;
+}
+
+Result<BitmapIndex> MergeBitmapIndexes(std::span<const BitmapIndex> shards,
+                                       std::span<const uint64_t> row_offsets) {
+  if (shards.size() != row_offsets.size()) {
+    return Status::InvalidArgument(
+        "bitmap merge: one row offset per shard required");
+  }
+  if (shards.empty()) return BitmapIndex();
+  BitmapIndex merged = shards.front();
+  // The first shard's bits were built at offset 0; rebase if not.
+  if (row_offsets.front() != 0) {
+    BitmapIndex base = shards.front();
+    for (RleBitmap& bucket : base.buckets) bucket = RleBitmap();
+    base.rows = 0;
+    base.bits_set = 0;
+    base.bits_dropped = 0;
+    base.overflowed = false;
+    Status status = base.MergeFrom(shards.front(), row_offsets.front());
+    if (!status.ok()) return status;
+    merged = std::move(base);
+  }
+  for (size_t s = 1; s < shards.size(); ++s) {
+    Status status = merged.MergeFrom(shards[s], row_offsets[s]);
+    if (!status.ok()) return status;
+  }
+  return merged;
+}
+
 }  // namespace dphist::hist

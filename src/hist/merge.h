@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "hist/bitmap.h"
+#include "hist/hll.h"
 #include "hist/space_saving.h"
 #include "hist/types.h"
 
@@ -102,6 +104,23 @@ struct MergedTopK {
 };
 MergedTopK MergeSpaceSavingTopK(std::span<const SpaceSaving> sketches,
                                 size_t k);
+
+/// Exact HLL merge: register-wise max over sketches of equal precision.
+/// Because max is associative, commutative, and idempotent, the merged
+/// registers are bit-identical to the sketch a single device would have
+/// built over the union of the shard streams — NDV is shard-count- and
+/// engine-independent by construction. InvalidArgument on precision
+/// mismatch or an invalid input; an empty span yields an invalid sketch.
+Result<HllSketch> MergeHllSketches(std::span<const HllSketch> shards);
+
+/// Bucket-wise OR of shard bitmap indexes with ordinal rebasing:
+/// `row_offsets[s]` is the number of rows in ordinal space before shard s
+/// (typically the cumulative parsed rows of shards 0..s-1), making the
+/// shard ordinal windows disjoint so the union preserves per-bucket
+/// cardinalities exactly. Spans must be equal length; InvalidArgument on
+/// misaligned bucket domains. An empty span yields an invalid index.
+Result<BitmapIndex> MergeBitmapIndexes(std::span<const BitmapIndex> shards,
+                                       std::span<const uint64_t> row_offsets);
 
 }  // namespace dphist::hist
 

@@ -358,7 +358,10 @@ Result<Ticket> StatsService::Submit(const StatsRequest& request) {
         !queue_normal_.empty()) {
       displaced = std::move(queue_normal_.back());
       queue_normal_.pop_back();
-      ++counters_.shed;
+      // The displaced flight was already counted `accepted` when it was
+      // admitted; counting it `shed` too would double-book it and break
+      // the ledger invariant `submitted == accepted + shed`. It is
+      // tracked by `displaced` alone (and terminally resolved below).
       ++counters_.displaced;
       static obs::Counter* displaced_counter = SvcCounter("svc.displaced");
       displaced_counter->Add();
@@ -513,6 +516,7 @@ Result<accel::AcceleratorReport> StatsService::RunScan(
   scan.column_index = request.column;
   scan.want_bins = true;       // the contract's raw material
   scan.want_equi_depth = true; // the contract is about this histogram
+  scan.want_ndv_sketch = true; // real NDV rides along for free (§13)
 
   const db::RetryPolicy& retry = options_.resilient.retry;
   const uint32_t max_attempts = std::max<uint32_t>(1, retry.max_attempts);
@@ -619,6 +623,13 @@ void StatsService::Serve(const std::shared_ptr<Flight>& flight,
     }
     if (response.contract.certified) {
       stats.certified_rel_error = response.contract.relative_error;
+    }
+    if (report->ndv_sketch.valid()) {
+      // stats.ndv_rel_error already composes the sketch's standard error
+      // with any coverage the scan (or the ladder fraction) lost, so the
+      // contract certifies the degraded bound, not the ideal one.
+      response.contract.ndv_estimate = report->ndv_estimate;
+      response.contract.ndv_rel_error = stats.ndv_rel_error;
     }
     Status install = Status::OK();
     {

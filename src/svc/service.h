@@ -90,6 +90,12 @@ struct AccuracyContract {
   uint64_t target_depth = 0;    ///< t = max(1, ceil(rows_described / B))
   uint64_t max_depth_error = 0; ///< certified |depth - t| bound (m - 1)
   double relative_error = 0.0;  ///< max_depth_error / target_depth
+  /// Value-level distinct-count estimate from the scan's HLL side-effect
+  /// block, with its certified relative error: the sketch's standard
+  /// error widened by any row fraction the (possibly ladder-degraded)
+  /// scan did not describe. Negative when no sketch was built.
+  double ndv_estimate = -1.0;
+  double ndv_rel_error = -1.0;
 };
 
 /// How a response was produced (observability; the status is the
@@ -183,6 +189,13 @@ struct ServiceOptions {
 
 /// Cumulative counters; ladder_occupancy[i] counts dequeues that ran at
 /// ladder level i (index 0 = full-fraction level).
+///
+/// Ledger invariants (every submitted request is booked exactly once):
+///   submitted == accepted + shed
+///   accepted  == sum(ladder_occupancy) + coalesced + cache_hits
+///                + stop_drained + displaced
+/// A displaced flight was accepted at admission and is resolved by
+/// `displaced` alone — it is never also counted `shed`.
 struct ServiceCounters {
   uint64_t submitted = 0;
   uint64_t accepted = 0;

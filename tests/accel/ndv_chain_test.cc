@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "accel/device.h"
+#include "accel/report_text.h"
+#include "accel/scan_engine.h"
+#include "sim/fault.h"
+#include "workload/distributions.h"
+
+namespace dphist::accel {
+namespace {
+
+/// The NDV chain members (HLL sketch + bitmap index) tap the decoded
+/// value stream and consume no injector draws, so enabling them must
+/// never move a fault decision, and their outputs must be bit-identical
+/// across engines under the whole content-fault matrix — the same
+/// contract the binned statistics already satisfy (DESIGN.md §12/§13).
+
+constexpr uint64_t kRows = 20000;
+constexpr uint64_t kCardinality = 512;
+
+ScanRequest NdvRequest() {
+  ScanRequest request;
+  request.min_value = 1;
+  request.max_value = 512;
+  request.num_buckets = 16;
+  request.top_k = 8;
+  request.want_bins = true;
+  request.want_ndv_sketch = true;
+  request.ndv_precision = 12;
+  request.want_bitmap_index = true;
+  return request;
+}
+
+std::vector<int64_t> TestColumn(uint64_t seed) {
+  return workload::ZipfColumn(kRows, kCardinality, 0.7, seed);
+}
+
+Result<AcceleratorReport> RunNdvScan(const sim::FaultScenario& faults,
+                                     EngineMode mode,
+                                     const page::TableFile& table,
+                                     const ScanRequest& request) {
+  AcceleratorConfig config;
+  config.faults = faults;
+  Device device(config);
+  return ScanEngine(&device).ScanTable(table, request,
+                                       SessionMode::kPipelined, mode);
+}
+
+std::vector<sim::FaultScenario> ContentFaults() {
+  std::vector<sim::FaultScenario> matrix;
+  matrix.push_back(sim::FaultScenario::None());
+  sim::FaultScenario flips;
+  flips.enabled = true;
+  flips.seed = 7;
+  flips.bit_flip_probability = 0.02;
+  matrix.push_back(flips);
+  matrix.push_back(sim::FaultScenario::DramEcc(0.01, 13));
+  matrix.push_back(sim::FaultScenario::PageTruncation(0.1, 17));
+  sim::FaultScenario drops;
+  drops.enabled = true;
+  drops.seed = 23;
+  drops.page_drop_probability = 0.15;
+  matrix.push_back(drops);
+  return matrix;
+}
+
+TEST(NdvChainTest, SketchAndBitmapAreBitIdenticalAcrossEngines) {
+  const page::TableFile table =
+      workload::ColumnToTable(TestColumn(1), 2, 2);
+  const ScanRequest request = NdvRequest();
+  for (const sim::FaultScenario& scenario : ContentFaults()) {
+    auto cycle =
+        RunNdvScan(scenario, EngineMode::kCycleAccurate, table, request);
+    auto functional =
+        RunNdvScan(scenario, EngineMode::kFunctional, table, request);
+    ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+    ASSERT_TRUE(functional.ok()) << functional.status().ToString();
+    ASSERT_TRUE(cycle->ndv_sketch.valid());
+    EXPECT_TRUE(functional->ndv_sketch.IdenticalTo(cycle->ndv_sketch));
+    EXPECT_DOUBLE_EQ(functional->ndv_estimate, cycle->ndv_estimate);
+    ASSERT_TRUE(cycle->bitmap_index.valid());
+    ASSERT_EQ(functional->bitmap_index.num_buckets(),
+              cycle->bitmap_index.num_buckets());
+    for (uint32_t b = 0; b < cycle->bitmap_index.num_buckets(); ++b) {
+      EXPECT_EQ(functional->bitmap_index.buckets[b],
+                cycle->bitmap_index.buckets[b])
+          << "bucket " << b;
+    }
+    // The projection covers the new blocks too; equal projections agree
+    // on registers, per-bucket cardinalities, and overflow provenance.
+    EXPECT_EQ(FunctionalReportToString(*functional),
+              FunctionalReportToString(*cycle));
+  }
+}
+
+TEST(NdvChainTest, EnablingNdvBlocksNeverMovesAFaultDraw) {
+  // Same device seed, same scan, with and without the NDV chain members:
+  // the binned statistics must be untouched bit-for-bit. The tap
+  // consumes no injector draws, so a faulted scan cannot be perturbed by
+  // asking for NDV on the side.
+  const page::TableFile table =
+      workload::ColumnToTable(TestColumn(2), 2, 2);
+  ScanRequest plain = NdvRequest();
+  plain.want_ndv_sketch = false;
+  plain.want_bitmap_index = false;
+  for (const sim::FaultScenario& scenario : ContentFaults()) {
+    for (EngineMode mode :
+         {EngineMode::kCycleAccurate, EngineMode::kFunctional}) {
+      auto with = RunNdvScan(scenario, mode, table, NdvRequest());
+      auto without = RunNdvScan(scenario, mode, table, plain);
+      ASSERT_TRUE(with.ok()) << with.status().ToString();
+      ASSERT_TRUE(without.ok()) << without.status().ToString();
+      EXPECT_EQ(with->rows, without->rows);
+      ASSERT_EQ(with->bins.counts.size(), without->bins.counts.size());
+      for (size_t i = 0; i < with->bins.counts.size(); ++i) {
+        ASSERT_EQ(with->bins.counts[i], without->bins.counts[i])
+            << "bin " << i;
+      }
+      EXPECT_EQ(with->distinct_values, without->distinct_values);
+    }
+  }
+}
+
+TEST(NdvChainTest, SketchTracksExactValueLevelNdv) {
+  const std::vector<int64_t> column = TestColumn(3);
+  const page::TableFile table = workload::ColumnToTable(column, 2, 2);
+  std::unordered_set<int64_t> exact(column.begin(), column.end());
+
+  auto report = RunNdvScan(sim::FaultScenario::None(), EngineMode::kFunctional,
+                    table, NdvRequest());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const double n = static_cast<double>(exact.size());
+  EXPECT_NEAR(report->ndv_estimate, n,
+              4.0 * report->ndv_sketch.StandardError() * n);
+}
+
+TEST(NdvChainTest, SketchCountsValuesNotBinsUnderCoarseGranularity) {
+  // At granularity 8 the non-zero-bin tally collapses up to 8 values per
+  // bin; the sketch keeps counting values. This is the planner bug the
+  // chain member exists to fix.
+  const std::vector<int64_t> column = TestColumn(4);
+  const page::TableFile table = workload::ColumnToTable(column, 2, 2);
+  std::unordered_set<int64_t> exact(column.begin(), column.end());
+  ScanRequest request = NdvRequest();
+  request.granularity = 8;
+
+  auto report = RunNdvScan(sim::FaultScenario::None(), EngineMode::kFunctional,
+                    table, request);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_LT(report->distinct_values, exact.size());  // bins undercount
+  const double n = static_cast<double>(exact.size());
+  EXPECT_NEAR(report->ndv_estimate, n,
+              4.0 * report->ndv_sketch.StandardError() * n);
+}
+
+TEST(NdvChainTest, BitmapBucketCardinalitiesMatchBinCounts) {
+  // Clean scan, ample budget: bucket b of the bitmap must hold exactly
+  // the rows the binner counted into bucket b's bin range, and the union
+  // of all buckets is every in-domain row.
+  const page::TableFile table =
+      workload::ColumnToTable(TestColumn(5), 2, 2);
+  auto report = RunNdvScan(sim::FaultScenario::None(),
+                           EngineMode::kCycleAccurate, table, NdvRequest());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const hist::BitmapIndex& index = report->bitmap_index;
+  ASSERT_TRUE(index.valid());
+  EXPECT_FALSE(index.overflowed);
+  EXPECT_EQ(index.rows, report->rows);
+  EXPECT_EQ(index.TotalCardinality(), report->rows);
+
+  const size_t num_bins = report->bins.counts.size();
+  ASSERT_EQ(num_bins % index.num_buckets(), 0u);
+  const size_t bins_per_bucket = num_bins / index.num_buckets();
+  for (uint32_t b = 0; b < index.num_buckets(); ++b) {
+    uint64_t expected = 0;
+    for (size_t i = 0; i < bins_per_bucket; ++i) {
+      expected += report->bins.counts[b * bins_per_bucket + i];
+    }
+    EXPECT_EQ(index.Cardinality(b), expected) << "bucket " << b;
+  }
+}
+
+TEST(NdvChainTest, BitmapBudgetOverflowIsDeterministicAndStamped) {
+  const page::TableFile table =
+      workload::ColumnToTable(TestColumn(6), 2, 2);
+  ScanRequest request = NdvRequest();
+  request.bitmap_words_budget = 32;  // far below the run count this needs
+
+  auto cycle = RunNdvScan(sim::FaultScenario::None(),
+                          EngineMode::kCycleAccurate, table, request);
+  auto functional = RunNdvScan(sim::FaultScenario::None(),
+                               EngineMode::kFunctional, table, request);
+  ASSERT_TRUE(cycle.ok()) << cycle.status().ToString();
+  ASSERT_TRUE(functional.ok()) << functional.status().ToString();
+  EXPECT_TRUE(cycle->bitmap_index.overflowed);
+  EXPECT_GT(cycle->bitmap_index.bits_dropped, 0u);
+  EXPECT_LE(cycle->bitmap_index.SizeWords(), 32u);
+  // Deterministic drop policy: both engines drop the same bits.
+  EXPECT_EQ(functional->bitmap_index.bits_dropped,
+            cycle->bitmap_index.bits_dropped);
+  for (uint32_t b = 0; b < cycle->bitmap_index.num_buckets(); ++b) {
+    EXPECT_EQ(functional->bitmap_index.buckets[b],
+              cycle->bitmap_index.buckets[b]);
+  }
+}
+
+TEST(NdvChainTest, RequestValidationRejectsBadNdvParameters) {
+  const page::TableFile table =
+      workload::ColumnToTable(TestColumn(7), 2, 2);
+  AcceleratorConfig config;
+  Device device(config);
+
+  ScanRequest bad_precision = NdvRequest();
+  bad_precision.ndv_precision = 3;
+  auto r1 = ScanEngine(&device).ScanTable(table, bad_precision);
+  EXPECT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  ScanRequest high_precision = NdvRequest();
+  high_precision.ndv_precision = 17;
+  auto r2 = ScanEngine(&device).ScanTable(table, high_precision);
+  EXPECT_FALSE(r2.ok());
+
+  ScanRequest zero_budget = NdvRequest();
+  zero_budget.bitmap_words_budget = 0;
+  auto r3 = ScanEngine(&device).ScanTable(table, zero_budget);
+  EXPECT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
+
+  // Sketch-only and bitmap-only requests are complete statistics
+  // requests in their own right.
+  ScanRequest sketch_only;
+  sketch_only.min_value = 1;
+  sketch_only.max_value = 512;
+  sketch_only.want_ndv_sketch = true;
+  auto r4 = ScanEngine(&device).ScanTable(table, sketch_only);
+  ASSERT_TRUE(r4.ok()) << r4.status().ToString();
+  EXPECT_TRUE(r4->ndv_sketch.valid());
+  EXPECT_FALSE(r4->bitmap_index.valid());
+}
+
+TEST(NdvChainTest, SideCapacityIsAccountedAndBounded) {
+  AcceleratorConfig config;
+  Device device(config);
+  // A modest side lease succeeds and is returned on release.
+  {
+    auto lease = device.AcquireSideCapacity(uint64_t{1} << 12);
+    ASSERT_TRUE(lease.ok()) << lease.status().ToString();
+  }
+  // An absurd one is refused outright — side-effect storage shares the
+  // finite DRAM pool with the binned representations.
+  auto huge = device.AcquireSideCapacity(uint64_t{1} << 62);
+  EXPECT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kResourceExhausted);
+  // And the failed acquire leaked nothing: the modest lease still fits.
+  auto again = device.AcquireSideCapacity(uint64_t{1} << 12);
+  EXPECT_TRUE(again.ok());
+}
+
+}  // namespace
+}  // namespace dphist::accel

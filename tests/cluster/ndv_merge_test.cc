@@ -1,0 +1,171 @@
+// Tentpole contract of the NDV chain members (DESIGN.md §13): the HLL
+// sketch joins the exact merge algebra, so a cluster's register-max
+// merge of per-shard sketches is BIT-IDENTICAL to the sketch one device
+// scanning the unsharded table builds — at every shard count, at any
+// host thread count, on either engine. The bitmap index rides the same
+// merge with rebased row ordinals, preserving every per-bucket
+// cardinality. A dead shard degrades the certified NDV error instead of
+// failing the scan.
+
+#include "cluster/coordinator.h"
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "accel/device.h"
+#include "accel/scan_engine.h"
+#include "sim/fault.h"
+#include "workload/tpch.h"
+
+namespace dphist::cluster {
+namespace {
+
+page::TableFile MakeLineitem(uint64_t rows, uint64_t seed = 7) {
+  workload::LineitemOptions options;
+  options.scale_factor = static_cast<double>(rows) / 6000000.0;
+  options.row_limit = rows;
+  options.seed = seed;
+  return workload::GenerateLineitem(options);
+}
+
+accel::ScanRequest NdvRequest() {
+  accel::ScanRequest request;
+  request.column_index = workload::kLQuantity;
+  request.min_value = workload::kQuantityMin;
+  request.max_value = workload::kQuantityMax;
+  request.num_buckets = 16;
+  request.top_k = 8;
+  request.want_bins = true;
+  request.want_ndv_sketch = true;
+  request.ndv_precision = 12;
+  request.want_bitmap_index = true;
+  return request;
+}
+
+/// The unsharded oracle: one device, one pass over the whole table.
+accel::AcceleratorReport SingleDeviceReport(const page::TableFile& table,
+                                            const accel::ScanRequest& request) {
+  accel::AcceleratorConfig config;
+  accel::Device device(config);
+  auto report = accel::ScanEngine(&device).ScanTable(table, request);
+  EXPECT_TRUE(report.ok());
+  return *report;
+}
+
+TEST(ClusterNdvMergeTest, MergedSketchBitIdenticalToSingleDevice) {
+  page::TableFile table = MakeLineitem(9000);
+  const accel::ScanRequest request = NdvRequest();
+  const accel::AcceleratorReport single = SingleDeviceReport(table, request);
+  ASSERT_TRUE(single.ndv_sketch.valid());
+
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    for (uint32_t threads : {1u, 4u}) {
+      for (accel::EngineMode mode : {accel::EngineMode::kCycleAccurate,
+                                     accel::EngineMode::kFunctional}) {
+        ClusterOptions options;
+        options.num_shards = shards;
+        options.threads_per_shard = threads;
+        options.engine_mode = mode;
+        auto report = ClusterCoordinator(options).ScanTable(table, request);
+        ASSERT_TRUE(report.ok());
+        const std::string label =
+            std::to_string(shards) + " shards, " + std::to_string(threads) +
+            " threads, " +
+            (mode == accel::EngineMode::kFunctional ? "functional" : "cycle");
+        ASSERT_TRUE(report->ndv_sketch.valid()) << label;
+        // Registers, not just the estimate: the merge is exact, so the
+        // bytes must match, which makes the estimate match for free.
+        EXPECT_TRUE(report->ndv_sketch.IdenticalTo(single.ndv_sketch))
+            << label;
+        EXPECT_EQ(report->ndv_sketch.RegisterFingerprint(),
+                  single.ndv_sketch.RegisterFingerprint())
+            << label;
+        EXPECT_DOUBLE_EQ(report->ndv_estimate, single.ndv_estimate) << label;
+        // Clean cluster: the certified error is exactly the sketch's
+        // standard error — no coverage widening.
+        EXPECT_DOUBLE_EQ(report->ndv_rel_error,
+                         report->ndv_sketch.StandardError())
+            << label;
+      }
+    }
+  }
+}
+
+TEST(ClusterNdvMergeTest, MergedBitmapPreservesPerBucketCardinalities) {
+  page::TableFile table = MakeLineitem(6000);
+  const accel::ScanRequest request = NdvRequest();
+  const accel::AcceleratorReport single = SingleDeviceReport(table, request);
+  ASSERT_TRUE(single.bitmap_index.valid());
+
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    ClusterOptions options;
+    options.num_shards = shards;
+    auto report = ClusterCoordinator(options).ScanTable(table, request);
+    ASSERT_TRUE(report.ok());
+    const hist::BitmapIndex& merged = report->bitmap_index;
+    ASSERT_TRUE(merged.valid()) << shards << " shards";
+    // Partitioning permutes row ordinals, so the runs differ — but the
+    // rebased ordinal windows are disjoint, so every per-bucket
+    // cardinality survives the OR exactly.
+    EXPECT_EQ(merged.rows, single.bitmap_index.rows) << shards;
+    ASSERT_EQ(merged.num_buckets(), single.bitmap_index.num_buckets());
+    for (uint32_t b = 0; b < merged.num_buckets(); ++b) {
+      EXPECT_EQ(merged.Cardinality(b), single.bitmap_index.Cardinality(b))
+          << shards << " shards, bucket " << b;
+    }
+    EXPECT_EQ(merged.TotalCardinality(),
+              single.bitmap_index.TotalCardinality())
+        << shards;
+  }
+}
+
+TEST(ClusterNdvMergeTest, ShardOutageWidensCertifiedNdvError) {
+  page::TableFile table = MakeLineitem(8000);
+  const accel::ScanRequest request = NdvRequest();
+
+  ClusterOptions options;
+  options.num_shards = 4;
+  options.partition.key_column = workload::kLOrderKey;
+  options.shard_faults.resize(4);
+  options.shard_faults[2] = sim::FaultScenario::DeviceOutage(1000, 99);
+  auto report = ClusterCoordinator(options).ScanTable(table, request);
+  ASSERT_TRUE(report.ok());  // degraded, never failed
+  EXPECT_EQ(report->shards_ok, 3u);
+  EXPECT_LT(report->coverage, 1.0);
+
+  // The surviving shards still merge to a valid sketch, and the
+  // certified error now carries the unseen-row fraction on top of the
+  // sketch's standard error.
+  ASSERT_TRUE(report->ndv_sketch.valid());
+  EXPECT_GT(report->ndv_estimate, 0.0);
+  EXPECT_DOUBLE_EQ(
+      report->ndv_rel_error,
+      report->ndv_sketch.StandardError() + (1.0 - report->coverage));
+
+  // And the catalog stats derived from the report certify the same
+  // degradation for the planner.
+  db::ColumnStats stats = StatsFromClusterReport(*report, request);
+  EXPECT_TRUE(stats.ndv_from_sketch);
+  EXPECT_GT(stats.ndv_rel_error, report->ndv_sketch.StandardError());
+  EXPECT_EQ(stats.provenance, db::StatsProvenance::kImplicitPartial);
+}
+
+TEST(ClusterNdvMergeTest, NoSketchRequestedLeavesReportUnstamped) {
+  page::TableFile table = MakeLineitem(3000);
+  accel::ScanRequest request = NdvRequest();
+  request.want_ndv_sketch = false;
+  request.want_bitmap_index = false;
+  ClusterOptions options;
+  options.num_shards = 2;
+  auto report = ClusterCoordinator(options).ScanTable(table, request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->ndv_sketch.valid());
+  EXPECT_FALSE(report->bitmap_index.valid());
+  EXPECT_DOUBLE_EQ(report->ndv_estimate, 0.0);
+  EXPECT_LT(report->ndv_rel_error, 0.0);
+}
+
+}  // namespace
+}  // namespace dphist::cluster

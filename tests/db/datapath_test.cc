@@ -54,6 +54,61 @@ TEST(DataPathTest, ScanRefreshesStats) {
   EXPECT_GE((*stats)->top_k[0].count, 3000u);
 }
 
+TEST(DataPathTest, NdvSketchAndBitmapArtifactRefreshWithTheScan) {
+  // With the NDV chain members requested, the same free refresh installs
+  // a sketch-backed NDV (value-level, immune to the granularity-100
+  // bin collapse) and a bitmap-index artifact stamped with provenance.
+  Catalog catalog;
+  workload::LineitemOptions li;
+  li.scale_factor = 0.01;
+  li.row_limit = 30000;
+  catalog.AddTable("lineitem", workload::GenerateLineitem(li));
+
+  accel::Accelerator accelerator(TestAccelConfig());
+  DataPathScanner scanner(&catalog, &accelerator);
+  accel::ScanRequest request = PriceRequest();
+  request.want_bins = true;
+  request.want_ndv_sketch = true;
+  request.ndv_precision = 12;
+  request.want_bitmap_index = true;
+
+  auto report = scanner.ScanAndRefresh("lineitem",
+                                       workload::kLExtendedPrice, request);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(report->ndv_sketch.valid());
+
+  auto stats = catalog.GetColumnStats("lineitem",
+                                      workload::kLExtendedPrice);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE((*stats)->ndv_from_sketch);
+  EXPECT_NEAR((*stats)->ndv_rel_error,
+              report->ndv_sketch.StandardError(), 1e-12);
+  // The installed NDV is the sketch's value-level estimate, not the
+  // granularity-collapsed non-zero-bin tally.
+  EXPECT_EQ((*stats)->ndv,
+            static_cast<uint64_t>(report->ndv_estimate + 0.5));
+  EXPECT_GT((*stats)->ndv, 0u);
+
+  auto artifact = catalog.GetBitmapIndex("lineitem",
+                                         workload::kLExtendedPrice);
+  ASSERT_TRUE(artifact.ok());
+  EXPECT_TRUE((*artifact)->valid);
+  EXPECT_EQ((*artifact)->index.rows, report->rows);
+  EXPECT_EQ((*artifact)->provenance, StatsProvenance::kImplicit);
+  EXPECT_DOUBLE_EQ((*artifact)->coverage, 1.0);
+
+  // Without the flags, nothing sketch-backed is claimed.
+  auto plain = scanner.ScanAndRefresh("lineitem",
+                                      workload::kLExtendedPrice,
+                                      PriceRequest());
+  ASSERT_TRUE(plain.ok());
+  auto plain_stats = catalog.GetColumnStats("lineitem",
+                                            workload::kLExtendedPrice);
+  ASSERT_TRUE(plain_stats.ok());
+  EXPECT_FALSE((*plain_stats)->ndv_from_sketch);
+  EXPECT_LT((*plain_stats)->ndv_rel_error, 0.0);
+}
+
 TEST(DataPathTest, RefreshAfterUpdateFixesThePlan) {
   // End-to-end reproduction of the paper's core story: update the data,
   // plan with stale stats (wrong join), rescan via the data path (free

@@ -149,6 +149,58 @@ TEST(PlannerTest, CertifiedErrorBoundWidensDiscountedEstimates) {
               uncertified->estimated_customers * 1e-9);
 }
 
+TEST(PlannerTest, SketchNdvWidensEqualityEstimateByCertifiedError) {
+  // Non-MCV equality estimates spread the remaining rows over the
+  // remaining distinct values. When the NDV came from the HLL side
+  // effect it carries a certified relative error, and the estimate is
+  // widened by exactly 1 + error so an undercounted NDV cannot shrink
+  // the join input below what the certificate allows.
+  Q1Rig rig(0, false);
+  Q1Query query;
+  query.custkey_limit = 5000;
+
+  auto entry = rig.catalog.Find("lineitem");
+  ASSERT_TRUE(entry.ok());
+  ColumnStats& stats = (*entry)->column_stats[workload::kLExtendedPrice];
+  ASSERT_TRUE(stats.valid);
+  stats.top_k.clear();        // force the NDV branch for any probe value
+  stats.ndv = 1000;
+  stats.ndv_from_sketch = false;
+  stats.ndv_rel_error = -1.0;
+
+  auto heuristic = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(heuristic.ok());
+  ASSERT_GT(heuristic->estimated_somelines, 0.0);
+
+  stats.ndv_from_sketch = true;
+  stats.ndv_rel_error = 0.25;
+  auto sketched = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(sketched.ok());
+  EXPECT_NEAR(sketched->estimated_somelines,
+              heuristic->estimated_somelines * 1.25,
+              heuristic->estimated_somelines * 1e-9);
+}
+
+TEST(PlannerTest, ExplanationNamesSketchBackedNdv) {
+  Q1Rig rig(0, false);
+  auto price_entry = rig.catalog.Find("lineitem");
+  auto cust_entry = rig.catalog.Find("customer");
+  ASSERT_TRUE(price_entry.ok());
+  ASSERT_TRUE(cust_entry.ok());
+  ColumnStats& price =
+      (*price_entry)->column_stats[workload::kLExtendedPrice];
+  ColumnStats& custkey = (*cust_entry)->column_stats[workload::kCCustKey];
+  price.provenance = StatsProvenance::kImplicit;
+  custkey.provenance = StatsProvenance::kImplicit;
+  price.ndv_from_sketch = true;
+  price.ndv_rel_error = 0.02;
+
+  auto plan = PlanQ1(rig.catalog, "lineitem", "customer", Q1Query{});
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->explanation.find("sketch-ndv"), std::string::npos)
+      << plan->explanation;
+}
+
 TEST(PlannerTest, ExplanationMentionsAlgorithm) {
   Q1Rig rig(0, false);
   auto plan = PlanQ1(rig.catalog, "lineitem", "customer", Q1Query{});

@@ -1,0 +1,167 @@
+#include "hist/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hist/merge.h"
+
+namespace dphist::hist {
+namespace {
+
+TEST(RleBitmapTest, AppendExtendsTailRunInPlace) {
+  RleBitmap bitmap;
+  EXPECT_FALSE(bitmap.CanExtend(0));
+  EXPECT_TRUE(bitmap.Append(3));
+  EXPECT_TRUE(bitmap.CanExtend(4));
+  EXPECT_TRUE(bitmap.Append(4));
+  EXPECT_TRUE(bitmap.Append(5));
+  EXPECT_EQ(bitmap.NumRuns(), 1u);  // one coalesced run [3, 6)
+  EXPECT_TRUE(bitmap.Append(9));    // gap -> new run
+  EXPECT_EQ(bitmap.NumRuns(), 2u);
+  EXPECT_EQ(bitmap.SizeWords(), 2u);
+  EXPECT_EQ(bitmap.Cardinality(), 4u);
+  for (uint64_t pos : {3u, 4u, 5u, 9u}) EXPECT_TRUE(bitmap.Test(pos));
+  for (uint64_t pos : {0u, 2u, 6u, 8u, 10u}) EXPECT_FALSE(bitmap.Test(pos));
+}
+
+TEST(RleBitmapTest, OutOfOrderAndDuplicateAppendsRejected) {
+  RleBitmap bitmap;
+  EXPECT_TRUE(bitmap.Append(10));
+  EXPECT_FALSE(bitmap.Append(10));  // duplicate
+  EXPECT_FALSE(bitmap.Append(7));   // out of order
+  EXPECT_EQ(bitmap.Cardinality(), 1u);
+  EXPECT_EQ(bitmap.NumRuns(), 1u);
+}
+
+TEST(RleBitmapTest, OrWithDisjointOffsetConcatenates) {
+  RleBitmap left;
+  for (uint64_t pos : {0u, 1u, 4u}) ASSERT_TRUE(left.Append(pos));
+  RleBitmap right;
+  for (uint64_t pos : {0u, 2u}) ASSERT_TRUE(right.Append(pos));
+
+  left.OrWith(right, 10);  // right's ordinals rebased to 10, 12
+  EXPECT_EQ(left.Cardinality(), 5u);
+  for (uint64_t pos : {0u, 1u, 4u, 10u, 12u}) EXPECT_TRUE(left.Test(pos));
+  EXPECT_FALSE(left.Test(2u));
+  EXPECT_FALSE(left.Test(11u));
+}
+
+TEST(RleBitmapTest, OrWithOverlapIsSetUnionAndCoalesces) {
+  RleBitmap left;
+  for (uint64_t pos : {0u, 1u, 2u}) ASSERT_TRUE(left.Append(pos));
+  RleBitmap right;
+  for (uint64_t pos : {2u, 3u, 4u}) ASSERT_TRUE(right.Append(pos));
+
+  left.OrWith(right, 0);
+  EXPECT_EQ(left.NumRuns(), 1u);  // [0,3) u [2,5) coalesces to [0,5)
+  EXPECT_EQ(left.Cardinality(), 5u);  // union, not sum: 2 counted once
+  RleBitmap expected;
+  for (uint64_t pos = 0; pos < 5; ++pos) ASSERT_TRUE(expected.Append(pos));
+  EXPECT_EQ(left, expected);
+}
+
+TEST(RleBitmapTest, OrWithIsCommutative) {
+  RleBitmap a;
+  for (uint64_t pos : {1u, 2u, 8u, 9u, 50u}) ASSERT_TRUE(a.Append(pos));
+  RleBitmap b;
+  for (uint64_t pos : {0u, 2u, 3u, 10u, 49u}) ASSERT_TRUE(b.Append(pos));
+  RleBitmap ab = a;
+  ab.OrWith(b, 0);
+  RleBitmap ba = b;
+  ba.OrWith(a, 0);
+  EXPECT_EQ(ab, ba);
+}
+
+BitmapIndex MakeIndex(uint32_t buckets) {
+  BitmapIndex index;
+  index.min_value = 1;
+  index.max_value = 64;
+  index.granularity = 1;
+  index.num_bins = 64;
+  index.buckets.resize(buckets);
+  return index;
+}
+
+TEST(BitmapIndexTest, MergeFromRebasesDisjointOrdinalWindows) {
+  // Shard 0: 100 rows, bucket 0 holds rows {0, 5}; shard 1: 50 rows,
+  // bucket 0 holds rows {3}, bucket 1 holds {7}. Merged, shard 1's
+  // ordinals live at offset 100.
+  BitmapIndex merged = MakeIndex(2);
+  ASSERT_TRUE(merged.buckets[0].Append(0));
+  ASSERT_TRUE(merged.buckets[0].Append(5));
+  merged.rows = 100;
+  merged.bits_set = 2;
+
+  BitmapIndex shard = MakeIndex(2);
+  ASSERT_TRUE(shard.buckets[0].Append(3));
+  ASSERT_TRUE(shard.buckets[1].Append(7));
+  shard.rows = 50;
+  shard.bits_set = 2;
+
+  ASSERT_TRUE(merged.MergeFrom(shard, 100).ok());
+  EXPECT_EQ(merged.rows, 150u);
+  EXPECT_EQ(merged.bits_set, 4u);
+  EXPECT_EQ(merged.Cardinality(0), 3u);
+  EXPECT_EQ(merged.Cardinality(1), 1u);
+  EXPECT_EQ(merged.TotalCardinality(), 4u);
+  EXPECT_TRUE(merged.buckets[0].Test(103));
+  EXPECT_TRUE(merged.buckets[1].Test(107));
+  EXPECT_FALSE(merged.buckets[0].Test(3));
+}
+
+TEST(BitmapIndexTest, MergeFromRejectsMisalignedDomains) {
+  BitmapIndex a = MakeIndex(2);
+  BitmapIndex bad_domain = MakeIndex(2);
+  bad_domain.max_value = 128;
+  EXPECT_FALSE(a.MergeFrom(bad_domain, 0).ok());
+  BitmapIndex bad_buckets = MakeIndex(4);
+  EXPECT_FALSE(a.MergeFrom(bad_buckets, 0).ok());
+}
+
+TEST(BitmapIndexTest, MergeFromPropagatesOverflowProvenance) {
+  BitmapIndex merged = MakeIndex(1);
+  BitmapIndex shard = MakeIndex(1);
+  shard.overflowed = true;
+  shard.bits_dropped = 17;
+  ASSERT_TRUE(merged.MergeFrom(shard, 0).ok());
+  EXPECT_TRUE(merged.overflowed);
+  EXPECT_EQ(merged.bits_dropped, 17u);
+}
+
+TEST(BitmapIndexTest, MergeBitmapIndexesWrapperConcatenatesShards) {
+  // Three shards of 10 rows each, every shard sets bit r in bucket 0 for
+  // even local ordinals: the merge must reproduce a single 30-row scan.
+  std::vector<BitmapIndex> shards;
+  std::vector<uint64_t> offsets;
+  BitmapIndex whole = MakeIndex(1);
+  whole.rows = 30;
+  for (int s = 0; s < 3; ++s) {
+    BitmapIndex shard = MakeIndex(1);
+    shard.rows = 10;
+    for (uint64_t r = 0; r < 10; r += 2) {
+      ASSERT_TRUE(shard.buckets[0].Append(r));
+      ASSERT_TRUE(whole.buckets[0].Append(static_cast<uint64_t>(s) * 10 + r));
+      ++shard.bits_set;
+      ++whole.bits_set;
+    }
+    offsets.push_back(static_cast<uint64_t>(s) * 10);
+    shards.push_back(std::move(shard));
+  }
+  auto merged = MergeBitmapIndexes(shards, offsets);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->rows, whole.rows);
+  EXPECT_EQ(merged->bits_set, whole.bits_set);
+  ASSERT_EQ(merged->buckets.size(), 1u);
+  EXPECT_EQ(merged->buckets[0], whole.buckets[0]);
+
+  // Mismatched offsets vector is a caller bug, not a degradation.
+  auto bad = MergeBitmapIndexes(shards, std::span<const uint64_t>(
+                                            offsets.data(), 2));
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace dphist::hist

@@ -29,6 +29,36 @@ TEST(EstimatorTest, EqualsUniformWithinBucket) {
   EXPECT_DOUBLE_EQ(est.EstimateEquals(99), 0.0);   // outside all buckets
 }
 
+TEST(EstimatorTest, DistinctAboveCountIsClampedToCount) {
+  // Bucket merges and degraded scans can legitimately leave
+  // distinct > count (distinct is unioned, count is row mass that may
+  // have been lost). The uniform per-value estimate must clamp to one
+  // row per distinct value, never fall below count/count = 1.
+  Histogram h = SimpleHistogram();
+  h.buckets[0].distinct = 400;  // > count == 100
+  Estimator est(&h);
+  EXPECT_DOUBLE_EQ(est.EstimateEquals(5), 1.0);  // 100 / min(400, 100)
+  EXPECT_DOUBLE_EQ(est.EstimateEquals(15), 10.0);  // other bucket intact
+}
+
+TEST(EstimatorTest, ZeroDistinctMeansUnknownAndFallsBackToWidth) {
+  // distinct == 0 with rows present means "distinct was never tracked",
+  // not "no distinct values": the estimate must fall back to the
+  // bucket-width heuristic instead of treating 0 as a denominator.
+  Histogram h = SimpleHistogram();
+  h.buckets[0].distinct = 0;
+  Estimator est(&h);
+  EXPECT_DOUBLE_EQ(est.EstimateEquals(5), 10.0);  // 100 / width 10
+}
+
+TEST(EstimatorTest, EmptyBucketEstimatesZeroEvenWithDistinctSet) {
+  Histogram h = SimpleHistogram();
+  h.buckets[0].count = 0;
+  h.buckets[0].distinct = 7;  // stale distinct on an empty bucket
+  Estimator est(&h);
+  EXPECT_DOUBLE_EQ(est.EstimateEquals(5), 0.0);
+}
+
 TEST(EstimatorTest, SingletonsAreExact) {
   Histogram h = SimpleHistogram();
   h.singletons.push_back(ValueCount{5, 77});

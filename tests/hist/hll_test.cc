@@ -1,0 +1,160 @@
+#include "hist/hll.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hist/merge.h"
+
+namespace dphist::hist {
+namespace {
+
+/// The sketch is the distinct-count member of the merge algebra, so the
+/// properties under test are the algebra's: register-max merge is
+/// commutative, associative, and idempotent, and a sharded stream merges
+/// back to the exact registers of the unsharded stream.
+
+TEST(HllSketchTest, DefaultAndOutOfRangePrecisionAreInvalid) {
+  HllSketch none;
+  EXPECT_FALSE(none.valid());
+  EXPECT_EQ(none.Estimate(), 0.0);
+  EXPECT_EQ(none.StandardError(), 0.0);
+  EXPECT_FALSE(HllSketch(3).valid());
+  EXPECT_FALSE(HllSketch(17).valid());
+  EXPECT_TRUE(HllSketch(HllSketch::kMinPrecision).valid());
+  EXPECT_TRUE(HllSketch(HllSketch::kMaxPrecision).valid());
+  EXPECT_EQ(HllSketch(12).num_registers(), uint64_t{1} << 12);
+}
+
+TEST(HllSketchTest, AddHashRoutingAndSaturation) {
+  HllSketch sketch(12);
+  // Hash 0: index 0, all-zero suffix -> saturated rank 64 - p + 1.
+  sketch.AddHash(0);
+  EXPECT_EQ(sketch.registers()[0], 64 - 12 + 1);
+  // Top bit of the suffix set -> rank 1 in the routed register.
+  const uint64_t hash = (uint64_t{5} << (64 - 12)) | (uint64_t{1} << 51);
+  sketch.AddHash(hash);
+  EXPECT_EQ(sketch.registers()[5], 1);
+  // A lower rank never overwrites a higher one.
+  HllSketch saturated(12);
+  saturated.AddHash(0);
+  saturated.AddHash(uint64_t{1} << 51);
+  EXPECT_EQ(saturated.registers()[0], 64 - 12 + 1);
+}
+
+TEST(HllSketchTest, DuplicatesAreIdempotent) {
+  HllSketch once(12);
+  HllSketch thrice(12);
+  for (int64_t v = 0; v < 1000; ++v) {
+    once.Add(v);
+    thrice.Add(v);
+    thrice.Add(v);
+    thrice.Add(v);
+  }
+  EXPECT_TRUE(once.IdenticalTo(thrice));
+  EXPECT_EQ(once.RegisterFingerprint(), thrice.RegisterFingerprint());
+}
+
+TEST(HllSketchTest, EstimateWithinStandardErrorBound) {
+  // 4 sigma on the certified relative standard error; the stream is
+  // fixed, so this is a deterministic check, not a flaky one.
+  for (uint64_t n : {100u, 1000u, 50000u}) {
+    HllSketch sketch(12);
+    for (uint64_t v = 0; v < n; ++v) {
+      sketch.Add(static_cast<int64_t>(v * 7919 + 13));
+    }
+    const double relative_error =
+        (sketch.Estimate() - static_cast<double>(n)) / static_cast<double>(n);
+    EXPECT_LT(std::abs(relative_error), 4.0 * sketch.StandardError())
+        << "n=" << n << " estimate=" << sketch.Estimate();
+  }
+}
+
+TEST(HllSketchTest, MergeOfShardedStreamIsBitIdenticalToUnsharded) {
+  for (int shards : {1, 2, 4, 8}) {
+    HllSketch whole(10);
+    std::vector<HllSketch> parts(static_cast<size_t>(shards), HllSketch(10));
+    for (int64_t v = 0; v < 20000; ++v) {
+      whole.Add(v);
+      parts[static_cast<size_t>(v) % parts.size()].Add(v);
+    }
+    HllSketch merged = parts[0];
+    for (size_t s = 1; s < parts.size(); ++s) {
+      ASSERT_TRUE(merged.Merge(parts[s]).ok());
+    }
+    EXPECT_TRUE(merged.IdenticalTo(whole)) << shards << " shards";
+    EXPECT_EQ(merged.Estimate(), whole.Estimate());
+  }
+}
+
+TEST(HllSketchTest, MergeIsCommutativeAssociativeIdempotent) {
+  HllSketch a(8);
+  HllSketch b(8);
+  HllSketch c(8);
+  for (int64_t v = 0; v < 3000; ++v) a.Add(v);
+  for (int64_t v = 2000; v < 6000; ++v) b.Add(v * 31);
+  for (int64_t v = -4000; v < 0; ++v) c.Add(v);
+
+  HllSketch ab = a;
+  ASSERT_TRUE(ab.Merge(b).ok());
+  HllSketch ba = b;
+  ASSERT_TRUE(ba.Merge(a).ok());
+  EXPECT_TRUE(ab.IdenticalTo(ba));  // commutative
+
+  HllSketch ab_c = ab;
+  ASSERT_TRUE(ab_c.Merge(c).ok());
+  HllSketch bc = b;
+  ASSERT_TRUE(bc.Merge(c).ok());
+  HllSketch a_bc = a;
+  ASSERT_TRUE(a_bc.Merge(bc).ok());
+  EXPECT_TRUE(ab_c.IdenticalTo(a_bc));  // associative
+
+  HllSketch aa = a;
+  ASSERT_TRUE(aa.Merge(a).ok());
+  EXPECT_TRUE(aa.IdenticalTo(a));  // idempotent
+}
+
+TEST(HllSketchTest, MergeRejectsInvalidAndMismatchedPrecision) {
+  HllSketch p10(10);
+  HllSketch p12(12);
+  HllSketch invalid;
+  EXPECT_FALSE(p10.Merge(p12).ok());
+  EXPECT_FALSE(p10.Merge(invalid).ok());
+  EXPECT_FALSE(invalid.Merge(p10).ok());
+}
+
+TEST(HllSketchTest, MergeHllSketchesWrapperFoldsInOrder) {
+  std::vector<HllSketch> shards(3, HllSketch(9));
+  for (int64_t v = 0; v < 9000; ++v) {
+    shards[static_cast<size_t>(v) % 3].Add(v);
+  }
+  HllSketch whole(9);
+  for (int64_t v = 0; v < 9000; ++v) whole.Add(v);
+
+  auto merged = MergeHllSketches(shards);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_TRUE(merged->IdenticalTo(whole));
+
+  auto empty = MergeHllSketches(std::span<const HllSketch>{});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->valid());
+}
+
+TEST(HllSketchTest, FingerprintTracksRegisterContent) {
+  HllSketch a(8);
+  HllSketch b(8);
+  for (int64_t v = 0; v < 500; ++v) {
+    a.Add(v);
+    b.Add(v);
+  }
+  EXPECT_EQ(a.RegisterFingerprint(), b.RegisterFingerprint());
+  b.Add(123456789);
+  EXPECT_TRUE(a.RegisterFingerprint() != b.RegisterFingerprint() ||
+              a.IdenticalTo(b));
+}
+
+}  // namespace
+}  // namespace dphist::hist

@@ -203,7 +203,20 @@ TEST_F(PriorityTest, HighArrivalDisplacesNewestQueuedNormal) {
 
   ServiceCounters counters = service.counters();
   EXPECT_EQ(counters.displaced, 1u);
-  EXPECT_EQ(counters.shed, 2u);  // the outright shed + the displacement
+  // Only the front-door rejection is `shed`; the displaced flight was
+  // already booked `accepted` at admission, so counting it `shed` too
+  // would break the ledger. Check the full ledger with displacement
+  // live: submitted = filler + 3 normals + 1 rejected + 1 high = 6.
+  EXPECT_EQ(counters.shed, 1u);
+  EXPECT_EQ(counters.submitted, 6u);
+  EXPECT_EQ(counters.accepted, 5u);
+  EXPECT_EQ(counters.submitted, counters.accepted + counters.shed);
+  uint64_t dequeued = 0;
+  for (uint64_t level : counters.ladder_occupancy) dequeued += level;
+  EXPECT_EQ(counters.accepted, dequeued + counters.coalesced +
+                                   counters.cache_hits +
+                                   counters.stop_drained +
+                                   counters.displaced);
   std::vector<std::string> order = served_order();
   ASSERT_EQ(order.size(), 4u);
   EXPECT_EQ(order[1], TableName(5));  // high jumped the surviving normals

@@ -10,10 +10,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "accel/device.h"
+#include "accel/scan_engine.h"
 #include "svc/service.h"
 #include "workload/distributions.h"
 #include "workload/driver.h"
@@ -69,6 +73,11 @@ TEST(ServiceOverloadTest, TenTimesSaturationShedsDegradesButNeverFails) {
         request.params.top_k = 8;
         request.kind = op.refresh ? RequestKind::kRefresh
                                   : RequestKind::kRead;
+        // Half the fleet runs high priority so admission-time
+        // displacement is exercised under real overload, not just in
+        // the deterministic queue-shaping test below.
+        request.priority = (c % 2 == 1) ? RequestPriority::kHigh
+                                        : RequestPriority::kNormal;
         const auto response = service.SubmitAndWait(request);
         if (response.status.ok()) {
           ++ok;
@@ -105,19 +114,152 @@ TEST(ServiceOverloadTest, TenTimesSaturationShedsDegradesButNeverFails) {
   const ServiceCounters counters = service.counters();
   EXPECT_EQ(counters.submitted, total);
   EXPECT_EQ(counters.accepted + counters.shed, counters.submitted);
-  EXPECT_EQ(counters.shed, shed);
+  // A displaced flight is accepted at admission and resolved as
+  // kResourceExhausted by the shed response, so the client fleet's shed
+  // tally sees front-door sheds plus displacements (plus any coalesced
+  // riders on a displaced flight), while the service books each flight
+  // in exactly one counter.
+  EXPECT_GE(shed, counters.shed);
+  EXPECT_LE(shed,
+            counters.shed + counters.displaced + counters.coalesced);
   uint64_t dequeued = 0;
   for (uint64_t occupancy : counters.ladder_occupancy) {
     dequeued += occupancy;
   }
   EXPECT_EQ(dequeued, counters.served + counters.fallbacks +
                           counters.deadline_expired + counters.errors);
-  // Accepted = flights dequeued + coalesced riders + cache hits.
-  EXPECT_EQ(counters.accepted,
-            dequeued + counters.coalesced + counters.cache_hits);
+  // Accepted = flights dequeued + coalesced riders + cache hits +
+  // Stop()-drained flights + flights displaced by a high arrival; no
+  // flight is booked twice (the fixed double-count would fail here the
+  // moment a displacement occurs).
+  EXPECT_EQ(counters.accepted, dequeued + counters.coalesced +
+                                   counters.cache_hits +
+                                   counters.stop_drained +
+                                   counters.displaced);
   // The queue is empty and the service is stopped; nothing leaked.
   EXPECT_EQ(service.queue_depth(), 0u);
   EXPECT_FALSE(service.running());
+}
+
+// Deterministic companion to the fleet test above: wedge the single
+// worker, fill the queue to high water with normals, then push two high
+// arrivals through displacement and bounce one more normal off the
+// front door. Every counter is pinned, so the ledger is checked with
+// displacement guaranteed live (the double-count bug made `shed` come
+// out 3 here and broke submitted == accepted + shed).
+TEST(ServiceOverloadTest, DisplacementLedgerBalancesExactly) {
+  constexpr uint64_t kCardinality = 64;
+  constexpr int kTables = 8;
+
+  db::Catalog catalog;
+  accel::AcceleratorConfig config;
+  accel::Device device(config);
+  for (int t = 0; t < kTables; ++t) {
+    auto column = workload::ZipfColumn(2000, kCardinality, 0.5, 200 + t);
+    catalog.AddTable("t" + std::to_string(t),
+                     workload::ColumnToTable(column, 2, 2));
+  }
+  auto request_for = [&](int t, RequestPriority priority) {
+    StatsRequest request;
+    request.table = "t" + std::to_string(t);
+    request.column = 0;
+    request.params.min_value = 1;
+    request.params.max_value = kCardinality;
+    request.params.num_buckets = 8;
+    request.params.top_k = 4;
+    request.priority = priority;
+    return request;
+  };
+
+  // Template report for the hook (a real scan, so stats install cleanly).
+  accel::AcceleratorReport template_report;
+  {
+    auto entry = catalog.Find("t0");
+    accel::ScanRequest scan = request_for(0, RequestPriority::kNormal).params;
+    scan.want_bins = true;
+    auto report = accel::ScanEngine(&device).ScanTable(*(*entry)->table, scan);
+    ASSERT_TRUE(report.ok());
+    template_report = *report;
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool released = false;
+  std::vector<std::string> served;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_high_water = 3;
+  options.scan_hook = [&](const StatsRequest& request, double) {
+    bool first;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      first = served.empty();
+      served.push_back(request.table);
+    }
+    if (first) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return released; });
+    }
+    return Result<accel::AcceleratorReport>(template_report);
+  };
+  StatsService service(&catalog, &device, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // Wedge the worker on t0.
+  auto filler = service.Submit(request_for(0, RequestPriority::kNormal));
+  ASSERT_TRUE(filler.ok());
+  for (int i = 0; i < 1000; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!served.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Fill the queue to high water with distinct-table normals.
+  std::vector<Ticket> normals;
+  for (int t = 1; t <= 3; ++t) {
+    auto ticket = service.Submit(request_for(t, RequestPriority::kNormal));
+    ASSERT_TRUE(ticket.ok());
+    normals.push_back(std::move(*ticket));
+  }
+  // Two high arrivals displace the two newest normals...
+  auto high_a = service.Submit(request_for(4, RequestPriority::kHigh));
+  ASSERT_TRUE(high_a.ok());
+  auto high_b = service.Submit(request_for(5, RequestPriority::kHigh));
+  ASSERT_TRUE(high_b.ok());
+  // ...and a further normal bounces off the front door.
+  auto rejected = service.Submit(request_for(6, RequestPriority::kNormal));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+
+  EXPECT_EQ(normals[2].Wait().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(normals[1].Wait().status.code(), StatusCode::kResourceExhausted);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+  }
+  cv.notify_all();
+  EXPECT_TRUE(high_a->Wait().status.ok());
+  EXPECT_TRUE(high_b->Wait().status.ok());
+  EXPECT_TRUE(normals[0].Wait().status.ok());
+  EXPECT_TRUE(filler->Wait().status.ok());
+  service.Stop();
+
+  const ServiceCounters counters = service.counters();
+  EXPECT_EQ(counters.submitted, 7u);   // filler + 3 normals + 2 high + 1
+  EXPECT_EQ(counters.shed, 1u);        // only the front-door bounce
+  EXPECT_EQ(counters.accepted, 6u);
+  EXPECT_EQ(counters.displaced, 2u);
+  EXPECT_EQ(counters.submitted, counters.accepted + counters.shed);
+  uint64_t dequeued = 0;
+  for (uint64_t occupancy : counters.ladder_occupancy) dequeued += occupancy;
+  EXPECT_EQ(dequeued, 4u);  // filler, two highs, surviving normal
+  EXPECT_EQ(counters.accepted, dequeued + counters.coalesced +
+                                   counters.cache_hits +
+                                   counters.stop_drained +
+                                   counters.displaced);
 }
 
 }  // namespace

@@ -444,6 +444,59 @@ TEST_F(ServiceTest, CertifiedContractHoldsOnRealScansIncludingDegraded) {
   EXPECT_GT(degraded, 0u);  // the ladder actually engaged
 }
 
+TEST_F(ServiceTest, NdvContractIsCertifiedOnFullAndDegradedScans) {
+  // Every service scan carries the HLL block, so served responses stamp
+  // a value-level NDV with a certified relative error: the sketch's
+  // standard error on a full scan, widened by the unscanned fraction on
+  // a ladder-degraded one.
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.queue_high_water = 8;  // a lone flight stays below the ladder
+  options.ladder = {{0.25, 0.25}};
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // Default precision 12 -> 1.04 / sqrt(4096).
+  const double standard_error = 1.04 / 64.0;
+
+  // Served alone, the scan runs at level 0: the certificate is exactly
+  // the sketch's standard error, and the estimate is within its bound of
+  // the true 512-value cardinality.
+  auto full = service.SubmitAndWait(TestRequest("t", RequestKind::kRefresh));
+  ASSERT_TRUE(full.status.ok()) << full.status.ToString();
+  ASSERT_EQ(full.degrade_level, 0u);
+  EXPECT_TRUE(full.stats.ndv_from_sketch);
+  EXPECT_NEAR(full.contract.ndv_rel_error, standard_error, 1e-12);
+  EXPECT_NEAR(full.contract.ndv_estimate,
+              static_cast<double>(kCardinality),
+              4.0 * standard_error * static_cast<double>(kCardinality));
+
+  // A burst behind the single worker engages the ladder; degraded scans
+  // widen the certificate by the unscanned fraction.
+  std::vector<Ticket> tickets;
+  for (uint32_t i = 0; i < 4; ++i) {
+    auto request = TestRequest("t", RequestKind::kRefresh);
+    request.params.num_buckets = 8 + i;
+    auto ticket = service.Submit(request);
+    if (ticket.ok()) tickets.push_back(std::move(*ticket));
+  }
+  bool saw_degraded = false;
+  for (auto& ticket : tickets) {
+    auto response = ticket.Wait();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_GT(response.contract.ndv_estimate, 0.0);
+    EXPECT_TRUE(response.stats.ndv_from_sketch);
+    EXPECT_DOUBLE_EQ(response.contract.ndv_rel_error,
+                     response.stats.ndv_rel_error);
+    if (response.degrade_level > 0) {
+      saw_degraded = true;
+      EXPECT_GT(response.contract.ndv_rel_error, standard_error);
+    }
+  }
+  service.Stop();
+  EXPECT_TRUE(saw_degraded);
+}
+
 TEST_F(ServiceTest, DegradedScanDescribesOnlyTheScannedPrefix) {
   ServiceOptions options;
   options.num_workers = 1;
