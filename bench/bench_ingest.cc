@@ -1,0 +1,363 @@
+// Streaming-ingest strategy comparison (DESIGN.md §14): the same seeded
+// append/delete stream is replayed through one pipeline per maintenance
+// strategy, per churn profile and delete rate. Reports absorb throughput,
+// rescan cost, staleness, and mean relative estimator error against the
+// pipeline's exact live counts. Exits nonzero unless, on the drifting
+// profile, the sliding-window strategy beats absorb-in-place at equal
+// cost (both zero rescans) — the acceptance headline of the ingest
+// subsystem.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "bench/bench_util.h"
+#include "db/catalog.h"
+#include "hist/estimator.h"
+#include "ingest/maintainer.h"
+#include "ingest/pipeline.h"
+#include "ingest/stream.h"
+#include "obs/metrics.h"
+#include "workload/distributions.h"
+
+namespace dphist {
+namespace {
+
+// The seed table is uniform over [1, kSeedDomainHi]; the drifting
+// profile starts its range right past it and slides upward.
+constexpr int64_t kSeedDomainHi = 2000;
+constexpr int64_t kDriftSpan = 1000;
+
+struct Cell {
+  ingest::ChurnProfile profile;
+  double delete_fraction;
+};
+
+enum class StrategyKind { kAbsorb, kAbsorbRebuild, kWindowed, kPeriodic };
+
+const char* StrategyLabel(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kAbsorb: return "absorb";
+    case StrategyKind::kAbsorbRebuild: return "absorb+rebuild";
+    case StrategyKind::kWindowed: return "windowed";
+    case StrategyKind::kPeriodic: return "periodic";
+  }
+  return "?";
+}
+
+struct StrategyRun {
+  uint64_t rescans = 0;
+  uint64_t rescan_rows = 0;
+  uint64_t stale_ops = 0;
+  double ops_per_second = 0;
+  double mean_rel_error = 0;
+  int probes = 0;
+};
+
+struct ProbeSet {
+  std::vector<std::pair<int64_t, int64_t>> slices;
+  /// Stationary profiles: windowed estimates are scaled to the table by
+  /// row_count/total_count, as the planner does. Under drift every live
+  /// row in the probed hot range IS a window row, so the raw window
+  /// estimate is the table estimate and scaling would inflate it.
+  bool scale_window = false;
+};
+
+ingest::StreamOptions CellStream(const Cell& cell) {
+  ingest::StreamOptions options;
+  options.seed = 4242;
+  options.profile = cell.profile;
+  options.delete_fraction = cell.delete_fraction;
+  options.domain_lo = 1;
+  options.domain_hi = kSeedDomainHi;
+  options.zipf_s = 1.1;
+  if (cell.profile == ingest::ChurnProfile::kDriftingRange) {
+    options.domain_lo = kSeedDomainHi;
+    options.drift_span = kDriftSpan;
+    options.drift_per_op = 1.0;
+  }
+  return options;
+}
+
+ProbeSet MakeProbes(const Cell& cell,
+                    const std::vector<ingest::IngestOp>& ops,
+                    uint64_t window_rows) {
+  ProbeSet probes;
+  if (cell.profile != ingest::ChurnProfile::kDriftingRange) {
+    probes.scale_window = true;
+    const int64_t width = kSeedDomainHi / 8;
+    for (int i = 0; i < 8; ++i) {
+      probes.slices.emplace_back(1 + i * width, (i + 1) * width);
+    }
+    return probes;
+  }
+  // Drift: probe the current hot range — the values of the last
+  // window-full of appends, i.e. exactly the predicates the planner
+  // would trust the window for.
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  uint64_t taken = 0;
+  for (auto it = ops.rbegin(); it != ops.rend() && taken < window_rows;
+       ++it) {
+    if (it->kind != ingest::OpKind::kAppend) continue;
+    lo = std::min(lo, it->value);
+    hi = std::max(hi, it->value);
+    ++taken;
+  }
+  const int64_t width = std::max<int64_t>(1, (hi - lo + 1) / 6);
+  for (int i = 0; i < 6; ++i) {
+    probes.slices.emplace_back(lo + i * width,
+                               i == 5 ? hi : lo + (i + 1) * width - 1);
+  }
+  return probes;
+}
+
+void MeasureError(const ingest::IngestPipeline& pipeline,
+                  const ingest::StatsMaintainer& strategy,
+                  const ProbeSet& probes, StrategyRun* run) {
+  db::ColumnStats stats = strategy.Snapshot(pipeline.live_rows());
+  hist::Estimator estimator(&stats.histogram);
+  double scale = 1.0;
+  if (stats.IsWindowed() && probes.scale_window &&
+      stats.histogram.total_count > 0) {
+    scale = static_cast<double>(stats.row_count) /
+            static_cast<double>(stats.histogram.total_count);
+  }
+  double err = 0;
+  int n = 0;
+  for (const auto& [lo, hi] : probes.slices) {
+    const double exact =
+        static_cast<double>(pipeline.ExactRangeCount(lo, hi));
+    if (exact < 1.0) continue;
+    err += std::abs(estimator.EstimateRange(lo, hi) * scale - exact) / exact;
+    ++n;
+  }
+  run->mean_rel_error = n > 0 ? err / n : 0;
+  run->probes = n;
+}
+
+StrategyRun RunStrategy(StrategyKind kind,
+                        const std::vector<ingest::IngestOp>& ops,
+                        const ProbeSet& probes, uint64_t seed_rows,
+                        uint64_t window_rows, uint64_t rebuild_hysteresis,
+                        uint64_t periodic_cadence, int64_t scan_hi) {
+  db::Catalog catalog;
+  accel::Accelerator accelerator(accel::AcceleratorConfig{});
+  ingest::PipelineOptions options;
+  options.request.min_value = 1;
+  options.request.max_value = scan_hi;
+  options.request.num_buckets = 16;
+  options.request.top_k = 8;
+  ingest::IngestPipeline pipeline(&catalog, accelerator.device(), "churn",
+                                  options);
+  auto seed = workload::UniformColumn(seed_rows, 1, kSeedDomainHi, 7);
+  if (Status status = pipeline.Load(seed); !status.ok()) {
+    std::fprintf(stderr, "seed load failed: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  auto seed_stats = catalog.GetColumnStats("churn", 0);
+  if (!seed_stats.ok()) {
+    std::fprintf(stderr, "seed stats missing\n");
+    std::exit(1);
+  }
+
+  ingest::StatsMaintainer* strategy = nullptr;
+  ingest::PeriodicRescanMaintainer* periodic = nullptr;
+  switch (kind) {
+    case StrategyKind::kAbsorb:
+      // Threshold beyond reach: pure absorb-in-place, zero rescans —
+      // the cost-matched baseline the windowed strategy is gated against.
+      strategy = pipeline.AddMaintainer(
+          std::make_unique<ingest::IncrementalMaintainer>(**seed_stats,
+                                                          1e12, 1));
+      break;
+    case StrategyKind::kAbsorbRebuild:
+      strategy = pipeline.AddMaintainer(
+          std::make_unique<ingest::IncrementalMaintainer>(
+              **seed_stats, 2.0, rebuild_hysteresis));
+      break;
+    case StrategyKind::kWindowed:
+      strategy = pipeline.AddMaintainer(
+          std::make_unique<ingest::WindowedMaintainer>(
+              hist::WindowBounds{.rows = window_rows}, 1, scan_hi, 16, 8));
+      break;
+    case StrategyKind::kPeriodic: {
+      auto owned = std::make_unique<ingest::PeriodicRescanMaintainer>(
+          **seed_stats, periodic_cadence);
+      periodic = owned.get();
+      strategy = pipeline.AddMaintainer(std::move(owned));
+      break;
+    }
+  }
+
+  constexpr uint64_t kBatch = 500;
+  const auto start = std::chrono::steady_clock::now();
+  std::span<const ingest::IngestOp> all(ops);
+  for (uint64_t offset = 0; offset < all.size(); offset += kBatch) {
+    const uint64_t n = std::min<uint64_t>(kBatch, all.size() - offset);
+    if (Status status = pipeline.ApplyBatch(all.subspan(offset, n));
+        !status.ok()) {
+      std::fprintf(stderr, "batch failed: %s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  StrategyRun run;
+  run.rescans = pipeline.counters().rescans;
+  run.rescan_rows = pipeline.counters().rescan_rows;
+  run.ops_per_second =
+      wall > 0 ? static_cast<double>(ops.size()) / wall : 0;
+  if (periodic != nullptr) run.stale_ops = periodic->ops_since_rescan();
+  MeasureError(pipeline, *strategy, probes, &run);
+  return run;
+}
+
+void Run() {
+  const uint64_t total_ops = bench::Scaled(20000);
+  const uint64_t seed_rows = bench::Scaled(8000);
+  const uint64_t window_rows = bench::Scaled(4000);
+  const uint64_t rebuild_hysteresis = bench::Scaled(4000);
+  const uint64_t periodic_cadence = bench::Scaled(5000);
+  // Wide enough that the drifting profile's final range stays inside
+  // the scan domain at any scale.
+  const int64_t scan_hi =
+      kSeedDomainHi + static_cast<int64_t>(total_ops) + 2 * kDriftSpan;
+
+  std::printf(
+      "seed %llu uniform rows over [1, %lld]; %llu churn ops per cell; "
+      "window %llu rows, rebuild hysteresis %llu, periodic cadence %llu\n\n",
+      static_cast<unsigned long long>(seed_rows),
+      static_cast<long long>(kSeedDomainHi),
+      static_cast<unsigned long long>(total_ops),
+      static_cast<unsigned long long>(window_rows),
+      static_cast<unsigned long long>(rebuild_hysteresis),
+      static_cast<unsigned long long>(periodic_cadence));
+
+  bench::TablePrinter printer({"profile", "del", "strategy", "kops/s",
+                               "rescans", "scan rows", "stale ops",
+                               "rel err"},
+                              15);
+  bench::JsonWriter json("ingest");
+  json.Meta("reproduces",
+            "streaming-ingest maintenance strategies: throughput, rescan "
+            "cost, staleness, and estimator error per churn profile");
+  json.MetaNum("total_ops", static_cast<double>(total_ops));
+  json.MetaNum("seed_rows", static_cast<double>(seed_rows));
+  json.MetaNum("window_rows", static_cast<double>(window_rows));
+  printer.AttachJson(&json);
+  printer.PrintHeader();
+
+  obs::MetricsRegistry::Global().ResetAll();
+  const obs::MetricsSnapshot before =
+      obs::MetricsRegistry::Global().Snapshot();
+
+  const Cell cells[] = {
+      {ingest::ChurnProfile::kUniform, 0.0},
+      {ingest::ChurnProfile::kUniform, 0.3},
+      {ingest::ChurnProfile::kZipfHotKey, 0.0},
+      {ingest::ChurnProfile::kZipfHotKey, 0.3},
+      {ingest::ChurnProfile::kDriftingRange, 0.0},
+      {ingest::ChurnProfile::kDriftingRange, 0.3},
+  };
+  const StrategyKind kinds[] = {
+      StrategyKind::kAbsorb, StrategyKind::kAbsorbRebuild,
+      StrategyKind::kWindowed, StrategyKind::kPeriodic};
+
+  bool gate_ok = true;
+  for (const Cell& cell : cells) {
+    ingest::StreamGenerator gen(CellStream(cell));
+    const std::vector<ingest::IngestOp> ops = gen.Batch(total_ops);
+    const ProbeSet probes = MakeProbes(cell, ops, window_rows);
+
+    double absorb_err = 0;
+    double windowed_err = 0;
+    uint64_t windowed_rescans = 0;
+    for (StrategyKind kind : kinds) {
+      const StrategyRun run =
+          RunStrategy(kind, ops, probes, seed_rows, window_rows,
+                      rebuild_hysteresis, periodic_cadence, scan_hi);
+      char del_text[8], err_text[16], kops_text[16];
+      std::snprintf(del_text, sizeof(del_text), "%.0f%%",
+                    cell.delete_fraction * 100.0);
+      std::snprintf(err_text, sizeof(err_text), "%.3f",
+                    run.mean_rel_error);
+      std::snprintf(kops_text, sizeof(kops_text), "%.1f",
+                    run.ops_per_second / 1000.0);
+      printer.PrintRow({ingest::ChurnProfileName(cell.profile), del_text,
+                        StrategyLabel(kind), kops_text,
+                        bench::TablePrinter::FmtInt(run.rescans),
+                        bench::TablePrinter::FmtInt(run.rescan_rows),
+                        bench::TablePrinter::FmtInt(run.stale_ops),
+                        err_text});
+      json.Str("profile", ingest::ChurnProfileName(cell.profile));
+      json.Num("delete_fraction", cell.delete_fraction);
+      json.Str("strategy", StrategyLabel(kind));
+      json.Num("ops_per_second", run.ops_per_second);
+      json.Num("rescan_count", static_cast<double>(run.rescans));
+      json.Num("rescan_rows", static_cast<double>(run.rescan_rows));
+      json.Num("stale_ops_at_end", static_cast<double>(run.stale_ops));
+      json.Num("mean_rel_error", run.mean_rel_error);
+      json.Num("probe_count", run.probes);
+
+      if (kind == StrategyKind::kAbsorb) absorb_err = run.mean_rel_error;
+      if (kind == StrategyKind::kWindowed) {
+        windowed_err = run.mean_rel_error;
+        windowed_rescans = run.rescans;
+      }
+    }
+    if (cell.profile == ingest::ChurnProfile::kDriftingRange) {
+      if (windowed_rescans != 0) {
+        std::fprintf(stderr,
+                     "COST VIOLATION: windowed strategy ran %llu rescans\n",
+                     static_cast<unsigned long long>(windowed_rescans));
+        gate_ok = false;
+      }
+      if (!(windowed_err < absorb_err)) {
+        std::fprintf(stderr,
+                     "DRIFT-TRACKING VIOLATION: windowed rel err %.3f is "
+                     "not below absorb-in-place %.3f (delete %.0f%%)\n",
+                     windowed_err, absorb_err,
+                     cell.delete_fraction * 100.0);
+        gate_ok = false;
+      }
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: all per-op strategies absorb at comparable "
+      "rates; under drift the window tracks the moving hot range while "
+      "absorb-in-place smears its stretched edge bucket (gated above); "
+      "periodic is exactly as stale as its cadence and pays for it in "
+      "rescan rows.\n");
+  json.Metrics(
+      obs::DiffSnapshots(before, obs::MetricsRegistry::Global().Snapshot()));
+  json.WriteFile();
+  if (!gate_ok) std::exit(1);
+}
+
+}  // namespace
+}  // namespace dphist
+
+int main() {
+  dphist::bench::PrintBanner(
+      "bench_ingest",
+      "streaming-ingest maintenance strategies under churn",
+      "same seeded stream per strategy; error vs exact live counts; "
+      "windowed-beats-absorb-under-drift gated");
+  dphist::Run();
+  return 0;
+}

@@ -31,6 +31,24 @@ class RingBuffer {
     size_ = 0;
   }
 
+  /// Grows capacity to at least `capacity`, preserving FIFO order; a
+  /// no-op when already large enough. Unlike Reserve this is valid on a
+  /// non-empty ring — sliding-window consumers (hist/windowed.h) grow on
+  /// demand when a time-bounded window outpaces its initial sizing. Pays
+  /// one linearizing copy; amortized O(1) when doubled.
+  void EnsureCapacity(size_t capacity) {
+    if (capacity <= slots_.size()) return;
+    size_t rounded = 1;
+    while (rounded < capacity) rounded <<= 1;
+    std::vector<T> fresh(rounded);
+    for (size_t i = 0; i < size_; ++i) {
+      fresh[i] = std::move(slots_[(head_ + i) & mask_]);
+    }
+    slots_ = std::move(fresh);
+    mask_ = rounded - 1;
+    head_ = 0;
+  }
+
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }
   size_t capacity() const { return slots_.size(); }

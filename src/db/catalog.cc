@@ -18,6 +18,18 @@ page::TableFile* Catalog::AddTable(const std::string& name,
   return it->second.table.get();
 }
 
+Result<page::TableFile*> Catalog::ReplaceTableData(const std::string& name,
+                                                   page::TableFile table) {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, Find(name));
+  if (table.schema().num_columns() !=
+      entry->table->schema().num_columns()) {
+    return Status::InvalidArgument(
+        "replacement table changes the column count");
+  }
+  *entry->table = std::move(table);
+  return entry->table.get();
+}
+
 Result<TableEntry*> Catalog::Find(const std::string& name) {
   auto it = tables_.find(name);
   if (it == tables_.end()) return Status::NotFound("table '" + name + "'");

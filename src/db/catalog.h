@@ -55,6 +55,16 @@ class Catalog {
   page::TableFile* AddTable(const std::string& name, page::TableFile table,
                             Residency residency = Residency::kMemory);
 
+  /// Swaps in a rematerialized table file for an already-registered name
+  /// (the ingest pipeline's rescan path: churn is applied to live rows,
+  /// then the table is rewritten). Stats, indexes, and the data version
+  /// are preserved — replacing the bytes is not a logical update; callers
+  /// that changed the data bump the version through BumpDataVersion as
+  /// usual. NotFound when the name is not registered; InvalidArgument on
+  /// a schema mismatch (stats slots are per-column).
+  Result<page::TableFile*> ReplaceTableData(const std::string& name,
+                                            page::TableFile table);
+
   Result<TableEntry*> Find(const std::string& name);
   Result<const TableEntry*> Find(const std::string& name) const;
 

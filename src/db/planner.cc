@@ -37,6 +37,33 @@ double DiscountForCoverage(double estimate, const ColumnStats& stats) {
   return estimate;
 }
 
+/// Windowed stats describe only the recent-ingest window, so they may
+/// speak only for predicates inside the window's observed value domain —
+/// outside it the window proves nothing about the table (the rows may
+/// simply have aged out).
+bool WindowCoversValue(const ColumnStats& stats, int64_t value) {
+  return value >= stats.min_value && value <= stats.max_value;
+}
+
+bool WindowCoversLess(const ColumnStats& stats, int64_t limit) {
+  // `x < limit` probes values up to limit - 1; the window covers the
+  // probe when that range overlaps its observed domain on both sides.
+  return limit > stats.min_value && limit - 1 <= stats.max_value;
+}
+
+/// Extrapolates a window-internal row estimate to the whole table: the
+/// window histogram's total_count is its own row population, and
+/// row_count is the live table size, so the ratio scales the window's
+/// density up to the population the executor will actually scan.
+double ScaleFromWindow(double estimate, const ColumnStats& stats) {
+  const double window_rows =
+      static_cast<double>(stats.histogram.total_count);
+  if (window_rows > 0 && stats.row_count > 0) {
+    estimate *= static_cast<double>(stats.row_count) / window_rows;
+  }
+  return estimate;
+}
+
 }  // namespace
 
 const char* JoinAlgorithmName(JoinAlgorithm algorithm) {
@@ -67,7 +94,9 @@ Result<PlanChoice> PlanQ1(const Catalog& catalog,
   PlanChoice plan;
 
   const ColumnStats& price_stats = lineitem->column_stats[price_col];
-  if (price_stats.valid) {
+  if (price_stats.valid &&
+      (!price_stats.IsWindowed() ||
+       WindowCoversValue(price_stats, query.price_scaled))) {
     // PostgreSQL-style equality estimation: the MCV list first (exact
     // scaled counts); for non-MCV values, the remaining rows spread
     // uniformly over the remaining distinct values; the histogram is the
@@ -83,8 +112,14 @@ Result<PlanChoice> PlanQ1(const Catalog& catalog,
     }
     if (!in_mcv) {
       if (price_stats.ndv > price_stats.top_k.size()) {
-        double remaining_rows = std::max(
-            0.0, static_cast<double>(price_stats.row_count) - mcv_rows);
+        // Windowed stats: MCV counts, NDV, and the histogram all describe
+        // the window population, so estimate within it and extrapolate to
+        // the table afterwards.
+        const double population =
+            price_stats.IsWindowed()
+                ? static_cast<double>(price_stats.histogram.total_count)
+                : static_cast<double>(price_stats.row_count);
+        double remaining_rows = std::max(0.0, population - mcv_rows);
         plan.estimated_somelines =
             remaining_rows /
             static_cast<double>(price_stats.ndv -
@@ -101,6 +136,10 @@ Result<PlanChoice> PlanQ1(const Catalog& catalog,
             estimator.EstimateEquals(query.price_scaled);
       }
     }
+    if (price_stats.IsWindowed()) {
+      plan.estimated_somelines =
+          ScaleFromWindow(plan.estimated_somelines, price_stats);
+    }
     plan.estimated_somelines =
         DiscountForCoverage(plan.estimated_somelines, price_stats);
     plan.used_histogram = true;
@@ -111,10 +150,17 @@ Result<PlanChoice> PlanQ1(const Catalog& catalog,
   }
 
   const ColumnStats& custkey_stats = customer->column_stats[custkey_col];
-  if (custkey_stats.valid) {
+  if (custkey_stats.valid &&
+      (!custkey_stats.IsWindowed() ||
+       WindowCoversLess(custkey_stats, query.custkey_limit))) {
     hist::Estimator estimator(&custkey_stats.histogram);
-    plan.estimated_customers = DiscountForCoverage(
-        estimator.EstimateLess(query.custkey_limit), custkey_stats);
+    plan.estimated_customers = estimator.EstimateLess(query.custkey_limit);
+    if (custkey_stats.IsWindowed()) {
+      plan.estimated_customers =
+          ScaleFromWindow(plan.estimated_customers, custkey_stats);
+    }
+    plan.estimated_customers =
+        DiscountForCoverage(plan.estimated_customers, custkey_stats);
   } else {
     plan.estimated_customers = std::min(
         static_cast<double>(customer->table->row_count()),

@@ -16,6 +16,7 @@ enum class StatsProvenance {
   kImplicit,          ///< full-quality data-path scan (every row seen)
   kImplicitPartial,   ///< data-path scan that lost pages/rows/bins
   kSamplingFallback,  ///< software rebuild from a host-side sample
+  kWindowed,          ///< sliding-window maintenance over recent ingest
 };
 
 inline const char* StatsProvenanceName(StatsProvenance provenance) {
@@ -26,6 +27,8 @@ inline const char* StatsProvenanceName(StatsProvenance provenance) {
       return "implicit-partial";
     case StatsProvenance::kSamplingFallback:
       return "sampling-fallback";
+    case StatsProvenance::kWindowed:
+      return "windowed";
   }
   return "?";
 }
@@ -78,6 +81,21 @@ struct ColumnStats {
   /// estimates by exactly this factor instead of guessing from raw
   /// coverage alone.
   double certified_rel_error = -1.0;
+  /// Window scope of kWindowed stats: the histogram describes only the
+  /// last `window_rows` ingested rows (0 = no row bound) and/or the rows
+  /// younger than `window_seconds` (0 = no age bound). Full-table stats
+  /// leave both at zero. The planner must treat windowed stats as a
+  /// description of the *recent* distribution: covered predicates are
+  /// estimated from the window and scaled to row_count; predicates
+  /// outside the window's observed domain fall back to defaults.
+  uint64_t window_rows = 0;
+  double window_seconds = 0;
+
+  /// True when the stats describe a sliding window rather than the whole
+  /// table (provenance kWindowed, scope in window_rows/window_seconds).
+  bool IsWindowed() const {
+    return provenance == StatsProvenance::kWindowed;
+  }
 
   /// Records one more independent degradation source. Every writer must
   /// come through here rather than assigning `coverage` directly: stats

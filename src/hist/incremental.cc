@@ -1,6 +1,7 @@
 #include "hist/incremental.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/macros.h"
 
@@ -10,6 +11,23 @@ IncrementalEquiDepth::IncrementalEquiDepth(Histogram histogram)
     : histogram_(std::move(histogram)) {
   DPHIST_CHECK_MSG(!histogram_.buckets.empty(),
                    "incremental maintenance needs at least one bucket");
+  built_front_lo_ = histogram_.buckets.front().lo;
+  built_back_hi_ = histogram_.buckets.back().hi;
+  rebuild_hysteresis_ = histogram_.buckets.size();
+}
+
+void IncrementalEquiDepth::Reset(Histogram histogram) {
+  DPHIST_CHECK_MSG(!histogram.buckets.empty(),
+                   "incremental maintenance needs at least one bucket");
+  histogram_ = std::move(histogram);
+  built_front_lo_ = histogram_.buckets.front().lo;
+  built_back_hi_ = histogram_.buckets.back().hi;
+  // A rebuild counts as the last signal: the next one must wait for the
+  // hysteresis floor of fresh inserts. Under steady drift this is what
+  // bounds the rebuild cadence globally — without it a rebuilt histogram
+  // re-trips the threshold almost immediately and "rebuild when drifted"
+  // decays into "rebuild per batch".
+  inserts_at_last_signal_ = inserts_;
 }
 
 size_t IncrementalEquiDepth::BucketFor(int64_t value) const {
@@ -55,6 +73,41 @@ void IncrementalEquiDepth::Delete(int64_t value) {
   // total_count to 2^64-1 and poison every depth/imbalance computation.
   if (histogram_.total_count > 0) --histogram_.total_count;
   ++deletes_;
+  if (bucket.count == 0) {
+    // The bucket represents no rows anymore: any stretch an out-of-range
+    // insert left on an edge bucket is now provably dead weight, so clamp
+    // the bounds back to the as-built domain and re-tighten min/max.
+    // Without this the planner's range selectivity stays permanently
+    // inflated after an extreme value churns away.
+    if (index == 0) {
+      bucket.lo = std::min(built_front_lo_, bucket.hi);
+    }
+    if (index == histogram_.buckets.size() - 1) {
+      bucket.hi = std::max(built_back_hi_, bucket.lo);
+    }
+    TightenBounds();
+  }
+}
+
+void IncrementalEquiDepth::TightenBounds() {
+  const Bucket* first = nullptr;
+  const Bucket* last = nullptr;
+  for (const Bucket& bucket : histogram_.buckets) {
+    if (bucket.count == 0) continue;
+    if (first == nullptr) first = &bucket;
+    last = &bucket;
+  }
+  if (first == nullptr) {
+    // Nothing represented: fall back to the as-built domain.
+    histogram_.min_value = built_front_lo_;
+    histogram_.max_value = built_back_hi_;
+    return;
+  }
+  // Bounds may only tighten here — an occupied edge bucket still carries
+  // its stretch (we cannot know whether the stretched extreme survives),
+  // and Insert remains the only place bounds widen.
+  histogram_.min_value = std::max(histogram_.min_value, first->lo);
+  histogram_.max_value = std::min(histogram_.max_value, last->hi);
 }
 
 double IncrementalEquiDepth::ImbalanceRatio() const {
@@ -62,14 +115,30 @@ double IncrementalEquiDepth::ImbalanceRatio() const {
   for (const auto& bucket : histogram_.buckets) {
     max_count = std::max(max_count, bucket.count);
   }
+  if (histogram_.total_count == 0) {
+    // Bucket counts with no total is the inconsistent-input state Delete
+    // guards against; reporting 1.0 ("perfectly balanced") here would
+    // mask a needed rebuild. A truly empty histogram is balanced.
+    return max_count > 0 ? std::numeric_limits<double>::infinity() : 1.0;
+  }
   double ideal = static_cast<double>(histogram_.total_count) /
                  static_cast<double>(histogram_.buckets.size());
-  if (ideal <= 0) return 1.0;
   return static_cast<double>(max_count) / ideal;
 }
 
-bool IncrementalEquiDepth::NeedsRebuild(double threshold) const {
-  return ImbalanceRatio() > threshold;
+bool IncrementalEquiDepth::NeedsRebuild(double threshold) {
+  if (!(ImbalanceRatio() > threshold)) return false;
+  // Hysteresis: one alarm per rebuild opportunity. Re-signalling on
+  // every insert while the caller has not rebuilt yet (a drifting domain
+  // keeps the stretched edge bucket over threshold indefinitely) would
+  // turn "rebuild when drifted" into "rebuild per row".
+  if (inserts_at_last_signal_ != std::numeric_limits<uint64_t>::max() &&
+      inserts_ - inserts_at_last_signal_ < rebuild_hysteresis_) {
+    return false;
+  }
+  inserts_at_last_signal_ = inserts_;
+  ++rebuild_signals_;
+  return true;
 }
 
 }  // namespace dphist::hist

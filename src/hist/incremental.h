@@ -24,30 +24,66 @@ class IncrementalEquiDepth {
   void Insert(int64_t value);
 
   /// Absorbs one deleted value; deletes of values outside any bucket are
-  /// ignored.
+  /// ignored. Draining an edge bucket to zero un-stretches its bounds
+  /// back to the as-built domain and re-tightens the histogram's
+  /// min/max to the non-empty extent, so the planner's range
+  /// selectivity recovers after an extreme value churns away.
   void Delete(int64_t value);
+
+  /// Replaces the maintained histogram with a freshly rebuilt one (the
+  /// full-rescan absorb) and clears the rebuild-signal latch, so the
+  /// hysteresis window restarts from the rebuilt state.
+  void Reset(Histogram histogram);
 
   /// Current (drifted) histogram.
   const Histogram& histogram() const { return histogram_; }
 
   /// Imbalance ratio: max bucket count / ideal equal share. 1.0 is
   /// perfectly balanced; engines trigger a rebuild past a threshold
-  /// (commonly ~2).
+  /// (commonly ~2). A histogram whose buckets carry counts while
+  /// total_count is zero (inconsistent caller input) reads as infinitely
+  /// imbalanced — that state needs a rebuild, not a clean bill.
   double ImbalanceRatio() const;
 
   /// True once the histogram drifted past `threshold` imbalance and a
-  /// full rebuild is warranted.
-  bool NeedsRebuild(double threshold = 2.0) const;
+  /// full rebuild is warranted. The signal latches: after returning true
+  /// it stays false until at least rebuild_hysteresis() further inserts
+  /// were absorbed (or Reset() installed a rebuilt histogram), so a
+  /// drifting value domain — where every out-of-range insert lands in
+  /// one stretched edge bucket — signals at a bounded cadence instead of
+  /// on every insert.
+  bool NeedsRebuild(double threshold = 2.0);
+
+  /// Minimum inserts absorbed between consecutive rebuild signals.
+  /// Defaults to the bucket count (one absorbed row per bucket before
+  /// the next alarm); 0 disables the hysteresis.
+  uint64_t rebuild_hysteresis() const { return rebuild_hysteresis_; }
+  void set_rebuild_hysteresis(uint64_t min_inserts) {
+    rebuild_hysteresis_ = min_inserts;
+  }
 
   uint64_t inserts_absorbed() const { return inserts_; }
   uint64_t deletes_absorbed() const { return deletes_; }
+  uint64_t rebuild_signals() const { return rebuild_signals_; }
 
  private:
   size_t BucketFor(int64_t value) const;
+  /// Recomputes histogram min/max from the non-empty bucket extent after
+  /// an edge bucket drained.
+  void TightenBounds();
 
   Histogram histogram_;
+  /// As-built bounds of the edge buckets, so a drained edge bucket can be
+  /// un-stretched to exactly the domain the histogram was built over.
+  int64_t built_front_lo_ = 0;
+  int64_t built_back_hi_ = 0;
   uint64_t inserts_ = 0;
   uint64_t deletes_ = 0;
+  uint64_t rebuild_hysteresis_ = 0;
+  uint64_t rebuild_signals_ = 0;
+  /// inserts_ at the moment of the last rebuild signal; UINT64_MAX means
+  /// no signal has fired since construction/Reset.
+  uint64_t inserts_at_last_signal_ = UINT64_MAX;
 };
 
 }  // namespace dphist::hist

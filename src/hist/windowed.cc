@@ -1,0 +1,109 @@
+#include "hist/windowed.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace dphist::hist {
+
+SlidingWindowCounts::SlidingWindowCounts(WindowBounds bounds,
+                                         int64_t min_value, int64_t max_value,
+                                         int64_t granularity)
+    : bounds_(bounds) {
+  DPHIST_CHECK_LE(min_value, max_value);
+  DPHIST_CHECK_GT(granularity, static_cast<int64_t>(0));
+  bins_.min_value = min_value;
+  bins_.max_value = max_value;
+  bins_.granularity = granularity;
+  const int64_t span = max_value - min_value;
+  bins_.counts.assign(static_cast<size_t>(span / granularity) + 1, 0);
+  // Size the ring for the row bound when one exists; a purely
+  // time-bounded (or unbounded) window grows on demand.
+  window_.Reserve(bounds_.rows != 0 ? bounds_.rows : 1024);
+}
+
+void SlidingWindowCounts::Insert(int64_t value, uint64_t now_nanos) {
+  DPHIST_CHECK_GE(now_nanos, last_stamp_);
+  last_stamp_ = now_nanos;
+  if (value < bins_.min_value || value > bins_.max_value) {
+    // Out of the bin domain: the device's Preprocessor would drop this
+    // row too, so it never enters the window.
+    ++dropped_;
+    AdvanceTo(now_nanos);
+    return;
+  }
+  window_.EnsureCapacity(window_.size() + 1);
+  window_.push_back(Entry{value, now_nanos});
+  ++bins_.counts[BinFor(value)];
+  ++live_;
+  AdvanceTo(now_nanos);
+  if (bounds_.rows != 0) {
+    while (live_ > bounds_.rows) PopFront();
+  }
+}
+
+bool SlidingWindowCounts::Delete(int64_t value) {
+  if (value < bins_.min_value || value > bins_.max_value) return false;
+  const size_t bin = BinFor(value);
+  if (bins_.counts[bin] == 0) return false;
+  // Occurrences of equal value are interchangeable for counts, so the
+  // delete takes effect on the aggregate immediately; the ring entry for
+  // the oldest matching occurrence is consumed lazily at eviction.
+  --bins_.counts[bin];
+  --live_;
+  ++tombstones_[value];
+  ++tombstone_rows_;
+  DrainDeadFront();
+  return true;
+}
+
+void SlidingWindowCounts::AdvanceTo(uint64_t now_nanos) {
+  last_stamp_ = std::max(last_stamp_, now_nanos);
+  if (bounds_.nanos != 0) {
+    while (!window_.empty() &&
+           now_nanos - window_.front().stamp >= bounds_.nanos) {
+      PopFront();
+    }
+  }
+  DrainDeadFront();
+}
+
+void SlidingWindowCounts::PopFront() {
+  const Entry entry = window_.front();
+  window_.pop_front();
+  auto it = tombstones_.find(entry.value);
+  if (it != tombstones_.end()) {
+    // This row was already deleted; its aggregate effect is long gone.
+    if (--it->second == 0) tombstones_.erase(it);
+    --tombstone_rows_;
+    return;
+  }
+  --bins_.counts[BinFor(entry.value)];
+  --live_;
+}
+
+void SlidingWindowCounts::DrainDeadFront() {
+  while (!window_.empty()) {
+    auto it = tombstones_.find(window_.front().value);
+    if (it == tombstones_.end()) return;
+    window_.pop_front();
+    if (--it->second == 0) tombstones_.erase(it);
+    --tombstone_rows_;
+  }
+}
+
+int64_t SlidingWindowCounts::observed_min() const {
+  for (size_t i = 0; i < bins_.counts.size(); ++i) {
+    if (bins_.counts[i] != 0) return bins_.BinLowValue(i);
+  }
+  return bins_.min_value;
+}
+
+int64_t SlidingWindowCounts::observed_max() const {
+  for (size_t i = bins_.counts.size(); i-- > 0;) {
+    if (bins_.counts[i] != 0) return bins_.BinHighValue(i);
+  }
+  return bins_.max_value;
+}
+
+}  // namespace dphist::hist

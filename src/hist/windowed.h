@@ -1,0 +1,160 @@
+#ifndef DPHIST_HIST_WINDOWED_H_
+#define DPHIST_HIST_WINDOWED_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/ring_buffer.h"
+#include "hist/merge.h"
+#include "hist/types.h"
+
+namespace dphist::hist {
+
+/// Sliding-window statistics for streaming ingest (DESIGN.md §14): the
+/// window admits the last N appended rows and/or the appends younger
+/// than T on an injectable timestamp stream, in the sorting-free
+/// Enthuse discipline — the window is a ring of (value, stamp) entries
+/// over one contiguous allocation, and the aggregate is a bank of
+/// per-bin counters updated O(1) per row, never a re-sort.
+///
+/// Snapshots derive their histograms through the exact same bin-space
+/// derivations the datapath and the cluster merge use
+/// (hist/merge.h::EquiDepthFromBinned / TopKFromBinned), so a window
+/// that happens to cover the whole table is bit-identical to a full
+/// datapath scan at any shard count — pinned by property test.
+
+/// How much history the window retains. Both bounds may be active at
+/// once; a row leaves the window as soon as either evicts it.
+struct WindowBounds {
+  uint64_t rows = 0;   ///< keep at most the last `rows` live rows (0 = all)
+  uint64_t nanos = 0;  ///< keep rows younger than `nanos` (0 = no age bound)
+
+  bool bounded() const { return rows != 0 || nanos != 0; }
+};
+
+/// The shared window core: a ring buffer of stamped values plus the
+/// binned (dense per-bin) counts over them, maintained incrementally.
+/// Deletes remove the *oldest* live occurrence of a value; an entry
+/// whose row was deleted before it aged out is skipped at eviction via a
+/// tombstone tally (occurrences of equal value are interchangeable for
+/// counts, so consuming tombstones front-first is exact).
+class SlidingWindowCounts {
+ public:
+  /// `min_value..max_value` is the bin domain (the scan request's domain
+  /// metadata); values outside it are dropped and counted, exactly as
+  /// the device's Preprocessor drops them.
+  SlidingWindowCounts(WindowBounds bounds, int64_t min_value,
+                      int64_t max_value, int64_t granularity = 1);
+
+  /// Appends one row stamped `now_nanos` (stamps must be monotonic) and
+  /// evicts whatever the bounds expire.
+  void Insert(int64_t value, uint64_t now_nanos);
+
+  /// Removes the oldest live in-window occurrence of `value`; false when
+  /// the window holds none (the row already aged out — nothing to do).
+  bool Delete(int64_t value);
+
+  /// Advances the window clock, evicting rows older than the age bound.
+  void AdvanceTo(uint64_t now_nanos);
+
+  /// The binned counts over the current window (granularity-aware, the
+  /// same shape shard merges use).
+  const BinnedCounts& bins() const { return bins_; }
+
+  uint64_t rows_in_window() const { return live_; }
+  uint64_t rows_dropped() const { return dropped_; }  ///< out of domain
+  const WindowBounds& bounds() const { return bounds_; }
+  uint64_t last_stamp_nanos() const { return last_stamp_; }
+
+  /// Observed value bounds of the current window (smallest/largest
+  /// non-empty bin range); valid only when rows_in_window() > 0.
+  int64_t observed_min() const;
+  int64_t observed_max() const;
+
+ private:
+  struct Entry {
+    int64_t value = 0;
+    uint64_t stamp = 0;
+  };
+
+  size_t BinFor(int64_t value) const {
+    return static_cast<size_t>((value - bins_.min_value) /
+                               bins_.granularity);
+  }
+  /// Pops the front ring entry, consuming a tombstone or a live row.
+  void PopFront();
+  /// Pops tombstoned rows sitting at the front so the ring cannot grow
+  /// unboundedly under append/delete churn.
+  void DrainDeadFront();
+
+  WindowBounds bounds_;
+  RingBuffer<Entry> window_;
+  BinnedCounts bins_;
+  /// Deleted-but-not-yet-evicted occurrences per value.
+  std::unordered_map<int64_t, uint64_t> tombstones_;
+  uint64_t live_ = 0;
+  uint64_t tombstone_rows_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t last_stamp_ = 0;
+};
+
+/// Equi-depth histogram over a sliding window. Snapshot() is
+/// EquiDepthFromBinned over the window's bins — identical semantics
+/// (never-split buckets, deterministic tie-breaking) to the full
+/// datapath scan's equi-depth product.
+class WindowedEquiDepth {
+ public:
+  WindowedEquiDepth(WindowBounds bounds, int64_t min_value,
+                    int64_t max_value, uint32_t num_buckets,
+                    int64_t granularity = 1)
+      : window_(bounds, min_value, max_value, granularity),
+        num_buckets_(num_buckets) {}
+
+  void Insert(int64_t value, uint64_t now_nanos) {
+    window_.Insert(value, now_nanos);
+  }
+  bool Delete(int64_t value) { return window_.Delete(value); }
+  void AdvanceTo(uint64_t now_nanos) { window_.AdvanceTo(now_nanos); }
+
+  Histogram Snapshot() const {
+    return EquiDepthFromBinned(window_.bins(), num_buckets_,
+                               window_.rows_in_window());
+  }
+
+  const SlidingWindowCounts& window() const { return window_; }
+  uint32_t num_buckets() const { return num_buckets_; }
+
+ private:
+  SlidingWindowCounts window_;
+  uint32_t num_buckets_;
+};
+
+/// Top-k heavy hitters over a sliding window, exact over the window's
+/// bins with the dense-reference tie-breaking (count desc, value asc).
+class WindowedTopK {
+ public:
+  WindowedTopK(WindowBounds bounds, int64_t min_value, int64_t max_value,
+               uint32_t k, int64_t granularity = 1)
+      : window_(bounds, min_value, max_value, granularity), k_(k) {}
+
+  void Insert(int64_t value, uint64_t now_nanos) {
+    window_.Insert(value, now_nanos);
+  }
+  bool Delete(int64_t value) { return window_.Delete(value); }
+  void AdvanceTo(uint64_t now_nanos) { window_.AdvanceTo(now_nanos); }
+
+  std::vector<ValueCount> Snapshot() const {
+    return TopKFromBinned(window_.bins(), k_);
+  }
+
+  const SlidingWindowCounts& window() const { return window_; }
+  uint32_t k() const { return k_; }
+
+ private:
+  SlidingWindowCounts window_;
+  uint32_t k_;
+};
+
+}  // namespace dphist::hist
+
+#endif  // DPHIST_HIST_WINDOWED_H_

@@ -1,0 +1,127 @@
+#include "ingest/maintainer.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "hist/merge.h"
+
+namespace dphist::ingest {
+
+IncrementalMaintainer::IncrementalMaintainer(db::ColumnStats initial,
+                                             double threshold,
+                                             uint64_t rebuild_hysteresis)
+    : base_(std::move(initial)),
+      inc_(base_.histogram),
+      threshold_(threshold) {
+  DPHIST_CHECK_MSG(base_.valid, "seed stats must come from a real scan");
+  if (rebuild_hysteresis != 0) {
+    inc_.set_rebuild_hysteresis(rebuild_hysteresis);
+  }
+}
+
+void IncrementalMaintainer::Absorb(const IngestOp& op) {
+  if (op.kind == OpKind::kAppend) {
+    inc_.Insert(op.value);
+  } else {
+    inc_.Delete(op.value);
+  }
+  ++ops_absorbed_;
+  if (!wants_rescan_ && inc_.NeedsRebuild(threshold_)) {
+    wants_rescan_ = true;
+  }
+}
+
+void IncrementalMaintainer::AbsorbRescan(const db::ColumnStats& fresh) {
+  base_ = fresh;
+  inc_.Reset(base_.histogram);
+  wants_rescan_ = false;
+  ++rescans_absorbed_;
+}
+
+db::ColumnStats IncrementalMaintainer::Snapshot(uint64_t live_rows) const {
+  // The absorbed histogram replaces the built one; MCVs and NDV keep
+  // their last-scan values (absorb-in-place cannot maintain them), which
+  // is exactly the staleness the strategy trades for cheap upkeep.
+  db::ColumnStats stats = base_;
+  stats.histogram = inc_.histogram();
+  stats.min_value = stats.histogram.min_value;
+  stats.max_value = stats.histogram.max_value;
+  stats.row_count = live_rows;
+  return stats;
+}
+
+WindowedMaintainer::WindowedMaintainer(hist::WindowBounds bounds,
+                                       int64_t min_value, int64_t max_value,
+                                       uint32_t num_buckets, uint32_t top_k,
+                                       int64_t granularity)
+    : window_(bounds, min_value, max_value, granularity),
+      num_buckets_(num_buckets),
+      top_k_(top_k) {}
+
+void WindowedMaintainer::Absorb(const IngestOp& op) {
+  if (op.kind == OpKind::kAppend) {
+    window_.Insert(op.value, op.at_nanos);
+  } else {
+    window_.Delete(op.value);
+  }
+  ++ops_absorbed_;
+}
+
+void WindowedMaintainer::AdvanceTo(uint64_t now_nanos) {
+  window_.AdvanceTo(now_nanos);
+}
+
+db::ColumnStats WindowedMaintainer::Snapshot(uint64_t live_rows) const {
+  db::ColumnStats stats;
+  stats.valid = true;
+  const uint64_t window_rows = window_.rows_in_window();
+  stats.histogram =
+      hist::EquiDepthFromBinned(window_.bins(), num_buckets_, window_rows);
+  stats.top_k = hist::TopKFromBinned(window_.bins(), top_k_);
+  stats.row_count = live_rows;
+  stats.ndv = window_.bins().NonZeroBins();
+  if (window_rows > 0) {
+    // The histogram's own bounds are the request domain; the planner's
+    // window gating keys off the *observed* domain, so stamp that.
+    stats.min_value = window_.observed_min();
+    stats.max_value = window_.observed_max();
+    stats.histogram.min_value = stats.min_value;
+    stats.histogram.max_value = stats.max_value;
+  } else {
+    stats.min_value = window_.bins().min_value;
+    stats.max_value = window_.bins().max_value;
+  }
+  stats.provenance = db::StatsProvenance::kWindowed;
+  stats.window_rows = window_.bounds().rows;
+  stats.window_seconds =
+      static_cast<double>(window_.bounds().nanos) * 1e-9;
+  return stats;
+}
+
+PeriodicRescanMaintainer::PeriodicRescanMaintainer(db::ColumnStats initial,
+                                                   uint64_t rescan_every_ops)
+    : stats_(std::move(initial)), rescan_every_ops_(rescan_every_ops) {
+  DPHIST_CHECK_MSG(stats_.valid, "seed stats must come from a real scan");
+  DPHIST_CHECK_GT(rescan_every_ops_, 0u);
+}
+
+void PeriodicRescanMaintainer::Absorb(const IngestOp& op) {
+  (void)op;
+  ++ops_absorbed_;
+  ++ops_since_rescan_;
+}
+
+void PeriodicRescanMaintainer::AbsorbRescan(const db::ColumnStats& fresh) {
+  stats_ = fresh;
+  ops_since_rescan_ = 0;
+  ++rescans_absorbed_;
+}
+
+db::ColumnStats PeriodicRescanMaintainer::Snapshot(uint64_t live_rows) const {
+  // Deliberately stale: everything is as of the last rescan, including
+  // row_count — the strategy's whole cost/staleness trade.
+  (void)live_rows;
+  return stats_;
+}
+
+}  // namespace dphist::ingest

@@ -1,0 +1,141 @@
+#ifndef DPHIST_INGEST_MAINTAINER_H_
+#define DPHIST_INGEST_MAINTAINER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "db/stats.h"
+#include "hist/incremental.h"
+#include "hist/windowed.h"
+#include "ingest/stream.h"
+
+namespace dphist::ingest {
+
+/// One statistics-maintenance strategy under churn. The pipeline streams
+/// every applied op through every registered maintainer; a maintainer
+/// may additionally ask for a full datapath rescan (the paper's
+/// free-side-effect scan), which the pipeline serves by rematerializing
+/// the table and running it through the accelerator. The three
+/// implementations below are the strategy comparison of DESIGN.md §14:
+///
+///   - IncrementalMaintainer: absorb-in-place into the built equi-depth
+///     histogram; cheap per op, degrades as the distribution moves, and
+///     asks for a rescan when the imbalance threshold trips.
+///   - WindowedMaintainer: sliding-window bins (last-N rows / last-T
+///     seconds); cheap per op, tracks drift by construction, describes
+///     only the window (stamped kWindowed for the planner's gating).
+///   - PeriodicRescanMaintainer: no per-op state at all; asks for a full
+///     rescan every K ops and is exactly as stale as its cadence.
+class StatsMaintainer {
+ public:
+  virtual ~StatsMaintainer() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Absorbs one op the table has already applied.
+  virtual void Absorb(const IngestOp& op) = 0;
+
+  /// Advances the maintainer's notion of now (windowed strategies evict
+  /// aged rows even when no op arrives).
+  virtual void AdvanceTo(uint64_t now_nanos) { (void)now_nanos; }
+
+  /// True when the strategy wants the pipeline to run a full datapath
+  /// rescan on its behalf.
+  virtual bool WantsRescan() const { return false; }
+
+  /// A full rescan completed; `fresh` is the full-table stats the scan
+  /// side effect produced.
+  virtual void AbsorbRescan(const db::ColumnStats& fresh) { (void)fresh; }
+
+  /// The stats this strategy would install right now. `live_rows` is the
+  /// table's current live row count (maintainers that track only a
+  /// window or a stale build use it to stamp row_count honestly).
+  virtual db::ColumnStats Snapshot(uint64_t live_rows) const = 0;
+
+  uint64_t ops_absorbed() const { return ops_absorbed_; }
+  uint64_t rescans_absorbed() const { return rescans_absorbed_; }
+
+ protected:
+  uint64_t ops_absorbed_ = 0;
+  uint64_t rescans_absorbed_ = 0;
+};
+
+/// Absorb-in-place maintenance of the built equi-depth histogram
+/// (hist::IncrementalEquiDepth), seeded from the initial full-scan
+/// stats. Requests a rescan when the imbalance ratio trips `threshold`
+/// (with the histogram's signal hysteresis bounding the cadence).
+class IncrementalMaintainer : public StatsMaintainer {
+ public:
+  /// `initial` must carry a valid histogram with at least one bucket.
+  /// `rebuild_hysteresis` = 0 keeps the histogram's default (its bucket
+  /// count).
+  IncrementalMaintainer(db::ColumnStats initial, double threshold = 2.0,
+                        uint64_t rebuild_hysteresis = 0);
+
+  const char* name() const override { return "incremental"; }
+  void Absorb(const IngestOp& op) override;
+  bool WantsRescan() const override { return wants_rescan_; }
+  void AbsorbRescan(const db::ColumnStats& fresh) override;
+  db::ColumnStats Snapshot(uint64_t live_rows) const override;
+
+  const hist::IncrementalEquiDepth& incremental() const { return inc_; }
+
+ private:
+  db::ColumnStats base_;
+  hist::IncrementalEquiDepth inc_;
+  double threshold_;
+  bool wants_rescan_ = false;
+};
+
+/// Sliding-window maintenance: equi-depth and top-k derived from binned
+/// counts over the last-N-rows / last-T-nanos window. Never asks for a
+/// rescan — the window is self-maintaining — and stamps its snapshots
+/// kWindowed with the window scope, so the planner only trusts them for
+/// predicates the window's observed domain covers.
+class WindowedMaintainer : public StatsMaintainer {
+ public:
+  WindowedMaintainer(hist::WindowBounds bounds, int64_t min_value,
+                     int64_t max_value, uint32_t num_buckets, uint32_t top_k,
+                     int64_t granularity = 1);
+
+  const char* name() const override { return "windowed"; }
+  void Absorb(const IngestOp& op) override;
+  void AdvanceTo(uint64_t now_nanos) override;
+  db::ColumnStats Snapshot(uint64_t live_rows) const override;
+
+  const hist::SlidingWindowCounts& window() const { return window_; }
+
+ private:
+  hist::SlidingWindowCounts window_;
+  uint32_t num_buckets_;
+  uint32_t top_k_;
+};
+
+/// Full periodic refresh: carries the last full-scan stats verbatim and
+/// asks the pipeline for a rescan every `rescan_every_ops` absorbed ops.
+/// Between rescans the stats are exactly as stale as the cadence — the
+/// baseline every smarter strategy is compared against.
+class PeriodicRescanMaintainer : public StatsMaintainer {
+ public:
+  PeriodicRescanMaintainer(db::ColumnStats initial,
+                           uint64_t rescan_every_ops);
+
+  const char* name() const override { return "periodic-rescan"; }
+  void Absorb(const IngestOp& op) override;
+  bool WantsRescan() const override {
+    return ops_since_rescan_ >= rescan_every_ops_;
+  }
+  void AbsorbRescan(const db::ColumnStats& fresh) override;
+  db::ColumnStats Snapshot(uint64_t live_rows) const override;
+
+  uint64_t ops_since_rescan() const { return ops_since_rescan_; }
+
+ private:
+  db::ColumnStats stats_;
+  uint64_t rescan_every_ops_;
+  uint64_t ops_since_rescan_ = 0;
+};
+
+}  // namespace dphist::ingest
+
+#endif  // DPHIST_INGEST_MAINTAINER_H_

@@ -1,0 +1,153 @@
+#include "ingest/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "db/datapath.h"
+#include "workload/distributions.h"
+
+namespace dphist::ingest {
+
+IngestPipeline::IngestPipeline(db::Catalog* catalog, accel::Device* device,
+                               std::string table, PipelineOptions options)
+    : catalog_(catalog),
+      device_(device),
+      table_(std::move(table)),
+      options_(std::move(options)) {
+  options_.request.column_index = 0;
+  // Rescan stats must carry a pure equi-depth histogram (the compressed
+  // variant would otherwise become stats.histogram, which the
+  // incremental maintainer cannot absorb into).
+  options_.request.want_compressed = false;
+  options_.request.want_max_diff = false;
+}
+
+std::vector<int64_t> IngestPipeline::MaterializeColumn() const {
+  std::vector<int64_t> column;
+  column.reserve(live_rows_);
+  for (const auto& [value, count] : live_) {
+    column.insert(column.end(), count, value);
+  }
+  return column;
+}
+
+Status IngestPipeline::Load(const std::vector<int64_t>& initial_values) {
+  DPHIST_CHECK(!loaded_);
+  for (int64_t value : initial_values) {
+    ++live_[value];
+    ++live_rows_;
+  }
+  catalog_->AddTable(table_,
+                     workload::ColumnToTable(MaterializeColumn(),
+                                             options_.num_columns,
+                                             options_.table_seed));
+  loaded_ = true;
+  db::DataPathScanner scanner(catalog_, device_);
+  DPHIST_ASSIGN_OR_RETURN(
+      auto report,
+      scanner.ScanAndRefresh(table_, 0, options_.request, options_.engine));
+  (void)report;
+  return Status::OK();
+}
+
+StatsMaintainer* IngestPipeline::AddMaintainer(
+    std::unique_ptr<StatsMaintainer> maintainer) {
+  maintainers_.push_back(std::move(maintainer));
+  return maintainers_.back().get();
+}
+
+Status IngestPipeline::ApplyBatch(std::span<const IngestOp> ops) {
+  DPHIST_CHECK(loaded_);
+  if (ops.empty()) return Status::OK();
+
+  // 1. Apply the churn to the live rows.
+  for (const IngestOp& op : ops) {
+    if (op.kind == OpKind::kAppend) {
+      ++live_[op.value];
+      ++live_rows_;
+      ++counters_.appends;
+    } else {
+      auto it = live_.find(op.value);
+      if (it != live_.end()) {
+        if (--it->second == 0) live_.erase(it);
+        --live_rows_;
+        ++counters_.deletes;
+      }
+    }
+    last_op_nanos_ = std::max(last_op_nanos_, op.at_nanos);
+  }
+
+  // 2. One logical update per batch: bump the data version before any
+  // stats install, so stats built below are stamped at the post-churn
+  // version and every version-checking cache observes the batch.
+  if (on_ingest) {
+    on_ingest(table_);
+  } else {
+    DPHIST_RETURN_NOT_OK(catalog_->BumpDataVersion(table_));
+  }
+  ++counters_.version_bumps;
+
+  // 3. Every strategy absorbs every op, then catches up to the batch
+  // clock (aging windowed rows out even on an append-free batch).
+  for (auto& maintainer : maintainers_) {
+    for (const IngestOp& op : ops) maintainer->Absorb(op);
+    maintainer->AdvanceTo(last_op_nanos_);
+  }
+
+  // 4. Serve rescan requests (one materialize+scan feeds every strategy
+  // that asked).
+  std::vector<StatsMaintainer*> wanting;
+  for (auto& maintainer : maintainers_) {
+    if (maintainer->WantsRescan()) wanting.push_back(maintainer.get());
+  }
+  if (!wanting.empty()) {
+    DPHIST_RETURN_NOT_OK(Rescan(wanting));
+  }
+
+  // 5. Install the active strategy's view as the column's catalog stats.
+  if (!maintainers_.empty()) {
+    DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
+        table_, 0, maintainers_.front()->Snapshot(live_rows_)));
+  }
+  ++counters_.batches;
+  return Status::OK();
+}
+
+Status IngestPipeline::Rescan(std::span<StatsMaintainer* const> absorbers) {
+  DPHIST_CHECK(loaded_);
+  DPHIST_ASSIGN_OR_RETURN(
+      auto table,
+      catalog_->ReplaceTableData(
+          table_, workload::ColumnToTable(MaterializeColumn(),
+                                          options_.num_columns,
+                                          options_.table_seed)));
+  (void)table;
+  db::DataPathScanner scanner(catalog_, device_);
+  DPHIST_ASSIGN_OR_RETURN(
+      auto report,
+      scanner.ScanAndRefresh(table_, 0, options_.request, options_.engine));
+  DPHIST_ASSIGN_OR_RETURN(const db::ColumnStats* fresh,
+                          catalog_->GetColumnStats(table_, 0));
+  if (absorbers.empty()) {
+    for (auto& maintainer : maintainers_) maintainer->AbsorbRescan(*fresh);
+  } else {
+    for (StatsMaintainer* maintainer : absorbers) {
+      maintainer->AbsorbRescan(*fresh);
+    }
+  }
+  ++counters_.rescans;
+  counters_.rescan_rows += report.rows;
+  return Status::OK();
+}
+
+uint64_t IngestPipeline::ExactRangeCount(int64_t lo, int64_t hi) const {
+  uint64_t rows = 0;
+  for (auto it = live_.lower_bound(lo);
+       it != live_.end() && it->first <= hi; ++it) {
+    rows += it->second;
+  }
+  return rows;
+}
+
+}  // namespace dphist::ingest

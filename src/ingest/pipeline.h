@@ -1,0 +1,122 @@
+#ifndef DPHIST_INGEST_PIPELINE_H_
+#define DPHIST_INGEST_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "accel/device.h"
+#include "common/result.h"
+#include "db/catalog.h"
+#include "ingest/maintainer.h"
+#include "ingest/stream.h"
+
+namespace dphist::ingest {
+
+struct PipelineOptions {
+  /// Domain metadata for the maintained column (min/max/granularity/
+  /// buckets/top_k). The pipeline forces want_compressed and want_max_diff
+  /// off so rescan stats carry a pure equi-depth histogram — the shape
+  /// IncrementalMaintainer absorbs in place.
+  accel::ScanRequest request;
+  /// Engine for rescans. Functional by default: ingest experiments churn
+  /// through many rescans and need bit-identical stats, not cycle timing.
+  accel::EngineMode engine = accel::EngineMode::kFunctional;
+  /// Table width for the materialized table (column 0 is the maintained
+  /// column; the rest are filler, as in the synthetic workloads).
+  uint32_t num_columns = 4;
+  uint64_t table_seed = 1;
+};
+
+/// Per-pipeline ingest/rescan counters.
+struct PipelineCounters {
+  uint64_t batches = 0;
+  uint64_t appends = 0;
+  uint64_t deletes = 0;
+  uint64_t rescans = 0;
+  uint64_t rescan_rows = 0;  ///< rows streamed through rescan scans
+  uint64_t version_bumps = 0;
+};
+
+/// The streaming-ingest datapath (DESIGN.md §14): applies append/delete
+/// batches to a catalog-registered table, keeps every registered
+/// maintenance strategy current, and installs the active strategy's
+/// snapshot as the column's catalog stats. Each applied batch bumps the
+/// table's data version *before* stats are installed, so installed
+/// snapshots are stamped fresh and any consumer caching by version
+/// (svc::StatsService) observes the churn; wire `on_ingest` to the
+/// service's NotifyIngest to make that bump atomic with its cache.
+///
+/// The maintained column is column 0 of the materialized table. Live
+/// rows are tracked as a value -> multiplicity map; a rescan
+/// rematerializes the table from it (sorted by value, deterministic) and
+/// runs the real accelerator datapath over it, so rescan stats are the
+/// genuine scan side effect, not a shortcut.
+class IngestPipeline {
+ public:
+  /// Neither pointer is owned. `table` must not be registered yet; Load
+  /// registers it.
+  IngestPipeline(db::Catalog* catalog, accel::Device* device,
+                 std::string table, PipelineOptions options);
+
+  /// Registers the table from the initial column values and runs the
+  /// seed datapath scan, installing full-table stats.
+  Status Load(const std::vector<int64_t>& initial_values);
+
+  /// Registers a strategy. The first registered maintainer is the active
+  /// one — its snapshot is what ApplyBatch installs in the catalog.
+  StatsMaintainer* AddMaintainer(std::unique_ptr<StatsMaintainer> maintainer);
+
+  /// Applies one churn batch end to end: live rows updated, data version
+  /// bumped once (through `on_ingest` when set), every maintainer fed
+  /// every op, rescans served for strategies that want one, and the
+  /// active maintainer's snapshot installed.
+  Status ApplyBatch(std::span<const IngestOp> ops);
+
+  /// Rematerializes the table from the live rows and runs a full
+  /// datapath scan; strategies in `absorbers` (all registered ones when
+  /// empty) absorb the fresh stats.
+  Status Rescan(std::span<StatsMaintainer* const> absorbers = {});
+
+  /// Exact count of live rows holding values in [lo, hi] — ground truth
+  /// for estimator-error measurements.
+  uint64_t ExactRangeCount(int64_t lo, int64_t hi) const;
+
+  uint64_t live_rows() const { return live_rows_; }
+  const std::string& table() const { return table_; }
+  const PipelineCounters& counters() const { return counters_; }
+  const PipelineOptions& options() const { return options_; }
+  StatsMaintainer* active() const {
+    return maintainers_.empty() ? nullptr : maintainers_.front().get();
+  }
+
+  /// Called once per applied batch with the table name, *instead of* the
+  /// pipeline's own catalog version bump. Wire this to
+  /// svc::StatsService::NotifyIngest so the bump also invalidates the
+  /// service's result cache under its catalog lock.
+  std::function<void(const std::string&)> on_ingest;
+
+ private:
+  std::vector<int64_t> MaterializeColumn() const;
+
+  db::Catalog* catalog_;
+  accel::Device* device_;
+  std::string table_;
+  PipelineOptions options_;
+  bool loaded_ = false;
+  /// value -> live multiplicity.
+  std::map<int64_t, uint64_t> live_;
+  uint64_t live_rows_ = 0;
+  uint64_t last_op_nanos_ = 0;
+  std::vector<std::unique_ptr<StatsMaintainer>> maintainers_;
+  PipelineCounters counters_;
+};
+
+}  // namespace dphist::ingest
+
+#endif  // DPHIST_INGEST_PIPELINE_H_

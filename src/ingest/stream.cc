@@ -1,0 +1,87 @@
+#include "ingest/stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace dphist::ingest {
+
+const char* ChurnProfileName(ChurnProfile profile) {
+  switch (profile) {
+    case ChurnProfile::kUniform:
+      return "uniform";
+    case ChurnProfile::kZipfHotKey:
+      return "zipf-hot-key";
+    case ChurnProfile::kDriftingRange:
+      return "drifting-range";
+  }
+  return "?";
+}
+
+StreamGenerator::StreamGenerator(StreamOptions options)
+    : options_(options),
+      rng_(options.seed),
+      zipf_(static_cast<uint64_t>(
+                std::max<int64_t>(1, options.domain_hi - options.domain_lo + 1)),
+            options.zipf_s) {
+  DPHIST_CHECK_LE(options_.domain_lo, options_.domain_hi);
+  DPHIST_CHECK_GT(options_.ops_per_second, 0.0);
+}
+
+void StreamGenerator::SeedLiveRows(const std::vector<int64_t>& values) {
+  live_.insert(live_.end(), values.begin(), values.end());
+}
+
+int64_t StreamGenerator::DrawValue() {
+  switch (options_.profile) {
+    case ChurnProfile::kUniform:
+      return rng_.NextInRange(options_.domain_lo, options_.domain_hi);
+    case ChurnProfile::kZipfHotKey:
+      return options_.domain_lo - 1 +
+             static_cast<int64_t>(zipf_.Sample(&rng_));
+    case ChurnProfile::kDriftingRange: {
+      const int64_t lo =
+          options_.domain_lo + static_cast<int64_t>(std::floor(drift_));
+      const int64_t value =
+          rng_.NextInRange(lo, lo + std::max<int64_t>(1, options_.drift_span) - 1);
+      drift_ += options_.drift_per_op;
+      return value;
+    }
+  }
+  return options_.domain_lo;
+}
+
+IngestOp StreamGenerator::Next() {
+  // Poisson arrivals: exponential inter-arrival times at the configured
+  // rate, on the simulated clock.
+  const double u = std::max(1e-12, 1.0 - rng_.NextDouble());
+  const double gap_seconds = -std::log(u) / options_.ops_per_second;
+  now_nanos_ += std::max<uint64_t>(1, static_cast<uint64_t>(gap_seconds * 1e9));
+
+  IngestOp op;
+  op.at_nanos = now_nanos_;
+  if (!live_.empty() && rng_.NextBernoulli(options_.delete_fraction)) {
+    op.kind = OpKind::kDelete;
+    const size_t index = static_cast<size_t>(rng_.NextBounded(live_.size()));
+    op.value = live_[index];
+    live_[index] = live_.back();
+    live_.pop_back();
+    ++deletes_;
+  } else {
+    op.kind = OpKind::kAppend;
+    op.value = DrawValue();
+    live_.push_back(op.value);
+    ++appends_;
+  }
+  return op;
+}
+
+std::vector<IngestOp> StreamGenerator::Batch(size_t n) {
+  std::vector<IngestOp> ops;
+  ops.reserve(n);
+  for (size_t i = 0; i < n; ++i) ops.push_back(Next());
+  return ops;
+}
+
+}  // namespace dphist::ingest

@@ -1,0 +1,103 @@
+#ifndef DPHIST_INGEST_STREAM_H_
+#define DPHIST_INGEST_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace dphist::ingest {
+
+/// Seeded append/delete stream generator for the streaming-ingest
+/// experiments (DESIGN.md §14): a churn source whose value distribution
+/// either holds still (uniform), concentrates on a sticky hot set
+/// (Zipf), or slides across the domain (drifting range — the profile
+/// that invalidates absorb-in-place maintenance fastest). Arrivals are
+/// an open-loop Poisson process on a simulated nanosecond clock, and
+/// everything is drawn from one seeded RNG, so a churn experiment
+/// replays bit-identically.
+
+enum class ChurnProfile {
+  kUniform,        ///< stationary uniform over [domain_lo, domain_hi]
+  kZipfHotKey,     ///< stationary Zipf over the domain (hot keys churn)
+  kDriftingRange,  ///< uniform over a window that slides up the domain
+};
+
+const char* ChurnProfileName(ChurnProfile profile);
+
+enum class OpKind {
+  kAppend,
+  kDelete,
+};
+
+/// One ingest operation: append `value`, or delete one live row holding
+/// `value` (delete targets are drawn from the generator's own live set,
+/// so every delete names a row that actually exists).
+struct IngestOp {
+  OpKind kind = OpKind::kAppend;
+  int64_t value = 0;
+  uint64_t at_nanos = 0;  ///< simulated arrival time (monotonic)
+};
+
+struct StreamOptions {
+  uint64_t seed = 42;
+  ChurnProfile profile = ChurnProfile::kUniform;
+  /// Probability that an op is a delete (when live rows exist to
+  /// delete); the rest are appends.
+  double delete_fraction = 0.2;
+  int64_t domain_lo = 1;
+  int64_t domain_hi = 100000;
+  /// Zipf exponent for kZipfHotKey.
+  double zipf_s = 1.0;
+  /// kDriftingRange: appends are uniform over
+  /// [lo + floor(drift), lo + floor(drift) + drift_span - 1], and drift
+  /// advances by drift_per_op after every append. The window slides off
+  /// the initial domain — exactly the regime where a built histogram's
+  /// edge bucket absorbs everything.
+  int64_t drift_span = 1000;
+  double drift_per_op = 0.05;
+  /// Open-loop Poisson arrival rate (ops/second of simulated time).
+  double ops_per_second = 100000.0;
+};
+
+class StreamGenerator {
+ public:
+  explicit StreamGenerator(StreamOptions options);
+
+  /// Draws the next op, advancing the simulated arrival clock.
+  IngestOp Next();
+
+  /// Draws a batch of n ops.
+  std::vector<IngestOp> Batch(size_t n);
+
+  /// Seeds the generator's live set with rows that already exist in the
+  /// table (so early deletes can target the initial table load, not just
+  /// rows the stream itself appended).
+  void SeedLiveRows(const std::vector<int64_t>& values);
+
+  const StreamOptions& options() const { return options_; }
+  uint64_t appends() const { return appends_; }
+  uint64_t deletes() const { return deletes_; }
+  uint64_t live_rows() const { return live_.size(); }
+  uint64_t now_nanos() const { return now_nanos_; }
+
+ private:
+  int64_t DrawValue();
+
+  StreamOptions options_;
+  Rng rng_;
+  ZipfGenerator zipf_;
+  /// Values currently alive (initial load + appends - deletes). Delete
+  /// targets are drawn uniformly from here with swap-remove, so the
+  /// delete distribution follows the live population.
+  std::vector<int64_t> live_;
+  double drift_ = 0;
+  uint64_t now_nanos_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t deletes_ = 0;
+};
+
+}  // namespace dphist::ingest
+
+#endif  // DPHIST_INGEST_STREAM_H_

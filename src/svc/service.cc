@@ -8,6 +8,7 @@
 
 #include "accel/scan_engine.h"
 #include "common/logging.h"
+#include "common/macros.h"
 #include "db/datapath.h"
 #include "hist/merge.h"
 #include "obs/metrics.h"
@@ -258,6 +259,36 @@ void StatsService::InvalidateTable(const std::string& table) {
       ++it;
     }
   }
+}
+
+uint64_t StatsService::NotifyIngest(const std::string& table) {
+  uint64_t version = 0;
+  {
+    // The version bump and any concurrent Submit's freshness check are
+    // both under catalog_mu_: once we release it, every later cache
+    // validation sees the post-ingest version, so a pre-churn cached
+    // result can never pass as fresh again.
+    std::lock_guard<std::mutex> lock(catalog_mu_);
+    if (!catalog_->BumpDataVersion(table).ok()) return 0;
+    auto entry = catalog_->Find(table);
+    DPHIST_CHECK(entry.ok());
+    version = (*entry)->data_version;
+  }
+  InvalidateTable(table);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.ingest_notified;
+  }
+  return version;
+}
+
+Result<Ticket> StatsService::RefreshOnIngest(const StatsRequest& request) {
+  if (NotifyIngest(request.table) == 0) {
+    return Status::NotFound("table '" + request.table + "'");
+  }
+  StatsRequest refresh = request;
+  refresh.kind = RequestKind::kRefresh;
+  return Submit(refresh);
 }
 
 Result<Ticket> StatsService::Submit(const StatsRequest& request) {

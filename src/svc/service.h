@@ -214,6 +214,7 @@ struct ServiceCounters {
   uint64_t high_served = 0;      ///< dequeues from the high queue
   uint64_t normal_served = 0;    ///< dequeues from the normal queue
   uint64_t priority_yields = 0;  ///< normal dequeues forced by the yield
+  uint64_t ingest_notified = 0;  ///< NotifyIngest calls that bumped a table
   std::vector<uint64_t> ladder_occupancy;
 };
 
@@ -289,6 +290,21 @@ class StatsService {
   /// Drops every cached result for `table` (call after ingest; version
   /// bumps also invalidate lazily at lookup time).
   void InvalidateTable(const std::string& table);
+
+  /// Refresh-on-ingest entry point: records that `table`'s data changed
+  /// by bumping its catalog data version (under the service's catalog
+  /// lock, so no concurrent Submit can read the old version after the
+  /// bump) and dropping its cached results. Every response served
+  /// afterwards is rebuilt at (or re-validated against) the new version —
+  /// the cache can never serve pre-ingest stats. Returns the new data
+  /// version, or 0 when the table is unknown.
+  uint64_t NotifyIngest(const std::string& table);
+
+  /// NotifyIngest + a kRefresh submit for the churned column, so the
+  /// freshly absorbed data is rescanned as soon as the queue allows.
+  /// The returned Ticket's response carries stats stamped at the
+  /// post-ingest version.
+  Result<Ticket> RefreshOnIngest(const StatsRequest& request);
 
   ServiceCounters counters() const;
   size_t queue_depth() const;

@@ -28,6 +28,22 @@ std::vector<int64_t> ZipfColumn(uint64_t rows, uint64_t cardinality, double s,
   return column;
 }
 
+std::vector<int64_t> DriftingRangeColumn(uint64_t rows, int64_t lo,
+                                         int64_t span, double drift_per_row,
+                                         uint64_t seed) {
+  DPHIST_CHECK_GT(span, static_cast<int64_t>(0));
+  Rng rng(seed);
+  std::vector<int64_t> column;
+  column.reserve(rows);
+  double drift = 0;
+  for (uint64_t i = 0; i < rows; ++i) {
+    const int64_t base = lo + static_cast<int64_t>(drift);
+    column.push_back(rng.NextInRange(base, base + span - 1));
+    drift += drift_per_row;
+  }
+  return column;
+}
+
 std::vector<int64_t> CacheAdversarialColumn(uint64_t rows,
                                             uint64_t cardinality,
                                             uint64_t line_span) {

@@ -21,6 +21,15 @@ std::vector<int64_t> UniformColumn(uint64_t rows, int64_t lo, int64_t hi,
 std::vector<int64_t> ZipfColumn(uint64_t rows, uint64_t cardinality, double s,
                                 uint64_t seed);
 
+/// A non-stationary column: row i is uniform over
+/// [lo + floor(i * drift_per_row), ... + span - 1], so the value range
+/// slides up the domain as the column grows. The streaming-ingest
+/// experiments use it as the distribution absorb-in-place maintenance
+/// handles worst (every new row lands past the built histogram's edge).
+std::vector<int64_t> DriftingRangeColumn(uint64_t rows, int64_t lo,
+                                         int64_t span, double drift_per_row,
+                                         uint64_t seed);
+
 /// A worst-case stream for the Binner cache: consecutive values always map
 /// to different, non-adjacent memory lines (values stride by two lines
 /// plus one bin), so no access ever hits the cache or an open DRAM row.

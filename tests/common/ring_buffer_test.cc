@@ -66,6 +66,36 @@ TEST(RingBufferTest, ClearKeepsCapacity) {
   EXPECT_EQ(ring.front(), "after");
 }
 
+TEST(RingBufferTest, EnsureCapacityGrowsNonEmptyRingPreservingOrder) {
+  RingBuffer<int> ring;
+  ring.Reserve(4);
+  for (int i = 0; i < 4; ++i) ring.push_back(i);
+  // Wrap the head so the grow path must linearize a split ring.
+  ring.pop_front();
+  ring.pop_front();
+  ring.push_back(4);
+  ring.push_back(5);
+  ASSERT_EQ(ring.size(), 4u);
+  ring.EnsureCapacity(9);
+  EXPECT_GE(ring.capacity(), 9u);
+  EXPECT_EQ(ring.size(), 4u);
+  for (int expected : {2, 3, 4, 5}) {
+    EXPECT_EQ(ring.front(), expected);
+    ring.pop_front();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBufferTest, EnsureCapacityIsANoOpWhenLargeEnough) {
+  RingBuffer<int> ring;
+  ring.Reserve(8);
+  ring.push_back(7);
+  const size_t cap = ring.capacity();
+  ring.EnsureCapacity(3);
+  EXPECT_EQ(ring.capacity(), cap);
+  EXPECT_EQ(ring.front(), 7);
+}
+
 TEST(RingBufferTest, MatchesDequeUnderRandomOps) {
   RingBuffer<uint64_t> ring;
   ring.Reserve(8);

@@ -1,0 +1,146 @@
+// Planner consumption of windowed (kWindowed) catalog stats: covered
+// predicates are estimated from the window and scaled to the table's
+// live row count; predicates outside the window's observed domain fall
+// back to the no-stats defaults instead of trusting a window that
+// proves nothing about them.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+
+#include "db/analyzer.h"
+#include "db/catalog.h"
+#include "db/planner.h"
+#include "hist/dense_reference.h"
+#include "workload/distributions.h"
+#include "workload/tpch.h"
+
+namespace dphist::db {
+namespace {
+
+struct WindowedRig {
+  WindowedRig() {
+    workload::LineitemOptions li;
+    li.scale_factor = 0.02;
+    li.row_limit = 60000;
+    catalog.AddTable("lineitem", workload::GenerateLineitem(li));
+    AnalyzeOptions options;
+    auto entry = catalog.Find("lineitem");
+    AnalyzeResult price = AnalyzeColumn(
+        *(*entry)->table, workload::kLExtendedPrice, options);
+    (void)catalog.SetColumnStats("lineitem", workload::kLExtendedPrice,
+                                 price.stats);
+
+    workload::CustomerOptions cust;
+    cust.scale_factor = 0.2;  // 30k customers, c_custkey dense 1..30000
+    catalog.AddTable("customer", workload::GenerateCustomer(cust));
+  }
+
+  /// Installs windowed custkey stats whose window saw a uniform sample
+  /// over [lo, hi]; row_count stays the full table.
+  void InstallWindowedCustkey(int64_t lo, int64_t hi, uint64_t window_rows) {
+    ColumnStats stats;
+    stats.valid = true;
+    auto sample = workload::UniformColumn(window_rows, lo, hi, 5);
+    stats.histogram =
+        hist::EquiDepthDense(hist::BuildDenseCounts(sample, lo, hi), 16);
+    stats.row_count = 30000;
+    stats.ndv = 0;
+    stats.min_value = lo;
+    stats.max_value = hi;
+    stats.provenance = StatsProvenance::kWindowed;
+    stats.window_rows = window_rows;
+    ASSERT_TRUE(catalog
+                    .SetColumnStats("customer", workload::kCCustKey,
+                                    std::move(stats))
+                    .ok());
+  }
+
+  Catalog catalog;
+};
+
+TEST(WindowedPlannerTest, CoveredPredicateIsEstimatedFromWindowAndScaled) {
+  WindowedRig rig;
+  // The window saw 3000 of the 30000 customers, uniformly over the whole
+  // key domain: a tenth of the population at the same shape.
+  rig.InstallWindowedCustkey(1, 30000, 3000);
+  Q1Query query;
+  query.custkey_limit = 5000;
+  auto plan = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(plan.ok());
+  // Window-internal estimate ~500, scaled by 30000/3000 to ~5000.
+  EXPECT_GT(plan->estimated_customers, 3500.0);
+  EXPECT_LT(plan->estimated_customers, 6500.0);
+}
+
+TEST(WindowedPlannerTest, PredicateOutsideTheWindowFallsBack) {
+  WindowedRig rig;
+  // The window only saw recent high keys: it proves nothing about
+  // custkey < 5000, so the planner must not extrapolate from it.
+  rig.InstallWindowedCustkey(20000, 30000, 3000);
+  Q1Query query;
+  query.custkey_limit = 5000;
+  auto plan = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(plan.ok());
+  // The no-stats default: min(row_count, limit - 1).
+  EXPECT_DOUBLE_EQ(plan->estimated_customers, 4999.0);
+}
+
+TEST(WindowedPlannerTest, WindowedEqualityUsesScaledMcvCounts) {
+  WindowedRig rig;
+  // Windowed price stats: the probe value is an MCV with 12 of the
+  // window's 120 rows; the table holds 60000 live rows.
+  ColumnStats stats;
+  stats.valid = true;
+  auto sample = workload::UniformColumn(120, 100000, 300000, 8);
+  stats.histogram = hist::EquiDepthDense(
+      hist::BuildDenseCounts(sample, 100000, 300000), 8);
+  stats.top_k = {{200100, 12}};
+  stats.row_count = 60000;
+  stats.min_value = 100000;
+  stats.max_value = 300000;
+  stats.provenance = StatsProvenance::kWindowed;
+  stats.window_rows = 120;
+  ASSERT_TRUE(rig.catalog
+                  .SetColumnStats("lineitem", workload::kLExtendedPrice,
+                                  std::move(stats))
+                  .ok());
+  Q1Query query;
+  query.price_scaled = 200100;
+  query.custkey_limit = 5000;
+  auto plan = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->used_histogram);
+  // 12 window rows scaled by 60000/120 = 6000 table rows.
+  EXPECT_DOUBLE_EQ(plan->estimated_somelines, 6000.0);
+}
+
+TEST(WindowedPlannerTest, WindowedEqualityOutsideDomainUsesDefault) {
+  WindowedRig rig;
+  ColumnStats stats;
+  stats.valid = true;
+  auto sample = workload::UniformColumn(120, 100000, 150000, 8);
+  stats.histogram = hist::EquiDepthDense(
+      hist::BuildDenseCounts(sample, 100000, 150000), 8);
+  stats.row_count = 60000;
+  stats.min_value = 100000;
+  stats.max_value = 150000;
+  stats.provenance = StatsProvenance::kWindowed;
+  stats.window_rows = 120;
+  ASSERT_TRUE(rig.catalog
+                  .SetColumnStats("lineitem", workload::kLExtendedPrice,
+                                  std::move(stats))
+                  .ok());
+  Q1Query query;
+  query.price_scaled = 200100;  // above the window's observed max
+  query.custkey_limit = 5000;
+  auto plan = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->used_histogram);
+  // Default equality selectivity over the table's rows.
+  EXPECT_DOUBLE_EQ(plan->estimated_somelines, 60000 * 0.0005);
+}
+
+}  // namespace
+}  // namespace dphist::db

@@ -1,0 +1,163 @@
+// Regression tests for IncrementalEquiDepth under churn: the bound
+// re-tightening after extreme deletes, the inconsistent-input imbalance
+// verdict, and the rebuild-signal hysteresis under a drifting domain.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "hist/dense_reference.h"
+#include "hist/estimator.h"
+#include "hist/incremental.h"
+#include "hist/types.h"
+#include "workload/distributions.h"
+
+namespace dphist::hist {
+namespace {
+
+Histogram TwoBucketHistogram() {
+  Histogram h;
+  h.min_value = 0;
+  h.max_value = 19;
+  h.total_count = 6;
+  h.buckets = {Bucket{0, 9, 5, 5}, Bucket{10, 19, 1, 1}};
+  return h;
+}
+
+TEST(IncrementalChurnTest, DrainedBackBucketUnstretchesAndTightensMax) {
+  IncrementalEquiDepth inc(TwoBucketHistogram());
+  inc.Insert(1000000);  // stretches the back bucket and max_value
+  EXPECT_EQ(inc.histogram().max_value, 1000000);
+  EXPECT_EQ(inc.histogram().buckets.back().hi, 1000000);
+
+  // Deleting the outlier alone cannot tighten (the bucket still holds a
+  // row and we cannot know which value survived)...
+  inc.Delete(1000000);
+  EXPECT_EQ(inc.histogram().max_value, 1000000);
+  // ...but draining the bucket proves the stretch is dead: bounds snap
+  // back to the as-built domain and max tightens to the live extent.
+  inc.Delete(15);
+  EXPECT_EQ(inc.histogram().buckets.back().count, 0u);
+  EXPECT_EQ(inc.histogram().buckets.back().hi, 19);
+  EXPECT_EQ(inc.histogram().max_value, 9);
+}
+
+TEST(IncrementalChurnTest, DrainedFrontBucketUnstretchesAndTightensMin) {
+  Histogram h;
+  h.min_value = 10;
+  h.max_value = 29;
+  h.total_count = 6;
+  h.buckets = {Bucket{10, 19, 1, 1}, Bucket{20, 29, 5, 5}};
+  IncrementalEquiDepth inc(std::move(h));
+  inc.Insert(-500);
+  EXPECT_EQ(inc.histogram().min_value, -500);
+  inc.Delete(-500);
+  inc.Delete(12);
+  EXPECT_EQ(inc.histogram().buckets.front().count, 0u);
+  EXPECT_EQ(inc.histogram().buckets.front().lo, 10);
+  EXPECT_EQ(inc.histogram().min_value, 20);
+}
+
+TEST(IncrementalChurnTest, RangeSelectivityRecoversAfterExtremeChurn) {
+  // The planner-visible symptom: with a stretched-but-dead edge bucket
+  // the estimator keeps spreading rows over a huge phantom range. After
+  // the drain-clamp, a range probe beyond the live domain estimates ~0.
+  auto column = workload::UniformColumn(10000, 1, 1000, 21);
+  Histogram h = EquiDepthDense(BuildDenseCounts(column, 1, 1000), 10);
+  IncrementalEquiDepth inc(std::move(h));
+  inc.Insert(2000000);
+  // Churn the outlier and its bucket-mates away: Delete absorbs any
+  // value the bucket's range covers, so draining via its low bound works.
+  inc.Delete(2000000);
+  const int64_t back_lo = inc.histogram().buckets.back().lo;
+  while (inc.histogram().buckets.back().count > 0) inc.Delete(back_lo);
+  EXPECT_EQ(inc.histogram().buckets.back().count, 0u);
+  EXPECT_LE(inc.histogram().max_value, 1000);
+  Estimator estimator(&inc.histogram());
+  EXPECT_LT(estimator.EstimateRange(10000, 2000000), 1.0);
+}
+
+TEST(IncrementalChurnTest, ZeroTotalWithOccupiedBucketsNeedsRebuild) {
+  // The inconsistent-input state Delete already guards (bucket counts
+  // exceeding total_count): once total_count is clamped at zero while
+  // buckets still claim rows, the histogram is structurally broken and
+  // must read as needing a rebuild — not as "perfectly balanced".
+  Histogram h;
+  h.min_value = 0;
+  h.max_value = 9;
+  h.total_count = 1;
+  h.buckets = {Bucket{0, 9, 3, 3}};
+  IncrementalEquiDepth inc(std::move(h));
+  inc.Delete(4);  // total_count hits 0, bucket still claims 2 rows
+  EXPECT_EQ(inc.histogram().total_count, 0u);
+  EXPECT_EQ(inc.histogram().buckets.front().count, 2u);
+  EXPECT_TRUE(std::isinf(inc.ImbalanceRatio()));
+  EXPECT_TRUE(inc.NeedsRebuild());
+}
+
+TEST(IncrementalChurnTest, TrulyEmptyHistogramStaysBalanced) {
+  Histogram h;
+  h.min_value = 0;
+  h.max_value = 9;
+  h.total_count = 2;
+  h.buckets = {Bucket{0, 9, 2, 2}};
+  IncrementalEquiDepth inc(std::move(h));
+  inc.Delete(1);
+  inc.Delete(2);
+  EXPECT_EQ(inc.histogram().total_count, 0u);
+  EXPECT_DOUBLE_EQ(inc.ImbalanceRatio(), 1.0);
+  EXPECT_FALSE(inc.NeedsRebuild());
+}
+
+TEST(IncrementalChurnTest, DriftingDomainSignalsAtBoundedCadence) {
+  // A drifting value domain funnels every insert into the stretched back
+  // bucket, so the imbalance stays above threshold from early on. Without
+  // hysteresis NeedsRebuild fires on (nearly) every insert; with it, the
+  // signal cadence is bounded by the hysteresis floor.
+  auto column = workload::UniformColumn(8000, 1, 1000, 5);
+  Histogram h = EquiDepthDense(BuildDenseCounts(column, 1, 1000), 8);
+  IncrementalEquiDepth inc(std::move(h));
+  const uint64_t floor = 500;
+  inc.set_rebuild_hysteresis(floor);
+
+  const int kDriftInserts = 4000;
+  uint64_t signals = 0;
+  for (int i = 0; i < kDriftInserts; ++i) {
+    inc.Insert(1000 + i);  // past the built domain: drifting range
+    if (inc.NeedsRebuild()) ++signals;
+  }
+  EXPECT_GT(signals, 0u);
+  EXPECT_LE(signals, static_cast<uint64_t>(kDriftInserts) / floor + 1);
+  EXPECT_EQ(signals, inc.rebuild_signals());
+}
+
+TEST(IncrementalChurnTest, ResetArmsTheHysteresisFloor) {
+  auto column = workload::UniformColumn(4000, 1, 1000, 6);
+  Histogram h = EquiDepthDense(BuildDenseCounts(column, 1, 1000), 8);
+  Histogram fresh = h;
+  IncrementalEquiDepth inc(std::move(h));
+  inc.set_rebuild_hysteresis(2000);
+  for (int i = 0; i < 3000; ++i) inc.Insert(5000);
+  EXPECT_TRUE(inc.NeedsRebuild());   // first signal fires unthrottled
+  EXPECT_FALSE(inc.NeedsRebuild());  // latched
+  // Absorbing a full rescan arms the floor: even though steady drift
+  // re-trips the imbalance threshold quickly, no new signal may fire
+  // until 2000 fresh inserts have accumulated — this is what bounds the
+  // rebuild cadence of a drifting domain.
+  inc.Reset(std::move(fresh));
+  EXPECT_FALSE(inc.NeedsRebuild());
+  for (int i = 0; i < 1999; ++i) inc.Insert(5000);
+  EXPECT_FALSE(inc.NeedsRebuild());
+  inc.Insert(5000);
+  EXPECT_TRUE(inc.NeedsRebuild());
+}
+
+TEST(IncrementalChurnTest, DefaultHysteresisIsBucketCount) {
+  Histogram h = TwoBucketHistogram();
+  IncrementalEquiDepth inc(std::move(h));
+  EXPECT_EQ(inc.rebuild_hysteresis(), 2u);
+}
+
+}  // namespace
+}  // namespace dphist::hist

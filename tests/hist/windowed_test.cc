@@ -1,0 +1,184 @@
+// Sliding-window statistics: eviction semantics (row bound, age bound,
+// both), tombstoned deletes, on-demand ring growth, and the snapshot
+// derivations matching the dense reference over the surviving rows.
+
+#include "hist/windowed.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hist/dense_reference.h"
+#include "hist/types.h"
+#include "workload/distributions.h"
+
+namespace dphist::hist {
+namespace {
+
+constexpr uint64_t kSecond = 1000000000ull;
+
+TEST(SlidingWindowTest, UnboundedWindowKeepsEverything) {
+  SlidingWindowCounts window({}, 1, 100);
+  for (int64_t v = 1; v <= 100; ++v) window.Insert(v, v * kSecond);
+  EXPECT_EQ(window.rows_in_window(), 100u);
+  EXPECT_EQ(window.bins().TotalCount(), 100u);
+  EXPECT_EQ(window.observed_min(), 1);
+  EXPECT_EQ(window.observed_max(), 100);
+}
+
+TEST(SlidingWindowTest, RowBoundEvictsOldestFirst) {
+  SlidingWindowCounts window({.rows = 3}, 1, 100);
+  for (int64_t v = 1; v <= 5; ++v) window.Insert(v, v);
+  EXPECT_EQ(window.rows_in_window(), 3u);
+  // 1 and 2 are gone; 3, 4, 5 remain.
+  EXPECT_EQ(window.observed_min(), 3);
+  EXPECT_EQ(window.observed_max(), 5);
+  EXPECT_EQ(window.bins().counts[0], 0u);
+  EXPECT_EQ(window.bins().counts[2], 1u);
+}
+
+TEST(SlidingWindowTest, AgeBoundEvictsOnAdvance) {
+  SlidingWindowCounts window({.nanos = 10 * kSecond}, 1, 100);
+  window.Insert(7, 1 * kSecond);
+  window.Insert(8, 5 * kSecond);
+  window.Insert(9, 9 * kSecond);
+  EXPECT_EQ(window.rows_in_window(), 3u);
+  window.AdvanceTo(11 * kSecond);  // row stamped 1s is now 10s old
+  EXPECT_EQ(window.rows_in_window(), 2u);
+  EXPECT_EQ(window.observed_min(), 8);
+  window.AdvanceTo(30 * kSecond);
+  EXPECT_EQ(window.rows_in_window(), 0u);
+  EXPECT_EQ(window.bins().TotalCount(), 0u);
+}
+
+TEST(SlidingWindowTest, BothBoundsActTogether) {
+  SlidingWindowCounts window({.rows = 10, .nanos = 4 * kSecond}, 1, 100);
+  for (int64_t v = 1; v <= 20; ++v) window.Insert(v, v * kSecond);
+  // Row bound alone would keep 11..20, but the age bound (>= 4s old at
+  // t=20s) trims everything stamped <= 16s.
+  EXPECT_EQ(window.rows_in_window(), 4u);
+  EXPECT_EQ(window.observed_min(), 17);
+  EXPECT_EQ(window.observed_max(), 20);
+}
+
+TEST(SlidingWindowTest, DeleteRemovesOldestOccurrenceImmediately) {
+  SlidingWindowCounts window({}, 1, 10);
+  window.Insert(5, 1);
+  window.Insert(5, 2);
+  window.Insert(6, 3);
+  EXPECT_TRUE(window.Delete(5));
+  EXPECT_EQ(window.rows_in_window(), 2u);
+  EXPECT_EQ(window.bins().counts[4], 1u);
+  EXPECT_TRUE(window.Delete(5));
+  EXPECT_TRUE(window.Delete(6));
+  EXPECT_EQ(window.rows_in_window(), 0u);
+  // Nothing left to delete.
+  EXPECT_FALSE(window.Delete(5));
+  EXPECT_FALSE(window.Delete(6));
+}
+
+TEST(SlidingWindowTest, TombstonedRowDoesNotDoubleEvict) {
+  SlidingWindowCounts window({.nanos = 10 * kSecond}, 1, 10);
+  window.Insert(3, 1 * kSecond);
+  window.Insert(4, 2 * kSecond);
+  ASSERT_TRUE(window.Delete(3));  // tombstones the row stamped 1s
+  EXPECT_EQ(window.rows_in_window(), 1u);
+  // Aging past the tombstoned row must not decrement the live count or
+  // the bins again on its behalf.
+  window.AdvanceTo(11500000000ull);  // evicts the 1s row (already dead)
+  EXPECT_EQ(window.rows_in_window(), 1u);
+  EXPECT_EQ(window.bins().counts[3], 1u);
+  window.AdvanceTo(13 * kSecond);  // evicts the live 2s row
+  EXPECT_EQ(window.rows_in_window(), 0u);
+}
+
+TEST(SlidingWindowTest, OutOfDomainRowsAreDroppedAndCounted) {
+  SlidingWindowCounts window({}, 10, 20);
+  window.Insert(5, 1);
+  window.Insert(15, 2);
+  window.Insert(25, 3);
+  EXPECT_EQ(window.rows_in_window(), 1u);
+  EXPECT_EQ(window.rows_dropped(), 2u);
+  EXPECT_FALSE(window.Delete(5));
+}
+
+TEST(SlidingWindowTest, TimeBoundedWindowGrowsItsRingOnDemand) {
+  // No row bound: the ring starts at its default size and must grow to
+  // hold a burst larger than that without losing FIFO order.
+  SlidingWindowCounts window({.nanos = 1000 * kSecond}, 1, 10000);
+  const int kBurst = 5000;
+  for (int i = 1; i <= kBurst; ++i) window.Insert(i % 100 + 1, i);
+  EXPECT_EQ(window.rows_in_window(), static_cast<uint64_t>(kBurst));
+  EXPECT_EQ(window.bins().TotalCount(), static_cast<uint64_t>(kBurst));
+}
+
+TEST(SlidingWindowTest, GranularityBinsCoarsely) {
+  SlidingWindowCounts window({}, 0, 99, 10);
+  window.Insert(0, 1);
+  window.Insert(9, 2);
+  window.Insert(10, 3);
+  ASSERT_EQ(window.bins().counts.size(), 10u);
+  EXPECT_EQ(window.bins().counts[0], 2u);
+  EXPECT_EQ(window.bins().counts[1], 1u);
+}
+
+TEST(WindowedEquiDepthTest, SnapshotMatchesDenseReferenceOverWindow) {
+  // The window's snapshot must equal the reference equi-depth built from
+  // exactly the rows the window retains.
+  const auto column = workload::UniformColumn(5000, 1, 2000, 11);
+  const uint64_t kWindowRows = 1200;
+  WindowedEquiDepth windowed({.rows = kWindowRows}, 1, 2000, 16);
+  for (size_t i = 0; i < column.size(); ++i) {
+    windowed.Insert(column[i], i + 1);
+  }
+  std::vector<int64_t> tail(
+      column.end() - static_cast<std::ptrdiff_t>(kWindowRows), column.end());
+  Histogram expected = EquiDepthDense(BuildDenseCounts(tail, 1, 2000), 16);
+  Histogram got = windowed.Snapshot();
+  EXPECT_EQ(got.buckets, expected.buckets);
+  EXPECT_EQ(got.total_count, expected.total_count);
+}
+
+TEST(WindowedEquiDepthTest, SnapshotTracksChurn) {
+  WindowedEquiDepth windowed({.rows = 100}, 1, 1000, 8);
+  // Phase 1: low values; phase 2: high values. After phase 2 fills the
+  // window, the snapshot must describe only the high regime.
+  uint64_t t = 0;
+  for (int i = 0; i < 200; ++i) windowed.Insert(1 + i % 100, ++t);
+  for (int i = 0; i < 200; ++i) windowed.Insert(901 + i % 100, ++t);
+  Histogram snap = windowed.Snapshot();
+  EXPECT_EQ(snap.total_count, 100u);
+  uint64_t low_rows = 0;
+  for (const Bucket& bucket : snap.buckets) {
+    if (bucket.hi <= 500) low_rows += bucket.count;
+  }
+  EXPECT_EQ(low_rows, 0u);
+}
+
+TEST(WindowedTopKTest, SnapshotMatchesDenseReferenceOverWindow) {
+  const auto column = workload::ZipfColumn(4000, 256, 1.0, 13);
+  const uint64_t kWindowRows = 1000;
+  WindowedTopK windowed({.rows = kWindowRows}, 1, 256, 5);
+  for (size_t i = 0; i < column.size(); ++i) {
+    windowed.Insert(column[i], i + 1);
+  }
+  std::vector<int64_t> tail(
+      column.end() - static_cast<std::ptrdiff_t>(kWindowRows), column.end());
+  auto expected = TopKDense(BuildDenseCounts(tail, 1, 256), 5);
+  EXPECT_EQ(windowed.Snapshot(), expected);
+}
+
+TEST(WindowedTopKTest, DeleteDethronesAHeavyHitter) {
+  WindowedTopK windowed({}, 1, 10, 1);
+  uint64_t t = 0;
+  for (int i = 0; i < 10; ++i) windowed.Insert(3, ++t);
+  for (int i = 0; i < 6; ++i) windowed.Insert(7, ++t);
+  ASSERT_EQ(windowed.Snapshot().front().value, 3);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(windowed.Delete(3));
+  EXPECT_EQ(windowed.Snapshot().front().value, 7);
+}
+
+}  // namespace
+}  // namespace dphist::hist

@@ -1,0 +1,87 @@
+// Property test for the window/datapath bit-identity contract: a
+// sliding window that happens to cover the whole table produces an
+// equi-depth histogram bit-identical to a full datapath scan of that
+// table — serial, and merged across 1/2/4/8 cluster shards. Both sides
+// derive through hist::EquiDepthFromBinned over the same bin domain, so
+// equality is exact, not approximate.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/accelerator.h"
+#include "cluster/coordinator.h"
+#include "hist/windowed.h"
+#include "workload/distributions.h"
+
+namespace dphist::ingest {
+namespace {
+
+accel::ScanRequest ColumnRequest(int64_t lo, int64_t hi, uint32_t buckets,
+                                 uint32_t k) {
+  accel::ScanRequest request;
+  request.column_index = 0;
+  request.min_value = lo;
+  request.max_value = hi;
+  request.num_buckets = buckets;
+  request.top_k = k;
+  return request;
+}
+
+void ExpectBitIdentical(const hist::Histogram& a, const hist::Histogram& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.buckets, b.buckets) << label;
+  EXPECT_EQ(a.total_count, b.total_count) << label;
+  EXPECT_EQ(a.min_value, b.min_value) << label;
+  EXPECT_EQ(a.max_value, b.max_value) << label;
+}
+
+class WindowedEquivalenceTest
+    : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WindowedEquivalenceTest, WholeTableWindowMatchesClusterScan) {
+  const uint32_t shards = GetParam();
+  const int64_t kLo = 1;
+  const int64_t kHi = 5000;
+  const uint32_t kBuckets = 16;
+  const uint32_t kTopK = 8;
+  const auto column = workload::ZipfColumn(20000, kHi, 0.75, 31 + shards);
+  const page::TableFile table = workload::ColumnToTable(column, 4, 2);
+
+  // Window side: every row inserted, nothing evicted (row bound equals
+  // the table), snapshots via the shared binned derivations.
+  hist::WindowedEquiDepth equi_depth(
+      {.rows = column.size()}, kLo, kHi, kBuckets);
+  hist::WindowedTopK top_k({.rows = column.size()}, kLo, kHi, kTopK);
+  for (size_t i = 0; i < column.size(); ++i) {
+    equi_depth.Insert(column[i], i + 1);
+    top_k.Insert(column[i], i + 1);
+  }
+
+  // Datapath side: an N-shard cluster scan of the same table (shard
+  // count must not matter — the merge algebra is exact).
+  cluster::ClusterOptions options;
+  options.num_shards = shards;
+  options.device_config.dram.capacity_bytes = 1ULL << 30;
+  options.engine_mode = accel::EngineMode::kFunctional;
+  cluster::ClusterCoordinator coordinator(options);
+  auto report = coordinator.ScanTable(
+      table, ColumnRequest(kLo, kHi, kBuckets, kTopK));
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  ASSERT_EQ(report->shards_failed, 0u);
+
+  ExpectBitIdentical(equi_depth.Snapshot(), report->histograms.equi_depth,
+                     std::to_string(shards) + " shards");
+  EXPECT_EQ(top_k.Snapshot(), report->histograms.top_k)
+      << shards << " shards";
+  // The window's bins ARE the merged bins.
+  ASSERT_TRUE(equi_depth.window().bins().AlignedWith(report->bins));
+  EXPECT_EQ(equi_depth.window().bins().counts, report->bins.counts);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, WindowedEquivalenceTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+}  // namespace
+}  // namespace dphist::ingest

@@ -1,0 +1,131 @@
+// Refresh-on-ingest freshness contract: once NotifyIngest records an
+// absorbed batch, the service can never serve a response whose stats
+// version predates that batch — the cached pre-churn result is both
+// invalidated eagerly and rejected lazily by the version check.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/device.h"
+#include "svc/clock.h"
+#include "svc/service.h"
+#include "workload/distributions.h"
+
+namespace dphist::svc {
+namespace {
+
+StatsRequest ReadRequest() {
+  StatsRequest request;
+  request.table = "t";
+  request.column = 0;
+  request.params.min_value = 1;
+  request.params.max_value = 512;
+  request.params.num_buckets = 16;
+  request.params.top_k = 8;
+  request.kind = RequestKind::kRead;
+  return request;
+}
+
+class IngestFreshnessTest : public ::testing::Test {
+ protected:
+  IngestFreshnessTest() : device_(accel::AcceleratorConfig{}) {
+    auto column = workload::ZipfColumn(20000, 512, 0.75, 3);
+    catalog_.AddTable("t", workload::ColumnToTable(column, 2, 3));
+  }
+
+  ServiceOptions FakeClockOptions() {
+    ServiceOptions options;
+    options.num_workers = 1;
+    options.clock = &clock_;
+    options.engine = accel::EngineMode::kFunctional;
+    return options;
+  }
+
+  db::Catalog catalog_;
+  accel::Device device_;
+  FakeClock clock_;
+};
+
+TEST_F(IngestFreshnessTest, NotifyIngestBumpsVersionAndDropsCache) {
+  StatsService service(&catalog_, &device_, FakeClockOptions());
+  ASSERT_TRUE(service.Start().ok());
+
+  StatsResponse first = service.SubmitAndWait(ReadRequest());
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.from_cache);
+  const uint64_t built_at = first.stats.version;
+
+  StatsResponse cached = service.SubmitAndWait(ReadRequest());
+  ASSERT_TRUE(cached.status.ok());
+  EXPECT_TRUE(cached.from_cache);
+
+  const uint64_t bumped = service.NotifyIngest("t");
+  EXPECT_EQ(bumped, built_at + 1);
+  EXPECT_EQ(service.cache_size(), 0u);
+  EXPECT_EQ(service.counters().ingest_notified, 1u);
+
+  // The next read cannot ride the pre-churn cache: it rescans and its
+  // stats carry the post-ingest version.
+  StatsResponse after = service.SubmitAndWait(ReadRequest());
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.from_cache);
+  EXPECT_EQ(after.stats.version, bumped);
+  service.Stop();
+}
+
+TEST_F(IngestFreshnessTest, NotifyIngestOnUnknownTableReturnsZero) {
+  StatsService service(&catalog_, &device_, FakeClockOptions());
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_EQ(service.NotifyIngest("nope"), 0u);
+  EXPECT_EQ(service.counters().ingest_notified, 0u);
+  service.Stop();
+}
+
+TEST_F(IngestFreshnessTest, RefreshOnIngestServesPostChurnStats) {
+  StatsService service(&catalog_, &device_, FakeClockOptions());
+  ASSERT_TRUE(service.Start().ok());
+
+  StatsResponse warm = service.SubmitAndWait(ReadRequest());
+  ASSERT_TRUE(warm.status.ok());
+
+  auto ticket = service.RefreshOnIngest(ReadRequest());
+  ASSERT_TRUE(ticket.ok());
+  StatsResponse refreshed = ticket->Wait();
+  ASSERT_TRUE(refreshed.status.ok());
+  EXPECT_FALSE(refreshed.from_cache);
+  EXPECT_EQ(refreshed.stats.version, warm.stats.version + 1);
+  EXPECT_TRUE(catalog_.StatsFresh("t", 0));
+  service.Stop();
+}
+
+TEST_F(IngestFreshnessTest, NoServedVersionEverPredatesAnAbsorbedBatch) {
+  // The acceptance property, run as a loop: interleave reads (which warm
+  // the cache) with ingest notifications; after every notification the
+  // served version must be at least the notified version — a cached
+  // pre-churn result slipping through would show up as a smaller one.
+  StatsService service(&catalog_, &device_, FakeClockOptions());
+  ASSERT_TRUE(service.Start().ok());
+
+  uint64_t last_absorbed = 0;
+  for (int round = 0; round < 12; ++round) {
+    // Two reads: the second one typically rides the cache.
+    for (int read = 0; read < 2; ++read) {
+      StatsResponse response = service.SubmitAndWait(ReadRequest());
+      ASSERT_TRUE(response.status.ok());
+      EXPECT_GE(response.stats.version, last_absorbed)
+          << "round " << round << ": served stats predate the last "
+          << "absorbed ingest batch";
+    }
+    if (round % 3 != 2) {
+      const uint64_t bumped = service.NotifyIngest("t");
+      ASSERT_GT(bumped, last_absorbed);
+      last_absorbed = bumped;
+    }
+  }
+  service.Stop();
+}
+
+}  // namespace
+}  // namespace dphist::svc

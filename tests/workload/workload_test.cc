@@ -127,6 +127,19 @@ TEST(DistributionsTest, ZipfSkewShiftsMass) {
   EXPECT_GT(head_share(skewed), 5 * head_share(flat));
 }
 
+TEST(DistributionsTest, DriftingRangeColumnSlidesItsWindow) {
+  const int64_t span = 100;
+  auto column = DriftingRangeColumn(5000, 10, span, 0.5, 11);
+  for (size_t i = 0; i < column.size(); ++i) {
+    const int64_t window_lo = 10 + static_cast<int64_t>(i * 0.5);
+    EXPECT_GE(column[i], window_lo) << "row " << i;
+    EXPECT_LT(column[i], window_lo + span) << "row " << i;
+  }
+  // Deterministic per seed, distinct across seeds.
+  EXPECT_EQ(column, DriftingRangeColumn(5000, 10, span, 0.5, 11));
+  EXPECT_NE(column, DriftingRangeColumn(5000, 10, span, 0.5, 12));
+}
+
 TEST(DistributionsTest, CacheStreamsHaveClaimedShape) {
   auto adversarial = CacheAdversarialColumn(1000, 65536, 8);
   // Consecutive values never share or neighbor a memory line (8 bins).
