@@ -1,0 +1,214 @@
+// Crash recovery end to end, across real processes and a real disk.
+//
+// Two modes over one on-disk state directory:
+//
+//   ./build/examples/recover_restart seed [dir]
+//       starts a persistence-wired svc::StatsService, drives refreshes
+//       and ingest bumps through it (crossing a checkpoint so the chain
+//       holds a snapshot plus a live WAL suffix), then dies with
+//       _Exit(42) mid-ingest — no Stop(), no destructors, no final
+//       checkpoint. Whatever reached disk is all recovery gets.
+//
+//   ./build/examples/recover_restart recover [dir]
+//       a fresh process reloads the same schema, replays the chain, and
+//       asserts the rehydrated catalog matches what the seed process
+//       reported before dying: exact data_version, exact stats version
+//       (still lagging the last ingest — recovery must not forge
+//       freshness), kRecovered provenance. It then warm-restarts the
+//       service on top and shows the version sequence continuing
+//       monotonically and a fresh scan clearing the recovered mark.
+//
+// CI runs the pair as its crash-recovery smoke:
+//
+//   ./build/examples/recover_restart seed   (must exit 42)
+//   ./build/examples/recover_restart recover
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "accel/device.h"
+#include "db/catalog.h"
+#include "persist/io.h"
+#include "persist/recovery.h"
+#include "svc/service.h"
+#include "workload/distributions.h"
+
+using namespace dphist;
+
+namespace {
+
+constexpr uint64_t kRows = 30000;
+constexpr uint64_t kCardinality = 512;
+constexpr char kTable[] = "events";
+
+// The state the seed process reaches before it crashes. The sequence is
+// deterministic (fixed seeds, fixed op order), so the recover process
+// can assert exact values instead of trusting a side channel.
+constexpr uint64_t kSeededDataVersion = 4;
+constexpr uint64_t kSeededStatsVersion = 3;
+
+void RegisterSchema(db::Catalog* catalog) {
+  // Both processes register a bit-identical table, as a restarted
+  // server reloading the same data files would.
+  auto column = workload::ZipfColumn(kRows, kCardinality, /*s=*/0.75,
+                                     /*seed=*/7);
+  catalog->AddTable(kTable, workload::ColumnToTable(column, 2, /*seed=*/7));
+}
+
+svc::StatsRequest Refresh() {
+  svc::StatsRequest request;
+  request.table = kTable;
+  request.column = 0;
+  request.params.min_value = 1;
+  request.params.max_value = kCardinality;
+  request.params.num_buckets = 16;
+  request.params.top_k = 8;
+  request.kind = svc::RequestKind::kRefresh;
+  return request;
+}
+
+persist::PersistOptions Options(const std::string& dir) {
+  persist::PersistOptions options;
+  options.dir = dir;
+  // Low threshold so the short seed run crosses a real checkpoint:
+  // recovery then exercises snapshot load *and* WAL suffix replay.
+  options.checkpoint_every_installs = 2;
+  return options;
+}
+
+#define DEMAND(cond, what)                                   \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      std::fprintf(stderr, "FAIL: %s (%s)\n", what, #cond);  \
+      return 1;                                              \
+    }                                                        \
+  } while (0)
+
+int Seed(const std::string& dir) {
+  // Start from a clean slate so reruns are deterministic.
+  persist::FileSystem* fs = persist::PosixFileSystem();
+  if (auto entries = fs->List(dir); entries.ok()) {
+    for (const auto& name : *entries) (void)fs->Remove(dir + "/" + name);
+  }
+
+  db::Catalog catalog;
+  RegisterSchema(&catalog);
+  persist::RecoveryManager manager(&catalog, Options(dir));
+  auto report = manager.Recover();
+  if (!report.ok()) {
+    std::fprintf(stderr, "recover (cold) failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+
+  accel::Device device{accel::AcceleratorConfig{}};
+  svc::ServiceOptions options;
+  options.num_workers = 2;
+  options.persistence = &manager;
+  svc::StatsService service(&catalog, &device, options);
+  if (!service.Start().ok()) return 1;
+
+  // install #1 at v1; install #2 at v2 crosses the checkpoint threshold
+  // (snapshot-1 written, WAL rotated); install #3 at v3 lands in the
+  // live WAL suffix. The final ingest bump is the last durable event.
+  DEMAND(service.SubmitAndWait(Refresh()).status.ok(), "refresh 1");
+  DEMAND(service.NotifyIngest(kTable) == 2, "ingest -> v2");
+  DEMAND(service.SubmitAndWait(Refresh()).status.ok(), "refresh 2");
+  DEMAND(service.NotifyIngest(kTable) == 3, "ingest -> v3");
+  DEMAND(service.SubmitAndWait(Refresh()).status.ok(), "refresh 3");
+  DEMAND(service.NotifyIngest(kTable) == kSeededDataVersion,
+         "ingest -> v4");
+
+  const persist::PersistCounters counters = manager.counters();
+  DEMAND(counters.wal_append_failures == 0, "WAL stayed healthy");
+  DEMAND(counters.checkpoints >= 1, "seed run crossed a checkpoint");
+  std::printf(
+      "seeded %s: data_version=%llu stats_version=%llu "
+      "(wal_appends=%llu checkpoints=%llu)\n",
+      dir.c_str(),
+      static_cast<unsigned long long>(kSeededDataVersion),
+      static_cast<unsigned long long>(kSeededStatsVersion),
+      static_cast<unsigned long long>(counters.wal_appends),
+      static_cast<unsigned long long>(counters.checkpoints));
+  std::printf("crashing mid-ingest (exit 42): stats for the last bump "
+              "were never rebuilt\n");
+  std::fflush(stdout);
+
+  // Die hard: workers still running, no Stop(), no destructors. 42
+  // distinguishes the deliberate crash from a real failure above.
+  std::_Exit(42);
+}
+
+int Recover(const std::string& dir) {
+  db::Catalog catalog;
+  RegisterSchema(&catalog);
+  persist::RecoveryManager manager(&catalog, Options(dir));
+  auto recovered = manager.Recover();
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "recovered %s: snapshot seq=%llu, %llu WAL events, %llu stats, "
+      "%llu version resumes, %llu bytes torn\n",
+      dir.c_str(), static_cast<unsigned long long>(recovered->snapshot_seq),
+      static_cast<unsigned long long>(recovered->wal_events_replayed),
+      static_cast<unsigned long long>(recovered->stats_restored),
+      static_cast<unsigned long long>(recovered->versions_resumed),
+      static_cast<unsigned long long>(recovered->wal_truncated_bytes));
+
+  DEMAND(recovered->snapshot_loaded, "checkpointed snapshot found");
+  DEMAND(recovered->stats_restored >= 1, "stats rehydrated");
+  DEMAND(recovered->unknown_entries == 0, "schema matched");
+
+  auto entry = catalog.Find(kTable);
+  DEMAND(entry.ok(), "table registered");
+  DEMAND((*entry)->data_version == kSeededDataVersion,
+         "data_version resumed exactly where the crash left it");
+  auto stats = catalog.GetColumnStats(kTable, 0);
+  DEMAND(stats.ok() && (*stats)->valid, "column stats present");
+  DEMAND((*stats)->version == kSeededStatsVersion,
+         "stats version preserved verbatim (no forged freshness)");
+  DEMAND((*stats)->provenance == db::StatsProvenance::kRecovered,
+         "rehydrated stats are marked kRecovered");
+  DEMAND(!catalog.StatsFresh(kTable, 0),
+         "the crash landed mid-ingest: stats correctly lag the data");
+
+  // Warm restart: the service picks up where the dead process stopped.
+  accel::Device device{accel::AcceleratorConfig{}};
+  svc::ServiceOptions options;
+  options.num_workers = 2;
+  options.persistence = &manager;
+  svc::StatsService service(&catalog, &device, options);
+  DEMAND(service.Start().ok(), "warm service start");
+  DEMAND(service.NotifyIngest(kTable) == kSeededDataVersion + 1,
+         "version sequence continues monotonically");
+  DEMAND(service.SubmitAndWait(Refresh()).status.ok(), "warm refresh");
+  service.Stop();
+
+  stats = catalog.GetColumnStats(kTable, 0);
+  DEMAND(stats.ok(), "stats still present");
+  DEMAND((*stats)->provenance != db::StatsProvenance::kRecovered,
+         "a fresh scan clears the recovered mark");
+  DEMAND(catalog.StatsFresh(kTable, 0), "refresh caught stats up");
+  std::printf("warm restart OK: v%llu -> v%llu, recovered mark cleared "
+              "by rescan\n",
+              static_cast<unsigned long long>(kSeededDataVersion),
+              static_cast<unsigned long long>((*stats)->version));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  const std::string dir =
+      argc > 2 ? argv[2] : std::string("recover-restart-state");
+  if (mode == "seed") return Seed(dir);
+  if (mode == "recover") return Recover(dir);
+  std::fprintf(stderr, "usage: %s seed|recover [state-dir]\n", argv[0]);
+  return 2;
+}

@@ -40,6 +40,7 @@ db::ColumnStats StatsFromClusterReport(const ClusterScanReport& report,
     stats.ndv = static_cast<uint64_t>(report.ndv_estimate + 0.5);
     stats.ndv_from_sketch = true;
     stats.ndv_rel_error = report.ndv_sketch.StandardError();
+    stats.ndv_sketch = report.ndv_sketch;
   } else {
     stats.ndv = report.distinct_values;
   }

@@ -53,6 +53,23 @@ Status Catalog::SetColumnStats(const std::string& table, size_t column,
   return Status::OK();
 }
 
+Status Catalog::RestoreColumnStats(const std::string& table, size_t column,
+                                   ColumnStats stats) {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, Find(table));
+  if (column >= entry->column_stats.size()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  entry->column_stats[column] = std::move(stats);
+  return Status::OK();
+}
+
+Status Catalog::RestoreDataVersion(const std::string& table,
+                                   uint64_t version) {
+  DPHIST_ASSIGN_OR_RETURN(TableEntry * entry, Find(table));
+  if (version > entry->data_version) entry->data_version = version;
+  return Status::OK();
+}
+
 Result<const ColumnStats*> Catalog::GetColumnStats(const std::string& table,
                                                    size_t column) const {
   DPHIST_ASSIGN_OR_RETURN(const TableEntry* entry, Find(table));

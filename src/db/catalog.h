@@ -74,6 +74,20 @@ class Catalog {
   Status SetColumnStats(const std::string& table, size_t column,
                         ColumnStats stats);
 
+  /// Recovery-path install: the stats' own version stamp is preserved
+  /// verbatim instead of being re-stamped with the current data version.
+  /// A rehydrated record may legitimately lag the recovered data version
+  /// (it was stale before the crash too) — re-stamping would forge
+  /// freshness the pre-crash service never claimed.
+  Status RestoreColumnStats(const std::string& table, size_t column,
+                            ColumnStats stats);
+
+  /// Recovery-path version resume: raises the table's data version to at
+  /// least `version`, never lowers it. Monotonicity across restarts is
+  /// the freshness invariant every version-checking consumer (the
+  /// service cache, StatsFresh) relies on.
+  Status RestoreDataVersion(const std::string& table, uint64_t version);
+
   Result<const ColumnStats*> GetColumnStats(const std::string& table,
                                             size_t column) const;
 

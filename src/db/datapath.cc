@@ -28,6 +28,10 @@ ColumnStats StatsFromAcceleratorReport(const accel::AcceleratorReport& report,
     stats.ndv = static_cast<uint64_t>(report.ndv_estimate + 0.5);
     stats.ndv_from_sketch = true;
     stats.ndv_rel_error = report.ndv_sketch.StandardError();
+    // Retain the registers: the catalog's durable form (db/stats_codec)
+    // persists them, so a warm restart restores a mergeable sketch, not
+    // just the collapsed estimate.
+    stats.ndv_sketch = report.ndv_sketch;
   } else {
     stats.ndv = report.distinct_values;
   }

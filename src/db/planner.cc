@@ -15,6 +15,14 @@ namespace {
 /// (System-R-style magic constant).
 constexpr double kDefaultEqSelectivity = 0.0005;
 
+/// Extra widening applied to estimates derived from kRecovered stats.
+/// Rehydrated statistics were exact for the data the pre-crash service
+/// saw, but the crash itself is evidence the world moved (an in-flight
+/// ingest batch, an unlogged install) — the planner treats them as
+/// usable-but-suspect until a fresh scan re-stamps the column, at which
+/// point the discount disappears with the provenance.
+constexpr double kRecoveredDistrust = 0.25;
+
 double Log2Safe(double x) { return std::log2(std::max(2.0, x)); }
 
 /// Scales an estimate derived from degraded implicit stats back up to the
@@ -33,6 +41,18 @@ double DiscountForCoverage(double estimate, const ColumnStats& stats) {
     if (stats.certified_rel_error >= 0) {
       estimate *= 1.0 + stats.certified_rel_error;
     }
+  }
+  if (stats.provenance == StatsProvenance::kRecovered) {
+    // Recovered stats keep their pre-crash coverage/contract stamps, so
+    // the partial-scan discounts still apply, and the restart distrust
+    // stacks on top until a fresh scan confirms the column.
+    if (stats.coverage > 0 && stats.coverage < 1.0) {
+      estimate /= stats.coverage;
+    }
+    if (stats.certified_rel_error >= 0) {
+      estimate *= 1.0 + stats.certified_rel_error;
+    }
+    estimate *= 1.0 + kRecoveredDistrust;
   }
   return estimate;
 }

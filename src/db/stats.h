@@ -1,9 +1,12 @@
 #ifndef DPHIST_DB_STATS_H_
 #define DPHIST_DB_STATS_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "hist/hll.h"
 #include "hist/types.h"
 
 namespace dphist::db {
@@ -17,6 +20,7 @@ enum class StatsProvenance {
   kImplicitPartial,   ///< data-path scan that lost pages/rows/bins
   kSamplingFallback,  ///< software rebuild from a host-side sample
   kWindowed,          ///< sliding-window maintenance over recent ingest
+  kRecovered,         ///< rehydrated from the persistence layer at restart
 };
 
 inline const char* StatsProvenanceName(StatsProvenance provenance) {
@@ -29,6 +33,8 @@ inline const char* StatsProvenanceName(StatsProvenance provenance) {
       return "sampling-fallback";
     case StatsProvenance::kWindowed:
       return "windowed";
+    case StatsProvenance::kRecovered:
+      return "recovered";
   }
   return "?";
 }
@@ -60,6 +66,12 @@ struct ColumnStats {
   /// the non-zero-bin tally; the planner prefers sketch NDV and widens
   /// by ndv_rel_error.
   bool ndv_from_sketch = false;
+  /// The HLL registers behind ndv when ndv_from_sketch is set (invalid
+  /// sketch = not retained). Keeping the registers in the catalog — not
+  /// just the collapsed estimate — makes the NDV artifact durable and
+  /// mergeable: a persisted catalog restores a sketch that later cluster
+  /// merges can register-max into, instead of a dead scalar.
+  hist::HllSketch ndv_sketch;
   /// Certified relative error of ndv: the sketch's standard error plus
   /// the row fraction the scan never saw (an unseen row can only hide
   /// distincts). Negative means uncertified.
@@ -117,6 +129,29 @@ struct ColumnStats {
   }
 };
 
+/// Observer of catalog mutations that must survive a crash. The stats
+/// service (and any other installer) calls these under its catalog lock,
+/// in install order, so a write-ahead log built from the callbacks
+/// replays to exactly the sequence of states the catalog went through.
+/// Implemented by persist::RecoveryManager; the interface lives here so
+/// svc/ingest can hold a sink without depending on the persistence
+/// library.
+class StatsEventSink {
+ public:
+  virtual ~StatsEventSink() = default;
+
+  /// Stats were installed for (table, column). `stats` is the installed
+  /// record, version stamp included.
+  virtual void OnStatsInstalled(const std::string& table, size_t column,
+                                const ColumnStats& stats) = 0;
+
+  /// The table's data version was bumped (ingest); `version` is the new
+  /// value.
+  virtual void OnDataVersionBump(const std::string& table,
+                                 uint64_t version) = 0;
+};
+
 }  // namespace dphist::db
 
 #endif  // DPHIST_DB_STATS_H_
+

@@ -1,0 +1,154 @@
+#include "db/stats_codec.h"
+
+#include <bit>
+
+#include "hist/serialize.h"
+
+namespace dphist::db {
+
+namespace {
+
+using hist::wire::Reader;
+
+/// Field-presence flags (one byte on the wire).
+constexpr uint8_t kFlagValid = 1u << 0;
+constexpr uint8_t kFlagNdvFromSketch = 1u << 1;
+constexpr uint8_t kFlagHasSketch = 1u << 2;
+constexpr uint8_t kKnownFlags = kFlagValid | kFlagNdvFromSketch |
+                                kFlagHasSketch;
+
+void AppendDouble(double v, std::vector<uint8_t>* out) {
+  hist::wire::Append64(std::bit_cast<uint64_t>(v), out);
+}
+
+bool ReadDouble(Reader& reader, double* v) {
+  uint64_t bits;
+  if (!reader.Read64(&bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeColumnStats(const ColumnStats& stats) {
+  std::vector<uint8_t> out;
+  const std::vector<uint8_t> histogram =
+      hist::SerializeHistogramCompact(stats.histogram);
+  out.reserve(2 + 9 * 8 + histogram.size() + stats.top_k.size() * 6 +
+              (stats.ndv_sketch.valid() ? stats.ndv_sketch.num_registers()
+                                        : 0));
+  out.push_back(kColumnStatsFormatVersion);
+  uint8_t flags = 0;
+  if (stats.valid) flags |= kFlagValid;
+  if (stats.ndv_from_sketch) flags |= kFlagNdvFromSketch;
+  if (stats.ndv_sketch.valid()) flags |= kFlagHasSketch;
+  out.push_back(flags);
+  out.push_back(static_cast<uint8_t>(stats.provenance));
+  hist::wire::AppendVarint(stats.row_count, &out);
+  hist::wire::AppendVarint(stats.ndv, &out);
+  hist::wire::AppendZigZag(stats.min_value, &out);
+  hist::wire::AppendZigZag(stats.max_value, &out);
+  hist::wire::AppendVarint(stats.version, &out);
+  hist::wire::AppendVarint(stats.window_rows, &out);
+  AppendDouble(stats.ndv_rel_error, &out);
+  AppendDouble(stats.sampling_rate, &out);
+  AppendDouble(stats.build_seconds, &out);
+  AppendDouble(stats.coverage, &out);
+  AppendDouble(stats.certified_rel_error, &out);
+  AppendDouble(stats.window_seconds, &out);
+  hist::wire::AppendBytes(histogram, &out);
+  hist::wire::AppendVarint(stats.top_k.size(), &out);
+  for (const hist::ValueCount& mcv : stats.top_k) {
+    hist::wire::AppendZigZag(mcv.value, &out);
+    hist::wire::AppendVarint(mcv.count, &out);
+  }
+  if (stats.ndv_sketch.valid()) {
+    hist::wire::AppendVarint(stats.ndv_sketch.precision(), &out);
+    hist::wire::AppendBytes(stats.ndv_sketch.registers(), &out);
+  }
+  return out;
+}
+
+Result<ColumnStats> DeserializeColumnStats(std::span<const uint8_t> bytes) {
+  Reader reader(bytes);
+  uint8_t version = 0;
+  if (!reader.ReadByte(&version) || version != kColumnStatsFormatVersion) {
+    return Status::Corruption("unsupported column-stats format version");
+  }
+  uint8_t flags = 0;
+  uint8_t provenance = 0;
+  if (!reader.ReadByte(&flags) || !reader.ReadByte(&provenance)) {
+    return Status::Corruption("truncated column-stats header");
+  }
+  if ((flags & ~kKnownFlags) != 0) {
+    return Status::Corruption("unknown column-stats flag bits");
+  }
+  if (provenance > static_cast<uint8_t>(StatsProvenance::kRecovered)) {
+    return Status::Corruption("invalid provenance tag");
+  }
+  ColumnStats stats;
+  stats.valid = (flags & kFlagValid) != 0;
+  stats.ndv_from_sketch = (flags & kFlagNdvFromSketch) != 0;
+  stats.provenance = static_cast<StatsProvenance>(provenance);
+  if (!reader.ReadVarint(&stats.row_count) || !reader.ReadVarint(&stats.ndv) ||
+      !reader.ReadZigZag(&stats.min_value) ||
+      !reader.ReadZigZag(&stats.max_value) ||
+      !reader.ReadVarint(&stats.version) ||
+      !reader.ReadVarint(&stats.window_rows)) {
+    return Status::Corruption("truncated column-stats scalars");
+  }
+  if (!ReadDouble(reader, &stats.ndv_rel_error) ||
+      !ReadDouble(reader, &stats.sampling_rate) ||
+      !ReadDouble(reader, &stats.build_seconds) ||
+      !ReadDouble(reader, &stats.coverage) ||
+      !ReadDouble(reader, &stats.certified_rel_error) ||
+      !ReadDouble(reader, &stats.window_seconds)) {
+    return Status::Corruption("truncated column-stats doubles");
+  }
+  uint64_t histogram_size;
+  if (!reader.ReadVarint(&histogram_size) ||
+      histogram_size > reader.remaining()) {
+    return Status::Corruption("truncated embedded histogram");
+  }
+  std::span<const uint8_t> histogram_bytes;
+  if (!reader.ReadSpan(histogram_size, &histogram_bytes)) {
+    return Status::Corruption("truncated embedded histogram");
+  }
+  // The embedded parser enforces its own no-trailing-bytes rule over the
+  // sub-span, so the length prefix must be exact, not merely sufficient.
+  DPHIST_ASSIGN_OR_RETURN(stats.histogram,
+                          hist::DeserializeHistogram(histogram_bytes));
+  uint64_t num_mcv;
+  if (!reader.ReadVarint(&num_mcv)) {
+    return Status::Corruption("truncated MCV count");
+  }
+  // Each MCV entry needs at least two bytes on the wire.
+  if (num_mcv > reader.remaining() / 2 + 1) {
+    return Status::Corruption("MCV count exceeds buffer");
+  }
+  stats.top_k.reserve(num_mcv);
+  for (uint64_t i = 0; i < num_mcv; ++i) {
+    hist::ValueCount mcv;
+    if (!reader.ReadZigZag(&mcv.value) || !reader.ReadVarint(&mcv.count)) {
+      return Status::Corruption("truncated MCV entry");
+    }
+    stats.top_k.push_back(mcv);
+  }
+  if ((flags & kFlagHasSketch) != 0) {
+    uint64_t precision;
+    std::vector<uint8_t> registers;
+    if (!reader.ReadVarint(&precision) || !reader.ReadBytes(&registers)) {
+      return Status::Corruption("truncated NDV sketch");
+    }
+    DPHIST_ASSIGN_OR_RETURN(
+        stats.ndv_sketch,
+        hist::HllSketch::FromRegisters(static_cast<uint32_t>(precision),
+                                       std::move(registers)));
+  }
+  if (!reader.AtEnd()) {
+    return Status::Corruption("trailing bytes after column stats");
+  }
+  return stats;
+}
+
+}  // namespace dphist::db

@@ -1,0 +1,42 @@
+#ifndef DPHIST_DB_STATS_CODEC_H_
+#define DPHIST_DB_STATS_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "db/stats.h"
+
+namespace dphist::db {
+
+/// Format version 3 of the durable statistics family: where v1/v2
+/// (hist/serialize.h) carry a bare histogram, v3 carries the *entire*
+/// catalog ColumnStats record — provenance, coverage, certified error
+/// bounds, NDV sketch registers, window scope, the embedded histogram
+/// (as a v2 compact payload) and the MCV list. This is the record
+/// payload of the persistence layer's snapshot and WAL frames
+/// (src/persist): what the planner trusts after a restart is exactly
+/// what this codec round-trips.
+///
+/// The version byte shares the histogram formats' number space, so a v3
+/// buffer handed to hist::DeserializeHistogram is rejected as an
+/// unsupported version instead of misparsing, and vice versa.
+inline constexpr uint8_t kColumnStatsFormatVersion = 3;
+
+/// Varint/zigzag encoding throughout (hist::wire); doubles travel as
+/// fixed 64-bit IEEE bit patterns so every value — including negative
+/// "uncertified" sentinels and NaN-free exactness — round-trips
+/// bit-identically.
+std::vector<uint8_t> SerializeColumnStats(const ColumnStats& stats);
+
+/// Rejects truncation (including cuts landing mid-varint), overlong
+/// varints, unknown version bytes, out-of-range enum tags, corrupt
+/// embedded histograms, invalid sketch registers, and trailing bytes
+/// with Corruption. Declared entry counts are capped against the
+/// remaining payload before any reserve.
+Result<ColumnStats> DeserializeColumnStats(std::span<const uint8_t> bytes);
+
+}  // namespace dphist::db
+
+#endif  // DPHIST_DB_STATS_CODEC_H_

@@ -11,6 +11,26 @@ HllSketch::HllSketch(uint32_t precision) {
   registers_.assign(uint64_t{1} << precision, 0);
 }
 
+Result<HllSketch> HllSketch::FromRegisters(uint32_t precision,
+                                           std::vector<uint8_t> registers) {
+  if (precision < kMinPrecision || precision > kMaxPrecision) {
+    return Status::Corruption("hll restore: precision out of range");
+  }
+  if (registers.size() != (uint64_t{1} << precision)) {
+    return Status::Corruption("hll restore: register count != 2^precision");
+  }
+  const uint32_t max_rank = 64 - precision + 1;
+  for (uint8_t reg : registers) {
+    if (reg > max_rank) {
+      return Status::Corruption("hll restore: register rank out of range");
+    }
+  }
+  HllSketch sketch;
+  sketch.precision_ = precision;
+  sketch.registers_ = std::move(registers);
+  return sketch;
+}
+
 uint64_t HllSketch::HashValue(int64_t value) {
   // splitmix64 finalizer: a fixed, well-mixed 64-bit permutation.
   uint64_t x = static_cast<uint64_t>(value);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 
 namespace dphist::hist {
@@ -32,6 +33,15 @@ class HllSketch {
   /// [kMinPrecision, kMaxPrecision] yields an invalid sketch; callers
   /// that accept untrusted precisions validate before constructing.
   explicit HllSketch(uint32_t precision);
+
+  /// Rehydrates a sketch from persisted registers (the catalog's durable
+  /// form; db/stats_codec.h). Rejects a precision outside the legal
+  /// range, a register array whose size is not 2^precision, and any
+  /// register value above the maximum rank 64 - precision + 1 — a
+  /// corrupted register would silently poison every future merge, so the
+  /// restore path validates what Add() guarantees by construction.
+  static Result<HllSketch> FromRegisters(uint32_t precision,
+                                         std::vector<uint8_t> registers);
 
   bool valid() const { return !registers_.empty(); }
   uint32_t precision() const { return precision_; }

@@ -4,11 +4,7 @@
 
 namespace dphist::hist {
 
-namespace {
-
-constexpr uint8_t kFormatVersion = 1;         // fixed-width little-endian
-constexpr uint8_t kCompactFormatVersion = 2;  // LEB128 varints, zigzag signs
-constexpr size_t kMaxVarintBytes = 10;        // ceil(64 / 7)
+namespace wire {
 
 void Append64(uint64_t v, std::vector<uint8_t>* out) {
   uint8_t buf[8];
@@ -24,6 +20,15 @@ void AppendVarint(uint64_t v, std::vector<uint8_t>* out) {
   out->push_back(static_cast<uint8_t>(v));
 }
 
+void AppendZigZag(int64_t v, std::vector<uint8_t>* out) {
+  AppendVarint(ZigZag(v), out);
+}
+
+void AppendBytes(std::span<const uint8_t> bytes, std::vector<uint8_t>* out) {
+  AppendVarint(bytes.size(), out);
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
 uint64_t ZigZag(int64_t v) {
   return (static_cast<uint64_t>(v) << 1) ^
          static_cast<uint64_t>(v >> 63);
@@ -33,57 +38,66 @@ int64_t UnZigZag(uint64_t v) {
   return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
 }
 
-class Reader {
- public:
-  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+bool Reader::Read64(uint64_t* v) {
+  if (pos_ + 8 > bytes_.size()) return false;
+  std::memcpy(v, bytes_.data() + pos_, 8);
+  pos_ += 8;
+  return true;
+}
 
-  bool Read64(uint64_t* v) {
-    if (pos_ + 8 > bytes_.size()) return false;
-    std::memcpy(v, bytes_.data() + pos_, 8);
-    pos_ += 8;
-    return true;
+bool Reader::ReadByte(uint8_t* v) {
+  if (pos_ >= bytes_.size()) return false;
+  *v = bytes_[pos_++];
+  return true;
+}
+
+/// LEB128 decode. Fails on a payload that ends mid-varint (continuation
+/// bit set on the final available byte) and on overlong encodings that
+/// would spill past 64 bits.
+bool Reader::ReadVarint(uint64_t* v) {
+  *v = 0;
+  for (size_t i = 0; i < kMaxVarintBytes; ++i) {
+    if (pos_ >= bytes_.size()) return false;  // truncated mid-varint
+    const uint8_t byte = bytes_[pos_++];
+    // The 10th byte may only carry the final bit of a 64-bit value.
+    if (i == kMaxVarintBytes - 1 && (byte & 0xFE) != 0) return false;
+    *v |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
+    if ((byte & 0x80) == 0) return true;
   }
+  return false;
+}
 
-  bool ReadByte(uint8_t* v) {
-    if (pos_ >= bytes_.size()) return false;
-    *v = bytes_[pos_++];
-    return true;
-  }
+bool Reader::ReadZigZag(int64_t* v) {
+  uint64_t raw;
+  if (!ReadVarint(&raw)) return false;
+  *v = UnZigZag(raw);
+  return true;
+}
 
-  /// LEB128 decode. Fails on a payload that ends mid-varint (continuation
-  /// bit set on the final available byte) and on overlong encodings that
-  /// would spill past 64 bits.
-  bool ReadVarint(uint64_t* v) {
-    *v = 0;
-    for (size_t i = 0; i < kMaxVarintBytes; ++i) {
-      if (pos_ >= bytes_.size()) return false;  // truncated mid-varint
-      const uint8_t byte = bytes_[pos_++];
-      // The 10th byte may only carry the final bit of a 64-bit value.
-      if (i == kMaxVarintBytes - 1 && (byte & 0xFE) != 0) return false;
-      *v |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
-      if ((byte & 0x80) == 0) return true;
-    }
-    return false;
-  }
+bool Reader::ReadBytes(std::vector<uint8_t>* out) {
+  uint64_t size;
+  if (!ReadVarint(&size)) return false;
+  if (size > remaining()) return false;  // declared size exceeds payload
+  out->assign(bytes_.data() + pos_, bytes_.data() + pos_ + size);
+  pos_ += size;
+  return true;
+}
 
-  bool ReadZigZag(int64_t* v) {
-    uint64_t raw;
-    if (!ReadVarint(&raw)) return false;
-    *v = UnZigZag(raw);
-    return true;
-  }
+bool Reader::ReadSpan(size_t n, std::span<const uint8_t>* out) {
+  if (n > remaining()) return false;
+  *out = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return true;
+}
 
-  size_t remaining() const { return bytes_.size() - pos_; }
-  bool AtEnd() const { return pos_ == bytes_.size(); }
+}  // namespace wire
 
- private:
-  std::span<const uint8_t> bytes_;
-  size_t pos_ = 0;
-};
+namespace {
 
-Result<Histogram> DeserializeFixed(Reader& reader,
-                                   std::span<const uint8_t> bytes,
-                                   HistogramType type) {
+constexpr uint8_t kFormatVersion = 1;         // fixed-width little-endian
+constexpr uint8_t kCompactFormatVersion = 2;  // LEB128 varints, zigzag signs
+
+Result<Histogram> DeserializeFixed(wire::Reader& reader, HistogramType type) {
   Histogram h;
   h.type = type;
   uint64_t min_value;
@@ -99,9 +113,8 @@ Result<Histogram> DeserializeFixed(Reader& reader,
   h.max_value = static_cast<int64_t>(max_value);
 
   // Sanity bound before reserving: each bucket needs 32 bytes on the
-  // wire, so the counts cannot exceed what the buffer could hold.
-  if (num_buckets > bytes.size() / 32 + 1 ||
-      num_singletons > bytes.size() / 16 + 1) {
+  // wire, so the count cannot exceed what actually remains.
+  if (num_buckets > reader.remaining() / 32 + 1) {
     return Status::Corruption("histogram entry counts exceed buffer");
   }
   h.buckets.reserve(num_buckets);
@@ -117,6 +130,12 @@ Result<Histogram> DeserializeFixed(Reader& reader,
     b.hi = static_cast<int64_t>(hi);
     h.buckets.push_back(b);
   }
+  // The singleton bound must be checked *after* the buckets have consumed
+  // their bytes: a count validated against the pre-bucket remaining could
+  // still reserve far more memory than the leftover payload can justify.
+  if (num_singletons > reader.remaining() / 16 + 1) {
+    return Status::Corruption("histogram entry counts exceed buffer");
+  }
   h.singletons.reserve(num_singletons);
   for (uint64_t i = 0; i < num_singletons; ++i) {
     uint64_t value;
@@ -130,7 +149,8 @@ Result<Histogram> DeserializeFixed(Reader& reader,
   return h;
 }
 
-Result<Histogram> DeserializeCompact(Reader& reader, HistogramType type) {
+Result<Histogram> DeserializeCompact(wire::Reader& reader,
+                                     HistogramType type) {
   Histogram h;
   h.type = type;
   uint64_t num_buckets;
@@ -140,10 +160,9 @@ Result<Histogram> DeserializeCompact(Reader& reader, HistogramType type) {
       !reader.ReadVarint(&num_singletons)) {
     return Status::Corruption("truncated compact histogram header");
   }
-  // Every entry needs at least one byte per field on the wire, so the
-  // declared counts cannot exceed the bytes that remain.
-  if (num_buckets > reader.remaining() / 4 + 1 ||
-      num_singletons > reader.remaining() / 2 + 1) {
+  // Every bucket needs at least one byte per field on the wire, so the
+  // declared count cannot exceed the bytes that remain.
+  if (num_buckets > reader.remaining() / 4 + 1) {
     return Status::Corruption("compact histogram entry counts exceed buffer");
   }
   h.buckets.reserve(num_buckets);
@@ -154,6 +173,12 @@ Result<Histogram> DeserializeCompact(Reader& reader, HistogramType type) {
       return Status::Corruption("truncated compact bucket");
     }
     h.buckets.push_back(b);
+  }
+  // As in the fixed format: validate against what is left *now*, after
+  // the buckets have been consumed, so the reserve below can never
+  // exceed the remaining payload by more than a small constant factor.
+  if (num_singletons > reader.remaining() / 2 + 1) {
+    return Status::Corruption("compact histogram entry counts exceed buffer");
   }
   h.singletons.reserve(num_singletons);
   for (uint64_t i = 0; i < num_singletons; ++i) {
@@ -174,20 +199,20 @@ std::vector<uint8_t> SerializeHistogram(const Histogram& histogram) {
               histogram.singletons.size() * 16);
   out.push_back(kFormatVersion);
   out.push_back(static_cast<uint8_t>(histogram.type));
-  Append64(static_cast<uint64_t>(histogram.min_value), &out);
-  Append64(static_cast<uint64_t>(histogram.max_value), &out);
-  Append64(histogram.total_count, &out);
-  Append64(histogram.buckets.size(), &out);
-  Append64(histogram.singletons.size(), &out);
+  wire::Append64(static_cast<uint64_t>(histogram.min_value), &out);
+  wire::Append64(static_cast<uint64_t>(histogram.max_value), &out);
+  wire::Append64(histogram.total_count, &out);
+  wire::Append64(histogram.buckets.size(), &out);
+  wire::Append64(histogram.singletons.size(), &out);
   for (const auto& b : histogram.buckets) {
-    Append64(static_cast<uint64_t>(b.lo), &out);
-    Append64(static_cast<uint64_t>(b.hi), &out);
-    Append64(b.count, &out);
-    Append64(b.distinct, &out);
+    wire::Append64(static_cast<uint64_t>(b.lo), &out);
+    wire::Append64(static_cast<uint64_t>(b.hi), &out);
+    wire::Append64(b.count, &out);
+    wire::Append64(b.distinct, &out);
   }
   for (const auto& s : histogram.singletons) {
-    Append64(static_cast<uint64_t>(s.value), &out);
-    Append64(s.count, &out);
+    wire::Append64(static_cast<uint64_t>(s.value), &out);
+    wire::Append64(s.count, &out);
   }
   return out;
 }
@@ -198,26 +223,26 @@ std::vector<uint8_t> SerializeHistogramCompact(const Histogram& histogram) {
               histogram.singletons.size() * 4);
   out.push_back(kCompactFormatVersion);
   out.push_back(static_cast<uint8_t>(histogram.type));
-  AppendVarint(ZigZag(histogram.min_value), &out);
-  AppendVarint(ZigZag(histogram.max_value), &out);
-  AppendVarint(histogram.total_count, &out);
-  AppendVarint(histogram.buckets.size(), &out);
-  AppendVarint(histogram.singletons.size(), &out);
+  wire::AppendZigZag(histogram.min_value, &out);
+  wire::AppendZigZag(histogram.max_value, &out);
+  wire::AppendVarint(histogram.total_count, &out);
+  wire::AppendVarint(histogram.buckets.size(), &out);
+  wire::AppendVarint(histogram.singletons.size(), &out);
   for (const auto& b : histogram.buckets) {
-    AppendVarint(ZigZag(b.lo), &out);
-    AppendVarint(ZigZag(b.hi), &out);
-    AppendVarint(b.count, &out);
-    AppendVarint(b.distinct, &out);
+    wire::AppendZigZag(b.lo, &out);
+    wire::AppendZigZag(b.hi, &out);
+    wire::AppendVarint(b.count, &out);
+    wire::AppendVarint(b.distinct, &out);
   }
   for (const auto& s : histogram.singletons) {
-    AppendVarint(ZigZag(s.value), &out);
-    AppendVarint(s.count, &out);
+    wire::AppendZigZag(s.value, &out);
+    wire::AppendVarint(s.count, &out);
   }
   return out;
 }
 
 Result<Histogram> DeserializeHistogram(std::span<const uint8_t> bytes) {
-  Reader reader(bytes);
+  wire::Reader reader(bytes);
   uint8_t version = 0;
   uint8_t type = 0;
   if (!reader.ReadByte(&version) ||
@@ -229,7 +254,7 @@ Result<Histogram> DeserializeHistogram(std::span<const uint8_t> bytes) {
     return Status::Corruption("invalid histogram type tag");
   }
   auto parsed = version == kFormatVersion
-                    ? DeserializeFixed(reader, bytes,
+                    ? DeserializeFixed(reader,
                                        static_cast<HistogramType>(type))
                     : DeserializeCompact(reader,
                                          static_cast<HistogramType>(type));

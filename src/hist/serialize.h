@@ -10,6 +10,53 @@
 
 namespace dphist::hist {
 
+/// Low-level wire primitives shared by every durable format in the tree:
+/// the histogram formats below, the v3 ColumnStats record
+/// (db/stats_codec.h), and the persistence layer's snapshot/WAL frames
+/// (src/persist). LEB128 varints with zigzag-mapped signed values; the
+/// reader rejects truncation (including a payload cut mid-varint) and
+/// overlong encodings, so every consumer inherits the same hardened
+/// decode discipline the fuzz suite pins.
+namespace wire {
+
+constexpr size_t kMaxVarintBytes = 10;  ///< ceil(64 / 7)
+
+void Append64(uint64_t v, std::vector<uint8_t>* out);
+void AppendVarint(uint64_t v, std::vector<uint8_t>* out);
+void AppendZigZag(int64_t v, std::vector<uint8_t>* out);
+/// Length-prefixed byte string: varint(size) + raw bytes.
+void AppendBytes(std::span<const uint8_t> bytes, std::vector<uint8_t>* out);
+
+uint64_t ZigZag(int64_t v);
+int64_t UnZigZag(uint64_t v);
+
+/// Bounds-checked sequential reader. Every Read* returns false instead
+/// of reading past the end; ReadVarint additionally rejects overlong
+/// encodings that would spill past 64 bits.
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool Read64(uint64_t* v);
+  bool ReadByte(uint8_t* v);
+  bool ReadVarint(uint64_t* v);
+  bool ReadZigZag(int64_t* v);
+  /// Reads a length-prefixed byte string. The declared size is capped
+  /// against the remaining payload before any allocation.
+  bool ReadBytes(std::vector<uint8_t>* out);
+  /// Borrows `n` raw bytes from the payload without copying.
+  bool ReadSpan(size_t n, std::span<const uint8_t>* out);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace wire
+
 /// Binary (de)serialization of histograms, so a catalog can persist its
 /// statistics the way engines store them in system tables (pg_statistic,
 /// Oracle's DBA_TAB_HISTOGRAMS, ...). Fixed-width little-endian layout
@@ -28,8 +75,12 @@ std::vector<uint8_t> SerializeHistogramCompact(const Histogram& histogram);
 
 /// Parses a buffer produced by either serializer, dispatching on the
 /// leading version byte. Rejects truncated input (including a payload cut
-/// mid-varint), overlong varints, unknown versions, and trailing bytes
-/// with Corruption.
+/// mid-varint), overlong varints, unknown versions (including the v3
+/// ColumnStats record tag — that is a catalog-level format, parsed by
+/// db::DeserializeColumnStats), and trailing bytes with Corruption.
+/// Declared entry counts are capped against the bytes actually remaining
+/// at the point of each reserve, so an adversarial length prefix can
+/// never force an allocation larger than the payload it arrived in.
 Result<Histogram> DeserializeHistogram(std::span<const uint8_t> bytes);
 
 }  // namespace dphist::hist

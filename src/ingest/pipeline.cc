@@ -23,6 +23,16 @@ IngestPipeline::IngestPipeline(db::Catalog* catalog, accel::Device* device,
   options_.request.want_max_diff = false;
 }
 
+void IngestPipeline::NotifyInstalled(size_t column) {
+  if (options_.persistence == nullptr) return;
+  // Log the catalog's stored record, not a caller-side copy: recovery
+  // must re-create catalog state bit for bit.
+  auto stored = catalog_->GetColumnStats(table_, column);
+  if (stored.ok()) {
+    options_.persistence->OnStatsInstalled(table_, column, **stored);
+  }
+}
+
 std::vector<int64_t> IngestPipeline::MaterializeColumn() const {
   std::vector<int64_t> column;
   column.reserve(live_rows_);
@@ -48,6 +58,7 @@ Status IngestPipeline::Load(const std::vector<int64_t>& initial_values) {
       auto report,
       scanner.ScanAndRefresh(table_, 0, options_.request, options_.engine));
   (void)report;
+  NotifyInstalled(0);
   return Status::OK();
 }
 
@@ -82,9 +93,18 @@ Status IngestPipeline::ApplyBatch(std::span<const IngestOp> ops) {
   // stats install, so stats built below are stamped at the post-churn
   // version and every version-checking cache observes the batch.
   if (on_ingest) {
+    // Delegated bump: whoever performs it (svc::NotifyIngest) owns
+    // logging it — recording it here too would double it in the WAL.
     on_ingest(table_);
   } else {
     DPHIST_RETURN_NOT_OK(catalog_->BumpDataVersion(table_));
+    if (options_.persistence != nullptr) {
+      auto entry = catalog_->Find(table_);
+      if (entry.ok()) {
+        options_.persistence->OnDataVersionBump(table_,
+                                                (*entry)->data_version);
+      }
+    }
   }
   ++counters_.version_bumps;
 
@@ -109,6 +129,7 @@ Status IngestPipeline::ApplyBatch(std::span<const IngestOp> ops) {
   if (!maintainers_.empty()) {
     DPHIST_RETURN_NOT_OK(catalog_->SetColumnStats(
         table_, 0, maintainers_.front()->Snapshot(live_rows_)));
+    NotifyInstalled(0);
   }
   ++counters_.batches;
   return Status::OK();
@@ -129,6 +150,7 @@ Status IngestPipeline::Rescan(std::span<StatsMaintainer* const> absorbers) {
       scanner.ScanAndRefresh(table_, 0, options_.request, options_.engine));
   DPHIST_ASSIGN_OR_RETURN(const db::ColumnStats* fresh,
                           catalog_->GetColumnStats(table_, 0));
+  NotifyInstalled(0);
   if (absorbers.empty()) {
     for (auto& maintainer : maintainers_) maintainer->AbsorbRescan(*fresh);
   } else {

@@ -31,6 +31,14 @@ struct PipelineOptions {
   /// column; the rest are filler, as in the synthetic workloads).
   uint32_t num_columns = 4;
   uint64_t table_seed = 1;
+  /// Durability hook (not owned; must outlive the pipeline): notified of
+  /// every stats install the pipeline performs (seed scan, rescan,
+  /// per-batch snapshot) and of its own data-version bumps. When
+  /// `on_ingest` is wired to svc::StatsService::NotifyIngest and that
+  /// service shares the same sink, bumps are logged by the service —
+  /// the pipeline only logs bumps it performs itself, so the WAL never
+  /// records one twice. nullptr = no persistence.
+  db::StatsEventSink* persistence = nullptr;
 };
 
 /// Per-pipeline ingest/rescan counters.
@@ -103,6 +111,9 @@ class IngestPipeline {
 
  private:
   std::vector<int64_t> MaterializeColumn() const;
+  /// Forwards the catalog's stored stats for (table_, column) to the
+  /// persistence sink, if any.
+  void NotifyInstalled(size_t column);
 
   db::Catalog* catalog_;
   accel::Device* device_;

@@ -1,0 +1,379 @@
+#include "persist/io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace dphist::persist {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::Internal(std::string(op) + " failed for '" + path +
+                          "': " + std::strerror(errno));
+}
+
+// ---------------------------------------------------------------------------
+// POSIX
+// ---------------------------------------------------------------------------
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Append(std::span<const uint8_t> data) override {
+    if (file_ == nullptr) return Status::Internal("append after close");
+    if (data.empty()) return Status::OK();
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return ErrnoStatus("fwrite", path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::Internal("sync after close");
+    if (std::fflush(file_) != 0) return ErrnoStatus("fflush", path_);
+#ifndef _WIN32
+    if (::fsync(::fileno(file_)) != 0) return ErrnoStatus("fsync", path_);
+#endif
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    std::FILE* file = file_;
+    file_ = nullptr;
+    if (std::fclose(file) != 0) return ErrnoStatus("fclose", path_);
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class PosixFileSystemImpl : public FileSystem {
+ public:
+  Result<std::unique_ptr<WritableFile>> Create(
+      const std::string& path) override {
+    return OpenMode(path, "wb");
+  }
+
+  Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override {
+    return OpenMode(path, "ab");
+  }
+
+  Result<std::vector<uint8_t>> ReadAll(const std::string& path) const override {
+    std::FILE* file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+      return Status::NotFound("cannot open '" + path +
+                              "': " + std::strerror(errno));
+    }
+    std::vector<uint8_t> bytes;
+    uint8_t chunk[1 << 16];
+    size_t got = 0;
+    while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+      bytes.insert(bytes.end(), chunk, chunk + got);
+    }
+    const bool failed = std::ferror(file) != 0;
+    std::fclose(file);
+    if (failed) return ErrnoStatus("fread", path);
+    return bytes;
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus("rename", from);
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) return ErrnoStatus("remove", path);
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> List(const std::string& dir) const override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+    if (ec) {
+      return Status::Internal("cannot list '" + dir + "': " + ec.message());
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  bool Exists(const std::string& path) const override {
+    std::error_code ec;
+    return std::filesystem::exists(path, ec);
+  }
+
+  Status CreateDir(const std::string& dir) override {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return Status::Internal("cannot create '" + dir + "': " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+#ifndef _WIN32
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus("open", dir);
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) return ErrnoStatus("fsync", dir);
+#endif
+    return Status::OK();
+  }
+
+ private:
+  static Result<std::unique_ptr<WritableFile>> OpenMode(
+      const std::string& path, const char* mode) {
+    std::FILE* file = std::fopen(path.c_str(), mode);
+    if (file == nullptr) return ErrnoStatus("fopen", path);
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(file, path));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// In-memory
+// ---------------------------------------------------------------------------
+
+}  // namespace
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(MemFileSystem* fs, std::string path)
+      : fs_(fs), path_(std::move(path)) {}
+
+  Status Append(std::span<const uint8_t> data) override {
+    std::lock_guard<std::mutex> lock(fs_->mu_);
+    auto it = fs_->files_.find(path_);
+    if (it == fs_->files_.end()) {
+      // The file was renamed or removed under us; model the POSIX
+      // behaviour of writing into an unlinked inode: bytes go nowhere
+      // visible, which for tests is best surfaced as an error.
+      return Status::Internal("append to removed file '" + path_ + "'");
+    }
+    it->second.insert(it->second.end(), data.begin(), data.end());
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  MemFileSystem* fs_;
+  std::string path_;
+};
+
+Result<std::unique_ptr<WritableFile>> MemFileSystem::Create(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_[path].clear();
+  }
+  return std::unique_ptr<WritableFile>(new MemWritableFile(this, path));
+}
+
+Result<std::unique_ptr<WritableFile>> MemFileSystem::OpenForAppend(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.try_emplace(path);
+  }
+  return std::unique_ptr<WritableFile>(new MemWritableFile(this, path));
+}
+
+Result<std::vector<uint8_t>> MemFileSystem::ReadAll(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return it->second;
+}
+
+Status MemFileSystem::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) return Status::NotFound("no such file: " + from);
+  files_[to] = std::move(it->second);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemFileSystem::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) return Status::NotFound("no such file: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> MemFileSystem::List(
+    const std::string& dir) const {
+  const std::string prefix = dir.empty() || dir.back() == '/' ? dir : dir + "/";
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [path, bytes] : files_) {
+    if (path.size() <= prefix.size() ||
+        path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string rest = path.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) names.push_back(rest);
+  }
+  return names;
+}
+
+bool MemFileSystem::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) != 0;
+}
+
+Status MemFileSystem::CreateDir(const std::string&) { return Status::OK(); }
+Status MemFileSystem::SyncDir(const std::string&) { return Status::OK(); }
+
+// ---------------------------------------------------------------------------
+// Crash injection
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status InjectedCrash() { return Status::Internal("injected crash"); }
+
+}  // namespace
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultFileSystem* fs, std::unique_ptr<WritableFile> base)
+      : fs_(fs), base_(std::move(base)) {}
+
+  Status Append(std::span<const uint8_t> data) override {
+    const uint64_t allowed = fs_->Consume(data.size());
+    if (allowed > 0) {
+      // Best-effort: the torn prefix reaches "disk" even though the
+      // logical write fails — exactly what a mid-write power cut does.
+      (void)base_->Append(data.subspan(0, static_cast<size_t>(allowed)));
+    }
+    if (allowed < data.size()) return InjectedCrash();
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    DPHIST_RETURN_NOT_OK(fs_->CheckAlive());
+    return base_->Sync();
+  }
+
+  Status Close() override {
+    // Closing a file on a dead process is moot; forward regardless so the
+    // base implementation releases resources.
+    return base_->Close();
+  }
+
+ private:
+  FaultFileSystem* fs_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+Result<std::unique_ptr<WritableFile>> FaultFileSystem::Create(
+    const std::string& path) {
+  DPHIST_RETURN_NOT_OK(CheckAlive());
+  DPHIST_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                          base_->Create(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, std::move(base)));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultFileSystem::OpenForAppend(
+    const std::string& path) {
+  DPHIST_RETURN_NOT_OK(CheckAlive());
+  DPHIST_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                          base_->OpenForAppend(path));
+  return std::unique_ptr<WritableFile>(
+      new FaultWritableFile(this, std::move(base)));
+}
+
+Result<std::vector<uint8_t>> FaultFileSystem::ReadAll(
+    const std::string& path) const {
+  return base_->ReadAll(path);
+}
+
+Status FaultFileSystem::Rename(const std::string& from, const std::string& to) {
+  DPHIST_RETURN_NOT_OK(CheckAlive());
+  return base_->Rename(from, to);
+}
+
+Status FaultFileSystem::Remove(const std::string& path) {
+  DPHIST_RETURN_NOT_OK(CheckAlive());
+  return base_->Remove(path);
+}
+
+Result<std::vector<std::string>> FaultFileSystem::List(
+    const std::string& dir) const {
+  return base_->List(dir);
+}
+
+bool FaultFileSystem::Exists(const std::string& path) const {
+  return base_->Exists(path);
+}
+
+Status FaultFileSystem::CreateDir(const std::string& dir) {
+  DPHIST_RETURN_NOT_OK(CheckAlive());
+  return base_->CreateDir(dir);
+}
+
+Status FaultFileSystem::SyncDir(const std::string& dir) {
+  DPHIST_RETURN_NOT_OK(CheckAlive());
+  return base_->SyncDir(dir);
+}
+
+bool FaultFileSystem::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultFileSystem::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return written_;
+}
+
+uint64_t FaultFileSystem::Consume(uint64_t want) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return 0;
+  const uint64_t left = plan_.crash_after_bytes - written_;
+  const uint64_t allowed = std::min(want, left);
+  written_ += allowed;
+  if (allowed < want) crashed_ = true;
+  return allowed;
+}
+
+Status FaultFileSystem::CheckAlive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return InjectedCrash();
+  return Status::OK();
+}
+
+FileSystem* PosixFileSystem() {
+  static PosixFileSystemImpl* fs = new PosixFileSystemImpl();
+  return fs;
+}
+
+}  // namespace dphist::persist

@@ -1,0 +1,148 @@
+#ifndef DPHIST_PERSIST_IO_H_
+#define DPHIST_PERSIST_IO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace dphist::persist {
+
+/// Append-only handle to one file. Append buffers at the implementation's
+/// discretion; Sync is the durability barrier — after it returns OK, the
+/// appended bytes survive a crash. Close without Sync promises nothing.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+  virtual Status Append(std::span<const uint8_t> data) = 0;
+  virtual Status Sync() = 0;
+  virtual Status Close() = 0;
+};
+
+/// The persistence layer's view of a filesystem. Abstracted for the same
+/// reason sim::FaultInjector abstracts the DRAM: crash-consistency
+/// claims are only testable when every byte that "reaches disk" is
+/// observable and every write can be torn at a chosen offset. Production
+/// uses the POSIX implementation; tests use the in-memory one wrapped in
+/// a FaultFileSystem.
+///
+/// Paths are plain strings joined with '/'; implementations treat them
+/// opaquely (no normalization).
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Creates (truncating) a file for writing.
+  virtual Result<std::unique_ptr<WritableFile>> Create(
+      const std::string& path) = 0;
+  /// Opens a file for appending, creating it when absent.
+  virtual Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) = 0;
+  virtual Result<std::vector<uint8_t>> ReadAll(
+      const std::string& path) const = 0;
+  /// Atomic replace: after Rename returns OK, `to` refers to the
+  /// complete file and the old `to` (if any) is gone — never a mix.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+  virtual Status Remove(const std::string& path) = 0;
+  /// Filenames (not paths) of the directory's entries.
+  virtual Result<std::vector<std::string>> List(
+      const std::string& dir) const = 0;
+  virtual bool Exists(const std::string& path) const = 0;
+  /// Creates the directory (and parents); OK when it already exists.
+  virtual Status CreateDir(const std::string& dir) = 0;
+  /// Durability barrier for directory metadata: a rename installed
+  /// before SyncDir survives a crash after it.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// The real filesystem: stdio + fsync, fsync-on-directory for rename
+/// durability. Process-wide singleton (stateless).
+FileSystem* PosixFileSystem();
+
+/// Hermetic in-memory filesystem for tests and benchmarks. Append is
+/// modelled as reaching "disk" immediately (no OS buffer); crash
+/// injection is the FaultFileSystem wrapper's job, which tears the write
+/// stream itself. Thread-safe.
+class MemFileSystem : public FileSystem {
+ public:
+  Result<std::unique_ptr<WritableFile>> Create(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadAll(
+      const std::string& path) const override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Result<std::vector<std::string>> List(
+      const std::string& dir) const override;
+  bool Exists(const std::string& path) const override;
+  Status CreateDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class MemWritableFile;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<uint8_t>> files_;
+};
+
+/// One seeded crash plan, mirroring sim::FaultScenario: the injection
+/// point is a cumulative *written-byte* offset, so a test can sweep every
+/// byte of a workload's write stream and assert recovery at each.
+struct CrashPlan {
+  /// Cumulative Append budget across all files. The write that crosses
+  /// the budget is torn — only the bytes up to the boundary reach the
+  /// underlying filesystem — and every subsequent operation fails.
+  /// UINT64_MAX = never crash.
+  uint64_t crash_after_bytes = UINT64_MAX;
+};
+
+/// Wraps a FileSystem and injects one deterministic crash: writes are
+/// forwarded until the plan's byte budget is exhausted, the crossing
+/// write is torn at the exact boundary, and from then on every mutating
+/// operation (and Sync) fails with Internal("injected crash") — the
+/// process is "dead". Reads pass through untouched so the test can then
+/// recover from the surviving bytes with a clean filesystem handle.
+class FaultFileSystem : public FileSystem {
+ public:
+  FaultFileSystem(FileSystem* base, CrashPlan plan)
+      : base_(base), plan_(plan) {}
+
+  Result<std::unique_ptr<WritableFile>> Create(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override;
+  Result<std::vector<uint8_t>> ReadAll(
+      const std::string& path) const override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Result<std::vector<std::string>> List(
+      const std::string& dir) const override;
+  bool Exists(const std::string& path) const override;
+  Status CreateDir(const std::string& dir) override;
+  Status SyncDir(const std::string& dir) override;
+
+  bool crashed() const;
+  uint64_t bytes_written() const;
+
+ private:
+  friend class FaultWritableFile;
+  /// Consumes up to `want` bytes of budget; returns how many may still be
+  /// written. Flips crashed_ when the budget is crossed.
+  uint64_t Consume(uint64_t want);
+  Status CheckAlive() const;
+
+  FileSystem* base_;
+  CrashPlan plan_;
+  mutable std::mutex mu_;
+  uint64_t written_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace dphist::persist
+
+#endif  // DPHIST_PERSIST_IO_H_

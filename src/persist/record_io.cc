@@ -1,0 +1,101 @@
+#include "persist/record_io.h"
+
+#include <array>
+
+namespace dphist::persist {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+uint32_t Crc32Extend(uint32_t crc, std::span<const uint8_t> data) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  for (uint8_t byte : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ byte) & 0xFFu];
+  }
+  return crc;
+}
+
+void AppendU32(uint32_t value, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(value));
+  out->push_back(static_cast<uint8_t>(value >> 8));
+  out->push_back(static_cast<uint8_t>(value >> 16));
+  out->push_back(static_cast<uint8_t>(value >> 24));
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint32_t FrameCrc(RecordType type, std::span<const uint8_t> payload) {
+  const uint8_t type_byte = static_cast<uint8_t>(type);
+  uint32_t crc = Crc32Extend(0xFFFFFFFFu, std::span(&type_byte, 1));
+  crc = Crc32Extend(crc, payload);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data) {
+  return Crc32Extend(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+void AppendRecord(RecordType type, std::span<const uint8_t> payload,
+                  std::vector<uint8_t>* out) {
+  AppendU32(static_cast<uint32_t>(payload.size()), out);
+  AppendU32(FrameCrc(type, payload), out);
+  out->push_back(static_cast<uint8_t>(type));
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+Status WriteRecord(WritableFile* file, RecordType type,
+                   std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kRecordHeaderBytes + payload.size());
+  AppendRecord(type, payload, &frame);
+  return file->Append(frame);
+}
+
+bool RecordCursor::Next(RecordType* type, std::span<const uint8_t>* payload) {
+  if (done_) return false;
+  const size_t remaining = bytes_.size() - pos_;
+  if (remaining < kRecordHeaderBytes) {
+    done_ = true;
+    return false;
+  }
+  const uint8_t* head = bytes_.data() + pos_;
+  const uint32_t len = ReadU32(head);
+  const uint32_t stored_crc = ReadU32(head + 4);
+  if (static_cast<uint64_t>(len) > remaining - kRecordHeaderBytes) {
+    // The length prefix promises more bytes than the file holds: either
+    // the tail was torn mid-payload or the prefix itself is garbage.
+    // Both end the stream.
+    done_ = true;
+    return false;
+  }
+  std::span<const uint8_t> body =
+      bytes_.subspan(pos_ + kRecordHeaderBytes, len);
+  const RecordType record_type = static_cast<RecordType>(head[8]);
+  if (FrameCrc(record_type, body) != stored_crc) {
+    done_ = true;
+    return false;
+  }
+  pos_ += kRecordHeaderBytes + len;
+  *type = record_type;
+  *payload = body;
+  return true;
+}
+
+}  // namespace dphist::persist

@@ -1,0 +1,80 @@
+#ifndef DPHIST_PERSIST_RECORD_IO_H_
+#define DPHIST_PERSIST_RECORD_IO_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "persist/io.h"
+
+namespace dphist::persist {
+
+/// Record types shared by the snapshot and WAL file formats. The two
+/// files use disjoint ranges so a frame from one can never be mistaken
+/// for the other even if a path mix-up feeds the wrong file to a reader.
+enum class RecordType : uint8_t {
+  // Snapshot stream: header, one meta per table, one stats record per
+  // persisted column, footer. The footer doubles as the validity seal —
+  // a snapshot without one was torn mid-write and is ignored.
+  kSnapshotHeader = 1,
+  kTableMeta = 2,
+  kColumnStats = 3,
+  kSnapshotFooter = 4,
+  // WAL stream: one frame per catalog mutation, plus a marker recording
+  // that a checkpoint superseded the log's prefix.
+  kWalStatsInstalled = 16,
+  kWalVersionBump = 17,
+  kWalSnapshotTaken = 18,
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`.
+/// Self-contained table-driven implementation — the persistence layer
+/// must not grow a dependency for 20 lines of checksum.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+/// Frame layout, all integers little-endian:
+///
+///   [u32 payload_len][u32 crc][u8 type][payload: payload_len bytes]
+///
+/// where crc = Crc32(type ++ payload). The checksum covers the type byte
+/// so a bit flip cannot silently reinterpret a record as another kind.
+inline constexpr size_t kRecordHeaderBytes = 9;
+
+/// Appends one framed record to `out`.
+void AppendRecord(RecordType type, std::span<const uint8_t> payload,
+                  std::vector<uint8_t>* out);
+
+/// Frames `payload` and appends it to `file` (no Sync — the caller
+/// decides the durability boundary).
+Status WriteRecord(WritableFile* file, RecordType type,
+                   std::span<const uint8_t> payload);
+
+/// Iterates the frames of a record stream with torn-tail tolerance: the
+/// first frame that is incomplete, oversized, or fails its checksum ends
+/// the stream. That is the crash-recovery contract — a torn tail is the
+/// expected shape of a WAL after power loss, never an abort.
+class RecordCursor {
+ public:
+  explicit RecordCursor(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  /// Advances to the next valid frame. Returns false at end of stream —
+  /// either a clean end (clean_end() == true) or a torn/corrupt tail
+  /// (truncated_bytes() > 0 bytes were discarded).
+  bool Next(RecordType* type, std::span<const uint8_t>* payload);
+
+  /// Bytes discarded at the tail; 0 after a clean end.
+  size_t truncated_bytes() const { return done_ ? bytes_.size() - pos_ : 0; }
+  bool clean_end() const { return done_ && pos_ == bytes_.size(); }
+  /// Byte offset of the next unread frame (== bytes consumed so far).
+  size_t position() const { return pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace dphist::persist
+
+#endif  // DPHIST_PERSIST_RECORD_IO_H_

@@ -1,0 +1,268 @@
+#include "persist/recovery.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+#include "persist/snapshot.h"
+
+namespace dphist::persist {
+
+RecoveryManager::RecoveryManager(db::Catalog* catalog, PersistOptions options)
+    : catalog_(catalog),
+      options_(std::move(options)),
+      fs_(options_.fs != nullptr ? options_.fs : PosixFileSystem()),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : svc::MonotonicClock::Global()) {}
+
+RecoveryManager::~RecoveryManager() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_.has_value()) (void)wal_->Sync();
+}
+
+Result<RecoveryReport> RecoveryManager::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recovered_) return Status::Internal("Recover() called twice");
+  DPHIST_RETURN_NOT_OK(fs_->CreateDir(options_.dir));
+
+  RecoveryReport report;
+
+  // Phase 1: latest valid snapshot (NotFound = cold start, chain seq 0).
+  Result<SnapshotContents> snapshot =
+      FindLatestValidSnapshot(fs_, options_.dir);
+  if (snapshot.ok()) {
+    report.snapshot_loaded = true;
+    report.snapshot_seq = snapshot->seq;
+    seq_ = snapshot->seq;
+    for (SnapshotTable& table : snapshot->tables) {
+      if (!catalog_->Find(table.name).ok()) {
+        // The persisted schema and the registered one diverged across
+        // the restart; stale entries are skipped, not fatal.
+        ++report.unknown_entries;
+        continue;
+      }
+      if (catalog_->RestoreDataVersion(table.name, table.data_version).ok()) {
+        ++report.versions_resumed;
+      }
+      for (auto& [column, stats] : table.column_stats) {
+        if (options_.mark_recovered) {
+          stats.provenance = db::StatsProvenance::kRecovered;
+        }
+        if (catalog_->RestoreColumnStats(table.name, column, std::move(stats))
+                .ok()) {
+          ++report.stats_restored;
+        } else {
+          ++report.unknown_entries;
+        }
+      }
+    }
+  }
+
+  // Phase 2: replay the WAL suffix belonging to that snapshot. A missing
+  // file (crash between checkpoint rename and WAL rotation) is an empty
+  // replay — the snapshot already holds everything.
+  const std::string wal_path = JoinPath(options_.dir, WalFileName(seq_));
+  DPHIST_ASSIGN_OR_RETURN(WalReplay replay, WalReplayer::Read(fs_, wal_path));
+  report.wal_truncated_bytes = replay.truncated_bytes;
+  for (WalEvent& event : replay.events) {
+    switch (event.kind) {
+      case WalEvent::Kind::kStatsInstalled: {
+        ++report.wal_events_replayed;
+        ++installs_since_checkpoint_;
+        if (!catalog_->Find(event.table).ok()) {
+          ++report.unknown_entries;
+          break;
+        }
+        // The install's version stamp proves the table's data version
+        // was at least that when it happened; resuming through it keeps
+        // the monotonic freshness contract even when the corresponding
+        // bump record sits earlier in a pruned chain.
+        (void)catalog_->RestoreDataVersion(event.table, event.stats.version);
+        if (options_.mark_recovered) {
+          event.stats.provenance = db::StatsProvenance::kRecovered;
+        }
+        if (catalog_
+                ->RestoreColumnStats(event.table, event.column,
+                                     std::move(event.stats))
+                .ok()) {
+          ++report.stats_restored;
+        } else {
+          ++report.unknown_entries;
+        }
+        break;
+      }
+      case WalEvent::Kind::kVersionBump:
+        ++report.wal_events_replayed;
+        if (catalog_->RestoreDataVersion(event.table, event.version).ok()) {
+          ++report.versions_resumed;
+        } else {
+          ++report.unknown_entries;
+        }
+        break;
+      case WalEvent::Kind::kSnapshotTaken:
+        // Informational marker; the chain it announces is the one we are
+        // already replaying.
+        ++report.wal_events_replayed;
+        break;
+    }
+  }
+
+  // Phase 3: reopen the surviving WAL for appending. Note the torn tail
+  // (if any) stays in the file — appends land after it, and the replayer
+  // stops at the first bad frame, so the tail's garbage bytes shadow any
+  // later appends. Rotate immediately in that case to start clean.
+  DPHIST_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(fs_, wal_path));
+  wal_ = std::move(wal);
+  recovered_ = true;
+  last_checkpoint_nanos_ = clock_->NowNanos();
+  if (replay.truncated_bytes > 0) {
+    Status rotated = CheckpointLocked();
+    if (rotated.ok()) {
+      ++counters_.checkpoints;
+    } else {
+      ++counters_.checkpoint_failures;
+      // Degrade honestly: the manager keeps serving, but the shadowed
+      // tail means post-recovery appends would be unreadable, so drop
+      // the writer and run WAL-less until a later checkpoint succeeds.
+      wal_.reset();
+    }
+  }
+  return report;
+}
+
+void RecoveryManager::OnStatsInstalled(const std::string& table, size_t column,
+                                       const db::ColumnStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovered_ || !wal_.has_value()) {
+    ++counters_.wal_append_failures;
+    return;
+  }
+  const uint64_t before = wal_->bytes_appended();
+  Status status = wal_->AppendStatsInstalled(table, column, stats);
+  if (status.ok()) status = wal_->Sync();
+  if (status.ok()) {
+    ++counters_.wal_appends;
+    counters_.wal_bytes += wal_->bytes_appended() - before;
+  } else {
+    ++counters_.wal_append_failures;
+  }
+  ++installs_since_checkpoint_;
+  MaybeCheckpointLocked();
+}
+
+void RecoveryManager::OnDataVersionBump(const std::string& table,
+                                        uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovered_ || !wal_.has_value()) {
+    ++counters_.wal_append_failures;
+    return;
+  }
+  const uint64_t before = wal_->bytes_appended();
+  Status status = wal_->AppendVersionBump(table, version);
+  if (status.ok()) status = wal_->Sync();
+  if (status.ok()) {
+    ++counters_.wal_appends;
+    counters_.wal_bytes += wal_->bytes_appended() - before;
+  } else {
+    ++counters_.wal_append_failures;
+  }
+  MaybeCheckpointLocked();
+}
+
+Status RecoveryManager::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovered_) return Status::Internal("Checkpoint() before Recover()");
+  Status status = CheckpointLocked();
+  if (status.ok()) {
+    ++counters_.checkpoints;
+  } else {
+    ++counters_.checkpoint_failures;
+  }
+  return status;
+}
+
+void RecoveryManager::MaybeCheckpointLocked() {
+  const bool count_due =
+      options_.checkpoint_every_installs > 0 &&
+      installs_since_checkpoint_ >= options_.checkpoint_every_installs;
+  const double elapsed_seconds =
+      static_cast<double>(clock_->NowNanos() - last_checkpoint_nanos_) * 1e-9;
+  const bool time_due = options_.checkpoint_every_seconds > 0.0 &&
+                        elapsed_seconds >= options_.checkpoint_every_seconds;
+  if (!count_due && !time_due) return;
+  Status status = CheckpointLocked();
+  if (status.ok()) {
+    ++counters_.checkpoints;
+  } else {
+    ++counters_.checkpoint_failures;
+  }
+}
+
+Status RecoveryManager::CheckpointLocked() {
+  const uint64_t new_seq = seq_ + 1;
+
+  // Step 1: crash-atomic snapshot install. Everything up to here is
+  // all-or-nothing — a crash leaves the old chain authoritative.
+  DPHIST_RETURN_NOT_OK(
+      SnapshotWriter::Write(fs_, options_.dir, new_seq, *catalog_));
+
+  // Step 2: start the new WAL. From the moment snapshot-<new> is
+  // visible, recovery reads wal-<new> (a missing one is an empty
+  // replay), so the old log is already logically truncated.
+  const std::string new_wal_path =
+      JoinPath(options_.dir, WalFileName(new_seq));
+  Result<WalWriter> new_wal = WalWriter::Open(fs_, new_wal_path);
+  Status marker = new_wal.ok() ? new_wal->AppendSnapshotTaken(new_seq)
+                               : new_wal.status();
+  if (marker.ok()) marker = new_wal->Sync();
+  if (!marker.ok()) {
+    // Roll back so the live writer and the on-disk chain stay in step:
+    // without wal-<new>, the new snapshot would silently shadow every
+    // append still going to the old log.
+    (void)fs_->Remove(new_wal_path);
+    (void)fs_->Remove(JoinPath(options_.dir, SnapshotFileName(new_seq)));
+    return marker;
+  }
+  wal_ = std::move(new_wal).value();
+  seq_ = new_seq;
+  installs_since_checkpoint_ = 0;
+  last_checkpoint_nanos_ = clock_->NowNanos();
+
+  // Step 3: prune the superseded chain, best-effort — leftovers cost
+  // disk, never correctness (recovery always starts from the newest
+  // valid snapshot).
+  Result<std::vector<std::string>> names = fs_->List(options_.dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      unsigned long long old_seq = 0;
+      int consumed = 0;
+      if (std::sscanf(name.c_str(), "wal-%llu.log%n", &old_seq, &consumed) ==
+              1 &&
+          consumed == static_cast<int>(name.size()) && old_seq < new_seq) {
+        (void)fs_->Remove(JoinPath(options_.dir, name));
+        continue;
+      }
+      consumed = 0;
+      if (std::sscanf(name.c_str(), "snapshot-%llu.dph%n", &old_seq,
+                      &consumed) == 1 &&
+          consumed == static_cast<int>(name.size()) &&
+          old_seq + options_.keep_snapshots < new_seq) {
+        (void)fs_->Remove(JoinPath(options_.dir, name));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+PersistCounters RecoveryManager::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+uint64_t RecoveryManager::current_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+}  // namespace dphist::persist

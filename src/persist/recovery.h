@@ -1,0 +1,135 @@
+#ifndef DPHIST_PERSIST_RECOVERY_H_
+#define DPHIST_PERSIST_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "db/stats.h"
+#include "persist/io.h"
+#include "persist/wal.h"
+#include "svc/clock.h"
+
+namespace dphist::persist {
+
+/// Durability policy knobs.
+struct PersistOptions {
+  /// Directory holding snapshot-<seq>.dph / wal-<seq>.log pairs. Created
+  /// on Recover() when absent.
+  std::string dir = "dphist-stats";
+  /// nullptr = the real filesystem.
+  FileSystem* fs = nullptr;
+  /// Checkpoint after this many stats installs since the last snapshot.
+  /// 0 disables the count trigger.
+  uint32_t checkpoint_every_installs = 64;
+  /// Checkpoint when this many seconds elapsed since the last snapshot
+  /// (evaluated on install events — the manager owns no thread). 0
+  /// disables the time trigger.
+  double checkpoint_every_seconds = 0.0;
+  /// nullptr = MonotonicClock::Global(). Injectable so checkpoint-policy
+  /// tests drive time explicitly.
+  const svc::Clock* clock = nullptr;
+  /// Stamp rehydrated stats StatsProvenance::kRecovered so the planner
+  /// widens its error envelope until a fresh scan confirms them. Off only
+  /// for tests that need bit-identical round-trips.
+  bool mark_recovered = true;
+  /// Older snapshots kept as fallbacks beyond the latest (their WALs are
+  /// always pruned; a superseded snapshot is pure defense in depth).
+  uint32_t keep_snapshots = 1;
+};
+
+/// What Recover() found and did — surfaced so callers (service startup,
+/// the recovery example) can log an honest account of the warm start.
+struct RecoveryReport {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_seq = 0;
+  uint64_t wal_events_replayed = 0;
+  uint64_t wal_truncated_bytes = 0;  ///< torn tail dropped, 0 = clean
+  uint64_t stats_restored = 0;       ///< ColumnStats rehydrated
+  uint64_t versions_resumed = 0;     ///< data_version raise operations
+  /// Persisted entries naming tables/columns absent from the live
+  /// catalog (schema changed across restart); skipped, not fatal.
+  uint64_t unknown_entries = 0;
+};
+
+/// Durability-side counters, monotonic over the manager's lifetime.
+/// Failures count instead of crashing: persistence degrades to
+/// best-effort when the disk misbehaves, the serving path stays up.
+struct PersistCounters {
+  uint64_t wal_appends = 0;
+  uint64_t wal_append_failures = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t checkpoints = 0;
+  uint64_t checkpoint_failures = 0;
+};
+
+/// Ties the pieces together: recovery at startup (latest valid snapshot
+/// + WAL suffix replay), WAL logging of live catalog mutations (it *is*
+/// a db::StatsEventSink — plug it into svc::ServiceOptions::persistence
+/// or ingest::PipelineOptions::persistence), and the background
+/// checkpoint policy with WAL rotation.
+///
+/// File chain invariant: wal-<N>.log logs exactly the mutations after
+/// snapshot-<N>.dph. A checkpoint writes snapshot-<N+1> (crash-atomic
+/// rename), then starts wal-<N+1>, then prunes the old chain — so at
+/// every byte of that sequence, recovery from what is on disk yields the
+/// catalog state of some install prefix.
+///
+/// Thread safety: all public methods lock an internal mutex. Callers
+/// must hold their catalog lock across sink callbacks (the service
+/// already invokes sinks under catalog_mu_), since Checkpoint() reads
+/// the catalog the events describe.
+class RecoveryManager : public db::StatsEventSink {
+ public:
+  RecoveryManager(db::Catalog* catalog, PersistOptions options);
+  ~RecoveryManager() override;
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Rehydrates the catalog from disk and opens the live WAL. Must be
+  /// called once, before the manager receives sink events; events
+  /// arriving earlier are counted as failures and dropped (never
+  /// buffered — a pre-recovery install would be logged against the wrong
+  /// chain).
+  Result<RecoveryReport> Recover();
+
+  // db::StatsEventSink — logs the mutation to the WAL (one Sync per
+  // event) and runs the checkpoint policy. Errors degrade to counters.
+  void OnStatsInstalled(const std::string& table, size_t column,
+                        const db::ColumnStats& stats) override;
+  void OnDataVersionBump(const std::string& table, uint64_t version) override;
+
+  /// Forces a checkpoint now: snapshot of the current catalog, WAL
+  /// rotation, old-chain pruning.
+  Status Checkpoint();
+
+  PersistCounters counters() const;
+  /// Sequence number of the snapshot the live WAL extends.
+  uint64_t current_seq() const;
+
+ private:
+  Status CheckpointLocked();
+  void MaybeCheckpointLocked();
+
+  db::Catalog* catalog_;
+  PersistOptions options_;
+  FileSystem* fs_;
+  const svc::Clock* clock_;
+
+  mutable std::mutex mu_;
+  bool recovered_ = false;
+  uint64_t seq_ = 0;
+  std::optional<WalWriter> wal_;
+  uint64_t installs_since_checkpoint_ = 0;
+  uint64_t last_checkpoint_nanos_ = 0;
+  PersistCounters counters_;
+};
+
+}  // namespace dphist::persist
+
+#endif  // DPHIST_PERSIST_RECOVERY_H_

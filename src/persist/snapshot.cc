@@ -1,0 +1,236 @@
+#include "persist/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+#include "db/stats_codec.h"
+#include "hist/serialize.h"
+#include "persist/record_io.h"
+
+namespace dphist::persist {
+
+namespace {
+
+/// Leading magic of the header payload, so a random CRC-consistent file
+/// can't pass as a snapshot.
+constexpr uint32_t kSnapshotMagic = 0x44504853;  // "DPHS"
+
+void AppendString(const std::string& s, std::vector<uint8_t>* out) {
+  hist::wire::AppendBytes(
+      std::span(reinterpret_cast<const uint8_t*>(s.data()), s.size()), out);
+}
+
+bool ReadString(hist::wire::Reader& reader, std::string* out) {
+  std::vector<uint8_t> bytes;
+  if (!reader.ReadBytes(&bytes)) return false;
+  out->assign(bytes.begin(), bytes.end());
+  return true;
+}
+
+Status CorruptSnapshot(const std::string& path, const char* why) {
+  return Status::Corruption("snapshot '" + path + "': " + why);
+}
+
+}  // namespace
+
+std::string SnapshotFileName(uint64_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "snapshot-%010llu.dph",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string WalFileName(uint64_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%010llu.log",
+                static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+Result<std::vector<uint64_t>> ListSnapshotSeqs(FileSystem* fs,
+                                               const std::string& dir) {
+  DPHIST_ASSIGN_OR_RETURN(std::vector<std::string> names, fs->List(dir));
+  std::vector<uint64_t> seqs;
+  for (const std::string& name : names) {
+    unsigned long long seq = 0;
+    int consumed = 0;
+    if (std::sscanf(name.c_str(), "snapshot-%llu.dph%n", &seq, &consumed) ==
+            1 &&
+        consumed == static_cast<int>(name.size())) {
+      seqs.push_back(seq);
+    }
+  }
+  std::sort(seqs.begin(), seqs.end());
+  return seqs;
+}
+
+Status SnapshotWriter::Write(FileSystem* fs, const std::string& dir,
+                             uint64_t seq, const db::Catalog& catalog) {
+  // Gather first: the stream layout wants per-table stats counts up
+  // front, and building the byte buffer in memory keeps the file write a
+  // single append (one torn-write point instead of many).
+  std::vector<uint8_t> stream;
+  size_t table_count = 0;
+  size_t stats_count = 0;
+  {
+    std::vector<uint8_t> payload;
+    catalog.ForEachTable([&](const db::TableEntry&) { ++table_count; });
+    hist::wire::AppendVarint(kSnapshotMagic, &payload);
+    hist::wire::AppendVarint(seq, &payload);
+    hist::wire::AppendVarint(table_count, &payload);
+    AppendRecord(RecordType::kSnapshotHeader, payload, &stream);
+  }
+  catalog.ForEachTable([&](const db::TableEntry& entry) {
+    size_t valid = 0;
+    for (const db::ColumnStats& stats : entry.column_stats) {
+      if (stats.valid) ++valid;
+    }
+    std::vector<uint8_t> meta;
+    AppendString(entry.name, &meta);
+    hist::wire::AppendVarint(entry.data_version, &meta);
+    hist::wire::AppendVarint(valid, &meta);
+    AppendRecord(RecordType::kTableMeta, meta, &stream);
+    for (size_t column = 0; column < entry.column_stats.size(); ++column) {
+      const db::ColumnStats& stats = entry.column_stats[column];
+      if (!stats.valid) continue;
+      std::vector<uint8_t> payload;
+      hist::wire::AppendVarint(column, &payload);
+      hist::wire::AppendBytes(db::SerializeColumnStats(stats), &payload);
+      AppendRecord(RecordType::kColumnStats, payload, &stream);
+      ++stats_count;
+    }
+  });
+  {
+    std::vector<uint8_t> footer;
+    hist::wire::AppendVarint(seq, &footer);
+    hist::wire::AppendVarint(table_count, &footer);
+    hist::wire::AppendVarint(stats_count, &footer);
+    AppendRecord(RecordType::kSnapshotFooter, footer, &stream);
+  }
+
+  const std::string final_path = JoinPath(dir, SnapshotFileName(seq));
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    DPHIST_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                            fs->Create(tmp_path));
+    DPHIST_RETURN_NOT_OK(file->Append(stream));
+    DPHIST_RETURN_NOT_OK(file->Sync());
+    DPHIST_RETURN_NOT_OK(file->Close());
+  }
+  DPHIST_RETURN_NOT_OK(fs->Rename(tmp_path, final_path));
+  return fs->SyncDir(dir);
+}
+
+Result<SnapshotContents> SnapshotReader::Read(FileSystem* fs,
+                                              const std::string& path) {
+  DPHIST_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, fs->ReadAll(path));
+  RecordCursor cursor(bytes);
+  RecordType type;
+  std::span<const uint8_t> payload;
+
+  if (!cursor.Next(&type, &payload) || type != RecordType::kSnapshotHeader) {
+    return CorruptSnapshot(path, "missing header");
+  }
+  SnapshotContents contents;
+  uint64_t declared_tables = 0;
+  {
+    hist::wire::Reader reader(payload);
+    uint64_t magic = 0;
+    if (!reader.ReadVarint(&magic) || magic != kSnapshotMagic ||
+        !reader.ReadVarint(&contents.seq) ||
+        !reader.ReadVarint(&declared_tables) || !reader.AtEnd()) {
+      return CorruptSnapshot(path, "bad header");
+    }
+  }
+
+  uint64_t stats_count = 0;
+  bool sealed = false;
+  while (cursor.Next(&type, &payload)) {
+    hist::wire::Reader reader(payload);
+    switch (type) {
+      case RecordType::kTableMeta: {
+        SnapshotTable table;
+        uint64_t declared_stats = 0;
+        if (!ReadString(reader, &table.name) ||
+            !reader.ReadVarint(&table.data_version) ||
+            !reader.ReadVarint(&declared_stats) || !reader.AtEnd()) {
+          return CorruptSnapshot(path, "bad table meta");
+        }
+        contents.tables.push_back(std::move(table));
+        break;
+      }
+      case RecordType::kColumnStats: {
+        if (contents.tables.empty()) {
+          return CorruptSnapshot(path, "stats record before table meta");
+        }
+        uint64_t column = 0;
+        uint64_t stats_len = 0;
+        std::span<const uint8_t> stats_bytes;
+        if (!reader.ReadVarint(&column) || !reader.ReadVarint(&stats_len) ||
+            stats_len > reader.remaining() ||
+            !reader.ReadSpan(static_cast<size_t>(stats_len), &stats_bytes) ||
+            !reader.AtEnd()) {
+          return CorruptSnapshot(path, "bad stats record");
+        }
+        DPHIST_ASSIGN_OR_RETURN(db::ColumnStats stats,
+                                db::DeserializeColumnStats(stats_bytes));
+        contents.tables.back().column_stats.emplace_back(
+            static_cast<size_t>(column), std::move(stats));
+        ++stats_count;
+        break;
+      }
+      case RecordType::kSnapshotFooter: {
+        uint64_t footer_seq = 0;
+        uint64_t footer_tables = 0;
+        uint64_t footer_stats = 0;
+        if (!reader.ReadVarint(&footer_seq) ||
+            !reader.ReadVarint(&footer_tables) ||
+            !reader.ReadVarint(&footer_stats) || !reader.AtEnd()) {
+          return CorruptSnapshot(path, "bad footer");
+        }
+        if (footer_seq != contents.seq ||
+            footer_tables != contents.tables.size() ||
+            footer_tables != declared_tables || footer_stats != stats_count) {
+          return CorruptSnapshot(path, "footer count mismatch");
+        }
+        sealed = true;
+        break;
+      }
+      case RecordType::kSnapshotHeader:
+      case RecordType::kWalStatsInstalled:
+      case RecordType::kWalVersionBump:
+      case RecordType::kWalSnapshotTaken:
+        return CorruptSnapshot(path, "unexpected record type");
+    }
+    if (sealed) break;
+  }
+  if (!sealed) return CorruptSnapshot(path, "missing footer");
+  if (cursor.position() != bytes.size()) {
+    return CorruptSnapshot(path, "trailing bytes after footer");
+  }
+  return contents;
+}
+
+Result<SnapshotContents> FindLatestValidSnapshot(FileSystem* fs,
+                                                 const std::string& dir) {
+  DPHIST_ASSIGN_OR_RETURN(std::vector<uint64_t> seqs,
+                          ListSnapshotSeqs(fs, dir));
+  for (auto it = seqs.rbegin(); it != seqs.rend(); ++it) {
+    Result<SnapshotContents> contents =
+        SnapshotReader::Read(fs, JoinPath(dir, SnapshotFileName(*it)));
+    // A snapshot that fails to parse should be impossible (rename is the
+    // visibility barrier), but defense in depth: fall back to the
+    // previous sequence rather than refusing to start.
+    if (contents.ok()) return contents;
+  }
+  return Status::NotFound("no valid snapshot in '" + dir + "'");
+}
+
+}  // namespace dphist::persist

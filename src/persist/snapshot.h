@@ -1,0 +1,75 @@
+#ifndef DPHIST_PERSIST_SNAPSHOT_H_
+#define DPHIST_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "db/catalog.h"
+#include "persist/io.h"
+
+namespace dphist::persist {
+
+/// One table's slice of a snapshot.
+struct SnapshotTable {
+  std::string name;
+  uint64_t data_version = 1;
+  /// (column index, stats) for every column with valid stats at
+  /// checkpoint time. Columns never analyzed are simply absent.
+  std::vector<std::pair<size_t, db::ColumnStats>> column_stats;
+};
+
+/// A decoded snapshot: the full durable stats state of the catalog at
+/// one checkpoint.
+struct SnapshotContents {
+  uint64_t seq = 0;
+  std::vector<SnapshotTable> tables;
+};
+
+/// "snapshot-<seq>.dph" / "wal-<seq>.log". Sequence numbers are zero
+/// padded so lexicographic directory order equals numeric order.
+std::string SnapshotFileName(uint64_t seq);
+std::string WalFileName(uint64_t seq);
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+/// Sequence numbers of all well-formed snapshot file *names* in `dir`,
+/// ascending. Contents are not validated here — FindLatestValidSnapshot
+/// walks this list backwards and checks each candidate.
+Result<std::vector<uint64_t>> ListSnapshotSeqs(FileSystem* fs,
+                                               const std::string& dir);
+
+/// Serializes the catalog's entire stats state (every table's data
+/// version and every valid ColumnStats, v3-encoded) into a record stream
+/// and installs it crash-atomically: written to "<name>.tmp", synced,
+/// renamed over the final name, directory synced. A crash at any byte of
+/// that sequence leaves either the previous snapshot set or the new one
+/// — never a half-visible file, because the footer record written last
+/// is required for a snapshot to be considered valid at all.
+class SnapshotWriter {
+ public:
+  static Status Write(FileSystem* fs, const std::string& dir, uint64_t seq,
+                      const db::Catalog& catalog);
+};
+
+/// Parses one snapshot file. Corruption when the header is missing, any
+/// frame fails its checksum, the footer is absent, or the footer's
+/// record count disagrees with the frames actually read — unlike the
+/// WAL, a snapshot has no legitimate torn state (it only becomes visible
+/// through rename), so any damage invalidates the whole file and the
+/// recovery path falls back to the previous sequence.
+class SnapshotReader {
+ public:
+  static Result<SnapshotContents> Read(FileSystem* fs,
+                                       const std::string& path);
+};
+
+/// Walks the directory's snapshots newest-first and returns the first
+/// one that parses; NotFound when none does (cold start).
+Result<SnapshotContents> FindLatestValidSnapshot(FileSystem* fs,
+                                                 const std::string& dir);
+
+}  // namespace dphist::persist
+
+#endif  // DPHIST_PERSIST_SNAPSHOT_H_

@@ -1,0 +1,125 @@
+#include "persist/wal.h"
+
+#include <utility>
+
+#include "common/macros.h"
+#include "db/stats_codec.h"
+#include "hist/serialize.h"
+
+namespace dphist::persist {
+
+namespace {
+
+void AppendString(const std::string& s, std::vector<uint8_t>* out) {
+  hist::wire::AppendBytes(
+      std::span(reinterpret_cast<const uint8_t*>(s.data()), s.size()), out);
+}
+
+bool ReadString(hist::wire::Reader& reader, std::string* out) {
+  std::vector<uint8_t> bytes;
+  if (!reader.ReadBytes(&bytes)) return false;
+  out->assign(bytes.begin(), bytes.end());
+  return true;
+}
+
+}  // namespace
+
+Result<WalWriter> WalWriter::Open(FileSystem* fs, const std::string& path) {
+  DPHIST_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                          fs->OpenForAppend(path));
+  return WalWriter(std::move(file));
+}
+
+Status WalWriter::AppendFrame(RecordType type,
+                              const std::vector<uint8_t>& payload) {
+  DPHIST_RETURN_NOT_OK(WriteRecord(file_.get(), type, payload));
+  ++records_appended_;
+  bytes_appended_ += kRecordHeaderBytes + payload.size();
+  return Status::OK();
+}
+
+Status WalWriter::AppendStatsInstalled(const std::string& table, size_t column,
+                                       const db::ColumnStats& stats) {
+  std::vector<uint8_t> payload;
+  AppendString(table, &payload);
+  hist::wire::AppendVarint(column, &payload);
+  hist::wire::AppendBytes(db::SerializeColumnStats(stats), &payload);
+  return AppendFrame(RecordType::kWalStatsInstalled, payload);
+}
+
+Status WalWriter::AppendVersionBump(const std::string& table,
+                                    uint64_t version) {
+  std::vector<uint8_t> payload;
+  AppendString(table, &payload);
+  hist::wire::AppendVarint(version, &payload);
+  return AppendFrame(RecordType::kWalVersionBump, payload);
+}
+
+Status WalWriter::AppendSnapshotTaken(uint64_t seq) {
+  std::vector<uint8_t> payload;
+  hist::wire::AppendVarint(seq, &payload);
+  return AppendFrame(RecordType::kWalSnapshotTaken, payload);
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
+Result<WalReplay> WalReplayer::Read(FileSystem* fs, const std::string& path) {
+  WalReplay replay;
+  if (!fs->Exists(path)) return replay;
+  DPHIST_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, fs->ReadAll(path));
+
+  RecordCursor cursor(bytes);
+  RecordType type;
+  std::span<const uint8_t> payload;
+  size_t valid_end = 0;
+  while (cursor.Next(&type, &payload)) {
+    hist::wire::Reader reader(payload);
+    WalEvent event;
+    bool parsed = false;
+    switch (type) {
+      case RecordType::kWalStatsInstalled: {
+        event.kind = WalEvent::Kind::kStatsInstalled;
+        uint64_t column = 0;
+        std::span<const uint8_t> stats_bytes;
+        uint64_t stats_len = 0;
+        if (ReadString(reader, &event.table) && reader.ReadVarint(&column) &&
+            reader.ReadVarint(&stats_len) && stats_len <= reader.remaining() &&
+            reader.ReadSpan(static_cast<size_t>(stats_len), &stats_bytes) &&
+            reader.AtEnd()) {
+          Result<db::ColumnStats> stats =
+              db::DeserializeColumnStats(stats_bytes);
+          if (stats.ok()) {
+            event.column = static_cast<size_t>(column);
+            event.stats = std::move(stats).value();
+            parsed = true;
+          }
+        }
+        break;
+      }
+      case RecordType::kWalVersionBump:
+        event.kind = WalEvent::Kind::kVersionBump;
+        parsed = ReadString(reader, &event.table) &&
+                 reader.ReadVarint(&event.version) && reader.AtEnd();
+        break;
+      case RecordType::kWalSnapshotTaken:
+        event.kind = WalEvent::Kind::kSnapshotTaken;
+        parsed = reader.ReadVarint(&event.version) && reader.AtEnd();
+        break;
+      case RecordType::kSnapshotHeader:
+      case RecordType::kTableMeta:
+      case RecordType::kColumnStats:
+      case RecordType::kSnapshotFooter:
+        // A snapshot frame inside a WAL means a path mix-up; stop replay
+        // at the boundary rather than applying foreign records.
+        parsed = false;
+        break;
+    }
+    if (!parsed) break;
+    valid_end = cursor.position();
+    replay.events.push_back(std::move(event));
+  }
+  replay.truncated_bytes = bytes.size() - valid_end;
+  return replay;
+}
+
+}  // namespace dphist::persist

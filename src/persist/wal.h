@@ -1,0 +1,85 @@
+#ifndef DPHIST_PERSIST_WAL_H_
+#define DPHIST_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "db/stats.h"
+#include "persist/io.h"
+#include "persist/record_io.h"
+
+namespace dphist::persist {
+
+/// One replayed WAL record. The WAL is a log of catalog *mutations*, not
+/// pages: stats installs carry the full v3 ColumnStats payload (an
+/// install is idempotent, so replay is a plain re-apply), version bumps
+/// carry the new data_version, and snapshot markers record that a
+/// checkpoint made the log's prefix redundant.
+struct WalEvent {
+  enum class Kind : uint8_t { kStatsInstalled, kVersionBump, kSnapshotTaken };
+  Kind kind = Kind::kStatsInstalled;
+  std::string table;
+  size_t column = 0;
+  /// kVersionBump: the table's new data_version. kSnapshotTaken: the
+  /// snapshot sequence number. Unused for kStatsInstalled (the version
+  /// stamp travels inside `stats`).
+  uint64_t version = 0;
+  db::ColumnStats stats;  ///< kStatsInstalled only.
+};
+
+/// Appends framed events to a log file. One Sync per logical event is
+/// the intended discipline (the durability contract of the recovery
+/// matrix assumes an install is either fully on disk or torn at the
+/// tail); the writer leaves the Sync call to the caller so tests can
+/// exercise unsynced tails too.
+class WalWriter {
+ public:
+  /// Opens `path` for appending, creating it when absent — reopening the
+  /// surviving WAL after recovery continues the same log.
+  static Result<WalWriter> Open(FileSystem* fs, const std::string& path);
+
+  Status AppendStatsInstalled(const std::string& table, size_t column,
+                              const db::ColumnStats& stats);
+  Status AppendVersionBump(const std::string& table, uint64_t version);
+  Status AppendSnapshotTaken(uint64_t seq);
+  Status Sync();
+
+  uint64_t records_appended() const { return records_appended_; }
+  uint64_t bytes_appended() const { return bytes_appended_; }
+
+ private:
+  explicit WalWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+  Status AppendFrame(RecordType type, const std::vector<uint8_t>& payload);
+
+  std::unique_ptr<WritableFile> file_;
+  uint64_t records_appended_ = 0;
+  uint64_t bytes_appended_ = 0;
+};
+
+/// Result of reading a WAL back. `truncated_bytes` counts the torn tail
+/// discarded at the first bad frame — expected after a crash, never an
+/// error. A frame whose checksum passes but whose payload fails to parse
+/// also ends replay there (counted in `truncated_bytes`): bytes that
+/// survived the disk intact but don't parse mean version skew or a
+/// software bug, and replaying past them could interleave mutations out
+/// of order.
+struct WalReplay {
+  std::vector<WalEvent> events;
+  uint64_t truncated_bytes = 0;
+};
+
+class WalReplayer {
+ public:
+  /// Reads every valid event of `path`. A missing file is an empty
+  /// replay (the log-ahead of a fresh snapshot may not exist yet when a
+  /// crash landed between checkpoint rename and WAL rotation).
+  static Result<WalReplay> Read(FileSystem* fs, const std::string& path);
+};
+
+}  // namespace dphist::persist
+
+#endif  // DPHIST_PERSIST_WAL_H_

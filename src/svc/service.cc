@@ -33,7 +33,24 @@ struct Flight {
   /// Latest deadline across the leader and every coalesced waiter: the
   /// scan is still worth running while *any* waiter can use it.
   uint64_t latest_deadline_nanos = 0;
+  /// Completion callbacks (Ticket::OnComplete), guarded by mu. Drained
+  /// (moved out) exactly once when done flips, by whichever path flips
+  /// it, and invoked outside the lock.
+  std::vector<std::function<void(const StatsResponse&)>> callbacks;
 };
+
+/// Moves the flight's callbacks out under its lock and invokes them with
+/// its (final) response. Call only after `done` is set; every path that
+/// completes a flight must end with this so no registered callback is
+/// ever dropped.
+void DrainCallbacks(const std::shared_ptr<Flight>& flight) {
+  std::vector<std::function<void(const StatsResponse&)>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    callbacks.swap(flight->callbacks);
+  }
+  for (const auto& callback : callbacks) callback(flight->response);
+}
 
 }  // namespace internal
 
@@ -113,6 +130,24 @@ Ticket::Ticket() = default;
 Ticket::~Ticket() = default;
 Ticket::Ticket(Ticket&&) noexcept = default;
 Ticket& Ticket::operator=(Ticket&&) noexcept = default;
+
+void Ticket::OnComplete(std::function<void(const StatsResponse&)> callback) {
+  if (callback == nullptr) return;
+  if (has_ready_ || flight_ == nullptr) {
+    callback(ready_);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(flight_->mu);
+    if (!flight_->done) {
+      flight_->callbacks.push_back(std::move(callback));
+      return;
+    }
+  }
+  // Already fulfilled: the flight's drain has run (or is running with an
+  // empty gap we must not join); invoke inline with the final response.
+  callback(flight_->response);
+}
 
 StatsResponse Ticket::Wait() {
   if (has_ready_ || flight_ == nullptr) {
@@ -273,6 +308,9 @@ uint64_t StatsService::NotifyIngest(const std::string& table) {
     auto entry = catalog_->Find(table);
     DPHIST_CHECK(entry.ok());
     version = (*entry)->data_version;
+    if (options_.persistence != nullptr) {
+      options_.persistence->OnDataVersionBump(table, version);
+    }
   }
   InvalidateTable(table);
   {
@@ -615,6 +653,9 @@ void StatsService::Serve(const std::shared_ptr<Flight>& flight,
   }
   if (expired) {
     flight->cv.notify_all();
+    // This branch completes the flight without going through Fulfill, so
+    // it owes the callback drain itself.
+    DrainCallbacks(flight);
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++counters_.deadline_expired;
@@ -672,6 +713,19 @@ void StatsService::Serve(const std::shared_ptr<Flight>& flight,
           // SetColumnStats stamped the current version; mirror it so the
           // cache entry's freshness matches the catalog's.
           stats.version = (*entry)->data_version;
+        }
+        if (options_.persistence != nullptr) {
+          // Logged under catalog_mu_ (so the WAL records installs in the
+          // exact order the catalog applied them) and from the catalog's
+          // own stored record — replay must re-create the catalog state
+          // bit for bit, so the log carries what was installed, not a
+          // caller-side copy.
+          auto stored = catalog_->GetColumnStats(request.table,
+                                                 request.column);
+          if (stored.ok()) {
+            options_.persistence->OnStatsInstalled(request.table,
+                                                   request.column, **stored);
+          }
         }
       }
     }
@@ -736,6 +790,14 @@ void StatsService::Serve(const std::shared_ptr<Flight>& flight,
       if (fallback.ok()) {
         install = catalog_->SetColumnStats(request.table, request.column,
                                            *fallback);
+        if (install.ok() && options_.persistence != nullptr) {
+          auto stored = catalog_->GetColumnStats(request.table,
+                                                 request.column);
+          if (stored.ok()) {
+            options_.persistence->OnStatsInstalled(request.table,
+                                                   request.column, **stored);
+          }
+        }
       }
     }
     // As on the scan path: catalog_mu_ released before counters/Fulfill.
@@ -781,6 +843,7 @@ void StatsService::Fulfill(const std::shared_ptr<Flight>& flight,
     flight->done = true;
   }
   flight->cv.notify_all();
+  DrainCallbacks(flight);
 }
 
 void StatsService::EraseInFlightLocked(

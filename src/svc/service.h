@@ -185,6 +185,12 @@ struct ServiceOptions {
   std::function<Result<accel::AcceleratorReport>(const StatsRequest&,
                                                  double scan_fraction)>
       scan_hook;
+  /// Durability hook (not owned; must outlive the service): notified of
+  /// every stats install and data-version bump, under the service's
+  /// catalog lock so the observed event order is the catalog's mutation
+  /// order. Wire a persist::RecoveryManager here for WAL-backed warm
+  /// restarts; nullptr = no persistence.
+  db::StatsEventSink* persistence = nullptr;
 };
 
 /// Cumulative counters; ladder_occupancy[i] counts dequeues that ran at
@@ -238,6 +244,21 @@ class Ticket {
   Ticket& operator=(const Ticket&) = delete;
 
   StatsResponse Wait();
+
+  /// Registers an async completion callback: invoked exactly once with
+  /// the flight's response when it is fulfilled — scan served, fallback,
+  /// deadline-expired server-side, or drained by Stop(). Runs on the
+  /// worker (or draining) thread with no service locks held, so the
+  /// callback may call back into the service; it must not block for
+  /// long (it delays that worker's next dequeue). For a ticket whose
+  /// response was ready at submit time (cache hit) the callback runs
+  /// inline, on the caller's thread, before OnComplete returns.
+  ///
+  /// Coalesced waiters share one flight: each registered callback fires
+  /// with the shared response. Unlike Wait(), a callback does not apply
+  /// this ticket's own deadline — it reports what the server actually
+  /// concluded, whenever that lands.
+  void OnComplete(std::function<void(const StatsResponse&)> callback);
 
   /// True when the response was ready at submit time (cache hit).
   bool immediate() const { return has_ready_; }

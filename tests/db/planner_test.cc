@@ -149,6 +149,52 @@ TEST(PlannerTest, CertifiedErrorBoundWidensDiscountedEstimates) {
               uncertified->estimated_customers * 1e-9);
 }
 
+TEST(PlannerTest, RecoveredStatsWidenEstimatesUntilConfirmed) {
+  // Stats rehydrated by the persistence layer carry kRecovered
+  // provenance; the planner treats them as usable-but-suspect, widening
+  // estimates by the restart-distrust factor until a fresh scan
+  // re-stamps the column and the discount disappears.
+  Q1Rig rig(0, false);
+  Q1Query query;
+  query.custkey_limit = 5000;
+
+  auto baseline = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(baseline.ok());
+  ASSERT_GT(baseline->estimated_customers, 0.0);
+
+  auto entry = rig.catalog.Find("customer");
+  ASSERT_TRUE(entry.ok());
+  ColumnStats& stats = (*entry)->column_stats[workload::kCCustKey];
+  ASSERT_TRUE(stats.valid);
+  const StatsProvenance original = stats.provenance;
+  stats.provenance = StatsProvenance::kRecovered;
+
+  auto recovered = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_NEAR(recovered->estimated_customers,
+              baseline->estimated_customers * 1.25,
+              baseline->estimated_customers * 1e-9)
+      << "full-coverage recovered stats widen by exactly the distrust";
+
+  // A recovered record that was *already* partial before the crash keeps
+  // its coverage rescaling, and the distrust stacks on top.
+  stats.coverage = 0.5;
+  stats.certified_rel_error = -1.0;
+  auto partial = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(partial.ok());
+  EXPECT_NEAR(partial->estimated_customers,
+              baseline->estimated_customers * 2.0 * 1.25,
+              baseline->estimated_customers * 1e-9);
+
+  // Fresh confirmation clears the discount with the provenance.
+  stats.provenance = original;
+  stats.coverage = 1.0;
+  auto confirmed = PlanQ1(rig.catalog, "lineitem", "customer", query);
+  ASSERT_TRUE(confirmed.ok());
+  EXPECT_NEAR(confirmed->estimated_customers, baseline->estimated_customers,
+              baseline->estimated_customers * 1e-9);
+}
+
 TEST(PlannerTest, SketchNdvWidensEqualityEstimateByCertifiedError) {
   // Non-MCV equality estimates spread the remaining rows over the
   // remaining distinct values. When the NDV came from the HLL side

@@ -141,6 +141,44 @@ TEST(SerializeFuzzTest, CompactIsSmallerOnTypicalHistograms) {
   EXPECT_LT(SerializeHistogramCompact(h).size(), SerializeHistogram(h).size());
 }
 
+TEST(SerializeFuzzTest, FixedRejectsSingletonCountExceedingPostBucketBytes) {
+  // Adversarial header: a singleton count small enough to pass a bound
+  // computed against the remaining bytes *before* the buckets consume
+  // theirs, but far larger than what is actually left after them. The
+  // decoder must validate the singleton count against the post-bucket
+  // remainder, or the reserve allocates on the adversary's say-so.
+  Histogram h;
+  for (int64_t i = 0; i < 4; ++i) {
+    h.buckets.push_back(Bucket{i, i + 1, 10, 1});
+  }
+  auto bytes = SerializeHistogram(h);
+  // num_singletons is the fifth header u64 (little-endian), after the
+  // 2-byte version/type prefix and four u64 header fields.
+  const size_t offset = 2 + 4 * 8;
+  ASSERT_EQ(bytes[offset], 0u);
+  // 8 singletons claim 128 wire bytes; 128 bytes remain pre-bucket
+  // (so a pre-bucket bound of remaining/16+1 = 9 would admit it) but 0
+  // remain once the four buckets are consumed.
+  bytes[offset] = 8;
+  EXPECT_FALSE(DeserializeHistogram(bytes).ok());
+}
+
+TEST(SerializeFuzzTest, CompactRejectsSingletonCountExceedingPostBucketBytes) {
+  Histogram h;
+  for (int64_t i = 0; i < 4; ++i) {
+    h.buckets.push_back(Bucket{1, 2, 3, 1});
+  }
+  auto bytes = SerializeHistogramCompact(h);
+  // Header varints are all single bytes here: version, type, min, max,
+  // total, num_buckets, then num_singletons at index 6.
+  ASSERT_EQ(bytes.size(), 7u + 4 * 4);
+  ASSERT_EQ(bytes[6], 0u);
+  // 9 passes the pre-bucket bound (16 bytes remain, 16/2+1 = 9) but not
+  // the post-bucket one (0 bytes remain).
+  bytes[6] = 9;
+  EXPECT_FALSE(DeserializeHistogram(bytes).ok());
+}
+
 TEST(SerializeFuzzTest, CompactRejectsInflatedEntryCounts) {
   // Header declaring absurdly many buckets over a tiny payload must be
   // refused before any allocation in their name.

@@ -1,0 +1,176 @@
+// CRC32-framed record IO: the framing layer under both durable file
+// formats. Torn-tail tolerance is the load-bearing property — a reader
+// must stop cleanly at the first incomplete, oversized, or corrupt
+// frame (the expected shape of a WAL after power loss), never abort,
+// and never surface a frame whose checksum fails.
+
+#include "persist/record_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "persist/io.h"
+
+namespace dphist::persist {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(RecordIoTest, Crc32KnownAnswer) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(Crc32(Bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32({}), 0u);
+}
+
+TEST(RecordIoTest, RoundTripsFrames) {
+  std::vector<uint8_t> stream;
+  AppendRecord(RecordType::kWalVersionBump, Bytes("alpha"), &stream);
+  AppendRecord(RecordType::kWalStatsInstalled, {}, &stream);
+  AppendRecord(RecordType::kSnapshotFooter, Bytes("omega"), &stream);
+
+  RecordCursor cursor(stream);
+  RecordType type;
+  std::span<const uint8_t> payload;
+  ASSERT_TRUE(cursor.Next(&type, &payload));
+  EXPECT_EQ(type, RecordType::kWalVersionBump);
+  EXPECT_EQ(std::vector<uint8_t>(payload.begin(), payload.end()),
+            Bytes("alpha"));
+  ASSERT_TRUE(cursor.Next(&type, &payload));
+  EXPECT_EQ(type, RecordType::kWalStatsInstalled);
+  EXPECT_TRUE(payload.empty());
+  ASSERT_TRUE(cursor.Next(&type, &payload));
+  EXPECT_EQ(type, RecordType::kSnapshotFooter);
+  EXPECT_FALSE(cursor.Next(&type, &payload));
+  EXPECT_TRUE(cursor.clean_end());
+  EXPECT_EQ(cursor.truncated_bytes(), 0u);
+}
+
+TEST(RecordIoTest, ToleratesTornTailAtEveryCut) {
+  // Chop a 3-record stream at every byte: the cursor must yield exactly
+  // the records whose frames survive whole, then stop — never a frame
+  // with a damaged payload, never an abort.
+  std::vector<uint8_t> stream;
+  std::vector<size_t> boundaries;  // cumulative frame end offsets
+  AppendRecord(RecordType::kWalVersionBump, Bytes("first"), &stream);
+  boundaries.push_back(stream.size());
+  AppendRecord(RecordType::kWalStatsInstalled, Bytes("second-record"),
+               &stream);
+  boundaries.push_back(stream.size());
+  AppendRecord(RecordType::kWalSnapshotTaken, Bytes("third"), &stream);
+  boundaries.push_back(stream.size());
+
+  for (size_t cut = 0; cut <= stream.size(); ++cut) {
+    size_t expect_records = 0;
+    for (size_t end : boundaries) {
+      if (end <= cut) ++expect_records;
+    }
+    RecordCursor cursor(std::span(stream.data(), cut));
+    RecordType type;
+    std::span<const uint8_t> payload;
+    size_t got = 0;
+    while (cursor.Next(&type, &payload)) ++got;
+    EXPECT_EQ(got, expect_records) << "cut at byte " << cut;
+    const bool on_boundary =
+        cut == 0 || (got > 0 && boundaries[got - 1] == cut);
+    EXPECT_EQ(cursor.clean_end(), on_boundary) << "cut at byte " << cut;
+    EXPECT_EQ(cursor.truncated_bytes() > 0, !on_boundary)
+        << "cut at byte " << cut;
+  }
+}
+
+TEST(RecordIoTest, StopsAtFirstCorruptFrame) {
+  // Flip every byte of the middle record in turn: the cursor must stop
+  // after the first record each time (checksum covers type and payload;
+  // a corrupt length prefix either oversizes past the buffer or lands on
+  // a failing checksum).
+  std::vector<uint8_t> stream;
+  AppendRecord(RecordType::kWalVersionBump, Bytes("good"), &stream);
+  const size_t middle_start = stream.size();
+  AppendRecord(RecordType::kWalStatsInstalled, Bytes("corrupt-me"), &stream);
+  const size_t middle_end = stream.size();
+  AppendRecord(RecordType::kWalSnapshotTaken, Bytes("shadowed"), &stream);
+
+  for (size_t pos = middle_start; pos < middle_end; ++pos) {
+    std::vector<uint8_t> damaged = stream;
+    damaged[pos] ^= 0x40;
+    RecordCursor cursor(damaged);
+    RecordType type;
+    std::span<const uint8_t> payload;
+    size_t got = 0;
+    while (cursor.Next(&type, &payload)) ++got;
+    // Either the damage is detected at the middle frame (1 record
+    // survives) or — vanishingly unlikely but possible in principle for
+    // a length-prefix flip — later bytes happen to parse; what may
+    // never happen is a middle record surfacing with damaged bytes.
+    EXPECT_EQ(got, 1u) << "flip at byte " << pos;
+    EXPECT_GT(cursor.truncated_bytes(), 0u);
+  }
+}
+
+TEST(RecordIoTest, RejectsOversizedLengthPrefix) {
+  std::vector<uint8_t> stream;
+  AppendRecord(RecordType::kWalVersionBump, Bytes("x"), &stream);
+  // Declare a payload far larger than the buffer.
+  stream[0] = 0xFF;
+  stream[1] = 0xFF;
+  stream[2] = 0xFF;
+  stream[3] = 0x7F;
+  RecordCursor cursor(stream);
+  RecordType type;
+  std::span<const uint8_t> payload;
+  EXPECT_FALSE(cursor.Next(&type, &payload));
+  EXPECT_EQ(cursor.truncated_bytes(), stream.size());
+}
+
+TEST(RecordIoTest, WriteRecordAppendsToFile) {
+  MemFileSystem fs;
+  auto file = fs.Create("dir/log");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(
+      WriteRecord(file->get(), RecordType::kWalVersionBump, Bytes("payload"))
+          .ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  auto bytes = fs.ReadAll("dir/log");
+  ASSERT_TRUE(bytes.ok());
+  RecordCursor cursor(*bytes);
+  RecordType type;
+  std::span<const uint8_t> payload;
+  ASSERT_TRUE(cursor.Next(&type, &payload));
+  EXPECT_EQ(type, RecordType::kWalVersionBump);
+  EXPECT_TRUE(cursor.clean_end() || !cursor.Next(&type, &payload));
+}
+
+TEST(RecordIoTest, FaultFileSystemTearsAtExactBudget) {
+  MemFileSystem base;
+  for (uint64_t budget = 0; budget <= 24; ++budget) {
+    FaultFileSystem fault(&base, CrashPlan{budget});
+    const std::string path = "t/f" + std::to_string(budget);
+    auto file = fault.Create(path);
+    ASSERT_TRUE(file.ok());
+    std::vector<uint8_t> data(24, 0xAB);
+    Status append = (*file)->Append(data);
+    if (budget < data.size()) {
+      EXPECT_FALSE(append.ok());
+      EXPECT_TRUE(fault.crashed());
+      // Every subsequent mutating op fails: the process is "dead".
+      EXPECT_FALSE(fault.Create("t/other").ok());
+      EXPECT_FALSE(fault.Rename(path, "t/renamed").ok());
+    } else {
+      EXPECT_TRUE(append.ok());
+      EXPECT_FALSE(fault.crashed());
+    }
+    auto surviving = base.ReadAll(path);
+    ASSERT_TRUE(surviving.ok());
+    EXPECT_EQ(surviving->size(), std::min<uint64_t>(budget, data.size()))
+        << "torn write must keep exactly the prefix within budget";
+  }
+}
+
+}  // namespace
+}  // namespace dphist::persist

@@ -1,0 +1,243 @@
+// WAL writer/replayer and snapshot writer/reader over the in-memory
+// filesystem: event round-trips, torn-tail tolerance, the
+// footer-as-validity-seal rule, and latest-valid-snapshot selection.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/catalog.h"
+#include "db/stats.h"
+#include "db/stats_codec.h"
+#include "persist/io.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "workload/distributions.h"
+
+namespace dphist::persist {
+namespace {
+
+db::ColumnStats MakeStats(uint64_t seed) {
+  db::ColumnStats stats;
+  stats.valid = true;
+  stats.row_count = 1000 + seed;
+  stats.ndv = 17 + seed;
+  stats.min_value = -static_cast<int64_t>(seed);
+  stats.max_value = static_cast<int64_t>(seed * 3 + 1);
+  stats.version = seed + 1;
+  stats.coverage = 1.0;
+  stats.histogram.type = hist::HistogramType::kEquiDepth;
+  stats.histogram.min_value = stats.min_value;
+  stats.histogram.max_value = stats.max_value;
+  stats.histogram.total_count = stats.row_count;
+  for (uint64_t i = 0; i < 4; ++i) {
+    stats.histogram.buckets.push_back(hist::Bucket{
+        static_cast<int64_t>(i * 10), static_cast<int64_t>(i * 10 + 9),
+        250 + seed, 5});
+  }
+  stats.top_k.push_back(hist::ValueCount{static_cast<int64_t>(seed), 99});
+  return stats;
+}
+
+TEST(WalTest, RoundTripsEvents) {
+  MemFileSystem fs;
+  auto writer = WalWriter::Open(&fs, "d/wal-0.log");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendStatsInstalled("orders", 2, MakeStats(7)).ok());
+  ASSERT_TRUE(writer->AppendVersionBump("orders", 9).ok());
+  ASSERT_TRUE(writer->AppendSnapshotTaken(3).ok());
+  ASSERT_TRUE(writer->Sync().ok());
+  EXPECT_EQ(writer->records_appended(), 3u);
+
+  auto replay = WalReplayer::Read(&fs, "d/wal-0.log");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->truncated_bytes, 0u);
+  ASSERT_EQ(replay->events.size(), 3u);
+
+  const WalEvent& install = replay->events[0];
+  EXPECT_EQ(install.kind, WalEvent::Kind::kStatsInstalled);
+  EXPECT_EQ(install.table, "orders");
+  EXPECT_EQ(install.column, 2u);
+  EXPECT_EQ(db::SerializeColumnStats(install.stats),
+            db::SerializeColumnStats(MakeStats(7)));
+
+  EXPECT_EQ(replay->events[1].kind, WalEvent::Kind::kVersionBump);
+  EXPECT_EQ(replay->events[1].table, "orders");
+  EXPECT_EQ(replay->events[1].version, 9u);
+
+  EXPECT_EQ(replay->events[2].kind, WalEvent::Kind::kSnapshotTaken);
+  EXPECT_EQ(replay->events[2].version, 3u);
+}
+
+TEST(WalTest, MissingFileIsEmptyReplay) {
+  MemFileSystem fs;
+  auto replay = WalReplayer::Read(&fs, "d/wal-42.log");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay->events.empty());
+  EXPECT_EQ(replay->truncated_bytes, 0u);
+}
+
+TEST(WalTest, ToleratesTornTailAtEveryCut) {
+  MemFileSystem fs;
+  auto writer = WalWriter::Open(&fs, "d/wal-0.log");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->AppendStatsInstalled("t", 0, MakeStats(1)).ok());
+  ASSERT_TRUE(writer->AppendVersionBump("t", 2).ok());
+  ASSERT_TRUE(writer->AppendStatsInstalled("t", 1, MakeStats(2)).ok());
+  auto full = fs.ReadAll("d/wal-0.log");
+  ASSERT_TRUE(full.ok());
+
+  size_t prev_events = 0;
+  for (size_t cut = 0; cut <= full->size(); ++cut) {
+    MemFileSystem torn_fs;
+    auto file = torn_fs.Create("w");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::span(full->data(), cut)).ok());
+    auto replay = WalReplayer::Read(&torn_fs, "w");
+    ASSERT_TRUE(replay.ok()) << "cut at " << cut;
+    // Monotone: a longer surviving prefix never yields fewer events, and
+    // the event count only steps on frame boundaries.
+    EXPECT_GE(replay->events.size(), prev_events) << "cut at " << cut;
+    EXPECT_LE(replay->events.size(), 3u);
+    prev_events = replay->events.size();
+    EXPECT_EQ(replay->truncated_bytes == 0,
+              replay->events.size() == 3 || cut == 0 ||
+                  replay->truncated_bytes == 0)
+        << "cut at " << cut;
+  }
+  EXPECT_EQ(prev_events, 3u);
+}
+
+TEST(WalTest, StopsAtChecksummedButUnparseableRecord) {
+  // A frame whose CRC passes but whose payload fails to parse (version
+  // skew, software bug) ends replay there: replaying past it could
+  // apply mutations out of order.
+  MemFileSystem fs;
+  std::vector<uint8_t> stream;
+  {
+    auto writer = WalWriter::Open(&fs, "w");
+    ASSERT_TRUE(writer->AppendVersionBump("t", 1).ok());
+  }
+  auto good = fs.ReadAll("w");
+  ASSERT_TRUE(good.ok());
+  // Append a checksummed frame holding garbage where a bump payload
+  // should be, then another good frame that must stay shadowed.
+  std::vector<uint8_t> garbage = {0x80};  // mid-varint cut inside payload
+  AppendRecord(RecordType::kWalVersionBump, garbage, &stream);
+  {
+    auto file = fs.OpenForAppend("w");
+    ASSERT_TRUE((*file)->Append(stream).ok());
+  }
+  {
+    auto writer = WalWriter::Open(&fs, "w");
+    ASSERT_TRUE(writer->AppendVersionBump("t", 2).ok());
+  }
+  auto replay = WalReplayer::Read(&fs, "w");
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->events.size(), 1u);
+  EXPECT_GT(replay->truncated_bytes, 0u);
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() {
+    catalog_.AddTable("alpha", workload::ColumnToTable({1, 2, 3, 4}, 2, 1));
+    catalog_.AddTable("beta", workload::ColumnToTable({5, 6, 7, 8}, 3, 2));
+    EXPECT_TRUE(catalog_.SetColumnStats("alpha", 0, MakeStats(11)).ok());
+    EXPECT_TRUE(catalog_.SetColumnStats("beta", 1, MakeStats(22)).ok());
+    EXPECT_TRUE(catalog_.SetColumnStats("beta", 2, MakeStats(33)).ok());
+    EXPECT_TRUE(catalog_.BumpDataVersion("beta").ok());
+  }
+
+  db::Catalog catalog_;
+  MemFileSystem fs_;
+};
+
+TEST_F(SnapshotTest, RoundTripsCatalogState) {
+  ASSERT_TRUE(SnapshotWriter::Write(&fs_, "dir", 5, catalog_).ok());
+  ASSERT_TRUE(fs_.Exists("dir/" + SnapshotFileName(5)));
+  EXPECT_FALSE(fs_.Exists("dir/" + SnapshotFileName(5) + ".tmp"))
+      << "temp file must be renamed away";
+
+  auto contents = SnapshotReader::Read(&fs_, "dir/" + SnapshotFileName(5));
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(contents->seq, 5u);
+  ASSERT_EQ(contents->tables.size(), 2u);  // name order: alpha, beta
+  EXPECT_EQ(contents->tables[0].name, "alpha");
+  EXPECT_EQ(contents->tables[0].data_version, 1u);
+  ASSERT_EQ(contents->tables[0].column_stats.size(), 1u);
+  EXPECT_EQ(contents->tables[0].column_stats[0].first, 0u);
+  EXPECT_EQ(contents->tables[1].name, "beta");
+  EXPECT_EQ(contents->tables[1].data_version, 2u);
+  ASSERT_EQ(contents->tables[1].column_stats.size(), 2u);
+  EXPECT_EQ(contents->tables[1].column_stats[0].first, 1u);
+  EXPECT_EQ(contents->tables[1].column_stats[1].first, 2u);
+
+  // Stats round-trip bit-exactly through the snapshot (the version stamp
+  // the catalog applied at install time included).
+  auto stored = catalog_.GetColumnStats("beta", 1);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(
+      db::SerializeColumnStats(contents->tables[1].column_stats[0].second),
+      db::SerializeColumnStats(**stored));
+}
+
+TEST_F(SnapshotTest, TruncatedSnapshotIsRejectedAtEveryCut) {
+  // A snapshot is only read after its rename made it visible, so there
+  // is no legitimate torn state: any strict prefix must be rejected
+  // (missing footer), unlike the WAL's tolerant tail handling.
+  ASSERT_TRUE(SnapshotWriter::Write(&fs_, "dir", 1, catalog_).ok());
+  auto full = fs_.ReadAll("dir/" + SnapshotFileName(1));
+  ASSERT_TRUE(full.ok());
+  for (size_t cut = 0; cut < full->size(); ++cut) {
+    MemFileSystem torn;
+    auto file = torn.Create("s");
+    ASSERT_TRUE((*file)->Append(std::span(full->data(), cut)).ok());
+    EXPECT_FALSE(SnapshotReader::Read(&torn, "s").ok())
+        << "prefix of " << cut << " bytes accepted";
+  }
+  EXPECT_TRUE(SnapshotReader::Read(&fs_, "dir/" + SnapshotFileName(1)).ok());
+}
+
+TEST_F(SnapshotTest, FindLatestValidSkipsCorruptNewest) {
+  ASSERT_TRUE(SnapshotWriter::Write(&fs_, "dir", 1, catalog_).ok());
+  ASSERT_TRUE(catalog_.BumpDataVersion("alpha").ok());
+  ASSERT_TRUE(SnapshotWriter::Write(&fs_, "dir", 2, catalog_).ok());
+  // Corrupt the newest file in place; recovery must fall back to seq 1.
+  auto bytes = fs_.ReadAll("dir/" + SnapshotFileName(2));
+  ASSERT_TRUE(bytes.ok());
+  std::vector<uint8_t> damaged = *bytes;
+  damaged[damaged.size() / 2] ^= 0xFF;
+  {
+    auto file = fs_.Create("dir/" + SnapshotFileName(2));
+    ASSERT_TRUE((*file)->Append(damaged).ok());
+  }
+  auto contents = FindLatestValidSnapshot(&fs_, "dir");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(contents->seq, 1u);
+}
+
+TEST_F(SnapshotTest, NoSnapshotIsNotFound) {
+  ASSERT_TRUE(fs_.CreateDir("dir").ok());
+  EXPECT_EQ(FindLatestValidSnapshot(&fs_, "dir").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SnapshotTest, ListSnapshotSeqsIgnoresForeignNames) {
+  ASSERT_TRUE(SnapshotWriter::Write(&fs_, "dir", 3, catalog_).ok());
+  ASSERT_TRUE(SnapshotWriter::Write(&fs_, "dir", 10, catalog_).ok());
+  {  // decoys
+    auto file = fs_.Create("dir/snapshot-7.dph.tmp");
+    ASSERT_TRUE((*file)->Append(std::vector<uint8_t>{1}).ok());
+    auto wal = fs_.Create("dir/wal-0000000003.log");
+    ASSERT_TRUE((*wal)->Append(std::vector<uint8_t>{1}).ok());
+  }
+  auto seqs = ListSnapshotSeqs(&fs_, "dir");
+  ASSERT_TRUE(seqs.ok());
+  EXPECT_EQ(*seqs, (std::vector<uint64_t>{3, 10}));
+}
+
+}  // namespace
+}  // namespace dphist::persist

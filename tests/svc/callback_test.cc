@@ -1,0 +1,276 @@
+// Ticket::OnComplete: the async completion contract. A registered
+// callback fires exactly once with the flight's final response, on
+// every completion path — scan-served, cache-hit (inline), registered
+// after completion (inline), coalesced, deadline-expired, and
+// Stop()-drained — and never fires twice or not at all.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+
+#include "accel/device.h"
+#include "accel/scan_engine.h"
+#include "svc/service.h"
+#include "workload/distributions.h"
+
+namespace dphist::svc {
+namespace {
+
+constexpr uint64_t kRows = 4000;
+constexpr uint64_t kCardinality = 256;
+
+StatsRequest TestRequest(size_t column = 0,
+                         RequestKind kind = RequestKind::kRead) {
+  StatsRequest request;
+  request.table = "t";
+  request.column = column;
+  request.params.min_value = 1;
+  request.params.max_value = kCardinality;
+  request.params.num_buckets = 8;
+  request.params.top_k = 4;
+  request.kind = kind;
+  return request;
+}
+
+class CallbackTest : public ::testing::Test {
+ protected:
+  CallbackTest() : device_(accel::AcceleratorConfig{}) {
+    auto column = workload::ZipfColumn(kRows, kCardinality, 0.75, 3);
+    catalog_.AddTable("t", workload::ColumnToTable(column, 2, 3));
+  }
+
+  accel::AcceleratorReport TemplateReport() {
+    auto entry = catalog_.Find("t");
+    accel::ScanRequest request = TestRequest().params;
+    request.want_bins = true;
+    auto report =
+        accel::ScanEngine(&device_).ScanTable(*(*entry)->table, request);
+    EXPECT_TRUE(report.ok());
+    return *report;
+  }
+
+  db::Catalog catalog_;
+  accel::Device device_;
+};
+
+/// A scan hook whose first call blocks until Release().
+class BlockingHook {
+ public:
+  explicit BlockingHook(accel::AcceleratorReport report)
+      : report_(std::move(report)) {}
+
+  Result<accel::AcceleratorReport> operator()(const StatsRequest&, double) {
+    const int call = calls_.fetch_add(1);
+    if (call == 0) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return released_; });
+    }
+    return report_;
+  }
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  accel::AcceleratorReport report_;
+  std::atomic<int> calls_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool released_ = false;
+};
+
+TEST_F(CallbackTest, FiresExactlyOnceOnScanServedFlight) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  auto report = TemplateReport();
+  options.scan_hook = [report](const StatsRequest&, double) {
+    return report;
+  };
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto ticket = service.Submit(TestRequest());
+  ASSERT_TRUE(ticket.ok());
+  EXPECT_FALSE(ticket->immediate());
+
+  std::atomic<int> fires{0};
+  std::promise<StatsResponse> promise;
+  ticket->OnComplete([&](const StatsResponse& response) {
+    if (fires.fetch_add(1) == 0) promise.set_value(response);
+  });
+
+  StatsResponse via_callback = promise.get_future().get();
+  EXPECT_TRUE(via_callback.status.ok()) << via_callback.status.ToString();
+  EXPECT_EQ(via_callback.path, ServePath::kScan);
+  // Wait() observes the same fulfilled flight.
+  StatsResponse via_wait = ticket->Wait();
+  EXPECT_TRUE(via_wait.status.ok());
+  service.Stop();
+  EXPECT_EQ(fires.load(), 1);
+}
+
+TEST_F(CallbackTest, CacheHitRunsInlineBeforeReturning) {
+  ServiceOptions options;
+  auto report = TemplateReport();
+  options.scan_hook = [report](const StatsRequest&, double) {
+    return report;
+  };
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+  ASSERT_TRUE(service.SubmitAndWait(TestRequest()).status.ok());  // warm
+
+  auto ticket = service.Submit(TestRequest());
+  ASSERT_TRUE(ticket.ok());
+  ASSERT_TRUE(ticket->immediate());
+  bool fired = false;
+  ticket->OnComplete([&fired](const StatsResponse& response) {
+    fired = true;
+    EXPECT_TRUE(response.from_cache);
+    EXPECT_EQ(response.path, ServePath::kCache);
+  });
+  EXPECT_TRUE(fired) << "immediate tickets must invoke inline, on the "
+                        "caller's thread, before OnComplete returns";
+  service.Stop();
+}
+
+TEST_F(CallbackTest, RegisteredAfterCompletionRunsInline) {
+  ServiceOptions options;
+  auto report = TemplateReport();
+  options.scan_hook = [report](const StatsRequest&, double) {
+    return report;
+  };
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto ticket = service.Submit(TestRequest());
+  ASSERT_TRUE(ticket.ok());
+  StatsResponse waited = ticket->Wait();
+  ASSERT_TRUE(waited.status.ok());
+
+  bool fired = false;
+  ticket->OnComplete([&fired](const StatsResponse& response) {
+    fired = true;
+    EXPECT_TRUE(response.status.ok());
+  });
+  EXPECT_TRUE(fired);
+  service.Stop();
+}
+
+TEST_F(CallbackTest, NullCallbackIsIgnored) {
+  ServiceOptions options;
+  auto report = TemplateReport();
+  options.scan_hook = [report](const StatsRequest&, double) {
+    return report;
+  };
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+  auto ticket = service.Submit(TestRequest());
+  ASSERT_TRUE(ticket.ok());
+  ticket->OnComplete(nullptr);  // must not crash or count as registered
+  EXPECT_TRUE(ticket->Wait().status.ok());
+  service.Stop();
+}
+
+TEST_F(CallbackTest, CoalescedWaitersEachGetTheSharedResponse) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  BlockingHook hook(TemplateReport());
+  options.scan_hook = std::ref(hook);
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto leader = service.Submit(TestRequest());
+  ASSERT_TRUE(leader.ok());
+  auto waiter = service.Submit(TestRequest());
+  ASSERT_TRUE(waiter.ok());
+  EXPECT_TRUE(waiter->coalesced());
+
+  std::promise<StatsResponse> leader_promise;
+  std::promise<StatsResponse> waiter_promise;
+  leader->OnComplete([&](const StatsResponse& response) {
+    leader_promise.set_value(response);
+  });
+  waiter->OnComplete([&](const StatsResponse& response) {
+    waiter_promise.set_value(response);
+  });
+
+  hook.Release();
+  StatsResponse leader_seen = leader_promise.get_future().get();
+  StatsResponse waiter_seen = waiter_promise.get_future().get();
+  // One scan, one shared response: both callbacks observe the same
+  // fulfilled flight.
+  EXPECT_TRUE(leader_seen.status.ok());
+  EXPECT_TRUE(waiter_seen.status.ok());
+  EXPECT_EQ(leader_seen.stats.version, waiter_seen.stats.version);
+  EXPECT_EQ(leader_seen.path, waiter_seen.path);
+  service.Stop();
+  EXPECT_EQ(service.counters().coalesced, 1u);
+}
+
+TEST_F(CallbackTest, DeadlineExpiredFlightStillFiresCallback) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  BlockingHook hook(TemplateReport());
+  options.scan_hook = std::ref(hook);
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  // Wedge the single worker on column 0, then queue a column-1 request
+  // whose deadline is already in the past: the worker must answer it
+  // kDeadlineExceeded without scanning — and the callback still fires,
+  // because the deadline branch completes the flight without Fulfill.
+  auto wedged = service.Submit(TestRequest(0));
+  ASSERT_TRUE(wedged.ok());
+  StatsRequest doomed = TestRequest(1);
+  doomed.deadline_nanos = 1;  // long past on any monotonic clock
+  auto ticket = service.Submit(doomed);
+  ASSERT_TRUE(ticket.ok());
+
+  std::promise<StatsResponse> promise;
+  ticket->OnComplete([&](const StatsResponse& response) {
+    promise.set_value(response);
+  });
+
+  hook.Release();
+  StatsResponse seen = promise.get_future().get();
+  EXPECT_EQ(seen.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(seen.path, ServePath::kDeadline);
+  EXPECT_TRUE(wedged->Wait().status.ok());
+  service.Stop();
+}
+
+TEST_F(CallbackTest, StopDrainLeavesNoCallbackUnfired) {
+  ServiceOptions options;
+  options.num_workers = 1;
+  BlockingHook hook(TemplateReport());
+  options.scan_hook = std::ref(hook);
+  StatsService service(&catalog_, &device_, options);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto wedged = service.Submit(TestRequest(0));
+  ASSERT_TRUE(wedged.ok());
+  auto queued = service.Submit(TestRequest(1));
+  ASSERT_TRUE(queued.ok());
+
+  std::atomic<int> fires{0};
+  wedged->OnComplete([&](const StatsResponse&) { fires.fetch_add(1); });
+  queued->OnComplete([&](const StatsResponse&) { fires.fetch_add(1); });
+
+  // Stop() concurrently with the release: whichever way each flight
+  // resolves (served or drained), Stop guarantees no admitted request is
+  // left waiting — so by the time it returns, both callbacks have fired.
+  std::thread stopper([&service] { service.Stop(); });
+  hook.Release();
+  stopper.join();
+  EXPECT_EQ(fires.load(), 2);
+}
+
+}  // namespace
+}  // namespace dphist::svc
